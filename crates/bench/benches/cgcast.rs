@@ -1,0 +1,59 @@
+//! CGCAST end-to-end benchmark (experiment E8's engine): one full global
+//! broadcast — discovery, dedicated channels, distributed edge coloring and
+//! dissemination — on small paths and stars.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crn_bench::bench_network;
+use crn_core::cgcast::CGCast;
+use crn_core::params::GcastParams;
+use crn_sim::channels::ChannelModel;
+use crn_sim::topology::Topology;
+use crn_sim::{Engine, NodeId};
+
+fn cgcast_paths(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("cgcast_full_run_path");
+    group.sample_size(10);
+    for &d in &[3usize, 6] {
+        let (net, model) = bench_network(
+            Topology::Path { n: d + 1 },
+            ChannelModel::SharedCore { c: 4, core: 2 },
+            19,
+        );
+        let sched = GcastParams { dissemination_phases: d as u64, ..Default::default() }
+            .schedule(&model);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| {
+                let mut eng = Engine::new(&net, 9, |ctx| {
+                    CGCast::new(ctx.id, sched, (ctx.id == NodeId(0)).then_some(1))
+                });
+                eng.run_to_completion(sched.total_slots());
+                eng.counters().deliveries
+            })
+        });
+    }
+    group.finish();
+}
+
+fn cgcast_star(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("cgcast_full_run_star");
+    group.sample_size(10);
+    let (net, model) = bench_network(
+        Topology::Star { leaves: 6 },
+        ChannelModel::Identical { c: 3 },
+        21,
+    );
+    let sched = GcastParams { dissemination_phases: 2, ..Default::default() }.schedule(&model);
+    group.bench_function("star6", |b| {
+        b.iter(|| {
+            let mut eng = Engine::new(&net, 9, |ctx| {
+                CGCast::new(ctx.id, sched, (ctx.id == NodeId(0)).then_some(1))
+            });
+            eng.run_to_completion(sched.total_slots());
+            eng.counters().deliveries
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, cgcast_paths, cgcast_star);
+criterion_main!(benches);

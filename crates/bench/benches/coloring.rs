@@ -1,0 +1,68 @@
+//! Coloring benchmarks (experiment E7's engine): line-graph construction
+//! and the Luby-style 2Δ coloring across graph sizes, plus the greedy
+//! baseline of ablation A3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crn_core::coloring::{color_graph, greedy_edge_coloring, LineGraph};
+use crn_sim::graph::Graph;
+use crn_sim::rng::stream_rng;
+use crn_sim::topology::Topology;
+use crn_sim::{Edge, NodeId};
+
+fn build_edges(n: usize) -> (Vec<Edge>, usize) {
+    let mut rng = stream_rng(17, n as u64);
+    let topo = Topology::ErdosRenyi { n, p: (6.0 / n as f64).min(1.0) };
+    let raw = topo.edges(&mut rng);
+    let g = Graph::from_edges(n, &raw);
+    let edges = g
+        .edges()
+        .into_iter()
+        .map(|(a, b)| Edge::new(NodeId(a), NodeId(b)))
+        .collect();
+    (edges, g.max_degree())
+}
+
+fn luby_coloring(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("luby_line_graph_coloring");
+    for &n in &[64usize, 256, 1024] {
+        let (edges, delta) = build_edges(n);
+        let lg = LineGraph::of(&edges);
+        let palette = (2 * delta.max(1)) as u32;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = stream_rng(23, 0);
+                color_graph(lg.adjacency(), palette, 10_000, &mut rng).phases_used
+            })
+        });
+    }
+    group.finish();
+}
+
+fn greedy_coloring(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("greedy_edge_coloring");
+    for &n in &[64usize, 256, 1024] {
+        let (edges, _) = build_edges(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| greedy_edge_coloring(&edges).len())
+        });
+    }
+    group.finish();
+}
+
+fn line_graph_construction(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("line_graph_construction");
+    for &n in &[64usize, 256, 1024] {
+        let (edges, _) = build_edges(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| LineGraph::of(&edges).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = luby_coloring, greedy_coloring, line_graph_construction
+}
+criterion_main!(benches);

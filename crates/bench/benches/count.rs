@@ -1,0 +1,47 @@
+//! COUNT benchmarks (experiment E1's engine): wall-clock cost of one COUNT
+//! execution across broadcaster counts — Lemma 1 says the slot cost is
+//! O(lg² n) independent of m; this bench confirms the wall-clock follows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crn_core::count::{CountProtocol, Role};
+use crn_core::params::{CountParams, ModelInfo};
+use crn_sim::{Engine, GlobalChannel, LocalChannel, Network, NodeId};
+
+fn arena(m: usize) -> Network {
+    let n = m + 1;
+    let mut b = Network::builder(n);
+    for v in 0..n {
+        b.set_channels(NodeId(v as u32), vec![GlobalChannel(0), GlobalChannel(1 + v as u32)]);
+    }
+    for leaf in 1..n {
+        b.add_edge(NodeId(0), NodeId(leaf as u32));
+    }
+    b.build().unwrap()
+}
+
+fn count_bench(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("count_execution");
+    let model = ModelInfo { n: 256, c: 2, delta: 256, k: 1, kmax: 1 };
+    let sched = CountParams::default().schedule(&model);
+    for &m in &[1usize, 8, 64, 255] {
+        let net = arena(m);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| {
+                let mut eng = Engine::new(&net, 3, |ctx| {
+                    let role = if ctx.id == NodeId(0) { Role::Listener } else { Role::Broadcaster };
+                    CountProtocol::new(ctx.id, role, sched, LocalChannel(0))
+                });
+                eng.run_to_completion(sched.total_slots());
+                eng.counters().deliveries
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = count_bench
+}
+criterion_main!(benches);

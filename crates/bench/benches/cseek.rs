@@ -1,0 +1,56 @@
+//! CSEEK end-to-end benchmarks (experiments E2–E5's engine): one full
+//! discovery run across the knobs of Theorem 4 — channels c, overlap k,
+//! and degree Δ.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crn_bench::bench_network;
+use crn_core::params::SeekParams;
+use crn_core::seek::CSeek;
+use crn_sim::channels::ChannelModel;
+use crn_sim::topology::Topology;
+use crn_sim::Engine;
+
+fn cseek_vs_c(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("cseek_full_run_vs_c");
+    group.sample_size(10);
+    for &c in &[4usize, 8, 12] {
+        let (net, model) = bench_network(
+            Topology::Cycle { n: 16 },
+            ChannelModel::SharedCore { c, core: 2 },
+            11,
+        );
+        let sched = SeekParams::default().schedule(&model);
+        group.bench_with_input(BenchmarkId::from_parameter(c), &c, |b, _| {
+            b.iter(|| {
+                let mut eng = Engine::new(&net, 5, |ctx| CSeek::new(ctx.id, sched, false));
+                eng.run_to_completion(sched.total_slots());
+                eng.counters().deliveries
+            })
+        });
+    }
+    group.finish();
+}
+
+fn cseek_vs_delta(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("cseek_full_run_vs_delta");
+    group.sample_size(10);
+    for &delta in &[8usize, 16, 32] {
+        let (net, model) = bench_network(
+            Topology::Star { leaves: delta },
+            ChannelModel::CrowdedSplit { c: 4, k: 2, hot: 1, k_hot: 1 },
+            13,
+        );
+        let sched = SeekParams::default().schedule(&model);
+        group.bench_with_input(BenchmarkId::from_parameter(delta), &delta, |b, _| {
+            b.iter(|| {
+                let mut eng = Engine::new(&net, 5, |ctx| CSeek::new(ctx.id, sched, false));
+                eng.run_to_completion(sched.total_slots());
+                eng.counters().deliveries
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, cseek_vs_c, cseek_vs_delta);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Engine micro-benchmarks: raw slot throughput of the simulator substrate,
+//! across network sizes and action mixes. Establishes the node-slot cost
+//! every higher-level number is built on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use crn_bench::bench_network;
+use crn_sim::channels::ChannelModel;
+use crn_sim::topology::Topology;
+use crn_sim::{Action, Engine, Feedback, LocalChannel, Protocol, SlotCtx};
+use rand::Rng;
+
+/// A protocol exercising the engine's hot path: random channel, random role.
+struct Chatter {
+    c: u16,
+    heard: u64,
+}
+
+impl Protocol for Chatter {
+    type Message = u32;
+    type Output = u64;
+    fn act(&mut self, ctx: &mut SlotCtx<'_>) -> Action<u32> {
+        let channel = LocalChannel(ctx.rng.gen_range(0..self.c));
+        if ctx.rng.gen_bool(0.5) {
+            Action::Broadcast { channel, message: 7 }
+        } else {
+            Action::Listen { channel }
+        }
+    }
+    fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, fb: Feedback<u32>) {
+        if matches!(fb, Feedback::Heard(_)) {
+            self.heard += 1;
+        }
+    }
+    fn is_complete(&self) -> bool {
+        false
+    }
+    fn into_output(self) -> u64 {
+        self.heard
+    }
+}
+
+fn engine_throughput(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("engine_slot_throughput");
+    for &n in &[16usize, 64, 256, 1024] {
+        let (net, model) = bench_network(
+            Topology::RandomGeometric { n, radius: (8.0 / n as f64).sqrt() },
+            ChannelModel::SharedCore { c: 6, core: 2 },
+            7,
+        );
+        let slots = 256u64;
+        group.throughput(Throughput::Elements(slots * n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut eng = Engine::new(&net, 42, |_| Chatter { c: model.c as u16, heard: 0 });
+                eng.run_to_completion(slots);
+                eng.counters().deliveries
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = engine_throughput
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Hitting-game benchmarks (experiment E9's engine): rounds-per-second of
+//! the game machinery and full games with the uniform and reduction
+//! players.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crn_core::params::{ModelInfo, SeekParams};
+use crn_core::seek::CSeek;
+use crn_lowerbounds::game::HittingGame;
+use crn_lowerbounds::players::{play, ReductionPlayer, UniformRandomPlayer};
+use crn_sim::rng::stream_rng;
+use crn_sim::NodeId;
+
+fn uniform_player(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("hitting_game_uniform_player");
+    for &(c, k) in &[(8usize, 2usize), (16, 4), (32, 8)] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("c{c}k{k}")), &c, |b, _| {
+            b.iter(|| {
+                let mut rng = stream_rng(31, 0);
+                let mut game = HittingGame::new(c, k, &mut rng);
+                let mut player = UniformRandomPlayer::new(c);
+                play(&mut game, &mut player, &mut rng, 10_000_000).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn reduction_player(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("hitting_game_cseek_reduction");
+    group.sample_size(10);
+    let (c, k) = (8usize, 2usize);
+    let m = ModelInfo { n: 2, c, delta: 1, k, kmax: k };
+    let sched = SeekParams::default().schedule(&m);
+    group.bench_function("c8k2", |b| {
+        b.iter(|| {
+            let mut rng = stream_rng(37, 0);
+            let mut game = HittingGame::new(c, k, &mut rng);
+            let mut player = ReductionPlayer::new(
+                CSeek::new(NodeId(0), sched, false),
+                CSeek::new(NodeId(1), sched, false),
+                77,
+            );
+            play(&mut game, &mut player, &mut rng, sched.total_slots())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = uniform_player, reduction_player
+}
+criterion_main!(benches);

@@ -1,0 +1,226 @@
+//! Adversarial nodes: jammers.
+//!
+//! The paper motivates cognitive radio by "interference (e.g., from
+//! disruptive devices or from prioritized users)" (§1) but analyzes a clean
+//! model. This module is an *extension*: it lets experiments measure how
+//! gracefully the primitives degrade when some in-range nodes jam instead
+//! of cooperating. A jammer transmits every slot, so any listener on its
+//! channel within range hears a collision (or the jammer's garbage when it
+//! is the lone transmitter).
+//!
+//! [`NodeRole`] wraps an honest protocol and a jammer into one engine type
+//! so mixed populations run in a single simulation.
+
+use crn_sim::{Action, Feedback, LocalChannel, Protocol, SlotCtx};
+use rand::Rng;
+
+/// How a jammer picks its channel each slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JamStrategy {
+    /// Camp on one local channel forever.
+    Fixed(LocalChannel),
+    /// Sweep channels round-robin, one per slot.
+    Sweep,
+    /// Uniformly random channel each slot.
+    Random,
+}
+
+/// A jammer node: broadcasts `noise` every slot on a channel chosen by its
+/// strategy.
+#[derive(Debug, Clone)]
+pub struct Jammer<M> {
+    c: u16,
+    strategy: JamStrategy,
+    noise: M,
+    slot: u64,
+}
+
+impl<M: Clone> Jammer<M> {
+    /// Creates a jammer over `c` channels transmitting `noise`.
+    pub fn new(c: u16, strategy: JamStrategy, noise: M) -> Jammer<M> {
+        assert!(c >= 1, "jammer needs at least one channel");
+        Jammer { c, strategy, noise, slot: 0 }
+    }
+
+    fn pick(&mut self, ctx: &mut SlotCtx<'_>) -> LocalChannel {
+        match self.strategy {
+            JamStrategy::Fixed(ch) => ch,
+            JamStrategy::Sweep => LocalChannel((self.slot % self.c as u64) as u16),
+            JamStrategy::Random => LocalChannel(ctx.rng.gen_range(0..self.c)),
+        }
+    }
+}
+
+impl<M: Clone> Protocol for Jammer<M> {
+    type Message = M;
+    type Output = ();
+
+    fn act(&mut self, ctx: &mut SlotCtx<'_>) -> Action<M> {
+        let channel = self.pick(ctx);
+        self.slot += 1;
+        Action::Broadcast { channel, message: self.noise.clone() }
+    }
+
+    fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, _fb: Feedback<M>) {}
+
+    fn is_complete(&self) -> bool {
+        // A jammer never finishes on its own; the honest nodes' schedule
+        // (or the engine's slot cap) ends the run.
+        true
+    }
+
+    fn into_output(self) {}
+}
+
+/// A node that is either honest (running `P`) or a jammer with the same
+/// message type — lets the engine run mixed populations.
+#[derive(Debug, Clone)]
+pub enum NodeRole<P: Protocol> {
+    /// A cooperative node running the protocol under test.
+    Honest(P),
+    /// A disruptive node.
+    Adversary(Jammer<P::Message>),
+}
+
+impl<P: Protocol> NodeRole<P> {
+    /// Access the honest protocol, if this node is honest.
+    pub fn honest(&self) -> Option<&P> {
+        match self {
+            NodeRole::Honest(p) => Some(p),
+            NodeRole::Adversary(_) => None,
+        }
+    }
+}
+
+impl<P: Protocol> Protocol for NodeRole<P> {
+    type Message = P::Message;
+    type Output = Option<P::Output>;
+
+    fn act(&mut self, ctx: &mut SlotCtx<'_>) -> Action<P::Message> {
+        match self {
+            NodeRole::Honest(p) => p.act(ctx),
+            NodeRole::Adversary(j) => j.act(ctx),
+        }
+    }
+
+    fn feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<P::Message>) {
+        match self {
+            NodeRole::Honest(p) => p.feedback(ctx, fb),
+            NodeRole::Adversary(j) => j.feedback(ctx, fb),
+        }
+    }
+
+    fn is_complete(&self) -> bool {
+        match self {
+            NodeRole::Honest(p) => p.is_complete(),
+            NodeRole::Adversary(j) => j.is_complete(),
+        }
+    }
+
+    fn into_output(self) -> Option<P::Output> {
+        match self {
+            NodeRole::Honest(p) => Some(p.into_output()),
+            NodeRole::Adversary(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{ModelInfo, SeekParams};
+    use crate::seek::CSeek;
+    use crn_sim::channels::ChannelModel;
+    use crn_sim::rng::stream_rng;
+    use crn_sim::topology::Topology;
+    use crn_sim::{Engine, Network, NodeId};
+
+    fn build_net(topo: &Topology, model: &ChannelModel, seed: u64) -> Network {
+        let mut rng = stream_rng(seed, 999);
+        let n = topo.num_nodes();
+        let sets = model.assign(n, &mut rng);
+        let mut b = Network::builder(n);
+        for (v, set) in sets.into_iter().enumerate() {
+            b.set_channels(NodeId(v as u32), set);
+        }
+        b.add_edges(topo.edges(&mut rng).into_iter().map(|(a, x)| (NodeId(a), NodeId(x))));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fixed_jammer_blocks_its_channel_for_adjacent_listeners() {
+        // Two honest nodes + one jammer, all mutually adjacent, single
+        // shared channel: the jammer transmits every slot, so the honest
+        // pair can never hear each other (every slot has >= 2 transmitters
+        // or the jammer alone).
+        let net = build_net(&Topology::Complete { n: 3 }, &ChannelModel::Identical { c: 1 }, 1);
+        let m = ModelInfo::from_stats(&net.stats());
+        let sched = SeekParams::default().schedule(&m);
+        let mut eng = Engine::new(&net, 5, |ctx| {
+            if ctx.id == NodeId(2) {
+                NodeRole::Adversary(Jammer::new(1, JamStrategy::Fixed(LocalChannel(0)), NodeId(2)))
+            } else {
+                NodeRole::Honest(CSeek::new(ctx.id, sched, false))
+            }
+        });
+        eng.run_to_completion(sched.total_slots());
+        let outs = eng.into_outputs();
+        let n0 = outs[0].as_ref().unwrap();
+        // Node 0 can hear the jammer when the jammer transmits alone, but
+        // never node 1 (node 1's transmissions always collide with the
+        // jammer's).
+        assert!(
+            !n0.neighbors.contains(&NodeId(1)),
+            "jammed channel must never deliver the honest peer"
+        );
+    }
+
+    #[test]
+    fn discovery_survives_jamming_with_spare_channels() {
+        // c = 4 shared channels, one jammed: CSEEK still completes between
+        // honest nodes using the other three.
+        let net = build_net(&Topology::Complete { n: 4 }, &ChannelModel::Identical { c: 4 }, 2);
+        let m = ModelInfo::from_stats(&net.stats());
+        let sched = SeekParams::default().schedule(&m);
+        let mut eng = Engine::new(&net, 7, |ctx| {
+            if ctx.id == NodeId(3) {
+                NodeRole::Adversary(Jammer::new(4, JamStrategy::Fixed(LocalChannel(0)), NodeId(3)))
+            } else {
+                NodeRole::Honest(CSeek::new(ctx.id, sched, false))
+            }
+        });
+        eng.run_to_completion(sched.total_slots());
+        let outs = eng.into_outputs();
+        for (v, out) in outs.iter().enumerate().take(3) {
+            let out = out.as_ref().unwrap();
+            for w in 0..3u32 {
+                if w as usize != v {
+                    assert!(
+                        out.neighbors.contains(&NodeId(w)),
+                        "honest {v} should still find honest {w}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jammer_strategies_cover_channels_as_documented() {
+        let mut fixed = Jammer::new(4, JamStrategy::Fixed(LocalChannel(2)), 0u8);
+        let mut sweep = Jammer::new(4, JamStrategy::Sweep, 0u8);
+        let mut rng = stream_rng(0, 0);
+        let mut seen_sweep = Vec::new();
+        for slot in 0..8 {
+            let mut ctx = SlotCtx { slot: crn_sim::Slot(slot), rng: &mut rng };
+            match fixed.act(&mut ctx) {
+                Action::Broadcast { channel, .. } => assert_eq!(channel, LocalChannel(2)),
+                _ => panic!("jammer always broadcasts"),
+            }
+            let mut ctx = SlotCtx { slot: crn_sim::Slot(slot), rng: &mut rng };
+            if let Action::Broadcast { channel, .. } = sweep.act(&mut ctx) {
+                seen_sweep.push(channel.0);
+            }
+        }
+        assert_eq!(seen_sweep, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,72 @@
+//! The over-the-air message type of CGCAST.
+
+use crn_sim::{Edge, NodeId};
+
+/// Messages exchanged by CGCAST. Each stage of the protocol uses exactly
+/// one variant; since all nodes move through stages in lockstep, a receiver
+/// can always interpret what it hears.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GcastMsg {
+    /// Discover stage: the sender's identity.
+    Id(NodeId),
+    /// Meta stage: the sender's identity plus its first-heard slot table
+    /// from the Discover run (used for dedicated-channel agreement).
+    Meta {
+        /// Sender identity.
+        from: NodeId,
+        /// `(neighbor, slot)` pairs: when the sender first heard each
+        /// neighbor during Discover.
+        first_heard: Vec<(NodeId, u64)>,
+    },
+    /// Coloring step 1: color proposals of virtual line-graph nodes
+    /// (own and relayed).
+    Proposals {
+        /// `(edge, proposed color)` pairs.
+        entries: Vec<(Edge, u32)>,
+    },
+    /// Coloring step 2: decided colors (own and relayed).
+    Decisions {
+        /// `(edge, decided color)` pairs.
+        entries: Vec<(Edge, u32)>,
+    },
+    /// Inform stage: final edge colors from each edge's simulator to the
+    /// other endpoint.
+    EdgeColors {
+        /// `(edge, final color)` pairs.
+        entries: Vec<(Edge, u32)>,
+    },
+    /// Dissemination stage: the broadcast payload.
+    Data(u64),
+}
+
+impl GcastMsg {
+    /// Approximate size of this message in "payload words", used by traffic
+    /// accounting. (The model itself does not bound message size; the paper
+    /// sends `O(Δ)`-entry tables during coloring.)
+    pub fn size_words(&self) -> usize {
+        match self {
+            GcastMsg::Id(_) | GcastMsg::Data(_) => 1,
+            GcastMsg::Meta { first_heard, .. } => 1 + 2 * first_heard.len(),
+            GcastMsg::Proposals { entries }
+            | GcastMsg::Decisions { entries }
+            | GcastMsg::EdgeColors { entries } => 3 * entries.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_accounting() {
+        assert_eq!(GcastMsg::Id(NodeId(1)).size_words(), 1);
+        assert_eq!(GcastMsg::Data(7).size_words(), 1);
+        let m = GcastMsg::Meta { from: NodeId(0), first_heard: vec![(NodeId(1), 5), (NodeId(2), 9)] };
+        assert_eq!(m.size_words(), 5);
+        let p = GcastMsg::Proposals {
+            entries: vec![(Edge::new(NodeId(0), NodeId(1)), 3)],
+        };
+        assert_eq!(p.size_words(), 3);
+    }
+}

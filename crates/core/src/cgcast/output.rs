@@ -1,0 +1,59 @@
+//! Final per-node result of a CGCAST run.
+
+use crn_sim::NodeId;
+
+/// What one node knows when CGCAST's schedule ends. Beyond the payload
+/// itself, the output exposes the intermediate artifacts (discovery,
+/// dedicated channels, coloring) so experiments can attribute failures to
+/// the right stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GcastOutput {
+    /// This node.
+    pub id: NodeId,
+    /// The broadcast payload, if it arrived.
+    pub payload: Option<u64>,
+    /// Global slot at which the payload arrived (0 at the source).
+    pub informed_at: Option<u64>,
+    /// Neighbors discovered during stage 1.
+    pub discovered: Vec<NodeId>,
+    /// Incident edges with an agreed dedicated channel.
+    pub dedicated_count: usize,
+    /// Incident edges whose color this node knows.
+    pub known_colors: usize,
+    /// Virtual line-graph nodes this node simulated.
+    pub simulated_edges: usize,
+    /// Of those, how many decided a color within the coloring phases.
+    pub colored_simulated: usize,
+    /// `true` if the known incident edge colors are pairwise distinct (the
+    /// local view of a proper edge coloring).
+    pub colors_locally_valid: bool,
+}
+
+impl GcastOutput {
+    /// `true` if this node received the payload.
+    pub fn is_informed(&self) -> bool {
+        self.payload.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn informed_accessor() {
+        let out = GcastOutput {
+            id: NodeId(3),
+            payload: Some(1),
+            informed_at: Some(10),
+            discovered: vec![],
+            dedicated_count: 0,
+            known_colors: 0,
+            simulated_edges: 0,
+            colored_simulated: 0,
+            colors_locally_valid: true,
+        };
+        assert!(out.is_informed());
+        assert!(!GcastOutput { payload: None, ..out }.is_informed());
+    }
+}

@@ -1,0 +1,218 @@
+//! Line-graph construction: reduce edge coloring of `G` to node coloring of
+//! `G_L` (paper §5.2, Fact 7).
+//!
+//! Each edge `(u, v)` of `G` becomes a vertex of `G_L`; two vertices of
+//! `G_L` are adjacent iff the corresponding edges share an endpoint. A
+//! valid node coloring of `G_L` is therefore a valid edge coloring of `G`.
+//! In CGCAST the vertex for `(u, v)` is *simulated* by the physical node
+//! `min(u, v)`.
+
+use crn_sim::{Edge, NodeId};
+use std::collections::HashMap;
+
+/// The line graph `G_L` of a simple graph `G`.
+#[derive(Debug, Clone)]
+pub struct LineGraph {
+    /// The vertices of `G_L` — the edges of `G`, sorted canonically.
+    vertices: Vec<Edge>,
+    /// Adjacency lists, indices into `vertices`.
+    adj: Vec<Vec<u32>>,
+    index: HashMap<Edge, u32>,
+}
+
+impl LineGraph {
+    /// Builds the line graph of the given edge set.
+    pub fn of(edges: &[Edge]) -> LineGraph {
+        let mut vertices: Vec<Edge> = edges.to_vec();
+        vertices.sort_unstable();
+        vertices.dedup();
+        let index: HashMap<Edge, u32> = vertices
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| (e, i as u32))
+            .collect();
+
+        // Group edge-vertices by endpoint; all edges sharing an endpoint
+        // form a clique in G_L.
+        let mut by_endpoint: HashMap<NodeId, Vec<u32>> = HashMap::new();
+        for (i, e) in vertices.iter().enumerate() {
+            by_endpoint.entry(e.lo()).or_default().push(i as u32);
+            by_endpoint.entry(e.hi()).or_default().push(i as u32);
+        }
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); vertices.len()];
+        for group in by_endpoint.values() {
+            for (ai, &a) in group.iter().enumerate() {
+                for &b in &group[ai + 1..] {
+                    adj[a as usize].push(b);
+                    adj[b as usize].push(a);
+                }
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        LineGraph { vertices, adj, index }
+    }
+
+    /// Number of vertices of `G_L` (= number of edges of `G`).
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// `true` if `G` had no edges.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// The edge of `G` corresponding to vertex `i` of `G_L`.
+    pub fn edge(&self, i: usize) -> Edge {
+        self.vertices[i]
+    }
+
+    /// All vertices (edges of `G`) in canonical order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.vertices
+    }
+
+    /// The vertex index of edge `e`, if present.
+    pub fn index_of(&self, e: Edge) -> Option<u32> {
+        self.index.get(&e).copied()
+    }
+
+    /// Adjacency list of vertex `i`.
+    pub fn neighbors(&self, i: usize) -> &[u32] {
+        &self.adj[i]
+    }
+
+    /// Adjacency lists (for generic coloring algorithms).
+    pub fn adjacency(&self) -> &[Vec<u32>] {
+        &self.adj
+    }
+
+    /// Maximum degree of `G_L`. For `G` with maximum degree `Δ` this is at
+    /// most `2Δ − 2` (paper, proof of Lemma 8).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The simulating physical node for vertex `i`: the smaller endpoint
+    /// (paper §5.2).
+    pub fn simulator(&self, i: usize) -> NodeId {
+        self.vertices[i].lo()
+    }
+}
+
+/// `true` if `colors` is a proper node coloring of the adjacency structure
+/// (no two adjacent vertices share a color; uncolored vertices fail).
+pub fn is_proper_coloring(adj: &[Vec<u32>], colors: &[Option<u32>]) -> bool {
+    if colors.len() != adj.len() {
+        return false;
+    }
+    for (v, list) in adj.iter().enumerate() {
+        let Some(cv) = colors[v] else { return false };
+        for &w in list {
+            if colors[w as usize] == Some(cv) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// `true` if assigning `colors[i]` to edge `edges[i]` is a proper *edge*
+/// coloring (edges sharing an endpoint get distinct colors).
+pub fn is_proper_edge_coloring(edges: &[Edge], colors: &[Option<u32>]) -> bool {
+    let lg = LineGraph::of(edges);
+    let mut by_index = vec![None; lg.len()];
+    for (e, c) in edges.iter().zip(colors) {
+        if let Some(i) = lg.index_of(*e) {
+            by_index[i as usize] = *c;
+        }
+    }
+    is_proper_coloring(lg.adjacency(), &by_index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(a: u32, b: u32) -> Edge {
+        Edge::new(NodeId(a), NodeId(b))
+    }
+
+    #[test]
+    fn path_line_graph_is_path() {
+        // P4: edges (0,1),(1,2),(2,3) -> line graph is a path of 3 vertices.
+        let lg = LineGraph::of(&[e(0, 1), e(1, 2), e(2, 3)]);
+        assert_eq!(lg.len(), 3);
+        assert_eq!(lg.max_degree(), 2);
+        let i01 = lg.index_of(e(0, 1)).unwrap() as usize;
+        let i12 = lg.index_of(e(1, 2)).unwrap() as usize;
+        let i23 = lg.index_of(e(2, 3)).unwrap() as usize;
+        assert_eq!(lg.neighbors(i01), &[i12 as u32]);
+        assert_eq!(lg.neighbors(i12).len(), 2);
+        assert_eq!(lg.neighbors(i23), &[i12 as u32]);
+    }
+
+    #[test]
+    fn star_line_graph_is_clique() {
+        // Star K_{1,4}: all 4 edges share the hub -> K4.
+        let edges: Vec<Edge> = (1..=4).map(|l| e(0, l)).collect();
+        let lg = LineGraph::of(&edges);
+        assert_eq!(lg.len(), 4);
+        assert_eq!(lg.max_degree(), 3);
+        for i in 0..4 {
+            assert_eq!(lg.neighbors(i).len(), 3);
+        }
+    }
+
+    #[test]
+    fn triangle_line_graph_is_triangle() {
+        let lg = LineGraph::of(&[e(0, 1), e(1, 2), e(0, 2)]);
+        assert_eq!(lg.len(), 3);
+        for i in 0..3 {
+            assert_eq!(lg.neighbors(i).len(), 2);
+        }
+    }
+
+    #[test]
+    fn line_graph_degree_bound() {
+        // For max degree Δ in G, L(G) has max degree <= 2Δ - 2.
+        let edges = vec![e(0, 1), e(0, 2), e(0, 3), e(1, 4), e(1, 5)];
+        let lg = LineGraph::of(&edges);
+        // G max degree = 3 => bound 4; edge (0,1) touches all others.
+        assert_eq!(lg.max_degree(), 4);
+        let i01 = lg.index_of(e(0, 1)).unwrap() as usize;
+        assert_eq!(lg.neighbors(i01).len(), 4);
+    }
+
+    #[test]
+    fn simulator_is_min_endpoint() {
+        let lg = LineGraph::of(&[e(7, 2)]);
+        assert_eq!(lg.simulator(0), NodeId(2));
+    }
+
+    #[test]
+    fn proper_coloring_checks() {
+        let adj = vec![vec![1], vec![0, 2], vec![1]];
+        assert!(is_proper_coloring(&adj, &[Some(0), Some(1), Some(0)]));
+        assert!(!is_proper_coloring(&adj, &[Some(0), Some(0), Some(1)]));
+        assert!(!is_proper_coloring(&adj, &[Some(0), None, Some(1)]), "uncolored fails");
+        assert!(!is_proper_coloring(&adj, &[Some(0)]), "length mismatch fails");
+    }
+
+    #[test]
+    fn proper_edge_coloring_checks() {
+        let edges = vec![e(0, 1), e(1, 2), e(2, 3)];
+        assert!(is_proper_edge_coloring(&edges, &[Some(0), Some(1), Some(0)]));
+        assert!(!is_proper_edge_coloring(&edges, &[Some(0), Some(0), Some(1)]));
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let lg = LineGraph::of(&[e(0, 1), e(1, 0)]);
+        assert_eq!(lg.len(), 1);
+        assert!(lg.neighbors(0).is_empty());
+    }
+}

@@ -1,0 +1,297 @@
+//! The randomized node-coloring procedure of paper §5.2, an adaptation of
+//! Luby's algorithm \[13\].
+//!
+//! Each *phase* has two steps. Step 1: every active vertex flips a coin;
+//! with probability 1/2 it proposes a uniformly random color from its
+//! remaining palette, exchanges proposals with its neighbors, and keeps the
+//! color iff no active neighbor proposed the same one (conflicting
+//! proposers *both* withdraw). Step 2: vertices that kept a color announce
+//! it, become inactive, and their neighbors strike that color from their
+//! palettes. Lemma 8: with a `2Δ` palette on the line graph, all vertices
+//! decide within `O(lg n)` phases w.h.p.
+//!
+//! [`LubyNodeState`] holds the per-vertex decision logic. It is shared
+//! verbatim between the *pure* graph algorithm here ([`color_graph`], used
+//! for tests, the A3 ablation and experiment E7) and the *distributed*
+//! in-model execution inside CGCAST — so the two cannot drift apart.
+
+use crn_sim::bitset::BitSet;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Per-vertex state of the coloring procedure.
+#[derive(Debug, Clone)]
+pub struct LubyNodeState {
+    available: BitSet,
+    available_count: usize,
+    proposal: Option<u32>,
+    decided: Option<u32>,
+}
+
+impl LubyNodeState {
+    /// A fresh active vertex with the full `palette`-color plate.
+    pub fn new(palette: u32) -> LubyNodeState {
+        assert!(palette >= 1, "palette must be non-empty");
+        let mut available = BitSet::new(palette as usize);
+        for c in 0..palette as usize {
+            available.insert(c);
+        }
+        LubyNodeState {
+            available,
+            available_count: palette as usize,
+            proposal: None,
+            decided: None,
+        }
+    }
+
+    /// The decided color, once inactive.
+    pub fn decided(&self) -> Option<u32> {
+        self.decided
+    }
+
+    /// `true` while the vertex is still searching for a color.
+    pub fn is_active(&self) -> bool {
+        self.decided.is_none()
+    }
+
+    /// The current (step-1) proposal, if any.
+    pub fn proposal(&self) -> Option<u32> {
+        self.proposal
+    }
+
+    /// Number of palette colors still available.
+    pub fn available_count(&self) -> usize {
+        self.available_count
+    }
+
+    /// Step-1 opening move: with probability 1/2 propose a uniform random
+    /// available color. Returns the proposal. No-op (returns `None`) when
+    /// already decided.
+    ///
+    /// # Panics
+    /// Panics if an active vertex has run out of colors — impossible with a
+    /// `2Δ` palette on a line graph of max degree `2Δ − 2`, so reaching it
+    /// indicates a harness bug.
+    pub fn propose(&mut self, rng: &mut SmallRng) -> Option<u32> {
+        self.proposal = None;
+        if self.decided.is_some() {
+            return None;
+        }
+        assert!(
+            self.available_count > 0,
+            "active vertex with empty palette: palette too small for this graph"
+        );
+        if rng.gen_bool(0.5) {
+            let target = rng.gen_range(0..self.available_count);
+            let color = self
+                .available
+                .iter()
+                .nth(target)
+                .expect("available_count matches set bits") as u32;
+            self.proposal = Some(color);
+        }
+        self.proposal
+    }
+
+    /// Step-1 closing move: given all proposals of *adjacent active*
+    /// vertices, decide whether to keep the own proposal. Conflicting
+    /// proposals are withdrawn (symmetrically — the neighbor does the
+    /// same). Returns the decided color if the vertex just became inactive.
+    pub fn resolve(&mut self, neighbor_proposals: &[u32]) -> Option<u32> {
+        let own = self.proposal.take()?;
+        if neighbor_proposals.contains(&own) {
+            None
+        } else {
+            self.decided = Some(own);
+            // Once decided the palette is irrelevant.
+            Some(own)
+        }
+    }
+
+    /// Step-2 move: strike the colors decided by adjacent vertices from the
+    /// palette. Idempotent.
+    pub fn remove_colors(&mut self, decided_neighbor_colors: &[u32]) {
+        if self.decided.is_some() {
+            return;
+        }
+        for &c in decided_neighbor_colors {
+            if (c as usize) < self.available.len() && self.available.remove(c as usize) {
+                self.available_count -= 1;
+            }
+        }
+    }
+}
+
+/// Result of [`color_graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColoringResult {
+    /// Final color per vertex (`None` = still undecided at the phase cap).
+    pub colors: Vec<Option<u32>>,
+    /// Phases actually executed until quiescence (or the cap).
+    pub phases_used: u64,
+    /// `true` if every vertex decided.
+    pub complete: bool,
+}
+
+/// Runs the §5.2 coloring procedure on an explicit graph with perfect
+/// (oracle) message exchange — the pure counterpart of CGCAST's in-model
+/// execution. Stops early when all vertices have decided.
+pub fn color_graph(
+    adj: &[Vec<u32>],
+    palette: u32,
+    max_phases: u64,
+    rng: &mut SmallRng,
+) -> ColoringResult {
+    let n = adj.len();
+    let mut states: Vec<LubyNodeState> = (0..n).map(|_| LubyNodeState::new(palette)).collect();
+    let mut phases_used = 0;
+    for _phase in 0..max_phases {
+        if states.iter().all(|s| !s.is_active()) {
+            break;
+        }
+        phases_used += 1;
+        // Step 1: propose.
+        let proposals: Vec<Option<u32>> =
+            states.iter_mut().map(|s| s.propose(rng)).collect();
+        // Exchange proposals, resolve conflicts.
+        let mut newly_decided: Vec<Option<u32>> = vec![None; n];
+        for v in 0..n {
+            let neigh: Vec<u32> = adj[v]
+                .iter()
+                .filter_map(|&w| proposals[w as usize])
+                .collect();
+            newly_decided[v] = states[v].resolve(&neigh);
+        }
+        // Step 2: exchange decisions, strike colors.
+        for v in 0..n {
+            let decided: Vec<u32> = adj[v]
+                .iter()
+                .filter_map(|&w| newly_decided[w as usize])
+                .collect();
+            states[v].remove_colors(&decided);
+        }
+    }
+    let colors: Vec<Option<u32>> = states.iter().map(|s| s.decided()).collect();
+    let complete = colors.iter().all(Option::is_some);
+    ColoringResult { colors, phases_used, complete }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coloring::line_graph::{is_proper_coloring, LineGraph};
+    use crn_sim::rng::stream_rng;
+    use crn_sim::{Edge, NodeId};
+
+    #[test]
+    fn colors_a_path() {
+        let adj = vec![vec![1], vec![0, 2], vec![1, 3], vec![2]];
+        let mut rng = stream_rng(1, 0);
+        let res = color_graph(&adj, 4, 100, &mut rng);
+        assert!(res.complete);
+        assert!(is_proper_coloring(&adj, &res.colors));
+    }
+
+    #[test]
+    fn colors_a_clique_with_tight_palette() {
+        // K5 needs 5 colors; max degree 4, palette 2Δ = 8 is ample, but even
+        // 5 works (slower).
+        let n = 5usize;
+        let adj: Vec<Vec<u32>> = (0..n)
+            .map(|v| (0..n as u32).filter(|&w| w as usize != v).collect())
+            .collect();
+        let mut rng = stream_rng(2, 0);
+        let res = color_graph(&adj, 5, 500, &mut rng);
+        assert!(res.complete, "did not finish in 500 phases");
+        assert!(is_proper_coloring(&adj, &res.colors));
+    }
+
+    #[test]
+    fn line_graph_of_star_gets_valid_edge_coloring() {
+        let edges: Vec<Edge> = (1..=6).map(|l| Edge::new(NodeId(0), NodeId(l))).collect();
+        let lg = LineGraph::of(&edges);
+        let palette = 2 * 6; // 2Δ for Δ = 6
+        let mut rng = stream_rng(3, 0);
+        let res = color_graph(lg.adjacency(), palette as u32, 200, &mut rng);
+        assert!(res.complete);
+        assert!(is_proper_coloring(lg.adjacency(), &res.colors));
+        // Star: all edges adjacent, so all colors distinct.
+        let mut cs: Vec<u32> = res.colors.iter().map(|c| c.unwrap()).collect();
+        cs.sort_unstable();
+        cs.dedup();
+        assert_eq!(cs.len(), 6);
+    }
+
+    #[test]
+    fn phases_grow_logarithmically() {
+        // Sanity: coloring a large ring uses far fewer phases than vertices.
+        let n = 512usize;
+        let adj: Vec<Vec<u32>> = (0..n)
+            .map(|v| vec![((v + n - 1) % n) as u32, ((v + 1) % n) as u32])
+            .collect();
+        let mut rng = stream_rng(4, 0);
+        let res = color_graph(&adj, 4, 10_000, &mut rng);
+        assert!(res.complete);
+        assert!(is_proper_coloring(&adj, &res.colors));
+        assert!(
+            res.phases_used <= 60,
+            "expected O(lg n) phases, used {}",
+            res.phases_used
+        );
+    }
+
+    #[test]
+    fn isolated_vertices_decide_immediately() {
+        let adj = vec![vec![], vec![]];
+        let mut rng = stream_rng(5, 0);
+        let res = color_graph(&adj, 2, 100, &mut rng);
+        assert!(res.complete);
+        assert!(res.phases_used <= 20);
+    }
+
+    #[test]
+    fn state_machine_conflict_resolution() {
+        let mut rng = stream_rng(6, 0);
+        let mut a = LubyNodeState::new(4);
+        // Force a proposal by retrying the coin.
+        let mut own = None;
+        while own.is_none() {
+            own = a.propose(&mut rng);
+        }
+        let own = own.unwrap();
+        // Conflicting neighbor proposal: withdraw, stay active.
+        assert_eq!(a.resolve(&[own]), None);
+        assert!(a.is_active());
+        // Non-conflicting: decide.
+        let mut own2 = None;
+        while own2.is_none() {
+            own2 = a.propose(&mut rng);
+        }
+        let c = a.resolve(&[]).unwrap();
+        assert_eq!(a.decided(), Some(c));
+        assert!(!a.is_active());
+        // Post-decision proposals are no-ops.
+        assert_eq!(a.propose(&mut rng), None);
+    }
+
+    #[test]
+    fn remove_colors_shrinks_palette_idempotently() {
+        let mut s = LubyNodeState::new(4);
+        s.remove_colors(&[1, 2]);
+        assert_eq!(s.available_count(), 2);
+        s.remove_colors(&[1, 2]);
+        assert_eq!(s.available_count(), 2, "idempotent");
+        s.remove_colors(&[99]);
+        assert_eq!(s.available_count(), 2, "out-of-palette colors ignored");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let adj = vec![vec![1, 2], vec![0, 2], vec![0, 1]];
+        let mut r1 = stream_rng(9, 0);
+        let mut r2 = stream_rng(9, 0);
+        let a = color_graph(&adj, 6, 100, &mut r1);
+        let b = color_graph(&adj, 6, 100, &mut r2);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,15 @@
+//! Edge coloring via line-graph node coloring (paper §5.2).
+//!
+//! CGCAST needs a `2Δ` edge coloring of the network graph to build its
+//! dissemination schedule. The paper reduces this to node coloring of the
+//! line graph ([`line_graph`], Fact 7) and solves that with a Luby-style
+//! randomized procedure ([`luby`], Lemma 8). A centralized greedy baseline
+//! ([`greedy`]) serves as the ablation comparator.
+
+pub mod greedy;
+pub mod line_graph;
+pub mod luby;
+
+pub use greedy::{greedy_edge_coloring, palette_size};
+pub use line_graph::{is_proper_coloring, is_proper_edge_coloring, LineGraph};
+pub use luby::{color_graph, ColoringResult, LubyNodeState};

@@ -1,0 +1,149 @@
+//! Common types and ground-truth checkers for neighbor discovery.
+
+use crn_sim::{Engine, LocalChannel, Network, NodeId, Protocol};
+
+/// Result of running a neighbor-discovery protocol at one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiscoveryOutput {
+    /// The node that produced this output.
+    pub id: NodeId,
+    /// Discovered neighbor identities, sorted.
+    pub neighbors: Vec<NodeId>,
+    /// For each discovered neighbor, the slot in which it was heard first.
+    /// Sorted by neighbor id. (CGCAST uses these to agree on dedicated
+    /// channels, paper §5.2.)
+    pub first_heard: Vec<(NodeId, u64)>,
+    /// Accumulated density estimates per local channel (CSEEK part one).
+    /// Empty for protocols that do not sample densities.
+    pub counts: Vec<u64>,
+    /// The local channel this node was tuned to in every slot, when history
+    /// recording was requested (needed by CGCAST's dedicated-channel rule).
+    pub history: Option<Vec<LocalChannel>>,
+}
+
+/// Implemented by discovery protocols so generic probes and harnesses can
+/// observe progress mid-run.
+pub trait DiscoveryProtocol: Protocol {
+    /// How many distinct neighbors have been heard so far.
+    fn discovered_count(&self) -> usize;
+    /// Whether `v` has been heard so far.
+    fn has_discovered(&self, v: NodeId) -> bool;
+}
+
+/// Ground truth: `true` when every node has discovered *all* of its
+/// neighbors (the neighbor-discovery success condition, §1).
+pub fn all_discovered<P: DiscoveryProtocol>(net: &Network, eng: &Engine<'_, P>) -> bool {
+    let mut ok = true;
+    eng.for_each_protocol(|v, p| {
+        if p.discovered_count() < net.degree(v) {
+            ok = false;
+        }
+    });
+    ok
+}
+
+/// Ground truth for k̂-neighbor discovery: `true` when every node has
+/// discovered at least all neighbors sharing ≥ `khat` channels with it
+/// (the k̂-neighbor-discovery success condition, §4.4).
+pub fn all_good_discovered<P: DiscoveryProtocol>(
+    net: &Network,
+    eng: &Engine<'_, P>,
+    khat: usize,
+) -> bool {
+    let mut ok = true;
+    eng.for_each_protocol(|v, p| {
+        if !ok {
+            return;
+        }
+        for w in net.good_neighbors(v, khat) {
+            if !p.has_discovered(w) {
+                ok = false;
+                return;
+            }
+        }
+    });
+    ok
+}
+
+/// Soundness check on final outputs: every reported neighbor really is a
+/// neighbor. The model makes this automatic (only neighbors are audible),
+/// so a violation indicates a simulator bug.
+pub fn outputs_sound(net: &Network, outputs: &[DiscoveryOutput]) -> bool {
+    outputs.iter().all(|o| {
+        o.neighbors.iter().all(|&w| net.are_neighbors(o.id, w))
+            && o.neighbors.windows(2).all(|w| w[0] < w[1])
+    })
+}
+
+/// Completeness check on final outputs: every true neighbor was reported.
+pub fn outputs_complete(net: &Network, outputs: &[DiscoveryOutput]) -> bool {
+    outputs.iter().all(|o| {
+        net.neighbors(o.id).all(|w| o.neighbors.binary_search(&w).is_ok())
+    })
+}
+
+/// Completeness restricted to `khat`-good neighbors.
+pub fn outputs_khat_complete(net: &Network, outputs: &[DiscoveryOutput], khat: usize) -> bool {
+    outputs.iter().all(|o| {
+        net.good_neighbors(o.id, khat)
+            .iter()
+            .all(|w| o.neighbors.binary_search(w).is_ok())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crn_sim::GlobalChannel;
+
+    fn tiny_net() -> Network {
+        let mut b = Network::builder(3);
+        b.set_channels(NodeId(0), vec![GlobalChannel(0), GlobalChannel(1)]);
+        b.set_channels(NodeId(1), vec![GlobalChannel(0), GlobalChannel(1)]);
+        b.set_channels(NodeId(2), vec![GlobalChannel(0), GlobalChannel(9)]);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(0), NodeId(2));
+        b.build().unwrap()
+    }
+
+    fn out(id: u32, neighbors: &[u32]) -> DiscoveryOutput {
+        DiscoveryOutput {
+            id: NodeId(id),
+            neighbors: neighbors.iter().map(|&v| NodeId(v)).collect(),
+            first_heard: Vec::new(),
+            counts: Vec::new(),
+            history: None,
+        }
+    }
+
+    #[test]
+    fn soundness_accepts_true_neighbors() {
+        let net = tiny_net();
+        let outs = vec![out(0, &[1, 2]), out(1, &[0]), out(2, &[0])];
+        assert!(outputs_sound(&net, &outs));
+        assert!(outputs_complete(&net, &outs));
+    }
+
+    #[test]
+    fn soundness_rejects_non_neighbors() {
+        let net = tiny_net();
+        let outs = vec![out(1, &[2])]; // 1 and 2 are not neighbors
+        assert!(!outputs_sound(&net, &outs));
+    }
+
+    #[test]
+    fn completeness_detects_missing() {
+        let net = tiny_net();
+        let outs = vec![out(0, &[1]), out(1, &[0]), out(2, &[0])];
+        assert!(!outputs_complete(&net, &outs));
+    }
+
+    #[test]
+    fn khat_completeness_only_requires_good_neighbors() {
+        let net = tiny_net();
+        // Node 0 shares 2 channels with node 1 but only 1 with node 2.
+        let outs = vec![out(0, &[1]), out(1, &[0]), out(2, &[])];
+        assert!(outputs_khat_complete(&net, &outs, 2));
+        assert!(!outputs_khat_complete(&net, &outs, 1));
+    }
+}

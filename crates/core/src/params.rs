@@ -1,0 +1,425 @@
+//! Protocol parameters and schedule derivation.
+//!
+//! The paper specifies schedules asymptotically (`Θ((c²/k)·lg n)` steps,
+//! `Θ(lg n)`-slot rounds, …). A runnable implementation must pick the hidden
+//! constants. All of them live here, are documented, and are configurable —
+//! the experiment harness sweeps several of them (ablation A2) to show how
+//! the guarantees depend on them.
+//!
+//! Every schedule derived here is a deterministic function of the *globally
+//! known* model parameters (`n`, `c`, `Δ`, `k`, `kmax`), so all nodes compute
+//! identical schedules and stay in lockstep, exactly as the paper assumes.
+
+/// Globally-known model parameters (common knowledge at every node, as
+/// assumed throughout the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelInfo {
+    /// Number of nodes `n` (or a polynomial upper bound).
+    pub n: usize,
+    /// Channels per node `c`.
+    pub c: usize,
+    /// Maximum degree `Δ`.
+    pub delta: usize,
+    /// Minimum pairwise overlap `k ≥ 1`.
+    pub k: usize,
+    /// Maximum pairwise overlap `kmax ≤ c`.
+    pub kmax: usize,
+}
+
+impl ModelInfo {
+    /// The paper's `lg n` factor, floored at `log₂ 32 = 5`.
+    ///
+    /// The floor encodes the usual "w.h.p. in `n`" small-print: for tiny
+    /// networks a guarantee of `1 − 1/n` is vacuous, so we size schedules
+    /// as if `n ≥ 32`, giving every run a failure probability of roughly
+    /// `n⁻¹`-at-`n=32` or better regardless of the actual `n`.
+    pub fn lg_n(&self) -> f64 {
+        ((self.n.max(32)) as f64).log2()
+    }
+
+    /// `⌈log₂ Δ⌉`, at least 1 — the paper's `lg Δ` factor (length of
+    /// back-off sequences and number of COUNT rounds).
+    pub fn lg_delta(&self) -> u32 {
+        let d = self.delta.max(2);
+        (usize::BITS - (d - 1).leading_zeros()).max(1)
+    }
+
+    /// Validates internal consistency (`1 ≤ k ≤ kmax ≤ c`, `n ≥ 1`).
+    ///
+    /// # Panics
+    /// Panics with a descriptive message when inconsistent.
+    pub fn validate(&self) {
+        assert!(self.n >= 1, "n must be positive");
+        assert!(self.c >= 1, "c must be positive");
+        assert!(self.k >= 1, "k must be at least 1 (neighbors share a channel)");
+        assert!(self.k <= self.kmax, "k must not exceed kmax");
+        assert!(self.kmax <= self.c, "kmax cannot exceed c");
+        assert!(self.delta >= 1, "delta must be at least 1");
+    }
+
+    /// Constructs a `ModelInfo` from measured network statistics.
+    pub fn from_stats(stats: &crn_sim::NetworkStats) -> ModelInfo {
+        ModelInfo {
+            n: stats.n,
+            c: stats.c,
+            delta: stats.delta,
+            k: stats.k,
+            kmax: stats.kmax,
+        }
+    }
+}
+
+/// Constants of the COUNT procedure (paper §4.1 and Appendix A).
+///
+/// COUNT runs `lg Δ` rounds of `round_len` slots. In round `i` (1-based)
+/// each broadcaster transmits with probability `1/2^(i−1)`; the listener
+/// adopts estimate `2^(i+1)` at the first round whose heard-fraction exceeds
+/// `threshold`.
+///
+/// **Constant calibration.** The paper uses threshold `(1+δ)·8e⁻⁷ ≈ 0.0074`
+/// with round length `a·lg n` for a large constant `a`, chosen to make the
+/// Chernoff bounds in Appendix A go through for *every* `n`. For a runnable
+/// system that is needlessly conservative: the real separation is between a
+/// noise fraction of `≤ 8·exp(−8) ≈ 0.0027` (estimate ≤ m/8) and a signal
+/// fraction of `≥ 2·exp(−2) ≈ 0.27` (estimate ∈ [m/2, m]). We place the
+/// threshold between them (default 0.08) which lets `a` be small. Experiment
+/// A2 sweeps `round_len_factor` to show the resulting accuracy/cost
+/// trade-off; E1 verifies the `[m, 4m]` guarantee at the defaults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CountParams {
+    /// Round length is `max(min_round_len, ⌈round_len_factor · lg n⌉)`.
+    pub round_len_factor: f64,
+    /// Floor on the round length in slots.
+    pub min_round_len: u32,
+    /// Fraction of heard slots in a round that triggers the estimate.
+    pub threshold: f64,
+}
+
+impl Default for CountParams {
+    fn default() -> Self {
+        CountParams {
+            round_len_factor: 4.0,
+            min_round_len: 24,
+            threshold: 0.08,
+        }
+    }
+}
+
+impl CountParams {
+    /// Concrete COUNT schedule for model `m`.
+    pub fn schedule(&self, m: &ModelInfo) -> CountSchedule {
+        assert!(self.threshold > 0.0 && self.threshold < 1.0, "threshold must be in (0,1)");
+        let round_len = ((self.round_len_factor * m.lg_n()).ceil() as u32).max(self.min_round_len).max(1);
+        CountSchedule {
+            rounds: m.lg_delta(),
+            round_len,
+            threshold_count: ((self.threshold * round_len as f64).ceil() as u32).max(1),
+        }
+    }
+}
+
+/// A concrete COUNT schedule (identical at every node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountSchedule {
+    /// Number of doubling rounds (`⌈lg Δ⌉`).
+    pub rounds: u32,
+    /// Slots per round (`Θ(lg n)`).
+    pub round_len: u32,
+    /// A round triggers when strictly more than this many messages are
+    /// heard in it.
+    pub threshold_count: u32,
+}
+
+impl CountSchedule {
+    /// Total slots of one COUNT execution: `rounds · round_len`
+    /// (= `O(lg² n)`, Lemma 1).
+    pub fn total_slots(&self) -> u64 {
+        self.rounds as u64 * self.round_len as u64
+    }
+}
+
+/// Constants of the CSEEK neighbor-discovery algorithm (paper §4.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeekParams {
+    /// Part one runs `⌈part1_factor · (c²/k) · lg n⌉` steps (each a COUNT).
+    pub part1_factor: f64,
+    /// Part two runs `⌈part2_factor · (kmax/k) · Δ · lg n⌉` steps (each
+    /// `lg Δ` slots).
+    pub part2_factor: f64,
+    /// COUNT constants used inside part-one steps.
+    pub count: CountParams,
+    /// Ablation A1: when `true`, part-two listeners pick channels uniformly
+    /// instead of density-weighted — removing the paper's key idea.
+    pub uniform_listener: bool,
+}
+
+impl Default for SeekParams {
+    fn default() -> Self {
+        SeekParams {
+            part1_factor: 6.0,
+            part2_factor: 6.0,
+            count: CountParams::default(),
+            uniform_listener: false,
+        }
+    }
+}
+
+impl SeekParams {
+    /// Concrete CSEEK schedule for model `m` (Theorem 4 shape).
+    pub fn schedule(&self, m: &ModelInfo) -> SeekSchedule {
+        m.validate();
+        let c = m.c as f64;
+        let part1 = (self.part1_factor * c * c / m.k as f64 * m.lg_n()).ceil() as u64;
+        let part2 = (self.part2_factor * (m.kmax as f64 / m.k as f64) * m.delta as f64 * m.lg_n())
+            .ceil() as u64;
+        SeekSchedule {
+            c: m.c as u16,
+            part1_steps: part1.max(1),
+            part2_steps: part2.max(1),
+            count: self.count.schedule(m),
+            part2_slots_per_step: m.lg_delta(),
+            uniform_listener: self.uniform_listener,
+        }
+    }
+
+    /// Concrete CKSEEK schedule for the k̂-neighbor-discovery problem
+    /// (Theorem 6). `delta_khat` is the bound `Δ_k̂` on good-neighbor
+    /// degree; pass `None` when no estimate is available, which lengthens
+    /// part two to `Θ(((kmax/k̂)·Δ + c)·lg n)` steps as the paper suggests.
+    pub fn kseek_schedule(&self, m: &ModelInfo, khat: usize, delta_khat: Option<usize>) -> SeekSchedule {
+        m.validate();
+        assert!(khat >= m.k, "khat must be at least k");
+        assert!(khat <= m.kmax, "khat above kmax finds no one");
+        let c = m.c as f64;
+        let kh = khat as f64;
+        let part1 = (self.part1_factor * c * c / kh * m.lg_n()).ceil() as u64;
+        let ratio = m.kmax as f64 / kh;
+        let inner = match delta_khat {
+            Some(dk) => ratio * dk as f64 + m.delta as f64 + c,
+            None => ratio * m.delta as f64 + c,
+        };
+        let part2 = (self.part2_factor * inner * m.lg_n()).ceil() as u64;
+        SeekSchedule {
+            c: m.c as u16,
+            part1_steps: part1.max(1),
+            part2_steps: part2.max(1),
+            count: self.count.schedule(m),
+            part2_slots_per_step: m.lg_delta(),
+            uniform_listener: self.uniform_listener,
+        }
+    }
+}
+
+/// A concrete CSEEK/CKSEEK schedule: identical at every node, so the
+/// network stays slot-synchronized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeekSchedule {
+    /// Channels per node.
+    pub c: u16,
+    /// Steps in part one (each one COUNT execution long).
+    pub part1_steps: u64,
+    /// Steps in part two.
+    pub part2_steps: u64,
+    /// The COUNT schedule run within each part-one step.
+    pub count: CountSchedule,
+    /// Slots per part-two step (`lg Δ`, the back-off sequence length).
+    pub part2_slots_per_step: u32,
+    /// Ablation: uniform instead of density-weighted listener channels in
+    /// part two.
+    pub uniform_listener: bool,
+}
+
+impl SeekSchedule {
+    /// Total slots of one full CSEEK execution
+    /// (`O((c²/k)·lg³n + (kmax/k)·Δ·lg²n)`, Theorem 4).
+    pub fn total_slots(&self) -> u64 {
+        self.part1_steps * self.count.total_slots()
+            + self.part2_steps * self.part2_slots_per_step as u64
+    }
+}
+
+/// Constants of the CGCAST global-broadcast algorithm (paper §5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GcastParams {
+    /// Parameters of the embedded CSEEK runs (discovery and all message
+    /// exchanges).
+    pub seek: SeekParams,
+    /// The node-coloring procedure runs `⌈coloring_phase_factor·lg n⌉`
+    /// phases (paper: `Θ(lg n)`).
+    pub coloring_phase_factor: f64,
+    /// Each dissemination step runs `⌈dissem_round_factor·lg n⌉` back-off
+    /// rounds (paper: `Θ(lg n)`).
+    pub dissem_round_factor: f64,
+    /// Number of dissemination phases — the paper uses the diameter `D`
+    /// (assumed known; `n − 1` is always a safe upper bound).
+    pub dissemination_phases: u64,
+}
+
+impl Default for GcastParams {
+    fn default() -> Self {
+        GcastParams {
+            seek: SeekParams::default(),
+            coloring_phase_factor: 3.0,
+            dissem_round_factor: 2.0,
+            dissemination_phases: 1,
+        }
+    }
+}
+
+impl GcastParams {
+    /// Concrete CGCAST schedule for model `m`.
+    pub fn schedule(&self, m: &ModelInfo) -> GcastSchedule {
+        let seek = self.seek.schedule(m);
+        let coloring_phases = ((self.coloring_phase_factor * m.lg_n()).ceil() as u64).max(1);
+        let dissem_rounds = ((self.dissem_round_factor * m.lg_n()).ceil() as u64).max(1);
+        GcastSchedule {
+            seek,
+            coloring_phases,
+            palette: 2 * m.delta.max(1) as u32,
+            dissem_phases: self.dissemination_phases.max(1),
+            dissem_rounds,
+            dissem_slots_per_round: m.lg_delta(),
+        }
+    }
+}
+
+/// A concrete CGCAST schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcastSchedule {
+    /// Schedule of every embedded CSEEK run.
+    pub seek: SeekSchedule,
+    /// Number of coloring phases (`Θ(lg n)`).
+    pub coloring_phases: u64,
+    /// Color palette size (`2Δ`, Lemma 8 / Fact 7).
+    pub palette: u32,
+    /// Dissemination phases (the paper's `D`).
+    pub dissem_phases: u64,
+    /// Back-off rounds per dissemination step (`Θ(lg n)`).
+    pub dissem_rounds: u64,
+    /// Slots per back-off round (`lg Δ`).
+    pub dissem_slots_per_round: u32,
+}
+
+impl GcastSchedule {
+    /// Slots of one embedded CSEEK run.
+    pub fn seek_slots(&self) -> u64 {
+        self.seek.total_slots()
+    }
+
+    /// Slots of the whole coloring stage: `phases · 2 steps · 2 seek runs`.
+    pub fn coloring_slots(&self) -> u64 {
+        self.coloring_phases * 2 * 2 * self.seek_slots()
+    }
+
+    /// Slots of one dissemination step.
+    pub fn dissem_step_slots(&self) -> u64 {
+        self.dissem_rounds * self.dissem_slots_per_round as u64
+    }
+
+    /// Slots of the dissemination stage: `D · 2Δ steps · step length`
+    /// (= `O(D·Δ·lg²n)`, paper §5.2).
+    pub fn dissemination_slots(&self) -> u64 {
+        self.dissem_phases * self.palette as u64 * self.dissem_step_slots()
+    }
+
+    /// Total CGCAST length: discovery + meta exchange + coloring + final
+    /// color-inform run + dissemination (Theorem 9 shape).
+    pub fn total_slots(&self) -> u64 {
+        2 * self.seek_slots() + self.coloring_slots() + self.seek_slots()
+            + self.dissemination_slots()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ModelInfo {
+        ModelInfo { n: 64, c: 8, delta: 8, k: 2, kmax: 4 }
+    }
+
+    #[test]
+    fn lg_helpers() {
+        let m = model();
+        assert_eq!(m.lg_n(), 6.0);
+        assert_eq!(m.lg_delta(), 3);
+        let m1 = ModelInfo { n: 1, c: 1, delta: 1, k: 1, kmax: 1 };
+        assert_eq!(m1.lg_n(), 5.0, "lg n floored at log2(32)");
+        assert_eq!(m1.lg_delta(), 1);
+    }
+
+    #[test]
+    fn count_schedule_dimensions() {
+        let m = model();
+        let s = CountParams::default().schedule(&m);
+        assert_eq!(s.rounds, 3);
+        assert_eq!(s.round_len, 24); // max(min 24, 4·6)
+        assert_eq!(s.total_slots(), 72);
+        assert!(s.threshold_count >= 1);
+    }
+
+    #[test]
+    fn seek_schedule_scales_with_c_squared_over_k() {
+        let p = SeekParams::default();
+        let base = p.schedule(&model());
+        let double_c = p.schedule(&ModelInfo { c: 16, kmax: 4, ..model() });
+        // part1 steps should scale by 4 when c doubles.
+        assert_eq!(double_c.part1_steps, base.part1_steps * 4);
+        let double_k = p.schedule(&ModelInfo { k: 4, ..model() });
+        assert_eq!(double_k.part1_steps, base.part1_steps / 2);
+    }
+
+    #[test]
+    fn seek_part2_scales_with_delta_and_kmax_ratio() {
+        let p = SeekParams::default();
+        let base = p.schedule(&model());
+        let double_delta = p.schedule(&ModelInfo { delta: 16, ..model() });
+        assert_eq!(double_delta.part2_steps, base.part2_steps * 2);
+        let double_kmax = p.schedule(&ModelInfo { kmax: 8, ..model() });
+        assert_eq!(double_kmax.part2_steps, base.part2_steps * 2);
+    }
+
+    #[test]
+    fn kseek_is_shorter_for_larger_khat() {
+        let p = SeekParams::default();
+        let m = model();
+        let s_k = p.kseek_schedule(&m, 2, None);
+        let s_khat = p.kseek_schedule(&m, 4, Some(2));
+        assert!(s_khat.part1_steps < s_k.part1_steps);
+        assert!(s_khat.total_slots() < s_k.total_slots());
+    }
+
+    #[test]
+    #[should_panic(expected = "khat must be at least k")]
+    fn kseek_rejects_small_khat() {
+        let _ = SeekParams::default().kseek_schedule(&model(), 1, None);
+    }
+
+    #[test]
+    fn gcast_schedule_composition() {
+        let m = model();
+        let g = GcastParams { dissemination_phases: 5, ..Default::default() }.schedule(&m);
+        assert_eq!(g.palette, 16);
+        assert_eq!(g.coloring_phases, 18);
+        assert_eq!(
+            g.total_slots(),
+            3 * g.seek_slots() + g.coloring_slots() + g.dissemination_slots()
+        );
+        assert_eq!(g.dissemination_slots(), 5 * 16 * g.dissem_step_slots());
+    }
+
+    #[test]
+    #[should_panic(expected = "kmax cannot exceed c")]
+    fn model_validation_catches_bad_kmax() {
+        ModelInfo { n: 4, c: 2, delta: 2, k: 1, kmax: 3 }.validate();
+    }
+
+    #[test]
+    fn schedules_are_deterministic_across_nodes() {
+        // Two "nodes" computing the schedule from the same public info must
+        // agree exactly — this is what keeps the network in lockstep.
+        let a = SeekParams::default().schedule(&model());
+        let b = SeekParams::default().schedule(&model());
+        assert_eq!(a, b);
+    }
+}

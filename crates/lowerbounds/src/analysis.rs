@@ -1,0 +1,78 @@
+//! Closed-form bounds from §6, for comparing measured player performance
+//! against theory in experiment E9.
+
+/// The Lemma 10 lower bound on rounds to win the (c,k)-bipartite hitting
+/// game with probability ≥ 1/2: `c²/(α·k)` with `α = 2(β/(β−1))²` for
+/// `β = c/k ≥ 2`. For `k > c/2` the Lemma 12 bound `c/3` applies instead;
+/// this function returns whichever is relevant.
+pub fn hitting_game_lower_bound(c: usize, k: usize) -> f64 {
+    assert!(k >= 1 && k <= c, "need 1 <= k <= c");
+    let cf = c as f64;
+    let kf = k as f64;
+    if kf <= cf / 2.0 {
+        let beta = cf / kf; // >= 2
+        let alpha = 2.0 * (beta / (beta - 1.0)).powi(2); // in (2, 8]
+        cf * cf / (alpha * kf)
+    } else {
+        cf / 3.0
+    }
+}
+
+/// Expected rounds for the uniform random player: each guess hits with
+/// probability `k/c²`, so the expectation is `c²/k` (geometric).
+pub fn uniform_player_expected_rounds(c: usize, k: usize) -> f64 {
+    assert!(k >= 1 && k <= c, "need 1 <= k <= c");
+    (c * c) as f64 / k as f64
+}
+
+/// The Theorem 13 discovery lower bound `Ω(c²/k + Δ)` with unit constants —
+/// used as the reference curve in plots.
+pub fn discovery_lower_bound(c: usize, k: usize, delta: usize) -> f64 {
+    hitting_game_lower_bound(c, k) + delta as f64
+}
+
+/// The Theorem 14 broadcast lower bound `Ω(c²/k + D·min{c,Δ})` with unit
+/// constants.
+pub fn broadcast_lower_bound(c: usize, k: usize, delta: usize, diameter: u64) -> f64 {
+    hitting_game_lower_bound(c, k) + diameter as f64 * c.min(delta) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_is_in_range() {
+        // β = 2 gives α = 8 (the loosest constant the paper states).
+        let lb = hitting_game_lower_bound(8, 4);
+        assert!((lb - 64.0 / (8.0 * 4.0)).abs() < 1e-12);
+        // β large => α -> 2.
+        let lb2 = hitting_game_lower_bound(1000, 1);
+        let alpha = 1000.0 * 1000.0 / lb2;
+        assert!(alpha > 2.0 && alpha < 2.01);
+    }
+
+    #[test]
+    fn large_k_uses_complete_game_bound() {
+        assert!((hitting_game_lower_bound(9, 8) - 3.0).abs() < 1e-12);
+        assert!((hitting_game_lower_bound(9, 9) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_bound_below_uniform_expectation() {
+        for (c, k) in [(8, 1), (8, 2), (16, 4), (32, 8)] {
+            assert!(
+                hitting_game_lower_bound(c, k) < uniform_player_expected_rounds(c, k),
+                "LB must lie below the achievable expectation for c={c}, k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn composite_bounds_add_terms() {
+        let d = discovery_lower_bound(8, 2, 10);
+        assert!(d > hitting_game_lower_bound(8, 2));
+        let b = broadcast_lower_bound(8, 2, 4, 5);
+        assert!((b - (hitting_game_lower_bound(8, 2) + 20.0)).abs() < 1e-12);
+    }
+}

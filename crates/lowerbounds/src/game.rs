@@ -1,0 +1,179 @@
+//! The bipartite hitting games of paper §6.
+//!
+//! **(c,k)-bipartite hitting** (used for `k ≤ c/2`, Lemma 10): the referee
+//! privately picks a matching `M` of size `k` in the complete bipartite
+//! graph on `(A, B)` with `|A| = |B| = c`. Each round the player proposes
+//! one edge; it wins when the edge is in `M`. Any player that wins with
+//! probability ≥ 1/2 needs `≥ c²/(αk)` rounds, `2 < α ≤ 8`.
+//!
+//! **c-complete bipartite hitting** (used for `k > c/2`, Lemma 12): the
+//! referee picks a *maximum* (perfect) matching; winning takes ≥ `c/3`
+//! rounds. It is the `k = c` case of the general game, so one type covers
+//! both.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+
+/// One instance of the (c,k)-bipartite hitting game, refereed privately.
+#[derive(Debug, Clone)]
+pub struct HittingGame {
+    c: usize,
+    k: usize,
+    /// `matched[a] = Some(b)` iff `(a_a, b_b) ∈ M`.
+    matched: Vec<Option<u32>>,
+    rounds: u64,
+    won: bool,
+}
+
+impl HittingGame {
+    /// The referee picks a uniformly random `k`-matching on `(A, B)`.
+    ///
+    /// # Panics
+    /// Panics unless `1 ≤ k ≤ c`.
+    pub fn new(c: usize, k: usize, rng: &mut SmallRng) -> HittingGame {
+        assert!(k >= 1 && k <= c, "need 1 <= k <= c");
+        // Random k-matching: pick k distinct A-vertices and k distinct
+        // B-vertices, pair them up by a random bijection.
+        let mut a_side: Vec<u32> = (0..c as u32).collect();
+        let mut b_side: Vec<u32> = (0..c as u32).collect();
+        a_side.shuffle(rng);
+        b_side.shuffle(rng);
+        let mut matched = vec![None; c];
+        for i in 0..k {
+            matched[a_side[i] as usize] = Some(b_side[i]);
+        }
+        HittingGame { c, k, matched, rounds: 0, won: false }
+    }
+
+    /// The `c`-complete game of Lemma 12: a random maximum matching.
+    pub fn complete(c: usize, rng: &mut SmallRng) -> HittingGame {
+        HittingGame::new(c, c, rng)
+    }
+
+    /// A referee with a fixed matching, for deterministic tests. `pairs`
+    /// are `(a, b)` edges and must form a matching.
+    ///
+    /// # Panics
+    /// Panics if `pairs` is not a matching on `(0..c, 0..c)`.
+    pub fn with_matching(c: usize, pairs: &[(u32, u32)]) -> HittingGame {
+        assert!(!pairs.is_empty() && pairs.len() <= c, "need 1 <= |M| <= c");
+        let mut matched = vec![None; c];
+        let mut b_used = vec![false; c];
+        for &(a, b) in pairs {
+            assert!((a as usize) < c && (b as usize) < c, "edge out of range");
+            assert!(matched[a as usize].is_none(), "A-vertex {a} used twice");
+            assert!(!b_used[b as usize], "B-vertex {b} used twice");
+            matched[a as usize] = Some(b);
+            b_used[b as usize] = true;
+        }
+        HittingGame { c, k: pairs.len(), matched, rounds: 0, won: false }
+    }
+
+    /// Board size `c`.
+    pub fn c(&self) -> usize {
+        self.c
+    }
+
+    /// Matching size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Rounds played so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// `true` once the player has hit a matching edge.
+    pub fn is_won(&self) -> bool {
+        self.won
+    }
+
+    /// The player proposes edge `(a, b)`. Returns `true` on a win. Further
+    /// proposals after a win are ignored (and not counted).
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range.
+    pub fn propose(&mut self, a: u32, b: u32) -> bool {
+        assert!((a as usize) < self.c && (b as usize) < self.c, "edge ({a},{b}) out of range");
+        if self.won {
+            return true;
+        }
+        self.rounds += 1;
+        if self.matched[a as usize] == Some(b) {
+            self.won = true;
+        }
+        self.won
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crn_sim::rng::stream_rng;
+
+    #[test]
+    fn fixed_matching_game() {
+        let mut g = HittingGame::with_matching(3, &[(0, 1), (2, 0)]);
+        assert_eq!(g.k(), 2);
+        assert!(!g.propose(0, 0));
+        assert!(!g.propose(1, 1));
+        assert!(g.propose(0, 1));
+        assert!(g.is_won());
+        assert_eq!(g.rounds(), 3);
+        // Post-win proposals don't count rounds.
+        assert!(g.propose(2, 2));
+        assert_eq!(g.rounds(), 3);
+    }
+
+    #[test]
+    fn random_matching_has_k_edges() {
+        let mut rng = stream_rng(1, 0);
+        for k in [1usize, 3, 8] {
+            let g = HittingGame::new(8, k, &mut rng);
+            let edges = g.matched.iter().filter(|m| m.is_some()).count();
+            assert_eq!(edges, k);
+            // B-side endpoints distinct.
+            let mut bs: Vec<u32> = g.matched.iter().flatten().copied().collect();
+            bs.sort_unstable();
+            bs.dedup();
+            assert_eq!(bs.len(), k);
+        }
+    }
+
+    #[test]
+    fn complete_game_is_perfect_matching() {
+        let mut rng = stream_rng(2, 0);
+        let g = HittingGame::complete(5, &mut rng);
+        assert_eq!(g.k(), 5);
+        assert!(g.matched.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn exhaustive_scan_always_wins_within_c_squared() {
+        let mut rng = stream_rng(3, 0);
+        let mut g = HittingGame::new(6, 2, &mut rng);
+        'outer: for a in 0..6u32 {
+            for b in 0..6u32 {
+                if g.propose(a, b) {
+                    break 'outer;
+                }
+            }
+        }
+        assert!(g.is_won());
+        assert!(g.rounds() <= 36);
+    }
+
+    #[test]
+    #[should_panic(expected = "A-vertex 0 used twice")]
+    fn with_matching_rejects_non_matching() {
+        let _ = HittingGame::with_matching(3, &[(0, 1), (0, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn propose_validates_range() {
+        let mut g = HittingGame::with_matching(2, &[(0, 0)]);
+        let _ = g.propose(5, 0);
+    }
+}

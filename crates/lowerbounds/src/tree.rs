@@ -1,0 +1,263 @@
+//! The Ω(D·min{c,Δ}) broadcast lower-bound scenario of Theorem 14.
+//!
+//! The hard instance is a complete tree where each non-leaf node has
+//! `min{c, Δ} − 1` children and *siblings share no channels*: a parent can
+//! inform at most one child per slot, so every level costs
+//! `Θ(min{c, Δ})` slots and the full broadcast costs `Ω(D·min{c,Δ})`.
+//!
+//! [`lower_bound_tree`] builds the network; [`OracleTreeBroadcast`] is an
+//! omniscient scheduler (it knows the topology and the shared channels) that
+//! attains the bound, witnessing its tightness: *no* algorithm — CGCAST
+//! included — can beat the oracle on this instance.
+
+use crn_sim::{Action, Feedback, GlobalChannel, LocalChannel, Network, NetworkError, NodeId, Protocol, SlotCtx};
+
+/// Builds the Theorem 14 tree: `depth` levels below the root, branching
+/// factor `b = min(c, delta) − 1`, every child sharing exactly one channel
+/// with its parent and none with its siblings (`k = kmax = 1`).
+///
+/// Channel layout: each node gets `c` channels. Channel slot 0..b−1 of a
+/// parent are its "downlinks"; child `j` shares downlink `j` as its own
+/// channel slot `c−1` ("uplink"), with all other channels private.
+///
+/// # Errors
+/// Propagates [`NetworkError`] from the builder (cannot happen for valid
+/// parameters).
+///
+/// # Panics
+/// Panics if `c < 2` or `delta < 2` (the tree needs at least one child and
+/// one uplink).
+pub fn lower_bound_tree(c: usize, delta: usize, depth: usize) -> Result<Network, NetworkError> {
+    assert!(c >= 2 && delta >= 2, "tree needs c >= 2 and delta >= 2");
+    let b = c.min(delta) - 1;
+    // Node count of a complete b-ary tree of the given depth.
+    let mut n = 1usize;
+    let mut level = 1usize;
+    for _ in 0..depth {
+        level *= b;
+        n += level;
+    }
+    let mut builder = Network::builder(n);
+    let mut next_channel = 0u32;
+    // Assign each node its channel list; downlinks are created when the
+    // node is processed as a parent, so allocate lazily: we fill the root's
+    // channels first, then walk level by level.
+    let mut channels: Vec<Vec<GlobalChannel>> = vec![Vec::new(); n];
+    // Root: c fresh channels.
+    for _ in 0..c {
+        channels[0].push(GlobalChannel(next_channel));
+        next_channel += 1;
+    }
+    // Heap layout: children of v are b*v + 1 ..= b*v + b.
+    for v in 0..n {
+        for j in 0..b {
+            let child = b * v + 1 + j;
+            if child >= n {
+                break;
+            }
+            // Child's uplink = parent's downlink j (parent channel index j).
+            let uplink = channels[v][j];
+            channels[child].push(uplink);
+            // Fill the child's remaining c−1 channels with fresh ones
+            // (these become its own downlinks and private channels).
+            for _ in 1..c {
+                channels[child].push(GlobalChannel(next_channel));
+                next_channel += 1;
+            }
+            // Rotate so the uplink is NOT always local label 0 (avoid
+            // giving algorithms an accidental labeling hint): put fresh
+            // channels first, uplink last.
+            channels[child].rotate_left(1);
+            builder.add_edge(NodeId(v as u32), NodeId(child as u32));
+        }
+    }
+    for (v, chs) in channels.into_iter().enumerate() {
+        builder.set_channels(NodeId(v as u32), chs);
+    }
+    builder.build()
+}
+
+/// An omniscient broadcast scheduler on the lower-bound tree: each informed
+/// parent transmits to its children one at a time on the child's uplink
+/// channel; each uninformed node listens on its own uplink. Collision-free
+/// by construction, so it informs level `d` by slot `≈ d·b` — the
+/// Ω(D·min{c,Δ}) bound is tight on this instance.
+#[derive(Debug, Clone)]
+pub struct OracleTreeBroadcast {
+    id: NodeId,
+    /// `(child local channel at THIS node's labeling)` per child, in order.
+    downlinks: Vec<LocalChannel>,
+    /// This node's uplink local channel (None at the root).
+    uplink: Option<LocalChannel>,
+    payload: Option<u64>,
+    informed_at: Option<u64>,
+    /// Slot at which this node became informed (drives the downlink
+    /// round-robin).
+    informed_slot: Option<u64>,
+    max_slots: u64,
+    slot: u64,
+}
+
+impl OracleTreeBroadcast {
+    /// Builds the oracle participant for node `id` of `net` (which must be
+    /// a [`lower_bound_tree`] with branching factor `b`). The root is node
+    /// 0 and starts informed with `payload`.
+    pub fn new(net: &Network, id: NodeId, b: usize, payload: u64, max_slots: u64) -> Self {
+        let v = id.index();
+        let parent = if v == 0 { None } else { Some(NodeId(((v - 1) / b) as u32)) };
+        let children: Vec<NodeId> = (1..=b)
+            .map(|j| b * v + j)
+            .filter(|&ch| ch < net.len())
+            .map(|ch| NodeId(ch as u32))
+            .collect();
+        let downlinks = children
+            .iter()
+            .map(|&ch| {
+                let shared = net.shared_channels(id, ch);
+                assert_eq!(shared.len(), 1, "tree edges share exactly one channel");
+                net.global_to_local(id, shared[0]).expect("shared channel is ours")
+            })
+            .collect();
+        let uplink = parent.map(|p| {
+            let shared = net.shared_channels(id, p);
+            assert_eq!(shared.len(), 1);
+            net.global_to_local(id, shared[0]).expect("shared channel is ours")
+        });
+        let is_root = v == 0;
+        OracleTreeBroadcast {
+            id,
+            downlinks,
+            uplink,
+            payload: is_root.then_some(payload),
+            informed_at: is_root.then_some(0),
+            informed_slot: is_root.then_some(0),
+            max_slots,
+            slot: 0,
+        }
+    }
+
+    /// `true` once informed.
+    pub fn is_informed(&self) -> bool {
+        self.payload.is_some()
+    }
+
+    /// Slot at which the payload arrived (0 at the root).
+    pub fn informed_at(&self) -> Option<u64> {
+        self.informed_at
+    }
+
+    /// This node's identity.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+}
+
+impl Protocol for OracleTreeBroadcast {
+    type Message = u64;
+    type Output = (NodeId, Option<u64>);
+
+    fn act(&mut self, _ctx: &mut SlotCtx<'_>) -> Action<u64> {
+        if self.slot >= self.max_slots {
+            return Action::Sleep;
+        }
+        match (self.payload, self.informed_slot) {
+            (Some(data), Some(t0)) if !self.downlinks.is_empty() => {
+                // Serve children round-robin, one slot each, forever (a
+                // child needs exactly one slot; repeating is harmless and
+                // keeps the oracle simple).
+                let idx = ((self.slot - t0) % self.downlinks.len() as u64) as usize;
+                Action::Broadcast { channel: self.downlinks[idx], message: data }
+            }
+            (Some(_), _) => Action::Sleep, // informed leaf
+            (None, _) => Action::Listen {
+                channel: self.uplink.expect("uninformed node has a parent"),
+            },
+        }
+    }
+
+    fn feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<u64>) {
+        if let Feedback::Heard(data) = fb {
+            if self.payload.is_none() {
+                self.payload = Some(data);
+                self.informed_at = Some(ctx.slot.0);
+                self.informed_slot = Some(ctx.slot.0 + 1);
+            }
+        }
+        self.slot += 1;
+    }
+
+    fn is_complete(&self) -> bool {
+        self.slot >= self.max_slots
+    }
+
+    fn into_output(self) -> (NodeId, Option<u64>) {
+        (self.id, self.informed_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crn_sim::Engine;
+
+    #[test]
+    fn tree_structure_matches_theorem() {
+        let c = 4;
+        let delta = 4;
+        let net = lower_bound_tree(c, delta, 2).unwrap();
+        let b = c.min(delta) - 1;
+        assert_eq!(net.len(), 1 + b + b * b);
+        let s = net.stats();
+        assert_eq!(s.k, 1);
+        assert_eq!(s.kmax, 1);
+        assert!(s.connected);
+        assert_eq!(s.diameter, Some(4));
+        // Siblings share nothing.
+        assert_eq!(net.overlap(NodeId(1), NodeId(2)), 0);
+        assert!(!net.are_neighbors(NodeId(1), NodeId(2)));
+        // Parent-child edges share exactly one channel.
+        assert_eq!(net.overlap(NodeId(0), NodeId(1)), 1);
+    }
+
+    #[test]
+    fn oracle_informs_everyone_in_about_depth_times_b_slots() {
+        let c = 4;
+        let delta = 4;
+        let depth = 3;
+        let b = c.min(delta) - 1;
+        let net = lower_bound_tree(c, delta, depth).unwrap();
+        let max_slots = (depth as u64 + 1) * b as u64 + 8;
+        let mut eng = Engine::new(&net, 3, |ctx| {
+            OracleTreeBroadcast::new(&net, ctx.id, b, 77, max_slots)
+        });
+        eng.run_to_completion(max_slots);
+        let outs = eng.into_outputs();
+        let worst = outs.iter().filter_map(|&(_, t)| t).max().unwrap();
+        for (id, t) in &outs {
+            assert!(t.is_some(), "node {id} uninformed after {max_slots} slots");
+        }
+        // The oracle meets the lower bound shape: worst-case time within
+        // [depth·1, depth·b + small constant].
+        assert!(worst >= depth as u64, "worst {worst} too small");
+        assert!(worst <= (depth as u64) * b as u64 + b as u64, "worst {worst} too large");
+    }
+
+    #[test]
+    fn oracle_root_serves_children_in_distinct_slots() {
+        let net = lower_bound_tree(3, 3, 1).unwrap();
+        let b = 2;
+        let mut eng = Engine::new(&net, 1, |ctx| OracleTreeBroadcast::new(&net, ctx.id, b, 9, 16));
+        eng.run_to_completion(16);
+        let outs = eng.into_outputs();
+        let mut times: Vec<u64> = outs[1..].iter().filter_map(|&(_, t)| t).collect();
+        times.sort_unstable();
+        assert_eq!(times.len(), 2);
+        assert_ne!(times[0], times[1], "one child per slot");
+    }
+
+    #[test]
+    #[should_panic(expected = "c >= 2")]
+    fn tree_rejects_degenerate_params() {
+        let _ = lower_bound_tree(1, 4, 2);
+    }
+}

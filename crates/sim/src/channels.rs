@@ -1,0 +1,361 @@
+//! Channel-assignment models: the heterogeneity substrate.
+//!
+//! Cognitive radio networks get their difficulty from *which* channels each
+//! node can access. These models construct per-node channel sets with
+//! controlled overlap structure:
+//!
+//! * [`ChannelModel::Identical`] — every node sees the same `c` channels
+//!   (`k = kmax = c`): maximum contention, zero search difficulty.
+//! * [`ChannelModel::SharedCore`] — `core` channels common to everyone, the
+//!   rest private (`k = kmax = core`): clean `c²/k` search behaviour.
+//! * [`ChannelModel::GroupOverlay`] — a global core of `k` channels plus
+//!   per-group extras so that intra-group edges overlap on `kmax > k`
+//!   channels: exercises the `kmax/k` asymmetry in CSEEK's bound.
+//! * [`ChannelModel::CrowdedSplit`] — a star-oriented adversarial mix of
+//!   "hot" channels shared by many leaves (crowded, ≥ 8c neighbors) and
+//!   "cold" channels shared by few: exactly the dichotomy CSEEK's two-part
+//!   design targets (paper Lemmas 2 and 3).
+//! * [`ChannelModel::RandomPool`] — every node draws `c` channels uniformly
+//!   from a pool: emergent overlap, used with
+//!   [`prune_edges_by_overlap`] for realistic scenarios.
+
+use crate::ids::GlobalChannel;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A rule for assigning channel sets to `n` nodes. See the module docs for
+/// the intent of each variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelModel {
+    /// All nodes share the identical set `{0, …, c−1}`.
+    Identical {
+        /// Channels per node.
+        c: usize,
+    },
+    /// `core` globally-shared channels; each node fills up to `c` with
+    /// channels private to it. Every edge overlaps on exactly the core.
+    SharedCore {
+        /// Channels per node.
+        c: usize,
+        /// Size of the shared core (the resulting `k = kmax`).
+        core: usize,
+    },
+    /// Global core of `k` channels; nodes are split into `groups` contiguous
+    /// blocks, each block sharing `kmax − k` extra channels; the rest are
+    /// private. Edges inside a block overlap on `kmax` channels, edges
+    /// across blocks on `k`.
+    GroupOverlay {
+        /// Channels per node.
+        c: usize,
+        /// Cross-group overlap (the global minimum).
+        k: usize,
+        /// Intra-group overlap.
+        kmax: usize,
+        /// Number of node groups.
+        groups: usize,
+    },
+    /// Star-oriented adversarial assignment (hub = node 0). Every leaf
+    /// shares exactly `k` channels with the hub: `k_hot` of them drawn from
+    /// a small pool of `hot` hub channels (these become crowded) and
+    /// `k − k_hot` from the remaining hub channels with balanced reuse
+    /// (these stay uncrowded).
+    CrowdedSplit {
+        /// Channels per node.
+        c: usize,
+        /// Hub–leaf overlap (`k = kmax = k` on a star).
+        k: usize,
+        /// Number of hub channels designated "hot".
+        hot: usize,
+        /// How many of each leaf's shared channels are hot.
+        k_hot: usize,
+    },
+    /// Every node independently draws a uniform `c`-subset of
+    /// `{0, …, universe−1}`.
+    RandomPool {
+        /// Channels per node.
+        c: usize,
+        /// Pool size (must be ≥ c).
+        universe: usize,
+    },
+}
+
+impl ChannelModel {
+    /// Channels per node `c` for this model.
+    pub fn c(&self) -> usize {
+        match *self {
+            ChannelModel::Identical { c }
+            | ChannelModel::SharedCore { c, .. }
+            | ChannelModel::GroupOverlay { c, .. }
+            | ChannelModel::CrowdedSplit { c, .. }
+            | ChannelModel::RandomPool { c, .. } => c,
+        }
+    }
+
+    /// Produces the channel set of every node, in *sorted global order*
+    /// (callers should apply [`shuffle_local_labels`] afterwards to model
+    /// arbitrary local labels).
+    ///
+    /// # Panics
+    /// Panics on inconsistent parameters (e.g. `core > c`, `kmax > c`,
+    /// `universe < c`).
+    pub fn assign(&self, n: usize, rng: &mut SmallRng) -> Vec<Vec<GlobalChannel>> {
+        match *self {
+            ChannelModel::Identical { c } => {
+                assert!(c >= 1, "c must be positive");
+                let set: Vec<GlobalChannel> = (0..c as u32).map(GlobalChannel).collect();
+                vec![set; n]
+            }
+            ChannelModel::SharedCore { c, core } => {
+                assert!(core >= 1 && core <= c, "need 1 <= core <= c");
+                let mut next_private = core as u32;
+                (0..n)
+                    .map(|_| {
+                        let mut set: Vec<GlobalChannel> =
+                            (0..core as u32).map(GlobalChannel).collect();
+                        for _ in core..c {
+                            set.push(GlobalChannel(next_private));
+                            next_private += 1;
+                        }
+                        set
+                    })
+                    .collect()
+            }
+            ChannelModel::GroupOverlay { c, k, kmax, groups } => {
+                assert!(k >= 1 && k <= kmax && kmax <= c, "need 1 <= k <= kmax <= c");
+                assert!(groups >= 1, "need at least one group");
+                let extra = kmax - k;
+                let group_base = k as u32;
+                let private_base = group_base + (groups * extra) as u32;
+                let mut next_private = private_base;
+                let block = n.div_ceil(groups);
+                (0..n)
+                    .map(|v| {
+                        let gid = (v / block.max(1)).min(groups - 1) as u32;
+                        let mut set: Vec<GlobalChannel> =
+                            (0..k as u32).map(GlobalChannel).collect();
+                        for e in 0..extra as u32 {
+                            set.push(GlobalChannel(group_base + gid * extra as u32 + e));
+                        }
+                        for _ in kmax..c {
+                            set.push(GlobalChannel(next_private));
+                            next_private += 1;
+                        }
+                        set
+                    })
+                    .collect()
+            }
+            ChannelModel::CrowdedSplit { c, k, hot, k_hot } => {
+                assert!(k >= 1 && k <= c, "need 1 <= k <= c");
+                assert!(k_hot <= k, "k_hot cannot exceed k");
+                assert!(hot >= k_hot, "hot pool must cover k_hot");
+                assert!(hot + (k - k_hot) <= c, "hub must have enough cold channels");
+                assert!(n >= 1, "need at least the hub");
+                // Hub (node 0) owns channels 0..c: 0..hot are hot, hot..c cold.
+                let hub: Vec<GlobalChannel> = (0..c as u32).map(GlobalChannel).collect();
+                let cold_pool: Vec<u32> = (hot as u32..c as u32).collect();
+                let mut next_private = c as u32;
+                let mut cold_cursor = 0usize;
+                let mut sets = Vec::with_capacity(n);
+                sets.push(hub);
+                for leaf in 1..n {
+                    let mut set = Vec::with_capacity(c);
+                    // Hot shares: consecutive slice (mod hot) so every hot
+                    // channel is reused by ~(n-1)·k_hot/hot leaves.
+                    for j in 0..k_hot {
+                        set.push(GlobalChannel((((leaf - 1) * k_hot + j) % hot) as u32));
+                    }
+                    // Cold shares: balanced round-robin over the cold pool.
+                    for _ in 0..(k - k_hot) {
+                        set.push(GlobalChannel(cold_pool[cold_cursor % cold_pool.len()]));
+                        cold_cursor += 1;
+                    }
+                    set.sort_unstable();
+                    set.dedup();
+                    while set.len() < c {
+                        set.push(GlobalChannel(next_private));
+                        next_private += 1;
+                    }
+                    sets.push(set);
+                }
+                sets
+            }
+            ChannelModel::RandomPool { c, universe } => {
+                assert!(universe >= c, "pool must be at least c");
+                let pool: Vec<u32> = (0..universe as u32).collect();
+                (0..n)
+                    .map(|_| {
+                        let mut chosen: Vec<u32> =
+                            pool.choose_multiple(rng, c).copied().collect();
+                        chosen.sort_unstable();
+                        chosen.into_iter().map(GlobalChannel).collect()
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Randomly permutes each node's channel vector in place, modelling the
+/// paper's assumption that nodes label channels arbitrarily (no global
+/// labels). Protocol behaviour must be invariant under this shuffle.
+pub fn shuffle_local_labels(sets: &mut [Vec<GlobalChannel>], rng: &mut SmallRng) {
+    for set in sets {
+        set.shuffle(rng);
+    }
+}
+
+/// Keeps only the edges whose endpoints share at least `min_overlap`
+/// channels. Used with emergent models ([`ChannelModel::RandomPool`]) where
+/// radio range and channel overlap jointly define the neighbor relation.
+pub fn prune_edges_by_overlap(
+    edges: &[(u32, u32)],
+    sets: &[Vec<GlobalChannel>],
+    min_overlap: usize,
+) -> Vec<(u32, u32)> {
+    edges
+        .iter()
+        .copied()
+        .filter(|&(a, b)| overlap_size(&sets[a as usize], &sets[b as usize]) >= min_overlap)
+        .collect()
+}
+
+/// Number of common channels between two channel sets (any order).
+pub fn overlap_size(a: &[GlobalChannel], b: &[GlobalChannel]) -> usize {
+    if a.len() > b.len() {
+        return overlap_size(b, a);
+    }
+    let bset: std::collections::HashSet<GlobalChannel> = b.iter().copied().collect();
+    a.iter().filter(|g| bset.contains(g)).count()
+}
+
+/// Convenience: draw a uniformly random integer in `0..bound` (used by
+/// several protocols; kept here so the dependency is on one RNG idiom).
+#[inline]
+pub fn uniform_index(rng: &mut SmallRng, bound: usize) -> usize {
+    debug_assert!(bound > 0);
+    rng.gen_range(0..bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::stream_rng;
+
+    #[test]
+    fn identical_model() {
+        let mut rng = stream_rng(1, 0);
+        let sets = ChannelModel::Identical { c: 4 }.assign(3, &mut rng);
+        assert_eq!(sets.len(), 3);
+        assert!(sets.iter().all(|s| s.len() == 4));
+        assert_eq!(sets[0], sets[1]);
+        assert_eq!(overlap_size(&sets[0], &sets[2]), 4);
+    }
+
+    #[test]
+    fn shared_core_overlap_is_exactly_core() {
+        let mut rng = stream_rng(1, 0);
+        let sets = ChannelModel::SharedCore { c: 6, core: 2 }.assign(5, &mut rng);
+        for a in 0..5 {
+            for b in (a + 1)..5 {
+                assert_eq!(overlap_size(&sets[a], &sets[b]), 2, "pair {a},{b}");
+            }
+        }
+        // Private channels are globally unique.
+        let mut privates: Vec<u32> = sets
+            .iter()
+            .flat_map(|s| s.iter().map(|g| g.0).filter(|&g| g >= 2))
+            .collect();
+        let before = privates.len();
+        privates.sort_unstable();
+        privates.dedup();
+        assert_eq!(privates.len(), before);
+    }
+
+    #[test]
+    fn group_overlay_intra_vs_cross() {
+        let mut rng = stream_rng(1, 0);
+        let m = ChannelModel::GroupOverlay { c: 8, k: 2, kmax: 5, groups: 2 };
+        let sets = m.assign(6, &mut rng);
+        // Blocks: {0,1,2} and {3,4,5}.
+        assert_eq!(overlap_size(&sets[0], &sets[1]), 5, "intra-group overlap = kmax");
+        assert_eq!(overlap_size(&sets[0], &sets[4]), 2, "cross-group overlap = k");
+        assert!(sets.iter().all(|s| s.len() == 8));
+    }
+
+    #[test]
+    fn crowded_split_hub_leaf_overlap_is_k() {
+        let mut rng = stream_rng(1, 0);
+        let m = ChannelModel::CrowdedSplit { c: 6, k: 2, hot: 1, k_hot: 1 };
+        let n = 20;
+        let sets = m.assign(n, &mut rng);
+        for leaf in 1..n {
+            assert_eq!(overlap_size(&sets[0], &sets[leaf]), 2, "leaf {leaf}");
+        }
+        // Hot channel 0 is shared by all leaves: crowded.
+        let hot_crowd = (1..n).filter(|&l| sets[l].contains(&GlobalChannel(0))).count();
+        assert_eq!(hot_crowd, n - 1);
+        // Cold channels are spread: each reused by at most ceil((n-1)/(c-hot)).
+        for cold in 1u32..6 {
+            let crowd = (1..n)
+                .filter(|&l| sets[l].contains(&GlobalChannel(cold)))
+                .count();
+            assert!(crowd <= (n - 1).div_ceil(5), "cold channel {cold} crowd {crowd}");
+        }
+    }
+
+    #[test]
+    fn random_pool_respects_c_and_universe() {
+        let mut rng = stream_rng(1, 0);
+        let sets = ChannelModel::RandomPool { c: 5, universe: 12 }.assign(40, &mut rng);
+        for s in &sets {
+            assert_eq!(s.len(), 5);
+            let mut d = s.clone();
+            d.dedup();
+            assert_eq!(d.len(), 5, "no duplicates");
+            assert!(s.iter().all(|g| g.0 < 12));
+        }
+    }
+
+    #[test]
+    fn prune_edges_filters_low_overlap() {
+        let sets = vec![
+            vec![GlobalChannel(0), GlobalChannel(1)],
+            vec![GlobalChannel(1), GlobalChannel(2)],
+            vec![GlobalChannel(3), GlobalChannel(4)],
+        ];
+        let edges = vec![(0u32, 1u32), (0, 2), (1, 2)];
+        assert_eq!(prune_edges_by_overlap(&edges, &sets, 1), vec![(0, 1)]);
+        assert!(prune_edges_by_overlap(&edges, &sets, 3).is_empty());
+    }
+
+    #[test]
+    fn shuffle_preserves_set_membership() {
+        let mut rng = stream_rng(3, 0);
+        let mut sets = ChannelModel::SharedCore { c: 8, core: 3 }.assign(4, &mut rng);
+        let before: Vec<std::collections::BTreeSet<u32>> = sets
+            .iter()
+            .map(|s| s.iter().map(|g| g.0).collect())
+            .collect();
+        shuffle_local_labels(&mut sets, &mut rng);
+        let after: Vec<std::collections::BTreeSet<u32>> = sets
+            .iter()
+            .map(|s| s.iter().map(|g| g.0).collect())
+            .collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool must be at least c")]
+    fn random_pool_rejects_small_universe() {
+        let mut rng = stream_rng(1, 0);
+        let _ = ChannelModel::RandomPool { c: 5, universe: 4 }.assign(1, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "k_hot cannot exceed k")]
+    fn crowded_split_validates() {
+        let mut rng = stream_rng(1, 0);
+        let _ = ChannelModel::CrowdedSplit { c: 6, k: 2, hot: 3, k_hot: 3 }.assign(2, &mut rng);
+    }
+}

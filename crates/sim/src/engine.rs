@@ -1,0 +1,594 @@
+//! The synchronous slot-stepped execution engine.
+//!
+//! In each slot the engine: (1) collects one [`Action`] from every node,
+//! (2) groups broadcasters by *global* channel, (3) for each listener,
+//! counts how many of its *neighbors* broadcast on the listened channel and
+//! delivers the message iff that count is exactly one, and (4) hands every
+//! node its [`Feedback`]. This is precisely the communication model of paper
+//! §3 (no collision detection, collision ≡ silence, broadcasters hear only
+//! themselves).
+
+use crate::ids::{LocalChannel, NodeId, Slot};
+use crate::network::Network;
+use crate::protocol::{Action, Feedback, NodeCtx, Protocol, SlotCtx};
+use crate::rng::stream_rng;
+use rand::rngs::SmallRng;
+
+/// Aggregate event counters for a run, useful for energy/traffic accounting
+/// and for sanity-checking experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Slots executed.
+    pub slots: u64,
+    /// Broadcast actions.
+    pub broadcasts: u64,
+    /// Listen actions.
+    pub listens: u64,
+    /// Sleep actions.
+    pub sleeps: u64,
+    /// Successful deliveries (listener heard exactly one neighbor).
+    pub deliveries: u64,
+    /// Listener-slots lost to collision (≥ 2 broadcasting neighbors).
+    pub collisions: u64,
+    /// Listener-slots in which no neighbor broadcast on the channel.
+    pub idle_listens: u64,
+}
+
+/// Outcome of [`Engine::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Slots actually executed.
+    pub slots_run: u64,
+    /// First slot (1-based count of executed slots) at which the progress
+    /// probe returned `true`, if it ever did.
+    pub completed_at: Option<u64>,
+    /// `true` if every protocol reported [`Protocol::is_complete`] when the
+    /// run stopped.
+    pub all_protocols_done: bool,
+}
+
+/// The execution engine. Owns one protocol instance and one RNG stream per
+/// node; borrows the immutable [`Network`].
+///
+/// # Examples
+/// ```
+/// use crn_sim::*;
+///
+/// // Two nodes, one shared channel; node 0 beacons, node 1 listens.
+/// struct Side { tx: bool, heard: Option<u32> }
+/// impl Protocol for Side {
+///     type Message = u32;
+///     type Output = Option<u32>;
+///     fn act(&mut self, _ctx: &mut SlotCtx<'_>) -> Action<u32> {
+///         if self.tx {
+///             Action::Broadcast { channel: LocalChannel(0), message: 7 }
+///         } else {
+///             Action::Listen { channel: LocalChannel(0) }
+///         }
+///     }
+///     fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, fb: Feedback<u32>) {
+///         if let Feedback::Heard(m) = fb { self.heard = Some(m); }
+///     }
+///     fn is_complete(&self) -> bool { self.heard.is_some() || self.tx }
+///     fn into_output(self) -> Option<u32> { self.heard }
+/// }
+///
+/// let mut b = Network::builder(2);
+/// b.set_channels(NodeId(0), vec![GlobalChannel(0)]);
+/// b.set_channels(NodeId(1), vec![GlobalChannel(0)]);
+/// b.add_edge(NodeId(0), NodeId(1));
+/// let net = b.build()?;
+/// let mut eng = Engine::new(&net, 1, |ctx| Side { tx: ctx.id == NodeId(0), heard: None });
+/// eng.run(10, None);
+/// assert_eq!(eng.into_outputs()[1], Some(7));
+/// # Ok::<(), crn_sim::NetworkError>(())
+/// ```
+pub struct Engine<'net, P: Protocol> {
+    net: &'net Network,
+    protocols: Vec<Option<P>>,
+    rngs: Vec<SmallRng>,
+    slot: u64,
+    counters: Counters,
+    // Retained scratch buffers (cleared each slot via the touched list).
+    bcasters_by_channel: Vec<Vec<u32>>,
+    touched_channels: Vec<u32>,
+    actions: Vec<SlotPlan<P::Message>>,
+    feedbacks: Vec<Feedback<P::Message>>,
+    /// Densely remapped global channels: `global -> dense index`.
+    dense: Vec<u32>,
+}
+
+/// A progress probe: evaluated every `interval` slots with the slot count
+/// and the engine; returning `true` stops the run (ground-truth completion).
+pub type Probe<'a, 'b, 'net, P> = (u64, &'a mut (dyn FnMut(u64, &Engine<'net, P>) -> bool + 'b));
+
+/// Internal per-node slot plan after local→global translation.
+#[derive(Debug, Clone)]
+enum SlotPlan<M> {
+    Bcast { message: M },
+    Listen { dense_channel: u32 },
+    Sleep,
+}
+
+impl<'net, P: Protocol> Engine<'net, P> {
+    /// Creates an engine for `net`, constructing each node's protocol via
+    /// `make`, and deriving all node RNG streams from `seed`.
+    pub fn new(net: &'net Network, seed: u64, mut make: impl FnMut(NodeCtx) -> P) -> Self {
+        let n = net.len();
+        let c = net.channels_per_node();
+        // Dense channel remap so scratch vectors are O(universe), not
+        // O(max raw id).
+        let mut raw_ids: Vec<u32> = (0..n)
+            .flat_map(|v| net.channel_map(NodeId(v as u32)).iter().map(|g| g.0))
+            .collect();
+        raw_ids.sort_unstable();
+        raw_ids.dedup();
+        let max_raw = raw_ids.last().copied().unwrap_or(0) as usize;
+        let mut dense = vec![u32::MAX; max_raw + 1];
+        for (i, &raw) in raw_ids.iter().enumerate() {
+            dense[raw as usize] = i as u32;
+        }
+        let universe = raw_ids.len();
+
+        let protocols = (0..n)
+            .map(|v| {
+                Some(make(NodeCtx {
+                    id: NodeId(v as u32),
+                    num_channels: c as u16,
+                }))
+            })
+            .collect();
+        let rngs = (0..n).map(|v| stream_rng(seed, v as u64)).collect();
+        Engine {
+            net,
+            protocols,
+            rngs,
+            slot: 0,
+            counters: Counters::default(),
+            bcasters_by_channel: vec![Vec::new(); universe],
+            touched_channels: Vec::new(),
+            actions: Vec::with_capacity(n),
+            feedbacks: Vec::with_capacity(n),
+            dense,
+        }
+    }
+
+    /// The network this engine runs on.
+    pub fn network(&self) -> &Network {
+        self.net
+    }
+
+    /// The current slot index (number of slots already executed).
+    pub fn slot(&self) -> u64 {
+        self.slot
+    }
+
+    /// Aggregate counters so far.
+    pub fn counters(&self) -> Counters {
+        self.counters
+    }
+
+    /// Read access to the protocol instances (for progress probes).
+    ///
+    /// # Panics
+    /// Panics if called after [`Engine::into_outputs`].
+    pub fn protocol(&self, v: NodeId) -> &P {
+        self.protocols[v.index()].as_ref().expect("protocol already consumed")
+    }
+
+    /// Applies `f` to every protocol in node order.
+    pub fn for_each_protocol(&self, mut f: impl FnMut(NodeId, &P)) {
+        for (i, p) in self.protocols.iter().enumerate() {
+            f(NodeId(i as u32), p.as_ref().expect("protocol already consumed"));
+        }
+    }
+
+    /// `true` once every node's protocol reports completion.
+    pub fn all_complete(&self) -> bool {
+        self.protocols
+            .iter()
+            .all(|p| p.as_ref().map(|p| p.is_complete()).unwrap_or(true))
+    }
+
+    /// Executes exactly one slot.
+    pub fn step(&mut self) {
+        let slot = Slot(self.slot);
+        let n = self.net.len();
+        debug_assert!(self.touched_channels.is_empty());
+        self.actions.clear();
+
+        // Phase 1: collect actions; translate local labels to dense global
+        // channels; register broadcasters.
+        for v in 0..n {
+            let proto = self.protocols[v].as_mut().expect("protocol consumed");
+            let mut ctx = SlotCtx { slot, rng: &mut self.rngs[v] };
+            let action = proto.act(&mut ctx);
+            let plan = match action {
+                Action::Broadcast { channel, message } => {
+                    self.counters.broadcasts += 1;
+                    let dense = self.translate(NodeId(v as u32), channel);
+                    let list = &mut self.bcasters_by_channel[dense as usize];
+                    if list.is_empty() {
+                        self.touched_channels.push(dense);
+                    }
+                    list.push(v as u32);
+                    SlotPlan::Bcast { message }
+                }
+                Action::Listen { channel } => {
+                    self.counters.listens += 1;
+                    let dense = self.translate(NodeId(v as u32), channel);
+                    SlotPlan::Listen { dense_channel: dense }
+                }
+                Action::Sleep => {
+                    self.counters.sleeps += 1;
+                    SlotPlan::Sleep
+                }
+            };
+            self.actions.push(plan);
+        }
+
+        // Phase 2: resolve deliveries.
+        self.feedbacks.clear();
+        for v in 0..n {
+            let fb = match &self.actions[v] {
+                SlotPlan::Bcast { .. } => Feedback::Sent,
+                SlotPlan::Sleep => Feedback::Slept,
+                SlotPlan::Listen { dense_channel } => {
+                    let mut heard_from: Option<u32> = None;
+                    let mut adjacent_bcasters = 0u32;
+                    for &b in &self.bcasters_by_channel[*dense_channel as usize] {
+                        if self.net.are_neighbors(NodeId(v as u32), NodeId(b)) {
+                            adjacent_bcasters += 1;
+                            if adjacent_bcasters > 1 {
+                                break;
+                            }
+                            heard_from = Some(b);
+                        }
+                    }
+                    match (adjacent_bcasters, heard_from) {
+                        (1, Some(b)) => {
+                            self.counters.deliveries += 1;
+                            match &self.actions[b as usize] {
+                                SlotPlan::Bcast { message, .. } => {
+                                    Feedback::Heard(message.clone())
+                                }
+                                _ => unreachable!("registered broadcaster must be broadcasting"),
+                            }
+                        }
+                        (0, _) => {
+                            self.counters.idle_listens += 1;
+                            Feedback::Silence
+                        }
+                        _ => {
+                            self.counters.collisions += 1;
+                            Feedback::Silence
+                        }
+                    }
+                }
+            };
+            self.feedbacks.push(fb);
+        }
+
+        // Phase 3: deliver feedback.
+        for (v, fb) in self.feedbacks.drain(..).enumerate() {
+            let proto = self.protocols[v].as_mut().expect("protocol consumed");
+            let mut ctx = SlotCtx { slot, rng: &mut self.rngs[v] };
+            proto.feedback(&mut ctx, fb);
+        }
+
+        // Cleanup scratch.
+        for ch in self.touched_channels.drain(..) {
+            self.bcasters_by_channel[ch as usize].clear();
+        }
+        self.slot += 1;
+        self.counters.slots += 1;
+    }
+
+    #[inline]
+    fn translate(&self, v: NodeId, l: LocalChannel) -> u32 {
+        let g = self.net.local_to_global(v, l);
+        let dense = self.dense[g.index()];
+        debug_assert_ne!(dense, u32::MAX, "channel {g} not in dense map");
+        dense
+    }
+
+    /// Runs until `max_slots` slots have executed, every protocol is
+    /// complete, or the optional probe returns `true`.
+    ///
+    /// The probe (if provided as `Some((interval, f))`) is evaluated every
+    /// `interval` slots with the current slot count; it is how experiments
+    /// measure *time-to-completion* against external ground truth. The run
+    /// continues to the protocols' own schedule end even after the probe
+    /// fires only if `stop_on_probe` is false — here we always stop, because
+    /// completion-time experiments don't need the tail.
+    pub fn run(&mut self, max_slots: u64, mut probe: Option<Probe<'_, '_, 'net, P>>) -> RunOutcome {
+        let mut completed_at = None;
+        // Evaluate the probe at slot 0 too: some scenarios are trivially
+        // complete before any communication.
+        if let Some((_, f)) = probe.as_mut() {
+            if f(0, self) {
+                completed_at = Some(0);
+            }
+        }
+        while completed_at.is_none() && self.slot < max_slots && !self.all_complete() {
+            self.step();
+            if let Some((interval, f)) = probe.as_mut() {
+                if self.slot.is_multiple_of(*interval) && f(self.slot, self) {
+                    completed_at = Some(self.slot);
+                }
+            }
+        }
+        // One final probe evaluation at the end of the schedule, so that a
+        // coarse probe interval cannot miss a completion at the tail.
+        if completed_at.is_none() {
+            if let Some((_, f)) = probe.as_mut() {
+                if f(self.slot, self) {
+                    completed_at = Some(self.slot);
+                }
+            }
+        }
+        RunOutcome {
+            slots_run: self.slot,
+            completed_at,
+            all_protocols_done: self.all_complete(),
+        }
+    }
+
+    /// Runs the protocols' full fixed schedule (up to `max_slots`) with no
+    /// probe.
+    pub fn run_to_completion(&mut self, max_slots: u64) -> RunOutcome {
+        self.run(max_slots, None)
+    }
+
+    /// Consumes the engine and extracts each node's protocol output.
+    pub fn into_outputs(mut self) -> Vec<P::Output> {
+        self.protocols
+            .iter_mut()
+            .map(|p| p.take().expect("protocol consumed twice").into_output())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::GlobalChannel;
+
+    /// Test protocol: node 0..k broadcast a constant each slot on local
+    /// channel `ch`; others listen on local channel `lch`; records hears.
+    struct Fixed {
+        bcast: bool,
+        ch: LocalChannel,
+        heard: Vec<u32>,
+        id: u32,
+    }
+
+    impl Protocol for Fixed {
+        type Message = u32;
+        type Output = Vec<u32>;
+        fn act(&mut self, _ctx: &mut SlotCtx<'_>) -> Action<u32> {
+            if self.bcast {
+                Action::Broadcast { channel: self.ch, message: self.id }
+            } else {
+                Action::Listen { channel: self.ch }
+            }
+        }
+        fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, fb: Feedback<u32>) {
+            if let Feedback::Heard(m) = fb {
+                self.heard.push(m);
+            }
+        }
+        fn is_complete(&self) -> bool {
+            false
+        }
+        fn into_output(self) -> Vec<u32> {
+            self.heard
+        }
+    }
+
+    /// Star network: node 0 center; all share global channel 0; optionally
+    /// extra private channels to make c uniform.
+    fn star(leaves: usize) -> Network {
+        let n = leaves + 1;
+        let mut b = Network::builder(n);
+        for v in 0..n {
+            b.set_channels(NodeId(v as u32), vec![GlobalChannel(0), GlobalChannel(1 + v as u32)]);
+        }
+        for l in 1..n {
+            b.add_edge(NodeId(0), NodeId(l as u32));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn single_broadcaster_is_heard() {
+        let net = star(1);
+        let mut eng = Engine::new(&net, 7, |ctx| Fixed {
+            bcast: ctx.id == NodeId(1),
+            ch: LocalChannel(0),
+            heard: Vec::new(),
+            id: ctx.id.0,
+        });
+        eng.step();
+        let out = eng.into_outputs();
+        assert_eq!(out[0], vec![1], "center hears the lone leaf");
+        assert!(out[1].is_empty(), "broadcaster hears nothing");
+    }
+
+    #[test]
+    fn two_broadcasters_collide_to_silence() {
+        let net = star(2);
+        let mut eng = Engine::new(&net, 7, |ctx| Fixed {
+            bcast: ctx.id != NodeId(0),
+            ch: LocalChannel(0),
+            heard: Vec::new(),
+            id: ctx.id.0,
+        });
+        eng.step();
+        assert_eq!(eng.counters().collisions, 1);
+        let out = eng.into_outputs();
+        assert!(out[0].is_empty(), "collision is silence");
+    }
+
+    #[test]
+    fn non_neighbor_broadcasts_are_inaudible() {
+        // Path 0-1 plus isolated node 2 broadcasting on the same channel:
+        // node 2's broadcast must not interfere at node 0.
+        let mut b = Network::builder(3);
+        for v in 0..3u32 {
+            b.set_channels(NodeId(v), vec![GlobalChannel(0)]);
+        }
+        b.add_edge(NodeId(0), NodeId(1));
+        let net = b.build().unwrap();
+        let mut eng = Engine::new(&net, 3, |ctx| Fixed {
+            bcast: ctx.id != NodeId(0),
+            ch: LocalChannel(0),
+            heard: Vec::new(),
+            id: ctx.id.0,
+        });
+        eng.step();
+        let out = eng.into_outputs();
+        assert_eq!(out[0], vec![1], "only the true neighbor is audible");
+    }
+
+    #[test]
+    fn different_channels_do_not_interfere() {
+        // Node 1 and node 2 broadcast on *different* global channels; the
+        // center listens on channel 0 and must cleanly hear node 1.
+        let mut b = Network::builder(3);
+        b.set_channels(NodeId(0), vec![GlobalChannel(0), GlobalChannel(9)]);
+        b.set_channels(NodeId(1), vec![GlobalChannel(0), GlobalChannel(5)]);
+        b.set_channels(NodeId(2), vec![GlobalChannel(5), GlobalChannel(0)]);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(0), NodeId(2));
+        let net = b.build().unwrap();
+        let mut eng = Engine::new(&net, 3, |ctx| Fixed {
+            bcast: ctx.id != NodeId(0),
+            // Local channel 0 maps to g0 for nodes 0 and 1, but to g5 for
+            // node 2 — local labels are node-private.
+            ch: LocalChannel(0),
+            heard: Vec::new(),
+            id: ctx.id.0,
+        });
+        eng.step();
+        let out = eng.into_outputs();
+        assert_eq!(out[0], vec![1]);
+    }
+
+    #[test]
+    fn counters_track_actions() {
+        let net = star(3);
+        let mut eng = Engine::new(&net, 7, |ctx| Fixed {
+            bcast: ctx.id == NodeId(1),
+            ch: LocalChannel(0),
+            heard: Vec::new(),
+            id: ctx.id.0,
+        });
+        eng.step();
+        eng.step();
+        let c = eng.counters();
+        assert_eq!(c.slots, 2);
+        assert_eq!(c.broadcasts, 2);
+        assert_eq!(c.listens, 6);
+        // Center hears leaf 1 twice; leaves 2 and 3 are not adjacent to leaf
+        // 1, so they idle-listen.
+        assert_eq!(c.deliveries, 2);
+        assert_eq!(c.idle_listens, 4);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_counters() {
+        struct Rnd {
+            heard: u64,
+        }
+        impl Protocol for Rnd {
+            type Message = u8;
+            type Output = u64;
+            fn act(&mut self, ctx: &mut SlotCtx<'_>) -> Action<u8> {
+                use rand::Rng;
+                if ctx.rng.gen_bool(0.5) {
+                    Action::Broadcast { channel: LocalChannel(ctx.rng.gen_range(0..2)), message: 1 }
+                } else {
+                    Action::Listen { channel: LocalChannel(ctx.rng.gen_range(0..2)) }
+                }
+            }
+            fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, fb: Feedback<u8>) {
+                if matches!(fb, Feedback::Heard(_)) {
+                    self.heard += 1;
+                }
+            }
+            fn is_complete(&self) -> bool {
+                false
+            }
+            fn into_output(self) -> u64 {
+                self.heard
+            }
+        }
+        let net = star(4);
+        let run = |seed: u64| {
+            let mut eng = Engine::new(&net, seed, |_| Rnd { heard: 0 });
+            eng.run_to_completion(200);
+            (eng.counters(), eng.into_outputs())
+        };
+        let (c1, o1) = run(42);
+        let (c2, o2) = run(42);
+        let (c3, _) = run(43);
+        assert_eq!(c1, c2);
+        assert_eq!(o1, o2);
+        assert_ne!(c1, c3, "different seeds should (generically) differ");
+    }
+
+    #[test]
+    fn probe_stops_run_early() {
+        let net = star(1);
+        let mut eng = Engine::new(&net, 7, |ctx| Fixed {
+            bcast: ctx.id == NodeId(1),
+            ch: LocalChannel(0),
+            heard: Vec::new(),
+            id: ctx.id.0,
+        });
+        let mut probe = |_slot: u64, eng: &Engine<'_, Fixed>| -> bool {
+            !eng.protocol(NodeId(0)).heard.is_empty()
+        };
+        let outcome = eng.run(1000, Some((1, &mut probe)));
+        assert_eq!(outcome.completed_at, Some(1));
+        assert_eq!(outcome.slots_run, 1);
+    }
+
+    #[test]
+    fn run_respects_max_slots() {
+        let net = star(1);
+        let mut eng = Engine::new(&net, 7, |ctx| Fixed {
+            bcast: ctx.id == NodeId(1),
+            ch: LocalChannel(0),
+            heard: Vec::new(),
+            id: ctx.id.0,
+        });
+        let outcome = eng.run_to_completion(17);
+        assert_eq!(outcome.slots_run, 17);
+        assert!(!outcome.all_protocols_done);
+    }
+
+    #[test]
+    fn sleeping_nodes_neither_send_nor_hear() {
+        struct Sleepy;
+        impl Protocol for Sleepy {
+            type Message = u8;
+            type Output = ();
+            fn act(&mut self, _ctx: &mut SlotCtx<'_>) -> Action<u8> {
+                Action::Sleep
+            }
+            fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, fb: Feedback<u8>) {
+                assert_eq!(fb, Feedback::Slept);
+            }
+            fn is_complete(&self) -> bool {
+                false
+            }
+            fn into_output(self) {}
+        }
+        let net = star(2);
+        let mut eng = Engine::new(&net, 7, |_| Sleepy);
+        eng.step();
+        assert_eq!(eng.counters().sleeps, 3);
+    }
+}

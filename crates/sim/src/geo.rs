@@ -1,0 +1,261 @@
+//! Geographic white-space modeling: spatially-correlated channel
+//! availability caused by licensed primary users (paper §1, motivation (1)).
+//!
+//! Secondary users (our nodes) are placed in the unit square and connect
+//! when within radio range. Each *primary user* (e.g. a TV broadcaster)
+//! occupies one channel inside a protection disk; a secondary user may not
+//! use a channel whose primary covers its position. Each node then selects
+//! its `c` operating channels from the channels free at its location,
+//! producing the spatially-correlated heterogeneous channel sets that
+//! motivate the cognitive radio model: nearby nodes see similar spectrum,
+//! distant nodes may not.
+
+use crate::ids::GlobalChannel;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A licensed primary user occupying `channel` within `radius` of its
+/// position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrimaryUser {
+    /// Position in the unit square.
+    pub x: f64,
+    /// Position in the unit square.
+    pub y: f64,
+    /// Protection radius: secondaries within it must avoid the channel.
+    pub radius: f64,
+    /// The occupied channel.
+    pub channel: GlobalChannel,
+}
+
+impl PrimaryUser {
+    /// `true` if a secondary at `(x, y)` is inside the protection region.
+    pub fn covers(&self, x: f64, y: f64) -> bool {
+        let dx = self.x - x;
+        let dy = self.y - y;
+        dx * dx + dy * dy <= self.radius * self.radius
+    }
+}
+
+/// Parameters of a white-space deployment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WhitespaceConfig {
+    /// Number of secondary users (nodes).
+    pub n: usize,
+    /// Radio range between secondaries.
+    pub radio_radius: f64,
+    /// Size of the licensed band (number of global channels).
+    pub universe: usize,
+    /// Channels each secondary operates on (the model's `c`).
+    pub c: usize,
+    /// Number of primary users, placed uniformly at random.
+    pub primaries: usize,
+    /// Protection radius of every primary.
+    pub primary_radius: f64,
+}
+
+/// A materialized white-space deployment.
+#[derive(Debug, Clone)]
+pub struct WhitespaceDeployment {
+    /// Node positions in the unit square.
+    pub positions: Vec<(f64, f64)>,
+    /// The primary users.
+    pub primaries: Vec<PrimaryUser>,
+    /// Per-node channel sets (each of size `c`), local-label order.
+    pub channel_sets: Vec<Vec<GlobalChannel>>,
+    /// Radio-range edges (before any overlap pruning).
+    pub edges: Vec<(u32, u32)>,
+}
+
+/// Errors from [`generate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WhitespaceError {
+    /// A node position had fewer than `c` free channels; reduce primary
+    /// density or `c`.
+    NotEnoughFreeChannels {
+        /// The starved node.
+        node: usize,
+        /// Channels free at its position.
+        free: usize,
+        /// Channels required.
+        needed: usize,
+    },
+}
+
+impl std::fmt::Display for WhitespaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WhitespaceError::NotEnoughFreeChannels { node, free, needed } => write!(
+                f,
+                "node {node} has only {free} free channels but needs {needed}; \
+                 lower the primary density, shrink protection radii, or reduce c"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WhitespaceError {}
+
+/// Generates a deployment: node and primary placement, per-node channel
+/// availability, channel selection, and radio-range edges.
+///
+/// # Errors
+/// Fails with [`WhitespaceError::NotEnoughFreeChannels`] when the primaries
+/// blanket some location so densely that fewer than `c` channels remain.
+pub fn generate(
+    cfg: &WhitespaceConfig,
+    rng: &mut SmallRng,
+) -> Result<WhitespaceDeployment, WhitespaceError> {
+    assert!(cfg.c >= 1 && cfg.c <= cfg.universe, "need 1 <= c <= universe");
+    assert!(cfg.radio_radius > 0.0, "radio radius must be positive");
+    let positions: Vec<(f64, f64)> =
+        (0..cfg.n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let primaries: Vec<PrimaryUser> = (0..cfg.primaries)
+        .map(|_| PrimaryUser {
+            x: rng.gen(),
+            y: rng.gen(),
+            radius: cfg.primary_radius,
+            channel: GlobalChannel(rng.gen_range(0..cfg.universe as u32)),
+        })
+        .collect();
+
+    let mut channel_sets = Vec::with_capacity(cfg.n);
+    for (i, &(x, y)) in positions.iter().enumerate() {
+        let free: Vec<GlobalChannel> = (0..cfg.universe as u32)
+            .map(GlobalChannel)
+            .filter(|&ch| !primaries.iter().any(|p| p.channel == ch && p.covers(x, y)))
+            .collect();
+        if free.len() < cfg.c {
+            return Err(WhitespaceError::NotEnoughFreeChannels {
+                node: i,
+                free: free.len(),
+                needed: cfg.c,
+            });
+        }
+        let mut chosen: Vec<GlobalChannel> =
+            free.choose_multiple(rng, cfg.c).copied().collect();
+        chosen.shuffle(rng); // arbitrary local labels
+        channel_sets.push(chosen);
+    }
+
+    let r2 = cfg.radio_radius * cfg.radio_radius;
+    let mut edges = Vec::new();
+    for a in 0..cfg.n {
+        for b in (a + 1)..cfg.n {
+            let dx = positions[a].0 - positions[b].0;
+            let dy = positions[a].1 - positions[b].1;
+            if dx * dx + dy * dy <= r2 {
+                edges.push((a as u32, b as u32));
+            }
+        }
+    }
+    Ok(WhitespaceDeployment { positions, primaries, channel_sets, edges })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channels::overlap_size;
+    use crate::rng::stream_rng;
+
+    fn config() -> WhitespaceConfig {
+        WhitespaceConfig {
+            n: 40,
+            radio_radius: 0.25,
+            universe: 12,
+            c: 5,
+            primaries: 6,
+            primary_radius: 0.3,
+        }
+    }
+
+    #[test]
+    fn generates_valid_deployment() {
+        let mut rng = stream_rng(1, 0);
+        let dep = generate(&config(), &mut rng).expect("generates");
+        assert_eq!(dep.positions.len(), 40);
+        assert_eq!(dep.channel_sets.len(), 40);
+        for set in &dep.channel_sets {
+            assert_eq!(set.len(), 5);
+            let mut d = set.clone();
+            d.sort_unstable();
+            d.dedup();
+            assert_eq!(d.len(), 5, "no duplicate channels");
+        }
+    }
+
+    #[test]
+    fn nodes_avoid_covering_primaries() {
+        let mut rng = stream_rng(2, 0);
+        let dep = generate(&config(), &mut rng).unwrap();
+        for (i, set) in dep.channel_sets.iter().enumerate() {
+            let (x, y) = dep.positions[i];
+            for p in &dep.primaries {
+                if p.covers(x, y) {
+                    assert!(
+                        !set.contains(&p.channel),
+                        "node {i} uses channel {} inside primary protection",
+                        p.channel
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nearby_nodes_share_more_spectrum_than_distant_ones() {
+        // Spatial correlation: average overlap of close pairs should be at
+        // least that of far pairs (statistically, with a blanket primary
+        // layout this is the whole point of the model).
+        let cfg = WhitespaceConfig { primaries: 10, primary_radius: 0.4, ..config() };
+        let mut close = Vec::new();
+        let mut far = Vec::new();
+        for seed in 0..10 {
+            let mut rng = stream_rng(100 + seed, 0);
+            let Ok(dep) = generate(&cfg, &mut rng) else { continue };
+            for a in 0..cfg.n {
+                for b in (a + 1)..cfg.n {
+                    let dx = dep.positions[a].0 - dep.positions[b].0;
+                    let dy = dep.positions[a].1 - dep.positions[b].1;
+                    let dist = (dx * dx + dy * dy).sqrt();
+                    let ov = overlap_size(&dep.channel_sets[a], &dep.channel_sets[b]) as f64;
+                    if dist < 0.2 {
+                        close.push(ov);
+                    } else if dist > 0.7 {
+                        far.push(ov);
+                    }
+                }
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(
+            mean(&close) >= mean(&far),
+            "close pairs should overlap at least as much: {} vs {}",
+            mean(&close),
+            mean(&far)
+        );
+    }
+
+    #[test]
+    fn fails_cleanly_when_primaries_blanket_spectrum() {
+        let cfg = WhitespaceConfig {
+            universe: 3,
+            c: 3,
+            primaries: 60,
+            primary_radius: 2.0, // covers everything
+            ..config()
+        };
+        let mut rng = stream_rng(3, 0);
+        let err = generate(&cfg, &mut rng).unwrap_err();
+        assert!(matches!(err, WhitespaceError::NotEnoughFreeChannels { .. }));
+        assert!(err.to_string().contains("free channels"));
+    }
+
+    #[test]
+    fn primary_coverage_geometry() {
+        let p = PrimaryUser { x: 0.5, y: 0.5, radius: 0.1, channel: GlobalChannel(0) };
+        assert!(p.covers(0.55, 0.5));
+        assert!(!p.covers(0.7, 0.5));
+    }
+}

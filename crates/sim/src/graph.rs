@@ -1,0 +1,286 @@
+//! Undirected graph utilities: BFS, connectivity, diameter, degrees.
+//!
+//! These operate on plain adjacency lists and are used both by the network
+//! builder (to compute ground-truth statistics such as `D` and `Δ`) and by
+//! the pure coloring algorithms in `crn-core`.
+
+use std::collections::VecDeque;
+
+/// An immutable undirected graph stored as sorted adjacency lists.
+///
+/// # Examples
+/// ```
+/// use crn_sim::graph::Graph;
+/// // A path 0-1-2-3.
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+/// assert_eq!(g.degree(1), 2);
+/// assert_eq!(g.max_degree(), 2);
+/// assert!(g.is_connected());
+/// assert_eq!(g.diameter(), Some(3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    adj: Vec<Vec<u32>>,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Builds a graph on `n` vertices from an edge list. Duplicate edges are
+    /// collapsed.
+    ///
+    /// # Panics
+    /// Panics on self-loops or endpoints `>= n`.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Graph {
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            assert!(a != b, "self-loop {a}-{b}");
+            assert!((a as usize) < n && (b as usize) < n, "edge {a}-{b} out of range for n={n}");
+            adj[a as usize].push(b);
+            adj[b as usize].push(a);
+        }
+        let mut num_edges = 0;
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+            num_edges += list.len();
+        }
+        Graph { adj, num_edges: num_edges / 2 }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// `true` if the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Number of (undirected) edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Sorted neighbor list of vertex `v`.
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.adj[v]
+    }
+
+    /// Degree of vertex `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Maximum degree `Δ` (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// `true` if `a` and `b` are adjacent.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.adj[a].binary_search(&(b as u32)).is_ok()
+    }
+
+    /// All edges in canonical `(lo, hi)` order, sorted.
+    pub fn edges(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::with_capacity(self.num_edges);
+        for (v, list) in self.adj.iter().enumerate() {
+            for &w in list {
+                if (v as u32) < w {
+                    out.push((v as u32, w));
+                }
+            }
+        }
+        out
+    }
+
+    /// BFS distances from `src`; unreachable vertices get `u32::MAX`.
+    pub fn bfs_distances(&self, src: usize) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.len()];
+        let mut q = VecDeque::new();
+        dist[src] = 0;
+        q.push_back(src as u32);
+        while let Some(v) = q.pop_front() {
+            let dv = dist[v as usize];
+            for &w in &self.adj[v as usize] {
+                if dist[w as usize] == u32::MAX {
+                    dist[w as usize] = dv + 1;
+                    q.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// `true` if the graph is connected (the empty graph counts as
+    /// connected; a single vertex does too).
+    pub fn is_connected(&self) -> bool {
+        if self.len() <= 1 {
+            return true;
+        }
+        self.bfs_distances(0).iter().all(|&d| d != u32::MAX)
+    }
+
+    /// Exact diameter via all-source BFS, or `None` if the graph is
+    /// disconnected or empty. O(n·m); fine for the simulation sizes used
+    /// here (n ≤ a few thousand).
+    pub fn diameter(&self) -> Option<u64> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut diam = 0u64;
+        for v in 0..self.len() {
+            let dist = self.bfs_distances(v);
+            for &d in &dist {
+                if d == u32::MAX {
+                    return None;
+                }
+                diam = diam.max(d as u64);
+            }
+        }
+        Some(diam)
+    }
+
+    /// Eccentricity of `src` (max BFS distance), or `None` if some vertex is
+    /// unreachable.
+    pub fn eccentricity(&self, src: usize) -> Option<u64> {
+        let dist = self.bfs_distances(src);
+        let mut ecc = 0u64;
+        for &d in &dist {
+            if d == u32::MAX {
+                return None;
+            }
+            ecc = ecc.max(d as u64);
+        }
+        Some(ecc)
+    }
+
+    /// Number of connected components.
+    pub fn num_components(&self) -> usize {
+        let n = self.len();
+        let mut seen = vec![false; n];
+        let mut comps = 0;
+        let mut q = VecDeque::new();
+        for s in 0..n {
+            if seen[s] {
+                continue;
+            }
+            comps += 1;
+            seen[s] = true;
+            q.push_back(s as u32);
+            while let Some(v) = q.pop_front() {
+                for &w in &self.adj[v as usize] {
+                    if !seen[w as usize] {
+                        seen[w as usize] = true;
+                        q.push_back(w);
+                    }
+                }
+            }
+        }
+        comps
+    }
+
+    /// Vertex indices of the largest connected component, sorted.
+    pub fn largest_component(&self) -> Vec<u32> {
+        let n = self.len();
+        let mut comp = vec![usize::MAX; n];
+        let mut sizes = Vec::new();
+        let mut q = VecDeque::new();
+        for s in 0..n {
+            if comp[s] != usize::MAX {
+                continue;
+            }
+            let id = sizes.len();
+            comp[s] = id;
+            let mut size = 1usize;
+            q.push_back(s as u32);
+            while let Some(v) = q.pop_front() {
+                for &w in &self.adj[v as usize] {
+                    if comp[w as usize] == usize::MAX {
+                        comp[w as usize] = id;
+                        size += 1;
+                        q.push_back(w);
+                    }
+                }
+            }
+            sizes.push(size);
+        }
+        let best = sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, s)| *s)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        (0..n as u32).filter(|&v| comp[v as usize] == best).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_graph_metrics() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.max_degree(), 2);
+        assert!(g.is_connected());
+        assert_eq!(g.diameter(), Some(4));
+        assert_eq!(g.eccentricity(2), Some(2));
+        assert_eq!(g.num_components(), 1);
+    }
+
+    #[test]
+    fn star_graph_metrics() {
+        let edges: Vec<(u32, u32)> = (1..=6).map(|i| (0, i)).collect();
+        let g = Graph::from_edges(7, &edges);
+        assert_eq!(g.max_degree(), 6);
+        assert_eq!(g.diameter(), Some(2));
+        assert_eq!(g.degree(0), 6);
+        assert_eq!(g.degree(3), 1);
+    }
+
+    #[test]
+    fn disconnected_graph() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(!g.is_connected());
+        assert_eq!(g.diameter(), None);
+        assert_eq!(g.num_components(), 2);
+        assert_eq!(g.eccentricity(0), None);
+        let lc = g.largest_component();
+        assert_eq!(lc.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (0, 1)]);
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn edges_round_trip() {
+        let input = vec![(0u32, 1u32), (1, 2), (0, 2), (2, 3)];
+        let g = Graph::from_edges(4, &input);
+        let mut got = g.edges();
+        got.sort_unstable();
+        let mut want = input.clone();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn single_vertex_is_connected() {
+        let g = Graph::from_edges(1, &[]);
+        assert!(g.is_connected());
+        assert_eq!(g.diameter(), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_edges() {
+        let _ = Graph::from_edges(2, &[(0, 2)]);
+    }
+}

@@ -1,0 +1,266 @@
+//! Strongly-typed identifiers used throughout the simulator.
+//!
+//! The model of Gilbert–Kuhn–Zheng (PODC'17) distinguishes *global* channels
+//! (the physical frequency bands, known only to the simulator) from *local*
+//! channel labels (what a node calls its own channels: the paper assumes no
+//! global channel labels exist). Mixing the two up is the classic bug in CRN
+//! simulations, so we make them distinct types.
+
+use std::fmt;
+
+/// Identity of a node in the network.
+///
+/// Node identities are unique and comparable; several of the paper's
+/// protocols (e.g. the line-graph simulation in CGCAST §5.2) rely on
+/// comparing identities, so `NodeId` is `Ord`.
+///
+/// # Examples
+/// ```
+/// use crn_sim::NodeId;
+/// let a = NodeId(3);
+/// let b = NodeId(7);
+/// assert!(a < b);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the identifier as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// A *global* (physical) channel. Only the simulator sees these; protocol
+/// code must never observe a `GlobalChannel` (the model assumes no global
+/// channel labels, paper §3).
+///
+/// # Examples
+/// ```
+/// use crn_sim::GlobalChannel;
+/// let g = GlobalChannel(12);
+/// assert_eq!(g.index(), 12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GlobalChannel(pub u32);
+
+impl GlobalChannel {
+    /// Returns the channel as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GlobalChannel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// A node-local channel label in `0..c`. Each node has its own arbitrary
+/// mapping from local labels to global channels; protocols address channels
+/// exclusively through local labels.
+///
+/// # Examples
+/// ```
+/// use crn_sim::LocalChannel;
+/// let l = LocalChannel(2);
+/// assert_eq!(l.index(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LocalChannel(pub u16);
+
+impl LocalChannel {
+    /// Returns the label as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LocalChannel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// A discrete time slot. Slots start at 0 and all nodes share the same slot
+/// clock (the model is fully synchronous and execution starts simultaneously,
+/// paper §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Slot(pub u64);
+
+impl Slot {
+    /// The first slot of an execution.
+    pub const ZERO: Slot = Slot(0);
+
+    /// Returns the next slot.
+    #[inline]
+    pub fn next(self) -> Slot {
+        Slot(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// An undirected edge between two nodes, stored in canonical order
+/// (`lo < hi`). Used by the edge-coloring machinery of CGCAST.
+///
+/// # Examples
+/// ```
+/// use crn_sim::{Edge, NodeId};
+/// let e = Edge::new(NodeId(9), NodeId(2));
+/// assert_eq!(e.lo(), NodeId(2));
+/// assert_eq!(e.hi(), NodeId(9));
+/// assert!(e.touches(NodeId(9)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge {
+    lo: NodeId,
+    hi: NodeId,
+}
+
+impl Edge {
+    /// Creates an edge between `a` and `b`, normalizing the endpoint order.
+    ///
+    /// # Panics
+    /// Panics if `a == b` (the network graph is simple, paper §3).
+    pub fn new(a: NodeId, b: NodeId) -> Edge {
+        assert!(a != b, "self-loop edge {a}-{b} is not allowed in a simple graph");
+        if a < b {
+            Edge { lo: a, hi: b }
+        } else {
+            Edge { lo: b, hi: a }
+        }
+    }
+
+    /// The smaller endpoint. In CGCAST this is the node that simulates the
+    /// edge's virtual node in the line graph (paper §5.2).
+    #[inline]
+    pub fn lo(self) -> NodeId {
+        self.lo
+    }
+
+    /// The larger endpoint.
+    #[inline]
+    pub fn hi(self) -> NodeId {
+        self.hi
+    }
+
+    /// Returns `true` if `v` is one of the endpoints.
+    #[inline]
+    pub fn touches(self, v: NodeId) -> bool {
+        self.lo == v || self.hi == v
+    }
+
+    /// Given one endpoint, returns the other.
+    ///
+    /// # Panics
+    /// Panics if `v` is not an endpoint of this edge.
+    #[inline]
+    pub fn other(self, v: NodeId) -> NodeId {
+        if v == self.lo {
+            self.hi
+        } else if v == self.hi {
+            self.lo
+        } else {
+            panic!("{v} is not an endpoint of edge {self}")
+        }
+    }
+
+    /// Returns `true` if the two edges share an endpoint (i.e. they are
+    /// adjacent vertices in the line graph).
+    #[inline]
+    pub fn shares_endpoint(self, other: Edge) -> bool {
+        self.touches(other.lo) || self.touches(other.hi)
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}-{})", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_ordering_and_display() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId(5).to_string(), "n5");
+        assert_eq!(NodeId::from(9u32), NodeId(9));
+        assert_eq!(NodeId(4).index(), 4);
+    }
+
+    #[test]
+    fn slot_progression() {
+        assert_eq!(Slot::ZERO.next(), Slot(1));
+        assert_eq!(Slot(41).next(), Slot(42));
+        assert_eq!(Slot(7).to_string(), "t7");
+    }
+
+    #[test]
+    fn edge_canonicalizes_order() {
+        let e = Edge::new(NodeId(9), NodeId(2));
+        assert_eq!(e.lo(), NodeId(2));
+        assert_eq!(e.hi(), NodeId(9));
+        assert_eq!(e, Edge::new(NodeId(2), NodeId(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn edge_rejects_self_loop() {
+        let _ = Edge::new(NodeId(3), NodeId(3));
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let e = Edge::new(NodeId(1), NodeId(4));
+        assert_eq!(e.other(NodeId(1)), NodeId(4));
+        assert_eq!(e.other(NodeId(4)), NodeId(1));
+        assert!(e.touches(NodeId(1)));
+        assert!(!e.touches(NodeId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn edge_other_panics_for_non_endpoint() {
+        let _ = Edge::new(NodeId(1), NodeId(4)).other(NodeId(2));
+    }
+
+    #[test]
+    fn edge_adjacency_in_line_graph() {
+        let a = Edge::new(NodeId(0), NodeId(1));
+        let b = Edge::new(NodeId(1), NodeId(2));
+        let c = Edge::new(NodeId(2), NodeId(3));
+        assert!(a.shares_endpoint(b));
+        assert!(!a.shares_endpoint(c));
+        assert!(b.shares_endpoint(c));
+    }
+
+    #[test]
+    fn channel_display() {
+        assert_eq!(GlobalChannel(3).to_string(), "g3");
+        assert_eq!(LocalChannel(3).to_string(), "l3");
+    }
+}

@@ -1,0 +1,557 @@
+//! The cognitive radio network instance: topology + per-node channel sets.
+//!
+//! A [`Network`] captures everything the *environment* knows: which nodes
+//! are in radio range of each other, which global channels each node can
+//! access, and each node's private local labeling of its channels. Protocol
+//! code never sees global channels; the engine translates local labels.
+//!
+//! The paper's structural parameters are computed as ground truth here:
+//! every pair of neighbors shares at least `k` and at most `kmax` channels,
+//! the maximum degree is `Δ`, and the diameter is `D` (paper §3).
+
+use crate::bitset::BitSet;
+use crate::graph::Graph;
+use crate::ids::{Edge, GlobalChannel, LocalChannel, NodeId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors produced while validating a [`NetworkBuilder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetworkError {
+    /// The network must contain at least one node.
+    NoNodes,
+    /// A node was given no channels.
+    EmptyChannelSet(NodeId),
+    /// All nodes must have the same number of channels `c`.
+    UnequalChannelCounts {
+        /// Offending node.
+        node: NodeId,
+        /// Its channel count.
+        got: usize,
+        /// The channel count of node 0.
+        expected: usize,
+    },
+    /// A node's channel list mentions the same global channel twice.
+    DuplicateChannel(NodeId, GlobalChannel),
+    /// An edge endpoint does not exist.
+    UnknownNode(NodeId),
+    /// An edge connects a node to itself.
+    SelfLoop(NodeId),
+    /// Two neighbors share no channel, violating `k ≥ 1`.
+    NoSharedChannel(NodeId, NodeId),
+    /// A node was not assigned channels at all.
+    MissingChannels(NodeId),
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::NoNodes => write!(f, "network must contain at least one node"),
+            NetworkError::EmptyChannelSet(v) => write!(f, "node {v} has an empty channel set"),
+            NetworkError::UnequalChannelCounts { node, got, expected } => write!(
+                f,
+                "node {node} has {got} channels but the network uses c={expected}"
+            ),
+            NetworkError::DuplicateChannel(v, g) => {
+                write!(f, "node {v} lists channel {g} more than once")
+            }
+            NetworkError::UnknownNode(v) => write!(f, "edge endpoint {v} does not exist"),
+            NetworkError::SelfLoop(v) => write!(f, "self-loop at {v}"),
+            NetworkError::NoSharedChannel(u, v) => {
+                write!(f, "neighbors {u} and {v} share no channel (k >= 1 required)")
+            }
+            NetworkError::MissingChannels(v) => write!(f, "node {v} was never assigned channels"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// Ground-truth structural statistics of a network, matching the paper's
+/// parameter names.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkStats {
+    /// Number of nodes `n`.
+    pub n: usize,
+    /// Channels per node `c`.
+    pub c: usize,
+    /// Number of distinct global channels in use.
+    pub universe: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Maximum degree `Δ` (at least 1 by convention so that `lg Δ` schedules
+    /// are well defined even on edgeless graphs).
+    pub delta: usize,
+    /// Minimum pairwise overlap `k` over all edges (`= c` when there are no
+    /// edges).
+    pub k: usize,
+    /// Maximum pairwise overlap `kmax` over all edges (`= 1` when there are
+    /// no edges).
+    pub kmax: usize,
+    /// `true` if the graph is connected.
+    pub connected: bool,
+    /// Diameter `D` if connected.
+    pub diameter: Option<u64>,
+}
+
+/// An immutable cognitive radio network instance.
+///
+/// # Examples
+/// ```
+/// use crn_sim::{GlobalChannel, Network, NodeId};
+/// let mut b = Network::builder(2);
+/// b.set_channels(NodeId(0), vec![GlobalChannel(0), GlobalChannel(1)]);
+/// b.set_channels(NodeId(1), vec![GlobalChannel(1), GlobalChannel(2)]);
+/// b.add_edge(NodeId(0), NodeId(1));
+/// let net = b.build()?;
+/// assert_eq!(net.stats().k, 1); // the single edge shares exactly {g1}
+/// # Ok::<(), crn_sim::NetworkError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network {
+    /// `channels[v][l]` = global channel for local label `l` at node `v`.
+    channels: Vec<Vec<GlobalChannel>>,
+    /// Reverse maps, one per node.
+    reverse: Vec<HashMap<GlobalChannel, LocalChannel>>,
+    graph: Graph,
+    /// Adjacency bitsets for O(1) neighbor tests in the engine hot loop.
+    adj_bits: Vec<BitSet>,
+    universe: usize,
+    stats: NetworkStats,
+}
+
+impl Network {
+    /// Starts building a network with `n` nodes (identities `0..n`).
+    pub fn builder(n: usize) -> NetworkBuilder {
+        NetworkBuilder {
+            n,
+            channels: vec![None; n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// `true` if the network has no nodes. (Builders reject this, so this is
+    /// always `false` for built networks.)
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// Channels per node, the paper's `c`.
+    pub fn channels_per_node(&self) -> usize {
+        self.channels[0].len()
+    }
+
+    /// Number of distinct global channels.
+    pub fn universe_size(&self) -> usize {
+        self.universe
+    }
+
+    /// The underlying connectivity graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Ground-truth statistics (`n`, `c`, `Δ`, `k`, `kmax`, `D`, …).
+    pub fn stats(&self) -> NetworkStats {
+        self.stats
+    }
+
+    /// Translates node `v`'s local label to the physical channel.
+    ///
+    /// # Panics
+    /// Panics if the label is out of range.
+    #[inline]
+    pub fn local_to_global(&self, v: NodeId, l: LocalChannel) -> GlobalChannel {
+        self.channels[v.index()][l.index()]
+    }
+
+    /// Translates a physical channel to node `v`'s local label, if `v` can
+    /// access it.
+    pub fn global_to_local(&self, v: NodeId, g: GlobalChannel) -> Option<LocalChannel> {
+        self.reverse[v.index()].get(&g).copied()
+    }
+
+    /// Node `v`'s channel set in local-label order.
+    pub fn channel_map(&self, v: NodeId) -> &[GlobalChannel] {
+        &self.channels[v.index()]
+    }
+
+    /// Sorted neighbor identities of `v`.
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.graph.neighbors(v.index()).iter().map(|&w| NodeId(w))
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.graph.degree(v.index())
+    }
+
+    /// `true` if `u` and `v` are neighbors.
+    #[inline]
+    pub fn are_neighbors(&self, u: NodeId, v: NodeId) -> bool {
+        self.adj_bits[u.index()].contains(v.index())
+    }
+
+    /// The global channels shared by `u` and `v`, sorted.
+    pub fn shared_channels(&self, u: NodeId, v: NodeId) -> Vec<GlobalChannel> {
+        let set: &HashMap<GlobalChannel, LocalChannel> = &self.reverse[v.index()];
+        let mut shared: Vec<GlobalChannel> = self.channels[u.index()]
+            .iter()
+            .copied()
+            .filter(|g| set.contains_key(g))
+            .collect();
+        shared.sort_unstable();
+        shared
+    }
+
+    /// `|shared_channels(u, v)|`, the paper's `k_{u,v}`.
+    pub fn overlap(&self, u: NodeId, v: NodeId) -> usize {
+        self.shared_channels(u, v).len()
+    }
+
+    /// All edges of the network.
+    pub fn edges(&self) -> Vec<Edge> {
+        self.graph
+            .edges()
+            .into_iter()
+            .map(|(a, b)| Edge::new(NodeId(a), NodeId(b)))
+            .collect()
+    }
+
+    /// Number of `v`'s neighbors that can access global channel `g` — the
+    /// paper's `n_ch` ("crowdedness" of a channel from `v`'s perspective).
+    pub fn channel_crowd(&self, v: NodeId, g: GlobalChannel) -> usize {
+        self.neighbors(v)
+            .filter(|&w| self.reverse[w.index()].contains_key(&g))
+            .count()
+    }
+
+    /// The number of neighbors of `v` sharing at least `khat` channels with
+    /// `v` — used as ground truth for the k̂-neighbor-discovery problem.
+    pub fn good_neighbors(&self, v: NodeId, khat: usize) -> Vec<NodeId> {
+        self.neighbors(v)
+            .filter(|&w| self.overlap(v, w) >= khat)
+            .collect()
+    }
+
+    /// Maximum over nodes of `good_neighbors(v, khat).len()`, the paper's
+    /// `Δ_k̂`.
+    pub fn delta_khat(&self, khat: usize) -> usize {
+        (0..self.len())
+            .map(|v| self.good_neighbors(NodeId(v as u32), khat).len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Renders the network as Graphviz DOT: nodes labeled with their ids,
+    /// edges labeled with the shared-channel count. Handy for debugging
+    /// generated scenarios (`dot -Tsvg net.dot -o net.svg`).
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("graph crn {\n  node [shape=circle];\n");
+        for v in 0..self.len() {
+            let _ = writeln!(out, "  n{v} [label=\"{v}\"];");
+        }
+        for e in self.edges() {
+            let _ = writeln!(
+                out,
+                "  n{} -- n{} [label=\"{}\"];",
+                e.lo().0,
+                e.hi().0,
+                self.overlap(e.lo(), e.hi())
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Builder for [`Network`]. See [`Network::builder`].
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder {
+    n: usize,
+    channels: Vec<Option<Vec<GlobalChannel>>>,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl NetworkBuilder {
+    /// Assigns node `v` its channel set. The order of the vector *is* the
+    /// node's local labeling (label `l` ↦ `chs[l]`), so callers can shuffle
+    /// it to model arbitrary local labels.
+    pub fn set_channels(&mut self, v: NodeId, chs: Vec<GlobalChannel>) -> &mut Self {
+        assert!(v.index() < self.n, "node {v} out of range");
+        self.channels[v.index()] = Some(chs);
+        self
+    }
+
+    /// Declares `u` and `v` to be within radio range of each other.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Adds many edges at once.
+    pub fn add_edges(&mut self, edges: impl IntoIterator<Item = (NodeId, NodeId)>) -> &mut Self {
+        self.edges.extend(edges);
+        self
+    }
+
+    /// Validates and freezes the network.
+    ///
+    /// # Errors
+    /// Returns a [`NetworkError`] if any model constraint is violated:
+    /// missing/empty/duplicated channel sets, unequal `c` across nodes,
+    /// unknown endpoints, self-loops, or an edge whose endpoints share no
+    /// channel.
+    pub fn build(&self) -> Result<Network, NetworkError> {
+        if self.n == 0 {
+            return Err(NetworkError::NoNodes);
+        }
+        let mut channels = Vec::with_capacity(self.n);
+        for (i, c) in self.channels.iter().enumerate() {
+            match c {
+                None => return Err(NetworkError::MissingChannels(NodeId(i as u32))),
+                Some(list) if list.is_empty() => {
+                    return Err(NetworkError::EmptyChannelSet(NodeId(i as u32)))
+                }
+                Some(list) => channels.push(list.clone()),
+            }
+        }
+        let c = channels[0].len();
+        for (i, list) in channels.iter().enumerate() {
+            if list.len() != c {
+                return Err(NetworkError::UnequalChannelCounts {
+                    node: NodeId(i as u32),
+                    got: list.len(),
+                    expected: c,
+                });
+            }
+        }
+        let mut reverse: Vec<HashMap<GlobalChannel, LocalChannel>> = Vec::with_capacity(self.n);
+        for (i, list) in channels.iter().enumerate() {
+            let mut map = HashMap::with_capacity(list.len());
+            for (l, &g) in list.iter().enumerate() {
+                if map.insert(g, LocalChannel(l as u16)).is_some() {
+                    return Err(NetworkError::DuplicateChannel(NodeId(i as u32), g));
+                }
+            }
+            reverse.push(map);
+        }
+        let mut raw_edges = Vec::with_capacity(self.edges.len());
+        for &(u, v) in &self.edges {
+            if u.index() >= self.n {
+                return Err(NetworkError::UnknownNode(u));
+            }
+            if v.index() >= self.n {
+                return Err(NetworkError::UnknownNode(v));
+            }
+            if u == v {
+                return Err(NetworkError::SelfLoop(u));
+            }
+            raw_edges.push((u.0, v.0));
+        }
+        let graph = Graph::from_edges(self.n, &raw_edges);
+
+        // k / kmax ground truth + the k >= 1 model requirement.
+        let mut k = c;
+        let mut kmax = 1usize.min(c);
+        for (a, b) in graph.edges() {
+            let u = NodeId(a);
+            let v = NodeId(b);
+            let shared = reverse[v.index()]
+                .keys()
+                .filter(|g| reverse[u.index()].contains_key(g))
+                .count();
+            if shared == 0 {
+                return Err(NetworkError::NoSharedChannel(u, v));
+            }
+            k = k.min(shared);
+            kmax = kmax.max(shared);
+        }
+
+        let mut adj_bits = Vec::with_capacity(self.n);
+        for v in 0..self.n {
+            let mut bits = BitSet::new(self.n);
+            for &w in graph.neighbors(v) {
+                bits.insert(w as usize);
+            }
+            adj_bits.push(bits);
+        }
+
+        let mut universe_set: Vec<u32> = channels
+            .iter()
+            .flat_map(|list| list.iter().map(|g| g.0))
+            .collect();
+        universe_set.sort_unstable();
+        universe_set.dedup();
+
+        let stats = NetworkStats {
+            n: self.n,
+            c,
+            universe: universe_set.len(),
+            edges: graph.num_edges(),
+            delta: graph.max_degree().max(1),
+            k,
+            kmax,
+            connected: graph.is_connected(),
+            diameter: graph.diameter(),
+        };
+
+        Ok(Network {
+            channels,
+            reverse,
+            graph,
+            adj_bits,
+            universe: universe_set.len(),
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(v: u32) -> GlobalChannel {
+        GlobalChannel(v)
+    }
+
+    fn two_node_net() -> Network {
+        let mut b = Network::builder(2);
+        b.set_channels(NodeId(0), vec![g(0), g(1), g(2)]);
+        b.set_channels(NodeId(1), vec![g(2), g(3), g(1)]);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.build().expect("valid network")
+    }
+
+    #[test]
+    fn builds_and_reports_stats() {
+        let net = two_node_net();
+        let s = net.stats();
+        assert_eq!(s.n, 2);
+        assert_eq!(s.c, 3);
+        assert_eq!(s.edges, 1);
+        assert_eq!(s.delta, 1);
+        assert_eq!(s.k, 2); // shared = {g1, g2}
+        assert_eq!(s.kmax, 2);
+        assert!(s.connected);
+        assert_eq!(s.diameter, Some(1));
+        assert_eq!(s.universe, 4);
+    }
+
+    #[test]
+    fn local_global_round_trip() {
+        let net = two_node_net();
+        // Node 1's labels are in the order given: l0->g2, l1->g3, l2->g1.
+        assert_eq!(net.local_to_global(NodeId(1), LocalChannel(0)), g(2));
+        assert_eq!(net.global_to_local(NodeId(1), g(3)), Some(LocalChannel(1)));
+        assert_eq!(net.global_to_local(NodeId(1), g(0)), None);
+        for l in 0..net.channels_per_node() {
+            let l = LocalChannel(l as u16);
+            let gg = net.local_to_global(NodeId(0), l);
+            assert_eq!(net.global_to_local(NodeId(0), gg), Some(l));
+        }
+    }
+
+    #[test]
+    fn shared_channels_and_overlap() {
+        let net = two_node_net();
+        assert_eq!(net.shared_channels(NodeId(0), NodeId(1)), vec![g(1), g(2)]);
+        assert_eq!(net.overlap(NodeId(0), NodeId(1)), 2);
+        assert!(net.are_neighbors(NodeId(0), NodeId(1)));
+        assert!(!net.are_neighbors(NodeId(0), NodeId(0)));
+    }
+
+    #[test]
+    fn rejects_edge_without_shared_channel() {
+        let mut b = Network::builder(2);
+        b.set_channels(NodeId(0), vec![g(0)]);
+        b.set_channels(NodeId(1), vec![g(1)]);
+        b.add_edge(NodeId(0), NodeId(1));
+        assert_eq!(
+            b.build().unwrap_err(),
+            NetworkError::NoSharedChannel(NodeId(0), NodeId(1))
+        );
+    }
+
+    #[test]
+    fn rejects_unequal_channel_counts() {
+        let mut b = Network::builder(2);
+        b.set_channels(NodeId(0), vec![g(0), g(1)]);
+        b.set_channels(NodeId(1), vec![g(0)]);
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, NetworkError::UnequalChannelCounts { .. }));
+    }
+
+    #[test]
+    fn rejects_duplicate_channels() {
+        let mut b = Network::builder(1);
+        b.set_channels(NodeId(0), vec![g(0), g(0)]);
+        assert_eq!(
+            b.build().unwrap_err(),
+            NetworkError::DuplicateChannel(NodeId(0), g(0))
+        );
+    }
+
+    #[test]
+    fn rejects_missing_channels_and_self_loops() {
+        let b = Network::builder(1);
+        assert_eq!(b.build().unwrap_err(), NetworkError::MissingChannels(NodeId(0)));
+
+        let mut b = Network::builder(1);
+        b.set_channels(NodeId(0), vec![g(0)]);
+        b.add_edge(NodeId(0), NodeId(0));
+        assert_eq!(b.build().unwrap_err(), NetworkError::SelfLoop(NodeId(0)));
+    }
+
+    #[test]
+    fn rejects_unknown_endpoint() {
+        let mut b = Network::builder(1);
+        b.set_channels(NodeId(0), vec![g(0)]);
+        b.add_edge(NodeId(0), NodeId(5));
+        assert_eq!(b.build().unwrap_err(), NetworkError::UnknownNode(NodeId(5)));
+    }
+
+    #[test]
+    fn rejects_empty_network() {
+        assert_eq!(Network::builder(0).build().unwrap_err(), NetworkError::NoNodes);
+    }
+
+    #[test]
+    fn channel_crowd_counts_neighbors_with_access() {
+        // Star: center 0 with 3 leaves; g0 shared by all, g9x private.
+        let mut b = Network::builder(4);
+        b.set_channels(NodeId(0), vec![g(0), g(1)]);
+        b.set_channels(NodeId(1), vec![g(0), g(90)]);
+        b.set_channels(NodeId(2), vec![g(0), g(91)]);
+        b.set_channels(NodeId(3), vec![g(0), g(1)]);
+        b.add_edges([(NodeId(0), NodeId(1)), (NodeId(0), NodeId(2)), (NodeId(0), NodeId(3))]);
+        let net = b.build().unwrap();
+        assert_eq!(net.channel_crowd(NodeId(0), g(0)), 3);
+        assert_eq!(net.channel_crowd(NodeId(0), g(1)), 1);
+        assert_eq!(net.good_neighbors(NodeId(0), 2), vec![NodeId(3)]);
+        assert_eq!(net.delta_khat(2), 1);
+        assert_eq!(net.delta_khat(1), 3);
+    }
+
+    #[test]
+    fn dot_export_contains_nodes_and_edges() {
+        let net = two_node_net();
+        let dot = net.to_dot();
+        assert!(dot.starts_with("graph crn {"));
+        assert!(dot.contains("n0 -- n1"));
+        assert!(dot.contains("label=\"2\""), "edge labeled with overlap: {dot}");
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = NetworkError::NoSharedChannel(NodeId(1), NodeId(2));
+        assert!(e.to_string().contains("share no channel"));
+    }
+}

@@ -1,0 +1,235 @@
+//! Small statistics toolkit for experiment aggregation: summary statistics
+//! and least-squares fits (including log–log slope estimation, which is how
+//! the experiment harness checks asymptotic *shape* against the paper's
+//! bounds).
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n ≤ 1).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (50th percentile, linear interpolation).
+    pub median: f64,
+    /// 90th percentile (linear interpolation).
+    pub p90: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics of `samples`.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty.
+    pub fn of(samples: &[f64]) -> Summary {
+        assert!(!samples.is_empty(), "cannot summarize an empty sample");
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+        Summary {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            median: percentile_sorted(&sorted, 50.0),
+            p90: percentile_sorted(&sorted, 90.0),
+            max: sorted[count - 1],
+        }
+    }
+
+    /// Convenience constructor from integer samples.
+    pub fn of_u64(samples: &[u64]) -> Summary {
+        let f: Vec<f64> = samples.iter().map(|&x| x as f64).collect();
+        Summary::of(&f)
+    }
+}
+
+/// Linearly-interpolated percentile of an already-sorted sample.
+///
+/// # Panics
+/// Panics if `sorted` is empty or `p` is outside `[0, 100]`.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} outside [0, 100]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Result of an ordinary least-squares fit `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination R².
+    pub r2: f64,
+}
+
+/// Ordinary least-squares fit of `ys` against `xs`.
+///
+/// # Panics
+/// Panics if the slices differ in length or have fewer than two points.
+pub fn fit_linear(xs: &[f64], ys: &[f64]) -> LinearFit {
+    assert_eq!(xs.len(), ys.len(), "mismatched sample lengths");
+    assert!(xs.len() >= 2, "need at least two points to fit a line");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let sxx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    let slope = if sxx == 0.0 { 0.0 } else { sxy / sxx };
+    let intercept = my - slope * mx;
+    let ss_tot: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (y - (slope * x + intercept)).powi(2))
+        .sum();
+    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    LinearFit { slope, intercept, r2 }
+}
+
+/// Fits `log2(y) ≈ slope·log2(x) + b`, i.e. estimates the polynomial degree
+/// relating `y` to `x`. This is the main tool for validating claims like
+/// "CSEEK scales as c²" (expected slope ≈ 2).
+///
+/// # Panics
+/// Panics if any sample is non-positive, if the slices differ in length, or
+/// if fewer than two points are supplied.
+pub fn fit_loglog(xs: &[f64], ys: &[f64]) -> LinearFit {
+    assert!(
+        xs.iter().chain(ys).all(|&v| v > 0.0),
+        "log-log fit requires strictly positive samples"
+    );
+    let lx: Vec<f64> = xs.iter().map(|x| x.log2()).collect();
+    let ly: Vec<f64> = ys.iter().map(|y| y.log2()).collect();
+    fit_linear(&lx, &ly)
+}
+
+/// Approximate 95% confidence half-width of the sample mean (normal
+/// approximation, `1.96·s/√n`; returns 0 for n ≤ 1). Good enough for the
+/// trial counts used here; quoted alongside means in experiment tables.
+pub fn mean_ci95(samples: &[f64]) -> f64 {
+    if samples.len() <= 1 {
+        return 0.0;
+    }
+    let s = Summary::of(samples);
+    1.96 * s.std_dev / (samples.len() as f64).sqrt()
+}
+
+/// Fraction of samples for which `pred` holds. Convenient for "X% of trials
+/// within [m, 4m]"-style checks.
+pub fn fraction_where<T>(samples: &[T], pred: impl Fn(&T) -> bool) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().filter(|s| pred(s)).count() as f64 / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.median - 3.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.std_dev - (2.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.p90, 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn summary_rejects_empty() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let sorted = [0.0, 10.0];
+        assert!((percentile_sorted(&sorted, 50.0) - 5.0).abs() < 1e-12);
+        assert!((percentile_sorted(&sorted, 90.0) - 9.0).abs() < 1e-12);
+        assert_eq!(percentile_sorted(&sorted, 0.0), 0.0);
+        assert_eq!(percentile_sorted(&sorted, 100.0), 10.0);
+    }
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [3.0, 5.0, 7.0, 9.0];
+        let fit = fit_linear(&xs, &ys);
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 1.0).abs() < 1e-12);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loglog_recovers_quadratic_degree() {
+        let xs: Vec<f64> = (1..=6).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 5.0 * x * x).collect();
+        let fit = fit_loglog(&xs, &ys);
+        assert!((fit.slope - 2.0).abs() < 1e-9, "slope {}", fit.slope);
+    }
+
+    #[test]
+    fn loglog_recovers_inverse_degree() {
+        let xs: Vec<f64> = (1..=6).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 100.0 / x).collect();
+        let fit = fit_loglog(&xs, &ys);
+        assert!((fit.slope + 1.0).abs() < 1e-9, "slope {}", fit.slope);
+    }
+
+    #[test]
+    fn ci_is_zero_for_singletons_and_positive_otherwise() {
+        assert_eq!(mean_ci95(&[1.0]), 0.0);
+        assert_eq!(mean_ci95(&[]), 0.0);
+        let ci = mean_ci95(&[1.0, 2.0, 3.0, 4.0]);
+        assert!(ci > 0.0);
+        // Hand-check: std = 1.29, n = 4 -> 1.96*1.29/2 = 1.27.
+        assert!((ci - 1.2657).abs() < 1e-3, "{ci}");
+    }
+
+    #[test]
+    fn fraction_where_counts() {
+        let v = [1, 2, 3, 4, 5];
+        assert!((fraction_where(&v, |&x| x > 2) - 0.6).abs() < 1e-12);
+        assert_eq!(fraction_where::<u32>(&[], |_| true), 0.0);
+    }
+
+    #[test]
+    fn constant_ys_have_r2_one() {
+        let fit = fit_linear(&[1.0, 2.0, 3.0], &[4.0, 4.0, 4.0]);
+        assert_eq!(fit.slope, 0.0);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,364 @@
+//! Topology generators.
+//!
+//! Each generator produces the *radio-range* graph: which pairs of nodes are
+//! close enough to communicate if they also share a channel. The paper's
+//! experiments need stars (Ω(Δ) lower bound, crowded-channel scenarios),
+//! paths/trees (diameter-dependent broadcast), complete d-ary trees (the
+//! Ω(D·min{c,Δ}) broadcast lower bound of Theorem 14), and random graphs
+//! (realistic multi-hop scenarios).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A topology description. Call [`Topology::edges`] to materialize it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Topology {
+    /// A star: node 0 is the hub, nodes `1..=leaves` are leaves.
+    Star {
+        /// Number of leaves (so `n = leaves + 1`).
+        leaves: usize,
+    },
+    /// A path `0 - 1 - … - (n-1)`. Diameter `n − 1`.
+    Path {
+        /// Number of nodes.
+        n: usize,
+    },
+    /// A cycle over `n ≥ 3` nodes. Diameter `⌊n/2⌋`.
+    Cycle {
+        /// Number of nodes.
+        n: usize,
+    },
+    /// A `rows × cols` grid with 4-neighborhoods.
+    Grid {
+        /// Grid rows.
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+    },
+    /// The complete graph on `n` nodes.
+    Complete {
+        /// Number of nodes.
+        n: usize,
+    },
+    /// A complete `arity`-ary tree of the given `depth` (depth 0 = only the
+    /// root). Node 0 is the root; children are laid out level by level.
+    CompleteTree {
+        /// Children per internal node (≥ 1).
+        arity: usize,
+        /// Tree depth (number of edge-levels).
+        depth: usize,
+    },
+    /// Erdős–Rényi `G(n, p)`.
+    ErdosRenyi {
+        /// Number of nodes.
+        n: usize,
+        /// Edge probability.
+        p: f64,
+    },
+    /// Random geometric graph: `n` points uniform in the unit square,
+    /// connected when within Euclidean distance `radius`.
+    RandomGeometric {
+        /// Number of nodes.
+        n: usize,
+        /// Connection radius.
+        radius: f64,
+    },
+    /// "Caterpillar" of `spine` hub nodes in a path, each with `legs`
+    /// leaves: combines large diameter with large degree, the worst case for
+    /// CGCAST's `D·Δ` dissemination term.
+    Caterpillar {
+        /// Length of the spine path.
+        spine: usize,
+        /// Leaves per spine node.
+        legs: usize,
+    },
+    /// Dumbbell: two stars whose hubs (nodes 0 and 1) are joined by a
+    /// bridge edge. The bridge connects two degree-`legs + 1` nodes and is
+    /// the only route between the halves — the worst case for uncoordinated
+    /// (random-meeting) dissemination.
+    Dumbbell {
+        /// Leaves per hub.
+        legs: usize,
+    },
+}
+
+impl Topology {
+    /// Number of nodes this topology will create.
+    pub fn num_nodes(&self) -> usize {
+        match *self {
+            Topology::Star { leaves } => leaves + 1,
+            Topology::Path { n } | Topology::Cycle { n } => n,
+            Topology::Grid { rows, cols } => rows * cols,
+            Topology::Complete { n } => n,
+            Topology::CompleteTree { arity, depth } => {
+                if arity == 1 {
+                    depth + 1
+                } else {
+                    // (arity^(depth+1) - 1) / (arity - 1)
+                    let mut total = 0usize;
+                    let mut level = 1usize;
+                    for _ in 0..=depth {
+                        total += level;
+                        level *= arity;
+                    }
+                    total
+                }
+            }
+            Topology::ErdosRenyi { n, .. } => n,
+            Topology::RandomGeometric { n, .. } => n,
+            Topology::Caterpillar { spine, legs } => spine * (legs + 1),
+            Topology::Dumbbell { legs } => 2 * (legs + 1),
+        }
+    }
+
+    /// Materializes the edge list. Randomized topologies consume `rng`;
+    /// deterministic ones ignore it.
+    ///
+    /// # Panics
+    /// Panics on degenerate parameters (e.g. a cycle on fewer than 3 nodes).
+    pub fn edges(&self, rng: &mut SmallRng) -> Vec<(u32, u32)> {
+        match *self {
+            Topology::Star { leaves } => (1..=leaves as u32).map(|l| (0, l)).collect(),
+            Topology::Path { n } => {
+                assert!(n >= 1, "path needs at least one node");
+                (0..n.saturating_sub(1) as u32).map(|i| (i, i + 1)).collect()
+            }
+            Topology::Cycle { n } => {
+                assert!(n >= 3, "cycle needs at least three nodes");
+                let mut e: Vec<(u32, u32)> =
+                    (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+                e.push((n as u32 - 1, 0));
+                e
+            }
+            Topology::Grid { rows, cols } => {
+                assert!(rows >= 1 && cols >= 1, "grid needs positive dimensions");
+                let mut e = Vec::new();
+                let idx = |r: usize, c: usize| (r * cols + c) as u32;
+                for r in 0..rows {
+                    for c in 0..cols {
+                        if c + 1 < cols {
+                            e.push((idx(r, c), idx(r, c + 1)));
+                        }
+                        if r + 1 < rows {
+                            e.push((idx(r, c), idx(r + 1, c)));
+                        }
+                    }
+                }
+                e
+            }
+            Topology::Complete { n } => {
+                let mut e = Vec::with_capacity(n * (n - 1) / 2);
+                for a in 0..n as u32 {
+                    for b in (a + 1)..n as u32 {
+                        e.push((a, b));
+                    }
+                }
+                e
+            }
+            Topology::CompleteTree { arity, depth: _ } => {
+                assert!(arity >= 1, "tree arity must be at least 1");
+                let n = self.num_nodes();
+                let mut e = Vec::with_capacity(n.saturating_sub(1));
+                // Children of node v are arity*v + 1 ..= arity*v + arity
+                // (standard heap layout), valid because levels are complete.
+                for v in 0..n {
+                    for ch in 1..=arity {
+                        let child = arity * v + ch;
+                        if child < n {
+                            e.push((v as u32, child as u32));
+                        }
+                    }
+                }
+                e
+            }
+            Topology::ErdosRenyi { n, p } => {
+                assert!((0.0..=1.0).contains(&p), "probability out of range");
+                let mut e = Vec::new();
+                for a in 0..n as u32 {
+                    for b in (a + 1)..n as u32 {
+                        if rng.gen_bool(p) {
+                            e.push((a, b));
+                        }
+                    }
+                }
+                e
+            }
+            Topology::RandomGeometric { n, radius } => {
+                assert!(radius > 0.0, "radius must be positive");
+                let pts: Vec<(f64, f64)> =
+                    (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+                let r2 = radius * radius;
+                let mut e = Vec::new();
+                for a in 0..n {
+                    for b in (a + 1)..n {
+                        let dx = pts[a].0 - pts[b].0;
+                        let dy = pts[a].1 - pts[b].1;
+                        if dx * dx + dy * dy <= r2 {
+                            e.push((a as u32, b as u32));
+                        }
+                    }
+                }
+                e
+            }
+            Topology::Dumbbell { legs } => {
+                let mut e = vec![(0u32, 1u32)];
+                for l in 0..legs as u32 {
+                    e.push((0, 2 + l));
+                    e.push((1, 2 + legs as u32 + l));
+                }
+                e
+            }
+            Topology::Caterpillar { spine, legs } => {
+                assert!(spine >= 1, "caterpillar needs a spine");
+                let mut e = Vec::new();
+                // Spine nodes are 0..spine; leaves follow.
+                for s in 0..spine.saturating_sub(1) as u32 {
+                    e.push((s, s + 1));
+                }
+                let mut next = spine as u32;
+                for s in 0..spine as u32 {
+                    for _ in 0..legs {
+                        e.push((s, next));
+                        next += 1;
+                    }
+                }
+                e
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::rng::stream_rng;
+
+    fn build(t: &Topology, seed: u64) -> Graph {
+        let mut rng = stream_rng(seed, 0);
+        Graph::from_edges(t.num_nodes(), &t.edges(&mut rng))
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = build(&Topology::Star { leaves: 5 }, 0);
+        assert_eq!(g.len(), 6);
+        assert_eq!(g.degree(0), 5);
+        assert_eq!(g.max_degree(), 5);
+        assert_eq!(g.diameter(), Some(2));
+    }
+
+    #[test]
+    fn path_and_cycle() {
+        let p = build(&Topology::Path { n: 6 }, 0);
+        assert_eq!(p.diameter(), Some(5));
+        assert_eq!(p.num_edges(), 5);
+        let c = build(&Topology::Cycle { n: 6 }, 0);
+        assert_eq!(c.diameter(), Some(3));
+        assert_eq!(c.num_edges(), 6);
+        assert_eq!(c.max_degree(), 2);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = build(&Topology::Grid { rows: 3, cols: 4 }, 0);
+        assert_eq!(g.len(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4); // horizontal + vertical
+        assert_eq!(g.diameter(), Some(5));
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn complete_graph() {
+        let g = build(&Topology::Complete { n: 5 }, 0);
+        assert_eq!(g.num_edges(), 10);
+        assert_eq!(g.diameter(), Some(1));
+    }
+
+    #[test]
+    fn complete_tree_counts() {
+        let t = Topology::CompleteTree { arity: 3, depth: 2 };
+        assert_eq!(t.num_nodes(), 1 + 3 + 9);
+        let g = build(&t, 0);
+        assert_eq!(g.num_edges(), 12);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.diameter(), Some(4));
+        // Unary tree degenerates to a path.
+        let t1 = Topology::CompleteTree { arity: 1, depth: 4 };
+        assert_eq!(t1.num_nodes(), 5);
+        assert_eq!(build(&t1, 0).diameter(), Some(4));
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let g0 = build(&Topology::ErdosRenyi { n: 10, p: 0.0 }, 1);
+        assert_eq!(g0.num_edges(), 0);
+        let g1 = build(&Topology::ErdosRenyi { n: 10, p: 1.0 }, 1);
+        assert_eq!(g1.num_edges(), 45);
+    }
+
+    #[test]
+    fn erdos_renyi_is_seed_deterministic() {
+        let t = Topology::ErdosRenyi { n: 20, p: 0.3 };
+        let mut r1 = stream_rng(5, 0);
+        let mut r2 = stream_rng(5, 0);
+        assert_eq!(t.edges(&mut r1), t.edges(&mut r2));
+    }
+
+    #[test]
+    fn random_geometric_radius_monotone() {
+        let t_small = Topology::RandomGeometric { n: 30, radius: 0.1 };
+        let t_big = Topology::RandomGeometric { n: 30, radius: 0.9 };
+        let mut r1 = stream_rng(9, 0);
+        let mut r2 = stream_rng(9, 0);
+        // Same seed => same points, so edge sets are nested.
+        let small = t_small.edges(&mut r1);
+        let big = t_big.edges(&mut r2);
+        assert!(small.len() <= big.len());
+        let bigset: std::collections::HashSet<_> = big.into_iter().collect();
+        assert!(small.iter().all(|e| bigset.contains(e)));
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let t = Topology::Caterpillar { spine: 4, legs: 3 };
+        assert_eq!(t.num_nodes(), 16);
+        let g = build(&t, 0);
+        // Spine interior nodes: 2 spine neighbors + 3 legs.
+        assert_eq!(g.max_degree(), 5);
+        assert_eq!(g.num_edges(), 3 + 12);
+        // Leaf at one end to leaf at other end: 1 + 3 + 1 hops.
+        assert_eq!(g.diameter(), Some(5));
+    }
+
+    #[test]
+    fn dumbbell_shape() {
+        let t = Topology::Dumbbell { legs: 4 };
+        assert_eq!(t.num_nodes(), 10);
+        let g = build(&t, 0);
+        assert_eq!(g.degree(0), 5, "hub: bridge + 4 leaves");
+        assert_eq!(g.degree(1), 5);
+        assert_eq!(g.degree(7), 1, "leaves have degree 1");
+        assert_eq!(g.diameter(), Some(3), "leaf-hub-hub-leaf");
+        assert_eq!(g.num_edges(), 9);
+    }
+
+    #[test]
+    fn all_topologies_connected_with_sane_params() {
+        let mut rng = stream_rng(77, 0);
+        let cases = vec![
+            Topology::Star { leaves: 4 },
+            Topology::Path { n: 7 },
+            Topology::Cycle { n: 7 },
+            Topology::Grid { rows: 3, cols: 3 },
+            Topology::Complete { n: 6 },
+            Topology::CompleteTree { arity: 2, depth: 3 },
+            Topology::Caterpillar { spine: 3, legs: 2 },
+            Topology::Dumbbell { legs: 3 },
+        ];
+        for t in cases {
+            let g = Graph::from_edges(t.num_nodes(), &t.edges(&mut rng));
+            assert!(g.is_connected(), "{t:?} should be connected");
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Execution tracing: wrap any protocol in a [`Recorded`] shim to capture
+//! its per-slot behaviour (action kind, channel, outcome) for debugging,
+//! visualization and spectrum-utilization analysis.
+
+use crate::ids::LocalChannel;
+use crate::protocol::{Action, Feedback, Protocol, SlotCtx};
+
+/// What a node did in one slot (channel-level view).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotEvent {
+    /// Broadcast on the channel.
+    Broadcast(LocalChannel),
+    /// Listened and heard a message.
+    Received(LocalChannel),
+    /// Listened and heard silence (no or colliding transmitters).
+    Silent(LocalChannel),
+    /// Radio off.
+    Idle,
+}
+
+impl SlotEvent {
+    /// The channel touched this slot, if any.
+    pub fn channel(&self) -> Option<LocalChannel> {
+        match *self {
+            SlotEvent::Broadcast(c) | SlotEvent::Received(c) | SlotEvent::Silent(c) => Some(c),
+            SlotEvent::Idle => None,
+        }
+    }
+}
+
+/// A protocol wrapper that records one [`SlotEvent`] per slot.
+///
+/// # Examples
+/// ```
+/// use crn_sim::trace::Recorded;
+/// use crn_sim::*;
+///
+/// struct Beacon;
+/// impl Protocol for Beacon {
+///     type Message = u8;
+///     type Output = ();
+///     fn act(&mut self, _ctx: &mut SlotCtx<'_>) -> Action<u8> {
+///         Action::Broadcast { channel: LocalChannel(0), message: 1 }
+///     }
+///     fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, _fb: Feedback<u8>) {}
+///     fn is_complete(&self) -> bool { false }
+///     fn into_output(self) {}
+/// }
+///
+/// let mut b = Network::builder(1);
+/// b.set_channels(NodeId(0), vec![GlobalChannel(0)]);
+/// let net = b.build()?;
+/// let mut eng = Engine::new(&net, 0, |_| Recorded::new(Beacon));
+/// eng.run_to_completion(3);
+/// let (_, trace) = eng.into_outputs().remove(0);
+/// assert_eq!(trace.len(), 3);
+/// # Ok::<(), crn_sim::NetworkError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Recorded<P: Protocol> {
+    inner: P,
+    log: Vec<SlotEvent>,
+    pending_channel: Option<LocalChannel>,
+    pending_bcast: bool,
+}
+
+impl<P: Protocol> Recorded<P> {
+    /// Wraps `inner`, recording its behaviour.
+    pub fn new(inner: P) -> Recorded<P> {
+        Recorded { inner, log: Vec::new(), pending_channel: None, pending_bcast: false }
+    }
+
+    /// The trace so far.
+    pub fn log(&self) -> &[SlotEvent] {
+        &self.log
+    }
+
+    /// The wrapped protocol.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: Protocol> Protocol for Recorded<P> {
+    type Message = P::Message;
+    type Output = (P::Output, Vec<SlotEvent>);
+
+    fn act(&mut self, ctx: &mut SlotCtx<'_>) -> Action<P::Message> {
+        let action = self.inner.act(ctx);
+        self.pending_channel = action.channel();
+        self.pending_bcast = action.is_broadcast();
+        action
+    }
+
+    fn feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<P::Message>) {
+        let event = match (self.pending_channel, self.pending_bcast, &fb) {
+            (Some(ch), true, _) => SlotEvent::Broadcast(ch),
+            (Some(ch), false, Feedback::Heard(_)) => SlotEvent::Received(ch),
+            (Some(ch), false, _) => SlotEvent::Silent(ch),
+            (None, _, _) => SlotEvent::Idle,
+        };
+        self.log.push(event);
+        self.inner.feedback(ctx, fb);
+    }
+
+    fn is_complete(&self) -> bool {
+        self.inner.is_complete()
+    }
+
+    fn into_output(self) -> (P::Output, Vec<SlotEvent>) {
+        (self.inner.into_output(), self.log)
+    }
+}
+
+/// Per-channel utilization summary computed from a set of traces.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChannelUsage {
+    /// `broadcasts[l]` = broadcast slots observed on local channel `l`.
+    pub broadcasts: Vec<u64>,
+    /// `receptions[l]` = successful receive slots on local channel `l`.
+    pub receptions: Vec<u64>,
+    /// `silent[l]` = listening slots that heard nothing on channel `l`.
+    pub silent: Vec<u64>,
+    /// Total idle slots across all traces.
+    pub idle: u64,
+}
+
+impl ChannelUsage {
+    /// Aggregates traces (local labels are per-node, so this is meaningful
+    /// per node, or across nodes when labels are known to align).
+    pub fn from_traces<'a>(traces: impl IntoIterator<Item = &'a [SlotEvent]>, c: usize) -> Self {
+        let mut usage = ChannelUsage {
+            broadcasts: vec![0; c],
+            receptions: vec![0; c],
+            silent: vec![0; c],
+            idle: 0,
+        };
+        for trace in traces {
+            for ev in trace {
+                match *ev {
+                    SlotEvent::Broadcast(l) => usage.broadcasts[l.index()] += 1,
+                    SlotEvent::Received(l) => usage.receptions[l.index()] += 1,
+                    SlotEvent::Silent(l) => usage.silent[l.index()] += 1,
+                    SlotEvent::Idle => usage.idle += 1,
+                }
+            }
+        }
+        usage
+    }
+
+    /// Fraction of listening slots that resulted in a reception, per
+    /// channel (NaN-free: channels never listened on report 0).
+    pub fn goodput(&self) -> Vec<f64> {
+        self.receptions
+            .iter()
+            .zip(&self.silent)
+            .map(|(&r, &s)| {
+                let total = r + s;
+                if total == 0 {
+                    0.0
+                } else {
+                    r as f64 / total as f64
+                }
+            })
+            .collect()
+    }
+}
+
+/// Renders a compact ASCII timeline of a trace (one char per slot:
+/// `B` broadcast, `R` received, `.` silent listen, space idle), chunked
+/// into lines of `width`.
+pub fn render_timeline(trace: &[SlotEvent], width: usize) -> String {
+    let mut out = String::new();
+    for chunk in trace.chunks(width.max(1)) {
+        for ev in chunk {
+            out.push(match ev {
+                SlotEvent::Broadcast(_) => 'B',
+                SlotEvent::Received(_) => 'R',
+                SlotEvent::Silent(_) => '.',
+                SlotEvent::Idle => ' ',
+            });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{GlobalChannel, NodeId};
+    use crate::network::Network;
+    use crate::Engine;
+
+    struct PingPong {
+        tx: bool,
+        slots: u64,
+        t: u64,
+    }
+
+    impl Protocol for PingPong {
+        type Message = u8;
+        type Output = u64;
+        fn act(&mut self, _ctx: &mut SlotCtx<'_>) -> Action<u8> {
+            let ch = LocalChannel(0);
+            if self.tx {
+                Action::Broadcast { channel: ch, message: 1 }
+            } else if self.t.is_multiple_of(2) {
+                Action::Listen { channel: ch }
+            } else {
+                Action::Sleep
+            }
+        }
+        fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, _fb: Feedback<u8>) {
+            self.t += 1;
+        }
+        fn is_complete(&self) -> bool {
+            self.t >= self.slots
+        }
+        fn into_output(self) -> u64 {
+            self.t
+        }
+    }
+
+    fn pair() -> Network {
+        let mut b = Network::builder(2);
+        b.set_channels(NodeId(0), vec![GlobalChannel(0)]);
+        b.set_channels(NodeId(1), vec![GlobalChannel(0)]);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn records_one_event_per_slot() {
+        let net = pair();
+        let mut eng = Engine::new(&net, 0, |ctx| {
+            Recorded::new(PingPong { tx: ctx.id == NodeId(0), slots: 6, t: 0 })
+        });
+        eng.run_to_completion(6);
+        let outs = eng.into_outputs();
+        let (_, tx_trace) = &outs[0];
+        let (_, rx_trace) = &outs[1];
+        assert_eq!(tx_trace.len(), 6);
+        assert!(tx_trace.iter().all(|e| matches!(e, SlotEvent::Broadcast(_))));
+        // The listener alternates listen/idle; listens all receive.
+        assert_eq!(rx_trace.len(), 6);
+        assert_eq!(
+            rx_trace.iter().filter(|e| matches!(e, SlotEvent::Received(_))).count(),
+            3
+        );
+        assert_eq!(rx_trace.iter().filter(|e| matches!(e, SlotEvent::Idle)).count(), 3);
+    }
+
+    #[test]
+    fn usage_aggregation_and_goodput() {
+        let trace = vec![
+            SlotEvent::Broadcast(LocalChannel(0)),
+            SlotEvent::Received(LocalChannel(1)),
+            SlotEvent::Silent(LocalChannel(1)),
+            SlotEvent::Idle,
+        ];
+        let usage = ChannelUsage::from_traces([trace.as_slice()], 2);
+        assert_eq!(usage.broadcasts, vec![1, 0]);
+        assert_eq!(usage.receptions, vec![0, 1]);
+        assert_eq!(usage.silent, vec![0, 1]);
+        assert_eq!(usage.idle, 1);
+        let gp = usage.goodput();
+        assert_eq!(gp[0], 0.0);
+        assert!((gp[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timeline_rendering() {
+        let trace = vec![
+            SlotEvent::Broadcast(LocalChannel(0)),
+            SlotEvent::Received(LocalChannel(0)),
+            SlotEvent::Silent(LocalChannel(0)),
+            SlotEvent::Idle,
+        ];
+        let s = render_timeline(&trace, 2);
+        assert_eq!(s, "BR\n. \n");
+    }
+}

@@ -1,0 +1,236 @@
+//! E5 — §1/§2 comparison: CSEEK vs the naive `Õ((c²/k)·Δ)` strawman and
+//! the fixed-rate `Õ(c²/k + cΔ/k)` (Zeng-et-al.-class) baseline.
+//!
+//! The paper's comparison is in Õ-notation: per extra neighbor, naive pays
+//! `Θ(c²/k · polylog)` slots while CSEEK pays `Θ(kmax/k · polylog)`. At
+//! small Δ the baselines' *constants* win (CSEEK fronts a `(c²/k)·lg³n`
+//! sampling phase and its part-two steps cost `lg Δ` slots where the
+//! baselines' cost one). The reproducible claims are therefore:
+//! (a) the naive/CSEEK ratio *grows with Δ* (E5a) — the asymptotic ordering
+//! asserting itself; and (b) on a large crowded star — the workload CSEEK
+//! was designed for — CSEEK beats naive outright at reachable scale (E5b).
+//! Against the fixed-rate baseline the predicted `c/kmax` advantage is
+//! partially eaten by CSEEK's `lg Δ`-slot back-off steps; the tables report
+//! this honestly (the paper's Õ hides exactly these factors).
+
+use super::ExpConfig;
+use crate::runner::{discovery_trials, summarize_trials};
+use crate::scenario::Scenario;
+use crate::table::{fmt_f, fmt_opt, Table};
+use crn_core::baselines::{
+    FixedRateDiscovery, FixedRateSchedule, NaiveDiscovery, NaiveDiscoverySchedule,
+};
+use crn_core::params::{CountParams, ModelInfo, SeekParams};
+use crn_core::seek::CSeek;
+use crn_sim::channels::ChannelModel;
+use crn_sim::stats::fit_linear;
+use crn_sim::topology::Topology;
+
+/// E5: three-way discovery comparison across Δ with fitted per-Δ slopes.
+///
+/// Methodology notes:
+/// * Schedules are derived once from the sweep's *upper bounds* on `n` and
+///   `Δ` — the paper's model assumes exactly such global upper bounds — so
+///   CSEEK's part-one prefix is identical across the sweep and the fitted
+///   slope isolates the Δ-dependence.
+/// * CSEEK uses a lighter COUNT configuration (round length `lg n` with a
+///   floor of 8 instead of 24). A2 shows the accuracy cost is small; the
+///   default COUNT constants would shift the crossover Δ* outward by the
+///   same factor without changing the slope ordering.
+pub fn e5_discovery_comparison(cfg: &ExpConfig) -> Table {
+    let deltas: &[usize] = if cfg.quick { &[16, 64] } else { &[32, 64, 128, 256] };
+    let c = if cfg.quick { 8 } else { 16 };
+    let core = 2;
+    let pinned = ModelInfo {
+        n: deltas.last().unwrap() + 1,
+        c,
+        delta: *deltas.last().unwrap(),
+        k: core,
+        kmax: core,
+    };
+    let seek_params = SeekParams {
+        count: CountParams { round_len_factor: 1.0, min_round_len: 8, threshold: 0.08 },
+        ..Default::default()
+    };
+    let mut t = Table::new(
+        format!(
+            "E5 (§1–2): discovery completion time, CSEEK vs naive vs fixed-rate (star, c = {c}, k = 2)"
+        ),
+        &["Δ", "CSEEK", "naive", "fixed-rate", "naive/CSEEK", "fixed/CSEEK"],
+    );
+    let mut xs = Vec::new();
+    let mut y_cseek = Vec::new();
+    let mut y_naive = Vec::new();
+    let mut y_fixed = Vec::new();
+    for &delta in deltas {
+        let scn = Scenario::new(
+            format!("e5-d{delta}"),
+            Topology::Star { leaves: delta },
+            ChannelModel::SharedCore { c, core },
+            cfg.seed,
+        );
+        let built = scn.build().expect("scenario builds");
+        let trials = cfg.trials();
+
+        let sched = seek_params.schedule(&pinned);
+        let cseek = discovery_trials(
+            &built.net,
+            |ctx| CSeek::new(ctx.id, sched, false),
+            trials,
+            cfg.seed ^ 0xE5,
+            sched.total_slots(),
+        );
+        let (cseek_mean, cseek_frac) = summarize_trials(&cseek);
+
+        let nsched = NaiveDiscoverySchedule::new(&pinned, 8.0);
+        let naive = discovery_trials(
+            &built.net,
+            |ctx| NaiveDiscovery::new(ctx.id, nsched),
+            trials,
+            cfg.seed ^ 0xE5,
+            nsched.total_slots(),
+        );
+        let (naive_mean, naive_frac) = summarize_trials(&naive);
+
+        let fsched = FixedRateSchedule::new(&pinned, 24.0);
+        let fixed = discovery_trials(
+            &built.net,
+            |ctx| FixedRateDiscovery::new(ctx.id, fsched),
+            trials,
+            cfg.seed ^ 0xE5,
+            fsched.total_slots(),
+        );
+        let (fixed_mean, fixed_frac) = summarize_trials(&fixed);
+
+        if let (Some(cm), Some(nm), Some(fm)) = (cseek_mean, naive_mean, fixed_mean) {
+            xs.push(delta as f64);
+            y_cseek.push(cm);
+            y_naive.push(nm);
+            y_fixed.push(fm);
+        }
+        let ratio = |a: Option<f64>, b: Option<f64>| match (a, b) {
+            (Some(x), Some(y)) if y > 0.0 => fmt_f(x / y),
+            _ => "—".into(),
+        };
+        t.push_row(vec![
+            delta.to_string(),
+            format!("{} ({:.0}%)", fmt_opt(cseek_mean), cseek_frac * 100.0),
+            format!("{} ({:.0}%)", fmt_opt(naive_mean), naive_frac * 100.0),
+            format!("{} ({:.0}%)", fmt_opt(fixed_mean), fixed_frac * 100.0),
+            ratio(naive_mean, cseek_mean),
+            ratio(fixed_mean, cseek_mean),
+        ]);
+    }
+    if xs.len() >= 2 {
+        let f_cseek = fit_linear(&xs, &y_cseek);
+        let f_naive = fit_linear(&xs, &y_naive);
+        let f_fixed = fit_linear(&xs, &y_fixed);
+        t.push_note(format!(
+            "Fitted slots-per-neighbor slopes: cseek={:.1} naive={:.1} fixed={:.1} — \
+             paper shape: naive slope / CSEEK slope ≈ c²/kmax·(1/polylog) and \
+             fixed slope / CSEEK slope ≈ c/kmax.",
+            f_cseek.slope, f_naive.slope, f_fixed.slope
+        ));
+        if f_naive.slope > f_cseek.slope {
+            let crossover = (f_cseek.intercept - f_naive.intercept)
+                / (f_naive.slope - f_cseek.slope);
+            t.push_note(format!(
+                "Projected naive/CSEEK crossover at Δ* ≈ {crossover:.0}: CSEEK's \
+                 Θ((c²/k)·lg³n) sampling prefix dominates below it — the polylog \
+                 gap the paper's Õ-notation hides. Beyond Δ*, CSEEK wins and the \
+                 gap grows linearly in Δ."
+            ));
+        }
+    }
+    t
+}
+
+/// E5b (full mode): the crowded-star headline — every hub–leaf overlap sits
+/// on two channels shared by *all* leaves (`n_ch = Δ ≥ 8c`), the regime
+/// CSEEK's density-weighted part two targets. At Δ = 512 CSEEK beats the
+/// naive hopper outright.
+pub fn e5b_crowded_headline(cfg: &ExpConfig) -> Table {
+    let mut t = Table::new(
+        "E5b (§1): crowded star headline — CSEEK vs naive at Δ = 512 (c = 8, k = 2, all overlap crowded)",
+        &["algorithm", "mean slots", "success"],
+    );
+    if cfg.quick {
+        t.push_note("Skipped in quick mode (runs ~512-node simulations); run without --quick.");
+        return t;
+    }
+    let delta = 512;
+    let c = 8;
+    let scn = Scenario::new(
+        "e5b",
+        Topology::Star { leaves: delta },
+        ChannelModel::CrowdedSplit { c, k: 2, hot: 2, k_hot: 2 },
+        cfg.seed,
+    );
+    let built = scn.build().expect("scenario builds");
+    let trials = cfg.trials().min(3);
+    let seek_params = SeekParams {
+        count: CountParams { round_len_factor: 1.0, min_round_len: 8, threshold: 0.08 },
+        ..Default::default()
+    };
+    let sched = seek_params.schedule(&built.model);
+    let cseek = discovery_trials(
+        &built.net,
+        |ctx| CSeek::new(ctx.id, sched, false),
+        trials,
+        cfg.seed ^ 0xB5,
+        sched.total_slots(),
+    );
+    let (cm, cfrac) = summarize_trials(&cseek);
+    t.push_row(vec!["CSEEK".into(), fmt_opt(cm), fmt_f(cfrac)]);
+    let nsched = NaiveDiscoverySchedule::new(&built.model, 8.0);
+    let naive = discovery_trials(
+        &built.net,
+        |ctx| NaiveDiscovery::new(ctx.id, nsched),
+        trials,
+        cfg.seed ^ 0xB5,
+        nsched.total_slots(),
+    );
+    let (nm, nfrac) = summarize_trials(&naive);
+    t.push_row(vec!["naive".into(), fmt_opt(nm), fmt_f(nfrac)]);
+    if let (Some(a), Some(b)) = (cm, nm) {
+        t.push_note(format!(
+            "CSEEK/naive speedup: {:.2}x — the (kmax/k)·Δ vs (c²/k)·Δ gap made physical.",
+            b / a
+        ));
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e5_reports_slopes_for_all_three_algorithms() {
+        let t = e5_discovery_comparison(&ExpConfig { quick: true, trials: 2, seed: 3 });
+        let note = t.notes.first().expect("slope note");
+        for tag in ["cseek=", "naive=", "fixed="] {
+            let v: f64 = note
+                .split(tag)
+                .nth(1)
+                .unwrap()
+                .split_whitespace()
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert!(v > 0.0, "fitted slope for {tag} must be positive");
+        }
+    }
+
+    #[test]
+    fn e5_ratio_improves_with_delta() {
+        let t = e5_discovery_comparison(&ExpConfig { quick: true, trials: 2, seed: 3 });
+        let first: f64 = t.rows.first().unwrap()[4].parse().unwrap();
+        let last: f64 = t.rows.last().unwrap()[4].parse().unwrap();
+        assert!(
+            last > first,
+            "naive/CSEEK ratio should grow with Δ: {first} -> {last}"
+        );
+    }
+}

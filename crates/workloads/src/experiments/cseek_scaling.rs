@@ -1,0 +1,211 @@
+//! E2/E3/E4 — Theorem 4: CSEEK's completion time scales as
+//! `c²/k + (kmax/k)·Δ` (up to poly-log factors).
+//!
+//! Each experiment isolates one variable of the bound:
+//! * E2 sweeps `c` on a low-degree ring (the `c²` term dominates; expected
+//!   log–log slope ≈ 2);
+//! * E3 sweeps `k` at fixed `c` (expected slope ≈ −1);
+//! * E4 sweeps `Δ` on crowded stars (the `Δ` term dominates; expected
+//!   slope ≈ 1).
+
+use super::ExpConfig;
+use crate::runner::{discovery_trials, summarize_trials};
+use crate::scenario::Scenario;
+use crate::table::{fmt_f, fmt_opt, Table};
+use crn_core::params::SeekParams;
+use crn_core::seek::CSeek;
+use crn_sim::channels::ChannelModel;
+use crn_sim::stats::{fit_linear, fit_loglog};
+use crn_sim::topology::Topology;
+
+fn measure(scn: &Scenario, trials: usize, seed: u64) -> (Option<f64>, f64, u64) {
+    let built = scn.build().expect("scenario builds");
+    let sched = SeekParams::default().schedule(&built.model);
+    let results = discovery_trials(
+        &built.net,
+        |ctx| CSeek::new(ctx.id, sched, false),
+        trials,
+        seed,
+        sched.total_slots(),
+    );
+    let (mean, frac) = summarize_trials(&results);
+    (mean, frac, sched.total_slots())
+}
+
+/// E2: completion time vs `c` (ring topology, `k = 2` core).
+pub fn e2_vs_c(cfg: &ExpConfig) -> Table {
+    let cs: &[usize] = if cfg.quick { &[4, 8] } else { &[4, 6, 8, 12, 16] };
+    let n = if cfg.quick { 12 } else { 24 };
+    let mut t = Table::new(
+        "E2 (Thm 4): CSEEK completion time vs c  (ring, k = kmax = 2, Δ = 2)",
+        &["c", "mean slots", "success", "slots/c^2", "schedule slots"],
+    );
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &c in cs {
+        let scn = Scenario::new(
+            format!("e2-c{c}"),
+            Topology::Cycle { n },
+            ChannelModel::SharedCore { c, core: 2 },
+            cfg.seed,
+        );
+        let (mean, frac, sched) = measure(&scn, cfg.trials(), cfg.seed ^ 0xE2);
+        if let Some(m) = mean {
+            xs.push(c as f64);
+            ys.push(m);
+            t.push_row(vec![
+                c.to_string(),
+                fmt_f(m),
+                fmt_f(frac),
+                fmt_f(m / (c * c) as f64),
+                sched.to_string(),
+            ]);
+        } else {
+            t.push_row(vec![c.to_string(), "—".into(), fmt_f(frac), "—".into(), sched.to_string()]);
+        }
+    }
+    if xs.len() >= 2 {
+        let fit = fit_loglog(&xs, &ys);
+        t.push_note(format!(
+            "log-log slope of slots vs c: {:.2} (paper predicts ≈ 2 from the c²/k term; R² = {:.3})",
+            fit.slope, fit.r2
+        ));
+    }
+    t
+}
+
+/// E3: completion time vs `k` (ring topology, fixed `c = 12`).
+pub fn e3_vs_k(cfg: &ExpConfig) -> Table {
+    let ks: &[usize] = if cfg.quick { &[1, 4] } else { &[1, 2, 3, 4, 6, 8] };
+    let c = 12;
+    let n = if cfg.quick { 12 } else { 24 };
+    let mut t = Table::new(
+        "E3 (Thm 4): CSEEK completion time vs k  (ring, c = 12, Δ = 2)",
+        &["k", "mean slots", "success", "slots*k", "schedule slots"],
+    );
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &k in ks {
+        let scn = Scenario::new(
+            format!("e3-k{k}"),
+            Topology::Cycle { n },
+            ChannelModel::SharedCore { c, core: k },
+            cfg.seed,
+        );
+        let (mean, frac, sched) = measure(&scn, cfg.trials(), cfg.seed ^ 0xE3);
+        if let Some(m) = mean {
+            xs.push(k as f64);
+            ys.push(m);
+            t.push_row(vec![
+                k.to_string(),
+                fmt_f(m),
+                fmt_f(frac),
+                fmt_f(m * k as f64),
+                sched.to_string(),
+            ]);
+        } else {
+            t.push_row(vec![k.to_string(), "—".into(), fmt_f(frac), "—".into(), sched.to_string()]);
+        }
+    }
+    if xs.len() >= 2 {
+        let fit = fit_loglog(&xs, &ys);
+        t.push_note(format!(
+            "log-log slope of slots vs k: {:.2} (paper predicts ≈ −1 from the c²/k term; R² = {:.3})",
+            fit.slope, fit.r2
+        ));
+    }
+    t
+}
+
+/// E4: completion time vs `Δ` (crowded stars: every leaf shares one hot +
+/// one cold channel with the hub).
+pub fn e4_vs_delta(cfg: &ExpConfig) -> Table {
+    let deltas: &[usize] = if cfg.quick { &[8, 16] } else { &[8, 16, 32, 64, 128] };
+    let c = 4;
+    let mut t = Table::new(
+        "E4 (Thm 4): CSEEK completion time vs Δ  (crowded star, c = 4, k = 2)",
+        &["Δ", "mean slots", "success", "slots/Δ", "schedule slots"],
+    );
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &delta in deltas {
+        let scn = Scenario::new(
+            format!("e4-d{delta}"),
+            Topology::Star { leaves: delta },
+            ChannelModel::CrowdedSplit { c, k: 2, hot: 1, k_hot: 1 },
+            cfg.seed,
+        );
+        let (mean, frac, sched) = measure(&scn, cfg.trials(), cfg.seed ^ 0xE4);
+        if let Some(m) = mean {
+            xs.push(delta as f64);
+            ys.push(m);
+            t.push_row(vec![
+                delta.to_string(),
+                fmt_f(m),
+                fmt_f(frac),
+                fmt_f(m / delta as f64),
+                sched.to_string(),
+            ]);
+        } else {
+            t.push_row(vec![
+                delta.to_string(),
+                fmt_opt(mean),
+                fmt_f(frac),
+                "—".into(),
+                sched.to_string(),
+            ]);
+        }
+    }
+    if xs.len() >= 2 {
+        // Theorem 4 is an *additive* bound c²/k + (kmax/k)·Δ, so the right
+        // model is linear-with-intercept: the intercept absorbs the
+        // Δ-independent sampling prefix, the slope is the per-neighbor cost.
+        let lin = fit_linear(&xs, &ys);
+        let ll = fit_loglog(&xs, &ys);
+        t.push_note(format!(
+            "linear fit: slots ≈ {:.0} + {:.1}·Δ (R² = {:.3}) — the intercept is \
+the c²/k sampling prefix, the slope the (kmax/k) per-neighbor cost. (Raw \
+log-log slope {:.2} < 1 reflects that mixture, approaching 1 as Δ grows.)",
+            lin.intercept, lin.slope, lin.r2, ll.slope
+        ));
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2_quick_has_positive_slope_near_two() {
+        let t = e2_vs_c(&ExpConfig { quick: true, trials: 3, seed: 5 });
+        assert_eq!(t.rows.len(), 2);
+        let note = t.notes.first().expect("slope note");
+        let slope: f64 = note
+            .split("slope of slots vs c: ")
+            .nth(1)
+            .unwrap()
+            .split(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(slope > 1.0 && slope < 3.0, "slope {slope} out of range");
+    }
+
+    #[test]
+    fn e3_quick_has_negative_slope() {
+        let t = e3_vs_k(&ExpConfig { quick: true, trials: 3, seed: 5 });
+        let note = t.notes.first().expect("slope note");
+        let slope: f64 = note
+            .split("slope of slots vs k: ")
+            .nth(1)
+            .unwrap()
+            .split(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(slope < -0.3, "slope {slope} should be clearly negative");
+    }
+}

@@ -1,0 +1,300 @@
+//! R1 — extension beyond the paper: graceful degradation under jamming.
+//!
+//! The paper's §1 motivates cognitive radio with "interference from
+//! disruptive devices" but analyzes a clean model. Here adversarial
+//! always-transmit jammers join the network and we measure how CSEEK's
+//! completion degrades as the jammed fraction of the spectrum grows —
+//! the heterogeneous channel structure is exactly what buys resilience:
+//! overlap `k` acts as redundancy against `j < k` jammed channels.
+//!
+//! A3b — in-model coloring ablation: CGCAST vs the identical protocol with
+//! the coloring stage removed (random-meeting dissemination, equal step
+//! budget). Quantifies what the deterministic schedule buys on
+//! high-degree topologies.
+
+use super::ExpConfig;
+use crate::runner::{summarize_trials, Trial, PROBE_EVERY};
+use crate::scenario::Scenario;
+use crate::table::{fmt_f, fmt_opt, Table};
+
+/// Minimal stand-in so the A3b body can keep using `built.net`.
+struct BuiltWrapper {
+    net: crn_sim::Network,
+}
+use crn_core::adversary::{JamStrategy, Jammer, NodeRole};
+use crn_core::cgcast::{CGCast, UncoloredGcast};
+use crn_core::params::{GcastParams, ModelInfo, SeekParams};
+use crn_core::seek::CSeek;
+use crn_sim::channels::ChannelModel;
+use crn_sim::topology::Topology;
+use crn_sim::{Engine, LocalChannel, NodeId};
+
+/// R1: CSEEK completion under `j` fixed-channel jammers camped on the
+/// shared core of a clique.
+pub fn r1_jamming(cfg: &ExpConfig) -> Table {
+    let honest = if cfg.quick { 6 } else { 10 };
+    let core = 4;
+    let c = 8;
+    let jam_counts: &[usize] = if cfg.quick { &[0, 2] } else { &[0, 1, 2, 3, 4] };
+    let mut t = Table::new(
+        format!(
+            "R1 (extension): CSEEK under jamming — {honest} honest nodes, clique, c = {c}, shared core k = {core}"
+        ),
+        &["jammers (core channels hit)", "mean slots", "success", "deliveries", "collisions"],
+    );
+    for &j in jam_counts {
+        let n = honest + j;
+        let scn = Scenario::new(
+            format!("r1-j{j}"),
+            Topology::Complete { n },
+            ChannelModel::SharedCore { c, core },
+            cfg.seed,
+        );
+        let built = scn.build().expect("scenario builds");
+        // Honest nodes must still find each other; jammers are excluded
+        // from the ground truth (they never identify themselves honestly).
+        // The model parameters the honest nodes assume include the jammers
+        // (they are in-range transceivers).
+        let model = ModelInfo::from_stats(&built.net.stats());
+        let sched = SeekParams::default().schedule(&model);
+        let mut results = Vec::new();
+        for trial in 0..cfg.trials() {
+            let seed = cfg.seed ^ 0x21 ^ (trial as u64) << 16;
+            let mut eng = Engine::new(&built.net, seed, |ctx| {
+                if ctx.id.index() >= honest {
+                    // Jammer i camps on core channel i (its local label for
+                    // that global channel).
+                    let g = crn_sim::GlobalChannel((ctx.id.index() - honest) as u32 % core as u32);
+                    let l = built.net.global_to_local(ctx.id, g).unwrap_or(LocalChannel(0));
+                    NodeRole::Adversary(Jammer::new(c as u16, JamStrategy::Fixed(l), ctx.id))
+                } else {
+                    NodeRole::Honest(CSeek::new(ctx.id, sched, false))
+                }
+            });
+            let mut probe = |_s: u64, e: &Engine<'_, NodeRole<CSeek>>| {
+                let mut done = true;
+                e.for_each_protocol(|v, p| {
+                    if let Some(cs) = p.honest() {
+                        // Complete when every honest peer is discovered.
+                        let found = (0..honest)
+                            .filter(|&w| w != v.index())
+                            .filter(|&w| {
+                                crn_core::discovery::DiscoveryProtocol::has_discovered(
+                                    cs,
+                                    NodeId(w as u32),
+                                )
+                            })
+                            .count();
+                        done &= found == honest - 1;
+                    }
+                });
+                done
+            };
+            let outcome = eng.run(sched.total_slots(), Some((PROBE_EVERY, &mut probe)));
+            results.push(Trial {
+                seed,
+                completed_at: outcome.completed_at,
+                slots_run: outcome.slots_run,
+                counters: eng.counters(),
+            });
+        }
+        let (mean, frac) = summarize_trials(&results);
+        let deliveries: u64 =
+            results.iter().map(|r| r.counters.deliveries).sum::<u64>() / results.len() as u64;
+        let collisions: u64 =
+            results.iter().map(|r| r.counters.collisions).sum::<u64>() / results.len() as u64;
+        t.push_row(vec![
+            j.to_string(),
+            fmt_opt(mean),
+            fmt_f(frac),
+            deliveries.to_string(),
+            collisions.to_string(),
+        ]);
+    }
+    t.push_note(
+        "Each jammer permanently occupies one core channel. Discovery slows as \
+         the usable overlap shrinks from k to k − j, and fails within the fixed \
+         schedule once the residual overlap is far below the k the schedule was \
+         sized for — overlap (k > 1) is itself jamming redundancy, provided \
+         schedules are provisioned for the post-jamming overlap.",
+    );
+    t
+}
+
+/// Builds a dumbbell whose every edge overlaps on its *own distinct*
+/// channel (hub A = node 0, hub B = node 1, bridge on a private channel,
+/// each hub–leaf edge on a private channel; all nodes padded to uniform
+/// `c = legs + 1`). With per-edge channels there is no cross-edge
+/// overhearing, so dissemination really must coordinate per edge — the
+/// regime the Theorem 14 construction also uses.
+fn distinct_channel_dumbbell(legs: usize) -> crn_sim::Network {
+    use crn_sim::{GlobalChannel, Network};
+    let c = legs + 1;
+    let n = 2 * (legs + 1);
+    let mut next = 0u32;
+    let mut fresh = move || {
+        let g = GlobalChannel(next);
+        next += 1;
+        g
+    };
+    let bridge = fresh();
+    let mut b = Network::builder(n);
+    b.add_edge(NodeId(0), NodeId(1));
+    let mut hub_a = vec![bridge];
+    let mut hub_b = vec![bridge];
+    for l in 0..legs {
+        let leaf_a = NodeId((2 + l) as u32);
+        let leaf_b = NodeId((2 + legs + l) as u32);
+        let ga = fresh();
+        let gb = fresh();
+        hub_a.push(ga);
+        hub_b.push(gb);
+        let mut set_a = vec![ga];
+        let mut set_b = vec![gb];
+        while set_a.len() < c {
+            set_a.push(fresh());
+        }
+        while set_b.len() < c {
+            set_b.push(fresh());
+        }
+        b.set_channels(leaf_a, set_a);
+        b.set_channels(leaf_b, set_b);
+        b.add_edge(NodeId(0), leaf_a);
+        b.add_edge(NodeId(1), leaf_b);
+    }
+    b.set_channels(NodeId(0), hub_a);
+    b.set_channels(NodeId(1), hub_b);
+    b.build().expect("distinct-channel dumbbell is valid")
+}
+
+/// A3b: CGCAST vs its uncolored ablation at equal dissemination budgets.
+///
+/// Topology choice matters: with few shared channels or redundant paths,
+/// random meetings spread epidemically (cross-edge overhearing) and can
+/// even beat the rigid schedule. The coloring's guarantee pays off on
+/// **bottleneck edges between two high-degree nodes with per-edge
+/// channels**: the hub–hub bridge of a distinct-channel dumbbell is
+/// co-selected by random endpoints with probability only ≈ 1/Δ² per step,
+/// while the colored schedule reserves it a dedicated contention-free step
+/// every phase.
+pub fn a3b_uncolored_dissemination(cfg: &ExpConfig) -> Table {
+    let legs = if cfg.quick { 5 } else { 6 };
+    let net = distinct_channel_dumbbell(legs);
+    let d = net.stats().diameter.expect("connected"); // 3
+    let model = ModelInfo::from_stats(&net.stats());
+    let sched = GcastParams { dissemination_phases: d, ..Default::default() }.schedule(&model);
+    let built = BuiltWrapper { net };
+    let mut t = Table::new(
+        format!(
+            "A3b (ablation): colored vs random-meeting dissemination (distinct-channel dumbbell, Δ = {}, D = {d}, equal step budget)",
+            built.net.stats().delta
+        ),
+        &["dissemination", "informed fraction", "mean informed-at (slots into dissem)"],
+    );
+
+    // Colored (full CGCAST).
+    let mut informed = 0usize;
+    let mut total = 0usize;
+    let mut at_sum = 0u64;
+    let mut at_n = 0u64;
+    let setup = sched.total_slots() - sched.dissemination_slots();
+    for trial in 0..cfg.trials() {
+        let mut eng = Engine::new(&built.net, cfg.seed ^ 0x3B ^ (trial as u64) << 12, |ctx| {
+            CGCast::new(ctx.id, sched, (ctx.id == NodeId(0)).then_some(5))
+        });
+        eng.run_to_completion(sched.total_slots());
+        for o in eng.into_outputs() {
+            total += 1;
+            if o.is_informed() {
+                informed += 1;
+                if let Some(at) = o.informed_at {
+                    if at > 0 {
+                        at_sum += at.saturating_sub(setup);
+                        at_n += 1;
+                    }
+                }
+            }
+        }
+    }
+    t.push_row(vec![
+        "colored schedule (CGCAST)".into(),
+        fmt_f(informed as f64 / total as f64),
+        if at_n > 0 { fmt_f(at_sum as f64 / at_n as f64) } else { "—".into() },
+    ]);
+
+    // Uncolored (random meetings), equal dissemination step budget.
+    let mut informed = 0usize;
+    let mut total = 0usize;
+    let mut at_sum = 0u64;
+    let mut at_n = 0u64;
+    let uncolored_setup = 2 * sched.seek_slots();
+    for trial in 0..cfg.trials() {
+        let mut eng = Engine::new(&built.net, cfg.seed ^ 0x3B ^ (trial as u64) << 12, |ctx| {
+            UncoloredGcast::new(ctx.id, sched, (ctx.id == NodeId(0)).then_some(5))
+        });
+        eng.run_to_completion(u64::MAX);
+        for o in eng.into_outputs() {
+            total += 1;
+            if o.is_informed() {
+                informed += 1;
+                if let Some(at) = o.informed_at {
+                    if at > 0 {
+                        at_sum += at.saturating_sub(uncolored_setup);
+                        at_n += 1;
+                    }
+                }
+            }
+        }
+    }
+    t.push_row(vec![
+        "random meetings (ablated)".into(),
+        fmt_f(informed as f64 / total as f64),
+        if at_n > 0 { fmt_f(at_sum as f64 / at_n as f64) } else { "—".into() },
+    ]);
+    t.push_note(
+        "Both arms run discovery + dedicated channels, then the same number of \
+         dissemination steps; only edge coordination differs. The source sits \
+         on one hub; random meetings rarely co-select the hub–hub bridge \
+         (probability ≈ 1/Δ² per step), so the far half starves — the \
+         coloring's guaranteed per-edge steps are what make the D·Δ bound \
+         hold on every topology, not just well-connected ones.",
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r1_no_jammers_completes() {
+        let t = r1_jamming(&ExpConfig { quick: true, trials: 2, seed: 31 });
+        let frac0: f64 = t.rows[0][2].parse().unwrap();
+        assert!(frac0 > 0.4, "jam-free arm should complete: {:?}", t.rows[0]);
+    }
+
+    #[test]
+    fn r1_jamming_degrades_or_slows() {
+        let t = r1_jamming(&ExpConfig { quick: true, trials: 2, seed: 31 });
+        // With 2 of 4 core channels jammed, either success drops or the
+        // mean completion time rises.
+        let f0: f64 = t.rows[0][2].parse().unwrap();
+        let f2: f64 = t.rows[1][2].parse().unwrap();
+        if f2 >= f0 && f0 > 0.0 {
+            let m0: f64 = t.rows[0][1].parse().unwrap();
+            let m2: f64 = t.rows[1][1].parse().unwrap();
+            assert!(m2 > m0, "jamming should slow discovery: {m0} -> {m2}");
+        }
+    }
+
+    #[test]
+    fn a3b_colored_dominates() {
+        let t = a3b_uncolored_dissemination(&ExpConfig { quick: true, trials: 1, seed: 31 });
+        let colored: f64 = t.rows[0][1].parse().unwrap();
+        let uncolored: f64 = t.rows[1][1].parse().unwrap();
+        assert!(
+            colored >= uncolored,
+            "colored schedule should inform at least as many nodes ({colored} vs {uncolored})"
+        );
+    }
+}

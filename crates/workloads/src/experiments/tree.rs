@@ -1,0 +1,93 @@
+//! E10 — Theorem 14: broadcast on the channel-disjoint complete tree costs
+//! `Ω(D·min{c,Δ})`; the omniscient scheduler attains it (ratio ≈ 1) and
+//! CGCAST — which must *discover* everything first — sits far above it,
+//! bracketing every real algorithm between the two.
+
+use super::ExpConfig;
+use crate::runner::summarize_trials;
+use crate::table::{fmt_f, fmt_opt, Table};
+use crn_core::params::{GcastParams, ModelInfo};
+use crn_lowerbounds::tree::{lower_bound_tree, OracleTreeBroadcast};
+use crn_sim::Engine;
+
+/// E10: oracle and CGCAST times on the lower-bound tree.
+pub fn e10_tree_lower_bound(cfg: &ExpConfig) -> Table {
+    let cases: &[(usize, usize)] = if cfg.quick {
+        &[(3, 2), (4, 2)]
+    } else {
+        &[(3, 2), (3, 4), (4, 2), (4, 3), (6, 2), (6, 3)]
+    };
+    let mut t = Table::new(
+        "E10 (Thm 14): broadcast on the channel-disjoint tree — oracle vs bound vs CGCAST",
+        &["c", "depth D", "n", "LB ≈ D·(min{c,Δ}−1)", "oracle worst", "oracle/LB", "CGCAST mean"],
+    );
+    for &(c, depth) in cases {
+        let b = c - 1; // branching factor = min(c, Δ) − 1 with Δ = c
+        let net = lower_bound_tree(c, c, depth).expect("tree builds");
+        let n = net.len();
+        let lb = (depth * b) as f64;
+        // Oracle run (deterministic; one run suffices).
+        let max_slots = ((depth + 1) * b) as u64 + 16;
+        let mut eng = Engine::new(&net, cfg.seed, |ctx| {
+            OracleTreeBroadcast::new(&net, ctx.id, b, 0xAB, max_slots)
+        });
+        eng.run_to_completion(max_slots);
+        let outs = eng.into_outputs();
+        let oracle_worst = outs.iter().filter_map(|&(_, at)| at).max().unwrap_or(0) as f64;
+        let informed = outs.iter().filter(|(_, at)| at.is_some()).count();
+        assert_eq!(informed, n, "oracle informs everyone");
+
+        // CGCAST on the same instance (smaller trees only: it is slow on
+        // k = 1 instances by design — its setup pays the full c²/k term).
+        let cgcast_mean = if n <= 64 {
+            let model = ModelInfo::from_stats(&net.stats());
+            let params = GcastParams {
+                dissemination_phases: net.stats().diameter.unwrap_or(depth as u64 * 2),
+                ..Default::default()
+            };
+            let sched = params.schedule(&model);
+            let trials = crate::runner::cgcast_trials(
+                &net,
+                sched,
+                cfg.trials().min(3),
+                cfg.seed ^ 0xE10,
+            );
+            summarize_trials(&trials).0
+        } else {
+            None
+        };
+
+        t.push_row(vec![
+            c.to_string(),
+            depth.to_string(),
+            n.to_string(),
+            fmt_f(lb),
+            fmt_f(oracle_worst),
+            fmt_f(oracle_worst / lb),
+            fmt_opt(cgcast_mean),
+        ]);
+    }
+    t.push_note(
+        "The oracle knows the topology and all channels, so its time is a valid \
+         witness that the Ω(D·min{c,Δ}) bound is tight; every real algorithm \
+         (CGCAST included) must sit between the LB column and its own setup costs.",
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e10_oracle_matches_bound_within_factor_two() {
+        let t = e10_tree_lower_bound(&ExpConfig { quick: true, trials: 1, seed: 13 });
+        for row in &t.rows {
+            let ratio: f64 = row[5].parse().unwrap();
+            assert!(
+                (0.5..=2.5).contains(&ratio),
+                "oracle should track the bound: {row:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # crn-workloads — scenarios, runners and the experiment suite
+//!
+//! Everything needed to *evaluate* the CRN primitives:
+//!
+//! * [`scenario`] — reproducible network scenarios (topology + channel
+//!   model + seed);
+//! * [`runner`] — multi-trial parallel runners with ground-truth probes
+//!   (time to full discovery, time to all-informed);
+//! * [`table`] — markdown/CSV result tables;
+//! * [`theory`] — the paper's bounds as unit-constant reference curves;
+//! * [`experiments`] — one module per paper claim (E1–E10, A1–A3; see
+//!   DESIGN.md §5), shared by the `experiments` binary, the integration
+//!   tests and the criterion benches.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use crn_workloads::experiments::{run_experiment, ExpConfig};
+//!
+//! for table in run_experiment("e1", &ExpConfig::quick()) {
+//!     println!("{}", table.markdown());
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod runner;
+pub mod scenario;
+pub mod table;
+pub mod theory;
+
+pub use scenario::{Built, Scenario};
+pub use table::Table;

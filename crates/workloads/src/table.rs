@@ -1,0 +1,169 @@
+//! Plain-text result tables (markdown and CSV) — how every experiment
+//! reports its rows, mirroring the role of tables/figures in a paper.
+
+use std::fmt::Write as _;
+
+/// A titled result table with free-form footnotes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table title (e.g. "E2: CSEEK completion time vs c").
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of cells; each row must match `columns` in length.
+    pub rows: Vec<Vec<String>>,
+    /// Footnotes rendered below the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count does not match the header.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.columns.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Appends a footnote.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders GitHub-flavored markdown with aligned columns.
+    pub fn markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let _ = writeln!(out, "{}", render_row(&self.columns, &widths));
+        let dashes: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        let _ = writeln!(out, "| {} |", dashes.join(" | "));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", render_row(row, &widths));
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "\n> {note}");
+        }
+        out
+    }
+
+    /// Renders CSV (header row first; quotes cells containing commas).
+    pub fn csv(&self) -> String {
+        let quote = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.columns.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Formats a float compactly for table cells.
+pub fn fmt_f(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Formats an optional mean (e.g. completion time) with a failure marker.
+pub fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) => fmt_f(x),
+        None => "—".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_renders_aligned() {
+        let mut t = Table::new("Demo", &["x", "longer"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        t.push_row(vec!["100".into(), "2".into()]);
+        t.push_note("a note");
+        let md = t.markdown();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| x   | longer |"));
+        assert!(md.contains("| 100 | 2      |"));
+        assert!(md.contains("> a note"));
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.push_row(vec!["x,y".into(), "z\"q".into()]);
+        let csv = t.csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"z\"\"q\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.push_row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(0.0), "0");
+        assert_eq!(fmt_f(3.17259), "3.17");
+        assert_eq!(fmt_f(42.42), "42.4");
+        assert_eq!(fmt_f(12345.6), "12346");
+        assert_eq!(fmt_opt(None), "—");
+        assert_eq!(fmt_opt(Some(2.0)), "2.00");
+    }
+}

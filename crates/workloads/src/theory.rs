@@ -1,0 +1,82 @@
+//! Unit-constant reference curves from the paper's bounds, used to
+//! normalize measured times ("measured / predicted" columns should be
+//! roughly flat across a sweep when the shape holds).
+
+use crn_core::params::ModelInfo;
+
+/// Theorem 4 shape: `c²/k + (kmax/k)·Δ` (poly-log factors dropped).
+pub fn cseek_shape(m: &ModelInfo) -> f64 {
+    let c = m.c as f64;
+    c * c / m.k as f64 + (m.kmax as f64 / m.k as f64) * m.delta as f64
+}
+
+/// The §1 naive-discovery shape: `(c²/k)·Δ`.
+pub fn naive_discovery_shape(m: &ModelInfo) -> f64 {
+    let c = m.c as f64;
+    c * c / m.k as f64 * m.delta as f64
+}
+
+/// The Zeng-et-al. class shape from §2: `c²/k + c·Δ/k`.
+pub fn fixed_rate_shape(m: &ModelInfo) -> f64 {
+    let c = m.c as f64;
+    (c * c + c * m.delta as f64) / m.k as f64
+}
+
+/// Theorem 6 shape: `c²/k̂ + (kmax/k̂)·Δ_k̂ + Δ`.
+pub fn ckseek_shape(m: &ModelInfo, khat: usize, delta_khat: usize) -> f64 {
+    let c = m.c as f64;
+    c * c / khat as f64 + (m.kmax as f64 / khat as f64) * delta_khat as f64 + m.delta as f64
+}
+
+/// Theorem 9 shape: `c²/k + (kmax/k)·Δ + D·Δ`.
+pub fn cgcast_shape(m: &ModelInfo, diameter: u64) -> f64 {
+    cseek_shape(m) + diameter as f64 * m.delta as f64
+}
+
+/// The §1 naive-broadcast shape: `(c²/k)·D`.
+pub fn naive_broadcast_shape(m: &ModelInfo, diameter: u64) -> f64 {
+    let c = m.c as f64;
+    c * c / m.k as f64 * diameter as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(c: usize, k: usize, kmax: usize, delta: usize) -> ModelInfo {
+        ModelInfo { n: 64, c, delta, k, kmax }
+    }
+
+    #[test]
+    fn cseek_beats_naive_for_large_delta() {
+        let model = m(8, 2, 2, 64);
+        assert!(cseek_shape(&model) < naive_discovery_shape(&model));
+    }
+
+    #[test]
+    fn cseek_beats_fixed_rate_when_kmax_small() {
+        // kmax = k << c: CSEEK pays (kmax/k)·Δ = Δ, fixed-rate pays cΔ/k.
+        let model = m(16, 2, 2, 64);
+        assert!(cseek_shape(&model) < fixed_rate_shape(&model));
+    }
+
+    #[test]
+    fn shapes_scale_as_documented() {
+        let base = m(8, 2, 2, 4);
+        let double_c = m(16, 2, 2, 4);
+        let r = cseek_shape(&double_c) / cseek_shape(&base);
+        assert!(r > 3.5 && r < 4.1, "c² scaling, got {r}");
+        let double_delta = m(8, 2, 2, 8);
+        assert!(naive_discovery_shape(&double_delta) == 2.0 * naive_discovery_shape(&base));
+    }
+
+    #[test]
+    fn gcast_shape_adds_diameter_term() {
+        let model = m(8, 2, 2, 4);
+        assert!(cgcast_shape(&model, 10) > cgcast_shape(&model, 1));
+        assert_eq!(
+            cgcast_shape(&model, 10) - cgcast_shape(&model, 0),
+            10.0 * 4.0
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! The (c,k)-bipartite hitting game of paper §6: why no algorithm can solve
+//! neighbor discovery in fewer than ~c²/k slots. Plays the game with three
+//! players — uniform random, exhaustive, and real CSEEK wrapped by the
+//! Lemma 11 reduction — and compares them with the Lemma 10 bound.
+//!
+//! Run with: `cargo run --release -p crn-examples --bin hitting_game`
+
+use crn_core::params::{ModelInfo, SeekParams};
+use crn_core::seek::CSeek;
+use crn_lowerbounds::analysis::{hitting_game_lower_bound, uniform_player_expected_rounds};
+use crn_lowerbounds::game::HittingGame;
+use crn_lowerbounds::players::{play, ExhaustivePlayer, ReductionPlayer, UniformRandomPlayer};
+use crn_sim::rng::stream_rng;
+use crn_sim::NodeId;
+
+fn main() {
+    let c = 12;
+    let k = 3;
+    let trials = 200;
+    println!("(c,k)-bipartite hitting game with c = {c}, k = {k}");
+    println!("  Lemma 10 lower bound : {:>7.1} rounds", hitting_game_lower_bound(c, k));
+    println!("  E[uniform player]    : {:>7.1} rounds", uniform_player_expected_rounds(c, k));
+
+    let mut uniform_total = 0u64;
+    let mut exhaustive_total = 0u64;
+    for t in 0..trials {
+        let mut rng = stream_rng(1000 + t, 0);
+        let mut game = HittingGame::new(c, k, &mut rng);
+        let mut player = UniformRandomPlayer::new(c);
+        uniform_total += play(&mut game, &mut player, &mut rng, 1_000_000).unwrap();
+
+        let mut rng = stream_rng(1000 + t, 1);
+        let mut game = HittingGame::new(c, k, &mut rng);
+        let mut player = ExhaustivePlayer::new(c);
+        exhaustive_total += play(&mut game, &mut player, &mut rng, 1_000_000).unwrap();
+    }
+    println!("\nmeasured over {trials} games:");
+    println!("  uniform player mean  : {:>7.1} rounds", uniform_total as f64 / trials as f64);
+    println!("  exhaustive scan mean : {:>7.1} rounds", exhaustive_total as f64 / trials as f64);
+
+    // Lemma 11: wrap a real discovery algorithm as a player. Each simulated
+    // slot proposes the channel pair the two nodes tuned to.
+    let m = ModelInfo { n: 2, c, delta: 1, k, kmax: k };
+    let sched = SeekParams::default().schedule(&m);
+    let reduction_trials = 30;
+    let mut total = 0u64;
+    let mut wins = 0u64;
+    for t in 0..reduction_trials {
+        let mut rng = stream_rng(9000 + t, 0);
+        let mut game = HittingGame::new(c, k, &mut rng);
+        let mut player = ReductionPlayer::new(
+            CSeek::new(NodeId(0), sched, false),
+            CSeek::new(NodeId(1), sched, false),
+            31 + t,
+        );
+        if let Some(rounds) = play(&mut game, &mut player, &mut rng, sched.total_slots()) {
+            total += rounds;
+            wins += 1;
+        }
+    }
+    println!(
+        "  CSEEK via reduction  : {:>7.1} rounds ({wins}/{reduction_trials} wins within its schedule)",
+        total as f64 / wins.max(1) as f64
+    );
+    println!(
+        "\ninterpretation: CSEEK's two-node discovery time cannot beat the game bound; \
+         the measured ratio above the bound is the polylog factor of Theorem 4."
+    );
+}

@@ -1,0 +1,1 @@
+//! Example helper library (examples are the binaries in this package).

@@ -1,0 +1,80 @@
+//! Spectrum-level view of a CSEEK run: wraps every node in the trace
+//! recorder and renders ASCII timelines plus per-channel utilization,
+//! making the two-part structure of the algorithm visible (dense COUNT
+//! listening in part one, density-weighted camping in part two).
+//!
+//! Run with: `cargo run --release -p crn-examples --bin spectrum_trace`
+
+use crn_core::params::{ModelInfo, SeekParams};
+use crn_core::seek::CSeek;
+use crn_sim::channels::ChannelModel;
+use crn_sim::topology::Topology;
+use crn_sim::trace::{render_timeline, ChannelUsage, Recorded};
+use crn_sim::{Engine, NodeId};
+use crn_workloads::Scenario;
+
+fn main() {
+    let scenario = Scenario::new(
+        "trace",
+        Topology::Star { leaves: 6 },
+        ChannelModel::CrowdedSplit { c: 4, k: 2, hot: 1, k_hot: 1 },
+        11,
+    );
+    let built = scenario.build().expect("scenario builds");
+    let s = built.net.stats();
+    let model = ModelInfo::from_stats(&s);
+    // A deliberately light schedule so the timeline fits a terminal.
+    let params = SeekParams {
+        part1_factor: 1.0,
+        part2_factor: 6.0,
+        ..Default::default()
+    };
+    let sched = params.schedule(&model);
+    println!(
+        "CSEEK on a crowded star (Δ = {}, c = {}): {} slots ({} part-1 steps, {} part-2 steps)\n",
+        s.delta,
+        s.c,
+        sched.total_slots(),
+        sched.part1_steps,
+        sched.part2_steps
+    );
+
+    let mut engine = Engine::new(&built.net, 5, |ctx| {
+        Recorded::new(CSeek::new(ctx.id, sched, false))
+    });
+    engine.run_to_completion(sched.total_slots());
+    let outputs = engine.into_outputs();
+
+    // Show the hub's timeline (it does the most work).
+    let (hub_out, hub_trace) = &outputs[0];
+    println!(
+        "hub timeline (B broadcast, R received, . silent listen, ' ' idle), {} slots/row:",
+        120
+    );
+    let rendered = render_timeline(hub_trace, 120);
+    for line in rendered.lines().take(12) {
+        println!("  {line}");
+    }
+    if rendered.lines().count() > 12 {
+        println!("  … ({} more rows)", rendered.lines().count() - 12);
+    }
+
+    let usage = ChannelUsage::from_traces([hub_trace.as_slice()], s.c);
+    println!("\nhub per-channel utilization (local labels):");
+    println!("  channel | broadcasts | received | silent | goodput");
+    for (l, goodput) in usage.goodput().iter().enumerate() {
+        println!(
+            "  l{l:<6} | {:>10} | {:>8} | {:>6} | {goodput:>6.2}",
+            usage.broadcasts[l], usage.receptions[l], usage.silent[l]
+        );
+    }
+
+    let hub_found = hub_out.neighbors.len();
+    println!("\nhub discovered {hub_found}/{} leaves", s.delta);
+    let everyone: usize = outputs
+        .iter()
+        .map(|(o, _)| o.neighbors.len())
+        .sum();
+    println!("total directed discoveries: {everyone}/{}", 2 * s.edges);
+    let _ = NodeId(0);
+}

@@ -1,0 +1,129 @@
+//! End-to-end CGCAST: the full stack (discovery → dedicated channels →
+//! distributed line-graph coloring → colored dissemination) must deliver
+//! the payload to every node, with a globally consistent proper edge
+//! coloring, on multiple topologies.
+
+use crn_core::cgcast::CGCast;
+use crn_core::coloring::is_proper_edge_coloring;
+use crn_core::params::{GcastParams, ModelInfo};
+use crn_integration::build;
+use crn_sim::channels::ChannelModel;
+use crn_sim::topology::Topology;
+use crn_sim::{Edge, Engine, NodeId};
+use std::collections::BTreeMap;
+
+fn run_gcast(
+    topology: Topology,
+    channels: ChannelModel,
+    seed: u64,
+) -> (crn_sim::Network, Vec<crn_core::cgcast::GcastOutput>) {
+    let (net, model) = build(topology, channels, seed);
+    let d = net.stats().diameter.expect("connected");
+    let sched = GcastParams { dissemination_phases: d.max(1), ..Default::default() }
+        .schedule(&ModelInfo::from_stats(&net.stats()));
+    let _ = model;
+    let mut eng = Engine::new(&net, seed ^ 0x6CA57, |ctx| {
+        CGCast::new(ctx.id, sched, (ctx.id == NodeId(0)).then_some(0xCAFE))
+    });
+    let outcome = eng.run_to_completion(sched.total_slots());
+    assert!(outcome.all_protocols_done);
+    let outputs = eng.into_outputs();
+    (net, outputs)
+}
+
+#[test]
+fn gcast_informs_everyone_on_grid() {
+    let (net, outputs) = run_gcast(
+        Topology::Grid { rows: 3, cols: 3 },
+        ChannelModel::SharedCore { c: 3, core: 2 },
+        11,
+    );
+    for o in &outputs {
+        assert_eq!(o.payload, Some(0xCAFE), "node {} missed the alert", o.id);
+        assert!(o.colors_locally_valid, "node {} sees clashing colors", o.id);
+    }
+    assert_eq!(outputs.len(), net.len());
+}
+
+#[test]
+fn gcast_informs_everyone_on_caterpillar() {
+    let (_, outputs) = run_gcast(
+        Topology::Caterpillar { spine: 3, legs: 2 },
+        ChannelModel::SharedCore { c: 4, core: 2 },
+        12,
+    );
+    for o in &outputs {
+        assert_eq!(o.payload, Some(0xCAFE), "node {} missed the alert", o.id);
+    }
+}
+
+#[test]
+fn gcast_coloring_is_globally_proper() {
+    let (net, outputs) = run_gcast(
+        Topology::Cycle { n: 8 },
+        ChannelModel::SharedCore { c: 3, core: 2 },
+        13,
+    );
+    // Rebuild the edge->color map from per-node outputs via a second run
+    // of the protocol state (known_colors is not exposed in the output, so
+    // use discovered/dedicated counts as structural checks, and validate
+    // locally-known colors through colors_locally_valid).
+    for o in &outputs {
+        assert!(o.colors_locally_valid);
+        assert_eq!(o.dedicated_count, net.degree(o.id), "all edges usable");
+        assert_eq!(o.known_colors, net.degree(o.id), "all incident colors known");
+    }
+}
+
+#[test]
+fn gcast_edge_colors_agree_between_endpoints() {
+    let (net, model) = build(
+        Topology::Grid { rows: 2, cols: 4 },
+        ChannelModel::SharedCore { c: 3, core: 2 },
+        14,
+    );
+    let d = net.stats().diameter.unwrap();
+    let sched =
+        GcastParams { dissemination_phases: d, ..Default::default() }.schedule(&model);
+    let mut eng = Engine::new(&net, 1414, |ctx| {
+        CGCast::new(ctx.id, sched, (ctx.id == NodeId(0)).then_some(1))
+    });
+    eng.run_to_completion(sched.total_slots());
+    let mut maps: Vec<BTreeMap<NodeId, u32>> = Vec::new();
+    eng.for_each_protocol(|_, p| maps.push(p.known_colors().clone()));
+    let mut edges = Vec::new();
+    let mut colors = Vec::new();
+    for (v, map) in maps.iter().enumerate() {
+        for (&w, &c) in map {
+            assert_eq!(
+                maps[w.index()].get(&NodeId(v as u32)),
+                Some(&c),
+                "endpoints of ({v},{w}) disagree"
+            );
+            if (v as u32) < w.0 {
+                edges.push(Edge::new(NodeId(v as u32), w));
+                colors.push(Some(c));
+            }
+        }
+    }
+    assert_eq!(edges.len(), net.stats().edges, "every edge colored");
+    assert!(is_proper_edge_coloring(&edges, &colors), "coloring must be proper");
+}
+
+#[test]
+fn naive_broadcast_agrees_with_gcast_on_delivery() {
+    use crn_core::baselines::NaiveBroadcast;
+    let (net, model) = build(
+        Topology::Path { n: 6 },
+        ChannelModel::SharedCore { c: 3, core: 2 },
+        15,
+    );
+    let slots = NaiveBroadcast::schedule_slots(&model, 5, 8.0);
+    let mut eng = Engine::new(&net, 5151, |ctx| {
+        NaiveBroadcast::new(ctx.id, model.c as u16, slots, (ctx.id == NodeId(0)).then_some(2))
+    });
+    eng.run_to_completion(slots);
+    for o in eng.into_outputs() {
+        assert_eq!(o.payload, Some(2), "naive broadcast must also deliver");
+    }
+}

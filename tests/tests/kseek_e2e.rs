@@ -1,0 +1,61 @@
+//! End-to-end CKSEEK (Theorem 6): the filter variant finds every good
+//! neighbor on a strictly shorter schedule, across group structures.
+
+use crn_core::discovery::{outputs_khat_complete, outputs_sound};
+use crn_core::params::SeekParams;
+use crn_core::seek::CSeek;
+use crn_integration::build;
+use crn_sim::channels::ChannelModel;
+use crn_sim::topology::Topology;
+use crn_sim::Engine;
+
+#[test]
+fn ckseek_finds_all_good_neighbors() {
+    let (net, model) = build(
+        Topology::Cycle { n: 18 },
+        ChannelModel::GroupOverlay { c: 8, k: 1, kmax: 6, groups: 3 },
+        21,
+    );
+    let khat = 6;
+    let params = SeekParams::default();
+    let sched = params.kseek_schedule(&model, khat, Some(net.delta_khat(khat)));
+    assert!(
+        sched.total_slots() < params.schedule(&model).total_slots(),
+        "CKSEEK must be shorter than CSEEK"
+    );
+    let mut eng = Engine::new(&net, 77, |ctx| CSeek::new(ctx.id, sched, false));
+    eng.run_to_completion(sched.total_slots());
+    let outputs = eng.into_outputs();
+    assert!(outputs_sound(&net, &outputs));
+    assert!(outputs_khat_complete(&net, &outputs, khat));
+}
+
+#[test]
+fn ckseek_without_delta_khat_estimate_still_works() {
+    let (net, model) = build(
+        Topology::Cycle { n: 12 },
+        ChannelModel::GroupOverlay { c: 6, k: 1, kmax: 4, groups: 2 },
+        22,
+    );
+    let khat = 4;
+    let sched = SeekParams::default().kseek_schedule(&model, khat, None);
+    let mut eng = Engine::new(&net, 88, |ctx| CSeek::new(ctx.id, sched, false));
+    eng.run_to_completion(sched.total_slots());
+    let outputs = eng.into_outputs();
+    assert!(outputs_khat_complete(&net, &outputs, khat));
+}
+
+#[test]
+fn khat_equals_k_degenerates_to_full_discovery() {
+    use crn_core::discovery::outputs_complete;
+    let (net, model) = build(
+        Topology::Path { n: 6 },
+        ChannelModel::SharedCore { c: 4, core: 2 },
+        23,
+    );
+    let sched = SeekParams::default().kseek_schedule(&model, model.k, Some(model.delta));
+    let mut eng = Engine::new(&net, 99, |ctx| CSeek::new(ctx.id, sched, false));
+    eng.run_to_completion(sched.total_slots());
+    let outputs = eng.into_outputs();
+    assert!(outputs_complete(&net, &outputs), "k̂ = k must find everyone");
+}

@@ -1,0 +1,89 @@
+//! Lower-bound machinery end-to-end: the reduction player, the hard tree
+//! instance, and the closed-form bounds must be mutually consistent with
+//! the measured algorithms.
+
+use crn_core::params::{ModelInfo, SeekParams};
+use crn_core::seek::CSeek;
+use crn_lowerbounds::analysis::{hitting_game_lower_bound, uniform_player_expected_rounds};
+use crn_lowerbounds::game::HittingGame;
+use crn_lowerbounds::players::{play, ExhaustivePlayer, ReductionPlayer, UniformRandomPlayer};
+use crn_lowerbounds::tree::{lower_bound_tree, OracleTreeBroadcast};
+use crn_sim::rng::stream_rng;
+use crn_sim::{Engine, NodeId};
+
+#[test]
+fn no_player_beats_the_bound_on_average() {
+    // Statistical check across players: mean rounds >= LB for both the
+    // uniform and exhaustive players.
+    for (c, k) in [(8usize, 2usize), (12, 3)] {
+        let lb = hitting_game_lower_bound(c, k);
+        let trials = 100;
+        let mut uni = 0u64;
+        let mut exh = 0u64;
+        for t in 0..trials {
+            let mut rng = stream_rng(500 + t, 0);
+            let mut game = HittingGame::new(c, k, &mut rng);
+            uni += play(&mut game, &mut UniformRandomPlayer::new(c), &mut rng, 1 << 24).unwrap();
+            let mut rng = stream_rng(500 + t, 1);
+            let mut game = HittingGame::new(c, k, &mut rng);
+            exh += play(&mut game, &mut ExhaustivePlayer::new(c), &mut rng, 1 << 24).unwrap();
+        }
+        let uni_mean = uni as f64 / trials as f64;
+        let exh_mean = exh as f64 / trials as f64;
+        assert!(uni_mean >= lb, "uniform mean {uni_mean} below LB {lb} (c={c},k={k})");
+        assert!(exh_mean >= lb, "exhaustive mean {exh_mean} below LB {lb} (c={c},k={k})");
+        // And within a small factor of the expectation (sanity).
+        let expect = uniform_player_expected_rounds(c, k);
+        assert!(uni_mean < expect * 1.5, "uniform mean {uni_mean} too far above {expect}");
+    }
+}
+
+#[test]
+fn cseek_reduction_always_wins_within_schedule() {
+    let (c, k) = (10usize, 2usize);
+    let m = ModelInfo { n: 2, c, delta: 1, k, kmax: k };
+    let sched = SeekParams::default().schedule(&m);
+    for t in 0..10u64 {
+        let mut rng = stream_rng(700 + t, 0);
+        let mut game = HittingGame::new(c, k, &mut rng);
+        let mut player = ReductionPlayer::new(
+            CSeek::new(NodeId(0), sched, false),
+            CSeek::new(NodeId(1), sched, false),
+            t,
+        );
+        let rounds = play(&mut game, &mut player, &mut rng, sched.total_slots());
+        assert!(rounds.is_some(), "trial {t}: CSEEK must meet within its schedule");
+    }
+}
+
+#[test]
+fn oracle_on_tree_matches_lower_bound_shape() {
+    for (c, depth) in [(3usize, 3usize), (4, 2), (5, 2)] {
+        let b = c - 1;
+        let net = lower_bound_tree(c, c, depth).unwrap();
+        let max_slots = ((depth + 1) * b) as u64 + 8;
+        let mut eng = Engine::new(&net, 1, |ctx| {
+            OracleTreeBroadcast::new(&net, ctx.id, b, 5, max_slots)
+        });
+        eng.run_to_completion(max_slots);
+        let outs = eng.into_outputs();
+        let worst = outs.iter().filter_map(|&(_, at)| at).max().unwrap();
+        let lb = depth as u64; // at least one slot per level
+        let ub = (depth * b + b) as u64;
+        assert!(
+            worst >= lb && worst <= ub,
+            "c={c} depth={depth}: worst {worst} outside [{lb},{ub}]"
+        );
+        assert!(outs.iter().all(|(_, at)| at.is_some()), "everyone informed");
+    }
+}
+
+#[test]
+fn tree_stats_match_theorem_assumptions() {
+    let net = lower_bound_tree(5, 5, 2).unwrap();
+    let s = net.stats();
+    assert_eq!(s.k, 1, "parent-child overlap is exactly one channel");
+    assert_eq!(s.kmax, 1);
+    assert_eq!(s.delta, 5, "root has b = 4 children; internal nodes 4 + 1 parent");
+    assert_eq!(s.diameter, Some(4));
+}

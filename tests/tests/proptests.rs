@@ -1,0 +1,360 @@
+//! Property-based tests on the core invariants of the whole stack:
+//! channel models, the engine's collision semantics (checked against a
+//! brute-force oracle), line graphs, colorings, and the hitting game.
+
+use crn_core::coloring::{
+    color_graph, greedy_edge_coloring, is_proper_coloring, is_proper_edge_coloring, palette_size,
+    LineGraph,
+};
+use crn_lowerbounds::game::HittingGame;
+use crn_sim::channels::{overlap_size, shuffle_local_labels, ChannelModel};
+use crn_sim::rng::stream_rng;
+use crn_sim::{
+    Action, Edge, Engine, Feedback, GlobalChannel, LocalChannel, Network, NodeId, Protocol,
+    SlotCtx,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Channel model invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn shared_core_overlap_is_exactly_core(
+        n in 2usize..20,
+        c in 2usize..10,
+        core in 1usize..9,
+        seed in 0u64..1000,
+    ) {
+        let core = core.min(c);
+        let mut rng = stream_rng(seed, 0);
+        let sets = ChannelModel::SharedCore { c, core }.assign(n, &mut rng);
+        prop_assert!(sets.iter().all(|s| s.len() == c));
+        for a in 0..n {
+            for b in (a + 1)..n {
+                prop_assert_eq!(overlap_size(&sets[a], &sets[b]), core);
+            }
+        }
+    }
+
+    #[test]
+    fn group_overlay_overlap_is_k_or_kmax(
+        n in 2usize..24,
+        k in 1usize..4,
+        extra in 0usize..4,
+        groups in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let kmax = k + extra;
+        let c = kmax + 2;
+        let mut rng = stream_rng(seed, 0);
+        let sets = ChannelModel::GroupOverlay { c, k, kmax, groups }.assign(n, &mut rng);
+        prop_assert!(sets.iter().all(|s| s.len() == c));
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let o = overlap_size(&sets[a], &sets[b]);
+                prop_assert!(o == k || o == kmax, "overlap {} not in {{{k},{kmax}}}", o);
+            }
+        }
+    }
+
+    #[test]
+    fn crowded_split_hub_overlap_is_k(
+        leaves in 1usize..40,
+        k in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let c = k + 4;
+        let mut rng = stream_rng(seed, 0);
+        let sets = ChannelModel::CrowdedSplit { c, k, hot: 1, k_hot: 1.min(k) }
+            .assign(leaves + 1, &mut rng);
+        for leaf in 1..=leaves {
+            prop_assert_eq!(overlap_size(&sets[0], &sets[leaf]), k);
+        }
+    }
+
+    #[test]
+    fn random_pool_sets_are_valid(
+        n in 1usize..20,
+        c in 1usize..8,
+        slack in 0usize..8,
+        seed in 0u64..1000,
+    ) {
+        let universe = c + slack;
+        let mut rng = stream_rng(seed, 0);
+        let sets = ChannelModel::RandomPool { c, universe }.assign(n, &mut rng);
+        for s in &sets {
+            prop_assert_eq!(s.len(), c);
+            let mut d = s.clone();
+            d.sort_unstable();
+            d.dedup();
+            prop_assert_eq!(d.len(), c, "duplicate channels");
+            prop_assert!(s.iter().all(|g| (g.0 as usize) < universe));
+        }
+    }
+
+    #[test]
+    fn label_shuffle_preserves_network_stats(
+        n in 2usize..12,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = stream_rng(seed, 0);
+        let mut sets = ChannelModel::SharedCore { c: 4, core: 2 }.assign(n, &mut rng);
+        let build = |sets: &[Vec<GlobalChannel>]| {
+            let mut b = Network::builder(n);
+            for (v, s) in sets.iter().enumerate() {
+                b.set_channels(NodeId(v as u32), s.clone());
+            }
+            for v in 0..n as u32 - 1 {
+                b.add_edge(NodeId(v), NodeId(v + 1));
+            }
+            b.build().unwrap()
+        };
+        let before = build(&sets).stats();
+        shuffle_local_labels(&mut sets, &mut rng);
+        let after = build(&sets).stats();
+        prop_assert_eq!(before, after);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine vs brute-force oracle
+// ---------------------------------------------------------------------
+
+/// Replays a fixed per-slot action script and records all feedback.
+struct Scripted {
+    script: Vec<Action<u32>>,
+    got: Vec<Feedback<u32>>,
+    t: usize,
+}
+
+impl Protocol for Scripted {
+    type Message = u32;
+    type Output = Vec<Feedback<u32>>;
+    fn act(&mut self, _ctx: &mut SlotCtx<'_>) -> Action<u32> {
+        let a = self.script[self.t].clone();
+        self.t += 1;
+        a
+    }
+    fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, fb: Feedback<u32>) {
+        self.got.push(fb);
+    }
+    fn is_complete(&self) -> bool {
+        self.t >= self.script.len()
+    }
+    fn into_output(self) -> Vec<Feedback<u32>> {
+        self.got
+    }
+}
+
+/// Brute-force model semantics: what should node `v` observe in a slot?
+fn oracle_feedback(
+    net: &Network,
+    actions: &[Action<u32>],
+    v: usize,
+) -> Feedback<u32> {
+    match &actions[v] {
+        Action::Sleep => Feedback::Slept,
+        Action::Broadcast { .. } => Feedback::Sent,
+        Action::Listen { channel } => {
+            let g = net.local_to_global(NodeId(v as u32), *channel);
+            let mut heard = None;
+            let mut count = 0;
+            for w in net.neighbors(NodeId(v as u32)) {
+                if let Action::Broadcast { channel: wc, message } = &actions[w.index()] {
+                    if net.local_to_global(w, *wc) == g {
+                        count += 1;
+                        heard = Some(*message);
+                    }
+                }
+            }
+            if count == 1 {
+                Feedback::Heard(heard.unwrap())
+            } else {
+                Feedback::Silence
+            }
+        }
+    }
+}
+
+fn arb_action(c: usize) -> impl Strategy<Value = Action<u32>> {
+    prop_oneof![
+        (0..c as u16, any::<u32>())
+            .prop_map(|(ch, m)| Action::Broadcast { channel: LocalChannel(ch), message: m }),
+        (0..c as u16).prop_map(|ch| Action::Listen { channel: LocalChannel(ch) }),
+        Just(Action::Sleep),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engine_matches_brute_force_oracle(
+        n in 2usize..7,
+        slots in 1usize..6,
+        seed in 0u64..500,
+        scripts in proptest::collection::vec(
+            proptest::collection::vec(arb_action(3), 6),
+            7,
+        ),
+    ) {
+        // Identical channel sets keep every action valid; a ring keeps the
+        // neighbor structure non-trivial (plus chords from seed parity).
+        let mut b = Network::builder(n);
+        for v in 0..n {
+            b.set_channels(
+                NodeId(v as u32),
+                vec![GlobalChannel(0), GlobalChannel(1), GlobalChannel(2)],
+            );
+        }
+        for v in 0..n as u32 {
+            b.add_edge(NodeId(v), NodeId((v + 1) % n as u32));
+        }
+        if seed % 2 == 0 && n > 3 {
+            b.add_edge(NodeId(0), NodeId(2));
+        }
+        let net = b.build().unwrap();
+
+        // Build per-node scripts of the right length.
+        let node_scripts: Vec<Vec<Action<u32>>> = (0..n)
+            .map(|v| scripts[v].iter().take(slots).cloned().collect())
+            .collect();
+
+        let mut eng = Engine::new(&net, seed, |ctx| Scripted {
+            script: node_scripts[ctx.id.index()].clone(),
+            got: Vec::new(),
+            t: 0,
+        });
+        eng.run_to_completion(slots as u64);
+        let outputs = eng.into_outputs();
+
+        for t in 0..slots {
+            let slot_actions: Vec<Action<u32>> =
+                (0..n).map(|v| node_scripts[v][t].clone()).collect();
+            for (v, output) in outputs.iter().enumerate() {
+                let want = oracle_feedback(&net, &slot_actions, v);
+                prop_assert_eq!(
+                    &output[t], &want,
+                    "slot {} node {}: engine disagrees with oracle", t, v
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Line graph and coloring invariants
+// ---------------------------------------------------------------------
+
+fn arb_edge_set() -> impl Strategy<Value = Vec<Edge>> {
+    proptest::collection::btree_set((0u32..10, 0u32..10), 1..20).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| Edge::new(NodeId(a), NodeId(b)))
+            .collect::<std::collections::BTreeSet<Edge>>()
+            .into_iter()
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn line_graph_adjacency_is_shared_endpoint(edges in arb_edge_set()) {
+        prop_assume!(!edges.is_empty());
+        let lg = LineGraph::of(&edges);
+        for i in 0..lg.len() {
+            for j in 0..lg.len() {
+                if i == j {
+                    continue;
+                }
+                let adjacent = lg.neighbors(i).contains(&(j as u32));
+                let should = lg.edge(i).shares_endpoint(lg.edge(j));
+                prop_assert_eq!(adjacent, should, "{} vs {}", lg.edge(i), lg.edge(j));
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_coloring_is_always_proper(edges in arb_edge_set()) {
+        prop_assume!(!edges.is_empty());
+        let colors = greedy_edge_coloring(&edges);
+        let opts: Vec<Option<u32>> = colors.iter().map(|&c| Some(c)).collect();
+        prop_assert!(is_proper_edge_coloring(&edges, &opts));
+        // Vizing-style bound for greedy: at most 2Δ − 1 colors.
+        let mut deg = std::collections::HashMap::new();
+        for e in &edges {
+            *deg.entry(e.lo()).or_insert(0usize) += 1;
+            *deg.entry(e.hi()).or_insert(0usize) += 1;
+        }
+        let delta = deg.values().copied().max().unwrap_or(1);
+        prop_assert!(palette_size(&colors) < 2 * delta);
+    }
+
+    #[test]
+    fn luby_coloring_is_proper_when_complete(
+        edges in arb_edge_set(),
+        seed in 0u64..500,
+    ) {
+        prop_assume!(!edges.is_empty());
+        let lg = LineGraph::of(&edges);
+        let palette = (lg.max_degree() + 2) as u32;
+        let mut rng = stream_rng(seed, 0);
+        let res = color_graph(lg.adjacency(), palette, 5_000, &mut rng);
+        prop_assert!(res.complete, "ample palette must converge");
+        prop_assert!(is_proper_coloring(lg.adjacency(), &res.colors));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hitting game invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn game_wins_exactly_on_matching_edges(
+        c in 2usize..10,
+        k in 1usize..10,
+        seed in 0u64..1000,
+    ) {
+        let k = k.min(c);
+        let mut rng = stream_rng(seed, 0);
+        let game = HittingGame::new(c, k, &mut rng);
+        // Exhaustive scan: count wins over a fresh game per proposal to
+        // observe the full win set.
+        let mut wins = 0usize;
+        for a in 0..c as u32 {
+            for b in 0..c as u32 {
+                let mut g = game.clone();
+                if g.propose(a, b) {
+                    wins += 1;
+                }
+            }
+        }
+        prop_assert_eq!(wins, k, "exactly k edges win");
+    }
+
+    #[test]
+    fn exhaustive_player_wins_within_c_squared(
+        c in 2usize..10,
+        k in 1usize..10,
+        seed in 0u64..1000,
+    ) {
+        use crn_lowerbounds::players::{play, ExhaustivePlayer};
+        let k = k.min(c);
+        let mut rng = stream_rng(seed, 0);
+        let mut game = HittingGame::new(c, k, &mut rng);
+        let mut player = ExhaustivePlayer::new(c);
+        let rounds = play(&mut game, &mut player, &mut rng, (c * c) as u64 + 1);
+        prop_assert!(rounds.is_some());
+        prop_assert!(rounds.unwrap() <= (c * c) as u64);
+    }
+}

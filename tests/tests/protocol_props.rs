@@ -1,0 +1,131 @@
+//! Property-based tests on the protocol state machines themselves:
+//! schedule accounting, COUNT estimate structure, and exchange symmetry.
+
+use crn_core::count::{CountInstance, Role};
+use crn_core::params::{CountParams, CountSchedule, ModelInfo, SeekParams};
+use crn_core::seek::SeekCore;
+use crn_sim::rng::stream_rng;
+use proptest::prelude::*;
+
+fn arb_model() -> impl Strategy<Value = ModelInfo> {
+    (2usize..200, 1usize..12, 1usize..32, 1usize..6, 0usize..6).prop_map(
+        |(n, c, delta, k, extra)| {
+            let k = k.min(c);
+            let kmax = (k + extra).min(c);
+            ModelInfo { n, c, delta, k, kmax }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The schedule the params derive and the slots the state machine
+    /// actually consumes must agree exactly — this is what keeps every
+    /// node in the network in lockstep.
+    #[test]
+    fn seek_core_consumes_exactly_its_schedule(model in arb_model(), seed in 0u64..1000) {
+        let sched = SeekParams::default().schedule(&model);
+        let mut core = SeekCore::new(sched);
+        let mut rng = stream_rng(seed, 0);
+        let mut slots = 0u64;
+        while let Some(_plan) = core.plan_slot(&mut rng) {
+            core.record_heard(false);
+            core.finish_slot();
+            slots += 1;
+            prop_assert!(slots <= sched.total_slots(), "overran the schedule");
+        }
+        prop_assert_eq!(slots, sched.total_slots());
+        prop_assert!(core.is_done());
+    }
+
+    /// Same for CKSEEK schedules across valid k̂.
+    #[test]
+    fn kseek_core_consumes_exactly_its_schedule(
+        model in arb_model(),
+        khat_off in 0usize..6,
+        seed in 0u64..1000,
+    ) {
+        let khat = (model.k + khat_off).min(model.kmax);
+        let sched = SeekParams::default().kseek_schedule(&model, khat, None);
+        let mut core = SeekCore::new(sched);
+        let mut rng = stream_rng(seed, 0);
+        let mut slots = 0u64;
+        while core.plan_slot(&mut rng).is_some() {
+            core.record_heard(false);
+            core.finish_slot();
+            slots += 1;
+        }
+        prop_assert_eq!(slots, sched.total_slots());
+    }
+
+    /// Plans always name channels within the node's range.
+    #[test]
+    fn seek_core_channels_in_range(model in arb_model(), seed in 0u64..1000) {
+        let sched = SeekParams::default().schedule(&model);
+        let mut core = SeekCore::new(sched);
+        let mut rng = stream_rng(seed, 0);
+        while let Some(plan) = core.plan_slot(&mut rng) {
+            prop_assert!((plan.channel().0 as usize) < model.c);
+            core.record_heard(false);
+            core.finish_slot();
+        }
+    }
+
+    /// A COUNT listener's estimate is always 0 or a power of two ≥ 4, and
+    /// feeding it `heard` on every slot makes it trigger in round one
+    /// (estimate exactly 4).
+    #[test]
+    fn count_estimates_are_structured(
+        rounds in 1u32..8,
+        round_len in 1u32..64,
+        heard_everything in any::<bool>(),
+    ) {
+        let sched = CountSchedule {
+            rounds,
+            round_len,
+            threshold_count: (round_len / 4).max(1),
+        };
+        let mut ci = CountInstance::new(sched, Role::Listener);
+        while !ci.is_done() {
+            ci.record_listen(heard_everything);
+            ci.finish_slot();
+        }
+        let est = ci.estimate();
+        if heard_everything && round_len > sched.threshold_count {
+            prop_assert_eq!(est, 4, "constant chatter triggers in round one");
+        }
+        prop_assert!(
+            est == 0 || (est >= 4 && est.is_power_of_two()),
+            "estimate {} malformed",
+            est
+        );
+    }
+
+    /// Derived COUNT schedules respect the documented formulas.
+    #[test]
+    fn count_schedule_formulas(model in arb_model(), factor in 1.0f64..8.0) {
+        let params = CountParams { round_len_factor: factor, min_round_len: 4, threshold: 0.08 };
+        let sched = params.schedule(&model);
+        prop_assert_eq!(sched.rounds, model.lg_delta());
+        prop_assert!(sched.round_len >= 4);
+        prop_assert!(sched.round_len as f64 >= factor * model.lg_n() - 1.0);
+        prop_assert!(sched.threshold_count >= 1);
+        prop_assert_eq!(sched.total_slots(), sched.rounds as u64 * sched.round_len as u64);
+    }
+
+    /// CSEEK schedules are monotone in the quantities Theorem 4 says they
+    /// should be monotone in.
+    #[test]
+    fn seek_schedule_monotonicity(model in arb_model()) {
+        let base = SeekParams::default().schedule(&model);
+        // More channels -> at least as much part-one work.
+        let more_c = ModelInfo { c: model.c + 1, kmax: model.kmax.min(model.c + 1), ..model };
+        let s2 = SeekParams::default().schedule(&more_c);
+        prop_assert!(s2.part1_steps >= base.part1_steps);
+        // Larger degree -> at least as much part-two work.
+        let more_d = ModelInfo { delta: model.delta + 1, ..model };
+        let s3 = SeekParams::default().schedule(&more_d);
+        prop_assert!(s3.part2_steps >= base.part2_steps);
+    }
+}

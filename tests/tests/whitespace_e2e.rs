@@ -1,0 +1,95 @@
+//! End-to-end white-space pipeline: geographic deployment with licensed
+//! primary users → network model → CSEEK discovery → CGCAST broadcast.
+//! This is the paper's §1 motivating use-case (1) run in full.
+
+use crn_core::cgcast::CGCast;
+use crn_core::discovery::{outputs_complete, outputs_sound};
+use crn_core::exchange::Exchange;
+use crn_core::params::{GcastParams, ModelInfo, SeekParams};
+use crn_core::seek::CSeek;
+use crn_sim::channels::prune_edges_by_overlap;
+use crn_sim::geo::{generate, WhitespaceConfig};
+use crn_sim::graph::Graph;
+use crn_sim::rng::stream_rng;
+use crn_sim::{Engine, Network, NodeId};
+
+fn whitespace_network(seed: u64) -> Option<Network> {
+    let cfg = WhitespaceConfig {
+        n: 30,
+        radio_radius: 0.4,
+        universe: 12,
+        c: 5,
+        primaries: 5,
+        primary_radius: 0.25,
+    };
+    let mut rng = stream_rng(seed, 0);
+    let dep = generate(&cfg, &mut rng).ok()?;
+    let edges = prune_edges_by_overlap(&dep.edges, &dep.channel_sets, 2);
+    // Only use connected instances (broadcast needs connectivity).
+    let g = Graph::from_edges(cfg.n, &edges);
+    if !g.is_connected() {
+        return None;
+    }
+    let mut b = Network::builder(cfg.n);
+    for (v, set) in dep.channel_sets.iter().enumerate() {
+        b.set_channels(NodeId(v as u32), set.clone());
+    }
+    b.add_edges(edges.iter().map(|&(a, x)| (NodeId(a), NodeId(x))));
+    b.build().ok()
+}
+
+fn first_connected_network() -> Network {
+    (0..50u64)
+        .find_map(whitespace_network)
+        .expect("some seed yields a connected white-space deployment")
+}
+
+#[test]
+fn whitespace_discovery_is_sound_and_complete() {
+    let net = first_connected_network();
+    let model = ModelInfo::from_stats(&net.stats());
+    assert!(model.k >= 2, "pruning must enforce the overlap floor");
+    let sched = SeekParams::default().schedule(&model);
+    let mut eng = Engine::new(&net, 4242, |ctx| CSeek::new(ctx.id, sched, false));
+    eng.run_to_completion(sched.total_slots());
+    let outputs = eng.into_outputs();
+    assert!(outputs_sound(&net, &outputs));
+    assert!(outputs_complete(&net, &outputs));
+}
+
+#[test]
+fn whitespace_broadcast_reaches_everyone() {
+    let net = first_connected_network();
+    let model = ModelInfo::from_stats(&net.stats());
+    let d = net.stats().diameter.expect("connected by construction");
+    let sched =
+        GcastParams { dissemination_phases: d.max(1), ..Default::default() }.schedule(&model);
+    let mut eng = Engine::new(&net, 777, |ctx| {
+        CGCast::new(ctx.id, sched, (ctx.id == NodeId(0)).then_some(0xD15C))
+    });
+    eng.run_to_completion(sched.total_slots());
+    let outputs = eng.into_outputs();
+    let informed = outputs.iter().filter(|o| o.is_informed()).count();
+    assert_eq!(informed, net.len(), "alert must reach every device");
+}
+
+#[test]
+fn whitespace_exchange_delivers_all_neighbor_payloads() {
+    let net = first_connected_network();
+    let model = ModelInfo::from_stats(&net.stats());
+    let sched = SeekParams::default().schedule(&model);
+    let mut eng = Engine::new(&net, 31337, |ctx| {
+        Exchange::new(ctx.id, sched, (ctx.id.0 as u64) * 7)
+    });
+    eng.run_to_completion(sched.total_slots());
+    for out in eng.into_outputs() {
+        for w in net.neighbors(out.id) {
+            assert_eq!(
+                out.received.get(&w),
+                Some(&(w.0 as u64 * 7)),
+                "{} missing payload of neighbor {w}",
+                out.id
+            );
+        }
+    }
+}
