@@ -19,8 +19,8 @@ fn cgcast_paths(criterion: &mut Criterion) {
             ChannelModel::SharedCore { c: 4, core: 2 },
             19,
         );
-        let sched = GcastParams { dissemination_phases: d as u64, ..Default::default() }
-            .schedule(&model);
+        let sched =
+            GcastParams { dissemination_phases: d as u64, ..Default::default() }.schedule(&model);
         group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
             b.iter(|| {
                 let mut eng = Engine::new(&net, 9, |ctx| {
@@ -37,11 +37,8 @@ fn cgcast_paths(criterion: &mut Criterion) {
 fn cgcast_star(criterion: &mut Criterion) {
     let mut group = criterion.benchmark_group("cgcast_full_run_star");
     group.sample_size(10);
-    let (net, model) = bench_network(
-        Topology::Star { leaves: 6 },
-        ChannelModel::Identical { c: 3 },
-        21,
-    );
+    let (net, model) =
+        bench_network(Topology::Star { leaves: 6 }, ChannelModel::Identical { c: 3 }, 21);
     let sched = GcastParams { dissemination_phases: 2, ..Default::default() }.schedule(&model);
     group.bench_function("star6", |b| {
         b.iter(|| {

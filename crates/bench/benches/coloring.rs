@@ -14,11 +14,7 @@ fn build_edges(n: usize) -> (Vec<Edge>, usize) {
     let topo = Topology::ErdosRenyi { n, p: (6.0 / n as f64).min(1.0) };
     let raw = topo.edges(&mut rng);
     let g = Graph::from_edges(n, &raw);
-    let edges = g
-        .edges()
-        .into_iter()
-        .map(|(a, b)| Edge::new(NodeId(a), NodeId(b)))
-        .collect();
+    let edges = g.edges().into_iter().map(|(a, b)| Edge::new(NodeId(a), NodeId(b))).collect();
     (edges, g.max_degree())
 }
 

@@ -14,11 +14,8 @@ fn cseek_vs_c(criterion: &mut Criterion) {
     let mut group = criterion.benchmark_group("cseek_full_run_vs_c");
     group.sample_size(10);
     for &c in &[4usize, 8, 12] {
-        let (net, model) = bench_network(
-            Topology::Cycle { n: 16 },
-            ChannelModel::SharedCore { c, core: 2 },
-            11,
-        );
+        let (net, model) =
+            bench_network(Topology::Cycle { n: 16 }, ChannelModel::SharedCore { c, core: 2 }, 11);
         let sched = SeekParams::default().schedule(&model);
         group.bench_with_input(BenchmarkId::from_parameter(c), &c, |b, _| {
             b.iter(|| {

@@ -1,15 +1,28 @@
-//! Engine micro-benchmarks: raw slot throughput of the simulator substrate,
-//! across network sizes and action mixes. Establishes the node-slot cost
-//! every higher-level number is built on.
+//! Engine micro-benchmarks: raw slot throughput of the simulator substrate.
+//!
+//! Two suites:
+//!
+//! * `engine_slot_throughput` — a topology matrix (star / random dense
+//!   Erdős–Rényi / random geometric) at n ∈ {100, 1k, 5k}, comparing the
+//!   optimized `Resolver::Auto` against the seed's `Resolver::Naive`
+//!   listener×broadcaster scan. This is the repo's perf trajectory for the
+//!   hot path every experiment sits on.
+//! * `dense_broadcast_5000` — the acceptance scenario: a random graph with
+//!   n = 5000 and average degree ≥ 64, every node broadcasting or listening
+//!   each slot on a handful of shared channels. The optimized resolver must
+//!   beat the naive one by ≥ 2× per slot here.
+//!
+//! Results are printed per benchmark and written as JSON on exit
+//! (`BENCH_engine.json`, or the path in `$CRN_BENCH_JSON`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use crn_bench::bench_network;
 use crn_sim::channels::ChannelModel;
 use crn_sim::topology::Topology;
-use crn_sim::{Action, Engine, Feedback, LocalChannel, Protocol, SlotCtx};
+use crn_sim::{Action, Engine, Feedback, LocalChannel, Network, Protocol, Resolver, SlotCtx};
 use rand::Rng;
 
-/// A protocol exercising the engine's hot path: random channel, random role.
+/// A protocol exercising the engine's hot path: random channel, random role,
+/// every slot (no sleeping — maximum per-slot resolution load).
 struct Chatter {
     c: u16,
     heard: u64,
@@ -26,7 +39,7 @@ impl Protocol for Chatter {
             Action::Listen { channel }
         }
     }
-    fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, fb: Feedback<u32>) {
+    fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, fb: Feedback<'_, u32>) {
         if matches!(fb, Feedback::Heard(_)) {
             self.heard += 1;
         }
@@ -39,22 +52,86 @@ impl Protocol for Chatter {
     }
 }
 
+fn build(topology: &Topology, channels: &ChannelModel, seed: u64) -> Network {
+    Network::generate(topology, channels, seed).expect("bench network must build")
+}
+
+fn run_slots(net: &Network, resolver: Resolver, c: u16, slots: u64) -> u64 {
+    let mut eng = Engine::with_resolver(net, 42, resolver, |_| Chatter { c, heard: 0 });
+    eng.run_to_completion(slots);
+    eng.counters().deliveries
+}
+
+/// Topology matrix × resolver. Slot counts shrink with n so a single
+/// iteration stays comparable across sizes.
 fn engine_throughput(criterion: &mut Criterion) {
     let mut group = criterion.benchmark_group("engine_slot_throughput");
-    for &n in &[16usize, 64, 256, 1024] {
-        let (net, model) = bench_network(
-            Topology::RandomGeometric { n, radius: (8.0 / n as f64).sqrt() },
-            ChannelModel::SharedCore { c: 6, core: 2 },
-            7,
-        );
-        let slots = 256u64;
-        group.throughput(Throughput::Elements(slots * n as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                let mut eng = Engine::new(&net, 42, |_| Chatter { c: model.c as u16, heard: 0 });
-                eng.run_to_completion(slots);
-                eng.counters().deliveries
-            })
+    group.sample_size(10);
+
+    let sizes: &[(usize, u64)] = &[(100, 256), (1000, 64), (5000, 16)];
+    for &(n, slots) in sizes {
+        let nf = n as f64;
+        let configs: Vec<(&str, Topology, ChannelModel)> = vec![
+            ("star", Topology::Star { leaves: n - 1 }, ChannelModel::Identical { c: 2 }),
+            (
+                "dense",
+                // Average degree ~16, independent of n.
+                Topology::ErdosRenyi { n, p: (16.0 / (nf - 1.0)).min(1.0) },
+                ChannelModel::Identical { c: 3 },
+            ),
+            (
+                "geo",
+                // n·π·r² ≈ 16 expected neighbors.
+                Topology::RandomGeometric {
+                    n,
+                    radius: (16.0 / (std::f64::consts::PI * nf)).sqrt(),
+                },
+                ChannelModel::SharedCore { c: 4, core: 2 },
+            ),
+        ];
+        for (name, topology, channels) in configs {
+            let net = build(&topology, &channels, 7);
+            let c = net.channels_per_node() as u16;
+            group.throughput(Throughput::Elements(slots * n as u64));
+            for (rname, resolver) in [("auto", Resolver::Auto), ("naive", Resolver::Naive)] {
+                group.bench_with_input(
+                    BenchmarkId::from_parameter(format!("{name}/n{n}/{rname}")),
+                    &n,
+                    |b, _| b.iter(|| run_slots(&net, resolver, c, slots)),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+/// Acceptance scenario: dense broadcast storm. Random graph, n = 5000,
+/// average degree ≥ 64, all nodes broadcasting-or-listening on 2 shared
+/// channels. `auto` must be ≥ 2× faster per slot than `naive` here.
+fn dense_broadcast(criterion: &mut Criterion) {
+    let n = 5000usize;
+    let slots = 8u64;
+    // Expected degree 65, one above the >= 64 acceptance floor: the average
+    // degree concentrates within ~0.1 of its expectation at this size, so the
+    // assert below cannot flip on an RNG stream or seed change (whereas
+    // p = 64/(n-1) would sit exactly on the floor, a coin flip).
+    let topology = Topology::ErdosRenyi { n, p: 65.0 / (n as f64 - 1.0) };
+    let channels = ChannelModel::Identical { c: 2 };
+    let net = build(&topology, &channels, 11);
+    let avg_degree = 2.0 * net.stats().edges as f64 / n as f64;
+    assert!(avg_degree >= 64.0, "acceptance scenario needs avg degree >= 64, got {avg_degree:.1}");
+
+    let mut group = criterion.benchmark_group("dense_broadcast_5000");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(slots * n as u64));
+    for (rname, resolver) in [
+        ("auto", Resolver::Auto),
+        ("broadcaster", Resolver::BroadcasterCentric),
+        ("listener", Resolver::ListenerCentric),
+        ("naive", Resolver::Naive),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(rname), &n, |b, _| {
+            b.iter(|| run_slots(&net, resolver, 2, slots))
         });
     }
     group.finish();
@@ -62,7 +139,7 @@ fn engine_throughput(criterion: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = engine_throughput
+    config = Criterion::default().sample_size(10);
+    targets = engine_throughput, dense_broadcast
 }
 criterion_main!(benches);

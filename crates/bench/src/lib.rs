@@ -11,7 +11,11 @@ use crn_workloads::Scenario;
 
 /// Builds a standard benchmark network: topology + channel model at a fixed
 /// seed, returning the network and its model parameters.
-pub fn bench_network(topology: Topology, channels: ChannelModel, seed: u64) -> (Network, ModelInfo) {
+pub fn bench_network(
+    topology: Topology,
+    channels: ChannelModel,
+    seed: u64,
+) -> (Network, ModelInfo) {
     let built = Scenario::new("bench", topology, channels, seed)
         .build()
         .expect("bench scenario must build");
@@ -21,11 +25,7 @@ pub fn bench_network(topology: Topology, channels: ChannelModel, seed: u64) -> (
 /// The default small discovery arena used across benches: a 16-node cycle
 /// with a 2-channel core out of 6.
 pub fn small_discovery_arena() -> (Network, ModelInfo) {
-    bench_network(
-        Topology::Cycle { n: 16 },
-        ChannelModel::SharedCore { c: 6, core: 2 },
-        0xBEC5,
-    )
+    bench_network(Topology::Cycle { n: 16 }, ChannelModel::SharedCore { c: 6, core: 2 }, 0xBEC5)
 }
 
 #[cfg(test)]

@@ -61,7 +61,7 @@ impl<M: Clone> Protocol for Jammer<M> {
         Action::Broadcast { channel, message: self.noise.clone() }
     }
 
-    fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, _fb: Feedback<M>) {}
+    fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, _fb: Feedback<'_, M>) {}
 
     fn is_complete(&self) -> bool {
         // A jammer never finishes on its own; the honest nodes' schedule
@@ -92,7 +92,12 @@ impl<P: Protocol> NodeRole<P> {
     }
 }
 
-impl<P: Protocol> Protocol for NodeRole<P> {
+// The jammer re-broadcasts its owned `noise` every slot, so mixed
+// populations need clonable messages (the engine itself never clones).
+impl<P: Protocol> Protocol for NodeRole<P>
+where
+    P::Message: Clone,
+{
     type Message = P::Message;
     type Output = Option<P::Output>;
 
@@ -103,7 +108,7 @@ impl<P: Protocol> Protocol for NodeRole<P> {
         }
     }
 
-    fn feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<P::Message>) {
+    fn feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<'_, P::Message>) {
         match self {
             NodeRole::Honest(p) => p.feedback(ctx, fb),
             NodeRole::Adversary(j) => j.feedback(ctx, fb),

@@ -36,13 +36,8 @@ impl NaiveDiscoverySchedule {
     pub fn new(m: &ModelInfo, factor: f64) -> Self {
         m.validate();
         let c = m.c as f64;
-        let steps =
-            (factor * c * c / m.k as f64 * m.delta as f64 * m.lg_n()).ceil() as u64;
-        NaiveDiscoverySchedule {
-            c: m.c as u16,
-            steps: steps.max(1),
-            slots_per_step: m.lg_delta(),
-        }
+        let steps = (factor * c * c / m.k as f64 * m.delta as f64 * m.lg_n()).ceil() as u64;
+        NaiveDiscoverySchedule { c: m.c as u16, steps: steps.max(1), slots_per_step: m.lg_delta() }
     }
 
     /// Total slots.
@@ -107,12 +102,12 @@ impl Protocol for NaiveDiscovery {
         }
     }
 
-    fn feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<NodeId>) {
+    fn feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<'_, NodeId>) {
         if self.step >= self.sched.steps {
             return;
         }
         if let Feedback::Heard(id) = fb {
-            self.heard.entry(id).or_insert(ctx.slot.0);
+            self.heard.entry(*id).or_insert(ctx.slot.0);
         }
         self.slot_in_step += 1;
         if self.slot_in_step == self.sched.slots_per_step {
@@ -166,11 +161,7 @@ impl FixedRateSchedule {
         let k = m.k as f64;
         let d = m.delta as f64;
         let slots = (factor * (c * c / k + c * d / k) * m.lg_n()).ceil() as u64;
-        FixedRateSchedule {
-            c: m.c as u16,
-            slots: slots.max(1),
-            tx_probability: (c / d).min(1.0),
-        }
+        FixedRateSchedule { c: m.c as u16, slots: slots.max(1), tx_probability: (c / d).min(1.0) }
     }
 
     /// Total slots.
@@ -215,9 +206,9 @@ impl Protocol for FixedRateDiscovery {
         }
     }
 
-    fn feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<NodeId>) {
+    fn feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<'_, NodeId>) {
         if let Feedback::Heard(id) = fb {
-            self.heard.entry(id).or_insert(ctx.slot.0);
+            self.heard.entry(*id).or_insert(ctx.slot.0);
         }
         self.slot += 1;
     }
@@ -273,14 +264,7 @@ pub struct NaiveBroadcast {
 impl NaiveBroadcast {
     /// Creates a participant; `payload` is `Some` only at the source.
     pub fn new(id: NodeId, c: u16, slots: u64, payload: Option<u64>) -> Self {
-        NaiveBroadcast {
-            id,
-            c,
-            slots,
-            slot: 0,
-            informed_at: payload.map(|_| 0),
-            payload,
-        }
+        NaiveBroadcast { id, c, slots, slot: 0, informed_at: payload.map(|_| 0), payload }
     }
 
     /// Schedule length for model `m`: `⌈factor·(c²/k)·D·lg n⌉` slots.
@@ -317,10 +301,10 @@ impl Protocol for NaiveBroadcast {
         }
     }
 
-    fn feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<u64>) {
+    fn feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<'_, u64>) {
         if let Feedback::Heard(data) = fb {
             if self.payload.is_none() {
-                self.payload = Some(data);
+                self.payload = Some(*data);
                 self.informed_at = Some(ctx.slot.0 + 1);
             }
         }
@@ -359,7 +343,8 @@ mod tests {
 
     #[test]
     fn naive_discovery_completes_on_small_net() {
-        let net = build_net(&Topology::Path { n: 5 }, &ChannelModel::SharedCore { c: 3, core: 2 }, 1);
+        let net =
+            build_net(&Topology::Path { n: 5 }, &ChannelModel::SharedCore { c: 3, core: 2 }, 1);
         let m = ModelInfo::from_stats(&net.stats());
         let sched = NaiveDiscoverySchedule::new(&m, 8.0);
         let mut eng = Engine::new(&net, 9, |ctx| NaiveDiscovery::new(ctx.id, sched));
@@ -393,7 +378,8 @@ mod tests {
 
     #[test]
     fn naive_broadcast_reaches_everyone_on_path() {
-        let net = build_net(&Topology::Path { n: 4 }, &ChannelModel::SharedCore { c: 3, core: 2 }, 3);
+        let net =
+            build_net(&Topology::Path { n: 4 }, &ChannelModel::SharedCore { c: 3, core: 2 }, 3);
         let m = ModelInfo::from_stats(&net.stats());
         let slots = NaiveBroadcast::schedule_slots(&m, 3, 4.0);
         let mut eng = Engine::new(&net, 5, |ctx| {
@@ -416,7 +402,8 @@ mod tests {
         let mut eng = Engine::new(&net, 5, |ctx| {
             NaiveBroadcast::new(ctx.id, 1, 64, (ctx.id == NodeId(0)).then_some(1))
         });
-        let mut probe = |_s: u64, e: &Engine<'_, NaiveBroadcast>| e.protocol(NodeId(1)).is_informed();
+        let mut probe =
+            |_s: u64, e: &Engine<'_, NaiveBroadcast>| e.protocol(NodeId(1)).is_informed();
         let out = eng.run(64, Some((1, &mut probe)));
         assert!(out.completed_at.is_some());
         let informed_at = eng.protocol(NodeId(1)).informed_at.unwrap();

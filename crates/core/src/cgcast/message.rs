@@ -62,11 +62,10 @@ mod tests {
     fn size_accounting() {
         assert_eq!(GcastMsg::Id(NodeId(1)).size_words(), 1);
         assert_eq!(GcastMsg::Data(7).size_words(), 1);
-        let m = GcastMsg::Meta { from: NodeId(0), first_heard: vec![(NodeId(1), 5), (NodeId(2), 9)] };
+        let m =
+            GcastMsg::Meta { from: NodeId(0), first_heard: vec![(NodeId(1), 5), (NodeId(2), 9)] };
         assert_eq!(m.size_words(), 5);
-        let p = GcastMsg::Proposals {
-            entries: vec![(Edge::new(NodeId(0), NodeId(1)), 3)],
-        };
+        let p = GcastMsg::Proposals { entries: vec![(Edge::new(NodeId(0), NodeId(1)), 3)] };
         assert_eq!(p.size_words(), 3);
     }
 }

@@ -50,7 +50,11 @@ enum Stage {
     Discover,
     Meta,
     /// `run` 0 = exchange, 1 = relay.
-    Coloring { phase: u64, step: u8, run: u8 },
+    Coloring {
+        phase: u64,
+        step: u8,
+        run: u8,
+    },
     Inform,
     Disseminate,
     Done,
@@ -233,15 +237,9 @@ impl CGCast {
     /// have decided so far (step 1; idempotent to re-announce).
     fn own_entries(&self, step: u8) -> Vec<(Edge, u32)> {
         if step == 0 {
-            self.virtuals
-                .iter()
-                .filter_map(|v| v.luby.proposal().map(|c| (v.edge, c)))
-                .collect()
+            self.virtuals.iter().filter_map(|v| v.luby.proposal().map(|c| (v.edge, c))).collect()
         } else {
-            self.virtuals
-                .iter()
-                .filter_map(|v| v.luby.decided().map(|c| (v.edge, c)))
-                .collect()
+            self.virtuals.iter().filter_map(|v| v.luby.decided().map(|c| (v.edge, c))).collect()
         }
     }
 
@@ -272,10 +270,7 @@ impl CGCast {
     fn compute_dedicated(&mut self) {
         for (&v, list) in &self.peer_meta {
             let t_uv = self.heard_first.get(&v).copied();
-            let t_vu = list
-                .iter()
-                .find(|(w, _)| *w == self.id)
-                .map(|&(_, t)| t);
+            let t_vu = list.iter().find(|(w, _)| *w == self.id).map(|&(_, t)| t);
             let t_star = match (t_uv, t_vu) {
                 (Some(a), Some(b)) => a.min(b),
                 (Some(a), None) => a,
@@ -307,13 +302,8 @@ impl CGCast {
     /// other virtual nodes) and run the symmetric conflict resolution.
     fn resolve_proposals(&mut self) {
         // Snapshot proposals before any resolve() clears them.
-        let mut all: Vec<(Edge, u32)> =
-            self.exchange_heard.iter().map(|(&e, &c)| (e, c)).collect();
-        all.extend(
-            self.virtuals
-                .iter()
-                .filter_map(|v| v.luby.proposal().map(|c| (v.edge, c))),
-        );
+        let mut all: Vec<(Edge, u32)> = self.exchange_heard.iter().map(|(&e, &c)| (e, c)).collect();
+        all.extend(self.virtuals.iter().filter_map(|v| v.luby.proposal().map(|c| (v.edge, c))));
         for v in &mut self.virtuals {
             let neigh: Vec<u32> = all
                 .iter()
@@ -327,13 +317,8 @@ impl CGCast {
     /// End of a step-1 exchange pair: strike the colors decided by adjacent
     /// virtual nodes from every active palette.
     fn strike_decided_colors(&mut self) {
-        let mut all: Vec<(Edge, u32)> =
-            self.exchange_heard.iter().map(|(&e, &c)| (e, c)).collect();
-        all.extend(
-            self.virtuals
-                .iter()
-                .filter_map(|v| v.luby.decided().map(|c| (v.edge, c))),
-        );
+        let mut all: Vec<(Edge, u32)> = self.exchange_heard.iter().map(|(&e, &c)| (e, c)).collect();
+        all.extend(self.virtuals.iter().filter_map(|v| v.luby.decided().map(|c| (v.edge, c))));
         for v in &mut self.virtuals {
             let decided: Vec<u32> = all
                 .iter()
@@ -414,10 +399,10 @@ impl CGCast {
         }
     }
 
-    fn dissem_feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<GcastMsg>) {
+    fn dissem_feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<'_, GcastMsg>) {
         if let Feedback::Heard(GcastMsg::Data(x)) = fb {
             if self.payload.is_none() {
-                self.payload = Some(x);
+                self.payload = Some(*x);
                 self.informed_at = Some(ctx.slot.0);
             }
         }
@@ -458,10 +443,9 @@ impl Protocol for CGCast {
                     self.history.push(plan.channel());
                 }
                 match plan {
-                    SeekSlotPlan::Transmit { channel } => Action::Broadcast {
-                        channel,
-                        message: self.outgoing.clone(),
-                    },
+                    SeekSlotPlan::Transmit { channel } => {
+                        Action::Broadcast { channel, message: self.outgoing.clone() }
+                    }
                     SeekSlotPlan::HoldFire { .. } => Action::Sleep,
                     SeekSlotPlan::Listen { channel } => Action::Listen { channel },
                 }
@@ -469,14 +453,16 @@ impl Protocol for CGCast {
         }
     }
 
-    fn feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<GcastMsg>) {
+    fn feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<'_, GcastMsg>) {
         match self.stage {
             Stage::Done => {}
             Stage::Disseminate => self.dissem_feedback(ctx, fb),
             _ => {
                 match fb {
                     Feedback::Heard(msg) => {
-                        self.process_message(ctx.slot.0, msg);
+                        // Single clone on actual delivery; the engine itself
+                        // never clones payloads.
+                        self.process_message(ctx.slot.0, msg.clone());
                         self.seek.as_mut().expect("seek active").record_heard(true);
                     }
                     Feedback::Silence => {
@@ -568,7 +554,8 @@ mod tests {
 
     #[test]
     fn two_nodes_broadcast() {
-        let net = build_net(&Topology::Path { n: 2 }, &ChannelModel::SharedCore { c: 3, core: 2 }, 1);
+        let net =
+            build_net(&Topology::Path { n: 2 }, &ChannelModel::SharedCore { c: 3, core: 2 }, 1);
         let outs = run_gcast(&net, 5);
         assert!(outs.iter().all(|o| o.payload == Some(0xfeed)), "{outs:?}");
         assert_eq!(outs[0].informed_at, Some(0));
@@ -576,7 +563,8 @@ mod tests {
 
     #[test]
     fn path_broadcast_reaches_all() {
-        let net = build_net(&Topology::Path { n: 5 }, &ChannelModel::SharedCore { c: 3, core: 2 }, 2);
+        let net =
+            build_net(&Topology::Path { n: 5 }, &ChannelModel::SharedCore { c: 3, core: 2 }, 2);
         let outs = run_gcast(&net, 7);
         for o in &outs {
             assert_eq!(o.payload, Some(0xfeed), "node {} uninformed", o.id);
@@ -611,7 +599,8 @@ mod tests {
 
     #[test]
     fn informed_at_is_monotone_in_hop_distance_on_path() {
-        let net = build_net(&Topology::Path { n: 4 }, &ChannelModel::SharedCore { c: 2, core: 2 }, 5);
+        let net =
+            build_net(&Topology::Path { n: 4 }, &ChannelModel::SharedCore { c: 2, core: 2 }, 5);
         let outs = run_gcast(&net, 17);
         let t1 = outs[1].informed_at.expect("node 1 informed");
         let t3 = outs[3].informed_at.expect("node 3 informed");
@@ -622,7 +611,11 @@ mod tests {
     fn edge_coloring_is_globally_consistent() {
         // Both endpoints of each edge must agree on its color, and the
         // coloring must be proper.
-        let net = build_net(&Topology::Grid { rows: 2, cols: 3 }, &ChannelModel::SharedCore { c: 3, core: 2 }, 6);
+        let net = build_net(
+            &Topology::Grid { rows: 2, cols: 3 },
+            &ChannelModel::SharedCore { c: 3, core: 2 },
+            6,
+        );
         let m = ModelInfo::from_stats(&net.stats());
         let d = net.stats().diameter.unwrap();
         let sched = GcastParams { dissemination_phases: d, ..Default::default() }.schedule(&m);

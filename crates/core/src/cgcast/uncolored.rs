@@ -153,13 +153,13 @@ impl Protocol for UncoloredGcast {
         }
     }
 
-    fn feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<GcastMsg>) {
+    fn feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<'_, GcastMsg>) {
         match self.stage {
             Stage::Done => {}
             Stage::Disseminate => {
                 if let Feedback::Heard(GcastMsg::Data(x)) = fb {
                     if self.payload.is_none() {
-                        self.payload = Some(x);
+                        self.payload = Some(*x);
                         self.informed_at = Some(ctx.slot.0);
                     }
                 }
@@ -182,10 +182,12 @@ impl Protocol for UncoloredGcast {
                     Feedback::Heard(msg) => {
                         match (self.stage, msg) {
                             (Stage::Discover, GcastMsg::Id(v)) => {
-                                self.heard_first.entry(v).or_insert(ctx.slot.0);
+                                self.heard_first.entry(*v).or_insert(ctx.slot.0);
                             }
                             (Stage::Meta, GcastMsg::Meta { from, first_heard }) => {
-                                self.peer_meta.entry(from).or_insert(first_heard);
+                                // Single clone on actual delivery; the
+                                // engine itself never clones payloads.
+                                self.peer_meta.entry(*from).or_insert_with(|| first_heard.clone());
                             }
                             _ => {}
                         }
@@ -267,11 +269,11 @@ mod tests {
     #[test]
     fn uncolored_still_delivers_on_easy_paths() {
         // Degree <= 2: random meetings succeed often enough.
-        let net = build_net(&Topology::Path { n: 4 }, &ChannelModel::SharedCore { c: 3, core: 2 }, 1);
+        let net =
+            build_net(&Topology::Path { n: 4 }, &ChannelModel::SharedCore { c: 3, core: 2 }, 1);
         let m = ModelInfo::from_stats(&net.stats());
         let d = net.stats().diameter.unwrap();
-        let sched = GcastParams { dissemination_phases: 2 * d, ..Default::default() }
-            .schedule(&m);
+        let sched = GcastParams { dissemination_phases: 2 * d, ..Default::default() }.schedule(&m);
         let mut eng = Engine::new(&net, 3, |ctx| {
             UncoloredGcast::new(ctx.id, sched, (ctx.id == NodeId(0)).then_some(9))
         });

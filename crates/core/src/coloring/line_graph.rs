@@ -26,11 +26,8 @@ impl LineGraph {
         let mut vertices: Vec<Edge> = edges.to_vec();
         vertices.sort_unstable();
         vertices.dedup();
-        let index: HashMap<Edge, u32> = vertices
-            .iter()
-            .enumerate()
-            .map(|(i, &e)| (e, i as u32))
-            .collect();
+        let index: HashMap<Edge, u32> =
+            vertices.iter().enumerate().map(|(i, &e)| (e, i as u32)).collect();
 
         // Group edge-vertices by endpoint; all edges sharing an endpoint
         // form a clique in G_L.

@@ -83,11 +83,8 @@ impl LubyNodeState {
         );
         if rng.gen_bool(0.5) {
             let target = rng.gen_range(0..self.available_count);
-            let color = self
-                .available
-                .iter()
-                .nth(target)
-                .expect("available_count matches set bits") as u32;
+            let color =
+                self.available.iter().nth(target).expect("available_count matches set bits") as u32;
             self.proposal = Some(color);
         }
         self.proposal
@@ -151,23 +148,17 @@ pub fn color_graph(
         }
         phases_used += 1;
         // Step 1: propose.
-        let proposals: Vec<Option<u32>> =
-            states.iter_mut().map(|s| s.propose(rng)).collect();
+        let proposals: Vec<Option<u32>> = states.iter_mut().map(|s| s.propose(rng)).collect();
         // Exchange proposals, resolve conflicts.
         let mut newly_decided: Vec<Option<u32>> = vec![None; n];
         for v in 0..n {
-            let neigh: Vec<u32> = adj[v]
-                .iter()
-                .filter_map(|&w| proposals[w as usize])
-                .collect();
+            let neigh: Vec<u32> = adj[v].iter().filter_map(|&w| proposals[w as usize]).collect();
             newly_decided[v] = states[v].resolve(&neigh);
         }
         // Step 2: exchange decisions, strike colors.
         for v in 0..n {
-            let decided: Vec<u32> = adj[v]
-                .iter()
-                .filter_map(|&w| newly_decided[w as usize])
-                .collect();
+            let decided: Vec<u32> =
+                adj[v].iter().filter_map(|&w| newly_decided[w as usize]).collect();
             states[v].remove_colors(&decided);
         }
     }
@@ -197,9 +188,8 @@ mod tests {
         // K5 needs 5 colors; max degree 4, palette 2Δ = 8 is ample, but even
         // 5 works (slower).
         let n = 5usize;
-        let adj: Vec<Vec<u32>> = (0..n)
-            .map(|v| (0..n as u32).filter(|&w| w as usize != v).collect())
-            .collect();
+        let adj: Vec<Vec<u32>> =
+            (0..n).map(|v| (0..n as u32).filter(|&w| w as usize != v).collect()).collect();
         let mut rng = stream_rng(2, 0);
         let res = color_graph(&adj, 5, 500, &mut rng);
         assert!(res.complete, "did not finish in 500 phases");
@@ -226,18 +216,13 @@ mod tests {
     fn phases_grow_logarithmically() {
         // Sanity: coloring a large ring uses far fewer phases than vertices.
         let n = 512usize;
-        let adj: Vec<Vec<u32>> = (0..n)
-            .map(|v| vec![((v + n - 1) % n) as u32, ((v + 1) % n) as u32])
-            .collect();
+        let adj: Vec<Vec<u32>> =
+            (0..n).map(|v| vec![((v + n - 1) % n) as u32, ((v + 1) % n) as u32]).collect();
         let mut rng = stream_rng(4, 0);
         let res = color_graph(&adj, 4, 10_000, &mut rng);
         assert!(res.complete);
         assert!(is_proper_coloring(&adj, &res.colors));
-        assert!(
-            res.phases_used <= 60,
-            "expected O(lg n) phases, used {}",
-            res.phases_used
-        );
+        assert!(res.phases_used <= 60, "expected O(lg n) phases, used {}", res.phases_used);
     }
 
     #[test]

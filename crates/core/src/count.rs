@@ -186,11 +186,11 @@ impl Protocol for CountProtocol {
         }
     }
 
-    fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, fb: Feedback<NodeId>) {
+    fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, fb: Feedback<'_, NodeId>) {
         if self.instance.role() == Role::Listener {
             match fb {
                 Feedback::Heard(id) => {
-                    self.heard_ids.push(id);
+                    self.heard_ids.push(*id);
                     self.instance.record_listen(true);
                 }
                 _ => self.instance.record_listen(false),
@@ -256,10 +256,7 @@ mod tests {
                     ok += 1;
                 }
             }
-            assert!(
-                ok >= trials * 9 / 10,
-                "m={m}: only {ok}/{trials} runs inside [m, 4m]"
-            );
+            assert!(ok >= trials * 9 / 10, "m={m}: only {ok}/{trials} runs inside [m, 4m]");
         }
     }
 

@@ -77,17 +77,13 @@ pub fn outputs_sound(net: &Network, outputs: &[DiscoveryOutput]) -> bool {
 
 /// Completeness check on final outputs: every true neighbor was reported.
 pub fn outputs_complete(net: &Network, outputs: &[DiscoveryOutput]) -> bool {
-    outputs.iter().all(|o| {
-        net.neighbors(o.id).all(|w| o.neighbors.binary_search(&w).is_ok())
-    })
+    outputs.iter().all(|o| net.neighbors(o.id).all(|w| o.neighbors.binary_search(&w).is_ok()))
 }
 
 /// Completeness restricted to `khat`-good neighbors.
 pub fn outputs_khat_complete(net: &Network, outputs: &[DiscoveryOutput], khat: usize) -> bool {
     outputs.iter().all(|o| {
-        net.good_neighbors(o.id, khat)
-            .iter()
-            .all(|w| o.neighbors.binary_search(w).is_ok())
+        net.good_neighbors(o.id, khat).iter().all(|w| o.neighbors.binary_search(w).is_ok())
     })
 }
 

@@ -44,12 +44,7 @@ pub struct ExchangeOutput<T> {
 impl<T: Clone> Exchange<T> {
     /// Creates an exchange participant with the payload to distribute.
     pub fn new(id: NodeId, sched: SeekSchedule, payload: T) -> Exchange<T> {
-        Exchange {
-            id,
-            core: SeekCore::new(sched),
-            outgoing: payload,
-            received: BTreeMap::new(),
-        }
+        Exchange { id, core: SeekCore::new(sched), outgoing: payload, received: BTreeMap::new() }
     }
 
     /// Payloads received so far.
@@ -79,13 +74,15 @@ impl<T: Clone> Protocol for Exchange<T> {
         }
     }
 
-    fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, fb: Feedback<Envelope<T>>) {
+    fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, fb: Feedback<'_, Envelope<T>>) {
         if self.core.is_done() {
             return;
         }
         match fb {
             Feedback::Heard(env) => {
-                self.received.entry(env.from).or_insert(env.payload);
+                // Single clone on actual delivery; the engine itself never
+                // clones payloads.
+                self.received.entry(env.from).or_insert_with(|| env.payload.clone());
                 self.core.record_heard(true);
             }
             Feedback::Silence => self.core.record_heard(false),
@@ -135,9 +132,7 @@ mod tests {
         );
         let m = ModelInfo::from_stats(&net.stats());
         let sched = SeekParams::default().schedule(&m);
-        let mut eng = Engine::new(&net, 17, |ctx| {
-            Exchange::new(ctx.id, sched, ctx.id.0 * 100)
-        });
+        let mut eng = Engine::new(&net, 17, |ctx| Exchange::new(ctx.id, sched, ctx.id.0 * 100));
         let outcome = eng.run_to_completion(sched.total_slots());
         assert!(outcome.all_protocols_done);
         for out in eng.into_outputs() {
@@ -157,9 +152,7 @@ mod tests {
         let net = build_net(&Topology::Path { n: 3 }, &ChannelModel::Identical { c: 2 }, 2);
         let m = ModelInfo::from_stats(&net.stats());
         let sched = SeekParams::default().schedule(&m);
-        let mut eng = Engine::new(&net, 23, |ctx| {
-            Exchange::new(ctx.id, sched, vec![ctx.id.0; 3])
-        });
+        let mut eng = Engine::new(&net, 23, |ctx| Exchange::new(ctx.id, sched, vec![ctx.id.0; 3]));
         eng.run_to_completion(sched.total_slots());
         let outs = eng.into_outputs();
         assert_eq!(outs[1].received.get(&NodeId(0)), Some(&vec![0, 0, 0]));

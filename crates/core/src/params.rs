@@ -59,13 +59,7 @@ impl ModelInfo {
 
     /// Constructs a `ModelInfo` from measured network statistics.
     pub fn from_stats(stats: &crn_sim::NetworkStats) -> ModelInfo {
-        ModelInfo {
-            n: stats.n,
-            c: stats.c,
-            delta: stats.delta,
-            k: stats.k,
-            kmax: stats.kmax,
-        }
+        ModelInfo { n: stats.n, c: stats.c, delta: stats.delta, k: stats.k, kmax: stats.kmax }
     }
 }
 
@@ -97,11 +91,7 @@ pub struct CountParams {
 
 impl Default for CountParams {
     fn default() -> Self {
-        CountParams {
-            round_len_factor: 4.0,
-            min_round_len: 24,
-            threshold: 0.08,
-        }
+        CountParams { round_len_factor: 4.0, min_round_len: 24, threshold: 0.08 }
     }
 }
 
@@ -109,7 +99,8 @@ impl CountParams {
     /// Concrete COUNT schedule for model `m`.
     pub fn schedule(&self, m: &ModelInfo) -> CountSchedule {
         assert!(self.threshold > 0.0 && self.threshold < 1.0, "threshold must be in (0,1)");
-        let round_len = ((self.round_len_factor * m.lg_n()).ceil() as u32).max(self.min_round_len).max(1);
+        let round_len =
+            ((self.round_len_factor * m.lg_n()).ceil() as u32).max(self.min_round_len).max(1);
         CountSchedule {
             rounds: m.lg_delta(),
             round_len,
@@ -186,7 +177,12 @@ impl SeekParams {
     /// (Theorem 6). `delta_khat` is the bound `Δ_k̂` on good-neighbor
     /// degree; pass `None` when no estimate is available, which lengthens
     /// part two to `Θ(((kmax/k̂)·Δ + c)·lg n)` steps as the paper suggests.
-    pub fn kseek_schedule(&self, m: &ModelInfo, khat: usize, delta_khat: Option<usize>) -> SeekSchedule {
+    pub fn kseek_schedule(
+        &self,
+        m: &ModelInfo,
+        khat: usize,
+        delta_khat: Option<usize>,
+    ) -> SeekSchedule {
         m.validate();
         assert!(khat >= m.k, "khat must be at least k");
         assert!(khat <= m.kmax, "khat above kmax finds no one");
@@ -325,7 +321,9 @@ impl GcastSchedule {
     /// Total CGCAST length: discovery + meta exchange + coloring + final
     /// color-inform run + dissemination (Theorem 9 shape).
     pub fn total_slots(&self) -> u64 {
-        2 * self.seek_slots() + self.coloring_slots() + self.seek_slots()
+        2 * self.seek_slots()
+            + self.coloring_slots()
+            + self.seek_slots()
             + self.dissemination_slots()
     }
 }

@@ -321,13 +321,13 @@ impl Protocol for CSeek {
         }
     }
 
-    fn feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<NodeId>) {
+    fn feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<'_, NodeId>) {
         if self.core.is_done() {
             return;
         }
         match fb {
             Feedback::Heard(id) => {
-                self.heard.entry(id).or_insert(ctx.slot.0);
+                self.heard.entry(*id).or_insert(ctx.slot.0);
                 self.core.record_heard(true);
             }
             Feedback::Silence => self.core.record_heard(false),
@@ -396,7 +396,8 @@ mod tests {
 
     #[test]
     fn two_nodes_discover_each_other() {
-        let net = build_net(&Topology::Path { n: 2 }, &ChannelModel::SharedCore { c: 4, core: 2 }, 3);
+        let net =
+            build_net(&Topology::Path { n: 2 }, &ChannelModel::SharedCore { c: 4, core: 2 }, 3);
         let outs = run_cseek(&net, 17);
         assert!(outputs_sound(&net, &outs));
         assert!(outputs_complete(&net, &outs));
@@ -406,7 +407,8 @@ mod tests {
 
     #[test]
     fn path_discovery_is_complete() {
-        let net = build_net(&Topology::Path { n: 8 }, &ChannelModel::SharedCore { c: 4, core: 2 }, 5);
+        let net =
+            build_net(&Topology::Path { n: 8 }, &ChannelModel::SharedCore { c: 4, core: 2 }, 5);
         let outs = run_cseek(&net, 11);
         assert!(outputs_sound(&net, &outs));
         assert!(outputs_complete(&net, &outs));
@@ -450,15 +452,18 @@ mod tests {
 
     #[test]
     fn first_heard_slots_are_consistent() {
-        let net = build_net(&Topology::Path { n: 4 }, &ChannelModel::SharedCore { c: 3, core: 2 }, 13);
+        let net =
+            build_net(&Topology::Path { n: 4 }, &ChannelModel::SharedCore { c: 3, core: 2 }, 13);
         let outs = run_cseek(&net, 53);
         for o in &outs {
             assert_eq!(o.first_heard.len(), o.neighbors.len());
             for (v, t) in &o.first_heard {
                 assert!(o.neighbors.contains(v));
-                assert!(*t < SeekParams::default()
-                    .schedule(&ModelInfo::from_stats(&net.stats()))
-                    .total_slots());
+                assert!(
+                    *t < SeekParams::default()
+                        .schedule(&ModelInfo::from_stats(&net.stats()))
+                        .total_slots()
+                );
             }
         }
     }
@@ -490,16 +495,9 @@ mod tests {
         let mut eng = Engine::new(&net, 77, |ctx| CSeek::new(ctx.id, sched, false));
         eng.run_to_completion(sched.total_slots());
         // Find the hub's local label for global channel 0 (the hot one).
-        let hot_local = net
-            .global_to_local(NodeId(0), crn_sim::GlobalChannel(0))
-            .unwrap();
+        let hot_local = net.global_to_local(NodeId(0), crn_sim::GlobalChannel(0)).unwrap();
         let counts = eng.protocol(NodeId(0)).core().counts().to_vec();
-        let max_idx = counts
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, &x)| x)
-            .map(|(i, _)| i)
-            .unwrap();
+        let max_idx = counts.iter().enumerate().max_by_key(|&(_, &x)| x).map(|(i, _)| i).unwrap();
         assert_eq!(
             max_idx,
             hot_local.index(),

@@ -123,16 +123,10 @@ impl<P: Protocol> ReductionPlayer<P> {
 impl<P: Protocol> Player for ReductionPlayer<P> {
     fn next_guess(&mut self, _rng: &mut SmallRng) -> (u32, u32) {
         let slot = Slot(self.slot);
-        let au = self
-            .u
-            .act(&mut SlotCtx { slot, rng: &mut self.rng_u });
-        let av = self
-            .v
-            .act(&mut SlotCtx { slot, rng: &mut self.rng_v });
-        let guess = (
-            Self::channel_of(&au, self.last_guess.0),
-            Self::channel_of(&av, self.last_guess.1),
-        );
+        let au = self.u.act(&mut SlotCtx { slot, rng: &mut self.rng_u });
+        let av = self.v.act(&mut SlotCtx { slot, rng: &mut self.rng_v });
+        let guess =
+            (Self::channel_of(&au, self.last_guess.0), Self::channel_of(&av, self.last_guess.1));
         // Simulate the slot outcome under "no contact yet": broadcasters
         // hear themselves, listeners hear silence.
         let fb_u = match au {
@@ -191,10 +185,7 @@ mod tests {
         }
         let mean = total as f64 / trials as f64;
         let expect = (c * c) as f64 / k as f64; // 32
-        assert!(
-            (mean - expect).abs() < expect * 0.3,
-            "mean {mean} too far from {expect}"
-        );
+        assert!((mean - expect).abs() < expect * 0.3, "mean {mean} too far from {expect}");
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! attains the bound, witnessing its tightness: *no* algorithm — CGCAST
 //! included — can beat the oracle on this instance.
 
-use crn_sim::{Action, Feedback, GlobalChannel, LocalChannel, Network, NetworkError, NodeId, Protocol, SlotCtx};
+use crn_sim::{
+    Action, Feedback, GlobalChannel, LocalChannel, Network, NetworkError, NodeId, Protocol, SlotCtx,
+};
 
 /// Builds the Theorem 14 tree: `depth` levels below the root, branching
 /// factor `b = min(c, delta) − 1`, every child sharing exactly one channel
@@ -169,16 +171,16 @@ impl Protocol for OracleTreeBroadcast {
                 Action::Broadcast { channel: self.downlinks[idx], message: data }
             }
             (Some(_), _) => Action::Sleep, // informed leaf
-            (None, _) => Action::Listen {
-                channel: self.uplink.expect("uninformed node has a parent"),
-            },
+            (None, _) => {
+                Action::Listen { channel: self.uplink.expect("uninformed node has a parent") }
+            }
         }
     }
 
-    fn feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<u64>) {
+    fn feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<'_, u64>) {
         if let Feedback::Heard(data) = fb {
             if self.payload.is_none() {
-                self.payload = Some(data);
+                self.payload = Some(*data);
                 self.informed_at = Some(ctx.slot.0);
                 self.informed_slot = Some(ctx.slot.0 + 1);
             }
@@ -227,9 +229,8 @@ mod tests {
         let b = c.min(delta) - 1;
         let net = lower_bound_tree(c, delta, depth).unwrap();
         let max_slots = (depth as u64 + 1) * b as u64 + 8;
-        let mut eng = Engine::new(&net, 3, |ctx| {
-            OracleTreeBroadcast::new(&net, ctx.id, b, 77, max_slots)
-        });
+        let mut eng =
+            Engine::new(&net, 3, |ctx| OracleTreeBroadcast::new(&net, ctx.id, b, 77, max_slots));
         eng.run_to_completion(max_slots);
         let outs = eng.into_outputs();
         let worst = outs.iter().filter_map(|&(_, t)| t).max().unwrap();

@@ -1,0 +1,111 @@
+//! Collection strategies (`proptest::collection` subset).
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use rand::Rng;
+use std::collections::BTreeSet;
+
+/// Accepted size arguments: an exact `usize` or a `Range<usize>`.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi: r.end }
+    }
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.lo..self.hi)
+    }
+}
+
+/// Strategy for `Vec<T>` with element strategy `S`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates `Vec`s whose length is drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// Strategy for `BTreeSet<T>` with element strategy `S`.
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        // Duplicate draws collapse, so the realized size can be below the
+        // draw count (matching real proptest's best-effort semantics).
+        let n = self.size.sample(rng);
+        let mut set = BTreeSet::new();
+        for _ in 0..n {
+            set.insert(self.element.generate(rng));
+        }
+        set
+    }
+}
+
+/// Generates `BTreeSet`s with element count drawn from `size` (realized size
+/// may be smaller when duplicate elements are drawn).
+pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size: size.into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_exact_and_ranged_sizes() {
+        let mut rng = TestRng::seed_from_u64(1);
+        let exact = vec(0u32..10, 4);
+        assert_eq!(exact.generate(&mut rng).len(), 4);
+        let ranged = vec(0u32..10, 2..6usize);
+        for _ in 0..50 {
+            let v = ranged.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_respects_upper_bound() {
+        let mut rng = TestRng::seed_from_u64(2);
+        let s = btree_set(0u32..1000, 1..20usize);
+        for _ in 0..50 {
+            let set = s.generate(&mut rng);
+            assert!(set.len() < 20);
+        }
+    }
+}

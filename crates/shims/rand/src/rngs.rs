@@ -1,0 +1,81 @@
+//! Concrete RNGs. Only [`SmallRng`] is provided.
+
+use crate::{RngCore, SeedableRng};
+
+/// xoshiro256++ — the algorithm `rand` 0.8 uses for `SmallRng` on 64-bit
+/// platforms. Fast, small state, more than adequate quality for simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn split_mix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 state expansion, as recommended by the xoshiro authors
+        // (and as real rand 0.8 does).
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = split_mix64(&mut sm);
+        }
+        // An all-zero state would be a fixed point; SplitMix64 cannot produce
+        // four zero outputs in a row, but be defensive anyway.
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        SmallRng { s }
+    }
+}
+
+impl RngCore for SmallRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vector() {
+        // Golden values for xoshiro256++ with SplitMix64 seed expansion.
+        // The first output for seed 0 (0x53175d61490b23df) matches the
+        // published `rand_xoshiro` test vector for
+        // `Xoshiro256PlusPlus::seed_from_u64(0)`, confirming this is the
+        // reference algorithm; the remaining literals pin the stream so any
+        // accidental change to a constant breaks this test (the statistical
+        // experiment thresholds in crn-workloads depend on the exact stream).
+        let mut rng = SmallRng::seed_from_u64(0);
+        let first: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            first,
+            vec![0x53175d61490b23df, 0x61da6f3dc380d507, 0x5c0fdf91ec9a7bfc, 0x02eebf8c3bbe5e1a]
+        );
+        let mut rng = SmallRng::seed_from_u64(42);
+        let first: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            first,
+            vec![0xd0764d4f4476689f, 0x519e4174576f3791, 0xfbe07cfb0c24ed8c, 0xb37d9f600cd835b8]
+        );
+    }
+}

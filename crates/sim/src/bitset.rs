@@ -19,6 +19,17 @@ pub struct BitSet {
     len: usize,
 }
 
+/// Outcome of [`BitSet::intersect_unique`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Intersection {
+    /// The sets share no index.
+    Empty,
+    /// The sets share exactly this index.
+    Unique(usize),
+    /// The sets share two or more indices.
+    Many,
+}
+
 impl BitSet {
     /// Creates an empty set with capacity for indices `0..len`.
     pub fn new(len: usize) -> BitSet {
@@ -76,6 +87,40 @@ impl BitSet {
     /// Clears all bits.
     pub fn clear(&mut self) {
         self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Read access to the backing words (64 indices per word, little-endian
+    /// bit order). Exposed for word-level set algebra in hot loops.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Classifies the intersection of two sets as empty, a single index, or
+    /// two-or-more — without materializing it. One pass over the words with
+    /// early exit at the second hit; this is the engine's listener-side
+    /// collision test (`0`, exactly `1`, or `≥ 2` broadcasting neighbors).
+    pub fn intersect_unique(&self, other: &BitSet) -> Intersection {
+        debug_assert_eq!(
+            self.words.len(),
+            other.words.len(),
+            "intersect_unique requires equal-capacity sets"
+        );
+        let mut found: Option<usize> = None;
+        for (w, (a, b)) in self.words.iter().zip(&other.words).enumerate() {
+            let and = a & b;
+            if and == 0 {
+                continue;
+            }
+            if found.is_some() || and.count_ones() > 1 {
+                return Intersection::Many;
+            }
+            found = Some(w * 64 + and.trailing_zeros() as usize);
+        }
+        match found {
+            Some(i) => Intersection::Unique(i),
+            None => Intersection::Empty,
+        }
     }
 
     /// Iterates over the indices of set bits in increasing order.
@@ -139,5 +184,37 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn insert_out_of_range_panics() {
         BitSet::new(10).insert(10);
+    }
+
+    #[test]
+    fn intersect_unique_classifies() {
+        let mut a = BitSet::new(300);
+        let mut b = BitSet::new(300);
+        for i in [3usize, 70, 140, 299] {
+            a.insert(i);
+        }
+        assert_eq!(a.intersect_unique(&b), Intersection::Empty);
+        b.insert(140);
+        assert_eq!(a.intersect_unique(&b), Intersection::Unique(140));
+        b.insert(299);
+        assert_eq!(a.intersect_unique(&b), Intersection::Many);
+        // Two hits inside the same word are also Many.
+        let mut c = BitSet::new(300);
+        c.insert(3);
+        c.insert(5);
+        let mut d = BitSet::new(300);
+        d.insert(3);
+        d.insert(5);
+        assert_eq!(c.intersect_unique(&d), Intersection::Many);
+    }
+
+    #[test]
+    fn words_expose_backing_storage() {
+        let mut s = BitSet::new(70);
+        s.insert(0);
+        s.insert(65);
+        assert_eq!(s.words().len(), 2);
+        assert_eq!(s.words()[0], 1);
+        assert_eq!(s.words()[1], 2);
     }
 }

@@ -185,8 +185,7 @@ impl ChannelModel {
                 let pool: Vec<u32> = (0..universe as u32).collect();
                 (0..n)
                     .map(|_| {
-                        let mut chosen: Vec<u32> =
-                            pool.choose_multiple(rng, c).copied().collect();
+                        let mut chosen: Vec<u32> = pool.choose_multiple(rng, c).copied().collect();
                         chosen.sort_unstable();
                         chosen.into_iter().map(GlobalChannel).collect()
                     })
@@ -262,10 +261,8 @@ mod tests {
             }
         }
         // Private channels are globally unique.
-        let mut privates: Vec<u32> = sets
-            .iter()
-            .flat_map(|s| s.iter().map(|g| g.0).filter(|&g| g >= 2))
-            .collect();
+        let mut privates: Vec<u32> =
+            sets.iter().flat_map(|s| s.iter().map(|g| g.0).filter(|&g| g >= 2)).collect();
         let before = privates.len();
         privates.sort_unstable();
         privates.dedup();
@@ -297,9 +294,7 @@ mod tests {
         assert_eq!(hot_crowd, n - 1);
         // Cold channels are spread: each reused by at most ceil((n-1)/(c-hot)).
         for cold in 1u32..6 {
-            let crowd = (1..n)
-                .filter(|&l| sets[l].contains(&GlobalChannel(cold)))
-                .count();
+            let crowd = (1..n).filter(|&l| sets[l].contains(&GlobalChannel(cold))).count();
             assert!(crowd <= (n - 1).div_ceil(5), "cold channel {cold} crowd {crowd}");
         }
     }
@@ -333,15 +328,11 @@ mod tests {
     fn shuffle_preserves_set_membership() {
         let mut rng = stream_rng(3, 0);
         let mut sets = ChannelModel::SharedCore { c: 8, core: 3 }.assign(4, &mut rng);
-        let before: Vec<std::collections::BTreeSet<u32>> = sets
-            .iter()
-            .map(|s| s.iter().map(|g| g.0).collect())
-            .collect();
+        let before: Vec<std::collections::BTreeSet<u32>> =
+            sets.iter().map(|s| s.iter().map(|g| g.0).collect()).collect();
         shuffle_local_labels(&mut sets, &mut rng);
-        let after: Vec<std::collections::BTreeSet<u32>> = sets
-            .iter()
-            .map(|s| s.iter().map(|g| g.0).collect())
-            .collect();
+        let after: Vec<std::collections::BTreeSet<u32>> =
+            sets.iter().map(|s| s.iter().map(|g| g.0).collect()).collect();
         assert_eq!(before, after);
     }
 

@@ -1,13 +1,41 @@
 //! The synchronous slot-stepped execution engine.
 //!
 //! In each slot the engine: (1) collects one [`Action`] from every node,
-//! (2) groups broadcasters by *global* channel, (3) for each listener,
-//! counts how many of its *neighbors* broadcast on the listened channel and
-//! delivers the message iff that count is exactly one, and (4) hands every
-//! node its [`Feedback`]. This is precisely the communication model of paper
-//! §3 (no collision detection, collision ≡ silence, broadcasters hear only
+//! grouping broadcasters *and listeners* by dense global channel, (2) for
+//! each touched channel resolves deliveries — a listener hears a message iff
+//! **exactly one** of its neighbors broadcast on the listened channel —
+//! and (3) hands every node its [`Feedback`], with heard messages passed by
+//! reference out of the broadcasters' action buffer (the engine never clones
+//! a payload). This is precisely the communication model of paper §3 (no
+//! collision detection, collision ≡ silence, broadcasters hear only
 //! themselves).
+//!
+//! # Slot resolution strategies
+//!
+//! Resolution cost is where simulation time goes for every Θ(n·polylog n)
+//! primitive in this repo, so the resolver adapts per channel and per slot
+//! (see [`Resolver`]):
+//!
+//! * **Broadcaster-centric sweep** — walk each broadcaster's CSR neighbor
+//!   slice once, accumulating per-listener hit counts in epoch-stamped
+//!   scratch arrays (no per-slot `O(n)` clears). Cost `Σ_b deg(b)`; wins on
+//!   dense channels with many listeners (epidemic dissemination workloads).
+//! * **Listener-centric probe** — per listener, the cheapest of: scanning
+//!   the channel's broadcaster list with `O(1)` adjacency-bit tests,
+//!   walking its own CSR slice against epoch-stamped broadcaster marks, or
+//!   intersecting its adjacency row with the channel's broadcaster bit set
+//!   word-by-word ([`BitSet::intersect_unique`]) — each with early exit at
+//!   the second hit (a collision is a collision).
+//! * The [`Resolver::Auto`] heuristic compares `Σ_b deg(b)` (weighted for
+//!   its scattered writes) against the summed per-listener probe bound
+//!   `Σ_l min(B, deg(l), n/64)` and picks the cheaper side for each channel
+//!   independently.
+//!
+//! All strategies produce bit-identical counters, feedbacks, and outputs;
+//! `Resolver::Naive` keeps the original quadratic reference implementation
+//! for differential testing and benchmarking.
 
+use crate::bitset::{BitSet, Intersection};
 use crate::ids::{LocalChannel, NodeId, Slot};
 use crate::network::Network;
 use crate::protocol::{Action, Feedback, NodeCtx, Protocol, SlotCtx};
@@ -47,6 +75,26 @@ pub struct RunOutcome {
     pub all_protocols_done: bool,
 }
 
+/// How the engine resolves deliveries on each channel. All strategies are
+/// observationally identical; they differ only in per-slot cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Resolver {
+    /// Per channel, pick the cheaper of the broadcaster-centric sweep and
+    /// the listener-centric probe by comparing (weighted) `Σ_b deg(b)`
+    /// with `Σ_l min(B, deg(l), n/64)`. The right default.
+    #[default]
+    Auto,
+    /// Always walk broadcasters' CSR neighbor slices.
+    BroadcasterCentric,
+    /// Always probe from the listener side (per listener: broadcaster-list
+    /// scan, own-CSR walk, or word intersection — whichever bounds cheapest).
+    ListenerCentric,
+    /// The original reference implementation: every listener linearly scans
+    /// every broadcaster on its channel with a per-pair adjacency test.
+    /// Kept for differential testing and as the benchmark baseline.
+    Naive,
+}
+
 /// The execution engine. Owns one protocol instance and one RNG stream per
 /// node; borrows the immutable [`Network`].
 ///
@@ -66,8 +114,8 @@ pub struct RunOutcome {
 ///             Action::Listen { channel: LocalChannel(0) }
 ///         }
 ///     }
-///     fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, fb: Feedback<u32>) {
-///         if let Feedback::Heard(m) = fb { self.heard = Some(m); }
+///     fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, fb: Feedback<'_, u32>) {
+///         if let Feedback::Heard(m) = fb { self.heard = Some(*m); }
 ///     }
 ///     fn is_complete(&self) -> bool { self.heard.is_some() || self.tx }
 ///     fn into_output(self) -> Option<u32> { self.heard }
@@ -89,11 +137,23 @@ pub struct Engine<'net, P: Protocol> {
     rngs: Vec<SmallRng>,
     slot: u64,
     counters: Counters,
+    resolver: Resolver,
     // Retained scratch buffers (cleared each slot via the touched list).
     bcasters_by_channel: Vec<Vec<u32>>,
+    listeners_by_channel: Vec<Vec<u32>>,
     touched_channels: Vec<u32>,
     actions: Vec<SlotPlan<P::Message>>,
-    feedbacks: Vec<Feedback<P::Message>>,
+    /// Per-node resolution results for the current slot.
+    outcomes: Vec<Outcome>,
+    /// Epoch stamps for `hit_count`/`hit_src`: a cell is live iff its stamp
+    /// equals the current epoch, so nothing is ever bulk-cleared.
+    mark_epoch: Vec<u64>,
+    hit_count: Vec<u32>,
+    hit_src: Vec<u32>,
+    epoch: u64,
+    /// Scratch bit set of the broadcasters on the channel being resolved
+    /// (built and un-built per channel, O(B) each way).
+    bcast_bits: BitSet,
     /// Densely remapped global channels: `global -> dense index`.
     dense: Vec<u32>,
 }
@@ -106,21 +166,47 @@ pub type Probe<'a, 'b, 'net, P> = (u64, &'a mut (dyn FnMut(u64, &Engine<'net, P>
 #[derive(Debug, Clone)]
 enum SlotPlan<M> {
     Bcast { message: M },
-    Listen { dense_channel: u32 },
+    Listen,
     Sleep,
 }
 
+/// Per-node resolution result; `Heard` carries the broadcaster index so the
+/// delivery phase can borrow the message straight out of the action buffer.
+#[derive(Debug, Clone, Copy)]
+enum Outcome {
+    Sent,
+    Slept,
+    /// Listener with no broadcasting neighbor on the channel (provisional
+    /// state for every listener until its channel is resolved).
+    Idle,
+    /// Listener with ≥ 2 broadcasting neighbors: collision, heard silence.
+    Collision,
+    /// Listener with exactly one broadcasting neighbor: delivery.
+    Heard(u32),
+}
+
 impl<'net, P: Protocol> Engine<'net, P> {
-    /// Creates an engine for `net`, constructing each node's protocol via
-    /// `make`, and deriving all node RNG streams from `seed`.
-    pub fn new(net: &'net Network, seed: u64, mut make: impl FnMut(NodeCtx) -> P) -> Self {
+    /// Creates an engine for `net` with the default [`Resolver::Auto`],
+    /// constructing each node's protocol via `make`, and deriving all node
+    /// RNG streams from `seed`.
+    pub fn new(net: &'net Network, seed: u64, make: impl FnMut(NodeCtx) -> P) -> Self {
+        Engine::with_resolver(net, seed, Resolver::Auto, make)
+    }
+
+    /// Like [`Engine::new`] but with an explicit resolution strategy —
+    /// used by differential tests and resolver benchmarks.
+    pub fn with_resolver(
+        net: &'net Network,
+        seed: u64,
+        resolver: Resolver,
+        mut make: impl FnMut(NodeCtx) -> P,
+    ) -> Self {
         let n = net.len();
         let c = net.channels_per_node();
         // Dense channel remap so scratch vectors are O(universe), not
         // O(max raw id).
-        let mut raw_ids: Vec<u32> = (0..n)
-            .flat_map(|v| net.channel_map(NodeId(v as u32)).iter().map(|g| g.0))
-            .collect();
+        let mut raw_ids: Vec<u32> =
+            (0..n).flat_map(|v| net.channel_map(NodeId(v as u32)).iter().map(|g| g.0)).collect();
         raw_ids.sort_unstable();
         raw_ids.dedup();
         let max_raw = raw_ids.last().copied().unwrap_or(0) as usize;
@@ -131,12 +217,7 @@ impl<'net, P: Protocol> Engine<'net, P> {
         let universe = raw_ids.len();
 
         let protocols = (0..n)
-            .map(|v| {
-                Some(make(NodeCtx {
-                    id: NodeId(v as u32),
-                    num_channels: c as u16,
-                }))
-            })
+            .map(|v| Some(make(NodeCtx { id: NodeId(v as u32), num_channels: c as u16 })))
             .collect();
         let rngs = (0..n).map(|v| stream_rng(seed, v as u64)).collect();
         Engine {
@@ -145,10 +226,17 @@ impl<'net, P: Protocol> Engine<'net, P> {
             rngs,
             slot: 0,
             counters: Counters::default(),
+            resolver,
             bcasters_by_channel: vec![Vec::new(); universe],
+            listeners_by_channel: vec![Vec::new(); universe],
             touched_channels: Vec::new(),
             actions: Vec::with_capacity(n),
-            feedbacks: Vec::with_capacity(n),
+            outcomes: Vec::with_capacity(n),
+            mark_epoch: vec![0; n],
+            hit_count: vec![0; n],
+            hit_src: vec![0; n],
+            epoch: 0,
+            bcast_bits: BitSet::new(n),
             dense,
         }
     }
@@ -168,6 +256,18 @@ impl<'net, P: Protocol> Engine<'net, P> {
         self.counters
     }
 
+    /// The active resolution strategy.
+    pub fn resolver(&self) -> Resolver {
+        self.resolver
+    }
+
+    /// Switches the resolution strategy (takes effect from the next slot;
+    /// all strategies are observationally identical, so this never changes
+    /// results).
+    pub fn set_resolver(&mut self, resolver: Resolver) {
+        self.resolver = resolver;
+    }
+
     /// Read access to the protocol instances (for progress probes).
     ///
     /// # Panics
@@ -185,9 +285,7 @@ impl<'net, P: Protocol> Engine<'net, P> {
 
     /// `true` once every node's protocol reports completion.
     pub fn all_complete(&self) -> bool {
-        self.protocols
-            .iter()
-            .all(|p| p.as_ref().map(|p| p.is_complete()).unwrap_or(true))
+        self.protocols.iter().all(|p| p.as_ref().map(|p| p.is_complete()).unwrap_or(true))
     }
 
     /// Executes exactly one slot.
@@ -196,92 +294,256 @@ impl<'net, P: Protocol> Engine<'net, P> {
         let n = self.net.len();
         debug_assert!(self.touched_channels.is_empty());
         self.actions.clear();
+        self.outcomes.clear();
 
         // Phase 1: collect actions; translate local labels to dense global
-        // channels; register broadcasters.
+        // channels; group broadcasters and listeners per channel.
         for v in 0..n {
             let proto = self.protocols[v].as_mut().expect("protocol consumed");
             let mut ctx = SlotCtx { slot, rng: &mut self.rngs[v] };
             let action = proto.act(&mut ctx);
-            let plan = match action {
+            let (plan, outcome) = match action {
                 Action::Broadcast { channel, message } => {
                     self.counters.broadcasts += 1;
                     let dense = self.translate(NodeId(v as u32), channel);
-                    let list = &mut self.bcasters_by_channel[dense as usize];
-                    if list.is_empty() {
+                    let ch = dense as usize;
+                    if self.bcasters_by_channel[ch].is_empty()
+                        && self.listeners_by_channel[ch].is_empty()
+                    {
                         self.touched_channels.push(dense);
                     }
-                    list.push(v as u32);
-                    SlotPlan::Bcast { message }
+                    self.bcasters_by_channel[ch].push(v as u32);
+                    (SlotPlan::Bcast { message }, Outcome::Sent)
                 }
                 Action::Listen { channel } => {
                     self.counters.listens += 1;
                     let dense = self.translate(NodeId(v as u32), channel);
-                    SlotPlan::Listen { dense_channel: dense }
+                    let ch = dense as usize;
+                    if self.bcasters_by_channel[ch].is_empty()
+                        && self.listeners_by_channel[ch].is_empty()
+                    {
+                        self.touched_channels.push(dense);
+                    }
+                    self.listeners_by_channel[ch].push(v as u32);
+                    (SlotPlan::Listen, Outcome::Idle)
                 }
                 Action::Sleep => {
                     self.counters.sleeps += 1;
-                    SlotPlan::Sleep
+                    (SlotPlan::Sleep, Outcome::Slept)
                 }
             };
             self.actions.push(plan);
+            self.outcomes.push(outcome);
         }
 
-        // Phase 2: resolve deliveries.
-        self.feedbacks.clear();
-        for v in 0..n {
-            let fb = match &self.actions[v] {
-                SlotPlan::Bcast { .. } => Feedback::Sent,
-                SlotPlan::Sleep => Feedback::Slept,
-                SlotPlan::Listen { dense_channel } => {
-                    let mut heard_from: Option<u32> = None;
-                    let mut adjacent_bcasters = 0u32;
-                    for &b in &self.bcasters_by_channel[*dense_channel as usize] {
-                        if self.net.are_neighbors(NodeId(v as u32), NodeId(b)) {
-                            adjacent_bcasters += 1;
-                            if adjacent_bcasters > 1 {
-                                break;
-                            }
-                            heard_from = Some(b);
-                        }
-                    }
-                    match (adjacent_bcasters, heard_from) {
-                        (1, Some(b)) => {
-                            self.counters.deliveries += 1;
-                            match &self.actions[b as usize] {
-                                SlotPlan::Bcast { message, .. } => {
-                                    Feedback::Heard(message.clone())
-                                }
-                                _ => unreachable!("registered broadcaster must be broadcasting"),
-                            }
-                        }
-                        (0, _) => {
-                            self.counters.idle_listens += 1;
-                            Feedback::Silence
-                        }
-                        _ => {
-                            self.counters.collisions += 1;
-                            Feedback::Silence
-                        }
+        // Phase 2: resolve each touched channel with the cheapest strategy.
+        for ti in 0..self.touched_channels.len() {
+            let ch = self.touched_channels[ti] as usize;
+            self.resolve_channel(ch);
+        }
+
+        // Phase 3: deliver feedback. Heard messages are borrowed from the
+        // broadcasters' entries in the action buffer — zero clones.
+        let actions = &self.actions;
+        let outcomes = &self.outcomes;
+        let counters = &mut self.counters;
+        for (v, (proto, rng)) in self.protocols.iter_mut().zip(self.rngs.iter_mut()).enumerate() {
+            let fb = match outcomes[v] {
+                Outcome::Sent => Feedback::Sent,
+                Outcome::Slept => Feedback::Slept,
+                Outcome::Idle => {
+                    counters.idle_listens += 1;
+                    Feedback::Silence
+                }
+                Outcome::Collision => {
+                    counters.collisions += 1;
+                    Feedback::Silence
+                }
+                Outcome::Heard(b) => {
+                    counters.deliveries += 1;
+                    match &actions[b as usize] {
+                        SlotPlan::Bcast { message } => Feedback::Heard(message),
+                        _ => unreachable!("resolved broadcaster must be broadcasting"),
                     }
                 }
             };
-            self.feedbacks.push(fb);
-        }
-
-        // Phase 3: deliver feedback.
-        for (v, fb) in self.feedbacks.drain(..).enumerate() {
-            let proto = self.protocols[v].as_mut().expect("protocol consumed");
-            let mut ctx = SlotCtx { slot, rng: &mut self.rngs[v] };
-            proto.feedback(&mut ctx, fb);
+            let mut ctx = SlotCtx { slot, rng };
+            proto.as_mut().expect("protocol consumed").feedback(&mut ctx, fb);
         }
 
         // Cleanup scratch.
         for ch in self.touched_channels.drain(..) {
             self.bcasters_by_channel[ch as usize].clear();
+            self.listeners_by_channel[ch as usize].clear();
         }
         self.slot += 1;
         self.counters.slots += 1;
+    }
+
+    /// Resolves one channel's listeners, writing `self.outcomes` entries.
+    fn resolve_channel(&mut self, ch: usize) {
+        let bcasters = &self.bcasters_by_channel[ch];
+        let listeners = &self.listeners_by_channel[ch];
+        let (nb, nl) = (bcasters.len(), listeners.len());
+        if nb == 0 || nl == 0 {
+            // No broadcasters: every listener keeps its provisional Idle.
+            // No listeners: nothing can be heard.
+            return;
+        }
+        match self.resolver {
+            Resolver::Naive => self.resolve_naive(ch),
+            Resolver::BroadcasterCentric => self.resolve_broadcaster_centric(ch),
+            Resolver::ListenerCentric => self.resolve_listener_centric(ch),
+            Resolver::Auto => {
+                // Broadcaster side: one pass over all broadcasters' neighbor
+                // slices — scattered increments, so weight them ~2× against
+                // the listener side's sequential probes. Listener side: each
+                // listener pays the cheapest of scanning the broadcaster
+                // list, walking its own CSR slice, or one word sweep.
+                let d_b: usize = bcasters.iter().map(|&b| self.net.degree(NodeId(b))).sum();
+                let words = self.bcast_bits.words().len().max(1);
+                let per_listener_cap = nb.min(words);
+                let listen_cost = 2 * nb
+                    + listeners
+                        .iter()
+                        .map(|&l| self.net.degree(NodeId(l)).min(per_listener_cap))
+                        .sum::<usize>();
+                let bcast_cost = nl + 2 * d_b;
+                if bcast_cost <= listen_cost {
+                    self.resolve_broadcaster_centric(ch);
+                } else {
+                    self.resolve_listener_centric(ch);
+                }
+            }
+        }
+    }
+
+    /// Reference resolver: per listener, linear scan of the channel's
+    /// broadcaster list with an adjacency-bit test per pair. `O(L·B)`.
+    fn resolve_naive(&mut self, ch: usize) {
+        let bcasters = &self.bcasters_by_channel[ch];
+        for &l in &self.listeners_by_channel[ch] {
+            self.outcomes[l as usize] = Self::scan_listener(self.net, bcasters, l);
+        }
+    }
+
+    /// Broadcaster-centric sweep: stamp the channel's listeners with a fresh
+    /// epoch, then walk each broadcaster's CSR neighbor slice once,
+    /// accumulating hit counts only in stamped cells. `O(L + Σ_b deg(b))`,
+    /// independent of how many listeners each broadcaster reaches.
+    fn resolve_broadcaster_centric(&mut self, ch: usize) {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        for &l in &self.listeners_by_channel[ch] {
+            self.mark_epoch[l as usize] = epoch;
+            self.hit_count[l as usize] = 0;
+        }
+        for &b in &self.bcasters_by_channel[ch] {
+            for &w in self.net.neighbor_slice(NodeId(b)) {
+                let w = w as usize;
+                if self.mark_epoch[w] == epoch {
+                    self.hit_count[w] += 1;
+                    self.hit_src[w] = b;
+                }
+            }
+        }
+        for &l in &self.listeners_by_channel[ch] {
+            let l = l as usize;
+            self.outcomes[l] = match self.hit_count[l] {
+                0 => Outcome::Idle,
+                1 => Outcome::Heard(self.hit_src[l]),
+                _ => Outcome::Collision,
+            };
+        }
+    }
+
+    /// Listener-centric probe, adaptive per listener: each listener takes
+    /// the cheapest of three equivalent tests, all with early exit at the
+    /// second hit —
+    ///
+    /// 1. *scan* the channel's broadcaster list with `O(1)` adjacency bits
+    ///    (cost ≤ `B`, best when the list is shorter than the degree);
+    /// 2. *walk* its own CSR neighbor slice against the epoch-stamped
+    ///    broadcaster marks (cost ≤ `deg(l)`, best for low-degree listeners
+    ///    and crowded channels, where a couple of probes already collide);
+    /// 3. *word-intersect* its adjacency row with the channel's broadcaster
+    ///    bit set (cost ≤ `n/64` words, best for high-degree listeners on
+    ///    channels with many broadcasters; the bit set is built lazily on
+    ///    first use).
+    fn resolve_listener_centric(&mut self, ch: usize) {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        for &b in &self.bcasters_by_channel[ch] {
+            self.mark_epoch[b as usize] = epoch;
+        }
+        let nb = self.bcasters_by_channel[ch].len();
+        let words = self.bcast_bits.words().len().max(1);
+        let mut bits_built = false;
+        for &l in &self.listeners_by_channel[ch] {
+            let d = self.net.degree(NodeId(l));
+            let outcome = if nb <= d && nb <= words {
+                Self::scan_listener(self.net, &self.bcasters_by_channel[ch], l)
+            } else if d <= words {
+                // Walk the listener's own neighbors, testing the stamp.
+                let mut count = 0u32;
+                let mut src = 0u32;
+                for &w in self.net.neighbor_slice(NodeId(l)) {
+                    if self.mark_epoch[w as usize] == epoch {
+                        count += 1;
+                        if count > 1 {
+                            break;
+                        }
+                        src = w;
+                    }
+                }
+                match count {
+                    0 => Outcome::Idle,
+                    1 => Outcome::Heard(src),
+                    _ => Outcome::Collision,
+                }
+            } else {
+                if !bits_built {
+                    for &b in &self.bcasters_by_channel[ch] {
+                        self.bcast_bits.insert(b as usize);
+                    }
+                    bits_built = true;
+                }
+                let row = self.net.adjacency_bits(NodeId(l));
+                match row.intersect_unique(&self.bcast_bits) {
+                    Intersection::Empty => Outcome::Idle,
+                    Intersection::Unique(b) => Outcome::Heard(b as u32),
+                    Intersection::Many => Outcome::Collision,
+                }
+            };
+            self.outcomes[l as usize] = outcome;
+        }
+        if bits_built {
+            for &b in &self.bcasters_by_channel[ch] {
+                self.bcast_bits.remove(b as usize);
+            }
+        }
+    }
+
+    /// One listener's scan over a channel broadcaster list (shared by the
+    /// naive reference resolver and the adaptive listener path).
+    #[inline]
+    fn scan_listener(net: &Network, bcasters: &[u32], l: u32) -> Outcome {
+        let mut heard_from: Option<u32> = None;
+        let mut adjacent = 0u32;
+        for &b in bcasters {
+            if net.are_neighbors(NodeId(l), NodeId(b)) {
+                adjacent += 1;
+                if adjacent > 1 {
+                    break;
+                }
+                heard_from = Some(b);
+            }
+        }
+        match (adjacent, heard_from) {
+            (1, Some(b)) => Outcome::Heard(b),
+            (0, _) => Outcome::Idle,
+            _ => Outcome::Collision,
+        }
     }
 
     #[inline]
@@ -327,11 +589,7 @@ impl<'net, P: Protocol> Engine<'net, P> {
                 }
             }
         }
-        RunOutcome {
-            slots_run: self.slot,
-            completed_at,
-            all_protocols_done: self.all_complete(),
-        }
+        RunOutcome { slots_run: self.slot, completed_at, all_protocols_done: self.all_complete() }
     }
 
     /// Runs the protocols' full fixed schedule (up to `max_slots`) with no
@@ -354,6 +612,9 @@ mod tests {
     use super::*;
     use crate::ids::GlobalChannel;
 
+    const ALL_RESOLVERS: [Resolver; 4] =
+        [Resolver::Auto, Resolver::BroadcasterCentric, Resolver::ListenerCentric, Resolver::Naive];
+
     /// Test protocol: node 0..k broadcast a constant each slot on local
     /// channel `ch`; others listen on local channel `lch`; records hears.
     struct Fixed {
@@ -373,9 +634,9 @@ mod tests {
                 Action::Listen { channel: self.ch }
             }
         }
-        fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, fb: Feedback<u32>) {
+        fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, fb: Feedback<'_, u32>) {
             if let Feedback::Heard(m) = fb {
-                self.heard.push(m);
+                self.heard.push(*m);
             }
         }
         fn is_complete(&self) -> bool {
@@ -401,33 +662,37 @@ mod tests {
     }
 
     #[test]
-    fn single_broadcaster_is_heard() {
+    fn single_broadcaster_is_heard_under_every_resolver() {
         let net = star(1);
-        let mut eng = Engine::new(&net, 7, |ctx| Fixed {
-            bcast: ctx.id == NodeId(1),
-            ch: LocalChannel(0),
-            heard: Vec::new(),
-            id: ctx.id.0,
-        });
-        eng.step();
-        let out = eng.into_outputs();
-        assert_eq!(out[0], vec![1], "center hears the lone leaf");
-        assert!(out[1].is_empty(), "broadcaster hears nothing");
+        for resolver in ALL_RESOLVERS {
+            let mut eng = Engine::with_resolver(&net, 7, resolver, |ctx| Fixed {
+                bcast: ctx.id == NodeId(1),
+                ch: LocalChannel(0),
+                heard: Vec::new(),
+                id: ctx.id.0,
+            });
+            eng.step();
+            let out = eng.into_outputs();
+            assert_eq!(out[0], vec![1], "center hears the lone leaf ({resolver:?})");
+            assert!(out[1].is_empty(), "broadcaster hears nothing ({resolver:?})");
+        }
     }
 
     #[test]
     fn two_broadcasters_collide_to_silence() {
         let net = star(2);
-        let mut eng = Engine::new(&net, 7, |ctx| Fixed {
-            bcast: ctx.id != NodeId(0),
-            ch: LocalChannel(0),
-            heard: Vec::new(),
-            id: ctx.id.0,
-        });
-        eng.step();
-        assert_eq!(eng.counters().collisions, 1);
-        let out = eng.into_outputs();
-        assert!(out[0].is_empty(), "collision is silence");
+        for resolver in ALL_RESOLVERS {
+            let mut eng = Engine::with_resolver(&net, 7, resolver, |ctx| Fixed {
+                bcast: ctx.id != NodeId(0),
+                ch: LocalChannel(0),
+                heard: Vec::new(),
+                id: ctx.id.0,
+            });
+            eng.step();
+            assert_eq!(eng.counters().collisions, 1, "{resolver:?}");
+            let out = eng.into_outputs();
+            assert!(out[0].is_empty(), "collision is silence ({resolver:?})");
+        }
     }
 
     #[test]
@@ -440,15 +705,17 @@ mod tests {
         }
         b.add_edge(NodeId(0), NodeId(1));
         let net = b.build().unwrap();
-        let mut eng = Engine::new(&net, 3, |ctx| Fixed {
-            bcast: ctx.id != NodeId(0),
-            ch: LocalChannel(0),
-            heard: Vec::new(),
-            id: ctx.id.0,
-        });
-        eng.step();
-        let out = eng.into_outputs();
-        assert_eq!(out[0], vec![1], "only the true neighbor is audible");
+        for resolver in ALL_RESOLVERS {
+            let mut eng = Engine::with_resolver(&net, 3, resolver, |ctx| Fixed {
+                bcast: ctx.id != NodeId(0),
+                ch: LocalChannel(0),
+                heard: Vec::new(),
+                id: ctx.id.0,
+            });
+            eng.step();
+            let out = eng.into_outputs();
+            assert_eq!(out[0], vec![1], "only the true neighbor is audible ({resolver:?})");
+        }
     }
 
     #[test]
@@ -512,7 +779,7 @@ mod tests {
                     Action::Listen { channel: LocalChannel(ctx.rng.gen_range(0..2)) }
                 }
             }
-            fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, fb: Feedback<u8>) {
+            fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, fb: Feedback<'_, u8>) {
                 if matches!(fb, Feedback::Heard(_)) {
                     self.heard += 1;
                 }
@@ -525,17 +792,23 @@ mod tests {
             }
         }
         let net = star(4);
-        let run = |seed: u64| {
-            let mut eng = Engine::new(&net, seed, |_| Rnd { heard: 0 });
+        let run = |seed: u64, resolver: Resolver| {
+            let mut eng = Engine::with_resolver(&net, seed, resolver, |_| Rnd { heard: 0 });
             eng.run_to_completion(200);
             (eng.counters(), eng.into_outputs())
         };
-        let (c1, o1) = run(42);
-        let (c2, o2) = run(42);
-        let (c3, _) = run(43);
+        let (c1, o1) = run(42, Resolver::Auto);
+        let (c2, o2) = run(42, Resolver::Auto);
+        let (c3, _) = run(43, Resolver::Auto);
         assert_eq!(c1, c2);
         assert_eq!(o1, o2);
         assert_ne!(c1, c3, "different seeds should (generically) differ");
+        // Every resolver is observationally identical.
+        for resolver in ALL_RESOLVERS {
+            let (c, o) = run(42, resolver);
+            assert_eq!(c, c1, "{resolver:?} diverges on counters");
+            assert_eq!(o, o1, "{resolver:?} diverges on outputs");
+        }
     }
 
     #[test]
@@ -578,7 +851,7 @@ mod tests {
             fn act(&mut self, _ctx: &mut SlotCtx<'_>) -> Action<u8> {
                 Action::Sleep
             }
-            fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, fb: Feedback<u8>) {
+            fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, fb: Feedback<'_, u8>) {
                 assert_eq!(fb, Feedback::Slept);
             }
             fn is_complete(&self) -> bool {
@@ -590,5 +863,127 @@ mod tests {
         let mut eng = Engine::new(&net, 7, |_| Sleepy);
         eng.step();
         assert_eq!(eng.counters().sleeps, 3);
+    }
+
+    #[test]
+    fn heard_messages_are_not_cloned_by_the_engine() {
+        // A message type whose clone count is observable: the engine must
+        // never clone it, even across many deliveries.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static CLONES: AtomicU64 = AtomicU64::new(0);
+
+        #[derive(Debug, PartialEq, Eq)]
+        struct Counted(u32);
+        impl Clone for Counted {
+            fn clone(&self) -> Self {
+                CLONES.fetch_add(1, Ordering::Relaxed);
+                Counted(self.0)
+            }
+        }
+
+        struct Payload {
+            bcast: bool,
+            heard: u64,
+        }
+        impl Protocol for Payload {
+            type Message = Counted;
+            type Output = u64;
+            fn act(&mut self, _ctx: &mut SlotCtx<'_>) -> Action<Counted> {
+                if self.bcast {
+                    Action::Broadcast { channel: LocalChannel(0), message: Counted(9) }
+                } else {
+                    Action::Listen { channel: LocalChannel(0) }
+                }
+            }
+            fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, fb: Feedback<'_, Counted>) {
+                if let Feedback::Heard(m) = fb {
+                    assert_eq!(m.0, 9);
+                    self.heard += 1;
+                }
+            }
+            fn is_complete(&self) -> bool {
+                false
+            }
+            fn into_output(self) -> u64 {
+                self.heard
+            }
+        }
+
+        // One leaf broadcasting to the center: a delivery in every slot.
+        let net = star(1);
+        let mut eng = Engine::new(&net, 5, |ctx| Payload { bcast: ctx.id == NodeId(1), heard: 0 });
+        for _ in 0..50 {
+            eng.step();
+        }
+        assert_eq!(eng.counters().deliveries, 50);
+        let outputs = eng.into_outputs();
+        assert_eq!(outputs[0], 50, "center heard every slot");
+        assert_eq!(CLONES.load(Ordering::Relaxed), 0, "engine cloned a message");
+    }
+
+    #[test]
+    fn dense_channel_mix_is_resolver_invariant() {
+        // A tougher scenario than the unit cases above: several overlapping
+        // channels, random roles, non-trivial topology. All four resolvers
+        // must agree slot-by-slot on every counter and output.
+        struct Rnd {
+            c: u16,
+            heard: Vec<u32>,
+        }
+        impl Protocol for Rnd {
+            type Message = u32;
+            type Output = Vec<u32>;
+            fn act(&mut self, ctx: &mut SlotCtx<'_>) -> Action<u32> {
+                use rand::Rng;
+                let channel = LocalChannel(ctx.rng.gen_range(0..self.c));
+                if ctx.rng.gen_bool(0.4) {
+                    Action::Broadcast { channel, message: ctx.rng.gen_range(0..1000u32) }
+                } else {
+                    Action::Listen { channel }
+                }
+            }
+            fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, fb: Feedback<'_, u32>) {
+                if let Feedback::Heard(m) = fb {
+                    self.heard.push(*m);
+                }
+            }
+            fn is_complete(&self) -> bool {
+                false
+            }
+            fn into_output(self) -> Vec<u32> {
+                self.heard
+            }
+        }
+
+        // Wheel graph: hub 0 plus a cycle of 12, all sharing 3 channels.
+        let n = 13usize;
+        let mut b = Network::builder(n);
+        for v in 0..n {
+            b.set_channels(
+                NodeId(v as u32),
+                vec![GlobalChannel(0), GlobalChannel(1), GlobalChannel(2)],
+            );
+        }
+        for v in 1..n as u32 {
+            b.add_edge(NodeId(0), NodeId(v));
+            let next = if v as usize == n - 1 { 1 } else { v + 1 };
+            b.add_edge(NodeId(v), NodeId(next));
+        }
+        let net = b.build().unwrap();
+
+        let run = |resolver: Resolver| {
+            let mut eng =
+                Engine::with_resolver(&net, 99, resolver, |_| Rnd { c: 3, heard: Vec::new() });
+            eng.run_to_completion(300);
+            (eng.counters(), eng.into_outputs())
+        };
+        let (c0, o0) = run(Resolver::Naive);
+        assert!(c0.deliveries > 0, "scenario must exercise deliveries");
+        assert!(c0.collisions > 0, "scenario must exercise collisions");
+        for resolver in [Resolver::Auto, Resolver::BroadcasterCentric, Resolver::ListenerCentric] {
+            let (c, o) = run(resolver);
+            assert_eq!(c, c0, "{resolver:?} counters diverge from naive");
+            assert_eq!(o, o0, "{resolver:?} outputs diverge from naive");
+        }
     }
 }

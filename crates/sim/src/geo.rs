@@ -133,8 +133,7 @@ pub fn generate(
                 needed: cfg.c,
             });
         }
-        let mut chosen: Vec<GlobalChannel> =
-            free.choose_multiple(rng, cfg.c).copied().collect();
+        let mut chosen: Vec<GlobalChannel> = free.choose_multiple(rng, cfg.c).copied().collect();
         chosen.shuffle(rng); // arbitrary local labels
         channel_sets.push(chosen);
     }

@@ -1,12 +1,17 @@
 //! Undirected graph utilities: BFS, connectivity, diameter, degrees.
 //!
-//! These operate on plain adjacency lists and are used both by the network
-//! builder (to compute ground-truth statistics such as `D` and `Δ`) and by
-//! the pure coloring algorithms in `crn-core`.
+//! The graph is stored in CSR form (contiguous neighbor slices), used both
+//! by the network builder (to compute ground-truth statistics such as `D`
+//! and `Δ`), by the pure coloring algorithms in `crn-core`, and by the
+//! engine's broadcaster-centric slot resolver, which walks raw CSR slices
+//! in its hot loop.
 
 use std::collections::VecDeque;
 
-/// An immutable undirected graph stored as sorted adjacency lists.
+/// An immutable undirected graph in CSR (compressed sparse row) form:
+/// one contiguous `targets` array plus per-vertex offsets. Neighbor lists
+/// are sorted, deduplicated slices — the engine's broadcaster-centric sweep
+/// walks them with no pointer chasing and perfect locality.
 ///
 /// # Examples
 /// ```
@@ -17,10 +22,13 @@ use std::collections::VecDeque;
 /// assert_eq!(g.max_degree(), 2);
 /// assert!(g.is_connected());
 /// assert_eq!(g.diameter(), Some(3));
+/// assert_eq!(g.neighbors(1), &[0, 2]);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Graph {
-    adj: Vec<Vec<u32>>,
+    /// `targets[offsets[v] .. offsets[v + 1]]` = sorted neighbors of `v`.
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
     num_edges: usize,
 }
 
@@ -38,23 +46,27 @@ impl Graph {
             adj[a as usize].push(b);
             adj[b as usize].push(a);
         }
-        let mut num_edges = 0;
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::new();
+        offsets.push(0);
         for list in &mut adj {
             list.sort_unstable();
             list.dedup();
-            num_edges += list.len();
+            targets.extend_from_slice(list);
+            offsets.push(targets.len() as u32);
         }
-        Graph { adj, num_edges: num_edges / 2 }
+        let num_edges = targets.len() / 2;
+        Graph { offsets, targets, num_edges }
     }
 
     /// Number of vertices.
     pub fn len(&self) -> usize {
-        self.adj.len()
+        self.offsets.len() - 1
     }
 
     /// `true` if the graph has no vertices.
     pub fn is_empty(&self) -> bool {
-        self.adj.is_empty()
+        self.len() == 0
     }
 
     /// Number of (undirected) edges.
@@ -62,30 +74,33 @@ impl Graph {
         self.num_edges
     }
 
-    /// Sorted neighbor list of vertex `v`.
+    /// Sorted neighbor list of vertex `v`, as a contiguous CSR slice.
+    #[inline]
     pub fn neighbors(&self, v: usize) -> &[u32] {
-        &self.adj[v]
+        &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
     }
 
     /// Degree of vertex `v`.
+    #[inline]
     pub fn degree(&self, v: usize) -> usize {
-        self.adj[v].len()
+        (self.offsets[v + 1] - self.offsets[v]) as usize
     }
 
     /// Maximum degree `Δ` (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+        (0..self.len()).map(|v| self.degree(v)).max().unwrap_or(0)
     }
 
     /// `true` if `a` and `b` are adjacent.
     pub fn has_edge(&self, a: usize, b: usize) -> bool {
-        self.adj[a].binary_search(&(b as u32)).is_ok()
+        self.neighbors(a).binary_search(&(b as u32)).is_ok()
     }
 
     /// All edges in canonical `(lo, hi)` order, sorted.
     pub fn edges(&self) -> Vec<(u32, u32)> {
         let mut out = Vec::with_capacity(self.num_edges);
-        for (v, list) in self.adj.iter().enumerate() {
+        for v in 0..self.len() {
+            let list = self.neighbors(v);
             for &w in list {
                 if (v as u32) < w {
                     out.push((v as u32, w));
@@ -103,7 +118,7 @@ impl Graph {
         q.push_back(src as u32);
         while let Some(v) = q.pop_front() {
             let dv = dist[v as usize];
-            for &w in &self.adj[v as usize] {
+            for &w in self.neighbors(v as usize) {
                 if dist[w as usize] == u32::MAX {
                     dist[w as usize] = dv + 1;
                     q.push_back(w);
@@ -170,7 +185,7 @@ impl Graph {
             seen[s] = true;
             q.push_back(s as u32);
             while let Some(v) = q.pop_front() {
-                for &w in &self.adj[v as usize] {
+                for &w in self.neighbors(v as usize) {
                     if !seen[w as usize] {
                         seen[w as usize] = true;
                         q.push_back(w);
@@ -196,7 +211,7 @@ impl Graph {
             let mut size = 1usize;
             q.push_back(s as u32);
             while let Some(v) = q.pop_front() {
-                for &w in &self.adj[v as usize] {
+                for &w in self.neighbors(v as usize) {
                     if comp[w as usize] == usize::MAX {
                         comp[w as usize] = id;
                         size += 1;
@@ -206,12 +221,7 @@ impl Graph {
             }
             sizes.push(size);
         }
-        let best = sizes
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, s)| *s)
-            .map(|(i, _)| i)
-            .unwrap_or(0);
+        let best = sizes.iter().enumerate().max_by_key(|&(_, s)| *s).map(|(i, _)| i).unwrap_or(0);
         (0..n as u32).filter(|&v| comp[v as usize] == best).collect()
     }
 }

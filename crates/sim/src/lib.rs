@@ -65,7 +65,7 @@ pub mod stats;
 pub mod topology;
 pub mod trace;
 
-pub use engine::{Counters, Engine, RunOutcome};
+pub use engine::{Counters, Engine, Resolver, RunOutcome};
 pub use ids::{Edge, GlobalChannel, LocalChannel, NodeId, Slot};
 pub use network::{Network, NetworkBuilder, NetworkError, NetworkStats};
 pub use protocol::{Action, Feedback, NodeCtx, Protocol, SlotCtx};

@@ -48,10 +48,9 @@ impl fmt::Display for NetworkError {
         match self {
             NetworkError::NoNodes => write!(f, "network must contain at least one node"),
             NetworkError::EmptyChannelSet(v) => write!(f, "node {v} has an empty channel set"),
-            NetworkError::UnequalChannelCounts { node, got, expected } => write!(
-                f,
-                "node {node} has {got} channels but the network uses c={expected}"
-            ),
+            NetworkError::UnequalChannelCounts { node, got, expected } => {
+                write!(f, "node {node} has {got} channels but the network uses c={expected}")
+            }
             NetworkError::DuplicateChannel(v, g) => {
                 write!(f, "node {v} lists channel {g} more than once")
             }
@@ -123,11 +122,35 @@ pub struct Network {
 impl Network {
     /// Starts building a network with `n` nodes (identities `0..n`).
     pub fn builder(n: usize) -> NetworkBuilder {
-        NetworkBuilder {
-            n,
-            channels: vec![None; n],
-            edges: Vec::new(),
+        NetworkBuilder { n, channels: vec![None; n], edges: Vec::new() }
+    }
+
+    /// Assembles a network from a topology and a channel model, deriving the
+    /// topology and channel RNG streams from `seed` (streams 1 and 2). The
+    /// shared entry point for benches and differential tests that don't
+    /// need the full `Scenario` machinery.
+    ///
+    /// # Errors
+    /// Propagates [`NetworkError`] from validation, e.g. when the generated
+    /// channel assignment leaves an edge without a shared channel.
+    pub fn generate(
+        topology: &crate::topology::Topology,
+        channels: &crate::channels::ChannelModel,
+        seed: u64,
+    ) -> Result<Network, NetworkError> {
+        let n = topology.num_nodes();
+        let sets = channels.assign(n, &mut crate::rng::stream_rng(seed, 2));
+        let mut b = Network::builder(n);
+        for (v, set) in sets.into_iter().enumerate() {
+            b.set_channels(NodeId(v as u32), set);
         }
+        b.add_edges(
+            topology
+                .edges(&mut crate::rng::stream_rng(seed, 1))
+                .into_iter()
+                .map(|(a, x)| (NodeId(a), NodeId(x))),
+        );
+        b.build()
     }
 
     /// Number of nodes.
@@ -186,7 +209,15 @@ impl Network {
         self.graph.neighbors(v.index()).iter().map(|&w| NodeId(w))
     }
 
+    /// Sorted neighbors of `v` as a contiguous slice of raw indices — the
+    /// zero-overhead view the engine's broadcaster-centric sweep walks.
+    #[inline]
+    pub fn neighbor_slice(&self, v: NodeId) -> &[u32] {
+        self.graph.neighbors(v.index())
+    }
+
     /// Degree of `v`.
+    #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
         self.graph.degree(v.index())
     }
@@ -197,14 +228,19 @@ impl Network {
         self.adj_bits[u.index()].contains(v.index())
     }
 
+    /// `v`'s adjacency row as a bit set over node indices — the engine's
+    /// listener-centric resolver intersects it with the per-channel
+    /// broadcaster set word-by-word.
+    #[inline]
+    pub fn adjacency_bits(&self, v: NodeId) -> &BitSet {
+        &self.adj_bits[v.index()]
+    }
+
     /// The global channels shared by `u` and `v`, sorted.
     pub fn shared_channels(&self, u: NodeId, v: NodeId) -> Vec<GlobalChannel> {
         let set: &HashMap<GlobalChannel, LocalChannel> = &self.reverse[v.index()];
-        let mut shared: Vec<GlobalChannel> = self.channels[u.index()]
-            .iter()
-            .copied()
-            .filter(|g| set.contains_key(g))
-            .collect();
+        let mut shared: Vec<GlobalChannel> =
+            self.channels[u.index()].iter().copied().filter(|g| set.contains_key(g)).collect();
         shared.sort_unstable();
         shared
     }
@@ -216,27 +252,19 @@ impl Network {
 
     /// All edges of the network.
     pub fn edges(&self) -> Vec<Edge> {
-        self.graph
-            .edges()
-            .into_iter()
-            .map(|(a, b)| Edge::new(NodeId(a), NodeId(b)))
-            .collect()
+        self.graph.edges().into_iter().map(|(a, b)| Edge::new(NodeId(a), NodeId(b))).collect()
     }
 
     /// Number of `v`'s neighbors that can access global channel `g` — the
     /// paper's `n_ch` ("crowdedness" of a channel from `v`'s perspective).
     pub fn channel_crowd(&self, v: NodeId, g: GlobalChannel) -> usize {
-        self.neighbors(v)
-            .filter(|&w| self.reverse[w.index()].contains_key(&g))
-            .count()
+        self.neighbors(v).filter(|&w| self.reverse[w.index()].contains_key(&g)).count()
     }
 
     /// The number of neighbors of `v` sharing at least `khat` channels with
     /// `v` — used as ground truth for the k̂-neighbor-discovery problem.
     pub fn good_neighbors(&self, v: NodeId, khat: usize) -> Vec<NodeId> {
-        self.neighbors(v)
-            .filter(|&w| self.overlap(v, w) >= khat)
-            .collect()
+        self.neighbors(v).filter(|&w| self.overlap(v, w) >= khat).collect()
     }
 
     /// Maximum over nodes of `good_neighbors(v, khat).len()`, the paper's
@@ -363,10 +391,8 @@ impl NetworkBuilder {
         for (a, b) in graph.edges() {
             let u = NodeId(a);
             let v = NodeId(b);
-            let shared = reverse[v.index()]
-                .keys()
-                .filter(|g| reverse[u.index()].contains_key(g))
-                .count();
+            let shared =
+                reverse[v.index()].keys().filter(|g| reverse[u.index()].contains_key(g)).count();
             if shared == 0 {
                 return Err(NetworkError::NoSharedChannel(u, v));
             }
@@ -383,10 +409,8 @@ impl NetworkBuilder {
             adj_bits.push(bits);
         }
 
-        let mut universe_set: Vec<u32> = channels
-            .iter()
-            .flat_map(|list| list.iter().map(|g| g.0))
-            .collect();
+        let mut universe_set: Vec<u32> =
+            channels.iter().flat_map(|list| list.iter().map(|g| g.0)).collect();
         universe_set.sort_unstable();
         universe_set.dedup();
 
@@ -402,14 +426,7 @@ impl NetworkBuilder {
             diameter: graph.diameter(),
         };
 
-        Ok(Network {
-            channels,
-            reverse,
-            graph,
-            adj_bits,
-            universe: universe_set.len(),
-            stats,
-        })
+        Ok(Network { channels, reverse, graph, adj_bits, universe: universe_set.len(), stats })
     }
 }
 
@@ -473,10 +490,7 @@ mod tests {
         b.set_channels(NodeId(0), vec![g(0)]);
         b.set_channels(NodeId(1), vec![g(1)]);
         b.add_edge(NodeId(0), NodeId(1));
-        assert_eq!(
-            b.build().unwrap_err(),
-            NetworkError::NoSharedChannel(NodeId(0), NodeId(1))
-        );
+        assert_eq!(b.build().unwrap_err(), NetworkError::NoSharedChannel(NodeId(0), NodeId(1)));
     }
 
     #[test]
@@ -492,10 +506,7 @@ mod tests {
     fn rejects_duplicate_channels() {
         let mut b = Network::builder(1);
         b.set_channels(NodeId(0), vec![g(0), g(0)]);
-        assert_eq!(
-            b.build().unwrap_err(),
-            NetworkError::DuplicateChannel(NodeId(0), g(0))
-        );
+        assert_eq!(b.build().unwrap_err(), NetworkError::DuplicateChannel(NodeId(0), g(0)));
     }
 
     #[test]

@@ -52,12 +52,18 @@ impl<M> Action<M> {
 }
 
 /// What a node observed at the end of one slot.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Feedback<M> {
+///
+/// A received message is handed out *by reference* into the broadcaster's
+/// still-live action buffer: the engine never clones payloads. A protocol
+/// that wants to keep a message beyond the `feedback` call clones it there —
+/// a single clone per actual delivery, paid only by the consumer that needs
+/// ownership (many don't: they extract a `Copy` field and drop the rest).
+#[derive(Debug, PartialEq, Eq)]
+pub enum Feedback<'a, M> {
     /// The node broadcast; it learns nothing else this slot.
     Sent,
     /// The node listened and exactly one neighbor broadcast on its channel.
-    Heard(M),
+    Heard(&'a M),
     /// The node listened and heard nothing — either no neighbor broadcast on
     /// the channel or at least two did (collision). The two cases are
     /// indistinguishable in this model.
@@ -66,9 +72,18 @@ pub enum Feedback<M> {
     Slept,
 }
 
-impl<M> Feedback<M> {
+// Manual impls: `Feedback` is always `Copy` (it carries at most a shared
+// reference), with no `M: Clone`/`M: Copy` bound as a derive would add.
+impl<M> Clone for Feedback<'_, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<M> Copy for Feedback<'_, M> {}
+
+impl<'a, M> Feedback<'a, M> {
     /// Returns the received message, if any.
-    pub fn heard(self) -> Option<M> {
+    pub fn heard(self) -> Option<&'a M> {
         match self {
             Feedback::Heard(m) => Some(m),
             _ => None,
@@ -131,14 +146,16 @@ pub struct NodeCtx {
 ///     fn act(&mut self, _ctx: &mut SlotCtx<'_>) -> Action<u32> {
 ///         Action::Broadcast { channel: LocalChannel(0), message: self.me }
 ///     }
-///     fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, _fb: Feedback<u32>) {}
+///     fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, _fb: Feedback<'_, u32>) {}
 ///     fn is_complete(&self) -> bool { false }
 ///     fn into_output(self) -> () {}
 /// }
 /// ```
 pub trait Protocol {
-    /// The message type exchanged over the air.
-    type Message: Clone;
+    /// The message type exchanged over the air. No `Clone` bound: the
+    /// engine delivers messages by reference and never clones them.
+    /// Protocols that need ownership clone at their concrete type.
+    type Message;
     /// The final result extracted when the run ends.
     type Output;
 
@@ -147,8 +164,9 @@ pub trait Protocol {
     fn act(&mut self, ctx: &mut SlotCtx<'_>) -> Action<Self::Message>;
 
     /// Receive the observation for the slot. Called exactly once per slot
-    /// after all nodes have acted.
-    fn feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<Self::Message>);
+    /// after all nodes have acted. A heard message arrives by reference;
+    /// clone it here if it must outlive the call.
+    fn feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<'_, Self::Message>);
 
     /// `true` once the protocol's fixed schedule has finished. The engine
     /// stops early when every node is complete.
@@ -176,9 +194,21 @@ mod tests {
 
     #[test]
     fn feedback_heard_extraction() {
-        assert_eq!(Feedback::Heard(7u32).heard(), Some(7));
+        assert_eq!(Feedback::Heard(&7u32).heard(), Some(&7));
         assert_eq!(Feedback::<u32>::Silence.heard(), None);
         assert_eq!(Feedback::<u32>::Sent.heard(), None);
         assert_eq!(Feedback::<u32>::Slept.heard(), None);
+    }
+
+    #[test]
+    fn feedback_is_copy_without_message_clone() {
+        // `Feedback` must stay `Copy` even for non-`Clone` messages.
+        struct NoClone;
+        let m = NoClone;
+        let fb: Feedback<'_, NoClone> = Feedback::Heard(&m);
+        let a = fb;
+        let b = fb;
+        assert!(matches!(a, Feedback::Heard(_)));
+        assert!(matches!(b, Feedback::Heard(_)));
     }
 }

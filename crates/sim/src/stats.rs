@@ -99,11 +99,7 @@ pub fn fit_linear(xs: &[f64], ys: &[f64]) -> LinearFit {
     let slope = if sxx == 0.0 { 0.0 } else { sxy / sxx };
     let intercept = my - slope * mx;
     let ss_tot: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
-    let ss_res: f64 = xs
-        .iter()
-        .zip(ys)
-        .map(|(x, y)| (y - (slope * x + intercept)).powi(2))
-        .sum();
+    let ss_res: f64 = xs.iter().zip(ys).map(|(x, y)| (y - (slope * x + intercept)).powi(2)).sum();
     let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
     LinearFit { slope, intercept, r2 }
 }

@@ -125,8 +125,7 @@ impl Topology {
             }
             Topology::Cycle { n } => {
                 assert!(n >= 3, "cycle needs at least three nodes");
-                let mut e: Vec<(u32, u32)> =
-                    (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+                let mut e: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
                 e.push((n as u32 - 1, 0));
                 e
             }

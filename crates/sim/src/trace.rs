@@ -42,7 +42,7 @@ impl SlotEvent {
 ///     fn act(&mut self, _ctx: &mut SlotCtx<'_>) -> Action<u8> {
 ///         Action::Broadcast { channel: LocalChannel(0), message: 1 }
 ///     }
-///     fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, _fb: Feedback<u8>) {}
+///     fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, _fb: Feedback<'_, u8>) {}
 ///     fn is_complete(&self) -> bool { false }
 ///     fn into_output(self) {}
 /// }
@@ -92,7 +92,7 @@ impl<P: Protocol> Protocol for Recorded<P> {
         action
     }
 
-    fn feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<P::Message>) {
+    fn feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<'_, P::Message>) {
         let event = match (self.pending_channel, self.pending_bcast, &fb) {
             (Some(ch), true, _) => SlotEvent::Broadcast(ch),
             (Some(ch), false, Feedback::Heard(_)) => SlotEvent::Received(ch),
@@ -211,7 +211,7 @@ mod tests {
                 Action::Sleep
             }
         }
-        fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, _fb: Feedback<u8>) {
+        fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, _fb: Feedback<'_, u8>) {
             self.t += 1;
         }
         fn is_complete(&self) -> bool {
@@ -244,10 +244,7 @@ mod tests {
         assert!(tx_trace.iter().all(|e| matches!(e, SlotEvent::Broadcast(_))));
         // The listener alternates listen/idle; listens all receive.
         assert_eq!(rx_trace.len(), 6);
-        assert_eq!(
-            rx_trace.iter().filter(|e| matches!(e, SlotEvent::Received(_))).count(),
-            3
-        );
+        assert_eq!(rx_trace.iter().filter(|e| matches!(e, SlotEvent::Received(_))).count(), 3);
         assert_eq!(rx_trace.iter().filter(|e| matches!(e, SlotEvent::Idle)).count(), 3);
     }
 

@@ -39,11 +39,8 @@ pub fn a1_uniform_listener(cfg: &ExpConfig) -> Table {
         &["listener policy", "mean slots to complete", "success", "schedule slots"],
     );
     for (name, uniform) in [("density-weighted (paper)", false), ("uniform (ablated)", true)] {
-        let params = SeekParams {
-            part1_factor: 0.5,
-            uniform_listener: uniform,
-            ..Default::default()
-        };
+        let params =
+            SeekParams { part1_factor: 0.5, uniform_listener: uniform, ..Default::default() };
         let sched = params.schedule(&built.model);
         let trials = discovery_trials(
             &built.net,

@@ -132,8 +132,8 @@ pub fn e5_discovery_comparison(cfg: &ExpConfig) -> Table {
             f_cseek.slope, f_naive.slope, f_fixed.slope
         ));
         if f_naive.slope > f_cseek.slope {
-            let crossover = (f_cseek.intercept - f_naive.intercept)
-                / (f_naive.slope - f_cseek.slope);
+            let crossover =
+                (f_cseek.intercept - f_naive.intercept) / (f_naive.slope - f_cseek.slope);
             t.push_note(format!(
                 "Projected naive/CSEEK crossover at Δ* ≈ {crossover:.0}: CSEEK's \
                  Θ((c²/k)·lg³n) sampling prefix dominates below it — the polylog \
@@ -207,30 +207,20 @@ mod tests {
 
     #[test]
     fn e5_reports_slopes_for_all_three_algorithms() {
-        let t = e5_discovery_comparison(&ExpConfig { quick: true, trials: 2, seed: 3 });
+        let t = e5_discovery_comparison(&ExpConfig { quick: true, trials: 6, seed: 3 });
         let note = t.notes.first().expect("slope note");
         for tag in ["cseek=", "naive=", "fixed="] {
-            let v: f64 = note
-                .split(tag)
-                .nth(1)
-                .unwrap()
-                .split_whitespace()
-                .next()
-                .unwrap()
-                .parse()
-                .unwrap();
+            let v: f64 =
+                note.split(tag).nth(1).unwrap().split_whitespace().next().unwrap().parse().unwrap();
             assert!(v > 0.0, "fitted slope for {tag} must be positive");
         }
     }
 
     #[test]
     fn e5_ratio_improves_with_delta() {
-        let t = e5_discovery_comparison(&ExpConfig { quick: true, trials: 2, seed: 3 });
+        let t = e5_discovery_comparison(&ExpConfig { quick: true, trials: 6, seed: 3 });
         let first: f64 = t.rows.first().unwrap()[4].parse().unwrap();
         let last: f64 = t.rows.last().unwrap()[4].parse().unwrap();
-        assert!(
-            last > first,
-            "naive/CSEEK ratio should grow with Δ: {first} -> {last}"
-        );
+        assert!(last > first, "naive/CSEEK ratio should grow with Δ: {first} -> {last}");
     }
 }

@@ -39,9 +39,7 @@ fn run_count_trials(m: usize, params: &CountParams, trials: usize, seed: u64) ->
         let mut eng = Engine::new(&net, seed.wrapping_add(t as u64), |ctx| {
             let role = if ctx.id == NodeId(0) { Role::Listener } else { Role::Broadcaster };
             // The shared channel's local label differs per node.
-            let ch = net
-                .global_to_local(ctx.id, GlobalChannel(0))
-                .unwrap_or(LocalChannel(0));
+            let ch = net.global_to_local(ctx.id, GlobalChannel(0)).unwrap_or(LocalChannel(0));
             CountProtocol::new(ctx.id, role, sched, ch)
         });
         eng.run_to_completion(sched.total_slots());
@@ -64,10 +62,8 @@ pub fn e1_count_accuracy(cfg: &ExpConfig) -> Table {
         let mean = est.iter().sum::<u64>() as f64 / est.len() as f64;
         let min = *est.iter().min().unwrap();
         let max = *est.iter().max().unwrap();
-        let in_range = est
-            .iter()
-            .filter(|&&e| e as usize >= m && e as usize <= 4 * m)
-            .count() as f64
+        let in_range = est.iter().filter(|&&e| e as usize >= m && e as usize <= 4 * m).count()
+            as f64
             / est.len() as f64;
         t.push_row(vec![
             m.to_string(),
@@ -78,9 +74,7 @@ pub fn e1_count_accuracy(cfg: &ExpConfig) -> Table {
             slots.to_string(),
         ]);
     }
-    t.push_note(
-        "Paper claim: estimate ∈ [m, 4m] w.h.p.; runtime O(lg² n) independent of m.",
-    );
+    t.push_note("Paper claim: estimate ∈ [m, 4m] w.h.p.; runtime O(lg² n) independent of m.");
     t
 }
 
@@ -97,10 +91,8 @@ pub fn a2_round_length(cfg: &ExpConfig) -> Table {
         let params = CountParams { round_len_factor: a, min_round_len: 2, threshold: 0.08 };
         let (est, slots) = run_count_trials(m, &params, trials, cfg.seed ^ 0xA2);
         let mean = est.iter().sum::<u64>() as f64 / est.len() as f64;
-        let in_range = est
-            .iter()
-            .filter(|&&e| e as usize >= m && e as usize <= 4 * m)
-            .count() as f64
+        let in_range = est.iter().filter(|&&e| e as usize >= m && e as usize <= 4 * m).count()
+            as f64
             / est.len() as f64;
         let model = ModelInfo { n: 256, c: 2, delta: 256, k: 1, kmax: 1 };
         let sched = params.schedule(&model);

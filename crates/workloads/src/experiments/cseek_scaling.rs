@@ -178,7 +178,7 @@ mod tests {
 
     #[test]
     fn e2_quick_has_positive_slope_near_two() {
-        let t = e2_vs_c(&ExpConfig { quick: true, trials: 3, seed: 5 });
+        let t = e2_vs_c(&ExpConfig { quick: true, trials: 8, seed: 5 });
         assert_eq!(t.rows.len(), 2);
         let note = t.notes.first().expect("slope note");
         let slope: f64 = note

@@ -57,11 +57,8 @@ pub fn e9_hitting_game(cfg: &ExpConfig) -> Table {
 
 /// E9b: CSEEK as a game player via the Lemma 11 reduction.
 pub fn e9_reduction(cfg: &ExpConfig) -> Table {
-    let cases: &[(usize, usize)] = if cfg.quick {
-        &[(8, 2)]
-    } else {
-        &[(8, 1), (8, 2), (16, 2), (16, 4), (32, 4)]
-    };
+    let cases: &[(usize, usize)] =
+        if cfg.quick { &[(8, 2)] } else { &[(8, 1), (8, 2), (16, 2), (16, 4), (32, 4)] };
     let trials = if cfg.quick { 5 } else { 30 };
     let mut t = Table::new(
         "E9b (Lemma 11 + Thm 13): CSEEK simulated as a hitting-game player",
@@ -73,7 +70,8 @@ pub fn e9_reduction(cfg: &ExpConfig) -> Table {
         let mut total = 0u64;
         let mut wins = 0u64;
         for trial in 0..trials {
-            let mut rng = stream_rng(cfg.seed ^ 0x9B, trial as u64 * 7919 + c as u64 * 31 + k as u64);
+            let mut rng =
+                stream_rng(cfg.seed ^ 0x9B, trial as u64 * 7919 + c as u64 * 31 + k as u64);
             let mut game = HittingGame::new(c, k, &mut rng);
             let mut player = ReductionPlayer::new(
                 CSeek::new(NodeId(0), sched, false),

@@ -20,15 +20,7 @@ pub fn e8_gcast_vs_naive(cfg: &ExpConfig) -> Vec<Table> {
     let core = 1;
     let mut t = Table::new(
         "E8 (Thm 9): global broadcast on paths — CGCAST vs naive (c = 8, k = 1, Δ = 2)",
-        &[
-            "D",
-            "CGCAST total",
-            "CGCAST setup",
-            "CGCAST dissem",
-            "CGCAST ok",
-            "naive",
-            "naive ok",
-        ],
+        &["D", "CGCAST total", "CGCAST setup", "CGCAST dissem", "CGCAST ok", "naive", "naive ok"],
     );
     let mut ds = Vec::new();
     let mut dissems = Vec::new();
@@ -41,10 +33,7 @@ pub fn e8_gcast_vs_naive(cfg: &ExpConfig) -> Vec<Table> {
             cfg.seed,
         );
         let built = scn.build().expect("scenario builds");
-        let params = GcastParams {
-            dissemination_phases: d as u64,
-            ..Default::default()
-        };
+        let params = GcastParams { dissemination_phases: d as u64, ..Default::default() };
         let sched = params.schedule(&built.model);
         let setup = sched.total_slots() - sched.dissemination_slots();
         let trials = cgcast_trials(&built.net, sched, cfg.trials(), cfg.seed ^ 0xE8);
@@ -52,8 +41,13 @@ pub fn e8_gcast_vs_naive(cfg: &ExpConfig) -> Vec<Table> {
         let dissem = mean.map(|m| (m - setup as f64).max(0.0));
 
         let naive_slots = NaiveBroadcast::schedule_slots(&built.model, d as u64, 8.0);
-        let ntrials =
-            naive_broadcast_trials(&built.net, c as u16, naive_slots, cfg.trials(), cfg.seed ^ 0xE8);
+        let ntrials = naive_broadcast_trials(
+            &built.net,
+            c as u16,
+            naive_slots,
+            cfg.trials(),
+            cfg.seed ^ 0xE8,
+        );
         let (nmean, nfrac) = summarize_trials(&ntrials);
 
         if let (Some(di), Some(nm)) = (dissem, nmean) {

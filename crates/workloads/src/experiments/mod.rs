@@ -11,14 +11,14 @@
 
 pub mod ablation;
 pub mod compare;
-pub mod robustness;
 pub mod count;
 pub mod cseek_scaling;
-pub mod gcast;
 pub mod game;
+pub mod gcast;
 pub mod kseek;
 pub mod pure_coloring;
 pub mod rendezvous;
+pub mod robustness;
 pub mod tree;
 
 use crate::table::Table;

@@ -17,11 +17,8 @@ fn line_graph_of(topo: &Topology, seed: u64) -> (LineGraph, usize) {
     let mut rng = stream_rng(seed, 0);
     let edges_raw = topo.edges(&mut rng);
     let g = Graph::from_edges(topo.num_nodes(), &edges_raw);
-    let edges: Vec<Edge> = g
-        .edges()
-        .into_iter()
-        .map(|(a, b)| Edge::new(NodeId(a), NodeId(b)))
-        .collect();
+    let edges: Vec<Edge> =
+        g.edges().into_iter().map(|(a, b)| Edge::new(NodeId(a), NodeId(b))).collect();
     (LineGraph::of(&edges), g.max_degree())
 }
 
@@ -83,7 +80,15 @@ pub fn a3_coloring_comparison(cfg: &ExpConfig) -> Table {
     };
     let mut t = Table::new(
         "A3 (ablation): edge-coloring quality — Luby-2Δ (distributed) vs greedy (centralized)",
-        &["topology", "edges", "Δ", "luby colors≤", "luby phases", "greedy colors", "tight-palette phases"],
+        &[
+            "topology",
+            "edges",
+            "Δ",
+            "luby colors≤",
+            "luby phases",
+            "greedy colors",
+            "tight-palette phases",
+        ],
     );
     for (name, topo) in topos {
         let (lg, delta) = line_graph_of(&topo, cfg.seed);
@@ -109,11 +114,7 @@ pub fn a3_coloring_comparison(cfg: &ExpConfig) -> Table {
             luby_used.to_string(),
             res.phases_used.to_string(),
             greedy_used.to_string(),
-            if res_tight.complete {
-                res_tight.phases_used.to_string()
-            } else {
-                "DNF".into()
-            },
+            if res_tight.complete { res_tight.phases_used.to_string() } else { "DNF".into() },
         ]);
     }
     t.push_note(

@@ -34,14 +34,10 @@ fn measure_pair_times(net: &Network, seed: u64) -> PairTimes {
     let mut eng = Engine::new(net, seed, |ctx| CSeek::new(ctx.id, sched, true));
     eng.run_to_completion(sched.total_slots());
     let outputs = eng.into_outputs();
-    let histories: Vec<&Vec<crn_sim::LocalChannel>> = outputs
-        .iter()
-        .map(|o| o.history.as_ref().expect("history recorded"))
-        .collect();
-    let first_heard: Vec<BTreeMap<NodeId, u64>> = outputs
-        .iter()
-        .map(|o| o.first_heard.iter().copied().collect())
-        .collect();
+    let histories: Vec<&Vec<crn_sim::LocalChannel>> =
+        outputs.iter().map(|o| o.history.as_ref().expect("history recorded")).collect();
+    let first_heard: Vec<BTreeMap<NodeId, u64>> =
+        outputs.iter().map(|o| o.first_heard.iter().copied().collect()).collect();
 
     let mut meeting = Vec::new();
     let mut hearing = Vec::new();
@@ -61,10 +57,7 @@ fn measure_pair_times(net: &Network, seed: u64) -> PairTimes {
             meeting.push(t as f64);
         }
         // First slot in which either endpoint actually heard the other.
-        let heard = match (
-            first_heard[u.index()].get(&v),
-            first_heard[v.index()].get(&u),
-        ) {
+        let heard = match (first_heard[u.index()].get(&v), first_heard[v.index()].get(&u)) {
             (Some(&x), Some(&y)) => Some(x.min(y)),
             (Some(&x), None) | (None, Some(&x)) => Some(x),
             (None, None) => None,
@@ -98,8 +91,7 @@ pub fn e11_rendezvous_gap(cfg: &ExpConfig) -> Table {
         let mut hear_all = Vec::new();
         let mut unheard = 0usize;
         for trial in 0..cfg.trials() {
-            let times =
-                measure_pair_times(&built.net, cfg.seed ^ 0x11E ^ ((trial as u64) << 20));
+            let times = measure_pair_times(&built.net, cfg.seed ^ 0x11E ^ ((trial as u64) << 20));
             meet_all.extend(times.meeting);
             hear_all.extend(times.hearing);
             unheard += times.unheard_pairs;
@@ -137,15 +129,9 @@ mod tests {
         for row in &t.rows {
             let meeting: f64 = row[1].parse().unwrap();
             let hearing: f64 = row[2].parse().unwrap();
-            assert!(
-                hearing >= meeting,
-                "hearing cannot precede meeting: {row:?}"
-            );
+            assert!(hearing >= meeting, "hearing cannot precede meeting: {row:?}");
             let gap: f64 = row[3].parse().unwrap();
-            assert!(
-                gap >= 1.3,
-                "a substantial rendezvous-vs-exchange gap must exist: {row:?}"
-            );
+            assert!(gap >= 1.3, "a substantial rendezvous-vs-exchange gap must exist: {row:?}");
         }
     }
 }

@@ -46,12 +46,8 @@ pub fn e10_tree_lower_bound(cfg: &ExpConfig) -> Table {
                 ..Default::default()
             };
             let sched = params.schedule(&model);
-            let trials = crate::runner::cgcast_trials(
-                &net,
-                sched,
-                cfg.trials().min(3),
-                cfg.seed ^ 0xE10,
-            );
+            let trials =
+                crate::runner::cgcast_trials(&net, sched, cfg.trials().min(3), cfg.seed ^ 0xE10);
             summarize_trials(&trials).0
         } else {
             None
@@ -84,10 +80,7 @@ mod tests {
         let t = e10_tree_lower_bound(&ExpConfig { quick: true, trials: 1, seed: 13 });
         for row in &t.rows {
             let ratio: f64 = row[5].parse().unwrap();
-            assert!(
-                (0.5..=2.5).contains(&ratio),
-                "oracle should track the bound: {row:?}"
-            );
+            assert!((0.5..=2.5).contains(&ratio), "oracle should track the bound: {row:?}");
         }
     }
 }

@@ -35,30 +35,52 @@ impl Trial {
 /// cheap, fine enough for timing resolution.
 pub const PROBE_EVERY: u64 = 8;
 
+/// Runs `trials` independent trial closures on a scoped worker pool.
+///
+/// Work is distributed by an atomic claim counter (chunked work stealing)
+/// instead of static striping: each worker repeatedly claims the next
+/// unclaimed index, so a straggler trial (slow seed, big network) cannot
+/// leave the other workers idle the way fixed stripes can. Because every
+/// trial derives its own RNG stream from its index, results are a pure
+/// function of the index — the claim order, worker count, and scheduling
+/// jitter never affect the output (see
+/// `trial_results_are_independent_of_thread_count`).
 fn run_parallel<T: Send>(trials: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(trials.max(1));
+    let threads =
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(trials.max(1));
+    run_parallel_with_threads(threads, trials, f)
+}
+
+/// [`run_parallel`] with an explicit worker count (exposed for the
+/// thread-count-independence regression test).
+pub(crate) fn run_parallel_with_threads<T: Send>(
+    threads: usize,
+    trials: usize,
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let threads = threads.clamp(1, trials.max(1));
     let f = &f;
+    let next = AtomicUsize::new(0);
+    let next = &next;
     let mut results: Vec<(usize, T)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
-            .map(|t| {
+            .map(|_| {
                 scope.spawn(move || {
                     let mut local = Vec::new();
-                    let mut i = t;
-                    while i < trials {
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= trials {
+                            break;
+                        }
                         local.push((i, f(i)));
-                        i += threads;
                     }
                     local
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("trial thread panicked"))
-            .collect()
+        handles.into_iter().flat_map(|h| h.join().expect("trial thread panicked")).collect()
     });
     results.sort_by_key(|&(i, _)| i);
     results.into_iter().map(|(_, r)| r).collect()
@@ -178,17 +200,10 @@ pub fn naive_broadcast_trials(
 
 /// Mean completion time of successful trials, and the success fraction.
 pub fn summarize_trials(trials: &[Trial]) -> (Option<f64>, f64) {
-    let times: Vec<f64> = trials
-        .iter()
-        .filter_map(|t| t.completed_at)
-        .map(|t| t as f64)
-        .collect();
+    let times: Vec<f64> = trials.iter().filter_map(|t| t.completed_at).map(|t| t as f64).collect();
     let frac = times.len() as f64 / trials.len().max(1) as f64;
-    let mean = if times.is_empty() {
-        None
-    } else {
-        Some(times.iter().sum::<f64>() / times.len() as f64)
-    };
+    let mean =
+        if times.is_empty() { None } else { Some(times.iter().sum::<f64>() / times.len() as f64) };
     (mean, frac)
 }
 
@@ -231,13 +246,37 @@ mod tests {
     }
 
     #[test]
-    fn summarize_handles_failures() {
-        let t = Trial {
-            seed: 0,
-            completed_at: None,
-            slots_run: 10,
-            counters: Counters::default(),
+    fn trial_results_are_independent_of_thread_count() {
+        // The work-stealing claim order varies with the worker count and
+        // scheduling, but trial outputs are a pure function of the trial
+        // index — so any thread count must produce byte-identical results.
+        let built = Scenario::new(
+            "threads",
+            Topology::Cycle { n: 6 },
+            ChannelModel::SharedCore { c: 3, core: 2 },
+            9,
+        )
+        .build()
+        .unwrap();
+        let sched = SeekParams::default().schedule(&built.model);
+        let run = |threads: usize| {
+            run_parallel_with_threads(threads, 7, |i| {
+                let seed = 1000u64.wrapping_add(i as u64);
+                let mut eng =
+                    Engine::new(&built.net, seed, |ctx: NodeCtx| CSeek::new(ctx.id, sched, false));
+                let outcome = eng.run(sched.total_slots(), None);
+                (outcome.slots_run, eng.counters())
+            })
         };
+        let single = run(1);
+        for threads in [2, 3, 8, 32] {
+            assert_eq!(run(threads), single, "{threads} threads diverge from 1");
+        }
+    }
+
+    #[test]
+    fn summarize_handles_failures() {
+        let t = Trial { seed: 0, completed_at: None, slots_run: 10, counters: Counters::default() };
         let (mean, frac) = summarize_trials(&[t]);
         assert_eq!(mean, None);
         assert_eq!(frac, 0.0);

@@ -27,14 +27,13 @@ pub struct Scenario {
 
 impl Scenario {
     /// Creates a scenario with the given pieces.
-    pub fn new(name: impl Into<String>, topology: Topology, channels: ChannelModel, seed: u64) -> Self {
-        Scenario {
-            name: name.into(),
-            topology,
-            channels,
-            prune_min_overlap: None,
-            seed,
-        }
+    pub fn new(
+        name: impl Into<String>,
+        topology: Topology,
+        channels: ChannelModel,
+        seed: u64,
+    ) -> Self {
+        Scenario { name: name.into(), topology, channels, prune_min_overlap: None, seed }
     }
 
     /// Enables overlap-based edge pruning (for [`ChannelModel::RandomPool`]).

@@ -58,11 +58,8 @@ impl Table {
         let mut out = String::new();
         let _ = writeln!(out, "### {}\n", self.title);
         let render_row = |cells: &[String], widths: &[usize]| -> String {
-            let padded: Vec<String> = cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:<w$}"))
-                .collect();
+            let padded: Vec<String> =
+                cells.iter().zip(widths).map(|(c, w)| format!("{c:<w$}")).collect();
             format!("| {} |", padded.join(" | "))
         };
         let _ = writeln!(out, "{}", render_row(&self.columns, &widths));
@@ -93,11 +90,7 @@ impl Table {
             self.columns.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
         );
         for row in &self.rows {
-            let _ = writeln!(
-                out,
-                "{}",
-                row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
-            );
+            let _ = writeln!(out, "{}", row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
         }
         out
     }

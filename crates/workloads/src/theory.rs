@@ -74,9 +74,6 @@ mod tests {
     fn gcast_shape_adds_diameter_term() {
         let model = m(8, 2, 2, 4);
         assert!(cgcast_shape(&model, 10) > cgcast_shape(&model, 1));
-        assert_eq!(
-            cgcast_shape(&model, 10) - cgcast_shape(&model, 0),
-            10.0 * 4.0
-        );
+        assert_eq!(cgcast_shape(&model, 10) - cgcast_shape(&model, 0), 10.0 * 4.0);
     }
 }

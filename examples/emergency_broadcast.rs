@@ -63,5 +63,8 @@ fn main() {
     }
     let colored: usize = outputs.iter().map(|o| o.colored_simulated).sum();
     let simulated: usize = outputs.iter().map(|o| o.simulated_edges).sum();
-    println!("\nedge coloring: {colored}/{simulated} simulated edges colored (palette 2Δ = {})", sched.palette);
+    println!(
+        "\nedge coloring: {colored}/{simulated} simulated edges colored (palette 2Δ = {})",
+        sched.palette
+    );
 }

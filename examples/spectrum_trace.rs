@@ -24,11 +24,7 @@ fn main() {
     let s = built.net.stats();
     let model = ModelInfo::from_stats(&s);
     // A deliberately light schedule so the timeline fits a terminal.
-    let params = SeekParams {
-        part1_factor: 1.0,
-        part2_factor: 6.0,
-        ..Default::default()
-    };
+    let params = SeekParams { part1_factor: 1.0, part2_factor: 6.0, ..Default::default() };
     let sched = params.schedule(&model);
     println!(
         "CSEEK on a crowded star (Δ = {}, c = {}): {} slots ({} part-1 steps, {} part-2 steps)\n",
@@ -39,9 +35,8 @@ fn main() {
         sched.part2_steps
     );
 
-    let mut engine = Engine::new(&built.net, 5, |ctx| {
-        Recorded::new(CSeek::new(ctx.id, sched, false))
-    });
+    let mut engine =
+        Engine::new(&built.net, 5, |ctx| Recorded::new(CSeek::new(ctx.id, sched, false)));
     engine.run_to_completion(sched.total_slots());
     let outputs = engine.into_outputs();
 
@@ -71,10 +66,7 @@ fn main() {
 
     let hub_found = hub_out.neighbors.len();
     println!("\nhub discovered {hub_found}/{} leaves", s.delta);
-    let everyone: usize = outputs
-        .iter()
-        .map(|(o, _)| o.neighbors.len())
-        .sum();
+    let everyone: usize = outputs.iter().map(|(o, _)| o.neighbors.len()).sum();
     println!("total directed discoveries: {everyone}/{}", 2 * s.edges);
     let _ = NodeId(0);
 }

@@ -43,7 +43,11 @@ fn main() {
     println!("  devices             : {}", s.n);
     println!("  licensed band       : {} channels, {} primary users", cfg.universe, cfg.primaries);
     println!("  channels per device : {}", s.c);
-    println!("  in-range links      : {}   usable (≥{k_required} shared): {}", dep.edges.len(), s.edges);
+    println!(
+        "  in-range links      : {}   usable (≥{k_required} shared): {}",
+        dep.edges.len(),
+        s.edges
+    );
     println!("  overlap k / kmax    : {} / {}", s.k, s.kmax);
     println!("  max degree Δ        : {}", s.delta);
     println!("  connected           : {}", s.connected);

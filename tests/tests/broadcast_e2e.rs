@@ -59,11 +59,8 @@ fn gcast_informs_everyone_on_caterpillar() {
 
 #[test]
 fn gcast_coloring_is_globally_proper() {
-    let (net, outputs) = run_gcast(
-        Topology::Cycle { n: 8 },
-        ChannelModel::SharedCore { c: 3, core: 2 },
-        13,
-    );
+    let (net, outputs) =
+        run_gcast(Topology::Cycle { n: 8 }, ChannelModel::SharedCore { c: 3, core: 2 }, 13);
     // Rebuild the edge->color map from per-node outputs via a second run
     // of the protocol state (known_colors is not exposed in the output, so
     // use discovered/dedicated counts as structural checks, and validate
@@ -77,14 +74,10 @@ fn gcast_coloring_is_globally_proper() {
 
 #[test]
 fn gcast_edge_colors_agree_between_endpoints() {
-    let (net, model) = build(
-        Topology::Grid { rows: 2, cols: 4 },
-        ChannelModel::SharedCore { c: 3, core: 2 },
-        14,
-    );
+    let (net, model) =
+        build(Topology::Grid { rows: 2, cols: 4 }, ChannelModel::SharedCore { c: 3, core: 2 }, 14);
     let d = net.stats().diameter.unwrap();
-    let sched =
-        GcastParams { dissemination_phases: d, ..Default::default() }.schedule(&model);
+    let sched = GcastParams { dissemination_phases: d, ..Default::default() }.schedule(&model);
     let mut eng = Engine::new(&net, 1414, |ctx| {
         CGCast::new(ctx.id, sched, (ctx.id == NodeId(0)).then_some(1))
     });
@@ -113,11 +106,8 @@ fn gcast_edge_colors_agree_between_endpoints() {
 #[test]
 fn naive_broadcast_agrees_with_gcast_on_delivery() {
     use crn_core::baselines::NaiveBroadcast;
-    let (net, model) = build(
-        Topology::Path { n: 6 },
-        ChannelModel::SharedCore { c: 3, core: 2 },
-        15,
-    );
+    let (net, model) =
+        build(Topology::Path { n: 6 }, ChannelModel::SharedCore { c: 3, core: 2 }, 15);
     let slots = NaiveBroadcast::schedule_slots(&model, 5, 8.0);
     let mut eng = Engine::new(&net, 5151, |ctx| {
         NaiveBroadcast::new(ctx.id, model.c as u16, slots, (ctx.id == NodeId(0)).then_some(2))

@@ -74,11 +74,8 @@ fn cseek_on_random_geometric_emergent_overlap() {
 
 #[test]
 fn full_pipeline_is_deterministic() {
-    let (net, model) = build(
-        Topology::Cycle { n: 10 },
-        ChannelModel::SharedCore { c: 4, core: 2 },
-        6,
-    );
+    let (net, model) =
+        build(Topology::Cycle { n: 10 }, ChannelModel::SharedCore { c: 4, core: 2 }, 6);
     let sched = SeekParams::default().schedule(&model);
     let run = |seed: u64| {
         let mut eng = Engine::new(&net, seed, |ctx| CSeek::new(ctx.id, sched, false));
@@ -98,11 +95,8 @@ fn discovery_time_improves_with_more_overlap() {
     use crn_workloads::runner::{discovery_trials, summarize_trials};
     let mut means = Vec::new();
     for k in [1usize, 4] {
-        let (net, model) = build(
-            Topology::Cycle { n: 12 },
-            ChannelModel::SharedCore { c: 8, core: k },
-            7,
-        );
+        let (net, model) =
+            build(Topology::Cycle { n: 12 }, ChannelModel::SharedCore { c: 8, core: k }, 7);
         let sched = SeekParams::default().schedule(&model);
         let trials = discovery_trials(
             &net,
@@ -115,10 +109,5 @@ fn discovery_time_improves_with_more_overlap() {
         assert_eq!(frac, 1.0, "k={k} must complete");
         means.push(mean.unwrap());
     }
-    assert!(
-        means[1] < means[0],
-        "k=4 ({}) should be faster than k=1 ({})",
-        means[1],
-        means[0]
-    );
+    assert!(means[1] < means[0], "k=4 ({}) should be faster than k=1 ({})", means[1], means[0]);
 }

@@ -1,0 +1,171 @@
+//! Differential equivalence tests for the engine's slot resolvers.
+//!
+//! The optimized resolution strategies (broadcaster-centric CSR sweep,
+//! listener-centric word intersection, and the Auto heuristic that mixes
+//! them per channel) must be *observationally identical* to the naive
+//! reference resolver — bit-for-bit equal counters, per-slot feedback
+//! traces, and outputs — on every network, seed, and action mix. This file
+//! drives randomized networks through all four resolvers side by side.
+
+use crn_sim::channels::ChannelModel;
+use crn_sim::engine::Resolver;
+use crn_sim::topology::Topology;
+use crn_sim::{Action, Counters, Engine, Feedback, LocalChannel, Network, Protocol, SlotCtx};
+use rand::Rng;
+
+/// Owned snapshot of one slot's feedback, so whole traces can be compared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Obs {
+    Sent,
+    Heard(u64),
+    Silence,
+    Slept,
+}
+
+/// Randomized traffic: each node picks a random channel and a random role
+/// each slot, with a per-scenario broadcast probability; records every
+/// feedback it observes.
+struct Chatter {
+    c: u16,
+    p_bcast: f64,
+    id: u32,
+    trace: Vec<Obs>,
+}
+
+impl Protocol for Chatter {
+    type Message = u64;
+    type Output = Vec<Obs>;
+
+    fn act(&mut self, ctx: &mut SlotCtx<'_>) -> Action<u64> {
+        let channel = LocalChannel(ctx.rng.gen_range(0..self.c));
+        if ctx.rng.gen_bool(self.p_bcast) {
+            // Message encodes (sender, slot) so a delivery from the wrong
+            // broadcaster or slot can never compare equal.
+            Action::Broadcast { channel, message: ((self.id as u64) << 32) | ctx.slot.0 }
+        } else if ctx.rng.gen_bool(0.9) {
+            Action::Listen { channel }
+        } else {
+            Action::Sleep
+        }
+    }
+
+    fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, fb: Feedback<'_, u64>) {
+        self.trace.push(match fb {
+            Feedback::Sent => Obs::Sent,
+            Feedback::Heard(m) => Obs::Heard(*m),
+            Feedback::Silence => Obs::Silence,
+            Feedback::Slept => Obs::Slept,
+        });
+    }
+
+    fn is_complete(&self) -> bool {
+        false
+    }
+
+    fn into_output(self) -> Vec<Obs> {
+        self.trace
+    }
+}
+
+fn build_network(topology: &Topology, channels: &ChannelModel, seed: u64) -> Network {
+    Network::generate(topology, channels, seed).expect("scenario network must build")
+}
+
+fn run(
+    net: &Network,
+    resolver: Resolver,
+    seed: u64,
+    c: u16,
+    p_bcast: f64,
+    slots: u64,
+) -> (Counters, Vec<Vec<Obs>>) {
+    let mut eng = Engine::with_resolver(net, seed, resolver, |ctx| Chatter {
+        c,
+        p_bcast,
+        id: ctx.id.0,
+        trace: Vec::new(),
+    });
+    eng.run_to_completion(slots);
+    (eng.counters(), eng.into_outputs())
+}
+
+/// The scenario matrix: all four resolvers over randomized topologies,
+/// channel assignments, broadcast densities, and seeds.
+#[test]
+fn all_resolvers_agree_on_randomized_networks() {
+    let scenarios: Vec<(Topology, ChannelModel, f64)> = vec![
+        // Dense hub: the broadcaster-centric regime.
+        (Topology::Star { leaves: 40 }, ChannelModel::Identical { c: 2 }, 0.7),
+        // Everyone adjacent, few channels: maximal per-channel crowding.
+        (Topology::Complete { n: 24 }, ChannelModel::Identical { c: 3 }, 0.5),
+        // Sparse ring with private channels: the listener-centric regime.
+        (Topology::Cycle { n: 30 }, ChannelModel::SharedCore { c: 4, core: 2 }, 0.3),
+        // Geometric radio topology, mixed overlaps.
+        (
+            Topology::RandomGeometric { n: 60, radius: 0.35 },
+            ChannelModel::SharedCore { c: 3, core: 1 },
+            0.5,
+        ),
+        // Grid with group structure.
+        (
+            Topology::Grid { rows: 6, cols: 6 },
+            ChannelModel::GroupOverlay { c: 4, k: 1, kmax: 2, groups: 3 },
+            0.4,
+        ),
+    ];
+
+    for (si, (topology, channels, p_bcast)) in scenarios.into_iter().enumerate() {
+        for seed in [3u64, 17, 91] {
+            let net = build_network(&topology, &channels, seed.wrapping_mul(7919) + si as u64);
+            let c = net.channels_per_node() as u16;
+            let slots = 64;
+            let (ref_counters, ref_traces) = run(&net, Resolver::Naive, seed, c, p_bcast, slots);
+            assert!(
+                ref_counters.deliveries > 0,
+                "scenario {si} seed {seed} never delivers — not probing anything"
+            );
+            for resolver in
+                [Resolver::Auto, Resolver::BroadcasterCentric, Resolver::ListenerCentric]
+            {
+                let (counters, traces) = run(&net, resolver, seed, c, p_bcast, slots);
+                assert_eq!(
+                    counters, ref_counters,
+                    "scenario {si} seed {seed}: {resolver:?} counters diverge from Naive"
+                );
+                assert_eq!(
+                    traces, ref_traces,
+                    "scenario {si} seed {seed}: {resolver:?} feedback traces diverge from Naive"
+                );
+            }
+        }
+    }
+}
+
+/// Mid-run resolver switches must not perturb the execution: the stream of
+/// observations is a function of (network, seed) only.
+#[test]
+fn switching_resolvers_mid_run_changes_nothing() {
+    let net = build_network(
+        &Topology::RandomGeometric { n: 50, radius: 0.4 },
+        &ChannelModel::SharedCore { c: 3, core: 2 },
+        1234,
+    );
+    let c = net.channels_per_node() as u16;
+
+    let (ref_counters, ref_traces) = run(&net, Resolver::Naive, 5, c, 0.5, 96);
+
+    let mut eng = Engine::with_resolver(&net, 5, Resolver::Naive, |ctx| Chatter {
+        c,
+        p_bcast: 0.5,
+        id: ctx.id.0,
+        trace: Vec::new(),
+    });
+    let rotation =
+        [Resolver::BroadcasterCentric, Resolver::ListenerCentric, Resolver::Auto, Resolver::Naive];
+    for i in 0..96 {
+        eng.set_resolver(rotation[i % rotation.len()]);
+        eng.step();
+    }
+    assert_eq!(eng.counters(), ref_counters);
+    assert_eq!(eng.into_outputs(), ref_traces);
+}

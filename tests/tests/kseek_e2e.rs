@@ -48,11 +48,8 @@ fn ckseek_without_delta_khat_estimate_still_works() {
 #[test]
 fn khat_equals_k_degenerates_to_full_discovery() {
     use crn_core::discovery::outputs_complete;
-    let (net, model) = build(
-        Topology::Path { n: 6 },
-        ChannelModel::SharedCore { c: 4, core: 2 },
-        23,
-    );
+    let (net, model) =
+        build(Topology::Path { n: 6 }, ChannelModel::SharedCore { c: 4, core: 2 }, 23);
     let sched = SeekParams::default().kseek_schedule(&model, model.k, Some(model.delta));
     let mut eng = Engine::new(&net, 99, |ctx| CSeek::new(ctx.id, sched, false));
     eng.run_to_completion(sched.total_slots());

@@ -62,9 +62,8 @@ fn oracle_on_tree_matches_lower_bound_shape() {
         let b = c - 1;
         let net = lower_bound_tree(c, c, depth).unwrap();
         let max_slots = ((depth + 1) * b) as u64 + 8;
-        let mut eng = Engine::new(&net, 1, |ctx| {
-            OracleTreeBroadcast::new(&net, ctx.id, b, 5, max_slots)
-        });
+        let mut eng =
+            Engine::new(&net, 1, |ctx| OracleTreeBroadcast::new(&net, ctx.id, b, 5, max_slots));
         eng.run_to_completion(max_slots);
         let outs = eng.into_outputs();
         let worst = outs.iter().filter_map(|&(_, at)| at).max().unwrap();

@@ -10,8 +10,7 @@ use crn_lowerbounds::game::HittingGame;
 use crn_sim::channels::{overlap_size, shuffle_local_labels, ChannelModel};
 use crn_sim::rng::stream_rng;
 use crn_sim::{
-    Action, Edge, Engine, Feedback, GlobalChannel, LocalChannel, Network, NodeId, Protocol,
-    SlotCtx,
+    Action, Edge, Engine, Feedback, GlobalChannel, LocalChannel, Network, NodeId, Protocol, SlotCtx,
 };
 use proptest::prelude::*;
 
@@ -124,41 +123,58 @@ proptest! {
 // Engine vs brute-force oracle
 // ---------------------------------------------------------------------
 
+/// Owned snapshot of a [`Feedback`] (which borrows heard messages from the
+/// engine's action buffer and so cannot be stored directly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Obs {
+    Sent,
+    Heard(u32),
+    Silence,
+    Slept,
+}
+
+impl Obs {
+    fn of(fb: Feedback<'_, u32>) -> Obs {
+        match fb {
+            Feedback::Sent => Obs::Sent,
+            Feedback::Heard(m) => Obs::Heard(*m),
+            Feedback::Silence => Obs::Silence,
+            Feedback::Slept => Obs::Slept,
+        }
+    }
+}
+
 /// Replays a fixed per-slot action script and records all feedback.
 struct Scripted {
     script: Vec<Action<u32>>,
-    got: Vec<Feedback<u32>>,
+    got: Vec<Obs>,
     t: usize,
 }
 
 impl Protocol for Scripted {
     type Message = u32;
-    type Output = Vec<Feedback<u32>>;
+    type Output = Vec<Obs>;
     fn act(&mut self, _ctx: &mut SlotCtx<'_>) -> Action<u32> {
         let a = self.script[self.t].clone();
         self.t += 1;
         a
     }
-    fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, fb: Feedback<u32>) {
-        self.got.push(fb);
+    fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, fb: Feedback<'_, u32>) {
+        self.got.push(Obs::of(fb));
     }
     fn is_complete(&self) -> bool {
         self.t >= self.script.len()
     }
-    fn into_output(self) -> Vec<Feedback<u32>> {
+    fn into_output(self) -> Vec<Obs> {
         self.got
     }
 }
 
 /// Brute-force model semantics: what should node `v` observe in a slot?
-fn oracle_feedback(
-    net: &Network,
-    actions: &[Action<u32>],
-    v: usize,
-) -> Feedback<u32> {
+fn oracle_feedback(net: &Network, actions: &[Action<u32>], v: usize) -> Obs {
     match &actions[v] {
-        Action::Sleep => Feedback::Slept,
-        Action::Broadcast { .. } => Feedback::Sent,
+        Action::Sleep => Obs::Slept,
+        Action::Broadcast { .. } => Obs::Sent,
         Action::Listen { channel } => {
             let g = net.local_to_global(NodeId(v as u32), *channel);
             let mut heard = None;
@@ -172,9 +188,9 @@ fn oracle_feedback(
                 }
             }
             if count == 1 {
-                Feedback::Heard(heard.unwrap())
+                Obs::Heard(heard.unwrap())
             } else {
-                Feedback::Silence
+                Obs::Silence
             }
         }
     }

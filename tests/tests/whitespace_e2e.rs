@@ -78,9 +78,8 @@ fn whitespace_exchange_delivers_all_neighbor_payloads() {
     let net = first_connected_network();
     let model = ModelInfo::from_stats(&net.stats());
     let sched = SeekParams::default().schedule(&model);
-    let mut eng = Engine::new(&net, 31337, |ctx| {
-        Exchange::new(ctx.id, sched, (ctx.id.0 as u64) * 7)
-    });
+    let mut eng =
+        Engine::new(&net, 31337, |ctx| Exchange::new(ctx.id, sched, (ctx.id.0 as u64) * 7));
     eng.run_to_completion(sched.total_slots());
     for out in eng.into_outputs() {
         for w in net.neighbors(out.id) {
