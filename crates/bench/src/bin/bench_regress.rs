@@ -1,0 +1,279 @@
+//! Bench-over-bench regression gate.
+//!
+//! Compares a freshly produced engine bench report against the committed
+//! baseline (`BENCH_engine.json`) and fails — exit code 1 — when any
+//! scenario's median slowed down by more than the tolerance (default 25%).
+//! Run by CI after the quick-mode bench:
+//!
+//! ```text
+//! bench_regress <baseline.json> <new.json> [--tolerance <percent>]
+//! ```
+//!
+//! Scenarios present in only one of the two reports are reported but never
+//! fail the gate (the matrix is allowed to grow). `sharded*` rows are
+//! exempt: their wall-clock depends on idle cores, which CI runners don't
+//! guarantee, so they are tracked but not gated.
+//!
+//! With `--normalize` (what CI passes), each scenario is gated against
+//! `baseline · scale`, where `scale` is the median `new/baseline` ratio
+//! over all gated scenarios. A uniformly faster or slower machine shifts
+//! every ratio equally and cancels out of the comparison, so the gate
+//! measures *per-scenario* regressions even though the committed baseline
+//! and the CI runner are different hardware; a real regression moves one
+//! scenario against the pack and still fails.
+//!
+//! The parser targets exactly the format the criterion shim writes (one
+//! benchmark object per line); it is not a general JSON parser.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Benchmark ids (suffix match) excluded from the gate.
+const SHARDED_EXEMPT: &[&str] = &["sharded2", "sharded4", "sharded8"];
+
+/// One `(group, id) → median_ns` measurement.
+type Report = BTreeMap<(String, String), f64>;
+
+/// Extracts the string value of `"key": "..."` from a JSON object line.
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')?;
+    Some(line[start..start + end].to_string())
+}
+
+/// Extracts the numeric value of `"key": <number>` from a JSON object line.
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Parses a criterion-shim bench report into `(group, id) → median_ns`.
+fn parse_report(text: &str) -> Report {
+    let mut out = Report::new();
+    for line in text.lines() {
+        let (Some(group), Some(id), Some(median)) =
+            (str_field(line, "group"), str_field(line, "id"), num_field(line, "median_ns"))
+        else {
+            continue;
+        };
+        out.insert((group, id), median);
+    }
+    out
+}
+
+fn is_exempt(id: &str) -> bool {
+    SHARDED_EXEMPT.iter().any(|suffix| id.ends_with(suffix))
+}
+
+/// The widest machine-speed spread `--normalize` will attribute to
+/// hardware: the median ratio is clamped to `[1/3, 3]`, so a fleet-wide
+/// *genuine* slowdown beyond `3 × (1 + tolerance)` still fails the gate
+/// instead of being absorbed as "slower machine".
+const MAX_MACHINE_SCALE: f64 = 3.0;
+
+/// The median `new/baseline` ratio over the gated scenarios both reports
+/// share — the machine-speed scale that `--normalize` divides out,
+/// clamped to `[1/MAX_MACHINE_SCALE, MAX_MACHINE_SCALE]`. `1.0` when
+/// fewer than three scenarios overlap (too little signal to estimate a
+/// machine shift).
+fn machine_scale(baseline: &Report, new: &Report) -> f64 {
+    let mut ratios: Vec<f64> = baseline
+        .iter()
+        .filter(|((_, id), _)| !is_exempt(id))
+        .filter_map(|(key, &base_ns)| new.get(key).map(|&new_ns| new_ns / base_ns))
+        .collect();
+    if ratios.len() < 3 {
+        return 1.0;
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("NaN ratio"));
+    ratios[ratios.len() / 2].clamp(1.0 / MAX_MACHINE_SCALE, MAX_MACHINE_SCALE)
+}
+
+/// Compares `new` against `baseline · scale`; returns the regressions as
+/// `(scenario, scaled_baseline_ns, new_ns)` triples.
+fn regressions(
+    baseline: &Report,
+    new: &Report,
+    tolerance_pct: f64,
+    scale: f64,
+) -> Vec<(String, f64, f64)> {
+    let factor = 1.0 + tolerance_pct / 100.0;
+    let mut out = Vec::new();
+    for ((group, id), &base_ns) in baseline {
+        if is_exempt(id) {
+            continue;
+        }
+        match new.get(&(group.clone(), id.clone())) {
+            Some(&new_ns) if new_ns > base_ns * scale * factor => {
+                out.push((format!("{group}/{id}"), base_ns * scale, new_ns));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut tolerance_pct = 25.0;
+    let mut normalize = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance" => {
+                i += 1;
+                tolerance_pct = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--tolerance needs a numeric percent");
+            }
+            "--normalize" => normalize = true,
+            p => paths.push(p.to_string()),
+        }
+        i += 1;
+    }
+    let [baseline_path, new_path] = paths.as_slice() else {
+        eprintln!(
+            "usage: bench_regress <baseline.json> <new.json> [--tolerance <percent>] [--normalize]"
+        );
+        return ExitCode::FAILURE;
+    };
+
+    let read =
+        |p: &str| std::fs::read_to_string(p).unwrap_or_else(|e| panic!("cannot read {p}: {e}"));
+    let baseline = parse_report(&read(baseline_path));
+    let new = parse_report(&read(new_path));
+    println!(
+        "bench_regress: {} baseline scenarios vs {} new, tolerance {tolerance_pct}%",
+        baseline.len(),
+        new.len()
+    );
+    for (group, id) in baseline.keys() {
+        if !new.contains_key(&(group.clone(), id.clone())) {
+            println!("  note: {group}/{id} missing from new report (not gated)");
+        }
+    }
+    for (group, id) in new.keys() {
+        if !baseline.contains_key(&(group.clone(), id.clone())) {
+            println!("  note: {group}/{id} is new (no baseline, not gated)");
+        }
+    }
+
+    let scale = if normalize { machine_scale(&baseline, &new) } else { 1.0 };
+    if normalize {
+        println!("  machine scale (median new/baseline): {scale:.3}");
+    }
+    let bad = regressions(&baseline, &new, tolerance_pct, scale);
+    for (scenario, base_ns, new_ns) in &bad {
+        eprintln!(
+            "  REGRESSION {scenario}: {:.3} ms -> {:.3} ms ({:+.1}%)",
+            base_ns / 1e6,
+            new_ns / 1e6,
+            (new_ns / base_ns - 1.0) * 100.0
+        );
+    }
+    if bad.is_empty() {
+        println!("bench_regress: OK — no scenario regressed beyond {tolerance_pct}%");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench_regress: {} scenario(s) regressed beyond {tolerance_pct}%", bad.len());
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "benchmarks": [
+    {"group": "g", "id": "a/auto", "samples": 10, "median_ns": 1000.0, "mean_ns": 1.0, "min_ns": 1.0, "stddev_ns": 0.1, "throughput_kind": "elements", "throughput_per_iter": 5},
+    {"group": "g", "id": "a/sharded2", "samples": 10, "median_ns": 1000.0, "mean_ns": 1.0, "min_ns": 1.0, "stddev_ns": 0.1, "throughput_kind": null, "throughput_per_iter": null}
+  ]
+}
+"#;
+
+    #[test]
+    fn parses_the_shim_report_format() {
+        let r = parse_report(SAMPLE);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[&("g".into(), "a/auto".into())], 1000.0);
+    }
+
+    #[test]
+    fn flags_only_regressions_beyond_tolerance() {
+        let baseline = parse_report(SAMPLE);
+        let mut new = baseline.clone();
+        // +20% is within the 25% tolerance.
+        new.insert(("g".into(), "a/auto".into()), 1200.0);
+        assert!(regressions(&baseline, &new, 25.0, 1.0).is_empty());
+        // +30% is not.
+        new.insert(("g".into(), "a/auto".into()), 1300.0);
+        let bad = regressions(&baseline, &new, 25.0, 1.0);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].0, "g/a/auto");
+    }
+
+    #[test]
+    fn sharded_rows_and_missing_scenarios_are_not_gated() {
+        let baseline = parse_report(SAMPLE);
+        let mut new = Report::new();
+        // a/auto missing entirely; a/sharded2 regressed 10x — neither gates.
+        new.insert(("g".into(), "a/sharded2".into()), 10_000.0);
+        assert!(regressions(&baseline, &new, 25.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn speedups_pass() {
+        let baseline = parse_report(SAMPLE);
+        let mut new = baseline.clone();
+        new.insert(("g".into(), "a/auto".into()), 500.0);
+        assert!(regressions(&baseline, &new, 25.0, 1.0).is_empty());
+    }
+
+    fn synthetic(medians: &[(&str, f64)]) -> Report {
+        medians.iter().map(|(id, m)| (("g".to_string(), id.to_string()), *m)).collect()
+    }
+
+    #[test]
+    fn normalization_cancels_uniform_machine_shift() {
+        let baseline = synthetic(&[("a", 100.0), ("b", 200.0), ("c", 400.0), ("d", 800.0)]);
+        // A uniformly 2× slower runner: every scenario doubles. Without
+        // normalization that is four "+100%" regressions; with it, none.
+        let uniform = synthetic(&[("a", 200.0), ("b", 400.0), ("c", 800.0), ("d", 1600.0)]);
+        assert_eq!(regressions(&baseline, &uniform, 25.0, 1.0).len(), 4);
+        let scale = machine_scale(&baseline, &uniform);
+        assert!((scale - 2.0).abs() < 1e-9);
+        assert!(regressions(&baseline, &uniform, 25.0, scale).is_empty());
+        // The same slow runner plus one genuine 3× regression on "b":
+        // only "b" moves against the pack.
+        let real = synthetic(&[("a", 200.0), ("b", 1200.0), ("c", 800.0), ("d", 1600.0)]);
+        let scale = machine_scale(&baseline, &real);
+        let bad = regressions(&baseline, &real, 25.0, scale);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].0, "g/b");
+    }
+
+    #[test]
+    fn fleet_wide_catastrophic_slowdown_is_not_absorbed() {
+        let baseline = synthetic(&[("a", 100.0), ("b", 200.0), ("c", 400.0), ("d", 800.0)]);
+        // Every scenario 5× slower: beyond any plausible hardware spread.
+        // The clamp caps the scale at 3, so all four still fail the gate.
+        let slow = synthetic(&[("a", 500.0), ("b", 1000.0), ("c", 2000.0), ("d", 4000.0)]);
+        let scale = machine_scale(&baseline, &slow);
+        assert_eq!(scale, MAX_MACHINE_SCALE);
+        assert_eq!(regressions(&baseline, &slow, 25.0, scale).len(), 4);
+    }
+
+    #[test]
+    fn scale_defaults_to_unity_with_sparse_overlap() {
+        let baseline = synthetic(&[("a", 100.0), ("b", 200.0)]);
+        let new = synthetic(&[("a", 300.0), ("b", 600.0)]);
+        assert_eq!(machine_scale(&baseline, &new), 1.0, "fewer than 3 shared scenarios");
+    }
+}

@@ -26,11 +26,26 @@ pub trait RngCore {
     fn next_u32(&mut self) -> u32 {
         (self.next_u64() >> 32) as u32
     }
+
+    /// Fills `dest` with consecutive outputs of [`RngCore::next_u64`] — the
+    /// bulk-draw entry point for batched consumers (the simulator's action
+    /// collection, Erdős–Rényi edge sampling). The stream is *identical* to
+    /// calling `next_u64` `dest.len()` times: implementations may only
+    /// optimize how the words are produced, never which words.
+    fn fill_u64s(&mut self, dest: &mut [u64]) {
+        for word in dest {
+            *word = self.next_u64();
+        }
+    }
 }
 
 impl<R: RngCore + ?Sized> RngCore for &mut R {
     fn next_u64(&mut self) -> u64 {
         (**self).next_u64()
+    }
+
+    fn fill_u64s(&mut self, dest: &mut [u64]) {
+        (**self).fill_u64s(dest)
     }
 }
 
@@ -64,10 +79,18 @@ impl Standard for bool {
     }
 }
 
+/// Maps one raw 64-bit word to a uniform `f64` in `[0, 1)` — 53 mantissa
+/// bits, the exact mapping [`Rng::gen`]`::<f64>()` and [`Rng::gen_bool`]
+/// apply to each word they draw. Public so bulk consumers of
+/// [`RngCore::fill_u64s`] can reproduce the per-call stream bit-for-bit.
+#[inline]
+pub fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
 impl Standard for f64 {
     fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
-        // 53 uniform mantissa bits in [0, 1).
-        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        unit_f64(rng.next_u64())
     }
 }
 
@@ -86,13 +109,25 @@ pub trait SampleRange<T> {
     fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
 }
 
+/// `draw % span`, with the division strength-reduced to a mask when `span`
+/// is a power of two (the common case in the simulator: channel counts of
+/// 2/4/8). Bit-identical to the plain `%` for every input.
+#[inline]
+fn rem_span(draw: u64, span: u64) -> u64 {
+    if span.is_power_of_two() {
+        draw & (span - 1)
+    } else {
+        draw % span
+    }
+}
+
 macro_rules! impl_sample_range_int {
     ($($t:ty),*) => {$(
         impl SampleRange<$t> for std::ops::Range<$t> {
             fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "cannot sample empty range");
                 let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
-                self.start.wrapping_add((rng.next_u64() % span) as $t)
+                self.start.wrapping_add(rem_span(rng.next_u64(), span) as $t)
             }
         }
         impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
@@ -103,7 +138,7 @@ macro_rules! impl_sample_range_int {
                 if span == u64::MAX {
                     return rng.next_u64() as $t;
                 }
-                start.wrapping_add((rng.next_u64() % (span + 1)) as $t)
+                start.wrapping_add(rem_span(rng.next_u64(), span + 1) as $t)
             }
         }
     )*};
@@ -156,6 +191,44 @@ mod tests {
         let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
         assert_eq!(xs, ys);
         assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn fill_u64s_matches_repeated_next_u64() {
+        let mut a = SmallRng::seed_from_u64(33);
+        let mut b = SmallRng::seed_from_u64(33);
+        let mut bulk = [0u64; 67];
+        a.fill_u64s(&mut bulk);
+        let singles: Vec<u64> = (0..bulk.len()).map(|_| b.next_u64()).collect();
+        assert_eq!(bulk.as_slice(), singles.as_slice());
+        // The two generators must also agree on everything drawn *after*.
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn rem_span_matches_modulo() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        for span in [1u64, 2, 3, 4, 5, 7, 8, 16, 100, 1 << 33, u64::MAX] {
+            for _ in 0..64 {
+                let draw = rng.next_u64();
+                assert_eq!(rem_span(draw, span), draw % span, "span {span} draw {draw}");
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_power_of_two_spans_unchanged() {
+        // The mask fast path must not perturb the stream mapping: pin a few
+        // golden draws for spans the simulator uses constantly.
+        let mut rng = SmallRng::seed_from_u64(0);
+        // The first three raw outputs for seed 0, from the xoshiro256++
+        // reference vector; gen_range(0..2) must be (raw % 2) of each in
+        // order.
+        let raws = [0x53175d61490b23dfu64, 0x61da6f3dc380d507, 0x5c0fdf91ec9a7bfc];
+        for raw in raws {
+            let v: u64 = rng.gen_range(0..2u64);
+            assert_eq!(v, raw % 2);
+        }
     }
 
     #[test]

@@ -50,6 +50,24 @@ impl RngCore for SmallRng {
         s[3] = s[3].rotate_left(45);
         result
     }
+
+    /// Bulk draw with the state held in locals across the whole loop, so the
+    /// optimizer keeps it in registers instead of spilling through `self`
+    /// after every word. Produces exactly the `next_u64` stream.
+    fn fill_u64s(&mut self, dest: &mut [u64]) {
+        let [mut s0, mut s1, mut s2, mut s3] = self.s;
+        for word in dest {
+            *word = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            s2 ^= s0;
+            s3 ^= s1;
+            s1 ^= s2;
+            s0 ^= s3;
+            s2 ^= t;
+            s3 = s3.rotate_left(45);
+        }
+        self.s = [s0, s1, s2, s3];
+    }
 }
 
 #[cfg(test)]

@@ -1,14 +1,26 @@
 //! The synchronous slot-stepped execution engine.
 //!
-//! In each slot the engine: (1) collects one [`Action`] from every node,
-//! grouping broadcasters *and listeners* by dense global channel, (2) for
-//! each touched channel resolves deliveries — a listener hears a message iff
-//! **exactly one** of its neighbors broadcast on the listened channel —
-//! and (3) hands every node its [`Feedback`], with heard messages passed by
-//! reference out of the broadcasters' action buffer (the engine never clones
-//! a payload). This is precisely the communication model of paper §3 (no
-//! collision detection, collision ≡ silence, broadcasters hear only
-//! themselves).
+//! Each slot runs a batched two-stage pipeline:
+//!
+//! 1. **Batched action collection** — every node's [`Protocol::act`] is
+//!    collected into a flat, channel-bucketed action table: local labels are
+//!    translated through a precomputed flat `(node, label) → dense channel`
+//!    table, per-channel populations are counted with epoch-stamped
+//!    first-touch detection (nothing is ever bulk-cleared), and one
+//!    counting-sort scatter produces contiguous per-channel broadcaster and
+//!    listener buckets (CSR layout, ascending node order).
+//! 2. **Per-channel resolution** — for each touched channel, classify every
+//!    listener: it hears a message iff **exactly one** of its neighbors
+//!    broadcast on the listened channel. Channels are independent within a
+//!    slot, so [`Resolver::ParallelSharded`] partitions the touched channels
+//!    across a scoped thread pool (per-thread scratch, deterministic
+//!    cost-balanced partition); every other [`Resolver`] runs the same
+//!    per-channel strategies sequentially.
+//!
+//! Feedback is then delivered with heard messages passed by reference out of
+//! the broadcasters' action buffer (the engine never clones a payload).
+//! This is precisely the communication model of paper §3 (no collision
+//! detection, collision ≡ silence, broadcasters hear only themselves).
 //!
 //! # Slot resolution strategies
 //!
@@ -29,17 +41,23 @@
 //! * The [`Resolver::Auto`] heuristic compares `Σ_b deg(b)` (weighted for
 //!   its scattered writes) against the summed per-listener probe bound
 //!   `Σ_l min(B, deg(l), n/64)` and picks the cheaper side for each channel
-//!   independently.
+//!   independently. [`Resolver::ParallelSharded`] applies the same
+//!   heuristic inside each shard.
 //!
-//! All strategies produce bit-identical counters, feedbacks, and outputs;
-//! `Resolver::Naive` keeps the original quadratic reference implementation
-//! for differential testing and benchmarking.
+//! All strategies — including the sharded one at any thread count — produce
+//! bit-identical counters, feedbacks, and outputs; `Resolver::Naive` keeps
+//! the original quadratic reference implementation for differential testing
+//! and benchmarking. Resolution itself is deterministic (the model has no
+//! channel noise), which is what makes sharding observationally invisible;
+//! any *future* randomized channel effect must draw from the per-(slot,
+//! channel) streams of [`Engine::channel_rng`], which are keyed by what is
+//! being resolved rather than by visit order, preserving that invariant.
 
 use crate::bitset::{BitSet, Intersection};
-use crate::ids::{LocalChannel, NodeId, Slot};
+use crate::ids::{GlobalChannel, LocalChannel, NodeId, Slot};
 use crate::network::Network;
 use crate::protocol::{Action, Feedback, NodeCtx, Protocol, SlotCtx};
-use crate::rng::stream_rng;
+use crate::rng::{channel_slot_rng, stream_rng};
 use rand::rngs::SmallRng;
 
 /// Aggregate event counters for a run, useful for energy/traffic accounting
@@ -93,6 +111,32 @@ pub enum Resolver {
     /// every broadcaster on its channel with a per-pair adjacency test.
     /// Kept for differential testing and as the benchmark baseline.
     Naive,
+    /// Channel-sharded parallel resolution: the touched channels of a slot
+    /// are partitioned across `threads` scoped worker threads (channels are
+    /// independent within a slot; each shard resolves its channels with the
+    /// [`Resolver::Auto`] heuristic and its own scratch). Bit-identical to
+    /// the sequential strategies at any thread count; `threads ≤ 1` falls
+    /// back to sequential `Auto`.
+    ParallelSharded {
+        /// Worker threads for phase-2 resolution.
+        threads: usize,
+    },
+}
+
+impl Resolver {
+    /// Convenience constructor for [`Resolver::ParallelSharded`].
+    pub fn sharded(threads: usize) -> Resolver {
+        Resolver::ParallelSharded { threads }
+    }
+
+    /// The per-channel strategy this resolver applies once a channel is in
+    /// hand (the sharded mode resolves each channel with `Auto`).
+    fn per_channel(self) -> Resolver {
+        match self {
+            Resolver::ParallelSharded { .. } => Resolver::Auto,
+            r => r,
+        }
+    }
 }
 
 /// The execution engine. Owns one protocol instance and one RNG stream per
@@ -133,34 +177,63 @@ pub enum Resolver {
 /// ```
 pub struct Engine<'net, P: Protocol> {
     net: &'net Network,
-    protocols: Vec<Option<P>>,
+    protocols: Vec<P>,
     rngs: Vec<SmallRng>,
     slot: u64,
     counters: Counters,
     resolver: Resolver,
-    // Retained scratch buffers (cleared each slot via the touched list).
-    bcasters_by_channel: Vec<Vec<u32>>,
-    listeners_by_channel: Vec<Vec<u32>>,
-    touched_channels: Vec<u32>,
+    /// Master seed, retained to derive per-(slot, channel) streams.
+    seed: u64,
+    /// Channels per node.
+    c: usize,
+    /// Flat `(node, local label) → dense channel` translation table (`n·c`
+    /// entries) — one lookup in the hot loop instead of a nested-`Vec`
+    /// chase plus a raw-id remap.
+    xlate: Vec<u32>,
+    /// Per-node packed plan for the current slot: touched-channel index with
+    /// [`BCAST_BIT`] for broadcasters, or [`SLEEPING`].
+    node_plan: Vec<u32>,
     actions: Vec<SlotPlan<P::Message>>,
     /// Per-node resolution results for the current slot.
     outcomes: Vec<Outcome>,
-    /// Epoch stamps for `hit_count`/`hit_src`: a cell is live iff its stamp
-    /// equals the current epoch, so nothing is ever bulk-cleared.
-    mark_epoch: Vec<u64>,
-    hit_count: Vec<u32>,
-    hit_src: Vec<u32>,
-    epoch: u64,
-    /// Scratch bit set of the broadcasters on the channel being resolved
-    /// (built and un-built per channel, O(B) each way).
-    bcast_bits: BitSet,
-    /// Densely remapped global channels: `global -> dense index`.
-    dense: Vec<u32>,
+    // --- flat channel-bucketed action table, rebuilt each slot ---
+    /// Dense channels touched this slot, in first-touch order.
+    touched: Vec<u32>,
+    /// Per dense channel: stamp marking it touched in the current slot.
+    chan_epoch: Vec<u64>,
+    /// Per dense channel: its index into `touched` (valid iff stamped).
+    chan_slot: Vec<u32>,
+    slot_epoch: u64,
+    /// Per touched channel: population counts, then scatter cursors.
+    b_cnt: Vec<u32>,
+    l_cnt: Vec<u32>,
+    /// Per touched channel: CSR offsets into the flat node buckets.
+    b_off: Vec<u32>,
+    l_off: Vec<u32>,
+    /// Flat buckets: broadcasters/listeners grouped by touched channel, in
+    /// ascending node order within each group.
+    bcast_nodes: Vec<u32>,
+    listen_nodes: Vec<u32>,
+    /// Resolution scratch: `[0]` serves sequential resolution; grown on
+    /// demand to one per shard thread.
+    scratch: Vec<Scratch>,
+    /// Per-shard outcome buffers (listener-position order), persisted across
+    /// slots to avoid reallocation.
+    shard_out: Vec<Vec<Outcome>>,
+    /// Per-channel cost proxies and group bounds for the sharded partition,
+    /// persisted across slots to avoid reallocation.
+    shard_weights: Vec<u64>,
+    shard_bounds: Vec<(usize, usize)>,
 }
 
 /// A progress probe: evaluated every `interval` slots with the slot count
 /// and the engine; returning `true` stops the run (ground-truth completion).
 pub type Probe<'a, 'b, 'net, P> = (u64, &'a mut (dyn FnMut(u64, &Engine<'net, P>) -> bool + 'b));
+
+/// `node_plan` bit marking a broadcaster.
+const BCAST_BIT: u32 = 1 << 31;
+/// `node_plan` sentinel for a sleeping node.
+const SLEEPING: u32 = u32::MAX;
 
 /// Internal per-node slot plan after local→global translation.
 #[derive(Debug, Clone)]
@@ -185,6 +258,238 @@ enum Outcome {
     Heard(u32),
 }
 
+/// Epoch-stamped per-thread resolution scratch. Sized to the node count;
+/// nothing in it is ever bulk-cleared (a stamp comparison makes stale cells
+/// invisible), so shards pay O(work) rather than O(n) per channel.
+struct Scratch {
+    /// Epoch stamps for `hit_count`/`hit_src` (broadcaster-centric) or for
+    /// broadcaster marks (listener-centric).
+    mark_epoch: Vec<u64>,
+    hit_count: Vec<u32>,
+    hit_src: Vec<u32>,
+    epoch: u64,
+    /// Scratch bit set of the broadcasters on the channel being resolved
+    /// (built and un-built per channel, O(B) each way).
+    bcast_bits: BitSet,
+}
+
+impl Scratch {
+    fn new(n: usize) -> Scratch {
+        Scratch {
+            mark_epoch: vec![0; n],
+            hit_count: vec![0; n],
+            hit_src: vec![0; n],
+            epoch: 0,
+            bcast_bits: BitSet::new(n),
+        }
+    }
+}
+
+/// `Σ_v min(deg(v), cap)` over `nodes`, estimated from at most 32
+/// evenly-strided samples (exact below that). Deterministic — no RNG, no
+/// dependence on thread count — so the `Auto` choice it feeds stays
+/// reproducible; and since every strategy is observationally identical,
+/// the approximation can only ever change *speed*, never results.
+fn approx_degree_sum(net: &Network, nodes: &[u32], cap: usize) -> usize {
+    const SAMPLE: usize = 32;
+    if nodes.len() <= SAMPLE {
+        nodes.iter().map(|&v| net.degree(NodeId(v)).min(cap)).sum()
+    } else {
+        // Ceiling stride so the samples span the whole bucket — a floor
+        // stride of 1 for lengths in (SAMPLE, 2·SAMPLE) would sample only
+        // a prefix, and buckets are in ascending node order (hubs first in
+        // star-like scenarios).
+        let stride = nodes.len().div_ceil(SAMPLE);
+        let taken = nodes.len().div_ceil(stride);
+        let sampled: usize =
+            nodes.iter().step_by(stride).map(|&v| net.degree(NodeId(v)).min(cap)).sum();
+        sampled * nodes.len() / taken
+    }
+}
+
+/// One listener's scan over a channel broadcaster list (shared by the
+/// naive reference resolver and the adaptive listener path).
+#[inline]
+fn scan_listener(net: &Network, bcasters: &[u32], l: u32) -> Outcome {
+    let mut heard_from: Option<u32> = None;
+    let mut adjacent = 0u32;
+    for &b in bcasters {
+        if net.are_neighbors(NodeId(l), NodeId(b)) {
+            adjacent += 1;
+            if adjacent > 1 {
+                break;
+            }
+            heard_from = Some(b);
+        }
+    }
+    match (adjacent, heard_from) {
+        (1, Some(b)) => Outcome::Heard(b),
+        (0, _) => Outcome::Idle,
+        _ => Outcome::Collision,
+    }
+}
+
+/// Broadcaster-centric sweep: stamp the channel's listeners with a fresh
+/// epoch, then walk each broadcaster's CSR neighbor slice once,
+/// accumulating hit counts only in stamped cells. `O(L + Σ_b deg(b))`,
+/// independent of how many listeners each broadcaster reaches.
+fn resolve_broadcaster_centric(
+    net: &Network,
+    scratch: &mut Scratch,
+    bcasters: &[u32],
+    listeners: &[u32],
+    emit: &mut impl FnMut(usize, u32, Outcome),
+) {
+    scratch.epoch += 1;
+    let epoch = scratch.epoch;
+    for &l in listeners {
+        scratch.mark_epoch[l as usize] = epoch;
+        scratch.hit_count[l as usize] = 0;
+    }
+    for &b in bcasters {
+        for &w in net.neighbor_slice(NodeId(b)) {
+            let w = w as usize;
+            if scratch.mark_epoch[w] == epoch {
+                scratch.hit_count[w] += 1;
+                scratch.hit_src[w] = b;
+            }
+        }
+    }
+    for (pos, &l) in listeners.iter().enumerate() {
+        let outcome = match scratch.hit_count[l as usize] {
+            0 => Outcome::Idle,
+            1 => Outcome::Heard(scratch.hit_src[l as usize]),
+            _ => Outcome::Collision,
+        };
+        emit(pos, l, outcome);
+    }
+}
+
+/// Listener-centric probe, adaptive per listener: each listener takes
+/// the cheapest of three equivalent tests, all with early exit at the
+/// second hit —
+///
+/// 1. *scan* the channel's broadcaster list with `O(1)` adjacency bits
+///    (cost ≤ `B`, best when the list is shorter than the degree);
+/// 2. *walk* its own CSR neighbor slice, testing each neighbor against the
+///    channel's broadcaster bit set (cost ≤ `deg(l)` probes into an
+///    `n/8`-byte, L1-resident set — for n = 5000 that is 632 bytes, versus
+///    the 40 KB an epoch-stamp array would thrash; best for low-degree
+///    listeners and crowded channels, where a couple of probes already
+///    collide);
+/// 3. *word-intersect* its adjacency row with the same broadcaster bit set
+///    (cost ≤ `n/64` words, best for high-degree listeners on channels
+///    with many broadcasters).
+fn resolve_listener_centric(
+    net: &Network,
+    scratch: &mut Scratch,
+    bcasters: &[u32],
+    listeners: &[u32],
+    emit: &mut impl FnMut(usize, u32, Outcome),
+) {
+    let nb = bcasters.len();
+    let words = scratch.bcast_bits.words().len().max(1);
+    // Both the walk and the word path probe the broadcaster bit set; build
+    // it once per channel, un-build after (O(B) each way).
+    for &b in bcasters {
+        scratch.bcast_bits.insert(b as usize);
+    }
+    for (pos, &l) in listeners.iter().enumerate() {
+        let neighbors = net.neighbor_slice(NodeId(l));
+        let d = neighbors.len();
+        let outcome = if nb <= d && nb <= words {
+            scan_listener(net, bcasters, l)
+        } else if d <= words {
+            // Walk the listener's own neighbors against the bit set,
+            // probing the backing words directly (the slice borrow keeps
+            // the base pointer in a register across the walk). Hits are
+            // accumulated as data dependencies, not an if-body: whether a
+            // neighbor broadcasts is a coin flip the branch predictor
+            // cannot learn, and a mispredict costs more than the probe.
+            let bits = scratch.bcast_bits.words();
+            let mut count = 0u32;
+            let mut src = 0u32;
+            for &w in neighbors {
+                let hit = ((bits[(w >> 6) as usize] >> (w & 63)) & 1) as u32;
+                src = if count == 0 && hit != 0 { w } else { src };
+                count += hit;
+                if count >= 2 {
+                    break;
+                }
+            }
+            match count {
+                0 => Outcome::Idle,
+                1 => Outcome::Heard(src),
+                _ => Outcome::Collision,
+            }
+        } else {
+            let row = net.adjacency_bits(NodeId(l));
+            match row.intersect_unique(&scratch.bcast_bits) {
+                Intersection::Empty => Outcome::Idle,
+                Intersection::Unique(b) => Outcome::Heard(b as u32),
+                Intersection::Many => Outcome::Collision,
+            }
+        };
+        emit(pos, l, outcome);
+    }
+    for &b in bcasters {
+        scratch.bcast_bits.remove(b as usize);
+    }
+}
+
+/// Resolves one channel with a *sequential* strategy, emitting
+/// `(position-in-listener-list, listener, outcome)` triples. The caller
+/// guarantees both populations are non-empty.
+fn resolve_channel_into(
+    net: &Network,
+    scratch: &mut Scratch,
+    strategy: Resolver,
+    bcasters: &[u32],
+    listeners: &[u32],
+    emit: &mut impl FnMut(usize, u32, Outcome),
+) {
+    debug_assert!(!bcasters.is_empty() && !listeners.is_empty());
+    match strategy {
+        Resolver::Naive => {
+            for (pos, &l) in listeners.iter().enumerate() {
+                emit(pos, l, scan_listener(net, bcasters, l));
+            }
+        }
+        Resolver::BroadcasterCentric => {
+            resolve_broadcaster_centric(net, scratch, bcasters, listeners, emit)
+        }
+        Resolver::ListenerCentric => {
+            resolve_listener_centric(net, scratch, bcasters, listeners, emit)
+        }
+        Resolver::Auto => {
+            // Broadcaster side: one pass over all broadcasters' neighbor
+            // slices — scattered increments, so weight them ~2× against
+            // the listener side's sequential probes. Listener side: each
+            // listener pays the cheapest of scanning the broadcaster
+            // list, walking its own CSR slice, or one word sweep. Degree
+            // sums are estimated from a deterministic sample: the choice
+            // needs the order of magnitude, and exact sums would cost a
+            // random read per node — a measurable slice of dense slots.
+            // (Any choice is observationally identical, so sampling can
+            // never change results.)
+            let d_b = approx_degree_sum(net, bcasters, usize::MAX);
+            let nb = bcasters.len();
+            let words = scratch.bcast_bits.words().len().max(1);
+            let per_listener_cap = nb.min(words);
+            let listen_cost = 2 * nb + approx_degree_sum(net, listeners, per_listener_cap);
+            let bcast_cost = listeners.len() + 2 * d_b;
+            if bcast_cost <= listen_cost {
+                resolve_broadcaster_centric(net, scratch, bcasters, listeners, emit)
+            } else {
+                resolve_listener_centric(net, scratch, bcasters, listeners, emit)
+            }
+        }
+        Resolver::ParallelSharded { .. } => {
+            unreachable!("sharded resolution dispatches whole slots, not single channels")
+        }
+    }
+}
+
 impl<'net, P: Protocol> Engine<'net, P> {
     /// Creates an engine for `net` with the default [`Resolver::Auto`],
     /// constructing each node's protocol via `make`, and deriving all node
@@ -194,7 +499,8 @@ impl<'net, P: Protocol> Engine<'net, P> {
     }
 
     /// Like [`Engine::new`] but with an explicit resolution strategy —
-    /// used by differential tests and resolver benchmarks.
+    /// used by differential tests, resolver benchmarks, and callers opting
+    /// into [`Resolver::ParallelSharded`].
     pub fn with_resolver(
         net: &'net Network,
         seed: u64,
@@ -204,20 +510,39 @@ impl<'net, P: Protocol> Engine<'net, P> {
         let n = net.len();
         let c = net.channels_per_node();
         // Dense channel remap so scratch vectors are O(universe), not
-        // O(max raw id).
-        let mut raw_ids: Vec<u32> =
-            (0..n).flat_map(|v| net.channel_map(NodeId(v as u32)).iter().map(|g| g.0)).collect();
-        raw_ids.sort_unstable();
-        raw_ids.dedup();
-        let max_raw = raw_ids.last().copied().unwrap_or(0) as usize;
-        let mut dense = vec![u32::MAX; max_raw + 1];
-        for (i, &raw) in raw_ids.iter().enumerate() {
-            dense[raw as usize] = i as u32;
+        // O(max raw id): mark the raw ids present, then number them in
+        // ascending raw order (no sort — O(n·c + max_raw)).
+        let mut max_raw = 0u32;
+        for v in 0..n {
+            for g in net.channel_map(NodeId(v as u32)) {
+                max_raw = max_raw.max(g.0);
+            }
         }
-        let universe = raw_ids.len();
+        let mut present = vec![false; max_raw as usize + 1];
+        for v in 0..n {
+            for g in net.channel_map(NodeId(v as u32)) {
+                present[g.index()] = true;
+            }
+        }
+        let mut dense = vec![u32::MAX; max_raw as usize + 1];
+        let mut universe = 0u32;
+        for (raw, &p) in present.iter().enumerate() {
+            if p {
+                dense[raw] = universe;
+                universe += 1;
+            }
+        }
+        // Flat translation table: local label l of node v at xlate[v*c + l].
+        let mut xlate = vec![0u32; n * c];
+        for v in 0..n {
+            for (l, g) in net.channel_map(NodeId(v as u32)).iter().enumerate() {
+                xlate[v * c + l] = dense[g.index()];
+            }
+        }
+        let universe = universe as usize;
 
         let protocols = (0..n)
-            .map(|v| Some(make(NodeCtx { id: NodeId(v as u32), num_channels: c as u16 })))
+            .map(|v| make(NodeCtx { id: NodeId(v as u32), num_channels: c as u16 }))
             .collect();
         let rngs = (0..n).map(|v| stream_rng(seed, v as u64)).collect();
         Engine {
@@ -227,17 +552,26 @@ impl<'net, P: Protocol> Engine<'net, P> {
             slot: 0,
             counters: Counters::default(),
             resolver,
-            bcasters_by_channel: vec![Vec::new(); universe],
-            listeners_by_channel: vec![Vec::new(); universe],
-            touched_channels: Vec::new(),
+            seed,
+            c,
+            xlate,
+            node_plan: vec![SLEEPING; n],
             actions: Vec::with_capacity(n),
             outcomes: Vec::with_capacity(n),
-            mark_epoch: vec![0; n],
-            hit_count: vec![0; n],
-            hit_src: vec![0; n],
-            epoch: 0,
-            bcast_bits: BitSet::new(n),
-            dense,
+            touched: Vec::new(),
+            chan_epoch: vec![0; universe],
+            chan_slot: vec![0; universe],
+            slot_epoch: 0,
+            b_cnt: Vec::new(),
+            l_cnt: Vec::new(),
+            b_off: Vec::new(),
+            l_off: Vec::new(),
+            bcast_nodes: Vec::new(),
+            listen_nodes: Vec::new(),
+            scratch: vec![Scratch::new(n)],
+            shard_out: Vec::new(),
+            shard_weights: Vec::new(),
+            shard_bounds: Vec::new(),
         }
     }
 
@@ -262,84 +596,132 @@ impl<'net, P: Protocol> Engine<'net, P> {
     }
 
     /// Switches the resolution strategy (takes effect from the next slot;
-    /// all strategies are observationally identical, so this never changes
-    /// results).
+    /// all strategies — sequential and sharded — are observationally
+    /// identical, so this never changes results).
     pub fn set_resolver(&mut self, resolver: Resolver) {
         self.resolver = resolver;
     }
 
+    /// The deterministic RNG stream belonging to `channel` in the current
+    /// slot. Phase-2 resolution is deterministic today; any future
+    /// randomized channel effect (fading, capture, external noise) must
+    /// draw from this stream, which is keyed by `(run seed, slot, channel)`
+    /// — independent of channel visit order and shard thread count — so the
+    /// sharded resolver stays bit-identical at any parallelism (see
+    /// [`crate::rng::channel_slot_seed`]).
+    pub fn channel_rng(&self, channel: GlobalChannel) -> SmallRng {
+        channel_slot_rng(self.seed, self.slot, channel.0)
+    }
+
     /// Read access to the protocol instances (for progress probes).
-    ///
-    /// # Panics
-    /// Panics if called after [`Engine::into_outputs`].
     pub fn protocol(&self, v: NodeId) -> &P {
-        self.protocols[v.index()].as_ref().expect("protocol already consumed")
+        &self.protocols[v.index()]
     }
 
     /// Applies `f` to every protocol in node order.
     pub fn for_each_protocol(&self, mut f: impl FnMut(NodeId, &P)) {
         for (i, p) in self.protocols.iter().enumerate() {
-            f(NodeId(i as u32), p.as_ref().expect("protocol already consumed"));
+            f(NodeId(i as u32), p);
         }
     }
 
     /// `true` once every node's protocol reports completion.
     pub fn all_complete(&self) -> bool {
-        self.protocols.iter().all(|p| p.as_ref().map(|p| p.is_complete()).unwrap_or(true))
+        self.protocols.iter().all(|p| p.is_complete())
     }
 
     /// Executes exactly one slot.
     pub fn step(&mut self) {
         let slot = Slot(self.slot);
         let n = self.net.len();
-        debug_assert!(self.touched_channels.is_empty());
         self.actions.clear();
         self.outcomes.clear();
+        self.touched.clear();
+        self.b_cnt.clear();
+        self.l_cnt.clear();
+        self.slot_epoch += 1;
+        let epoch = self.slot_epoch;
 
-        // Phase 1: collect actions; translate local labels to dense global
-        // channels; group broadcasters and listeners per channel.
+        // Phase 1a: collect every node's action; translate local labels
+        // through the flat table; count per-channel populations with
+        // epoch-stamped first-touch detection.
+        let (mut nb, mut nl, mut ns) = (0u64, 0u64, 0u64);
         for v in 0..n {
-            let proto = self.protocols[v].as_mut().expect("protocol consumed");
             let mut ctx = SlotCtx { slot, rng: &mut self.rngs[v] };
-            let action = proto.act(&mut ctx);
-            let (plan, outcome) = match action {
+            let action = self.protocols[v].act(&mut ctx);
+            let (plan, packed, outcome) = match action {
                 Action::Broadcast { channel, message } => {
-                    self.counters.broadcasts += 1;
-                    let dense = self.translate(NodeId(v as u32), channel);
-                    let ch = dense as usize;
-                    if self.bcasters_by_channel[ch].is_empty()
-                        && self.listeners_by_channel[ch].is_empty()
-                    {
-                        self.touched_channels.push(dense);
-                    }
-                    self.bcasters_by_channel[ch].push(v as u32);
-                    (SlotPlan::Bcast { message }, Outcome::Sent)
+                    nb += 1;
+                    let ch = self.translate(v, channel);
+                    let ti = self.touch(ch, epoch);
+                    self.b_cnt[ti as usize] += 1;
+                    (SlotPlan::Bcast { message }, ti | BCAST_BIT, Outcome::Sent)
                 }
                 Action::Listen { channel } => {
-                    self.counters.listens += 1;
-                    let dense = self.translate(NodeId(v as u32), channel);
-                    let ch = dense as usize;
-                    if self.bcasters_by_channel[ch].is_empty()
-                        && self.listeners_by_channel[ch].is_empty()
-                    {
-                        self.touched_channels.push(dense);
-                    }
-                    self.listeners_by_channel[ch].push(v as u32);
-                    (SlotPlan::Listen, Outcome::Idle)
+                    nl += 1;
+                    let ch = self.translate(v, channel);
+                    let ti = self.touch(ch, epoch);
+                    self.l_cnt[ti as usize] += 1;
+                    (SlotPlan::Listen, ti, Outcome::Idle)
                 }
                 Action::Sleep => {
-                    self.counters.sleeps += 1;
-                    (SlotPlan::Sleep, Outcome::Slept)
+                    ns += 1;
+                    (SlotPlan::Sleep, SLEEPING, Outcome::Slept)
                 }
             };
             self.actions.push(plan);
+            self.node_plan[v] = packed;
             self.outcomes.push(outcome);
         }
+        self.counters.broadcasts += nb;
+        self.counters.listens += nl;
+        self.counters.sleeps += ns;
 
-        // Phase 2: resolve each touched channel with the cheapest strategy.
-        for ti in 0..self.touched_channels.len() {
-            let ch = self.touched_channels[ti] as usize;
-            self.resolve_channel(ch);
+        // Phase 1b: counting-sort scatter into the flat channel buckets
+        // (prefix sums over the touched channels, then one pass over the
+        // nodes — ascending node order within each bucket by construction).
+        let t = self.touched.len();
+        self.b_off.clear();
+        self.l_off.clear();
+        self.b_off.push(0);
+        self.l_off.push(0);
+        let (mut tb, mut tl) = (0u32, 0u32);
+        for ti in 0..t {
+            tb += self.b_cnt[ti];
+            tl += self.l_cnt[ti];
+            self.b_off.push(tb);
+            self.l_off.push(tl);
+        }
+        self.bcast_nodes.resize(tb as usize, 0);
+        self.listen_nodes.resize(tl as usize, 0);
+        // Reuse the count vectors as scatter cursors.
+        self.b_cnt.copy_from_slice(&self.b_off[..t]);
+        self.l_cnt.copy_from_slice(&self.l_off[..t]);
+        for v in 0..n {
+            let packed = self.node_plan[v];
+            if packed == SLEEPING {
+                continue;
+            }
+            if packed & BCAST_BIT != 0 {
+                let ti = (packed & !BCAST_BIT) as usize;
+                let cur = self.b_cnt[ti] as usize;
+                self.bcast_nodes[cur] = v as u32;
+                self.b_cnt[ti] += 1;
+            } else {
+                let ti = packed as usize;
+                let cur = self.l_cnt[ti] as usize;
+                self.listen_nodes[cur] = v as u32;
+                self.l_cnt[ti] += 1;
+            }
+        }
+
+        // Phase 2: resolve each touched channel — sharded across scoped
+        // threads when requested, sequentially otherwise.
+        match self.resolver {
+            Resolver::ParallelSharded { threads } if threads >= 2 && t >= 2 => {
+                self.resolve_all_sharded(threads);
+            }
+            r => self.resolve_all_sequential(r.per_channel()),
         }
 
         // Phase 3: deliver feedback. Heard messages are borrowed from the
@@ -368,190 +750,177 @@ impl<'net, P: Protocol> Engine<'net, P> {
                 }
             };
             let mut ctx = SlotCtx { slot, rng };
-            proto.as_mut().expect("protocol consumed").feedback(&mut ctx, fb);
+            proto.feedback(&mut ctx, fb);
         }
 
-        // Cleanup scratch.
-        for ch in self.touched_channels.drain(..) {
-            self.bcasters_by_channel[ch as usize].clear();
-            self.listeners_by_channel[ch as usize].clear();
-        }
         self.slot += 1;
         self.counters.slots += 1;
     }
 
-    /// Resolves one channel's listeners, writing `self.outcomes` entries.
-    fn resolve_channel(&mut self, ch: usize) {
-        let bcasters = &self.bcasters_by_channel[ch];
-        let listeners = &self.listeners_by_channel[ch];
-        let (nb, nl) = (bcasters.len(), listeners.len());
-        if nb == 0 || nl == 0 {
-            // No broadcasters: every listener keeps its provisional Idle.
-            // No listeners: nothing can be heard.
-            return;
-        }
-        match self.resolver {
-            Resolver::Naive => self.resolve_naive(ch),
-            Resolver::BroadcasterCentric => self.resolve_broadcaster_centric(ch),
-            Resolver::ListenerCentric => self.resolve_listener_centric(ch),
-            Resolver::Auto => {
-                // Broadcaster side: one pass over all broadcasters' neighbor
-                // slices — scattered increments, so weight them ~2× against
-                // the listener side's sequential probes. Listener side: each
-                // listener pays the cheapest of scanning the broadcaster
-                // list, walking its own CSR slice, or one word sweep.
-                let d_b: usize = bcasters.iter().map(|&b| self.net.degree(NodeId(b))).sum();
-                let words = self.bcast_bits.words().len().max(1);
-                let per_listener_cap = nb.min(words);
-                let listen_cost = 2 * nb
-                    + listeners
-                        .iter()
-                        .map(|&l| self.net.degree(NodeId(l)).min(per_listener_cap))
-                        .sum::<usize>();
-                let bcast_cost = nl + 2 * d_b;
-                if bcast_cost <= listen_cost {
-                    self.resolve_broadcaster_centric(ch);
-                } else {
-                    self.resolve_listener_centric(ch);
-                }
-            }
-        }
-    }
-
-    /// Reference resolver: per listener, linear scan of the channel's
-    /// broadcaster list with an adjacency-bit test per pair. `O(L·B)`.
-    fn resolve_naive(&mut self, ch: usize) {
-        let bcasters = &self.bcasters_by_channel[ch];
-        for &l in &self.listeners_by_channel[ch] {
-            self.outcomes[l as usize] = Self::scan_listener(self.net, bcasters, l);
-        }
-    }
-
-    /// Broadcaster-centric sweep: stamp the channel's listeners with a fresh
-    /// epoch, then walk each broadcaster's CSR neighbor slice once,
-    /// accumulating hit counts only in stamped cells. `O(L + Σ_b deg(b))`,
-    /// independent of how many listeners each broadcaster reaches.
-    fn resolve_broadcaster_centric(&mut self, ch: usize) {
-        self.epoch += 1;
-        let epoch = self.epoch;
-        for &l in &self.listeners_by_channel[ch] {
-            self.mark_epoch[l as usize] = epoch;
-            self.hit_count[l as usize] = 0;
-        }
-        for &b in &self.bcasters_by_channel[ch] {
-            for &w in self.net.neighbor_slice(NodeId(b)) {
-                let w = w as usize;
-                if self.mark_epoch[w] == epoch {
-                    self.hit_count[w] += 1;
-                    self.hit_src[w] = b;
-                }
-            }
-        }
-        for &l in &self.listeners_by_channel[ch] {
-            let l = l as usize;
-            self.outcomes[l] = match self.hit_count[l] {
-                0 => Outcome::Idle,
-                1 => Outcome::Heard(self.hit_src[l]),
-                _ => Outcome::Collision,
-            };
-        }
-    }
-
-    /// Listener-centric probe, adaptive per listener: each listener takes
-    /// the cheapest of three equivalent tests, all with early exit at the
-    /// second hit —
+    /// Translates node `v`'s local label through the flat table.
     ///
-    /// 1. *scan* the channel's broadcaster list with `O(1)` adjacency bits
-    ///    (cost ≤ `B`, best when the list is shorter than the degree);
-    /// 2. *walk* its own CSR neighbor slice against the epoch-stamped
-    ///    broadcaster marks (cost ≤ `deg(l)`, best for low-degree listeners
-    ///    and crowded channels, where a couple of probes already collide);
-    /// 3. *word-intersect* its adjacency row with the channel's broadcaster
-    ///    bit set (cost ≤ `n/64` words, best for high-degree listeners on
-    ///    channels with many broadcasters; the bit set is built lazily on
-    ///    first use).
-    fn resolve_listener_centric(&mut self, ch: usize) {
-        self.epoch += 1;
-        let epoch = self.epoch;
-        for &b in &self.bcasters_by_channel[ch] {
-            self.mark_epoch[b as usize] = epoch;
+    /// # Panics
+    /// Panics if a protocol tunes to a label outside `0..c` — without the
+    /// check, a bad label would silently alias into the next node's
+    /// translation row.
+    #[inline]
+    fn translate(&self, v: usize, channel: LocalChannel) -> usize {
+        let l = channel.index();
+        assert!(l < self.c, "node {v} tuned to local channel {l} but c = {}", self.c);
+        self.xlate[v * self.c + l] as usize
+    }
+
+    /// Registers dense channel `ch` as touched this slot (idempotent) and
+    /// returns its index into the touched list.
+    #[inline]
+    fn touch(&mut self, ch: usize, epoch: u64) -> u32 {
+        if self.chan_epoch[ch] == epoch {
+            self.chan_slot[ch]
+        } else {
+            self.chan_epoch[ch] = epoch;
+            let ti = self.touched.len() as u32;
+            debug_assert!(ti < BCAST_BIT, "touched-channel index overflows the role bit");
+            self.chan_slot[ch] = ti;
+            self.touched.push(ch as u32);
+            self.b_cnt.push(0);
+            self.l_cnt.push(0);
+            ti
         }
-        let nb = self.bcasters_by_channel[ch].len();
-        let words = self.bcast_bits.words().len().max(1);
-        let mut bits_built = false;
-        for &l in &self.listeners_by_channel[ch] {
-            let d = self.net.degree(NodeId(l));
-            let outcome = if nb <= d && nb <= words {
-                Self::scan_listener(self.net, &self.bcasters_by_channel[ch], l)
-            } else if d <= words {
-                // Walk the listener's own neighbors, testing the stamp.
-                let mut count = 0u32;
-                let mut src = 0u32;
-                for &w in self.net.neighbor_slice(NodeId(l)) {
-                    if self.mark_epoch[w as usize] == epoch {
-                        count += 1;
-                        if count > 1 {
-                            break;
+    }
+
+    /// Sequentially resolves every touched channel with `strategy`, writing
+    /// `self.outcomes` in place.
+    fn resolve_all_sequential(&mut self, strategy: Resolver) {
+        let Engine {
+            net, touched, b_off, l_off, bcast_nodes, listen_nodes, scratch, outcomes, ..
+        } = self;
+        let scratch = &mut scratch[0];
+        for ti in 0..touched.len() {
+            let bs = &bcast_nodes[b_off[ti] as usize..b_off[ti + 1] as usize];
+            let ls = &listen_nodes[l_off[ti] as usize..l_off[ti + 1] as usize];
+            if bs.is_empty() || ls.is_empty() {
+                // No broadcasters: listeners keep their provisional Idle.
+                // No listeners: nothing can be heard.
+                continue;
+            }
+            resolve_channel_into(net, scratch, strategy, bs, ls, &mut |_, l, oc| {
+                outcomes[l as usize] = oc;
+            });
+        }
+    }
+
+    /// Resolves the touched channels on `threads` scoped worker threads.
+    ///
+    /// The partition is contiguous in touched order and balanced by a
+    /// deterministic per-channel cost proxy (`1 + L + Σ_b deg(b)`); each
+    /// shard resolves its channels with the `Auto` heuristic into a private
+    /// outcome buffer using private scratch, and the buffers are scattered
+    /// into `self.outcomes` after the join. Channels are independent within
+    /// a slot and resolution is deterministic, so the result is
+    /// bit-identical to sequential resolution at any thread count.
+    ///
+    /// Workers are spawned per slot via `std::thread::scope`: the shards
+    /// borrow the network and the slot's bucket slices, which a persistent
+    /// (`'static`) pool could not do in safe Rust without wrapping the
+    /// engine's internals in `Arc`s. The spawn cost (~tens of µs) amortizes
+    /// on the big-slot workloads sharding targets; ROADMAP tracks the
+    /// parked-pool rework for fine-grained slots.
+    fn resolve_all_sharded(&mut self, threads: usize) {
+        let t = self.touched.len();
+        let n = self.net.len();
+        let groups = threads.min(t);
+        debug_assert!(groups >= 2);
+
+        // Deterministic cost-balanced contiguous partition.
+        self.shard_weights.clear();
+        for ti in 0..t {
+            let bs = &self.bcast_nodes[self.b_off[ti] as usize..self.b_off[ti + 1] as usize];
+            let nl = (self.l_off[ti + 1] - self.l_off[ti]) as u64;
+            self.shard_weights.push(1 + nl + approx_degree_sum(self.net, bs, usize::MAX) as u64);
+        }
+        let total: u64 = self.shard_weights.iter().sum();
+        self.shard_bounds.clear();
+        let mut start = 0usize;
+        let mut cum = 0u64;
+        for (ti, &w) in self.shard_weights.iter().enumerate() {
+            cum += w;
+            let g = self.shard_bounds.len() + 1; // group being filled (1-based)
+            let must_close = t - ti - 1 == groups - g; // leave one channel per group
+            if g < groups && (must_close || cum * groups as u64 >= total * g as u64) {
+                self.shard_bounds.push((start, ti + 1));
+                start = ti + 1;
+            }
+        }
+        self.shard_bounds.push((start, t));
+        let groups = self.shard_bounds.len();
+
+        while self.scratch.len() < groups {
+            self.scratch.push(Scratch::new(n));
+        }
+        while self.shard_out.len() < groups {
+            self.shard_out.push(Vec::new());
+        }
+
+        let Engine {
+            net,
+            touched: _,
+            b_off,
+            l_off,
+            bcast_nodes,
+            listen_nodes,
+            scratch,
+            shard_out,
+            shard_bounds,
+            outcomes,
+            ..
+        } = self;
+        let net: &Network = net;
+        let bounds: &[(usize, usize)] = shard_bounds;
+        let (b_off, l_off): (&[u32], &[u32]) = (b_off, l_off);
+        let (bcast_nodes, listen_nodes): (&[u32], &[u32]) = (bcast_nodes, listen_nodes);
+
+        std::thread::scope(|scope| {
+            for ((&(lo, hi), scratch), out) in
+                bounds.iter().zip(scratch[..groups].iter_mut()).zip(shard_out[..groups].iter_mut())
+            {
+                scope.spawn(move || {
+                    let listeners_total = (l_off[hi] - l_off[lo]) as usize;
+                    out.clear();
+                    out.resize(listeners_total, Outcome::Idle);
+                    let mut base = 0usize;
+                    for ti in lo..hi {
+                        let bs = &bcast_nodes[b_off[ti] as usize..b_off[ti + 1] as usize];
+                        let ls = &listen_nodes[l_off[ti] as usize..l_off[ti + 1] as usize];
+                        if !bs.is_empty() && !ls.is_empty() {
+                            let slice = &mut out[base..base + ls.len()];
+                            resolve_channel_into(
+                                net,
+                                scratch,
+                                Resolver::Auto,
+                                bs,
+                                ls,
+                                &mut |pos, _, oc| slice[pos] = oc,
+                            );
                         }
-                        src = w;
+                        base += ls.len();
                     }
+                });
+            }
+        });
+
+        // Scatter the shard buffers into per-node outcomes. Every listener
+        // belongs to exactly one channel (a node takes one action per
+        // slot), so the writes are disjoint and order-free.
+        for (&(lo, hi), out) in bounds.iter().zip(shard_out[..groups].iter()) {
+            let mut base = 0usize;
+            for ti in lo..hi {
+                let ls = &listen_nodes[l_off[ti] as usize..l_off[ti + 1] as usize];
+                for (j, &l) in ls.iter().enumerate() {
+                    outcomes[l as usize] = out[base + j];
                 }
-                match count {
-                    0 => Outcome::Idle,
-                    1 => Outcome::Heard(src),
-                    _ => Outcome::Collision,
-                }
-            } else {
-                if !bits_built {
-                    for &b in &self.bcasters_by_channel[ch] {
-                        self.bcast_bits.insert(b as usize);
-                    }
-                    bits_built = true;
-                }
-                let row = self.net.adjacency_bits(NodeId(l));
-                match row.intersect_unique(&self.bcast_bits) {
-                    Intersection::Empty => Outcome::Idle,
-                    Intersection::Unique(b) => Outcome::Heard(b as u32),
-                    Intersection::Many => Outcome::Collision,
-                }
-            };
-            self.outcomes[l as usize] = outcome;
-        }
-        if bits_built {
-            for &b in &self.bcasters_by_channel[ch] {
-                self.bcast_bits.remove(b as usize);
+                base += ls.len();
             }
         }
-    }
-
-    /// One listener's scan over a channel broadcaster list (shared by the
-    /// naive reference resolver and the adaptive listener path).
-    #[inline]
-    fn scan_listener(net: &Network, bcasters: &[u32], l: u32) -> Outcome {
-        let mut heard_from: Option<u32> = None;
-        let mut adjacent = 0u32;
-        for &b in bcasters {
-            if net.are_neighbors(NodeId(l), NodeId(b)) {
-                adjacent += 1;
-                if adjacent > 1 {
-                    break;
-                }
-                heard_from = Some(b);
-            }
-        }
-        match (adjacent, heard_from) {
-            (1, Some(b)) => Outcome::Heard(b),
-            (0, _) => Outcome::Idle,
-            _ => Outcome::Collision,
-        }
-    }
-
-    #[inline]
-    fn translate(&self, v: NodeId, l: LocalChannel) -> u32 {
-        let g = self.net.local_to_global(v, l);
-        let dense = self.dense[g.index()];
-        debug_assert_ne!(dense, u32::MAX, "channel {g} not in dense map");
-        dense
     }
 
     /// Runs until `max_slots` slots have executed, every protocol is
@@ -599,21 +968,24 @@ impl<'net, P: Protocol> Engine<'net, P> {
     }
 
     /// Consumes the engine and extracts each node's protocol output.
-    pub fn into_outputs(mut self) -> Vec<P::Output> {
-        self.protocols
-            .iter_mut()
-            .map(|p| p.take().expect("protocol consumed twice").into_output())
-            .collect()
+    pub fn into_outputs(self) -> Vec<P::Output> {
+        self.protocols.into_iter().map(P::into_output).collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ids::GlobalChannel;
+    use crate::ids::LocalChannel;
 
-    const ALL_RESOLVERS: [Resolver; 4] =
-        [Resolver::Auto, Resolver::BroadcasterCentric, Resolver::ListenerCentric, Resolver::Naive];
+    const ALL_RESOLVERS: [Resolver; 6] = [
+        Resolver::Auto,
+        Resolver::BroadcasterCentric,
+        Resolver::ListenerCentric,
+        Resolver::Naive,
+        Resolver::ParallelSharded { threads: 2 },
+        Resolver::ParallelSharded { threads: 4 },
+    ];
 
     /// Test protocol: node 0..k broadcast a constant each slot on local
     /// channel `ch`; others listen on local channel `lch`; records hears.
@@ -803,7 +1175,8 @@ mod tests {
         assert_eq!(c1, c2);
         assert_eq!(o1, o2);
         assert_ne!(c1, c3, "different seeds should (generically) differ");
-        // Every resolver is observationally identical.
+        // Every resolver — including the sharded one — is observationally
+        // identical.
         for resolver in ALL_RESOLVERS {
             let (c, o) = run(42, resolver);
             assert_eq!(c, c1, "{resolver:?} diverges on counters");
@@ -924,8 +1297,9 @@ mod tests {
     #[test]
     fn dense_channel_mix_is_resolver_invariant() {
         // A tougher scenario than the unit cases above: several overlapping
-        // channels, random roles, non-trivial topology. All four resolvers
-        // must agree slot-by-slot on every counter and output.
+        // channels, random roles, non-trivial topology. All resolvers —
+        // sequential and sharded — must agree slot-by-slot on every counter
+        // and output.
         struct Rnd {
             c: u16,
             heard: Vec<u32>,
@@ -980,10 +1354,46 @@ mod tests {
         let (c0, o0) = run(Resolver::Naive);
         assert!(c0.deliveries > 0, "scenario must exercise deliveries");
         assert!(c0.collisions > 0, "scenario must exercise collisions");
-        for resolver in [Resolver::Auto, Resolver::BroadcasterCentric, Resolver::ListenerCentric] {
+        for resolver in ALL_RESOLVERS {
             let (c, o) = run(resolver);
             assert_eq!(c, c0, "{resolver:?} counters diverge from naive");
             assert_eq!(o, o0, "{resolver:?} outputs diverge from naive");
         }
+    }
+
+    #[test]
+    fn sharded_resolver_with_one_thread_is_sequential_auto() {
+        // threads ≤ 1 must take the sequential path (and still be correct).
+        let net = star(5);
+        for threads in [0usize, 1] {
+            let mut eng = Engine::with_resolver(&net, 7, Resolver::sharded(threads), |ctx| Fixed {
+                bcast: ctx.id == NodeId(1),
+                ch: LocalChannel(0),
+                heard: Vec::new(),
+                id: ctx.id.0,
+            });
+            eng.step();
+            assert_eq!(eng.counters().deliveries, 1, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn channel_rng_is_keyed_by_slot_and_channel() {
+        use rand::Rng;
+        let net = star(1);
+        let mut eng = Engine::new(&net, 9, |ctx| Fixed {
+            bcast: ctx.id == NodeId(1),
+            ch: LocalChannel(0),
+            heard: Vec::new(),
+            id: ctx.id.0,
+        });
+        let before: u64 = eng.channel_rng(GlobalChannel(0)).gen();
+        let again: u64 = eng.channel_rng(GlobalChannel(0)).gen();
+        assert_eq!(before, again, "same (seed, slot, channel) — same stream");
+        let other: u64 = eng.channel_rng(GlobalChannel(1)).gen();
+        assert_ne!(before, other, "different channels get different streams");
+        eng.step();
+        let after: u64 = eng.channel_rng(GlobalChannel(0)).gen();
+        assert_ne!(before, after, "different slots get different streams");
     }
 }

@@ -157,6 +157,31 @@ impl Graph {
         Some(diam)
     }
 
+    /// Approximate diameter via a double BFS sweep, or `None` if the graph
+    /// is disconnected or empty. Returns the eccentricity of a vertex that
+    /// is farthest from vertex 0 — a lower bound `est` with the guarantee
+    /// `est ≤ D ≤ 2·est` (any eccentricity 2-approximates the diameter by
+    /// the triangle inequality), and exact on trees. `O(n + m)` against the
+    /// exact all-source computation's `O(n·m)`.
+    pub fn diameter_double_sweep(&self) -> Option<u64> {
+        if self.is_empty() {
+            return None;
+        }
+        let first = self.bfs_distances(0);
+        let mut far = 0usize;
+        let mut far_d = 0u32;
+        for (v, &d) in first.iter().enumerate() {
+            if d == u32::MAX {
+                return None;
+            }
+            if d > far_d {
+                far_d = d;
+                far = v;
+            }
+        }
+        self.eccentricity(far)
+    }
+
     /// Eccentricity of `src` (max BFS distance), or `None` if some vertex is
     /// unreachable.
     pub fn eccentricity(&self, src: usize) -> Option<u64> {
@@ -260,6 +285,65 @@ mod tests {
         assert_eq!(g.eccentricity(0), None);
         let lc = g.largest_component();
         assert_eq!(lc.len(), 2);
+    }
+
+    #[test]
+    fn double_sweep_is_exact_on_trees_and_bounded_everywhere() {
+        // Trees: the double sweep finds a true diameter endpoint.
+        let path = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        assert_eq!(path.diameter_double_sweep(), Some(5));
+        let star: Vec<(u32, u32)> = (1..=6).map(|i| (0, i)).collect();
+        let star = Graph::from_edges(7, &star);
+        assert_eq!(star.diameter_double_sweep(), Some(2));
+        // Caterpillar-ish tree rooted asymmetrically.
+        let tree = Graph::from_edges(7, &[(0, 1), (1, 2), (2, 3), (1, 4), (4, 5), (0, 6)]);
+        assert_eq!(tree.diameter_double_sweep(), tree.diameter());
+
+        // Non-trees: est ≤ D ≤ 2·est on known topologies.
+        let cases = [
+            // Cycle C8: D = 4.
+            Graph::from_edges(8, &(0..8).map(|i| (i, (i + 1) % 8)).collect::<Vec<_>>()),
+            // 3×4 grid: D = 5.
+            Graph::from_edges(
+                12,
+                &[
+                    (0, 1),
+                    (1, 2),
+                    (2, 3),
+                    (4, 5),
+                    (5, 6),
+                    (6, 7),
+                    (8, 9),
+                    (9, 10),
+                    (10, 11),
+                    (0, 4),
+                    (4, 8),
+                    (1, 5),
+                    (5, 9),
+                    (2, 6),
+                    (6, 10),
+                    (3, 7),
+                    (7, 11),
+                ],
+            ),
+            // K5: D = 1.
+            Graph::from_edges(
+                5,
+                &(0..5).flat_map(|a| (a + 1..5).map(move |b| (a, b))).collect::<Vec<_>>(),
+            ),
+        ];
+        for g in &cases {
+            let exact = g.diameter().expect("connected");
+            let est = g.diameter_double_sweep().expect("connected");
+            assert!(est <= exact, "estimate {est} exceeds exact {exact}");
+            assert!(exact <= 2 * est, "exact {exact} breaks the 2-approx bound of {est}");
+        }
+    }
+
+    #[test]
+    fn double_sweep_matches_exact_on_degenerate_graphs() {
+        assert_eq!(Graph::from_edges(1, &[]).diameter_double_sweep(), Some(0));
+        assert_eq!(Graph::from_edges(4, &[(0, 1), (2, 3)]).diameter_double_sweep(), None);
     }
 
     #[test]

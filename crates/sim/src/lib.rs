@@ -67,5 +67,5 @@ pub mod trace;
 
 pub use engine::{Counters, Engine, Resolver, RunOutcome};
 pub use ids::{Edge, GlobalChannel, LocalChannel, NodeId, Slot};
-pub use network::{Network, NetworkBuilder, NetworkError, NetworkStats};
+pub use network::{Network, NetworkBuilder, NetworkError, NetworkStats, StatsMode};
 pub use protocol::{Action, Feedback, NodeCtx, Protocol, SlotCtx};

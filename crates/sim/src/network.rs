@@ -66,6 +66,24 @@ impl fmt::Display for NetworkError {
 
 impl std::error::Error for NetworkError {}
 
+/// How much work [`NetworkBuilder::build`] invests in structural statistics.
+///
+/// Exact diameter is an all-source BFS — `O(n·m)` — which dwarfs engine time
+/// when setting up scenarios with `n ≥ 10⁴`. Large benchmarks opt into
+/// [`StatsMode::Approximate`], which replaces it with a double-BFS sweep
+/// (`O(n + m)`) whose estimate `est` satisfies `est ≤ D ≤ 2·est` (exact on
+/// trees). Everything else (`Δ`, `k`, `kmax`, connectivity, edge counts) is
+/// cheap and stays exact in both modes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum StatsMode {
+    /// Exact diameter via all-source BFS. The default.
+    #[default]
+    Exact,
+    /// Double-BFS 2-approximation of the diameter
+    /// ([`crate::graph::Graph::diameter_double_sweep`]).
+    Approximate,
+}
+
 /// Ground-truth structural statistics of a network, matching the paper's
 /// parameter names.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -89,8 +107,11 @@ pub struct NetworkStats {
     pub kmax: usize,
     /// `true` if the graph is connected.
     pub connected: bool,
-    /// Diameter `D` if connected.
+    /// Diameter `D` if connected. Under [`StatsMode::Approximate`] this is
+    /// the double-sweep estimate (`diameter ≤ D ≤ 2·diameter`).
     pub diameter: Option<u64>,
+    /// `true` when `diameter` is the exact value ([`StatsMode::Exact`]).
+    pub diameter_is_exact: bool,
 }
 
 /// An immutable cognitive radio network instance.
@@ -122,7 +143,7 @@ pub struct Network {
 impl Network {
     /// Starts building a network with `n` nodes (identities `0..n`).
     pub fn builder(n: usize) -> NetworkBuilder {
-        NetworkBuilder { n, channels: vec![None; n], edges: Vec::new() }
+        NetworkBuilder { n, channels: vec![None; n], edges: Vec::new(), stats: StatsMode::Exact }
     }
 
     /// Assembles a network from a topology and a channel model, deriving the
@@ -138,9 +159,25 @@ impl Network {
         channels: &crate::channels::ChannelModel,
         seed: u64,
     ) -> Result<Network, NetworkError> {
+        Network::generate_with_stats(topology, channels, seed, StatsMode::Exact)
+    }
+
+    /// [`Network::generate`] with an explicit [`StatsMode`] — large
+    /// benchmarks pass [`StatsMode::Approximate`] so scenario setup stays
+    /// `O(n + m)` instead of being dominated by the exact-diameter BFS.
+    ///
+    /// # Errors
+    /// Propagates [`NetworkError`] from validation, as [`Network::generate`].
+    pub fn generate_with_stats(
+        topology: &crate::topology::Topology,
+        channels: &crate::channels::ChannelModel,
+        seed: u64,
+        stats: StatsMode,
+    ) -> Result<Network, NetworkError> {
         let n = topology.num_nodes();
         let sets = channels.assign(n, &mut crate::rng::stream_rng(seed, 2));
         let mut b = Network::builder(n);
+        b.stats_mode(stats);
         for (v, set) in sets.into_iter().enumerate() {
             b.set_channels(NodeId(v as u32), set);
         }
@@ -305,9 +342,17 @@ pub struct NetworkBuilder {
     n: usize,
     channels: Vec<Option<Vec<GlobalChannel>>>,
     edges: Vec<(NodeId, NodeId)>,
+    stats: StatsMode,
 }
 
 impl NetworkBuilder {
+    /// Chooses how much work [`NetworkBuilder::build`] spends on structural
+    /// statistics (default: [`StatsMode::Exact`]).
+    pub fn stats_mode(&mut self, mode: StatsMode) -> &mut Self {
+        self.stats = mode;
+        self
+    }
+
     /// Assigns node `v` its channel set. The order of the vector *is* the
     /// node's local labeling (label `l` ↦ `chs[l]`), so callers can shuffle
     /// it to model arbitrary local labels.
@@ -414,6 +459,10 @@ impl NetworkBuilder {
         universe_set.sort_unstable();
         universe_set.dedup();
 
+        let diameter = match self.stats {
+            StatsMode::Exact => graph.diameter(),
+            StatsMode::Approximate => graph.diameter_double_sweep(),
+        };
         let stats = NetworkStats {
             n: self.n,
             c,
@@ -423,7 +472,8 @@ impl NetworkBuilder {
             k,
             kmax,
             connected: graph.is_connected(),
-            diameter: graph.diameter(),
+            diameter,
+            diameter_is_exact: self.stats == StatsMode::Exact,
         };
 
         Ok(Network { channels, reverse, graph, adj_bits, universe: universe_set.len(), stats })
@@ -459,6 +509,52 @@ mod tests {
         assert!(s.connected);
         assert_eq!(s.diameter, Some(1));
         assert_eq!(s.universe, 4);
+    }
+
+    #[test]
+    fn approximate_stats_mode_bounds_the_diameter() {
+        // A cycle of 9: D = 4, double-sweep estimate must land in [2, 4].
+        let n = 9usize;
+        let build = |mode: StatsMode| {
+            let mut b = Network::builder(n);
+            b.stats_mode(mode);
+            for v in 0..n {
+                b.set_channels(NodeId(v as u32), vec![g(0)]);
+            }
+            for v in 0..n {
+                b.add_edge(NodeId(v as u32), NodeId(((v + 1) % n) as u32));
+            }
+            b.build().unwrap()
+        };
+        let exact = build(StatsMode::Exact).stats();
+        let approx = build(StatsMode::Approximate).stats();
+        assert!(exact.diameter_is_exact);
+        assert!(!approx.diameter_is_exact);
+        let d = exact.diameter.unwrap();
+        let est = approx.diameter.unwrap();
+        assert!(est <= d && d <= 2 * est, "estimate {est} vs exact {d}");
+        // Everything except the diameter is identical across modes.
+        assert_eq!(
+            NetworkStats { diameter: None, diameter_is_exact: true, ..approx },
+            NetworkStats { diameter: None, diameter_is_exact: true, ..exact }
+        );
+    }
+
+    #[test]
+    fn generate_with_stats_is_the_same_network() {
+        use crate::channels::ChannelModel;
+        use crate::topology::Topology;
+        let t = Topology::RandomGeometric { n: 30, radius: 0.4 };
+        let m = ChannelModel::SharedCore { c: 3, core: 2 };
+        let exact = Network::generate(&t, &m, 5).unwrap();
+        let approx = Network::generate_with_stats(&t, &m, 5, StatsMode::Approximate).unwrap();
+        assert_eq!(exact.edges(), approx.edges(), "same seed, same topology");
+        for v in 0..30u32 {
+            assert_eq!(exact.channel_map(NodeId(v)), approx.channel_map(NodeId(v)));
+        }
+        if let (Some(d), Some(est)) = (exact.stats().diameter, approx.stats().diameter) {
+            assert!(est <= d && d <= 2 * est);
+        }
     }
 
     #[test]

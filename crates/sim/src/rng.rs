@@ -47,6 +47,30 @@ pub fn stream_rng(master: u64, stream: u64) -> SmallRng {
     SmallRng::seed_from_u64(derive_seed(master, stream))
 }
 
+/// Domain-separation salt for per-(slot, channel) streams, so they can never
+/// collide with the per-node streams derived by [`stream_rng`].
+const CHANNEL_STREAM_SALT: u64 = 0xC4A2_77E1_0B5D_93F6;
+
+/// Derives the seed of the RNG stream belonging to `(slot, channel)` of run
+/// `master`.
+///
+/// This is the engine's determinism convention for phase-2 resolution: any
+/// randomized per-channel effect (fading, capture, adversarial noise) must
+/// draw from the stream keyed by *which slot and channel* is being resolved,
+/// never from a shared RNG advanced in resolution order. Keyed this way, the
+/// draws are independent of channel visit order — and therefore of how many
+/// threads the channel-sharded resolver runs on.
+#[inline]
+pub fn channel_slot_seed(master: u64, slot: u64, channel: u32) -> u64 {
+    derive_seed(derive_seed(master ^ CHANNEL_STREAM_SALT, slot), channel as u64)
+}
+
+/// Builds the RNG for channel `channel` in slot `slot` of run `master`.
+/// See [`channel_slot_seed`] for the determinism contract.
+pub fn channel_slot_rng(master: u64, slot: u64, channel: u32) -> SmallRng {
+    SmallRng::seed_from_u64(channel_slot_seed(master, slot, channel))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,6 +99,23 @@ mod tests {
         let xs: Vec<u64> = (0..8).map(|_| a.gen()).collect();
         let ys: Vec<u64> = (0..8).map(|_| b.gen()).collect();
         assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn channel_slot_streams_are_keyed_not_ordered() {
+        // Same key, same stream — regardless of any "visit order".
+        let mut a = channel_slot_rng(7, 3, 11);
+        let mut b = channel_slot_rng(7, 3, 11);
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        // Every component of the key separates the stream.
+        assert_ne!(channel_slot_seed(7, 3, 11), channel_slot_seed(8, 3, 11));
+        assert_ne!(channel_slot_seed(7, 3, 11), channel_slot_seed(7, 4, 11));
+        assert_ne!(channel_slot_seed(7, 3, 11), channel_slot_seed(7, 3, 12));
+        // And it cannot collide with a node stream of the same run by
+        // construction (domain salt); spot-check a window.
+        for v in 0..64u64 {
+            assert_ne!(channel_slot_seed(7, 3, 11), derive_seed(7, v));
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! (realistic multi-hop scenarios).
 
 use rand::rngs::SmallRng;
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 /// A topology description. Call [`Topology::edges`] to materialize it.
 #[derive(Debug, Clone, PartialEq)]
@@ -173,9 +173,26 @@ impl Topology {
             Topology::ErdosRenyi { n, p } => {
                 assert!((0.0..=1.0).contains(&p), "probability out of range");
                 let mut e = Vec::new();
+                // Bulk-draw the per-pair coin words with `fill_u64s`, sizing
+                // each refill to the pairs still remaining so exactly one
+                // word is consumed per pair — the same stream, decisions,
+                // and final RNG state as per-pair `gen_bool` calls, minus
+                // n²/2 individual RNG round trips.
+                let mut remaining = n * n.saturating_sub(1) / 2;
+                let mut buf = [0u64; 512];
+                let mut next = buf.len();
+                let mut have = buf.len();
                 for a in 0..n as u32 {
                     for b in (a + 1)..n as u32 {
-                        if rng.gen_bool(p) {
+                        if next == have {
+                            have = buf.len().min(remaining);
+                            rng.fill_u64s(&mut buf[..have]);
+                            remaining -= have;
+                            next = 0;
+                        }
+                        let word = buf[next];
+                        next += 1;
+                        if rand::unit_f64(word) < p {
                             e.push((a, b));
                         }
                     }
@@ -302,6 +319,34 @@ mod tests {
         let mut r1 = stream_rng(5, 0);
         let mut r2 = stream_rng(5, 0);
         assert_eq!(t.edges(&mut r1), t.edges(&mut r2));
+    }
+
+    #[test]
+    fn erdos_renyi_bulk_draws_match_per_pair_gen_bool() {
+        // The bulk fill must reproduce the per-pair `gen_bool` decisions
+        // *and* leave the RNG in the same state (no over-draw) — including
+        // when the pair count is not a multiple of the refill buffer.
+        for (n, p) in [(20usize, 0.3f64), (40, 0.05), (33, 0.9), (2, 0.5)] {
+            let t = Topology::ErdosRenyi { n, p };
+            let mut bulk_rng = stream_rng(11, 0);
+            let edges = t.edges(&mut bulk_rng);
+            let mut ref_rng = stream_rng(11, 0);
+            let mut reference = Vec::new();
+            for a in 0..n as u32 {
+                for b in (a + 1)..n as u32 {
+                    if ref_rng.gen_bool(p) {
+                        reference.push((a, b));
+                    }
+                }
+            }
+            assert_eq!(edges, reference, "n={n} p={p}");
+            use rand::RngCore;
+            assert_eq!(
+                bulk_rng.next_u64(),
+                ref_rng.next_u64(),
+                "n={n} p={p}: RNG states diverge after edge sampling"
+            );
+        }
     }
 
     #[test]

@@ -8,7 +8,40 @@
 use crn_core::baselines::NaiveBroadcast;
 use crn_core::cgcast::CGCast;
 use crn_core::discovery::{all_discovered, all_good_discovered, DiscoveryProtocol};
-use crn_sim::{Counters, Engine, Network, NodeCtx, NodeId};
+use crn_sim::{Counters, Engine, Network, NodeCtx, NodeId, Resolver};
+
+/// How each trial's engine executes: the slot resolution strategy, including
+/// the number of phase-2 shard threads when parallel resolution is wanted.
+///
+/// Trials themselves are already run in parallel (one engine per worker), so
+/// the default is a sequential engine — [`EngineExec::sharded`] is for the
+/// opposite regime: few/huge runs where a *single* engine must use many
+/// cores. Every execution mode is observationally identical (enforced by the
+/// engine's differential tests), so this knob never changes results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineExec {
+    /// The resolution strategy trials run with.
+    pub resolver: Resolver,
+}
+
+impl Default for EngineExec {
+    fn default() -> Self {
+        EngineExec::sequential()
+    }
+}
+
+impl EngineExec {
+    /// Sequential engine with the adaptive per-channel resolver.
+    pub fn sequential() -> EngineExec {
+        EngineExec { resolver: Resolver::Auto }
+    }
+
+    /// Channel-sharded engine: phase-2 resolution on `threads` scoped
+    /// worker threads per slot.
+    pub fn sharded(threads: usize) -> EngineExec {
+        EngineExec { resolver: Resolver::sharded(threads) }
+    }
+}
 
 /// Result of one trial.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,9 +133,27 @@ where
     P: DiscoveryProtocol,
     F: Fn(NodeCtx) -> P + Sync,
 {
+    discovery_trials_exec(net, make, trials, base_seed, max_slots, EngineExec::default())
+}
+
+/// [`discovery_trials`] with an explicit engine execution mode (the
+/// engine-threads knob: pass [`EngineExec::sharded`] to resolve each slot's
+/// channels across a thread pool inside every trial).
+pub fn discovery_trials_exec<P, F>(
+    net: &Network,
+    make: F,
+    trials: usize,
+    base_seed: u64,
+    max_slots: u64,
+    exec: EngineExec,
+) -> Vec<Trial>
+where
+    P: DiscoveryProtocol,
+    F: Fn(NodeCtx) -> P + Sync,
+{
     run_parallel(trials, |i| {
         let seed = base_seed.wrapping_add(i as u64);
-        let mut eng = Engine::new(net, seed, &make);
+        let mut eng = Engine::with_resolver(net, seed, exec.resolver, &make);
         let mut probe = |_s: u64, e: &Engine<'_, P>| all_discovered(net, e);
         let outcome = eng.run(max_slots, Some((PROBE_EVERY, &mut probe)));
         Trial {
@@ -150,9 +201,20 @@ pub fn cgcast_trials(
     trials: usize,
     base_seed: u64,
 ) -> Vec<Trial> {
+    cgcast_trials_exec(net, sched, trials, base_seed, EngineExec::default())
+}
+
+/// [`cgcast_trials`] with an explicit engine execution mode.
+pub fn cgcast_trials_exec(
+    net: &Network,
+    sched: crn_core::params::GcastSchedule,
+    trials: usize,
+    base_seed: u64,
+    exec: EngineExec,
+) -> Vec<Trial> {
     run_parallel(trials, |i| {
         let seed = base_seed.wrapping_add(i as u64);
-        let mut eng = Engine::new(net, seed, |ctx: NodeCtx| {
+        let mut eng = Engine::with_resolver(net, seed, exec.resolver, |ctx: NodeCtx| {
             CGCast::new(ctx.id, sched, (ctx.id == NodeId(0)).then_some(0xBEEF))
         });
         let mut probe = |_s: u64, e: &Engine<'_, CGCast>| {
@@ -271,6 +333,39 @@ mod tests {
         let single = run(1);
         for threads in [2, 3, 8, 32] {
             assert_eq!(run(threads), single, "{threads} threads diverge from 1");
+        }
+    }
+
+    #[test]
+    fn sharded_engine_exec_matches_sequential_trials() {
+        // The engine-threads knob changes only how phase-2 work is
+        // scheduled; every trial statistic must be byte-identical.
+        let built = Scenario::new(
+            "exec",
+            Topology::RandomGeometric { n: 24, radius: 0.45 },
+            ChannelModel::SharedCore { c: 3, core: 2 },
+            4,
+        )
+        .build()
+        .unwrap();
+        let sched = SeekParams::default().schedule(&built.model);
+        let run = |exec: EngineExec| {
+            discovery_trials_exec(
+                &built.net,
+                |ctx| CSeek::new(ctx.id, sched, false),
+                4,
+                55,
+                sched.total_slots(),
+                exec,
+            )
+        };
+        let sequential = run(EngineExec::sequential());
+        for threads in [2usize, 4] {
+            assert_eq!(
+                run(EngineExec::sharded(threads)),
+                sequential,
+                "sharded engine ({threads} threads) diverges from sequential"
+            );
         }
     }
 

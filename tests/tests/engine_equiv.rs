@@ -1,11 +1,13 @@
 //! Differential equivalence tests for the engine's slot resolvers.
 //!
 //! The optimized resolution strategies (broadcaster-centric CSR sweep,
-//! listener-centric word intersection, and the Auto heuristic that mixes
-//! them per channel) must be *observationally identical* to the naive
-//! reference resolver — bit-for-bit equal counters, per-slot feedback
-//! traces, and outputs — on every network, seed, and action mix. This file
-//! drives randomized networks through all four resolvers side by side.
+//! listener-centric word intersection, the Auto heuristic that mixes them
+//! per channel, and the channel-sharded parallel resolver at every thread
+//! count) must be *observationally identical* to the naive reference
+//! resolver — bit-for-bit equal counters, per-slot feedback traces, and
+//! outputs — on every network, seed, and action mix. This file drives
+//! randomized networks through all resolvers side by side, including a
+//! proptest property over topology/channel-count/seed space.
 
 use crn_sim::channels::ChannelModel;
 use crn_sim::engine::Resolver;
@@ -89,8 +91,21 @@ fn run(
     (eng.counters(), eng.into_outputs())
 }
 
-/// The scenario matrix: all four resolvers over randomized topologies,
-/// channel assignments, broadcast densities, and seeds.
+/// Every optimized resolver, including the sharded one at thread counts
+/// {1, 2, 4, 8}. Sequential modes must match `Naive` bit-for-bit; the
+/// sharded mode must do so at *every* thread count.
+const OPTIMIZED_RESOLVERS: [Resolver; 7] = [
+    Resolver::Auto,
+    Resolver::BroadcasterCentric,
+    Resolver::ListenerCentric,
+    Resolver::ParallelSharded { threads: 1 },
+    Resolver::ParallelSharded { threads: 2 },
+    Resolver::ParallelSharded { threads: 4 },
+    Resolver::ParallelSharded { threads: 8 },
+];
+
+/// The scenario matrix: all resolvers over randomized topologies, channel
+/// assignments, broadcast densities, and seeds.
 #[test]
 fn all_resolvers_agree_on_randomized_networks() {
     let scenarios: Vec<(Topology, ChannelModel, f64)> = vec![
@@ -124,9 +139,7 @@ fn all_resolvers_agree_on_randomized_networks() {
                 ref_counters.deliveries > 0,
                 "scenario {si} seed {seed} never delivers — not probing anything"
             );
-            for resolver in
-                [Resolver::Auto, Resolver::BroadcasterCentric, Resolver::ListenerCentric]
-            {
+            for resolver in OPTIMIZED_RESOLVERS {
                 let (counters, traces) = run(&net, resolver, seed, c, p_bcast, slots);
                 assert_eq!(
                     counters, ref_counters,
@@ -160,12 +173,79 @@ fn switching_resolvers_mid_run_changes_nothing() {
         id: ctx.id.0,
         trace: Vec::new(),
     });
-    let rotation =
-        [Resolver::BroadcasterCentric, Resolver::ListenerCentric, Resolver::Auto, Resolver::Naive];
+    let rotation = [
+        Resolver::BroadcasterCentric,
+        Resolver::ListenerCentric,
+        Resolver::Auto,
+        Resolver::ParallelSharded { threads: 3 },
+        Resolver::Naive,
+        Resolver::ParallelSharded { threads: 2 },
+    ];
     for i in 0..96 {
         eng.set_resolver(rotation[i % rotation.len()]);
         eng.step();
     }
     assert_eq!(eng.counters(), ref_counters);
     assert_eq!(eng.into_outputs(), ref_traces);
+}
+
+/// Property over topology/channel-count/seed space: the sequential engine
+/// and the channel-sharded engine at 2, 4, and 8 threads are bit-identical
+/// (counters *and* full per-slot feedback traces) on randomized networks.
+mod sharded_equivalence_property {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn topology(kind: u8, n: usize) -> Topology {
+        match kind % 5 {
+            0 => Topology::Star { leaves: n.max(2) - 1 },
+            1 => Topology::Cycle { n: n.max(3) },
+            2 => Topology::Complete { n: n.max(2) },
+            3 => Topology::ErdosRenyi { n: n.max(2), p: 0.2 },
+            _ => Topology::RandomGeometric { n: n.max(2), radius: 0.4 },
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn sharded_matches_sequential(
+            kind in 0u8..5,
+            n in 4usize..40,
+            c in 1u16..5,
+            core in 1u16..3,
+            seed in 0u64..1_000,
+            p_bcast in 0.1f64..0.9,
+        ) {
+            let core = core.min(c) as usize;
+            let net = build_network(
+                &topology(kind, n),
+                &ChannelModel::SharedCore { c: c as usize, core },
+                seed.wrapping_mul(0x9E37) ^ kind as u64,
+            );
+            let c = net.channels_per_node() as u16;
+            let slots = 48;
+            let (ref_counters, ref_traces) =
+                run(&net, Resolver::Auto, seed, c, p_bcast, slots);
+            for threads in [2usize, 4, 8] {
+                let (counters, traces) = run(
+                    &net,
+                    Resolver::ParallelSharded { threads },
+                    seed,
+                    c,
+                    p_bcast,
+                    slots,
+                );
+                prop_assert_eq!(
+                    counters, ref_counters,
+                    "threads={} diverges on counters", threads
+                );
+                prop_assert_eq!(
+                    &traces, &ref_traces,
+                    "threads={} diverges on feedback traces", threads
+                );
+            }
+        }
+    }
 }
