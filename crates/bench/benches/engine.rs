@@ -1,12 +1,16 @@
 //! Engine micro-benchmarks: raw slot throughput of the simulator substrate.
 //!
-//! Two suites:
+//! Three suites:
 //!
 //! * `engine_slot_throughput` — a topology matrix (star / random dense
 //!   Erdős–Rényi / random geometric) at n ∈ {100, 1k, 5k}, comparing the
 //!   optimized `Resolver::Auto` against the seed's `Resolver::Naive`
 //!   listener×broadcaster scan. This is the repo's perf trajectory for the
 //!   hot path every experiment sits on.
+//! * `small_slot_200` — the amortized regime: n = 200, 1024 slots. Per-slot
+//!   fixed costs dominate here; this is the row that keeps the sharded
+//!   resolver's per-slot overhead (worker wake/park, formerly thread spawn)
+//!   honest.
 //! * `dense_broadcast_5000` — the acceptance scenario: a random graph with
 //!   n = 5000 and average degree ≥ 64, every node broadcasting or listening
 //!   each slot on a handful of shared channels. The optimized resolver must
@@ -110,6 +114,41 @@ fn engine_throughput(criterion: &mut Criterion) {
     group.finish();
 }
 
+/// Small-slot regime: n = 200 on a sparse random graph, many slots — the
+/// amortized-cost scenario the paper's Ω(polylog n)-slot primitives live
+/// in, where per-slot overhead (not peak throughput) decides wall-clock.
+/// This is the scenario the engine's persistent worker pool exists for:
+/// with per-slot thread spawning the `sharded*` rows here pay a full
+/// spawn/join per slot; with the parked pool they pay one wake/park
+/// round-trip. The `auto`/`naive` rows are gated by `bench_regress`; the
+/// `sharded*` rows need idle cores and are tracked but exempt (see
+/// `SHARDED_EXEMPT` in `bench_regress`).
+fn small_slot(criterion: &mut Criterion) {
+    let n = 200usize;
+    let slots = 1024u64;
+    // Average degree ~8: enough contention for several touched channels per
+    // slot (so the sharded path actually engages), small enough that one
+    // slot is only a few microseconds of resolution work.
+    let topology = Topology::ErdosRenyi { n, p: 8.0 / (n as f64 - 1.0) };
+    let channels = ChannelModel::Identical { c: 3 };
+    let net = build(&topology, &channels, 13);
+
+    let mut group = criterion.benchmark_group("small_slot_200");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(slots * n as u64));
+    for (rname, resolver) in [
+        ("auto", Resolver::Auto),
+        ("naive", Resolver::Naive),
+        ("sharded2", Resolver::ParallelSharded { threads: 2 }),
+        ("sharded4", Resolver::ParallelSharded { threads: 4 }),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(rname), &n, |b, _| {
+            b.iter(|| run_slots(&net, resolver, 3, slots))
+        });
+    }
+    group.finish();
+}
+
 /// Acceptance scenario: dense broadcast storm. Random graph, n = 5000,
 /// average degree ≥ 64, all nodes broadcasting-or-listening on 2 shared
 /// channels. `auto` must be ≥ 2× faster per slot than `naive` here.
@@ -151,6 +190,6 @@ fn dense_broadcast(criterion: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = engine_throughput, dense_broadcast
+    targets = engine_throughput, small_slot, dense_broadcast
 }
 criterion_main!(benches);

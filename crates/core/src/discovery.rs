@@ -1,4 +1,17 @@
-//! Common types and ground-truth checkers for neighbor discovery.
+//! The neighbor-discovery problem (paper §1): shared output/probe types
+//! and ground-truth checkers.
+//!
+//! Discovery is the paper's central primitive — "each node wants to learn
+//! the identities of its neighbors" — and three implementations compete on
+//! it: [`CSeek`](crate::seek::CSeek) (Theorem 4),
+//! [`NaiveDiscovery`](crate::baselines::NaiveDiscovery) (§1's strawman),
+//! and [`FixedRateDiscovery`](crate::baselines::FixedRateDiscovery) (the
+//! §2 related-work bound). They all produce a [`DiscoveryOutput`] and
+//! implement [`DiscoveryProtocol`], so harnesses can probe progress
+//! mid-run and validate completion against the network's ground truth
+//! ([`all_discovered`], [`all_good_discovered`] — the latter for the
+//! k̂-neighbor variant of §4.4, where only neighbors sharing ≥ k̂ channels
+//! must be found).
 
 use crn_sim::{Engine, LocalChannel, Network, NodeId, Protocol};
 

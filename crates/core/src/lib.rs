@@ -3,19 +3,30 @@
 //! A faithful implementation of the algorithms from *"Communication
 //! Primitives in Cognitive Radio Networks"* (Gilbert, Kuhn, Zheng —
 //! PODC 2017, arXiv:1703.06130), running on the model simulator from
-//! [`crn_sim`]:
+//! [`crn_sim`]. Each module carries the paper section it reproduces:
 //!
-//! * [`count`] — COUNT, constant-factor contention estimation (Lemma 1);
+//! * [`count`] — COUNT, constant-factor contention estimation
+//!   (§4.1, Appendix A, Lemma 1);
+//! * [`discovery`] — the neighbor-discovery problem statement (§1):
+//!   [`DiscoveryOutput`], the [`DiscoveryProtocol`] probe interface, and
+//!   the ground-truth checkers experiments measure against;
 //! * [`seek`] — CSEEK, neighbor discovery in `Õ(c²/k + (kmax/k)·Δ)`
-//!   (Theorem 4), which doubles as CKSEEK for k̂-neighbor discovery
-//!   (Theorem 6) via [`params::SeekParams::kseek_schedule`];
+//!   (§4.2–4.3, Theorem 4), which doubles as CKSEEK for k̂-neighbor
+//!   discovery (§4.4, Theorem 6) via
+//!   [`params::SeekParams::kseek_schedule`];
+//! * [`exchange`] — the discovery-to-message-exchange reduction of §5.1
+//!   ("solve discovery in `T` time and neighbors can exchange a message
+//!   in `T` time"), CGCAST's workhorse;
 //! * [`coloring`] — line graphs and the Luby-style `2Δ` node coloring the
-//!   paper adapts for edge coloring (Lemma 8, Fact 7);
+//!   paper adapts for edge coloring (§5.2, Fact 7, Lemma 8);
 //! * [`cgcast`] — CGCAST, global broadcast in
-//!   `Õ(c²/k + (kmax/k)·Δ + D·Δ)` (Theorem 9);
+//!   `Õ(c²/k + (kmax/k)·Δ + D·Δ)` (§5, Theorem 9);
 //! * [`baselines`] — the naive and fixed-rate comparison algorithms from
 //!   §1–2;
-//! * [`params`] — every schedule constant, documented and sweepable.
+//! * [`adversary`] — jamming extensions beyond the paper's clean model
+//!   (motivated by §1's "disruptive devices");
+//! * [`params`] — every hidden schedule constant behind the paper's
+//!   `Θ(·)`s, documented and sweepable.
 //!
 //! ## Quick start
 //!

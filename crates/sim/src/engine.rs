@@ -13,9 +13,10 @@
 //!    listener: it hears a message iff **exactly one** of its neighbors
 //!    broadcast on the listened channel. Channels are independent within a
 //!    slot, so [`Resolver::ParallelSharded`] partitions the touched channels
-//!    across a scoped thread pool (per-thread scratch, deterministic
-//!    cost-balanced partition); every other [`Resolver`] runs the same
-//!    per-channel strategies sequentially.
+//!    across the calling thread plus a persistent [`WorkerPool`] of parked
+//!    workers (per-shard scratch, deterministic cost-balanced partition,
+//!    one atomic-generation wake per slot — see [`crate::pool`]); every
+//!    other [`Resolver`] runs the same per-channel strategies sequentially.
 //!
 //! Feedback is then delivered with heard messages passed by reference out of
 //! the broadcasters' action buffer (the engine never clones a payload).
@@ -56,6 +57,7 @@
 use crate::bitset::{BitSet, Intersection};
 use crate::ids::{GlobalChannel, LocalChannel, NodeId, Slot};
 use crate::network::Network;
+use crate::pool::WorkerPool;
 use crate::protocol::{Action, Feedback, NodeCtx, Protocol, SlotCtx};
 use crate::rng::{channel_slot_rng, stream_rng};
 use rand::rngs::SmallRng;
@@ -112,11 +114,14 @@ pub enum Resolver {
     /// Kept for differential testing and as the benchmark baseline.
     Naive,
     /// Channel-sharded parallel resolution: the touched channels of a slot
-    /// are partitioned across `threads` scoped worker threads (channels are
-    /// independent within a slot; each shard resolves its channels with the
-    /// [`Resolver::Auto`] heuristic and its own scratch). Bit-identical to
-    /// the sequential strategies at any thread count; `threads ≤ 1` falls
-    /// back to sequential `Auto`.
+    /// are partitioned across the calling thread plus `threads − 1`
+    /// persistent pool workers (channels are independent within a slot;
+    /// each shard resolves its channels with the [`Resolver::Auto`]
+    /// heuristic and its own scratch). The engine-owned [`WorkerPool`] is
+    /// spawned on the first sharded slot, parks between slots, and is torn
+    /// down on drop — per-slot cost is a generation-counter wake, not a
+    /// thread spawn. Bit-identical to the sequential strategies at any
+    /// thread count; `threads ≤ 1` falls back to sequential `Auto`.
     ParallelSharded {
         /// Worker threads for phase-2 resolution.
         threads: usize,
@@ -214,16 +219,19 @@ pub struct Engine<'net, P: Protocol> {
     /// ascending node order within each group.
     bcast_nodes: Vec<u32>,
     listen_nodes: Vec<u32>,
-    /// Resolution scratch: `[0]` serves sequential resolution; grown on
-    /// demand to one per shard thread.
-    scratch: Vec<Scratch>,
-    /// Per-shard outcome buffers (listener-position order), persisted across
-    /// slots to avoid reallocation.
-    shard_out: Vec<Vec<Outcome>>,
+    /// Per-shard resolution state (epoch-stamped scratch + outcome buffer),
+    /// long-lived across slots: `[0]` serves sequential resolution and the
+    /// caller-thread shard, `[1..]` belong to the pool workers.
+    shards: Vec<ShardSlot>,
     /// Per-channel cost proxies and group bounds for the sharded partition,
     /// persisted across slots to avoid reallocation.
     shard_weights: Vec<u64>,
     shard_bounds: Vec<(usize, usize)>,
+    /// Persistent phase-2 worker pool. Spawned lazily on the first sharded
+    /// slot (sequential engines never pay for it), kept parked between
+    /// slots, re-sized if the resolver's thread count changes, and torn
+    /// down when the engine drops.
+    pool: Option<WorkerPool>,
 }
 
 /// A progress probe: evaluated every `interval` slots with the slot count
@@ -282,6 +290,23 @@ impl Scratch {
             epoch: 0,
             bcast_bits: BitSet::new(n),
         }
+    }
+}
+
+/// One shard's long-lived resolution state: the epoch-stamped [`Scratch`]
+/// plus the outcome buffer the shard resolves into (listener-position
+/// order). Shard 0 belongs to the calling thread (and doubles as the
+/// sequential engine's scratch); shards `1..` are handed to pool workers —
+/// each worker mutates only its own slot, which is what makes the
+/// fork-join hand-out race-free.
+struct ShardSlot {
+    scratch: Scratch,
+    out: Vec<Outcome>,
+}
+
+impl ShardSlot {
+    fn new(n: usize) -> ShardSlot {
+        ShardSlot { scratch: Scratch::new(n), out: Vec::new() }
     }
 }
 
@@ -568,11 +593,39 @@ impl<'net, P: Protocol> Engine<'net, P> {
             l_off: Vec::new(),
             bcast_nodes: Vec::new(),
             listen_nodes: Vec::new(),
-            scratch: vec![Scratch::new(n)],
-            shard_out: Vec::new(),
+            shards: vec![ShardSlot::new(n)],
             shard_weights: Vec::new(),
             shard_bounds: Vec::new(),
+            pool: None,
         }
+    }
+
+    /// Re-arms the engine for a fresh run on the same network: rebuilds
+    /// every node's protocol via `make`, re-derives all node RNG streams
+    /// from `seed`, and zeroes the slot counter and [`Counters`].
+    ///
+    /// Everything expensive survives: the channel translation table, the
+    /// flat action buckets, the per-shard scratch, and — crucially — the
+    /// persistent worker pool, whose threads stay parked rather than being
+    /// torn down and re-spawned. A reset engine is observationally
+    /// indistinguishable from a freshly constructed one (the epoch-stamped
+    /// scratch makes stale state invisible by construction; enforced by the
+    /// reuse regression test in `tests/tests/engine_equiv.rs`), so trial
+    /// harnesses can amortize engine setup across many runs.
+    pub fn reset(&mut self, seed: u64, mut make: impl FnMut(NodeCtx) -> P) {
+        let n = self.net.len();
+        let c = self.c;
+        self.protocols = (0..n)
+            .map(|v| make(NodeCtx { id: NodeId(v as u32), num_channels: c as u16 }))
+            .collect();
+        self.rngs = (0..n).map(|v| stream_rng(seed, v as u64)).collect();
+        self.seed = seed;
+        self.slot = 0;
+        self.counters = Counters::default();
+        // `slot_epoch` keeps counting monotonically: the stamps in
+        // `chan_epoch` and the shard scratches only ever compare for
+        // equality with the *current* epoch, so continuing the sequence is
+        // exactly as invisible as starting over — and cheaper.
     }
 
     /// The network this engine runs on.
@@ -792,9 +845,9 @@ impl<'net, P: Protocol> Engine<'net, P> {
     /// `self.outcomes` in place.
     fn resolve_all_sequential(&mut self, strategy: Resolver) {
         let Engine {
-            net, touched, b_off, l_off, bcast_nodes, listen_nodes, scratch, outcomes, ..
+            net, touched, b_off, l_off, bcast_nodes, listen_nodes, shards, outcomes, ..
         } = self;
-        let scratch = &mut scratch[0];
+        let scratch = &mut shards[0].scratch;
         for ti in 0..touched.len() {
             let bs = &bcast_nodes[b_off[ti] as usize..b_off[ti + 1] as usize];
             let ls = &listen_nodes[l_off[ti] as usize..l_off[ti + 1] as usize];
@@ -809,7 +862,8 @@ impl<'net, P: Protocol> Engine<'net, P> {
         }
     }
 
-    /// Resolves the touched channels on `threads` scoped worker threads.
+    /// Resolves the touched channels across `threads`-way parallelism: the
+    /// calling thread plus `threads − 1` persistent pool workers.
     ///
     /// The partition is contiguous in touched order and balanced by a
     /// deterministic per-channel cost proxy (`1 + L + Σ_b deg(b)`); each
@@ -819,12 +873,16 @@ impl<'net, P: Protocol> Engine<'net, P> {
     /// a slot and resolution is deterministic, so the result is
     /// bit-identical to sequential resolution at any thread count.
     ///
-    /// Workers are spawned per slot via `std::thread::scope`: the shards
-    /// borrow the network and the slot's bucket slices, which a persistent
-    /// (`'static`) pool could not do in safe Rust without wrapping the
-    /// engine's internals in `Arc`s. The spawn cost (~tens of µs) amortizes
-    /// on the big-slot workloads sharding targets; ROADMAP tracks the
-    /// parked-pool rework for fine-grained slots.
+    /// Workers live in a persistent [`WorkerPool`] owned by the engine:
+    /// parked between slots and woken by a generation counter, so the
+    /// per-slot cost is one wake/park round-trip instead of the
+    /// spawn/join (~tens of µs) the previous `std::thread::scope`
+    /// implementation paid — the difference between losing and winning on
+    /// the small-slot, many-slot workloads the paper's Ω(polylog n)-slot
+    /// primitives produce (see `small_slot_200` in the engine bench). The
+    /// pool is spawned on the first sharded slot and re-sized if the
+    /// resolver's thread count changes; shard 0 always runs on the calling
+    /// thread, overlapping with the workers.
     fn resolve_all_sharded(&mut self, threads: usize) {
         let t = self.touched.len();
         let n = self.net.len();
@@ -854,11 +912,15 @@ impl<'net, P: Protocol> Engine<'net, P> {
         self.shard_bounds.push((start, t));
         let groups = self.shard_bounds.len();
 
-        while self.scratch.len() < groups {
-            self.scratch.push(Scratch::new(n));
+        while self.shards.len() < groups {
+            self.shards.push(ShardSlot::new(n));
         }
-        while self.shard_out.len() < groups {
-            self.shard_out.push(Vec::new());
+        // Workers beyond shard 0, spawned once and kept parked between
+        // slots; recreated (old pool torn down gracefully) only if the
+        // resolver's thread count changed since the last sharded slot.
+        let workers = threads - 1;
+        if self.pool.as_ref().map(WorkerPool::workers) != Some(workers) {
+            self.pool = Some(WorkerPool::new(workers));
         }
 
         let Engine {
@@ -868,10 +930,10 @@ impl<'net, P: Protocol> Engine<'net, P> {
             l_off,
             bcast_nodes,
             listen_nodes,
-            scratch,
-            shard_out,
+            shards,
             shard_bounds,
             outcomes,
+            pool,
             ..
         } = self;
         let net: &Network = net;
@@ -879,44 +941,49 @@ impl<'net, P: Protocol> Engine<'net, P> {
         let (b_off, l_off): (&[u32], &[u32]) = (b_off, l_off);
         let (bcast_nodes, listen_nodes): (&[u32], &[u32]) = (bcast_nodes, listen_nodes);
 
-        std::thread::scope(|scope| {
-            for ((&(lo, hi), scratch), out) in
-                bounds.iter().zip(scratch[..groups].iter_mut()).zip(shard_out[..groups].iter_mut())
-            {
-                scope.spawn(move || {
-                    let listeners_total = (l_off[hi] - l_off[lo]) as usize;
-                    out.clear();
-                    out.resize(listeners_total, Outcome::Idle);
-                    let mut base = 0usize;
-                    for ti in lo..hi {
-                        let bs = &bcast_nodes[b_off[ti] as usize..b_off[ti + 1] as usize];
-                        let ls = &listen_nodes[l_off[ti] as usize..l_off[ti + 1] as usize];
-                        if !bs.is_empty() && !ls.is_empty() {
-                            let slice = &mut out[base..base + ls.len()];
-                            resolve_channel_into(
-                                net,
-                                scratch,
-                                Resolver::Auto,
-                                bs,
-                                ls,
-                                &mut |pos, _, oc| slice[pos] = oc,
-                            );
-                        }
-                        base += ls.len();
-                    }
-                });
+        // One shard's work, identical on the calling thread and on a pool
+        // worker: resolve the group's channels into the shard's private
+        // outcome buffer (listener-position order) with private scratch.
+        let resolve_group = |g: usize, shard: &mut ShardSlot| {
+            let (lo, hi) = bounds[g];
+            let listeners_total = (l_off[hi] - l_off[lo]) as usize;
+            shard.out.clear();
+            shard.out.resize(listeners_total, Outcome::Idle);
+            let mut base = 0usize;
+            for ti in lo..hi {
+                let bs = &bcast_nodes[b_off[ti] as usize..b_off[ti + 1] as usize];
+                let ls = &listen_nodes[l_off[ti] as usize..l_off[ti + 1] as usize];
+                if !bs.is_empty() && !ls.is_empty() {
+                    let slice = &mut shard.out[base..base + ls.len()];
+                    resolve_channel_into(
+                        net,
+                        &mut shard.scratch,
+                        Resolver::Auto,
+                        bs,
+                        ls,
+                        &mut |pos, _, oc| slice[pos] = oc,
+                    );
+                }
+                base += ls.len();
             }
-        });
+        };
+
+        let (first, rest) = shards.split_at_mut(1);
+        pool.as_mut().expect("pool ensured above").run_with(
+            &mut rest[..groups - 1],
+            |w, shard| resolve_group(w + 1, shard),
+            || resolve_group(0, &mut first[0]),
+        );
 
         // Scatter the shard buffers into per-node outcomes. Every listener
         // belongs to exactly one channel (a node takes one action per
         // slot), so the writes are disjoint and order-free.
-        for (&(lo, hi), out) in bounds.iter().zip(shard_out[..groups].iter()) {
+        for (&(lo, hi), shard) in bounds.iter().zip(shards[..groups].iter()) {
             let mut base = 0usize;
             for ti in lo..hi {
                 let ls = &listen_nodes[l_off[ti] as usize..l_off[ti + 1] as usize];
                 for (j, &l) in ls.iter().enumerate() {
-                    outcomes[l as usize] = out[base + j];
+                    outcomes[l as usize] = shard.out[base + j];
                 }
                 base += ls.len();
             }

@@ -180,6 +180,8 @@ fn distinct_channel_dumbbell(legs: usize) -> crn_sim::Network {
 pub fn a3b_uncolored_dissemination(cfg: &ExpConfig) -> Table {
     let legs = if cfg.quick { 5 } else { 6 };
     let net = distinct_channel_dumbbell(legs);
+    // StatsMode audit: stays Exact — the diameter feeds the CGCAST
+    // schedule one line down (and the network is tiny anyway).
     let d = net.stats().diameter.expect("connected"); // 3
     let model = ModelInfo::from_stats(&net.stats());
     let sched = GcastParams { dissemination_phases: d, ..Default::default() }.schedule(&model);

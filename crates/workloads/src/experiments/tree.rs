@@ -41,6 +41,9 @@ pub fn e10_tree_lower_bound(cfg: &ExpConfig) -> Table {
         // k = 1 instances by design — its setup pays the full c²/k term).
         let cgcast_mean = if n <= 64 {
             let model = ModelInfo::from_stats(&net.stats());
+            // StatsMode audit: this builder must stay Exact — the measured
+            // diameter sizes CGCAST's dissemination phases below, so an
+            // approximate estimate would change the schedule (and results).
             let params = GcastParams {
                 dissemination_phases: net.stats().diameter.unwrap_or(depth as u64 * 2),
                 ..Default::default()

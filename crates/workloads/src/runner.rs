@@ -16,8 +16,12 @@ use crn_sim::{Counters, Engine, Network, NodeCtx, NodeId, Resolver};
 /// Trials themselves are already run in parallel (one engine per worker), so
 /// the default is a sequential engine — [`EngineExec::sharded`] is for the
 /// opposite regime: few/huge runs where a *single* engine must use many
-/// cores. Every execution mode is observationally identical (enforced by the
-/// engine's differential tests), so this knob never changes results.
+/// cores. A sharded trial engine owns a persistent worker pool
+/// ([`crn_sim::pool::WorkerPool`]): the workers are spawned on the first
+/// sharded slot of the trial, stay parked between slots, and are torn down
+/// with the engine — so even many-slot trials pay thread setup once, not
+/// per slot. Every execution mode is observationally identical (enforced by
+/// the engine's differential tests), so this knob never changes results.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineExec {
     /// The resolution strategy trials run with.
@@ -36,10 +40,17 @@ impl EngineExec {
         EngineExec { resolver: Resolver::Auto }
     }
 
-    /// Channel-sharded engine: phase-2 resolution on `threads` scoped
-    /// worker threads per slot.
+    /// Channel-sharded engine: phase-2 resolution on the trial thread plus
+    /// `threads − 1` persistent pool workers.
     pub fn sharded(threads: usize) -> EngineExec {
         EngineExec { resolver: Resolver::sharded(threads) }
+    }
+
+    /// [`EngineExec::sharded`] at the machine's available parallelism —
+    /// the right call for a single huge run on an otherwise idle host.
+    /// Safe to use anywhere: results never depend on the thread count.
+    pub fn sharded_auto() -> EngineExec {
+        EngineExec::sharded(std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1))
     }
 }
 

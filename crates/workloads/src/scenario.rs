@@ -5,7 +5,7 @@ use crn_core::params::ModelInfo;
 use crn_sim::channels::{prune_edges_by_overlap, shuffle_local_labels, ChannelModel};
 use crn_sim::rng::stream_rng;
 use crn_sim::topology::Topology;
-use crn_sim::{Network, NetworkError, NodeId};
+use crn_sim::{Network, NetworkError, NodeId, StatsMode};
 
 /// A reproducible network scenario.
 #[derive(Debug, Clone)]
@@ -23,6 +23,15 @@ pub struct Scenario {
     pub prune_min_overlap: Option<usize>,
     /// Master seed for topology/channel randomness.
     pub seed: u64,
+    /// How much work [`Scenario::build`] spends on structural statistics
+    /// (default [`StatsMode::Exact`]). [`ModelInfo`] — and therefore every
+    /// protocol schedule — depends only on `n`/`c`/`Δ`/`k`/`kmax`, which
+    /// stay exact in both modes, so a builder whose experiment never reads
+    /// `stats().diameter` can opt into [`StatsMode::Approximate`] at large
+    /// `n` with bit-identical results and `O(n + m)` instead of `O(n·m)`
+    /// setup. Builders that *do* consume the diameter (e.g. to size
+    /// CGCAST's dissemination phases) must stay exact.
+    pub stats: StatsMode,
 }
 
 impl Scenario {
@@ -33,12 +42,26 @@ impl Scenario {
         channels: ChannelModel,
         seed: u64,
     ) -> Self {
-        Scenario { name: name.into(), topology, channels, prune_min_overlap: None, seed }
+        Scenario {
+            name: name.into(),
+            topology,
+            channels,
+            prune_min_overlap: None,
+            seed,
+            stats: StatsMode::Exact,
+        }
     }
 
     /// Enables overlap-based edge pruning (for [`ChannelModel::RandomPool`]).
     pub fn with_prune(mut self, min_overlap: usize) -> Self {
         self.prune_min_overlap = Some(min_overlap);
+        self
+    }
+
+    /// Chooses the [`StatsMode`] for [`Scenario::build`] — see the
+    /// eligibility note on [`Scenario::stats`].
+    pub fn with_stats(mut self, stats: StatsMode) -> Self {
+        self.stats = stats;
         self
     }
 
@@ -60,6 +83,7 @@ impl Scenario {
         };
         shuffle_local_labels(&mut sets, &mut label_rng);
         let mut b = Network::builder(n);
+        b.stats_mode(self.stats);
         for (v, set) in sets.into_iter().enumerate() {
             b.set_channels(NodeId(v as u32), set);
         }
@@ -113,6 +137,30 @@ mod tests {
         for v in 0..20u32 {
             assert_eq!(a.net.channel_map(NodeId(v)), b.net.channel_map(NodeId(v)));
         }
+    }
+
+    #[test]
+    fn approximate_stats_build_same_network_same_model() {
+        // The StatsMode knob must change only the diameter estimate: the
+        // network itself and every ModelInfo field (all that schedules
+        // consume) must be bit-identical — this is what makes switching
+        // large diameter-insensitive experiment builders to Approximate a
+        // pure setup-cost optimization.
+        let scn = Scenario::new(
+            "stats",
+            Topology::RandomGeometric { n: 30, radius: 0.4 },
+            ChannelModel::SharedCore { c: 4, core: 2 },
+            13,
+        );
+        let exact = scn.clone().build().unwrap();
+        let approx = scn.with_stats(StatsMode::Approximate).build().unwrap();
+        assert_eq!(exact.model, approx.model, "ModelInfo has no diameter dependence");
+        assert_eq!(exact.net.edges(), approx.net.edges());
+        for v in 0..30u32 {
+            assert_eq!(exact.net.channel_map(NodeId(v)), approx.net.channel_map(NodeId(v)));
+        }
+        assert!(exact.net.stats().diameter_is_exact);
+        assert!(!approx.net.stats().diameter_is_exact);
     }
 
     #[test]

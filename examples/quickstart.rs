@@ -1,7 +1,7 @@
 //! Quickstart: build a small cognitive radio network, run CSEEK neighbor
 //! discovery, and print what every node found.
 //!
-//! Run with: `cargo run --release -p crn-examples --bin quickstart`
+//! Run with: `cargo run --release -p crn-examples --example quickstart`
 
 use crn_core::params::{ModelInfo, SeekParams};
 use crn_core::seek::CSeek;

@@ -2,12 +2,15 @@
 //!
 //! The optimized resolution strategies (broadcaster-centric CSR sweep,
 //! listener-centric word intersection, the Auto heuristic that mixes them
-//! per channel, and the channel-sharded parallel resolver at every thread
-//! count) must be *observationally identical* to the naive reference
-//! resolver — bit-for-bit equal counters, per-slot feedback traces, and
-//! outputs — on every network, seed, and action mix. This file drives
-//! randomized networks through all resolvers side by side, including a
-//! proptest property over topology/channel-count/seed space.
+//! per channel, and the channel-sharded parallel resolver — persistent
+//! parked worker pool — at every thread count) must be *observationally
+//! identical* to the naive reference resolver — bit-for-bit equal
+//! counters, per-slot feedback traces, and outputs — on every network,
+//! seed, and action mix. This file drives randomized networks through all
+//! resolvers side by side, including a proptest property over
+//! topology/channel-count/seed space, slot-by-slot lockstep comparison
+//! across repeated `step` calls on one engine instance, and engine reuse
+//! via [`Engine::reset`] (pool state must not leak between runs).
 
 use crn_sim::channels::ChannelModel;
 use crn_sim::engine::Resolver;
@@ -187,6 +190,90 @@ fn switching_resolvers_mid_run_changes_nothing() {
     }
     assert_eq!(eng.counters(), ref_counters);
     assert_eq!(eng.into_outputs(), ref_traces);
+}
+
+/// Slot-by-slot lockstep differential across repeated `step` calls on the
+/// *same* engine instance: the pooled sharded engine at threads {1, 2, 4,
+/// 8} must agree with a naive-resolver engine after **every** slot, not
+/// just at the end of a run — so a divergence introduced by pool state
+/// carried between slots (stale shard buffers, a missed wake, a stale
+/// generation) is pinned to the exact slot where it appears.
+#[test]
+fn pooled_engine_stays_in_lockstep_with_naive_across_steps() {
+    let net = build_network(
+        &Topology::ErdosRenyi { n: 48, p: 0.15 },
+        &ChannelModel::SharedCore { c: 4, core: 2 },
+        77,
+    );
+    let c = net.channels_per_node() as u16;
+    let make = |ctx: crn_sim::NodeCtx| Chatter { c, p_bcast: 0.5, id: ctx.id.0, trace: Vec::new() };
+
+    for threads in [1usize, 2, 4, 8] {
+        let mut reference = Engine::with_resolver(&net, 21, Resolver::Naive, make);
+        let mut pooled =
+            Engine::with_resolver(&net, 21, Resolver::ParallelSharded { threads }, make);
+        for slot in 0..72u64 {
+            reference.step();
+            pooled.step();
+            assert_eq!(
+                pooled.counters(),
+                reference.counters(),
+                "threads={threads}: counters diverge after slot {slot}"
+            );
+        }
+        let (mut ref_traces, mut pooled_traces) = (Vec::new(), Vec::new());
+        reference.for_each_protocol(|_, p| ref_traces.push(p.trace.clone()));
+        pooled.for_each_protocol(|_, p| pooled_traces.push(p.trace.clone()));
+        assert_eq!(pooled_traces, ref_traces, "threads={threads}: feedback traces diverge");
+    }
+}
+
+/// Engine-reuse regression: one engine, two full executions back-to-back
+/// via [`Engine::reset`], must reproduce what two *fresh* engines produce
+/// — guarding against pool or scratch state leaking from the first run
+/// into the second (the persistent worker pool, shard buffers, and epoch
+/// stamps all survive a reset by design and must be observationally
+/// invisible).
+#[test]
+fn engine_reuse_via_reset_matches_fresh_engines() {
+    let net = build_network(
+        &Topology::RandomGeometric { n: 40, radius: 0.4 },
+        &ChannelModel::SharedCore { c: 3, core: 2 },
+        4242,
+    );
+    let c = net.channels_per_node() as u16;
+    let make = |ctx: crn_sim::NodeCtx| Chatter { c, p_bcast: 0.5, id: ctx.id.0, trace: Vec::new() };
+    let slots = 64;
+
+    for resolver in [Resolver::Auto, Resolver::ParallelSharded { threads: 4 }] {
+        // Fresh-engine ground truth for both seeds.
+        let (fresh1_counters, fresh1_traces) = run(&net, resolver, 9, c, 0.5, slots);
+        let (fresh2_counters, fresh2_traces) = run(&net, resolver, 10, c, 0.5, slots);
+        assert_ne!(fresh1_traces, fresh2_traces, "seeds must differ for the test to probe");
+
+        // One engine, two executions back-to-back.
+        let mut eng = Engine::with_resolver(&net, 9, resolver, make);
+        eng.run_to_completion(slots);
+        assert_eq!(eng.counters(), fresh1_counters, "{resolver:?}: first run counters");
+        let mut traces1 = Vec::new();
+        eng.for_each_protocol(|_, p| traces1.push(p.trace.clone()));
+        assert_eq!(traces1, fresh1_traces, "{resolver:?}: first run traces");
+
+        eng.reset(10, make);
+        assert_eq!(eng.slot(), 0, "reset rewinds the slot counter");
+        assert_eq!(eng.counters(), crn_sim::Counters::default(), "reset clears counters");
+        eng.run_to_completion(slots);
+        assert_eq!(
+            eng.counters(),
+            fresh2_counters,
+            "{resolver:?}: reused engine diverges from a fresh engine"
+        );
+        let traces2: Vec<Vec<Obs>> = eng.into_outputs();
+        assert_eq!(
+            traces2, fresh2_traces,
+            "{resolver:?}: reused engine's traces diverge from a fresh engine"
+        );
+    }
 }
 
 /// Property over topology/channel-count/seed space: the sequential engine
