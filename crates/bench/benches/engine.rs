@@ -1,6 +1,6 @@
 //! Engine micro-benchmarks: raw slot throughput of the simulator substrate.
 //!
-//! Three suites:
+//! Four suites:
 //!
 //! * `engine_slot_throughput` — a topology matrix (star / random dense
 //!   Erdős–Rényi / random geometric) at n ∈ {100, 1k, 5k}, comparing the
@@ -10,7 +10,11 @@
 //! * `small_slot_200` — the amortized regime: n = 200, 1024 slots. Per-slot
 //!   fixed costs dominate here; this is the row that keeps the sharded
 //!   resolver's per-slot overhead (worker wake/park, formerly thread spawn)
-//!   honest.
+//!   honest — including `p1_*` rows with pooled phase-1 collection forced
+//!   on.
+//! * `trial_reuse_200` — the trial-runner regime: 32 runs of 64 slots,
+//!   fresh engine per run vs one engine re-armed by `Engine::reset` (what
+//!   the `crn-workloads` runners do per worker).
 //! * `dense_broadcast_5000` — the acceptance scenario: a random graph with
 //!   n = 5000 and average degree ≥ 64, every node broadcasting or listening
 //!   each slot on a handful of shared channels. The optimized resolver must
@@ -23,27 +27,39 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use crn_sim::channels::ChannelModel;
 use crn_sim::topology::Topology;
 use crn_sim::{
-    Action, Engine, Feedback, LocalChannel, Network, Protocol, Resolver, SlotCtx, StatsMode,
+    act_batch_buffered, Action, BatchCtx, Engine, Feedback, LocalChannel, Network, Protocol,
+    Resolver, SlotCtx, StatsMode,
 };
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 /// A protocol exercising the engine's hot path: random channel, random role,
-/// every slot (no sleeping — maximum per-slot resolution load).
+/// every slot (no sleeping — maximum per-slot resolution load). Ported to
+/// the batched act path (two guaranteed words per slot, pre-filled in one
+/// bulk draw), like the repo's real protocols.
 struct Chatter {
     c: u16,
     heard: u64,
 }
 
-impl Protocol for Chatter {
-    type Message = u32;
-    type Output = u64;
-    fn act(&mut self, ctx: &mut SlotCtx<'_>) -> Action<u32> {
+impl Chatter {
+    fn act_any<R: RngCore>(&mut self, ctx: &mut SlotCtx<'_, R>) -> Action<u32> {
         let channel = LocalChannel(ctx.rng.gen_range(0..self.c));
         if ctx.rng.gen_bool(0.5) {
             Action::Broadcast { channel, message: 7 }
         } else {
             Action::Listen { channel }
         }
+    }
+}
+
+impl Protocol for Chatter {
+    type Message = u32;
+    type Output = u64;
+    fn act(&mut self, ctx: &mut SlotCtx<'_>) -> Action<u32> {
+        self.act_any(ctx)
+    }
+    fn act_batch(batch: &mut [Self], ctx: &mut BatchCtx<'_>, out: &mut Vec<Action<u32>>) {
+        act_batch_buffered(batch, ctx, out, |_| 2, |p, sctx| p.act_any(sctx));
     }
     fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, fb: Feedback<'_, u32>) {
         if matches!(fb, Feedback::Heard(_)) {
@@ -67,6 +83,15 @@ fn build(topology: &Topology, channels: &ChannelModel, seed: u64) -> Network {
 
 fn run_slots(net: &Network, resolver: Resolver, c: u16, slots: u64) -> u64 {
     let mut eng = Engine::with_resolver(net, 42, resolver, |_| Chatter { c, heard: 0 });
+    eng.run_to_completion(slots);
+    eng.counters().deliveries
+}
+
+/// [`run_slots`] with phase-1 pooled collection forced on (threshold 0) —
+/// the batched `act_batch` chunks run on the engine's worker pool.
+fn run_slots_pooled_p1(net: &Network, resolver: Resolver, c: u16, slots: u64) -> u64 {
+    let mut eng = Engine::with_resolver(net, 42, resolver, |_| Chatter { c, heard: 0 });
+    eng.set_phase1_pool_min_nodes(0);
     eng.run_to_completion(slots);
     eng.counters().deliveries
 }
@@ -146,6 +171,78 @@ fn small_slot(criterion: &mut Criterion) {
             b.iter(|| run_slots(&net, resolver, 3, slots))
         });
     }
+    // Pooled phase-1 collection on top of the sharded engine (forced on —
+    // n = 200 is below the default threshold). Like all sharded rows these
+    // need idle cores for wall-clock wins and are bench_regress-exempt by
+    // the `sharded*` suffix; they keep the *overhead* of the second
+    // per-slot pool dispatch honest on this container.
+    for (rname, resolver) in [
+        ("p1_sharded2", Resolver::ParallelSharded { threads: 2 }),
+        ("p1_sharded4", Resolver::ParallelSharded { threads: 4 }),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(rname), &n, |b, _| {
+            b.iter(|| run_slots_pooled_p1(&net, resolver, 3, slots))
+        });
+    }
+    group.finish();
+}
+
+/// Trial-runner regime: many short runs on one network, the shape of every
+/// experiment sweep in `crn-workloads`. `fresh_*` rows construct a new
+/// engine per trial (the pre-reuse runner behavior); `reuse_*` rows keep
+/// one engine and re-arm it with `Engine::reset` — what the trial runners
+/// now do per worker. The auto rows are gated by `bench_regress`; the
+/// sharded rows (per-trial pool spawn vs parked pool, pooled phase-1
+/// forced on) are exempt like every `sharded*` row but make the per-trial
+/// thread-setup cost visible.
+fn trial_reuse(criterion: &mut Criterion) {
+    let n = 200usize;
+    let trials = 32u64;
+    let slots = 64u64;
+    let topology = Topology::ErdosRenyi { n, p: 8.0 / (n as f64 - 1.0) };
+    let channels = ChannelModel::Identical { c: 3 };
+    let net = build(&topology, &channels, 13);
+
+    let fresh = |resolver: Resolver, phase1_min: usize| {
+        let mut total = 0u64;
+        for t in 0..trials {
+            let mut eng =
+                Engine::with_resolver(&net, 42 + t, resolver, |_| Chatter { c: 3, heard: 0 });
+            eng.set_phase1_pool_min_nodes(phase1_min);
+            eng.run_to_completion(slots);
+            total += eng.counters().deliveries;
+        }
+        total
+    };
+    let reuse = |resolver: Resolver, phase1_min: usize| {
+        let mut eng = Engine::with_resolver(&net, 42, resolver, |_| Chatter { c: 3, heard: 0 });
+        eng.set_phase1_pool_min_nodes(phase1_min);
+        let mut total = 0u64;
+        for t in 0..trials {
+            if t > 0 {
+                eng.reset(42 + t, |_| Chatter { c: 3, heard: 0 });
+            }
+            eng.run_to_completion(slots);
+            total += eng.counters().deliveries;
+        }
+        total
+    };
+
+    let mut group = criterion.benchmark_group("trial_reuse_200");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trials * slots * n as u64));
+    group.bench_with_input(BenchmarkId::from_parameter("fresh_auto"), &n, |b, _| {
+        b.iter(|| fresh(Resolver::Auto, usize::MAX))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("reuse_auto"), &n, |b, _| {
+        b.iter(|| reuse(Resolver::Auto, usize::MAX))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("fresh_sharded2"), &n, |b, _| {
+        b.iter(|| fresh(Resolver::ParallelSharded { threads: 2 }, 0))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("reuse_sharded2"), &n, |b, _| {
+        b.iter(|| reuse(Resolver::ParallelSharded { threads: 2 }, 0))
+    });
     group.finish();
 }
 
@@ -190,6 +287,6 @@ fn dense_broadcast(criterion: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = engine_throughput, small_slot, dense_broadcast
+    targets = engine_throughput, small_slot, trial_reuse, dense_broadcast
 }
 criterion_main!(benches);

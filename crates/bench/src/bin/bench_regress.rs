@@ -12,7 +12,9 @@
 //! Scenarios present in only one of the two reports are reported but never
 //! fail the gate (the matrix is allowed to grow). `sharded*` rows are
 //! exempt: their wall-clock depends on idle cores, which CI runners don't
-//! guarantee, so they are tracked but not gated.
+//! guarantee, so they are tracked but not gated. Per-scenario ratios are
+//! printed on *green* runs too, so drift that stays inside the tolerance
+//! is visible before it compounds past the gate.
 //!
 //! With `--normalize` (what CI passes), each scenario is gated against
 //! `baseline · scale`, where `scale` is the median `new/baseline` ratio
@@ -168,6 +170,24 @@ fn main() -> ExitCode {
     if normalize {
         println!("  machine scale (median new/baseline): {scale:.3}");
     }
+    // Per-scenario ratios, printed on green runs too: baseline drift that
+    // stays inside the tolerance is otherwise invisible until it compounds
+    // past the gate.
+    println!("  per-scenario medians (new / scaled baseline):");
+    for ((group, id), &base_ns) in &baseline {
+        let Some(&new_ns) = new.get(&(group.clone(), id.clone())) else {
+            continue;
+        };
+        let scaled = base_ns * scale;
+        println!(
+            "    {group}/{id}: {:.3} ms -> {:.3} ms ({:+.1}%){}",
+            scaled / 1e6,
+            new_ns / 1e6,
+            (new_ns / scaled - 1.0) * 100.0,
+            if is_exempt(id) { "  [exempt]" } else { "" }
+        );
+    }
+
     let bad = regressions(&baseline, &new, tolerance_pct, scale);
     for (scenario, base_ns, new_ns) in &bad {
         eprintln!(

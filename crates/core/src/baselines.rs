@@ -15,8 +15,10 @@
 
 use crate::discovery::{DiscoveryOutput, DiscoveryProtocol};
 use crate::params::ModelInfo;
-use crn_sim::{Action, Feedback, LocalChannel, NodeId, Protocol, SlotCtx};
-use rand::Rng;
+use crn_sim::{
+    act_batch_buffered, Action, BatchCtx, Feedback, LocalChannel, NodeId, Protocol, SlotCtx,
+};
+use rand::{Rng, RngCore};
 use std::collections::BTreeMap;
 
 /// Schedule for [`NaiveDiscovery`].
@@ -75,11 +77,10 @@ impl NaiveDiscovery {
     }
 }
 
-impl Protocol for NaiveDiscovery {
-    type Message = NodeId;
-    type Output = DiscoveryOutput;
-
-    fn act(&mut self, ctx: &mut SlotCtx<'_>) -> Action<NodeId> {
+impl NaiveDiscovery {
+    /// The act body, generic over the random source so the scalar and
+    /// batched paths share one implementation.
+    fn act_any<R: RngCore>(&mut self, ctx: &mut SlotCtx<'_, R>) -> Action<NodeId> {
         if self.step >= self.sched.steps {
             return Action::Sleep;
         }
@@ -100,6 +101,32 @@ impl Protocol for NaiveDiscovery {
         } else {
             Action::Listen { channel: self.channel }
         }
+    }
+
+    /// Guaranteed lower bound on this slot's draws: role coin + channel on
+    /// a step-init slot (a freshly-drawn broadcaster draws one more), one
+    /// transmission coin for a known broadcaster, none otherwise.
+    fn min_draws(&self) -> usize {
+        if self.step >= self.sched.steps {
+            0
+        } else if !self.step_initialized {
+            2
+        } else {
+            self.broadcaster as usize
+        }
+    }
+}
+
+impl Protocol for NaiveDiscovery {
+    type Message = NodeId;
+    type Output = DiscoveryOutput;
+
+    fn act(&mut self, ctx: &mut SlotCtx<'_>) -> Action<NodeId> {
+        self.act_any(ctx)
+    }
+
+    fn act_batch(batch: &mut [Self], ctx: &mut BatchCtx<'_>, out: &mut Vec<Action<NodeId>>) {
+        act_batch_buffered(batch, ctx, out, |p| p.min_draws(), |p, sctx| p.act_any(sctx));
     }
 
     fn feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<'_, NodeId>) {
@@ -186,11 +213,10 @@ impl FixedRateDiscovery {
     }
 }
 
-impl Protocol for FixedRateDiscovery {
-    type Message = NodeId;
-    type Output = DiscoveryOutput;
-
-    fn act(&mut self, ctx: &mut SlotCtx<'_>) -> Action<NodeId> {
+impl FixedRateDiscovery {
+    /// The act body, generic over the random source so the scalar and
+    /// batched paths share one implementation.
+    fn act_any<R: RngCore>(&mut self, ctx: &mut SlotCtx<'_, R>) -> Action<NodeId> {
         if self.slot >= self.sched.slots {
             return Action::Sleep;
         }
@@ -204,6 +230,29 @@ impl Protocol for FixedRateDiscovery {
         } else {
             Action::Listen { channel }
         }
+    }
+
+    /// Guaranteed draws per live slot: channel choice + role coin (the
+    /// transmission coin is data-dependent on the role and falls through).
+    fn min_draws(&self) -> usize {
+        if self.slot >= self.sched.slots {
+            0
+        } else {
+            2
+        }
+    }
+}
+
+impl Protocol for FixedRateDiscovery {
+    type Message = NodeId;
+    type Output = DiscoveryOutput;
+
+    fn act(&mut self, ctx: &mut SlotCtx<'_>) -> Action<NodeId> {
+        self.act_any(ctx)
+    }
+
+    fn act_batch(batch: &mut [Self], ctx: &mut BatchCtx<'_>, out: &mut Vec<Action<NodeId>>) {
+        act_batch_buffered(batch, ctx, out, |p| p.min_draws(), |p, sctx| p.act_any(sctx));
     }
 
     fn feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<'_, NodeId>) {
@@ -278,13 +327,10 @@ impl NaiveBroadcast {
     pub fn is_informed(&self) -> bool {
         self.payload.is_some()
     }
-}
 
-impl Protocol for NaiveBroadcast {
-    type Message = u64;
-    type Output = BroadcastOutput;
-
-    fn act(&mut self, ctx: &mut SlotCtx<'_>) -> Action<u64> {
+    /// The act body, generic over the random source so the scalar and
+    /// batched paths share one implementation.
+    fn act_any<R: RngCore>(&mut self, ctx: &mut SlotCtx<'_, R>) -> Action<u64> {
         if self.slot >= self.slots {
             return Action::Sleep;
         }
@@ -299,6 +345,29 @@ impl Protocol for NaiveBroadcast {
             }
             None => Action::Listen { channel },
         }
+    }
+
+    /// NaiveBroadcast's per-slot draw count is *exact* from state alone:
+    /// channel choice plus, when informed, the transmission coin.
+    fn draws_this_slot(&self) -> usize {
+        if self.slot >= self.slots {
+            0
+        } else {
+            1 + self.payload.is_some() as usize
+        }
+    }
+}
+
+impl Protocol for NaiveBroadcast {
+    type Message = u64;
+    type Output = BroadcastOutput;
+
+    fn act(&mut self, ctx: &mut SlotCtx<'_>) -> Action<u64> {
+        self.act_any(ctx)
+    }
+
+    fn act_batch(batch: &mut [Self], ctx: &mut BatchCtx<'_>, out: &mut Vec<Action<u64>>) {
+        act_batch_buffered(batch, ctx, out, |p| p.draws_this_slot(), |p, sctx| p.act_any(sctx));
     }
 
     fn feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<'_, u64>) {

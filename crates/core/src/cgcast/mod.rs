@@ -39,9 +39,11 @@ use crate::coloring::luby::LubyNodeState;
 use crate::count::Role;
 use crate::params::GcastSchedule;
 use crate::seek::{SeekCore, SeekSlotPlan};
-use crn_sim::{Action, Edge, Feedback, LocalChannel, NodeId, Protocol, SlotCtx};
+use crn_sim::{
+    act_batch_buffered, Action, BatchCtx, Edge, Feedback, LocalChannel, NodeId, Protocol, SlotCtx,
+};
 use rand::rngs::SmallRng;
-use rand::Rng;
+use rand::{Rng, RngCore};
 use std::collections::BTreeMap;
 
 /// Which top-level stage of CGCAST is executing.
@@ -378,7 +380,7 @@ impl CGCast {
         self.step_informed = self.payload.is_some();
     }
 
-    fn dissem_act(&mut self, ctx: &mut SlotCtx<'_>) -> Action<GcastMsg> {
+    fn dissem_act<R: RngCore>(&mut self, ctx: &mut SlotCtx<'_, R>) -> Action<GcastMsg> {
         let Some(peer) = self.step_edge else {
             return Action::Sleep;
         };
@@ -428,11 +430,10 @@ impl CGCast {
     }
 }
 
-impl Protocol for CGCast {
-    type Message = GcastMsg;
-    type Output = GcastOutput;
-
-    fn act(&mut self, ctx: &mut SlotCtx<'_>) -> Action<GcastMsg> {
+impl CGCast {
+    /// The act body, generic over the random source so the scalar and
+    /// batched paths share one implementation.
+    fn act_any<R: RngCore>(&mut self, ctx: &mut SlotCtx<'_, R>) -> Action<GcastMsg> {
         match self.stage {
             Stage::Done => Action::Sleep,
             Stage::Disseminate => self.dissem_act(ctx),
@@ -451,6 +452,32 @@ impl Protocol for CGCast {
                 }
             }
         }
+    }
+
+    /// Guaranteed lower bound on this slot's draws: the seek core's bound
+    /// in the seek-driven stages; in dissemination, one back-off coin when
+    /// this node is the informed endpoint of the step's bound edge (the
+    /// role and edge are frozen at the step boundary, so the count is
+    /// exact there); nothing otherwise.
+    fn min_draws(&self) -> usize {
+        match self.stage {
+            Stage::Done => 0,
+            Stage::Disseminate => (self.step_edge.is_some() && self.step_informed) as usize,
+            _ => self.seek.as_ref().map_or(0, SeekCore::min_draws),
+        }
+    }
+}
+
+impl Protocol for CGCast {
+    type Message = GcastMsg;
+    type Output = GcastOutput;
+
+    fn act(&mut self, ctx: &mut SlotCtx<'_>) -> Action<GcastMsg> {
+        self.act_any(ctx)
+    }
+
+    fn act_batch(batch: &mut [Self], ctx: &mut BatchCtx<'_>, out: &mut Vec<Action<GcastMsg>>) {
+        act_batch_buffered(batch, ctx, out, |p| p.min_draws(), |p, sctx| p.act_any(sctx));
     }
 
     fn feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<'_, GcastMsg>) {

@@ -12,8 +12,10 @@ use super::message::GcastMsg;
 use super::output::GcastOutput;
 use crate::params::GcastSchedule;
 use crate::seek::{SeekCore, SeekSlotPlan};
-use crn_sim::{Action, Feedback, LocalChannel, NodeId, Protocol, SlotCtx};
-use rand::Rng;
+use crn_sim::{
+    act_batch_buffered, Action, BatchCtx, Feedback, LocalChannel, NodeId, Protocol, SlotCtx,
+};
+use rand::{Rng, RngCore};
 use std::collections::BTreeMap;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,7 +99,7 @@ impl UncoloredGcast {
         }
     }
 
-    fn init_step(&mut self, ctx: &mut SlotCtx<'_>) {
+    fn init_step<R: RngCore>(&mut self, ctx: &mut SlotCtx<'_, R>) {
         self.step_edge = if self.dedicated.is_empty() {
             None
         } else {
@@ -106,13 +108,34 @@ impl UncoloredGcast {
         };
         self.step_informed = self.payload.is_some();
     }
-}
 
-impl Protocol for UncoloredGcast {
-    type Message = GcastMsg;
-    type Output = GcastOutput;
+    /// Exact draw count for a dissemination slot (edge choice at a step
+    /// boundary, back-off coin for an informed bound node); the seek
+    /// core's guaranteed bound elsewhere.
+    fn min_draws(&self) -> usize {
+        match self.stage {
+            Stage::Done => 0,
+            Stage::Disseminate => {
+                if self.round == 0 && self.slot == 0 && self.step_edge.is_none() {
+                    // Step boundary: the random edge choice happens iff any
+                    // dedicated edge exists, and then this node is bound to
+                    // an edge, so the informed back-off coin follows.
+                    if self.dedicated.is_empty() {
+                        0
+                    } else {
+                        1 + self.payload.is_some() as usize
+                    }
+                } else {
+                    (self.step_edge.is_some() && self.step_informed) as usize
+                }
+            }
+            _ => self.seek.as_ref().map_or(0, SeekCore::min_draws),
+        }
+    }
 
-    fn act(&mut self, ctx: &mut SlotCtx<'_>) -> Action<GcastMsg> {
+    /// The act body, generic over the random source so the scalar and
+    /// batched paths share one implementation.
+    fn act_any<R: RngCore>(&mut self, ctx: &mut SlotCtx<'_, R>) -> Action<GcastMsg> {
         match self.stage {
             Stage::Done => Action::Sleep,
             Stage::Disseminate => {
@@ -151,6 +174,19 @@ impl Protocol for UncoloredGcast {
                 }
             }
         }
+    }
+}
+
+impl Protocol for UncoloredGcast {
+    type Message = GcastMsg;
+    type Output = GcastOutput;
+
+    fn act(&mut self, ctx: &mut SlotCtx<'_>) -> Action<GcastMsg> {
+        self.act_any(ctx)
+    }
+
+    fn act_batch(batch: &mut [Self], ctx: &mut BatchCtx<'_>, out: &mut Vec<Action<GcastMsg>>) {
+        act_batch_buffered(batch, ctx, out, |p| p.min_draws(), |p, sctx| p.act_any(sctx));
     }
 
     fn feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<'_, GcastMsg>) {

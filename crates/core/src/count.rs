@@ -15,9 +15,10 @@
 //! for direct evaluation (experiment E1).
 
 use crate::params::CountSchedule;
-use crn_sim::{Action, Feedback, LocalChannel, NodeId, Protocol, SlotCtx};
-use rand::rngs::SmallRng;
-use rand::Rng;
+use crn_sim::{
+    act_batch_buffered, Action, BatchCtx, Feedback, LocalChannel, NodeId, Protocol, SlotCtx,
+};
+use rand::{Rng, RngCore};
 
 /// The role a node plays in one COUNT execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,11 +76,13 @@ impl CountInstance {
         1.0 / (1u64 << self.round.min(62)) as f64
     }
 
-    /// For broadcasters: decide whether to transmit this slot.
+    /// For broadcasters: decide whether to transmit this slot. Generic
+    /// over the random source (scalar RNG or a buffered view — identical
+    /// streams).
     ///
     /// # Panics
     /// Panics if called on a listener or a finished instance.
-    pub fn should_broadcast(&self, rng: &mut SmallRng) -> bool {
+    pub fn should_broadcast<R: RngCore>(&self, rng: &mut R) -> bool {
         assert_eq!(self.role, Role::Broadcaster, "only broadcasters transmit in COUNT");
         assert!(!self.done, "COUNT already finished");
         rng.gen_bool(self.broadcast_probability())
@@ -167,13 +170,10 @@ impl CountProtocol {
     pub fn estimate(&self) -> u64 {
         self.instance.estimate()
     }
-}
 
-impl Protocol for CountProtocol {
-    type Message = NodeId;
-    type Output = CountOutput;
-
-    fn act(&mut self, ctx: &mut SlotCtx<'_>) -> Action<NodeId> {
+    /// The act body, generic over the random source so the scalar and
+    /// batched paths share one implementation.
+    fn act_any<R: RngCore>(&mut self, ctx: &mut SlotCtx<'_, R>) -> Action<NodeId> {
         match self.instance.role() {
             Role::Broadcaster => {
                 if self.instance.should_broadcast(ctx.rng) {
@@ -184,6 +184,25 @@ impl Protocol for CountProtocol {
             }
             Role::Listener => Action::Listen { channel: self.channel },
         }
+    }
+
+    /// Exact word count [`CountProtocol::act_any`] draws this slot: one
+    /// transmission coin for a live broadcaster, none for a listener.
+    fn draws_this_slot(&self) -> usize {
+        (self.instance.role() == Role::Broadcaster && !self.instance.is_done()) as usize
+    }
+}
+
+impl Protocol for CountProtocol {
+    type Message = NodeId;
+    type Output = CountOutput;
+
+    fn act(&mut self, ctx: &mut SlotCtx<'_>) -> Action<NodeId> {
+        self.act_any(ctx)
+    }
+
+    fn act_batch(batch: &mut [Self], ctx: &mut BatchCtx<'_>, out: &mut Vec<Action<NodeId>>) {
+        act_batch_buffered(batch, ctx, out, |p| p.draws_this_slot(), |p, sctx| p.act_any(sctx));
     }
 
     fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, fb: Feedback<'_, NodeId>) {

@@ -10,7 +10,8 @@
 
 use crate::params::SeekSchedule;
 use crate::seek::{SeekCore, SeekSlotPlan};
-use crn_sim::{Action, Feedback, NodeId, Protocol, SlotCtx};
+use crn_sim::{act_batch_buffered, Action, BatchCtx, Feedback, NodeId, Protocol, SlotCtx};
+use rand::RngCore;
 use std::collections::BTreeMap;
 
 /// A message carrying the sender's identity plus an arbitrary payload.
@@ -56,13 +57,10 @@ impl<T: Clone> Exchange<T> {
     pub fn received_count(&self) -> usize {
         self.received.len()
     }
-}
 
-impl<T: Clone> Protocol for Exchange<T> {
-    type Message = Envelope<T>;
-    type Output = ExchangeOutput<T>;
-
-    fn act(&mut self, ctx: &mut SlotCtx<'_>) -> Action<Envelope<T>> {
+    /// The act body, generic over the random source so the scalar and
+    /// batched paths share one implementation.
+    fn act_any<R: RngCore>(&mut self, ctx: &mut SlotCtx<'_, R>) -> Action<Envelope<T>> {
         match self.core.plan_slot(ctx.rng) {
             None => Action::Sleep,
             Some(SeekSlotPlan::Transmit { channel }) => Action::Broadcast {
@@ -72,6 +70,19 @@ impl<T: Clone> Protocol for Exchange<T> {
             Some(SeekSlotPlan::HoldFire { .. }) => Action::Sleep,
             Some(SeekSlotPlan::Listen { channel }) => Action::Listen { channel },
         }
+    }
+}
+
+impl<T: Clone> Protocol for Exchange<T> {
+    type Message = Envelope<T>;
+    type Output = ExchangeOutput<T>;
+
+    fn act(&mut self, ctx: &mut SlotCtx<'_>) -> Action<Envelope<T>> {
+        self.act_any(ctx)
+    }
+
+    fn act_batch(batch: &mut [Self], ctx: &mut BatchCtx<'_>, out: &mut Vec<Action<Envelope<T>>>) {
+        act_batch_buffered(batch, ctx, out, |p| p.core.min_draws(), |p, sctx| p.act_any(sctx));
     }
 
     fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, fb: Feedback<'_, Envelope<T>>) {

@@ -22,9 +22,10 @@
 use crate::count::{CountInstance, Role};
 use crate::discovery::{DiscoveryOutput, DiscoveryProtocol};
 use crate::params::SeekSchedule;
-use crn_sim::{Action, Feedback, LocalChannel, NodeId, Protocol, SlotCtx};
-use rand::rngs::SmallRng;
-use rand::Rng;
+use crn_sim::{
+    act_batch_buffered, Action, BatchCtx, Feedback, LocalChannel, NodeId, Protocol, SlotCtx,
+};
+use rand::{Rng, RngCore};
 use std::collections::BTreeMap;
 
 /// Which part of the CSEEK schedule is executing.
@@ -131,8 +132,27 @@ impl SeekCore {
         self.role
     }
 
+    /// An exact lower bound on the RNG words [`SeekCore::plan_slot`] will
+    /// draw this slot, computable before any drawing: 2 on a step-init slot
+    /// (role coin + channel choice; a data-dependent third word follows
+    /// when the role comes up broadcaster), 1 for a known broadcaster's
+    /// transmission coin, 0 for a known listener or a finished schedule.
+    /// This is the [`BatchCtx::buffered`] reserve the batched act paths
+    /// pre-fill in one bulk draw.
+    pub fn min_draws(&self) -> usize {
+        match self.phase {
+            SeekPhase::Done => 0,
+            _ if !self.step_initialized => 2,
+            _ => (self.role == Role::Broadcaster) as usize,
+        }
+    }
+
     /// Plans the current slot; returns `None` once the schedule is done.
-    pub fn plan_slot(&mut self, rng: &mut SmallRng) -> Option<SeekSlotPlan> {
+    ///
+    /// Generic over the random source: the scalar path passes the node's
+    /// raw RNG, the batched path a pre-filled buffered view of it — both
+    /// consume the identical word stream.
+    pub fn plan_slot<R: RngCore>(&mut self, rng: &mut R) -> Option<SeekSlotPlan> {
         if self.phase == SeekPhase::Done {
             return None;
         }
@@ -219,7 +239,7 @@ impl SeekCore {
         }
     }
 
-    fn init_step(&mut self, rng: &mut SmallRng) {
+    fn init_step<R: RngCore>(&mut self, rng: &mut R) {
         self.step_initialized = true;
         self.role = if rng.gen_bool(0.5) { Role::Broadcaster } else { Role::Listener };
         match self.phase {
@@ -241,7 +261,7 @@ impl SeekCore {
     /// Part-two listener channel choice: proportional to part-one densities
     /// (`x_ch / Σ x_ch'`, Figure 1 lines 16–18); uniform when no densities
     /// were collected or in the A1 ablation.
-    fn pick_listener_channel(&self, rng: &mut SmallRng) -> LocalChannel {
+    fn pick_listener_channel<R: RngCore>(&self, rng: &mut R) -> LocalChannel {
         if self.sched.uniform_listener || self.counts_sum == 0 {
             return LocalChannel(rng.gen_range(0..self.sched.c));
         }
@@ -297,13 +317,11 @@ impl CSeek {
     pub fn core(&self) -> &SeekCore {
         &self.core
     }
-}
 
-impl Protocol for CSeek {
-    type Message = NodeId;
-    type Output = DiscoveryOutput;
-
-    fn act(&mut self, ctx: &mut SlotCtx<'_>) -> Action<NodeId> {
+    /// The act body, generic over the random source so the scalar and
+    /// batched paths share one implementation (and therefore one draw
+    /// sequence).
+    fn act_any<R: RngCore>(&mut self, ctx: &mut SlotCtx<'_, R>) -> Action<NodeId> {
         match self.core.plan_slot(ctx.rng) {
             None => Action::Sleep,
             Some(plan) => {
@@ -319,6 +337,23 @@ impl Protocol for CSeek {
                 }
             }
         }
+    }
+}
+
+impl Protocol for CSeek {
+    type Message = NodeId;
+    type Output = DiscoveryOutput;
+
+    fn act(&mut self, ctx: &mut SlotCtx<'_>) -> Action<NodeId> {
+        self.act_any(ctx)
+    }
+
+    /// Batched act: per node, the exact guaranteed draw count is pre-filled
+    /// in one bulk `fill_u64s` ([`SeekCore::min_draws`]); the data-dependent
+    /// transmission coin of a freshly-drawn broadcaster role falls through
+    /// to the raw stream. Bit-identical to the scalar path by construction.
+    fn act_batch(batch: &mut [Self], ctx: &mut BatchCtx<'_>, out: &mut Vec<Action<NodeId>>) {
+        act_batch_buffered(batch, ctx, out, |p| p.core.min_draws(), |p, sctx| p.act_any(sctx));
     }
 
     fn feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<'_, NodeId>) {

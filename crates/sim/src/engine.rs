@@ -2,13 +2,22 @@
 //!
 //! Each slot runs a batched two-stage pipeline:
 //!
-//! 1. **Batched action collection** — every node's [`Protocol::act`] is
-//!    collected into a flat, channel-bucketed action table: local labels are
-//!    translated through a precomputed flat `(node, label) → dense channel`
-//!    table, per-channel populations are counted with epoch-stamped
-//!    first-touch detection (nothing is ever bulk-cleared), and one
-//!    counting-sort scatter produces contiguous per-channel broadcaster and
-//!    listener buckets (CSR layout, ascending node order).
+//! 1. **Batched action collection** — node actions are collected through
+//!    the bulk [`Protocol::act_batch`] entry point (scalar [`Protocol::act`]
+//!    per node by default; ported protocols draw their randomness from
+//!    pre-filled, stream-identical word buffers) into a flat,
+//!    channel-bucketed action table: local labels are translated through a
+//!    precomputed flat `(node, label) → dense channel` table, per-channel
+//!    populations are counted with epoch-stamped first-touch detection
+//!    (nothing is ever bulk-cleared), and a counting-sort scatter produces
+//!    contiguous per-channel broadcaster and listener buckets (CSR layout,
+//!    ascending node order). On a [`Resolver::ParallelSharded`] engine with
+//!    `n ≥` [`Engine::phase1_pool_min_nodes`], collection itself runs on
+//!    the worker pool in contiguous node-range chunks: each worker builds
+//!    chunk-local counts and buckets, and the caller merges them by
+//!    prefix-sum — first-touch channel order and ascending-node bucket
+//!    order are preserved exactly, so the pooled path is bit-identical to
+//!    the sequential one (see `collect_pooled`).
 //! 2. **Per-channel resolution** — for each touched channel, classify every
 //!    listener: it hears a message iff **exactly one** of its neighbors
 //!    broadcast on the listened channel. Channels are independent within a
@@ -58,9 +67,19 @@ use crate::bitset::{BitSet, Intersection};
 use crate::ids::{GlobalChannel, LocalChannel, NodeId, Slot};
 use crate::network::Network;
 use crate::pool::WorkerPool;
-use crate::protocol::{Action, Feedback, NodeCtx, Protocol, SlotCtx};
+use crate::protocol::{Action, BatchCtx, Feedback, NodeCtx, Protocol, SlotCtx};
 use crate::rng::{channel_slot_rng, stream_rng};
 use rand::rngs::SmallRng;
+
+/// Default node-count threshold at or above which a
+/// [`Resolver::ParallelSharded`] engine also routes phase-1 action
+/// collection through its worker pool. Below it the extra wake/merge
+/// round-trip costs more than the parallelized collection saves (the
+/// per-slot wake is ~2.5 µs on the bench container, per-node collection a
+/// few tens of ns). Tunable per engine via
+/// [`Engine::set_phase1_pool_min_nodes`]; purely a performance knob —
+/// pooled and sequential collection are bit-identical.
+pub const DEFAULT_PHASE1_POOL_MIN_NODES: usize = 2048;
 
 /// Aggregate event counters for a run, useful for energy/traffic accounting
 /// and for sanity-checking experiments.
@@ -195,12 +214,23 @@ pub struct Engine<'net, P: Protocol> {
     /// entries) — one lookup in the hot loop instead of a nested-`Vec`
     /// chase plus a raw-id remap.
     xlate: Vec<u32>,
-    /// Per-node packed plan for the current slot: touched-channel index with
-    /// [`BCAST_BIT`] for broadcasters, or [`SLEEPING`].
+    /// Per-node packed plan for the current slot: a channel-bucket index
+    /// with [`BCAST_BIT`] for broadcasters, or [`SLEEPING`]. Sequential
+    /// collection stores *global* touched-channel indices here; pooled
+    /// collection stores *chunk-local* ones (each chunk scatters into its
+    /// own local buckets before the merge).
     node_plan: Vec<u32>,
-    actions: Vec<SlotPlan<P::Message>>,
+    /// This slot's actions in node order, exactly as the protocols returned
+    /// them. Heard messages are delivered by reference out of this buffer.
+    actions: Vec<Action<P::Message>>,
     /// Per-node resolution results for the current slot.
     outcomes: Vec<Outcome>,
+    /// Per-worker phase-1 state for pooled collection; `[0]` belongs to the
+    /// calling thread. Allocated lazily on the first pooled slot.
+    collect: Vec<CollectShard<P::Message>>,
+    /// Node-count threshold for routing phase-1 collection through the
+    /// pool; see [`DEFAULT_PHASE1_POOL_MIN_NODES`].
+    phase1_min_nodes: usize,
     // --- flat channel-bucketed action table, rebuilt each slot ---
     /// Dense channels touched this slot, in first-touch order.
     touched: Vec<u32>,
@@ -242,14 +272,6 @@ pub type Probe<'a, 'b, 'net, P> = (u64, &'a mut (dyn FnMut(u64, &Engine<'net, P>
 const BCAST_BIT: u32 = 1 << 31;
 /// `node_plan` sentinel for a sleeping node.
 const SLEEPING: u32 = u32::MAX;
-
-/// Internal per-node slot plan after local→global translation.
-#[derive(Debug, Clone)]
-enum SlotPlan<M> {
-    Bcast { message: M },
-    Listen,
-    Sleep,
-}
 
 /// Per-node resolution result; `Heard` carries the broadcaster index so the
 /// delivery phase can borrow the message straight out of the action buffer.
@@ -307,6 +329,211 @@ struct ShardSlot {
 impl ShardSlot {
     fn new(n: usize) -> ShardSlot {
         ShardSlot { scratch: Scratch::new(n), out: Vec::new() }
+    }
+}
+
+/// One worker's long-lived phase-1 state for pooled action collection: the
+/// chunk's actions (in node order), a chunk-local epoch-stamped channel
+/// table mirroring the engine's global one, per-channel counts and CSR
+/// offsets, and chunk-local broadcaster/listener buckets that the caller
+/// merges into the global buckets by prefix-sum after the join.
+struct CollectShard<M> {
+    /// The chunk's actions, appended to `Engine::actions` after the join.
+    out: Vec<Action<M>>,
+    /// Chunk-local touched channels, in chunk-first-touch order.
+    touched: Vec<u32>,
+    /// Per dense channel: stamp marking it touched in this chunk's current
+    /// slot (universe-sized, like the engine's global table).
+    ch_epoch: Vec<u64>,
+    /// Per dense channel: its index into the local `touched` list.
+    ch_slot: Vec<u32>,
+    /// This shard's private slot epoch (monotonic per shard).
+    epoch: u64,
+    /// Per local touched channel: population counts, then scatter cursors.
+    b_cnt: Vec<u32>,
+    l_cnt: Vec<u32>,
+    /// Per local touched channel: CSR offsets into the local buckets.
+    b_off: Vec<u32>,
+    l_off: Vec<u32>,
+    /// Chunk-local buckets, ascending node order within each channel group.
+    b_nodes: Vec<u32>,
+    l_nodes: Vec<u32>,
+    /// The chunk's action tallies, summed into [`Counters`] after the join.
+    nb: u64,
+    nl: u64,
+    ns: u64,
+}
+
+impl<M> CollectShard<M> {
+    fn new(universe: usize) -> CollectShard<M> {
+        CollectShard {
+            out: Vec::new(),
+            touched: Vec::new(),
+            ch_epoch: vec![0; universe],
+            ch_slot: vec![0; universe],
+            epoch: 0,
+            b_cnt: Vec::new(),
+            l_cnt: Vec::new(),
+            b_off: Vec::new(),
+            l_off: Vec::new(),
+            b_nodes: Vec::new(),
+            l_nodes: Vec::new(),
+            nb: 0,
+            nl: 0,
+            ns: 0,
+        }
+    }
+}
+
+/// Translates node `v`'s local label through the flat `(node, label) →
+/// dense channel` table.
+///
+/// # Panics
+/// Panics if a protocol tunes to a label outside `0..c` — without the
+/// check, a bad label would silently alias into the next node's
+/// translation row.
+#[inline]
+fn translate_label(xlate: &[u32], c: usize, v: usize, channel: LocalChannel) -> usize {
+    let l = channel.index();
+    assert!(l < c, "node {v} tuned to local channel {l} but c = {c}");
+    xlate[v * c + l] as usize
+}
+
+/// Registers dense channel `ch` as touched (idempotent per `epoch`) in the
+/// given touched-list/stamp/count structures — shared by the engine's
+/// global table (sequential collection and the pooled merge) and each
+/// chunk's local table — and returns its index into `touched`.
+#[inline]
+fn touch_channel(
+    touched: &mut Vec<u32>,
+    ch_epoch: &mut [u64],
+    ch_slot: &mut [u32],
+    b_cnt: &mut Vec<u32>,
+    l_cnt: &mut Vec<u32>,
+    ch: usize,
+    epoch: u64,
+) -> u32 {
+    if ch_epoch[ch] == epoch {
+        ch_slot[ch]
+    } else {
+        ch_epoch[ch] = epoch;
+        let ti = touched.len() as u32;
+        debug_assert!(ti < BCAST_BIT, "touched-channel index overflows the role bit");
+        ch_slot[ch] = ti;
+        touched.push(ch as u32);
+        b_cnt.push(0);
+        l_cnt.push(0);
+        ti
+    }
+}
+
+/// Phase-1 work for one contiguous node chunk `[base, base + len)`:
+/// collect the chunk's actions through [`Protocol::act_batch`], translate
+/// and count them into the shard's local channel table, and counting-sort
+/// the chunk's nodes into local per-channel buckets. Identical on the
+/// calling thread and on a pool worker; touches only the chunk's disjoint
+/// slices plus the shard's private state.
+#[allow(clippy::too_many_arguments)]
+fn collect_chunk<P: Protocol>(
+    slot: Slot,
+    base: usize,
+    xlate: &[u32],
+    c: usize,
+    protos: &mut [P],
+    rngs: &mut [SmallRng],
+    node_plan: &mut [u32],
+    outcomes: &mut [Outcome],
+    shard: &mut CollectShard<P::Message>,
+) {
+    shard.out.clear();
+    shard.touched.clear();
+    shard.b_cnt.clear();
+    shard.l_cnt.clear();
+    shard.epoch += 1;
+    let epoch = shard.epoch;
+
+    let mut ctx = BatchCtx::new(slot, rngs);
+    P::act_batch(protos, &mut ctx, &mut shard.out);
+    assert_eq!(shard.out.len(), protos.len(), "act_batch must emit one action per node");
+
+    let (mut nb, mut nl, mut ns) = (0u64, 0u64, 0u64);
+    for (i, action) in shard.out.iter().enumerate() {
+        let v = base + i;
+        let (packed, outcome) = match action {
+            Action::Broadcast { channel, .. } => {
+                nb += 1;
+                let ch = translate_label(xlate, c, v, *channel);
+                let ti = touch_channel(
+                    &mut shard.touched,
+                    &mut shard.ch_epoch,
+                    &mut shard.ch_slot,
+                    &mut shard.b_cnt,
+                    &mut shard.l_cnt,
+                    ch,
+                    epoch,
+                );
+                shard.b_cnt[ti as usize] += 1;
+                (ti | BCAST_BIT, Outcome::Sent)
+            }
+            Action::Listen { channel } => {
+                nl += 1;
+                let ch = translate_label(xlate, c, v, *channel);
+                let ti = touch_channel(
+                    &mut shard.touched,
+                    &mut shard.ch_epoch,
+                    &mut shard.ch_slot,
+                    &mut shard.b_cnt,
+                    &mut shard.l_cnt,
+                    ch,
+                    epoch,
+                );
+                shard.l_cnt[ti as usize] += 1;
+                (ti, Outcome::Idle)
+            }
+            Action::Sleep => {
+                ns += 1;
+                (SLEEPING, Outcome::Slept)
+            }
+        };
+        node_plan[i] = packed;
+        outcomes[i] = outcome;
+    }
+    shard.nb = nb;
+    shard.nl = nl;
+    shard.ns = ns;
+
+    // Local prefix sums + counting-sort scatter into the local buckets
+    // (ascending node order within each group by construction).
+    let t = shard.touched.len();
+    shard.b_off.clear();
+    shard.l_off.clear();
+    shard.b_off.push(0);
+    shard.l_off.push(0);
+    let (mut tb, mut tl) = (0u32, 0u32);
+    for ti in 0..t {
+        tb += shard.b_cnt[ti];
+        tl += shard.l_cnt[ti];
+        shard.b_off.push(tb);
+        shard.l_off.push(tl);
+    }
+    shard.b_nodes.resize(tb as usize, 0);
+    shard.l_nodes.resize(tl as usize, 0);
+    shard.b_cnt.copy_from_slice(&shard.b_off[..t]);
+    shard.l_cnt.copy_from_slice(&shard.l_off[..t]);
+    for (i, &packed) in node_plan.iter().enumerate() {
+        if packed == SLEEPING {
+            continue;
+        }
+        let v = (base + i) as u32;
+        if packed & BCAST_BIT != 0 {
+            let ti = (packed & !BCAST_BIT) as usize;
+            shard.b_nodes[shard.b_cnt[ti] as usize] = v;
+            shard.b_cnt[ti] += 1;
+        } else {
+            let ti = packed as usize;
+            shard.l_nodes[shard.l_cnt[ti] as usize] = v;
+            shard.l_cnt[ti] += 1;
+        }
     }
 }
 
@@ -583,6 +810,8 @@ impl<'net, P: Protocol> Engine<'net, P> {
             node_plan: vec![SLEEPING; n],
             actions: Vec::with_capacity(n),
             outcomes: Vec::with_capacity(n),
+            collect: Vec::new(),
+            phase1_min_nodes: DEFAULT_PHASE1_POOL_MIN_NODES,
             touched: Vec::new(),
             chan_epoch: vec![0; universe],
             chan_slot: vec![0; universe],
@@ -655,6 +884,23 @@ impl<'net, P: Protocol> Engine<'net, P> {
         self.resolver = resolver;
     }
 
+    /// The node-count threshold at or above which a
+    /// [`Resolver::ParallelSharded`] engine routes phase-1 action
+    /// collection through its worker pool (see
+    /// [`DEFAULT_PHASE1_POOL_MIN_NODES`]).
+    pub fn phase1_pool_min_nodes(&self) -> usize {
+        self.phase1_min_nodes
+    }
+
+    /// Sets the pooled-collection threshold: `0` forces phase-1 pooling on
+    /// (whenever the resolver is sharded), `usize::MAX` forces it off.
+    /// Purely a performance knob — the pooled and sequential collection
+    /// paths are bit-identical (enforced by the batch differential suite),
+    /// so this never changes results.
+    pub fn set_phase1_pool_min_nodes(&mut self, min_nodes: usize) {
+        self.phase1_min_nodes = min_nodes;
+    }
+
     /// The deterministic RNG stream belonging to `channel` in the current
     /// slot. Phase-2 resolution is deterministic today; any future
     /// randomized channel effect (fading, capture, external noise) must
@@ -684,47 +930,137 @@ impl<'net, P: Protocol> Engine<'net, P> {
     }
 
     /// Executes exactly one slot.
-    pub fn step(&mut self) {
+    ///
+    /// The `Send` bounds exist for the pooled phase-1 collection path,
+    /// which hands protocol and message state to worker threads; every
+    /// protocol in this workspace satisfies them.
+    pub fn step(&mut self)
+    where
+        P: Send,
+        P::Message: Send,
+    {
         let slot = Slot(self.slot);
         let n = self.net.len();
-        self.actions.clear();
-        self.outcomes.clear();
         self.touched.clear();
         self.b_cnt.clear();
         self.l_cnt.clear();
         self.slot_epoch += 1;
         let epoch = self.slot_epoch;
 
-        // Phase 1a: collect every node's action; translate local labels
-        // through the flat table; count per-channel populations with
-        // epoch-stamped first-touch detection.
-        let (mut nb, mut nl, mut ns) = (0u64, 0u64, 0u64);
-        for v in 0..n {
-            let mut ctx = SlotCtx { slot, rng: &mut self.rngs[v] };
-            let action = self.protocols[v].act(&mut ctx);
-            let (plan, packed, outcome) = match action {
-                Action::Broadcast { channel, message } => {
-                    nb += 1;
-                    let ch = self.translate(v, channel);
-                    let ti = self.touch(ch, epoch);
-                    self.b_cnt[ti as usize] += 1;
-                    (SlotPlan::Bcast { message }, ti | BCAST_BIT, Outcome::Sent)
+        // Phase 1: collect every node's action through `act_batch`,
+        // translate local labels, count per-channel populations, and
+        // counting-sort into the flat channel buckets — chunked across the
+        // worker pool when the engine is sharded and n is large enough.
+        match self.resolver {
+            Resolver::ParallelSharded { threads }
+                if threads >= 2 && n >= 2 && n >= self.phase1_min_nodes =>
+            {
+                self.collect_pooled(threads, slot, epoch);
+            }
+            _ => self.collect_sequential(slot, epoch),
+        }
+
+        // Phase 2: resolve each touched channel — sharded across the pool
+        // when requested, sequentially otherwise.
+        let t = self.touched.len();
+        match self.resolver {
+            Resolver::ParallelSharded { threads } if threads >= 2 && t >= 2 => {
+                self.resolve_all_sharded(threads);
+            }
+            r => self.resolve_all_sequential(r.per_channel()),
+        }
+
+        // Phase 3: deliver feedback. Heard messages are borrowed from the
+        // broadcasters' entries in the action buffer — zero clones.
+        let actions = &self.actions;
+        let outcomes = &self.outcomes;
+        let counters = &mut self.counters;
+        for (v, (proto, rng)) in self.protocols.iter_mut().zip(self.rngs.iter_mut()).enumerate() {
+            let fb = match outcomes[v] {
+                Outcome::Sent => Feedback::Sent,
+                Outcome::Slept => Feedback::Slept,
+                Outcome::Idle => {
+                    counters.idle_listens += 1;
+                    Feedback::Silence
                 }
-                Action::Listen { channel } => {
-                    nl += 1;
-                    let ch = self.translate(v, channel);
-                    let ti = self.touch(ch, epoch);
-                    self.l_cnt[ti as usize] += 1;
-                    (SlotPlan::Listen, ti, Outcome::Idle)
+                Outcome::Collision => {
+                    counters.collisions += 1;
+                    Feedback::Silence
                 }
-                Action::Sleep => {
-                    ns += 1;
-                    (SlotPlan::Sleep, SLEEPING, Outcome::Slept)
+                Outcome::Heard(b) => {
+                    counters.deliveries += 1;
+                    match &actions[b as usize] {
+                        Action::Broadcast { message, .. } => Feedback::Heard(message),
+                        _ => unreachable!("resolved broadcaster must be broadcasting"),
+                    }
                 }
             };
-            self.actions.push(plan);
-            self.node_plan[v] = packed;
-            self.outcomes.push(outcome);
+            let mut ctx = SlotCtx { slot, rng };
+            proto.feedback(&mut ctx, fb);
+        }
+
+        self.slot += 1;
+        self.counters.slots += 1;
+    }
+
+    /// Sequential phase 1: one `act_batch` call over the whole node range,
+    /// then a counting pass over the returned actions and the classic
+    /// prefix-sum + counting-sort scatter into the global channel buckets.
+    fn collect_sequential(&mut self, slot: Slot, epoch: u64) {
+        let n = self.net.len();
+        self.actions.clear();
+        self.outcomes.clear();
+        {
+            let Engine { protocols, rngs, actions, .. } = self;
+            let mut ctx = BatchCtx::new(slot, rngs);
+            P::act_batch(protocols, &mut ctx, actions);
+        }
+        assert_eq!(self.actions.len(), n, "act_batch must emit one action per node");
+
+        // Phase 1a: translate + count with epoch-stamped first-touch
+        // detection.
+        let (mut nb, mut nl, mut ns) = (0u64, 0u64, 0u64);
+        {
+            let Engine {
+                actions,
+                xlate,
+                c,
+                node_plan,
+                outcomes,
+                touched,
+                chan_epoch,
+                chan_slot,
+                b_cnt,
+                l_cnt,
+                ..
+            } = self;
+            let (c, xlate) = (*c, &xlate[..]);
+            for (v, action) in actions.iter().enumerate() {
+                let (packed, outcome) = match action {
+                    Action::Broadcast { channel, .. } => {
+                        nb += 1;
+                        let ch = translate_label(xlate, c, v, *channel);
+                        let ti =
+                            touch_channel(touched, chan_epoch, chan_slot, b_cnt, l_cnt, ch, epoch);
+                        b_cnt[ti as usize] += 1;
+                        (ti | BCAST_BIT, Outcome::Sent)
+                    }
+                    Action::Listen { channel } => {
+                        nl += 1;
+                        let ch = translate_label(xlate, c, v, *channel);
+                        let ti =
+                            touch_channel(touched, chan_epoch, chan_slot, b_cnt, l_cnt, ch, epoch);
+                        l_cnt[ti as usize] += 1;
+                        (ti, Outcome::Idle)
+                    }
+                    Action::Sleep => {
+                        ns += 1;
+                        (SLEEPING, Outcome::Slept)
+                    }
+                };
+                node_plan[v] = packed;
+                outcomes.push(outcome);
+            }
         }
         self.counters.broadcasts += nb;
         self.counters.listens += nl;
@@ -767,77 +1103,167 @@ impl<'net, P: Protocol> Engine<'net, P> {
                 self.l_cnt[ti] += 1;
             }
         }
-
-        // Phase 2: resolve each touched channel — sharded across scoped
-        // threads when requested, sequentially otherwise.
-        match self.resolver {
-            Resolver::ParallelSharded { threads } if threads >= 2 && t >= 2 => {
-                self.resolve_all_sharded(threads);
-            }
-            r => self.resolve_all_sequential(r.per_channel()),
-        }
-
-        // Phase 3: deliver feedback. Heard messages are borrowed from the
-        // broadcasters' entries in the action buffer — zero clones.
-        let actions = &self.actions;
-        let outcomes = &self.outcomes;
-        let counters = &mut self.counters;
-        for (v, (proto, rng)) in self.protocols.iter_mut().zip(self.rngs.iter_mut()).enumerate() {
-            let fb = match outcomes[v] {
-                Outcome::Sent => Feedback::Sent,
-                Outcome::Slept => Feedback::Slept,
-                Outcome::Idle => {
-                    counters.idle_listens += 1;
-                    Feedback::Silence
-                }
-                Outcome::Collision => {
-                    counters.collisions += 1;
-                    Feedback::Silence
-                }
-                Outcome::Heard(b) => {
-                    counters.deliveries += 1;
-                    match &actions[b as usize] {
-                        SlotPlan::Bcast { message } => Feedback::Heard(message),
-                        _ => unreachable!("resolved broadcaster must be broadcasting"),
-                    }
-                }
-            };
-            let mut ctx = SlotCtx { slot, rng };
-            proto.feedback(&mut ctx, fb);
-        }
-
-        self.slot += 1;
-        self.counters.slots += 1;
     }
 
-    /// Translates node `v`'s local label through the flat table.
+    /// Pooled phase 1: the node range is split into `threads` contiguous
+    /// chunks; the calling thread plus `threads − 1` pool workers each run
+    /// [`collect_chunk`] on one chunk (its `act_batch` call, local counts,
+    /// and local buckets), and the caller then merges the chunk results:
     ///
-    /// # Panics
-    /// Panics if a protocol tunes to a label outside `0..c` — without the
-    /// check, a bad label would silently alias into the next node's
-    /// translation row.
-    #[inline]
-    fn translate(&self, v: usize, channel: LocalChannel) -> usize {
-        let l = channel.index();
-        assert!(l < self.c, "node {v} tuned to local channel {l} but c = {}", self.c);
-        self.xlate[v * self.c + l] as usize
+    /// * the **global touched-channel list** is rebuilt by walking the
+    ///   chunk-local lists in ascending chunk order and keeping first
+    ///   occurrences — which reproduces the sequential path's global
+    ///   first-touch order *exactly*, because chunks cover ascending node
+    ///   ranges and each local list is in first-touch (node) order;
+    /// * per-channel counts are summed and prefix-summed into the global
+    ///   CSR offsets, and each chunk's local bucket segments are copied in
+    ///   chunk order — ascending chunk order × ascending node order within
+    ///   a chunk = globally ascending node order within every bucket,
+    ///   exactly what the sequential scatter produces.
+    ///
+    /// Node RNG streams are untouched by the partition (stream `i` is only
+    /// ever advanced by node `i`'s own draws, in slot order), so the pooled
+    /// path is bit-identical to the sequential one at any thread count —
+    /// enforced by the batch differential suite in
+    /// `tests/tests/engine_equiv.rs`.
+    fn collect_pooled(&mut self, threads: usize, slot: Slot, epoch: u64)
+    where
+        P: Send,
+        P::Message: Send,
+    {
+        let n = self.net.len();
+        let groups = threads.min(n);
+        let chunk = n.div_ceil(groups);
+        let groups = n.div_ceil(chunk);
+        debug_assert!(groups >= 2, "caller guarantees threads >= 2 and n >= 2");
+        self.ensure_pool(threads - 1);
+        let universe = self.chan_epoch.len();
+        while self.collect.len() < groups {
+            self.collect.push(CollectShard::new(universe));
+        }
+        self.actions.clear();
+        self.outcomes.clear();
+        self.outcomes.resize(n, Outcome::Idle);
+
+        // Fan out: each chunk task owns disjoint slices of the per-node
+        // state plus one private shard; shard 0 runs on the calling thread.
+        {
+            let Engine { protocols, rngs, node_plan, outcomes, collect, xlate, c, pool, .. } = self;
+            let (c, xlate) = (*c, &xlate[..]);
+            struct ChunkTask<'a, P: Protocol> {
+                base: usize,
+                protos: &'a mut [P],
+                rngs: &'a mut [SmallRng],
+                plan: &'a mut [u32],
+                outc: &'a mut [Outcome],
+                shard: &'a mut CollectShard<P::Message>,
+            }
+            let mut tasks: Vec<ChunkTask<'_, P>> = Vec::with_capacity(groups);
+            for (i, ((((protos, rngs), plan), outc), shard)) in protocols
+                .chunks_mut(chunk)
+                .zip(rngs.chunks_mut(chunk))
+                .zip(node_plan.chunks_mut(chunk))
+                .zip(outcomes.chunks_mut(chunk))
+                .zip(collect[..groups].iter_mut())
+                .enumerate()
+            {
+                tasks.push(ChunkTask { base: i * chunk, protos, rngs, plan, outc, shard });
+            }
+            let run_task = |t: &mut ChunkTask<'_, P>| {
+                collect_chunk(slot, t.base, xlate, c, t.protos, t.rngs, t.plan, t.outc, t.shard);
+            };
+            let (first, rest) = tasks.split_at_mut(1);
+            pool.as_mut().expect("pool ensured above").run_with(
+                rest,
+                |_, t| run_task(t),
+                || run_task(&mut first[0]),
+            );
+        }
+
+        // Merge 1: global first-touch channel list + summed counts.
+        {
+            let Engine { collect, touched, chan_epoch, chan_slot, b_cnt, l_cnt, .. } = self;
+            for shard in &collect[..groups] {
+                for (lti, &ch) in shard.touched.iter().enumerate() {
+                    let ti = touch_channel(
+                        touched,
+                        chan_epoch,
+                        chan_slot,
+                        b_cnt,
+                        l_cnt,
+                        ch as usize,
+                        epoch,
+                    ) as usize;
+                    b_cnt[ti] += shard.b_off[lti + 1] - shard.b_off[lti];
+                    l_cnt[ti] += shard.l_off[lti + 1] - shard.l_off[lti];
+                }
+            }
+        }
+
+        // Merge 2: global prefix sums over the merged counts.
+        let t = self.touched.len();
+        self.b_off.clear();
+        self.l_off.clear();
+        self.b_off.push(0);
+        self.l_off.push(0);
+        let (mut tb, mut tl) = (0u32, 0u32);
+        for ti in 0..t {
+            tb += self.b_cnt[ti];
+            tl += self.l_cnt[ti];
+            self.b_off.push(tb);
+            self.l_off.push(tl);
+        }
+        self.bcast_nodes.resize(tb as usize, 0);
+        self.listen_nodes.resize(tl as usize, 0);
+        self.b_cnt.copy_from_slice(&self.b_off[..t]);
+        self.l_cnt.copy_from_slice(&self.l_off[..t]);
+
+        // Merge 3: copy each chunk's local bucket segments into the global
+        // buckets (contiguous memcpys, cursor per channel), collect the
+        // chunk actions in node order, and sum the action tallies.
+        {
+            let Engine {
+                collect,
+                chan_slot,
+                b_cnt,
+                l_cnt,
+                bcast_nodes,
+                listen_nodes,
+                actions,
+                counters,
+                ..
+            } = self;
+            for shard in &mut collect[..groups] {
+                for (lti, &ch) in shard.touched.iter().enumerate() {
+                    let ti = chan_slot[ch as usize] as usize;
+                    let src =
+                        &shard.b_nodes[shard.b_off[lti] as usize..shard.b_off[lti + 1] as usize];
+                    let cur = b_cnt[ti] as usize;
+                    bcast_nodes[cur..cur + src.len()].copy_from_slice(src);
+                    b_cnt[ti] += src.len() as u32;
+                    let src =
+                        &shard.l_nodes[shard.l_off[lti] as usize..shard.l_off[lti + 1] as usize];
+                    let cur = l_cnt[ti] as usize;
+                    listen_nodes[cur..cur + src.len()].copy_from_slice(src);
+                    l_cnt[ti] += src.len() as u32;
+                }
+                actions.append(&mut shard.out);
+                counters.broadcasts += shard.nb;
+                counters.listens += shard.nl;
+                counters.sleeps += shard.ns;
+            }
+        }
+        debug_assert_eq!(self.actions.len(), n);
     }
 
-    /// Registers dense channel `ch` as touched this slot (idempotent) and
-    /// returns its index into the touched list.
-    #[inline]
-    fn touch(&mut self, ch: usize, epoch: u64) -> u32 {
-        if self.chan_epoch[ch] == epoch {
-            self.chan_slot[ch]
-        } else {
-            self.chan_epoch[ch] = epoch;
-            let ti = self.touched.len() as u32;
-            debug_assert!(ti < BCAST_BIT, "touched-channel index overflows the role bit");
-            self.chan_slot[ch] = ti;
-            self.touched.push(ch as u32);
-            self.b_cnt.push(0);
-            self.l_cnt.push(0);
-            ti
+    /// Ensures the engine owns a pool with exactly `workers` worker
+    /// threads, recreating it (graceful teardown of the old one) if the
+    /// count changed since the last pooled slot. Shared by pooled phase-1
+    /// collection and sharded phase-2 resolution, which therefore reuse
+    /// the same parked threads within a slot.
+    fn ensure_pool(&mut self, workers: usize) {
+        if self.pool.as_ref().map(WorkerPool::workers) != Some(workers) {
+            self.pool = Some(WorkerPool::new(workers));
         }
     }
 
@@ -918,10 +1344,7 @@ impl<'net, P: Protocol> Engine<'net, P> {
         // Workers beyond shard 0, spawned once and kept parked between
         // slots; recreated (old pool torn down gracefully) only if the
         // resolver's thread count changed since the last sharded slot.
-        let workers = threads - 1;
-        if self.pool.as_ref().map(WorkerPool::workers) != Some(workers) {
-            self.pool = Some(WorkerPool::new(workers));
-        }
+        self.ensure_pool(threads - 1);
 
         let Engine {
             net,
@@ -999,7 +1422,11 @@ impl<'net, P: Protocol> Engine<'net, P> {
     /// continues to the protocols' own schedule end even after the probe
     /// fires only if `stop_on_probe` is false — here we always stop, because
     /// completion-time experiments don't need the tail.
-    pub fn run(&mut self, max_slots: u64, mut probe: Option<Probe<'_, '_, 'net, P>>) -> RunOutcome {
+    pub fn run(&mut self, max_slots: u64, mut probe: Option<Probe<'_, '_, 'net, P>>) -> RunOutcome
+    where
+        P: Send,
+        P::Message: Send,
+    {
         let mut completed_at = None;
         // Evaluate the probe at slot 0 too: some scenarios are trivially
         // complete before any communication.
@@ -1030,7 +1457,11 @@ impl<'net, P: Protocol> Engine<'net, P> {
 
     /// Runs the protocols' full fixed schedule (up to `max_slots`) with no
     /// probe.
-    pub fn run_to_completion(&mut self, max_slots: u64) -> RunOutcome {
+    pub fn run_to_completion(&mut self, max_slots: u64) -> RunOutcome
+    where
+        P: Send,
+        P::Message: Send,
+    {
         self.run(max_slots, None)
     }
 

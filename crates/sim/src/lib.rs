@@ -73,4 +73,4 @@ pub mod trace;
 pub use engine::{Counters, Engine, Resolver, RunOutcome};
 pub use ids::{Edge, GlobalChannel, LocalChannel, NodeId, Slot};
 pub use network::{Network, NetworkBuilder, NetworkError, NetworkStats, StatsMode};
-pub use protocol::{Action, Feedback, NodeCtx, Protocol, SlotCtx};
+pub use protocol::{act_batch_buffered, Action, BatchCtx, Feedback, NodeCtx, Protocol, SlotCtx};

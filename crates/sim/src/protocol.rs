@@ -13,9 +13,21 @@
 //!   broadcast on the same (global) channel in that slot;
 //! * zero broadcasters and ≥ 2 broadcasters are indistinguishable: both are
 //!   [`Feedback::Silence`] (no collision detection).
+//!
+//! For schedule-driven protocols the engine also offers a *batched* act
+//! path: [`Protocol::act_batch`] receives a contiguous slice of protocol
+//! instances plus a [`BatchCtx`] holding their private RNG streams, and the
+//! default implementation simply delegates to scalar [`Protocol::act`] per
+//! node — so every implementation keeps working, and the ones that opt in
+//! can amortize RNG state traffic through pre-filled word buffers
+//! ([`BatchCtx::buffered`], backed by the stream-identical
+//! [`rand::RngCore::fill_u64s`]). Whatever the path, the per-node draw
+//! sequence must be identical: the engine's differential tests compare the
+//! batched and scalar paths bit for bit.
 
 use crate::ids::{LocalChannel, NodeId, Slot};
 use rand::rngs::SmallRng;
+use rand::{BufferedRng, RngCore};
 
 /// What a node decides to do in one slot.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -97,11 +109,100 @@ impl<'a, M> Feedback<'a, M> {
 /// The slot index is global knowledge (the model is synchronous with
 /// simultaneous start), and each node can "independently generate random
 /// bits" (paper §3) — hence one independent RNG per node.
-pub struct SlotCtx<'a> {
+///
+/// Generic over the random source so a protocol's slot-planning code can be
+/// written once and driven either by the node's raw [`SmallRng`] (the
+/// scalar [`Protocol::act`] path — the default type parameter keeps that
+/// signature unchanged) or by a [`BufferedRng`] façade over it (the batched
+/// [`Protocol::act_batch`] path). Both produce the identical draw stream.
+pub struct SlotCtx<'a, R: RngCore = SmallRng> {
     /// The current slot (identical at all nodes).
     pub slot: Slot,
     /// The node's private random stream for this execution.
-    pub rng: &'a mut SmallRng,
+    pub rng: &'a mut R,
+}
+
+/// Batch context for [`Protocol::act_batch`]: the slot clock plus the
+/// private RNG streams of every node in the batch (index-aligned with the
+/// protocol slice).
+///
+/// Constructed by the engine, which hands each phase-1 chunk — the whole
+/// node range on the sequential path, a contiguous sub-range per worker on
+/// the pooled path — its own `BatchCtx`.
+pub struct BatchCtx<'a> {
+    slot: Slot,
+    rngs: &'a mut [SmallRng],
+}
+
+impl<'a> BatchCtx<'a> {
+    /// Builds a batch context over `rngs` (one stream per node in the
+    /// batch, in batch order).
+    pub fn new(slot: Slot, rngs: &'a mut [SmallRng]) -> BatchCtx<'a> {
+        BatchCtx { slot, rngs }
+    }
+
+    /// The current slot (identical at all nodes).
+    pub fn slot(&self) -> Slot {
+        self.slot
+    }
+
+    /// Number of nodes in the batch.
+    pub fn len(&self) -> usize {
+        self.rngs.len()
+    }
+
+    /// `true` if the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rngs.is_empty()
+    }
+
+    /// The raw RNG stream of node `i` of the batch.
+    pub fn rng(&mut self, i: usize) -> &mut SmallRng {
+        &mut self.rngs[i]
+    }
+
+    /// A scalar [`SlotCtx`] for node `i` — the escape hatch the default
+    /// [`Protocol::act_batch`] uses to delegate to [`Protocol::act`].
+    pub fn slot_ctx(&mut self, i: usize) -> SlotCtx<'_> {
+        SlotCtx { slot: self.slot, rng: &mut self.rngs[i] }
+    }
+
+    /// A buffered view of node `i`'s stream with `reserve` words pre-drawn
+    /// in one bulk [`rand::RngCore::fill_u64s`] call (capped at the
+    /// façade's inline capacity). `reserve` must be a *lower bound* on the
+    /// words the caller will actually draw (draws past the prefill fall
+    /// through to the raw stream); the resulting draw sequence is
+    /// bit-identical to using [`BatchCtx::rng`] directly.
+    pub fn buffered(&mut self, i: usize, reserve: usize) -> BufferedRng<'_, SmallRng> {
+        BufferedRng::with_reserve(&mut self.rngs[i], reserve)
+    }
+}
+
+/// The shared body of every buffered [`Protocol::act_batch`] override:
+/// for each node of the batch, pre-fill `reserve(node)` words of its
+/// private stream in one bulk draw ([`BatchCtx::buffered`] — the reserve
+/// must be a *lower bound* on the node's actual draws) and run `act` over
+/// the buffered stream.
+///
+/// Ported protocols implement `act_batch` as one call to this, passing
+/// their `min_draws` state inspection and their generic act body — so the
+/// dispatch loop and the reserve contract live in exactly one place.
+pub fn act_batch_buffered<P, Reserve, Act>(
+    batch: &mut [P],
+    ctx: &mut BatchCtx<'_>,
+    out: &mut Vec<Action<P::Message>>,
+    reserve: Reserve,
+    mut act: Act,
+) where
+    P: Protocol,
+    Reserve: Fn(&P) -> usize,
+    Act: FnMut(&mut P, &mut SlotCtx<'_, BufferedRng<'_, SmallRng>>) -> Action<P::Message>,
+{
+    let slot = ctx.slot();
+    for (i, p) in batch.iter_mut().enumerate() {
+        let mut rng = ctx.buffered(i, reserve(p));
+        out.push(act(p, &mut SlotCtx { slot, rng: &mut rng }));
+    }
 }
 
 /// Static, node-local information available when a protocol instance is
@@ -162,6 +263,31 @@ pub trait Protocol {
     /// Decide this slot's action. Called exactly once per slot, in slot
     /// order, before any feedback for the slot is delivered.
     fn act(&mut self, ctx: &mut SlotCtx<'_>) -> Action<Self::Message>;
+
+    /// Decide one slot's actions for a contiguous batch of nodes: append
+    /// exactly `batch.len()` actions to `out`, one per instance in batch
+    /// order, drawing node `i`'s randomness only from stream `i` of `ctx`.
+    ///
+    /// This is the engine's phase-1 entry point — the unit its pooled
+    /// collection path dispatches to worker threads in node-range chunks.
+    /// The default implementation delegates to scalar [`Protocol::act`]
+    /// per node, so existing implementations keep working unchanged.
+    ///
+    /// An override must be **draw-for-draw identical** to the scalar path:
+    /// for every node it must consume exactly the words `act` would (the
+    /// [`BatchCtx::buffered`] reserve mechanism makes that automatic when
+    /// the reserve is a lower bound on the node's draws). The engine's
+    /// differential tests enforce this equivalence bit for bit.
+    fn act_batch(batch: &mut [Self], ctx: &mut BatchCtx<'_>, out: &mut Vec<Action<Self::Message>>)
+    where
+        Self: Sized,
+    {
+        debug_assert_eq!(batch.len(), ctx.len(), "one RNG stream per batched node");
+        for (i, p) in batch.iter_mut().enumerate() {
+            let mut sctx = ctx.slot_ctx(i);
+            out.push(p.act(&mut sctx));
+        }
+    }
 
     /// Receive the observation for the slot. Called exactly once per slot
     /// after all nodes have acted. A heard message arrives by reference;

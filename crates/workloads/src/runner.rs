@@ -3,12 +3,20 @@
 //! A *trial* runs one protocol on one network with one RNG seed and records
 //! the time-to-completion against ground truth (via an engine probe) plus
 //! the engine counters. Trials are embarrassingly parallel and run on
-//! `std::thread` scoped workers.
+//! `std::thread` scoped workers — and each worker owns **one long-lived
+//! engine**, re-armed per trial through [`Engine::reset`] rather than
+//! rebuilt per trial, so translation tables, flat action buckets, shard
+//! scratch, and (for sharded execution modes) the persistent worker pool
+//! all stay warm across the thousands of trials an experiment sweep runs.
+//! A reset engine is observationally indistinguishable from a fresh one
+//! (enforced by the engine's reuse regression test and by
+//! `reused_engines_match_fresh_engines_per_trial` below), so reuse never
+//! changes a single `Trial`.
 
 use crn_core::baselines::NaiveBroadcast;
 use crn_core::cgcast::CGCast;
 use crn_core::discovery::{all_discovered, all_good_discovered, DiscoveryProtocol};
-use crn_sim::{Counters, Engine, Network, NodeCtx, NodeId, Resolver};
+use crn_sim::{Counters, Engine, Network, NodeCtx, NodeId, Protocol, Resolver};
 
 /// How each trial's engine executes: the slot resolution strategy, including
 /// the number of phase-2 shard threads when parallel resolution is wanted.
@@ -79,46 +87,57 @@ impl Trial {
 /// cheap, fine enough for timing resolution.
 pub const PROBE_EVERY: u64 = 8;
 
-/// Runs `trials` independent trial closures on a scoped worker pool.
-///
-/// Work is distributed by an atomic claim counter (chunked work stealing)
-/// instead of static striping: each worker repeatedly claims the next
-/// unclaimed index, so a straggler trial (slow seed, big network) cannot
-/// leave the other workers idle the way fixed stripes can. Because every
-/// trial derives its own RNG stream from its index, results are a pure
-/// function of the index — the claim order, worker count, and scheduling
-/// jitter never affect the output (see
-/// `trial_results_are_independent_of_thread_count`).
-fn run_parallel<T: Send>(trials: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
-    let threads =
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(trials.max(1));
-    run_parallel_with_threads(threads, trials, f)
-}
-
-/// [`run_parallel`] with an explicit worker count (exposed for the
-/// thread-count-independence regression test).
+/// Stateless [`run_parallel_stateful`] with an explicit worker count —
+/// kept for the thread-count-independence regression test.
+#[cfg(test)]
 pub(crate) fn run_parallel_with_threads<T: Send>(
     threads: usize,
     trials: usize,
     f: impl Fn(usize) -> T + Sync,
 ) -> Vec<T> {
+    run_parallel_stateful(threads, trials, || (), |(), i| f(i))
+}
+
+/// The work-stealing core with **per-worker state**: `trials` closure
+/// invocations distributed over scoped workers by an atomic claim counter
+/// (each worker repeatedly claims the next unclaimed index, so a straggler
+/// trial cannot leave the other workers idle the way fixed stripes can),
+/// where each spawned worker calls `init()` once (on its own thread) and
+/// threads the resulting state through every trial it claims. The state is
+/// what lets the trial runners keep one long-lived [`Engine`] per worker —
+/// `init` returns a lazily-filled engine slot, and `f` re-arms it with
+/// [`Engine::reset`] per trial.
+///
+/// Results remain a pure function of the trial index: state is only a
+/// cache of observationally-invisible structure (a reset engine ≡ a fresh
+/// engine), so claim order, worker count, and which worker runs which
+/// trial never affect the output (see
+/// `trial_results_are_independent_of_thread_count` and
+/// `reused_engines_match_fresh_engines_per_trial`).
+pub(crate) fn run_parallel_stateful<T: Send, S>(
+    threads: usize,
+    trials: usize,
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, usize) -> T + Sync,
+) -> Vec<T> {
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     let threads = threads.clamp(1, trials.max(1));
-    let f = &f;
+    let (init, f) = (&init, &f);
     let next = AtomicUsize::new(0);
     let next = &next;
     let mut results: Vec<(usize, T)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(move || {
+                    let mut state = init();
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= trials {
                             break;
                         }
-                        local.push((i, f(i)));
+                        local.push((i, f(&mut state, i)));
                     }
                     local
                 })
@@ -128,6 +147,53 @@ pub(crate) fn run_parallel_with_threads<T: Send>(
     });
     results.sort_by_key(|&(i, _)| i);
     results.into_iter().map(|(_, r)| r).collect()
+}
+
+/// The shared trial driver: `trials` runs of the protocol built by `make`
+/// on `net`, each capped at `max_slots` and probed every [`PROBE_EVERY`]
+/// slots with `probe`. Each worker lazily constructs **one** engine on its
+/// first claimed trial and re-arms it with [`Engine::reset`] for every
+/// later one — engine setup (translation table, buckets, shard scratch,
+/// pool threads under [`EngineExec::sharded`]) is paid once per worker,
+/// not once per trial.
+fn engine_trials<P, F, Pr>(
+    net: &Network,
+    make: F,
+    trials: usize,
+    base_seed: u64,
+    max_slots: u64,
+    exec: EngineExec,
+    probe: Pr,
+) -> Vec<Trial>
+where
+    P: Protocol + Send,
+    P::Message: Send,
+    F: Fn(NodeCtx) -> P + Sync,
+    Pr: Fn(u64, &Engine<'_, P>) -> bool + Sync,
+{
+    run_parallel_stateful(
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(trials.max(1)),
+        trials,
+        || None::<Engine<'_, P>>,
+        |slot, i| {
+            let seed = base_seed.wrapping_add(i as u64);
+            let eng = match slot {
+                Some(eng) => {
+                    eng.reset(seed, &make);
+                    eng
+                }
+                None => slot.insert(Engine::with_resolver(net, seed, exec.resolver, &make)),
+            };
+            let mut probe = |s: u64, e: &Engine<'_, P>| probe(s, e);
+            let outcome = eng.run(max_slots, Some((PROBE_EVERY, &mut probe)));
+            Trial {
+                seed,
+                completed_at: outcome.completed_at,
+                slots_run: outcome.slots_run,
+                counters: eng.counters(),
+            }
+        },
+    )
 }
 
 /// Runs `trials` discovery trials of protocol `make` on `net`, probing for
@@ -141,7 +207,8 @@ pub fn discovery_trials<P, F>(
     max_slots: u64,
 ) -> Vec<Trial>
 where
-    P: DiscoveryProtocol,
+    P: DiscoveryProtocol + Send,
+    P::Message: Send,
     F: Fn(NodeCtx) -> P + Sync,
 {
     discovery_trials_exec(net, make, trials, base_seed, max_slots, EngineExec::default())
@@ -159,21 +226,11 @@ pub fn discovery_trials_exec<P, F>(
     exec: EngineExec,
 ) -> Vec<Trial>
 where
-    P: DiscoveryProtocol,
+    P: DiscoveryProtocol + Send,
+    P::Message: Send,
     F: Fn(NodeCtx) -> P + Sync,
 {
-    run_parallel(trials, |i| {
-        let seed = base_seed.wrapping_add(i as u64);
-        let mut eng = Engine::with_resolver(net, seed, exec.resolver, &make);
-        let mut probe = |_s: u64, e: &Engine<'_, P>| all_discovered(net, e);
-        let outcome = eng.run(max_slots, Some((PROBE_EVERY, &mut probe)));
-        Trial {
-            seed,
-            completed_at: outcome.completed_at,
-            slots_run: outcome.slots_run,
-            counters: eng.counters(),
-        }
-    })
+    engine_trials(net, make, trials, base_seed, max_slots, exec, |_s, e| all_discovered(net, e))
 }
 
 /// Like [`discovery_trials`] but probing the k̂-neighbor-discovery success
@@ -187,20 +244,33 @@ pub fn khat_discovery_trials<P, F>(
     max_slots: u64,
 ) -> Vec<Trial>
 where
-    P: DiscoveryProtocol,
+    P: DiscoveryProtocol + Send,
+    P::Message: Send,
     F: Fn(NodeCtx) -> P + Sync,
 {
-    run_parallel(trials, |i| {
-        let seed = base_seed.wrapping_add(i as u64);
-        let mut eng = Engine::new(net, seed, &make);
-        let mut probe = |_s: u64, e: &Engine<'_, P>| all_good_discovered(net, e, khat);
-        let outcome = eng.run(max_slots, Some((PROBE_EVERY, &mut probe)));
-        Trial {
-            seed,
-            completed_at: outcome.completed_at,
-            slots_run: outcome.slots_run,
-            counters: eng.counters(),
-        }
+    khat_discovery_trials_exec(net, make, khat, trials, base_seed, max_slots, EngineExec::default())
+}
+
+/// [`khat_discovery_trials`] with an explicit engine execution mode
+/// (identity-tested against the default path: the knob never changes
+/// results).
+#[allow(clippy::too_many_arguments)]
+pub fn khat_discovery_trials_exec<P, F>(
+    net: &Network,
+    make: F,
+    khat: usize,
+    trials: usize,
+    base_seed: u64,
+    max_slots: u64,
+    exec: EngineExec,
+) -> Vec<Trial>
+where
+    P: DiscoveryProtocol + Send,
+    P::Message: Send,
+    F: Fn(NodeCtx) -> P + Sync,
+{
+    engine_trials(net, make, trials, base_seed, max_slots, exec, |_s, e| {
+        all_good_discovered(net, e, khat)
     })
 }
 
@@ -223,23 +293,11 @@ pub fn cgcast_trials_exec(
     base_seed: u64,
     exec: EngineExec,
 ) -> Vec<Trial> {
-    run_parallel(trials, |i| {
-        let seed = base_seed.wrapping_add(i as u64);
-        let mut eng = Engine::with_resolver(net, seed, exec.resolver, |ctx: NodeCtx| {
-            CGCast::new(ctx.id, sched, (ctx.id == NodeId(0)).then_some(0xBEEF))
-        });
-        let mut probe = |_s: u64, e: &Engine<'_, CGCast>| {
-            let mut all = true;
-            e.for_each_protocol(|_, p| all &= p.is_informed());
-            all
-        };
-        let outcome = eng.run(sched.total_slots(), Some((PROBE_EVERY, &mut probe)));
-        Trial {
-            seed,
-            completed_at: outcome.completed_at,
-            slots_run: outcome.slots_run,
-            counters: eng.counters(),
-        }
+    let make = |ctx: NodeCtx| CGCast::new(ctx.id, sched, (ctx.id == NodeId(0)).then_some(0xBEEF));
+    engine_trials(net, make, trials, base_seed, sched.total_slots(), exec, |_s, e| {
+        let mut all = true;
+        e.for_each_protocol(|_, p: &CGCast| all &= p.is_informed());
+        all
     })
 }
 
@@ -251,23 +309,26 @@ pub fn naive_broadcast_trials(
     trials: usize,
     base_seed: u64,
 ) -> Vec<Trial> {
-    run_parallel(trials, |i| {
-        let seed = base_seed.wrapping_add(i as u64);
-        let mut eng = Engine::new(net, seed, |ctx: NodeCtx| {
-            NaiveBroadcast::new(ctx.id, c, max_slots, (ctx.id == NodeId(0)).then_some(0xBEEF))
-        });
-        let mut probe = |_s: u64, e: &Engine<'_, NaiveBroadcast>| {
-            let mut all = true;
-            e.for_each_protocol(|_, p| all &= p.is_informed());
-            all
-        };
-        let outcome = eng.run(max_slots, Some((PROBE_EVERY, &mut probe)));
-        Trial {
-            seed,
-            completed_at: outcome.completed_at,
-            slots_run: outcome.slots_run,
-            counters: eng.counters(),
-        }
+    naive_broadcast_trials_exec(net, c, max_slots, trials, base_seed, EngineExec::default())
+}
+
+/// [`naive_broadcast_trials`] with an explicit engine execution mode
+/// (identity-tested against the default path).
+pub fn naive_broadcast_trials_exec(
+    net: &Network,
+    c: u16,
+    max_slots: u64,
+    trials: usize,
+    base_seed: u64,
+    exec: EngineExec,
+) -> Vec<Trial> {
+    let make = |ctx: NodeCtx| {
+        NaiveBroadcast::new(ctx.id, c, max_slots, (ctx.id == NodeId(0)).then_some(0xBEEF))
+    };
+    engine_trials(net, make, trials, base_seed, max_slots, exec, |_s, e| {
+        let mut all = true;
+        e.for_each_protocol(|_, p: &NaiveBroadcast| all &= p.is_informed());
+        all
     })
 }
 
@@ -377,6 +438,115 @@ mod tests {
                 sequential,
                 "sharded engine ({threads} threads) diverges from sequential"
             );
+        }
+    }
+
+    /// Reference implementation: one *fresh* engine per trial, no reuse —
+    /// the ground truth the engine-reuse runners must reproduce exactly.
+    fn fresh_engine_trials<P, F, Pr>(
+        net: &crn_sim::Network,
+        make: F,
+        trials: usize,
+        base_seed: u64,
+        max_slots: u64,
+        exec: EngineExec,
+        probe: Pr,
+    ) -> Vec<Trial>
+    where
+        P: crn_sim::Protocol + Send,
+        P::Message: Send,
+        F: Fn(NodeCtx) -> P + Sync,
+        Pr: Fn(u64, &Engine<'_, P>) -> bool + Sync,
+    {
+        run_parallel_with_threads(4, trials, |i| {
+            let seed = base_seed.wrapping_add(i as u64);
+            let mut eng = Engine::with_resolver(net, seed, exec.resolver, &make);
+            let mut probe = |s: u64, e: &Engine<'_, P>| probe(s, e);
+            let outcome = eng.run(max_slots, Some((PROBE_EVERY, &mut probe)));
+            Trial {
+                seed,
+                completed_at: outcome.completed_at,
+                slots_run: outcome.slots_run,
+                counters: eng.counters(),
+            }
+        })
+    }
+
+    #[test]
+    fn reused_engines_match_fresh_engines_per_trial() {
+        // The runners keep one engine per worker and re-arm it with
+        // `Engine::reset`; every `Trial` must be byte-identical to what a
+        // fresh engine per trial produces — for sequential *and* sharded
+        // execution (where the persistent pool survives across trials).
+        let built = Scenario::new(
+            "reuse",
+            Topology::RandomGeometric { n: 20, radius: 0.5 },
+            ChannelModel::SharedCore { c: 3, core: 2 },
+            11,
+        )
+        .build()
+        .unwrap();
+        let sched = SeekParams::default().schedule(&built.model);
+        let make = |ctx: NodeCtx| CSeek::new(ctx.id, sched, false);
+        for exec in [EngineExec::sequential(), EngineExec::sharded(2)] {
+            let fresh = fresh_engine_trials(
+                &built.net,
+                make,
+                9,
+                321,
+                sched.total_slots(),
+                exec,
+                |_s, e| all_discovered(&built.net, e),
+            );
+            let reused = discovery_trials_exec(&built.net, make, 9, 321, sched.total_slots(), exec);
+            assert_eq!(reused, fresh, "engine reuse changed trial results ({exec:?})");
+        }
+    }
+
+    #[test]
+    fn khat_exec_variant_matches_default_path() {
+        let built = Scenario::new(
+            "khat-exec",
+            Topology::Grid { rows: 3, cols: 3 },
+            ChannelModel::GroupOverlay { c: 5, k: 2, kmax: 3, groups: 2 },
+            7,
+        )
+        .build()
+        .unwrap();
+        let sched = SeekParams::default().schedule(&built.model);
+        let make = |ctx: NodeCtx| CSeek::new(ctx.id, sched, false);
+        let khat = 2;
+        let default = khat_discovery_trials(&built.net, make, khat, 5, 99, sched.total_slots());
+        for exec in [EngineExec::sequential(), EngineExec::sharded(2)] {
+            let via_exec = khat_discovery_trials_exec(
+                &built.net,
+                make,
+                khat,
+                5,
+                99,
+                sched.total_slots(),
+                exec,
+            );
+            assert_eq!(via_exec, default, "khat exec knob changed results ({exec:?})");
+        }
+    }
+
+    #[test]
+    fn naive_broadcast_exec_variant_matches_default_path() {
+        let built = Scenario::new(
+            "naive-exec",
+            Topology::Path { n: 6 },
+            ChannelModel::SharedCore { c: 3, core: 2 },
+            3,
+        )
+        .build()
+        .unwrap();
+        let c = built.net.channels_per_node() as u16;
+        let default = naive_broadcast_trials(&built.net, c, 256, 5, 17);
+        assert!(default.iter().any(Trial::succeeded), "scenario must exercise deliveries");
+        for exec in [EngineExec::sequential(), EngineExec::sharded(2)] {
+            let via_exec = naive_broadcast_trials_exec(&built.net, c, 256, 5, 17, exec);
+            assert_eq!(via_exec, default, "naive-broadcast exec knob changed results ({exec:?})");
         }
     }
 

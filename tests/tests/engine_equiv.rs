@@ -11,12 +11,24 @@
 //! topology/channel-count/seed space, slot-by-slot lockstep comparison
 //! across repeated `step` calls on one engine instance, and engine reuse
 //! via [`Engine::reset`] (pool state must not leak between runs).
+//!
+//! The same standard applies to the *batched act pipeline*: a protocol's
+//! [`Protocol::act_batch`] override (buffered bulk draws) must be
+//! draw-for-draw identical to its scalar [`Protocol::act`], and the
+//! engine's pooled phase-1 collection (node-range chunks on the worker
+//! pool, merged by prefix-sum) must be bit-identical to sequential
+//! collection — both enforced here by running a batched protocol against a
+//! scalar-only twin across thread counts with pooled collection forced on
+//! and off.
 
 use crn_sim::channels::ChannelModel;
 use crn_sim::engine::Resolver;
 use crn_sim::topology::Topology;
-use crn_sim::{Action, Counters, Engine, Feedback, LocalChannel, Network, Protocol, SlotCtx};
-use rand::Rng;
+use crn_sim::{
+    act_batch_buffered, Action, BatchCtx, Counters, Engine, Feedback, LocalChannel, Network,
+    NodeCtx, Protocol, SlotCtx,
+};
+use rand::{Rng, RngCore};
 
 /// Owned snapshot of one slot's feedback, so whole traces can be compared.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,11 +49,8 @@ struct Chatter {
     trace: Vec<Obs>,
 }
 
-impl Protocol for Chatter {
-    type Message = u64;
-    type Output = Vec<Obs>;
-
-    fn act(&mut self, ctx: &mut SlotCtx<'_>) -> Action<u64> {
+impl Chatter {
+    fn act_any<R: RngCore>(&mut self, ctx: &mut SlotCtx<'_, R>) -> Action<u64> {
         let channel = LocalChannel(ctx.rng.gen_range(0..self.c));
         if ctx.rng.gen_bool(self.p_bcast) {
             // Message encodes (sender, slot) so a delivery from the wrong
@@ -54,13 +63,35 @@ impl Protocol for Chatter {
         }
     }
 
-    fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, fb: Feedback<'_, u64>) {
+    fn record(&mut self, fb: Feedback<'_, u64>) {
         self.trace.push(match fb {
             Feedback::Sent => Obs::Sent,
             Feedback::Heard(m) => Obs::Heard(*m),
             Feedback::Silence => Obs::Silence,
             Feedback::Slept => Obs::Slept,
         });
+    }
+}
+
+impl Protocol for Chatter {
+    type Message = u64;
+    type Output = Vec<Obs>;
+
+    fn act(&mut self, ctx: &mut SlotCtx<'_>) -> Action<u64> {
+        self.act_any(ctx)
+    }
+
+    /// Batched act with buffered draws: channel word + role word are
+    /// guaranteed every slot (the listen/sleep coin is data-dependent and
+    /// falls through to the raw stream). Must be draw-for-draw identical
+    /// to the scalar path — that is exactly what the differentials below
+    /// check against [`ScalarChatter`].
+    fn act_batch(batch: &mut [Self], ctx: &mut BatchCtx<'_>, out: &mut Vec<Action<u64>>) {
+        act_batch_buffered(batch, ctx, out, |_| 2, |p, sctx| p.act_any(sctx));
+    }
+
+    fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, fb: Feedback<'_, u64>) {
+        self.record(fb);
     }
 
     fn is_complete(&self) -> bool {
@@ -69,6 +100,33 @@ impl Protocol for Chatter {
 
     fn into_output(self) -> Vec<Obs> {
         self.trace
+    }
+}
+
+/// [`Chatter`]'s scalar-only twin: byte-for-byte the same state machine,
+/// but *without* an `act_batch` override, so the engine drives it through
+/// the default per-node delegation. Any divergence between the two is a
+/// bug in the batched pipeline (buffered draws or pooled collection).
+struct ScalarChatter(Chatter);
+
+impl Protocol for ScalarChatter {
+    type Message = u64;
+    type Output = Vec<Obs>;
+
+    fn act(&mut self, ctx: &mut SlotCtx<'_>) -> Action<u64> {
+        self.0.act_any(ctx)
+    }
+
+    fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, fb: Feedback<'_, u64>) {
+        self.0.record(fb);
+    }
+
+    fn is_complete(&self) -> bool {
+        false
+    }
+
+    fn into_output(self) -> Vec<Obs> {
+        self.0.trace
     }
 }
 
@@ -228,6 +286,84 @@ fn pooled_engine_stays_in_lockstep_with_naive_across_steps() {
     }
 }
 
+/// Batch-vs-scalar lockstep differential: a batched protocol (buffered
+/// bulk draws) on a sharded engine — with pooled phase-1 collection forced
+/// **on** and forced **off** — must agree with a scalar-only twin on a
+/// naive sequential engine after **every** slot, at thread counts
+/// {1, 2, 4, 8}. This pins any divergence (an over-reserved word buffer, a
+/// mis-merged bucket, a chunk boundary error) to the exact slot where it
+/// first appears.
+#[test]
+fn batched_pipeline_stays_in_lockstep_with_scalar() {
+    let net = build_network(
+        &Topology::ErdosRenyi { n: 48, p: 0.15 },
+        &ChannelModel::SharedCore { c: 4, core: 2 },
+        77,
+    );
+    let c = net.channels_per_node() as u16;
+    let chatter = |ctx: NodeCtx| Chatter { c, p_bcast: 0.5, id: ctx.id.0, trace: Vec::new() };
+
+    for threads in [1usize, 2, 4, 8] {
+        // Pooled phase-1 forced on (threshold 0) and forced off (MAX); at
+        // threads = 1 the engine must ignore the force-on and stay
+        // sequential.
+        for phase1_min in [0usize, usize::MAX] {
+            let mut reference =
+                Engine::with_resolver(&net, 21, Resolver::Naive, |ctx| ScalarChatter(chatter(ctx)));
+            let mut batched =
+                Engine::with_resolver(&net, 21, Resolver::ParallelSharded { threads }, chatter);
+            batched.set_phase1_pool_min_nodes(phase1_min);
+            for slot in 0..72u64 {
+                reference.step();
+                batched.step();
+                assert_eq!(
+                    batched.counters(),
+                    reference.counters(),
+                    "threads={threads} phase1_min={phase1_min}: counters diverge after slot {slot}"
+                );
+            }
+            let (mut ref_traces, mut batched_traces) = (Vec::new(), Vec::new());
+            reference.for_each_protocol(|_, p| ref_traces.push(p.0.trace.clone()));
+            batched.for_each_protocol(|_, p| batched_traces.push(p.trace.clone()));
+            assert_eq!(
+                batched_traces, ref_traces,
+                "threads={threads} phase1_min={phase1_min}: feedback traces diverge"
+            );
+        }
+    }
+}
+
+/// Pooled phase-1 collection composes with everything else the engine
+/// does: resolver switching mid-run, engine reuse via reset, and odd
+/// chunking (thread counts that don't divide n).
+#[test]
+fn pooled_collection_survives_reset_and_odd_chunks() {
+    // n = 29 is prime: every thread count in the rotation produces a
+    // ragged final chunk.
+    let net = build_network(
+        &Topology::RandomGeometric { n: 29, radius: 0.45 },
+        &ChannelModel::SharedCore { c: 3, core: 2 },
+        901,
+    );
+    let c = net.channels_per_node() as u16;
+    let make = |ctx: NodeCtx| Chatter { c, p_bcast: 0.4, id: ctx.id.0, trace: Vec::new() };
+    let (ref_counters, ref_traces) = run(&net, Resolver::Naive, 8, c, 0.4, 64);
+
+    let mut eng = Engine::with_resolver(&net, 8, Resolver::ParallelSharded { threads: 3 }, make);
+    eng.set_phase1_pool_min_nodes(0);
+    eng.run_to_completion(64);
+    assert_eq!(eng.counters(), ref_counters, "first pooled-collection run diverges");
+
+    // Reset and rerun with a different thread count: shard state, local
+    // buckets, and the pool must all be observationally invisible.
+    eng.reset(8, make);
+    eng.set_resolver(Resolver::ParallelSharded { threads: 7 });
+    eng.run_to_completion(64);
+    assert_eq!(eng.counters(), ref_counters, "post-reset pooled run diverges");
+    let traces: Vec<Vec<Obs>> = eng.into_outputs();
+    assert_eq!(traces, ref_traces, "post-reset pooled traces diverge");
+}
+
 /// Engine-reuse regression: one engine, two full executions back-to-back
 /// via [`Engine::reset`], must reproduce what two *fresh* engines produce
 /// — guarding against pool or scratch state leaking from the first run
@@ -276,9 +412,11 @@ fn engine_reuse_via_reset_matches_fresh_engines() {
     }
 }
 
-/// Property over topology/channel-count/seed space: the sequential engine
-/// and the channel-sharded engine at 2, 4, and 8 threads are bit-identical
-/// (counters *and* full per-slot feedback traces) on randomized networks.
+/// Property over topology/channel-count/seed space: the scalar sequential
+/// engine, the batched engine, and the channel-sharded engine at 2, 4, and
+/// 8 threads — with pooled phase-1 collection both forced on and off — are
+/// bit-identical (counters *and* full per-slot feedback traces) on
+/// randomized networks.
 mod sharded_equivalence_property {
     use super::*;
     use proptest::prelude::*;
@@ -293,11 +431,49 @@ mod sharded_equivalence_property {
         }
     }
 
+    /// Like [`run`] but over the scalar-only twin protocol: the engine
+    /// takes the default per-node `act` delegation path.
+    fn run_scalar(
+        net: &Network,
+        resolver: Resolver,
+        seed: u64,
+        c: u16,
+        p_bcast: f64,
+        slots: u64,
+    ) -> (Counters, Vec<Vec<Obs>>) {
+        let mut eng = Engine::with_resolver(net, seed, resolver, |ctx| {
+            ScalarChatter(Chatter { c, p_bcast, id: ctx.id.0, trace: Vec::new() })
+        });
+        eng.run_to_completion(slots);
+        (eng.counters(), eng.into_outputs())
+    }
+
+    /// Like [`run`] but with the pooled phase-1 threshold pinned.
+    fn run_phase1(
+        net: &Network,
+        resolver: Resolver,
+        seed: u64,
+        c: u16,
+        p_bcast: f64,
+        slots: u64,
+        phase1_min: usize,
+    ) -> (Counters, Vec<Vec<Obs>>) {
+        let mut eng = Engine::with_resolver(net, seed, resolver, |ctx| Chatter {
+            c,
+            p_bcast,
+            id: ctx.id.0,
+            trace: Vec::new(),
+        });
+        eng.set_phase1_pool_min_nodes(phase1_min);
+        eng.run_to_completion(slots);
+        (eng.counters(), eng.into_outputs())
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
 
         #[test]
-        fn sharded_matches_sequential(
+        fn sharded_and_batched_match_scalar_sequential(
             kind in 0u8..5,
             n in 4usize..40,
             c in 1u16..5,
@@ -313,25 +489,36 @@ mod sharded_equivalence_property {
             );
             let c = net.channels_per_node() as u16;
             let slots = 48;
+            // Ground truth: scalar act path, sequential auto resolver.
             let (ref_counters, ref_traces) =
-                run(&net, Resolver::Auto, seed, c, p_bcast, slots);
+                run_scalar(&net, Resolver::Auto, seed, c, p_bcast, slots);
+            // Batched act path on the same sequential engine.
+            let (counters, traces) = run(&net, Resolver::Auto, seed, c, p_bcast, slots);
+            prop_assert_eq!(counters, ref_counters, "batched act diverges on counters");
+            prop_assert_eq!(&traces, &ref_traces, "batched act diverges on traces");
+            // Sharded engines, pooled phase-1 collection off and on.
             for threads in [2usize, 4, 8] {
-                let (counters, traces) = run(
-                    &net,
-                    Resolver::ParallelSharded { threads },
-                    seed,
-                    c,
-                    p_bcast,
-                    slots,
-                );
-                prop_assert_eq!(
-                    counters, ref_counters,
-                    "threads={} diverges on counters", threads
-                );
-                prop_assert_eq!(
-                    &traces, &ref_traces,
-                    "threads={} diverges on feedback traces", threads
-                );
+                for phase1_min in [usize::MAX, 0] {
+                    let (counters, traces) = run_phase1(
+                        &net,
+                        Resolver::ParallelSharded { threads },
+                        seed,
+                        c,
+                        p_bcast,
+                        slots,
+                        phase1_min,
+                    );
+                    prop_assert_eq!(
+                        counters, ref_counters,
+                        "threads={} phase1_min={} diverges on counters",
+                        threads, phase1_min
+                    );
+                    prop_assert_eq!(
+                        &traces, &ref_traces,
+                        "threads={} phase1_min={} diverges on feedback traces",
+                        threads, phase1_min
+                    );
+                }
             }
         }
     }
