@@ -27,8 +27,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use crn_sim::channels::ChannelModel;
 use crn_sim::topology::Topology;
 use crn_sim::{
-    act_batch_buffered, Action, BatchCtx, Engine, Feedback, LocalChannel, Network, Protocol,
-    Resolver, SlotCtx, StatsMode,
+    act_batch_buffered, Action, BatchCtx, Engine, Feedback, GlobalChannel, LocalChannel, Network,
+    Protocol, Resolver, SlotCtx, SpectrumDynamics, StatsMode,
 };
 use rand::{Rng, RngCore};
 
@@ -246,6 +246,60 @@ fn trial_reuse(criterion: &mut Criterion) {
     group.finish();
 }
 
+/// Primary-user churn overhead: the `small_slot_200` scenario with each
+/// spectrum-dynamics flavour installed, against the spectrum-free baseline
+/// (`none`). The masked slots do strictly less resolution work, so this
+/// group measures the *fixed* per-slot cost of the spectrum layer (state
+/// advance + mask probes), which is what must stay negligible. Rows are
+/// printed (not gated) by `bench_regress` until a baseline recorded on the
+/// CI runner is committed — see `PRINT_ONLY_GROUPS` there.
+fn spectrum_churn(criterion: &mut Criterion) {
+    let n = 200usize;
+    let slots = 1024u64;
+    let topology = Topology::ErdosRenyi { n, p: 8.0 / (n as f64 - 1.0) };
+    let channels = ChannelModel::Identical { c: 3 };
+    let net = build(&topology, &channels, 13);
+
+    // A periodic replay pattern: channel 0 busy 1-in-4 slots, channel 1
+    // busy 1-in-8.
+    let mut replay = vec![Vec::new(); 8];
+    for (t, step) in replay.iter_mut().enumerate() {
+        if t % 4 == 0 {
+            step.push(GlobalChannel(0));
+        }
+        if t % 8 == 4 {
+            step.push(GlobalChannel(1));
+        }
+    }
+
+    let rows: [(&str, SpectrumDynamics); 4] = [
+        ("none", SpectrumDynamics::Static),
+        ("markov", SpectrumDynamics::MarkovOnOff { p_busy: 0.05, p_free: 0.2 }),
+        ("poisson", SpectrumDynamics::PoissonBursts { rate: 0.05, mean_len: 4.0 }),
+        ("replay", SpectrumDynamics::TraceReplay(replay)),
+    ];
+
+    let mut group = criterion.benchmark_group("spectrum_churn");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(slots * n as u64));
+    for (rname, dynamics) in rows {
+        group.bench_with_input(BenchmarkId::from_parameter(rname), &n, |b, _| {
+            b.iter(|| {
+                let mut eng = Engine::new(&net, 42, |_| Chatter { c: 3, heard: 0 });
+                eng.set_spectrum(dynamics.clone());
+                // The bench measures the hot path, not the post-run
+                // analysis: keep the per-slot history out of the loop.
+                if let Some(sp) = eng.spectrum_mut() {
+                    sp.set_record_history(false);
+                }
+                eng.run_to_completion(slots);
+                eng.counters().deliveries
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Acceptance scenario: dense broadcast storm. Random graph, n = 5000,
 /// average degree ≥ 64, all nodes broadcasting-or-listening on 2 shared
 /// channels. `auto` must be ≥ 2× faster per slot than `naive` here.
@@ -287,6 +341,6 @@ fn dense_broadcast(criterion: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = engine_throughput, small_slot, trial_reuse, dense_broadcast
+    targets = engine_throughput, small_slot, trial_reuse, spectrum_churn, dense_broadcast
 }
 criterion_main!(benches);

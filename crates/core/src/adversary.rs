@@ -32,20 +32,23 @@ pub struct Jammer<M> {
     c: u16,
     strategy: JamStrategy,
     noise: M,
-    slot: u64,
 }
 
 impl<M: Clone> Jammer<M> {
     /// Creates a jammer over `c` channels transmitting `noise`.
     pub fn new(c: u16, strategy: JamStrategy, noise: M) -> Jammer<M> {
         assert!(c >= 1, "jammer needs at least one channel");
-        Jammer { c, strategy, noise, slot: 0 }
+        Jammer { c, strategy, noise }
     }
 
     fn pick(&mut self, ctx: &mut SlotCtx<'_>) -> LocalChannel {
         match self.strategy {
             JamStrategy::Fixed(ch) => ch,
-            JamStrategy::Sweep => LocalChannel((self.slot % self.c as u64) as u16),
+            // Derived from the engine's slot clock, not an internal
+            // counter: a jammer cloned from a used instance, or one driven
+            // inside an `Engine::reset` trial loop, stays aligned with the
+            // global schedule by construction.
+            JamStrategy::Sweep => LocalChannel((ctx.slot.0 % self.c as u64) as u16),
             JamStrategy::Random => LocalChannel(ctx.rng.gen_range(0..self.c)),
         }
     }
@@ -57,7 +60,6 @@ impl<M: Clone> Protocol for Jammer<M> {
 
     fn act(&mut self, ctx: &mut SlotCtx<'_>) -> Action<M> {
         let channel = self.pick(ctx);
-        self.slot += 1;
         Action::Broadcast { channel, message: self.noise.clone() }
     }
 
@@ -227,5 +229,27 @@ mod tests {
             }
         }
         assert_eq!(seen_sweep, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn sweep_jammer_tracks_the_slot_clock_not_call_history() {
+        // The sweep channel is a function of the engine's slot clock: a
+        // jammer that missed slots (or was cloned from a used instance)
+        // must not drift. Feed non-contiguous slots and check alignment.
+        let mut sweep = Jammer::new(4, JamStrategy::Sweep, 0u8);
+        let mut rng = stream_rng(0, 0);
+        for slot in [5u64, 6, 100, 3] {
+            let mut ctx = SlotCtx { slot: crn_sim::Slot(slot), rng: &mut rng };
+            match sweep.act(&mut ctx) {
+                Action::Broadcast { channel, .. } => {
+                    assert_eq!(channel, LocalChannel((slot % 4) as u16), "slot {slot}")
+                }
+                _ => panic!("jammer always broadcasts"),
+            }
+        }
+        // A clone of the used jammer behaves identically at any slot.
+        let mut cloned = sweep.clone();
+        let mut ctx = SlotCtx { slot: crn_sim::Slot(7), rng: &mut rng };
+        assert!(matches!(cloned.act(&mut ctx), Action::Broadcast { channel: LocalChannel(3), .. }));
     }
 }

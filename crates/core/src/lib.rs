@@ -77,3 +77,7 @@ pub use discovery::{DiscoveryOutput, DiscoveryProtocol};
 pub use exchange::{Exchange, ExchangeOutput};
 pub use params::{CountParams, GcastParams, ModelInfo, SeekParams};
 pub use seek::{CSeek, SeekCore, SeekPhase};
+// Robustness studies combine in-protocol adversaries ([`adversary`]) with
+// environment-level primary-user churn; re-export the spectrum types so
+// such experiments need only `crn_core`.
+pub use crn_sim::spectrum::{SpectrumDynamics, SpectrumState};

@@ -239,6 +239,60 @@ pub trait Rng: RngCore {
     fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
         range.sample_single(self)
     }
+
+    /// Number of independent Bernoulli(`p`) trials up to and including the
+    /// first success — the geometric distribution on `1, 2, 3, …` with mean
+    /// `1/p` — sampled by inverse CDF from **exactly one** word of the
+    /// stream (so batched consumers can account for it in a
+    /// [`BufferedRng`] reserve).
+    ///
+    /// Sojourn-time processes (primary-user on/off channel models) draw
+    /// their dwell times from this instead of hand-rolling inverse-CDF
+    /// loops at every call site.
+    ///
+    /// # Panics
+    /// Panics unless `0 < p <= 1`.
+    fn sample_geometric(&mut self, p: f64) -> u64 {
+        assert!(p > 0.0 && p <= 1.0, "sample_geometric p={p} out of (0, 1]");
+        // Always consume one word, even on the p = 1 fast path: the draw
+        // count must be a function of the call, not of the parameter, so
+        // callers can reason about stream positions.
+        let u = unit_f64(self.next_u64());
+        if p >= 1.0 {
+            return 1;
+        }
+        // P(X > k) = (1-p)^k  ⇒  X = 1 + ⌊ln(1-U) / ln(1-p)⌋, U ∈ [0, 1).
+        // 1-U ∈ (0, 1] keeps the numerator finite; saturate the cast so a
+        // vanishing p cannot wrap.
+        let k = ((1.0 - u).ln() / (1.0 - p).ln()).floor();
+        1u64.saturating_add(k as u64)
+    }
+
+    /// A Poisson(`lambda`) draw via Knuth's product-of-uniforms method:
+    /// consumes `k + 1` words to return `k` (and zero words when
+    /// `lambda == 0`). Suited to the small-to-moderate rates the simulator
+    /// uses (burst lengths, per-slot arrival counts); cost grows linearly
+    /// with `lambda`.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= lambda <= 700` (beyond that `exp(-lambda)`
+    /// underflows and the product method degenerates).
+    fn sample_poisson(&mut self, lambda: f64) -> u64 {
+        assert!((0.0..=700.0).contains(&lambda), "sample_poisson lambda={lambda} out of [0, 700]");
+        if lambda == 0.0 {
+            return 0;
+        }
+        let limit = (-lambda).exp();
+        let mut k = 0u64;
+        let mut prod = 1.0f64;
+        loop {
+            prod *= unit_f64(self.next_u64());
+            if prod <= limit {
+                return k;
+            }
+            k += 1;
+        }
+    }
 }
 
 impl<R: RngCore + ?Sized> Rng for R {}
@@ -358,6 +412,84 @@ mod tests {
             }
         }
         assert_eq!(src.next_u64(), direct.next_u64());
+    }
+
+    #[test]
+    fn sample_geometric_consumes_exactly_one_word() {
+        // Stream identity: one call advances the stream by exactly one
+        // word, for every parameter value (including the p = 1 fast path).
+        for p in [1e-6, 0.01, 0.3, 0.5, 0.97, 1.0] {
+            let mut a = SmallRng::seed_from_u64(21);
+            let mut b = SmallRng::seed_from_u64(21);
+            let _ = a.sample_geometric(p);
+            let _ = b.next_u64();
+            assert_eq!(a.next_u64(), b.next_u64(), "p={p} draw count != 1");
+        }
+    }
+
+    #[test]
+    fn sample_geometric_matches_inverse_cdf_of_the_raw_word() {
+        // The mapping word → value is pinned: 1 + floor(ln(1-U)/ln(1-p)).
+        let p = 0.25f64;
+        let mut rng = SmallRng::seed_from_u64(77);
+        let mut raw = SmallRng::seed_from_u64(77);
+        for _ in 0..256 {
+            let expect = {
+                let u = unit_f64(raw.next_u64());
+                1 + (((1.0 - u).ln() / (1.0 - p).ln()).floor() as u64)
+            };
+            assert_eq!(rng.sample_geometric(p), expect);
+        }
+    }
+
+    #[test]
+    fn sample_geometric_support_and_mean() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert!((0..64).all(|_| rng.sample_geometric(1.0) == 1));
+        let n = 4000u64;
+        let sum: u64 = (0..n).map(|_| rng.sample_geometric(0.2)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!(rng.sample_geometric(0.2) >= 1);
+        assert!((mean - 5.0).abs() < 0.5, "geometric(0.2) mean ≈ 5, got {mean}");
+    }
+
+    #[test]
+    fn sample_poisson_stream_identity_and_draw_count() {
+        // Same seed, same sequence; and the draw count is k + 1 words
+        // (zero words for lambda = 0), so callers can reason about stream
+        // positions.
+        let mut a = SmallRng::seed_from_u64(31);
+        let mut b = SmallRng::seed_from_u64(31);
+        let xs: Vec<u64> = (0..64).map(|_| a.sample_poisson(3.0)).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.sample_poisson(3.0)).collect();
+        assert_eq!(xs, ys);
+
+        let mut c = SmallRng::seed_from_u64(31);
+        let mut raw = SmallRng::seed_from_u64(31);
+        let k = c.sample_poisson(3.0);
+        for _ in 0..k + 1 {
+            raw.next_u64();
+        }
+        assert_eq!(c.next_u64(), raw.next_u64(), "poisson consumed != k + 1 words");
+
+        let mut d = SmallRng::seed_from_u64(9);
+        assert_eq!(d.sample_poisson(0.0), 0);
+        let mut untouched = SmallRng::seed_from_u64(9);
+        assert_eq!(d.next_u64(), untouched.next_u64(), "lambda = 0 must draw nothing");
+    }
+
+    #[test]
+    fn sample_poisson_mean_tracks_lambda() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let n = 4000u64;
+        for lambda in [0.5f64, 2.0, 6.0] {
+            let sum: u64 = (0..n).map(|_| rng.sample_poisson(lambda)).sum();
+            let mean = sum as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < 0.2 + lambda * 0.1,
+                "poisson({lambda}) mean drifted: {mean}"
+            );
+        }
     }
 
     #[test]

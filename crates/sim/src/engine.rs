@@ -32,6 +32,16 @@
 //! This is precisely the communication model of paper §3 (no collision
 //! detection, collision ≡ silence, broadcasters hear only themselves).
 //!
+//! When primary-user spectrum dynamics are installed
+//! ([`Engine::set_spectrum`], see [`crate::spectrum`]), a **phase 0**
+//! precedes collection: the PU process is advanced once into the new slot,
+//! producing a busy mask over the dense channel universe. Phase 2 then
+//! treats a busy channel as occupied — its broadcasts are swallowed and
+//! every listener on it is resolved to the collision outcome — identically
+//! under every resolver and thread count, because the mask is computed
+//! sequentially from per-(slot, channel)-keyed streams before any
+//! resolution begins.
+//!
 //! # Slot resolution strategies
 //!
 //! Resolution cost is where simulation time goes for every Θ(n·polylog n)
@@ -69,6 +79,7 @@ use crate::network::Network;
 use crate::pool::WorkerPool;
 use crate::protocol::{Action, BatchCtx, Feedback, NodeCtx, Protocol, SlotCtx};
 use crate::rng::{channel_slot_rng, stream_rng};
+use crate::spectrum::{SpectrumDynamics, SpectrumState};
 use rand::rngs::SmallRng;
 
 /// Default node-count threshold at or above which a
@@ -95,10 +106,24 @@ pub struct Counters {
     pub sleeps: u64,
     /// Successful deliveries (listener heard exactly one neighbor).
     pub deliveries: u64,
-    /// Listener-slots lost to collision (≥ 2 broadcasting neighbors).
+    /// Listener-slots lost to collision (≥ 2 broadcasting neighbors), or
+    /// silenced by primary-user activity on the tuned channel — the two
+    /// are indistinguishable to the listener, so they share this counter
+    /// (the PU share is broken out in [`Counters::pu_blocked_listens`]).
     pub collisions: u64,
     /// Listener-slots in which no neighbor broadcast on the channel.
     pub idle_listens: u64,
+    /// Listener-slots silenced *specifically* by primary-user activity
+    /// (always ≤ [`Counters::collisions`]). Zero unless spectrum dynamics
+    /// are installed ([`Engine::set_spectrum`]).
+    pub pu_blocked_listens: u64,
+    /// Broadcast actions transmitted into a PU-busy channel and lost (the
+    /// broadcaster cannot tell; these are also counted in
+    /// [`Counters::broadcasts`]).
+    pub pu_blocked_broadcasts: u64,
+    /// (Touched channel, slot) pairs observed PU-busy — channel-slots in
+    /// which at least one node tuned to a busy channel.
+    pub pu_busy_channel_slots: u64,
 }
 
 /// Outcome of [`Engine::run`].
@@ -214,6 +239,13 @@ pub struct Engine<'net, P: Protocol> {
     /// entries) — one lookup in the hot loop instead of a nested-`Vec`
     /// chase plus a raw-id remap.
     xlate: Vec<u32>,
+    /// Dense channel → raw global id (the inverse of the remap behind
+    /// `xlate`), kept for consumers that must key by *global* channel —
+    /// the spectrum layer's per-(slot, channel) RNG streams.
+    dense_to_raw: Vec<u32>,
+    /// Primary-user spectrum dynamics, if installed ([`Engine::set_spectrum`]).
+    /// `None` ≡ [`SpectrumDynamics::Static`]: every channel idle forever.
+    spectrum: Option<SpectrumState>,
     /// Per-node packed plan for the current slot: a channel-bucket index
     /// with [`BCAST_BIT`] for broadcasters, or [`SLEEPING`]. Sequential
     /// collection stores *global* touched-channel indices here; pooled
@@ -284,6 +316,10 @@ enum Outcome {
     Idle,
     /// Listener with ≥ 2 broadcasting neighbors: collision, heard silence.
     Collision,
+    /// Listener on a PU-busy channel: the primary user's transmission
+    /// occupies the medium, so the listener hears noise — observationally
+    /// a collision (silence), but accounted separately.
+    PuBusy,
     /// Listener with exactly one broadcasting neighbor: delivery.
     Heard(u32),
 }
@@ -777,10 +813,12 @@ impl<'net, P: Protocol> Engine<'net, P> {
             }
         }
         let mut dense = vec![u32::MAX; max_raw as usize + 1];
+        let mut dense_to_raw = Vec::new();
         let mut universe = 0u32;
         for (raw, &p) in present.iter().enumerate() {
             if p {
                 dense[raw] = universe;
+                dense_to_raw.push(raw as u32);
                 universe += 1;
             }
         }
@@ -807,6 +845,8 @@ impl<'net, P: Protocol> Engine<'net, P> {
             seed,
             c,
             xlate,
+            dense_to_raw,
+            spectrum: None,
             node_plan: vec![SLEEPING; n],
             actions: Vec::with_capacity(n),
             outcomes: Vec::with_capacity(n),
@@ -851,6 +891,12 @@ impl<'net, P: Protocol> Engine<'net, P> {
         self.seed = seed;
         self.slot = 0;
         self.counters = Counters::default();
+        // The spectrum process rewinds to its pre-run state; its draws are
+        // keyed by (seed, slot, channel), so a reset engine reproduces a
+        // fresh engine's busy masks bit for bit.
+        if let Some(sp) = self.spectrum.as_mut() {
+            sp.reset();
+        }
         // `slot_epoch` keeps counting monotonically: the stamps in
         // `chan_epoch` and the shard scratches only ever compare for
         // equality with the *current* epoch, so continuing the sequence is
@@ -901,6 +947,39 @@ impl<'net, P: Protocol> Engine<'net, P> {
         self.phase1_min_nodes = min_nodes;
     }
 
+    /// Installs primary-user spectrum dynamics (see [`crate::spectrum`]):
+    /// from the next slot on, the process is advanced once per slot and
+    /// channels it marks busy behave as occupied — broadcasts on them are
+    /// lost and listeners hear noise (the existing collision outcome).
+    ///
+    /// [`SpectrumDynamics::Static`] uninstalls the layer entirely (an
+    /// engine with `Static` dynamics is bit-identical to one that never
+    /// had any). The process state is derived from the engine's master
+    /// seed via the per-(slot, channel) streams of
+    /// [`crate::rng::channel_slot_seed`], so results are deterministic and
+    /// identical across all [`Resolver`] modes and thread counts; installing
+    /// mid-run starts the process fresh at the current slot.
+    pub fn set_spectrum(&mut self, dynamics: SpectrumDynamics) {
+        self.spectrum = if dynamics.is_static() {
+            None
+        } else {
+            Some(SpectrumState::new(dynamics, &self.dense_to_raw))
+        };
+    }
+
+    /// The installed spectrum state (utilization, busy history), if any.
+    /// `None` when no dynamics are installed (≡ [`SpectrumDynamics::Static`]).
+    pub fn spectrum(&self) -> Option<&SpectrumState> {
+        self.spectrum.as_ref()
+    }
+
+    /// Mutable access to the spectrum state — for knobs like
+    /// [`SpectrumState::set_record_history`]. The process itself offers no
+    /// public mutators, so determinism is not at risk.
+    pub fn spectrum_mut(&mut self) -> Option<&mut SpectrumState> {
+        self.spectrum.as_mut()
+    }
+
     /// The deterministic RNG stream belonging to `channel` in the current
     /// slot. Phase-2 resolution is deterministic today; any future
     /// randomized channel effect (fading, capture, external noise) must
@@ -947,6 +1026,13 @@ impl<'net, P: Protocol> Engine<'net, P> {
         self.slot_epoch += 1;
         let epoch = self.slot_epoch;
 
+        // Phase 0: advance the primary-user spectrum process into this
+        // slot (sequential, per-(slot, channel)-keyed draws — the busy
+        // mask is identical whatever resolver or thread count follows).
+        if let Some(sp) = self.spectrum.as_mut() {
+            sp.advance(self.seed, self.slot);
+        }
+
         // Phase 1: collect every node's action through `act_batch`,
         // translate local labels, count per-channel populations, and
         // counting-sort into the flat channel buckets — chunked across the
@@ -958,6 +1044,20 @@ impl<'net, P: Protocol> Engine<'net, P> {
                 self.collect_pooled(threads, slot, epoch);
             }
             _ => self.collect_sequential(slot, epoch),
+        }
+
+        // PU accounting over the touched channels (O(t), sequential in
+        // every mode): a busy touched channel swallows its broadcasts.
+        // Listener-side effects are applied during resolution below.
+        if let Some(sp) = &self.spectrum {
+            let mask = sp.mask();
+            for ti in 0..self.touched.len() {
+                if mask.contains(self.touched[ti] as usize) {
+                    self.counters.pu_busy_channel_slots += 1;
+                    self.counters.pu_blocked_broadcasts +=
+                        (self.b_off[ti + 1] - self.b_off[ti]) as u64;
+                }
+            }
         }
 
         // Phase 2: resolve each touched channel — sharded across the pool
@@ -985,6 +1085,14 @@ impl<'net, P: Protocol> Engine<'net, P> {
                 }
                 Outcome::Collision => {
                     counters.collisions += 1;
+                    Feedback::Silence
+                }
+                Outcome::PuBusy => {
+                    // The primary user's transmission is one more signal on
+                    // the channel: the listener hears noise, which in this
+                    // model is a collision (silence).
+                    counters.collisions += 1;
+                    counters.pu_blocked_listens += 1;
                     Feedback::Silence
                 }
                 Outcome::Heard(b) => {
@@ -1271,12 +1379,31 @@ impl<'net, P: Protocol> Engine<'net, P> {
     /// `self.outcomes` in place.
     fn resolve_all_sequential(&mut self, strategy: Resolver) {
         let Engine {
-            net, touched, b_off, l_off, bcast_nodes, listen_nodes, shards, outcomes, ..
+            net,
+            touched,
+            b_off,
+            l_off,
+            bcast_nodes,
+            listen_nodes,
+            shards,
+            outcomes,
+            spectrum,
+            ..
         } = self;
+        let busy = spectrum.as_ref().map(SpectrumState::mask);
         let scratch = &mut shards[0].scratch;
         for ti in 0..touched.len() {
             let bs = &bcast_nodes[b_off[ti] as usize..b_off[ti + 1] as usize];
             let ls = &listen_nodes[l_off[ti] as usize..l_off[ti + 1] as usize];
+            if busy.is_some_and(|m| m.contains(touched[ti] as usize)) {
+                // PU-busy channel: broadcasts are lost, every listener
+                // hears noise (even with zero broadcasters — the primary
+                // user itself occupies the medium).
+                for &l in ls {
+                    outcomes[l as usize] = Outcome::PuBusy;
+                }
+                continue;
+            }
             if bs.is_empty() || ls.is_empty() {
                 // No broadcasters: listeners keep their provisional Idle.
                 // No listeners: nothing can be heard.
@@ -1348,7 +1475,7 @@ impl<'net, P: Protocol> Engine<'net, P> {
 
         let Engine {
             net,
-            touched: _,
+            touched,
             b_off,
             l_off,
             bcast_nodes,
@@ -1357,16 +1484,21 @@ impl<'net, P: Protocol> Engine<'net, P> {
             shard_bounds,
             outcomes,
             pool,
+            spectrum,
             ..
         } = self;
         let net: &Network = net;
         let bounds: &[(usize, usize)] = shard_bounds;
+        let touched: &[u32] = touched;
+        let busy: Option<&BitSet> = spectrum.as_ref().map(SpectrumState::mask);
         let (b_off, l_off): (&[u32], &[u32]) = (b_off, l_off);
         let (bcast_nodes, listen_nodes): (&[u32], &[u32]) = (bcast_nodes, listen_nodes);
 
         // One shard's work, identical on the calling thread and on a pool
         // worker: resolve the group's channels into the shard's private
         // outcome buffer (listener-position order) with private scratch.
+        // The PU busy mask was fixed in phase 0, so reading it from every
+        // shard is race-free and order-independent.
         let resolve_group = |g: usize, shard: &mut ShardSlot| {
             let (lo, hi) = bounds[g];
             let listeners_total = (l_off[hi] - l_off[lo]) as usize;
@@ -1376,7 +1508,11 @@ impl<'net, P: Protocol> Engine<'net, P> {
             for ti in lo..hi {
                 let bs = &bcast_nodes[b_off[ti] as usize..b_off[ti + 1] as usize];
                 let ls = &listen_nodes[l_off[ti] as usize..l_off[ti + 1] as usize];
-                if !bs.is_empty() && !ls.is_empty() {
+                if busy.is_some_and(|m| m.contains(touched[ti] as usize)) {
+                    for slot in &mut shard.out[base..base + ls.len()] {
+                        *slot = Outcome::PuBusy;
+                    }
+                } else if !bs.is_empty() && !ls.is_empty() {
                     let slice = &mut shard.out[base..base + ls.len()];
                     resolve_channel_into(
                         net,
@@ -1873,6 +2009,87 @@ mod tests {
             eng.step();
             assert_eq!(eng.counters().deliveries, 1, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn pu_busy_channel_blocks_delivery_under_every_resolver() {
+        // Lone leaf broadcasting to the center, but the PU camps on the
+        // shared channel every slot: no delivery ever, listeners hear
+        // noise, and the PU counters account for every blocked slot —
+        // identically under every resolver.
+        let net = star(1);
+        let always_busy = SpectrumDynamics::TraceReplay(vec![vec![GlobalChannel(0)]]);
+        for resolver in ALL_RESOLVERS {
+            let mut eng = Engine::with_resolver(&net, 7, resolver, |ctx| Fixed {
+                bcast: ctx.id == NodeId(1),
+                ch: LocalChannel(0),
+                heard: Vec::new(),
+                id: ctx.id.0,
+            });
+            eng.set_spectrum(always_busy.clone());
+            for _ in 0..5 {
+                eng.step();
+            }
+            let c = eng.counters();
+            assert_eq!(c.deliveries, 0, "{resolver:?}");
+            assert_eq!(c.collisions, 5, "{resolver:?}: PU noise is a collision");
+            assert_eq!(c.pu_blocked_listens, 5, "{resolver:?}");
+            assert_eq!(c.pu_blocked_broadcasts, 5, "{resolver:?}");
+            assert_eq!(c.pu_busy_channel_slots, 5, "{resolver:?}");
+            assert_eq!(c.broadcasts, 5, "{resolver:?}: the action itself still counts");
+            let out = eng.into_outputs();
+            assert!(out[0].is_empty(), "{resolver:?}: nothing audible through the PU");
+        }
+    }
+
+    #[test]
+    fn pu_mask_is_per_channel() {
+        // Two leaves on different global channels; the PU occupies only
+        // channel 0, so the center still hears cleanly on channel 5.
+        let mut b = Network::builder(3);
+        b.set_channels(NodeId(0), vec![GlobalChannel(0), GlobalChannel(5)]);
+        b.set_channels(NodeId(1), vec![GlobalChannel(0), GlobalChannel(9)]);
+        b.set_channels(NodeId(2), vec![GlobalChannel(5), GlobalChannel(7)]);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(0), NodeId(2));
+        let net = b.build().unwrap();
+        // Node 1 broadcasts on g0 (busy), node 2 on g5 (free); the center
+        // listens on g5 (its local label 1).
+        let mut eng = Engine::new(&net, 3, |ctx| Fixed {
+            bcast: ctx.id != NodeId(0),
+            ch: if ctx.id == NodeId(0) { LocalChannel(1) } else { LocalChannel(0) },
+            heard: Vec::new(),
+            id: ctx.id.0,
+        });
+        eng.set_spectrum(SpectrumDynamics::TraceReplay(vec![vec![GlobalChannel(0)]]));
+        eng.step();
+        let c = eng.counters();
+        assert_eq!(c.deliveries, 1);
+        assert_eq!(c.pu_blocked_broadcasts, 1, "only the g0 broadcast is lost");
+        assert_eq!(c.pu_blocked_listens, 0, "the center listened on the free channel");
+        let out = eng.into_outputs();
+        assert_eq!(out[0], vec![2], "channel 5 is unaffected by the PU on channel 0");
+    }
+
+    #[test]
+    fn static_spectrum_is_observationally_absent() {
+        let net = star(3);
+        let run = |install: bool| {
+            let mut eng = Engine::new(&net, 7, |ctx| Fixed {
+                bcast: ctx.id == NodeId(1),
+                ch: LocalChannel(0),
+                heard: Vec::new(),
+                id: ctx.id.0,
+            });
+            if install {
+                eng.set_spectrum(SpectrumDynamics::Static);
+                assert!(eng.spectrum().is_none(), "Static uninstalls the layer");
+            }
+            eng.step();
+            eng.step();
+            (eng.counters(), eng.into_outputs())
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

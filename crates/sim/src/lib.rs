@@ -66,6 +66,7 @@ pub mod network;
 pub mod pool;
 pub mod protocol;
 pub mod rng;
+pub mod spectrum;
 pub mod stats;
 pub mod topology;
 pub mod trace;
@@ -74,3 +75,4 @@ pub use engine::{Counters, Engine, Resolver, RunOutcome};
 pub use ids::{Edge, GlobalChannel, LocalChannel, NodeId, Slot};
 pub use network::{Network, NetworkBuilder, NetworkError, NetworkStats, StatsMode};
 pub use protocol::{act_batch_buffered, Action, BatchCtx, Feedback, NodeCtx, Protocol, SlotCtx};
+pub use spectrum::{SpectrumDynamics, SpectrumState};

@@ -1,8 +1,15 @@
 //! Execution tracing: wrap any protocol in a [`Recorded`] shim to capture
 //! its per-slot behaviour (action kind, channel, outcome) for debugging,
 //! visualization and spectrum-utilization analysis.
+//!
+//! With primary-user spectrum dynamics installed
+//! ([`Engine::set_spectrum`](crate::engine::Engine::set_spectrum)), a
+//! recorded trace can additionally be classified against the PU busy
+//! history: [`sensing_counts`] splits a node's listening and broadcasting
+//! slots into PU-blocked and PU-free ones — the per-node sensing view the
+//! spectrum-utilization experiments aggregate.
 
-use crate::ids::LocalChannel;
+use crate::ids::{GlobalChannel, LocalChannel};
 use crate::protocol::{Action, Feedback, Protocol, SlotCtx};
 
 /// What a node did in one slot (channel-level view).
@@ -166,6 +173,68 @@ impl ChannelUsage {
     }
 }
 
+/// A node's sensing summary: its recorded slots classified against the
+/// primary-user busy history. Produced by [`sensing_counts`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SensingCounts {
+    /// Broadcast slots on a PU-free channel (the transmission was live).
+    pub broadcasts: u64,
+    /// Broadcast slots into a PU-busy channel (lost; the node cannot tell).
+    pub blocked_broadcasts: u64,
+    /// Listening slots that delivered a message (always PU-free).
+    pub receptions: u64,
+    /// Silent listening slots on a PU-**busy** channel: the node sensed
+    /// primary-user occupancy (as noise).
+    pub busy_listens: u64,
+    /// Silent listening slots on a PU-free channel: genuine idle spectrum
+    /// or a secondary-user collision.
+    pub idle_listens: u64,
+    /// Slots with the radio off.
+    pub off: u64,
+}
+
+impl SensingCounts {
+    /// Fraction of listening slots spent on PU-occupied spectrum — the
+    /// node's observed spectrum pressure.
+    pub fn busy_fraction(&self) -> f64 {
+        let listens = self.receptions + self.busy_listens + self.idle_listens;
+        if listens == 0 {
+            0.0
+        } else {
+            self.busy_listens as f64 / listens as f64
+        }
+    }
+}
+
+/// Classifies one node's [`Recorded`] trace against the PU busy history:
+/// `channel_map` is the node's local-label → global-channel map (i.e.
+/// [`Network::channel_map`](crate::network::Network::channel_map)), and
+/// `was_busy(slot, channel)` answers whether the channel was PU-busy in
+/// the slot — typically
+/// [`SpectrumState::was_busy`](crate::spectrum::SpectrumState::was_busy)
+/// with history recording on. The trace is assumed to start at slot 0
+/// (which is how the engine drives `Recorded`: one event per slot from the
+/// first).
+pub fn sensing_counts(
+    trace: &[SlotEvent],
+    channel_map: &[GlobalChannel],
+    mut was_busy: impl FnMut(u64, GlobalChannel) -> bool,
+) -> SensingCounts {
+    let mut counts = SensingCounts::default();
+    for (slot, ev) in trace.iter().enumerate() {
+        let busy = ev.channel().is_some_and(|l| was_busy(slot as u64, channel_map[l.index()]));
+        match (*ev, busy) {
+            (SlotEvent::Broadcast(_), false) => counts.broadcasts += 1,
+            (SlotEvent::Broadcast(_), true) => counts.blocked_broadcasts += 1,
+            (SlotEvent::Received(_), _) => counts.receptions += 1,
+            (SlotEvent::Silent(_), true) => counts.busy_listens += 1,
+            (SlotEvent::Silent(_), false) => counts.idle_listens += 1,
+            (SlotEvent::Idle, _) => counts.off += 1,
+        }
+    }
+    counts
+}
+
 /// Renders a compact ASCII timeline of a trace (one char per slot:
 /// `B` broadcast, `R` received, `.` silent listen, space idle), chunked
 /// into lines of `width`.
@@ -264,6 +333,55 @@ mod tests {
         let gp = usage.goodput();
         assert_eq!(gp[0], 0.0);
         assert!((gp[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sensing_counts_classify_against_pu_history() {
+        use crate::spectrum::SpectrumDynamics;
+
+        // Node 0 broadcasts every slot, node 1 listens every slot, on the
+        // one shared channel; the PU occupies it every third slot
+        // (periodic trace of period 3). 9 slots → busy in slots 0, 3, 6.
+        let net = pair();
+        struct Always {
+            tx: bool,
+        }
+        impl Protocol for Always {
+            type Message = u8;
+            type Output = ();
+            fn act(&mut self, _ctx: &mut SlotCtx<'_>) -> Action<u8> {
+                if self.tx {
+                    Action::Broadcast { channel: LocalChannel(0), message: 1 }
+                } else {
+                    Action::Listen { channel: LocalChannel(0) }
+                }
+            }
+            fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, _fb: Feedback<'_, u8>) {}
+            fn is_complete(&self) -> bool {
+                false
+            }
+            fn into_output(self) {}
+        }
+        let mut eng = Engine::new(&net, 4, |ctx| Recorded::new(Always { tx: ctx.id == NodeId(0) }));
+        eng.set_spectrum(SpectrumDynamics::TraceReplay(vec![
+            vec![GlobalChannel(0)],
+            vec![],
+            vec![],
+        ]));
+        eng.run_to_completion(9);
+        let sp = eng.spectrum().expect("dynamics installed").clone();
+        let outs = eng.into_outputs();
+
+        let map = net.channel_map(NodeId(0)).to_vec();
+        let busy = |slot: u64, g: GlobalChannel| sp.was_busy(slot, g).unwrap_or(false);
+        let tx = sensing_counts(&outs[0].1, &map, busy);
+        assert_eq!(tx.broadcasts, 6);
+        assert_eq!(tx.blocked_broadcasts, 3);
+        let rx = sensing_counts(&outs[1].1, &map, busy);
+        assert_eq!(rx.receptions, 6, "PU-free slots deliver");
+        assert_eq!(rx.busy_listens, 3, "PU-busy slots sensed as noise");
+        assert_eq!(rx.idle_listens, 0);
+        assert!((rx.busy_fraction() - 1.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -10,8 +10,9 @@ use crn_sim::{Engine, GlobalChannel, LocalChannel, Network, NodeId};
 
 /// Builds the COUNT arena: node 0 (the listener) adjacent to `m`
 /// broadcasters; everyone shares global channel 0 plus one private channel
-/// (so `c = 2` and local labels differ).
-fn count_arena(m: usize) -> Network {
+/// (so `c = 2` and local labels differ). Shared with E12's COUNT arm so
+/// the two experiments measure the same arena.
+pub(crate) fn count_arena(m: usize) -> Network {
     let n = m + 1;
     let mut b = Network::builder(n);
     for v in 0..n {

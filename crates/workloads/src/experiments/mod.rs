@@ -19,6 +19,7 @@ pub mod kseek;
 pub mod pure_coloring;
 pub mod rendezvous;
 pub mod robustness;
+pub mod spectrum;
 pub mod tree;
 
 use crate::table::Table;
@@ -54,8 +55,8 @@ impl ExpConfig {
 
 /// All experiment identifiers, in DESIGN.md order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "a1", "a2", "a3", "a3b",
-    "r1",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "a1", "a2", "a3",
+    "a3b", "r1",
 ];
 
 /// Runs one experiment by id. Returns its result tables.
@@ -76,6 +77,9 @@ pub fn run_experiment(id: &str, cfg: &ExpConfig) -> Vec<Table> {
         "e9" => gcast_e9(cfg),
         "e10" => vec![tree::e10_tree_lower_bound(cfg)],
         "e11" => vec![rendezvous::e11_rendezvous_gap(cfg)],
+        "e12" => {
+            vec![spectrum::e12_pu_churn(cfg), spectrum::e12b_churn_plus_jamming(cfg)]
+        }
         "a1" => vec![ablation::a1_uniform_listener(cfg)],
         "a2" => vec![count::a2_round_length(cfg)],
         "a3" => vec![pure_coloring::a3_coloring_comparison(cfg)],

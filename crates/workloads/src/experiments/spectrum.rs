@@ -1,0 +1,353 @@
+//! E12 — extension beyond the paper: primitives under primary-user
+//! spectrum churn.
+//!
+//! The paper's model freezes each node's channel set for the whole
+//! execution, but the cognitive-radio premise is that *primary users*
+//! reclaim licensed spectrum at will (paper §1). The
+//! [`crn_sim::spectrum`] subsystem models this as a per-slot busy mask
+//! driven by Markov/Poisson primary-traffic processes; E12 measures how
+//! gracefully CSEEK, CGCAST, and COUNT degrade as the PU duty cycle grows,
+//! and E12b stacks PU churn on top of an in-network jammer — the
+//! worst-case "hostile spectrum" regime.
+
+use super::ExpConfig;
+use crate::runner::{summarize_trials, Trial, PROBE_EVERY};
+use crate::scenario::Scenario;
+use crate::table::{fmt_f, fmt_opt, Table};
+use crn_core::adversary::{JamStrategy, Jammer, NodeRole};
+use crn_core::cgcast::CGCast;
+use crn_core::count::{CountProtocol, Role};
+use crn_core::params::{CountParams, GcastParams, ModelInfo, SeekParams};
+use crn_core::seek::CSeek;
+use crn_core::SpectrumDynamics;
+use crn_sim::channels::ChannelModel;
+use crn_sim::topology::Topology;
+use crn_sim::{Engine, GlobalChannel, LocalChannel, NodeId};
+
+/// Mean primary-user busy sojourn, in slots, for the duty-cycle sweeps.
+const MEAN_BUSY: f64 = 4.0;
+
+/// The swept PU duty cycles.
+fn duties(cfg: &ExpConfig) -> &'static [f64] {
+    // 0.8 is the exact ceiling a per-slot chain with mean busy sojourn 4
+    // can realize (p_busy = 1); `markov_with_duty` rejects anything above.
+    if cfg.quick {
+        &[0.0, 0.5, 0.75]
+    } else {
+        &[0.0, 0.1, 0.25, 0.5, 0.75, 0.8]
+    }
+}
+
+/// Installs `dynamics` with per-slot history recording off: the arms read
+/// only `Counters` aggregates, so the per-slot busy log would be pure
+/// allocation overhead across thousands of trial slots.
+fn install_spectrum<P: crn_sim::Protocol>(eng: &mut Engine<'_, P>, dynamics: &SpectrumDynamics) {
+    eng.set_spectrum(dynamics.clone());
+    if let Some(sp) = eng.spectrum_mut() {
+        sp.set_record_history(false);
+    }
+}
+
+/// Per-(primitive, duty) aggregates.
+struct Arm {
+    success: f64,
+    mean_slots: Option<f64>,
+    pu_blocked: u64,
+    collisions: u64,
+}
+
+fn summarize(results: &[Trial], pu_blocked: u64) -> Arm {
+    let (mean_slots, success) = summarize_trials(results);
+    let n = results.len().max(1) as u64;
+    Arm {
+        success,
+        mean_slots,
+        pu_blocked: pu_blocked / n,
+        collisions: results.iter().map(|r| r.counters.collisions).sum::<u64>() / n,
+    }
+}
+
+fn push_arm(t: &mut Table, primitive: &str, duty: f64, arm: Arm) {
+    t.push_row(vec![
+        primitive.to_string(),
+        fmt_f(duty),
+        fmt_f(arm.success),
+        fmt_opt(arm.mean_slots),
+        arm.pu_blocked.to_string(),
+        arm.collisions.to_string(),
+    ]);
+}
+
+/// CSEEK on a shared-core clique: success = every ordered pair discovered
+/// within the fixed schedule.
+fn cseek_arm(cfg: &ExpConfig, n: usize, dynamics: &SpectrumDynamics) -> Arm {
+    let scn = Scenario::new(
+        "e12-cseek",
+        Topology::Complete { n },
+        ChannelModel::SharedCore { c: 6, core: 3 },
+        cfg.seed,
+    );
+    let built = scn.build().expect("scenario builds");
+    let sched = SeekParams::default().schedule(&built.model);
+    let mut results = Vec::new();
+    let mut pu_blocked = 0u64;
+    for trial in 0..cfg.trials() {
+        let seed = cfg.seed ^ 0xE12 ^ ((trial as u64) << 16);
+        let mut eng = Engine::new(&built.net, seed, |ctx| CSeek::new(ctx.id, sched, false));
+        install_spectrum(&mut eng, dynamics);
+        let mut probe = |_s: u64, e: &Engine<'_, CSeek>| {
+            let mut done = true;
+            e.for_each_protocol(|v, p| {
+                let found = (0..n)
+                    .filter(|&w| w != v.index())
+                    .filter(|&w| {
+                        crn_core::discovery::DiscoveryProtocol::has_discovered(p, NodeId(w as u32))
+                    })
+                    .count();
+                done &= found == n - 1;
+            });
+            done
+        };
+        let outcome = eng.run(sched.total_slots(), Some((PROBE_EVERY, &mut probe)));
+        pu_blocked += eng.counters().pu_blocked_listens;
+        results.push(Trial {
+            seed,
+            completed_at: outcome.completed_at,
+            slots_run: outcome.slots_run,
+            counters: eng.counters(),
+        });
+    }
+    summarize(&results, pu_blocked)
+}
+
+/// CGCAST from one source on a shared-core clique: success = every node
+/// informed when the schedule ends; completion slot probed on the way.
+fn cgcast_arm(cfg: &ExpConfig, n: usize, dynamics: &SpectrumDynamics) -> Arm {
+    let scn = Scenario::new(
+        "e12-cgcast",
+        Topology::Complete { n },
+        ChannelModel::SharedCore { c: 6, core: 3 },
+        cfg.seed ^ 0x51,
+    );
+    let built = scn.build().expect("scenario builds");
+    let d = built.net.stats().diameter.expect("clique is connected");
+    let model = ModelInfo::from_stats(&built.net.stats());
+    let sched = GcastParams { dissemination_phases: d, ..Default::default() }.schedule(&model);
+    let mut results = Vec::new();
+    let mut pu_blocked = 0u64;
+    for trial in 0..cfg.trials() {
+        let seed = cfg.seed ^ 0xE12B ^ ((trial as u64) << 16);
+        let mut eng = Engine::new(&built.net, seed, |ctx| {
+            CGCast::new(ctx.id, sched, (ctx.id == NodeId(0)).then_some(5))
+        });
+        install_spectrum(&mut eng, dynamics);
+        let mut probe = |_s: u64, e: &Engine<'_, CGCast>| {
+            let mut done = true;
+            e.for_each_protocol(|_, p| done &= p.is_informed());
+            done
+        };
+        let outcome = eng.run(sched.total_slots(), Some((PROBE_EVERY, &mut probe)));
+        pu_blocked += eng.counters().pu_blocked_listens;
+        results.push(Trial {
+            seed,
+            completed_at: outcome.completed_at,
+            slots_run: outcome.slots_run,
+            counters: eng.counters(),
+        });
+    }
+    summarize(&results, pu_blocked)
+}
+
+/// The COUNT arena of E1: one listener adjacent to `m` broadcasters on one
+/// shared channel (plus private padding). Success = estimate in `[m, 4m]`
+/// (Lemma 1's guarantee); COUNT has a fixed schedule, so the slot column
+/// reports the schedule length.
+fn count_arm(cfg: &ExpConfig, m: usize, dynamics: &SpectrumDynamics) -> Arm {
+    let net = super::count::count_arena(m);
+    let model = ModelInfo { n: 256, c: 2, delta: 256, k: 1, kmax: 1 };
+    let sched = CountParams::default().schedule(&model);
+    let mut results = Vec::new();
+    let mut pu_blocked = 0u64;
+    for trial in 0..cfg.trials() {
+        let seed = cfg.seed ^ 0xC0 ^ ((trial as u64) << 16);
+        let mut eng = Engine::new(&net, seed, |ctx| {
+            let role = if ctx.id == NodeId(0) { Role::Listener } else { Role::Broadcaster };
+            // E1's arena alternates label order, so the shared channel's
+            // local label differs per node.
+            let ch = net.global_to_local(ctx.id, GlobalChannel(0)).unwrap_or(LocalChannel(0));
+            CountProtocol::new(ctx.id, role, sched, ch)
+        });
+        install_spectrum(&mut eng, dynamics);
+        eng.run_to_completion(sched.total_slots());
+        pu_blocked += eng.counters().pu_blocked_listens;
+        let est = eng.counters();
+        let estimate = {
+            let outs = eng.into_outputs();
+            outs[0].estimate as usize
+        };
+        let ok = estimate >= m && estimate <= 4 * m;
+        results.push(Trial {
+            seed,
+            completed_at: ok.then_some(sched.total_slots()),
+            slots_run: sched.total_slots(),
+            counters: est,
+        });
+    }
+    summarize(&results, pu_blocked)
+}
+
+/// E12: CSEEK / CGCAST / COUNT success and completion slots vs primary-user
+/// duty cycle (Markov on/off channels, mean busy sojourn 4 slots).
+pub fn e12_pu_churn(cfg: &ExpConfig) -> Table {
+    let n_seek = if cfg.quick { 6 } else { 8 };
+    let n_gcast = if cfg.quick { 5 } else { 6 };
+    let m_count = if cfg.quick { 8 } else { 16 };
+    let mut t = Table::new(
+        format!(
+            "E12 (extension): primitives under primary-user churn — Markov on/off channels, \
+             mean busy sojourn {MEAN_BUSY} slots"
+        ),
+        &[
+            "primitive",
+            "PU duty cycle",
+            "success",
+            "mean slots to complete",
+            "PU-blocked listens/trial",
+            "collisions/trial",
+        ],
+    );
+    for &duty in duties(cfg) {
+        let dynamics = SpectrumDynamics::markov_with_duty(duty, MEAN_BUSY);
+        push_arm(&mut t, "CSEEK", duty, cseek_arm(cfg, n_seek, &dynamics));
+        push_arm(&mut t, "CGCAST", duty, cgcast_arm(cfg, n_gcast, &dynamics));
+        push_arm(&mut t, &format!("COUNT (m={m_count})"), duty, count_arm(cfg, m_count, &dynamics));
+    }
+    t.push_note(
+        "Every channel is an on/off PU process; a busy channel swallows broadcasts and \
+         turns listens into noise. Schedules are sized for a clean spectrum, so success \
+         degrades and completion slides right as the duty cycle grows — channel-set \
+         redundancy (c > k) is what keeps the primitives alive at moderate churn.",
+    );
+    t
+}
+
+/// E12b: PU churn stacked on an in-network sweep jammer (the robustness
+/// worst case: hostile spectrum *and* a hostile node).
+pub fn e12b_churn_plus_jamming(cfg: &ExpConfig) -> Table {
+    let honest = if cfg.quick { 5 } else { 7 };
+    let c = 6;
+    let core = 3;
+    let mut t = Table::new(
+        "E12b (extension): CSEEK under combined PU churn and sweep jamming".to_string(),
+        &["PU duty cycle", "jammers", "success", "mean slots to complete", "collisions/trial"],
+    );
+    for &duty in duties(cfg) {
+        let dynamics = SpectrumDynamics::markov_with_duty(duty, MEAN_BUSY);
+        for jammers in [0usize, 1] {
+            let n = honest + jammers;
+            let scn = Scenario::new(
+                format!("e12b-d{duty}-j{jammers}"),
+                Topology::Complete { n },
+                ChannelModel::SharedCore { c, core },
+                cfg.seed ^ 0xB0,
+            );
+            let built = scn.build().expect("scenario builds");
+            let sched = SeekParams::default().schedule(&built.model);
+            let mut results = Vec::new();
+            for trial in 0..cfg.trials() {
+                let seed = cfg.seed ^ 0xB12 ^ ((trial as u64) << 16);
+                let mut eng = Engine::new(&built.net, seed, |ctx| {
+                    if ctx.id.index() >= honest {
+                        NodeRole::Adversary(Jammer::new(c as u16, JamStrategy::Sweep, ctx.id))
+                    } else {
+                        NodeRole::Honest(CSeek::new(ctx.id, sched, false))
+                    }
+                });
+                install_spectrum(&mut eng, &dynamics);
+                let mut probe = |_s: u64, e: &Engine<'_, NodeRole<CSeek>>| {
+                    let mut done = true;
+                    e.for_each_protocol(|v, p| {
+                        if let Some(cs) = p.honest() {
+                            let found = (0..honest)
+                                .filter(|&w| w != v.index())
+                                .filter(|&w| {
+                                    crn_core::discovery::DiscoveryProtocol::has_discovered(
+                                        cs,
+                                        NodeId(w as u32),
+                                    )
+                                })
+                                .count();
+                            done &= found == honest - 1;
+                        }
+                    });
+                    done
+                };
+                let outcome = eng.run(sched.total_slots(), Some((PROBE_EVERY, &mut probe)));
+                results.push(Trial {
+                    seed,
+                    completed_at: outcome.completed_at,
+                    slots_run: outcome.slots_run,
+                    counters: eng.counters(),
+                });
+            }
+            let (mean, frac) = summarize_trials(&results);
+            let collisions =
+                results.iter().map(|r| r.counters.collisions).sum::<u64>() / results.len() as u64;
+            t.push_row(vec![
+                fmt_f(duty),
+                jammers.to_string(),
+                fmt_f(frac),
+                fmt_opt(mean),
+                collisions.to_string(),
+            ]);
+        }
+    }
+    t.push_note(
+        "The jammer attacks from inside the network (always transmitting, sweeping local \
+         channels) while the PU process squeezes the spectrum underneath; the two compose — \
+         discovery that tolerates either alone can fail under both, which is the regime \
+         robustness provisioning must size for.",
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ExpConfig {
+        ExpConfig { quick: true, trials: 2, seed: 31 }
+    }
+
+    #[test]
+    fn e12_clean_spectrum_arm_completes() {
+        let t = e12_pu_churn(&cfg());
+        // Row 0 is CSEEK at duty 0: a clean clique must mostly succeed.
+        assert_eq!(t.rows[0][0], "CSEEK");
+        let frac: f64 = t.rows[0][2].parse().unwrap();
+        assert!(frac > 0.4, "clean-spectrum CSEEK should complete: {:?}", t.rows[0]);
+        // And the duty-0 arms must observe zero PU-blocked listens.
+        for row in t.rows.iter().take(3) {
+            assert_eq!(row[4], "0", "duty 0 cannot block anything: {row:?}");
+        }
+    }
+
+    #[test]
+    fn e12_churn_bites() {
+        let t = e12_pu_churn(&cfg());
+        // At the top duty (last CSEEK row) either success drops or PU
+        // pressure is visibly non-zero.
+        let first: f64 = t.rows[0][2].parse().unwrap();
+        let last_cseek = &t.rows[t.rows.len() - 3];
+        let frac: f64 = last_cseek[2].parse().unwrap();
+        let blocked: u64 = last_cseek[4].parse().unwrap();
+        assert!(blocked > 0, "a 50% duty cycle must block listens: {last_cseek:?}");
+        assert!(frac <= first, "churn should not improve discovery");
+    }
+
+    #[test]
+    fn e12b_produces_all_arms() {
+        let t = e12b_churn_plus_jamming(&cfg());
+        assert_eq!(t.rows.len(), duties(&cfg()).len() * 2, "duty × jammer grid");
+    }
+}

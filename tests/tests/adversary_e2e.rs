@@ -1,0 +1,169 @@
+//! End-to-end robustness coverage for the adversary module: the primitives
+//! must *degrade*, never crash, under every [`JamStrategy`], and the
+//! tracing/reset machinery they are measured with must itself be sound —
+//! [`Recorded`] traces and sweep-jammer alignment must survive
+//! [`Engine::reset`] reuse exactly as fresh engines would.
+
+use crn_core::adversary::{JamStrategy, Jammer, NodeRole};
+use crn_core::cgcast::CGCast;
+use crn_core::discovery::DiscoveryProtocol;
+use crn_core::params::{GcastParams, ModelInfo, SeekParams};
+use crn_core::seek::CSeek;
+use crn_sim::channels::ChannelModel;
+use crn_sim::topology::Topology;
+use crn_sim::trace::{Recorded, SlotEvent};
+use crn_sim::{Engine, Network, NodeId};
+
+fn clique(n: usize, c: usize, seed: u64) -> Network {
+    Network::generate(&Topology::Complete { n }, &ChannelModel::Identical { c }, seed)
+        .expect("clique builds")
+}
+
+const ALL_STRATEGIES: [JamStrategy; 3] =
+    [JamStrategy::Fixed(crn_sim::LocalChannel(0)), JamStrategy::Sweep, JamStrategy::Random];
+
+/// Total ordered honest-pair discoveries of a CSEEK run on a clique where
+/// the last `jammers` nodes jam instead of cooperating.
+fn cseek_discoveries(n: usize, jammers: usize, strategy: JamStrategy, seed: u64) -> usize {
+    let net = clique(n, 2, 3);
+    let model = ModelInfo::from_stats(&net.stats());
+    let sched = SeekParams::default().schedule(&model);
+    let honest = n - jammers;
+    let mut eng = Engine::new(&net, seed, |ctx| {
+        if ctx.id.index() >= honest {
+            NodeRole::Adversary(Jammer::new(2, strategy, ctx.id))
+        } else {
+            NodeRole::Honest(CSeek::new(ctx.id, sched, false))
+        }
+    });
+    eng.run_to_completion(sched.total_slots());
+    let mut found = 0usize;
+    eng.for_each_protocol(|v, p| {
+        if let Some(cs) = p.honest() {
+            found += (0..honest)
+                .filter(|&w| w != v.index())
+                .filter(|&w| cs.has_discovered(NodeId(w as u32)))
+                .count();
+        }
+    });
+    found
+}
+
+/// Informed honest nodes of a CGCAST run with the last `jammers` nodes
+/// jamming.
+fn cgcast_informed(n: usize, jammers: usize, strategy: JamStrategy, seed: u64) -> usize {
+    let net = clique(n, 2, 5);
+    let d = net.stats().diameter.expect("clique is connected");
+    let model = ModelInfo::from_stats(&net.stats());
+    let sched = GcastParams { dissemination_phases: d, ..Default::default() }.schedule(&model);
+    let honest = n - jammers;
+    let mut eng = Engine::new(&net, seed, |ctx| {
+        if ctx.id.index() >= honest {
+            // The jammer's payload is garbage by definition; any variant of
+            // the honest message type will do.
+            NodeRole::Adversary(Jammer::new(2, strategy, crn_core::cgcast::GcastMsg::Data(0)))
+        } else {
+            NodeRole::Honest(CGCast::new(ctx.id, sched, (ctx.id == NodeId(0)).then_some(9)))
+        }
+    });
+    eng.run_to_completion(sched.total_slots());
+    eng.into_outputs().into_iter().flatten().filter(|o| o.is_informed()).count()
+}
+
+/// CSEEK under every strategy: adding jammers must never *improve*
+/// discovery (degradation is monotone in the jammer count for this
+/// deterministic seed set), and no strategy may crash the pipeline.
+#[test]
+fn cseek_degrades_monotonically_under_each_strategy() {
+    let n = 8;
+    for strategy in ALL_STRATEGIES {
+        let mut prev = usize::MAX;
+        for jammers in [0usize, 1, 2] {
+            let honest = n - jammers;
+            // Average over a few seeds so the comparison tracks the trend,
+            // not one lucky schedule.
+            let total: usize =
+                (0..3).map(|s| cseek_discoveries(n, jammers, strategy, 11 + s)).sum();
+            let max = 3 * honest * (honest - 1);
+            assert!(total <= max, "{strategy:?}: impossible discovery count");
+            if jammers == 0 {
+                assert!(
+                    total >= max * 7 / 10,
+                    "{strategy:?}: clean clique should mostly discover ({total}/{max})"
+                );
+            }
+            // Normalize by the shrinking honest population before
+            // comparing across jammer counts.
+            let frac_x1000 = total * 1000 / max;
+            assert!(
+                frac_x1000 <= prev,
+                "{strategy:?}: {jammers} jammer(s) improved discovery ({frac_x1000}‰ > {prev}‰)"
+            );
+            prev = frac_x1000;
+        }
+    }
+}
+
+/// CGCAST under every strategy: jammed runs inform no more honest nodes
+/// than the clean run, and never panic.
+#[test]
+fn cgcast_degrades_under_each_strategy() {
+    let n = 6;
+    let clean: usize = (0..2).map(|s| cgcast_informed(n, 0, JamStrategy::Sweep, 21 + s)).sum();
+    assert!(clean >= 2 * (n - 1), "clean clique should fully inform, got {clean}");
+    for strategy in ALL_STRATEGIES {
+        let jammed: usize = (0..2).map(|s| cgcast_informed(n, 1, strategy, 21 + s)).sum();
+        assert!(
+            jammed <= clean,
+            "{strategy:?}: jamming must not improve dissemination ({jammed} > {clean})"
+        );
+    }
+}
+
+/// [`Recorded`] traces must survive [`Engine::reset`]: a reused engine's
+/// per-slot event logs are byte-identical to a fresh engine's, for honest
+/// protocols and jammers alike (this is what makes trace-based analysis
+/// valid inside the engine-reuse trial runners).
+#[test]
+fn recorded_traces_survive_engine_reset() {
+    let net = clique(5, 4, 7);
+    let model = ModelInfo::from_stats(&net.stats());
+    let sched = SeekParams::default().schedule(&model);
+    let make = |ctx: crn_sim::NodeCtx| {
+        if ctx.id == NodeId(4) {
+            Recorded::new(NodeRole::Adversary(Jammer::new(4, JamStrategy::Sweep, ctx.id)))
+        } else {
+            Recorded::new(NodeRole::Honest(CSeek::new(ctx.id, sched, false)))
+        }
+    };
+    let slots = sched.total_slots().min(200);
+
+    let fresh = |seed: u64| -> Vec<Vec<SlotEvent>> {
+        let mut eng = Engine::new(&net, seed, make);
+        eng.run_to_completion(slots);
+        eng.into_outputs().into_iter().map(|(_, trace)| trace).collect()
+    };
+    let fresh1 = fresh(9);
+    let fresh2 = fresh(10);
+    assert_ne!(fresh1, fresh2, "seeds must differ for the test to probe");
+
+    let mut eng = Engine::new(&net, 9, make);
+    eng.run_to_completion(slots);
+    eng.reset(10, make);
+    eng.run_to_completion(slots);
+    let reused: Vec<Vec<SlotEvent>> =
+        eng.into_outputs().into_iter().map(|(_, trace)| trace).collect();
+    assert_eq!(reused, fresh2, "reused engine's traces diverge from a fresh engine");
+
+    // The sweep jammer's channel sequence tracks the slot clock in both
+    // runs: slot t jams local channel t mod c.
+    let jam_trace = &reused[4];
+    for (slot, ev) in jam_trace.iter().enumerate() {
+        match ev {
+            SlotEvent::Broadcast(ch) => {
+                assert_eq!(ch.0 as usize, slot % 4, "sweep misaligned at slot {slot}")
+            }
+            other => panic!("jammer must broadcast every slot, got {other:?}"),
+        }
+    }
+}

@@ -25,8 +25,8 @@ use crn_sim::channels::ChannelModel;
 use crn_sim::engine::Resolver;
 use crn_sim::topology::Topology;
 use crn_sim::{
-    act_batch_buffered, Action, BatchCtx, Counters, Engine, Feedback, LocalChannel, Network,
-    NodeCtx, Protocol, SlotCtx,
+    act_batch_buffered, Action, BatchCtx, Counters, Engine, Feedback, GlobalChannel, LocalChannel,
+    Network, NodeCtx, Protocol, SlotCtx, SpectrumDynamics,
 };
 use rand::{Rng, RngCore};
 
@@ -410,6 +410,139 @@ fn engine_reuse_via_reset_matches_fresh_engines() {
             "{resolver:?}: reused engine's traces diverge from a fresh engine"
         );
     }
+}
+
+/// The spectrum-dynamics differential: with a primary-user process
+/// installed, every resolver at every thread count — pooled phase-1
+/// collection forced on and off — must stay in slot-by-slot lockstep with
+/// the naive sequential engine running the *same* dynamics. The busy mask
+/// is computed once per slot from per-(slot, channel)-keyed streams, so
+/// any divergence here is a masking bug (a shard reading a stale mask, a
+/// busy channel resolved anyway, a miscounted PU counter), pinned to the
+/// slot where it first appears.
+#[test]
+fn dynamic_spectrum_stays_in_lockstep_across_resolvers() {
+    let net = build_network(
+        &Topology::ErdosRenyi { n: 48, p: 0.15 },
+        &ChannelModel::SharedCore { c: 4, core: 2 },
+        77,
+    );
+    let c = net.channels_per_node() as u16;
+    let chatter = |ctx: NodeCtx| Chatter { c, p_bcast: 0.5, id: ctx.id.0, trace: Vec::new() };
+
+    let dynamics = [
+        SpectrumDynamics::MarkovOnOff { p_busy: 0.2, p_free: 0.3 },
+        SpectrumDynamics::PoissonBursts { rate: 0.1, mean_len: 3.0 },
+        SpectrumDynamics::TraceReplay(vec![
+            vec![GlobalChannel(0)],
+            vec![],
+            vec![GlobalChannel(1), GlobalChannel(0)],
+            vec![],
+        ]),
+    ];
+
+    for dyn_ in dynamics {
+        let mut reference = Engine::with_resolver(&net, 21, Resolver::Naive, chatter);
+        reference.set_spectrum(dyn_.clone());
+
+        let mut others: Vec<(Resolver, usize, Engine<'_, Chatter>)> = Vec::new();
+        for resolver in OPTIMIZED_RESOLVERS {
+            for phase1_min in [0usize, usize::MAX] {
+                let mut eng = Engine::with_resolver(&net, 21, resolver, chatter);
+                eng.set_phase1_pool_min_nodes(phase1_min);
+                eng.set_spectrum(dyn_.clone());
+                others.push((resolver, phase1_min, eng));
+            }
+        }
+
+        for slot in 0..72u64 {
+            reference.step();
+            for (resolver, phase1_min, eng) in &mut others {
+                eng.step();
+                assert_eq!(
+                    eng.counters(),
+                    reference.counters(),
+                    "{dyn_:?} {resolver:?} phase1_min={phase1_min}: counters diverge after \
+                     slot {slot}"
+                );
+            }
+        }
+        let counters = reference.counters();
+        assert!(counters.deliveries > 0, "{dyn_:?}: scenario must still deliver");
+        assert!(counters.pu_blocked_listens > 0, "{dyn_:?}: the PU must actually bite");
+
+        let mut ref_traces = Vec::new();
+        reference.for_each_protocol(|_, p| ref_traces.push(p.trace.clone()));
+        for (resolver, phase1_min, eng) in &mut others {
+            let mut traces = Vec::new();
+            eng.for_each_protocol(|_, p| traces.push(p.trace.clone()));
+            assert_eq!(
+                traces, ref_traces,
+                "{dyn_:?} {resolver:?} phase1_min={phase1_min}: feedback traces diverge"
+            );
+        }
+    }
+}
+
+/// `SpectrumDynamics::Static` must reproduce today's spectrum-free results
+/// exactly — same counters (all PU counters zero) and same traces as an
+/// engine that never heard of the spectrum layer.
+#[test]
+fn static_dynamics_reproduce_spectrum_free_results() {
+    let net = build_network(
+        &Topology::RandomGeometric { n: 40, radius: 0.4 },
+        &ChannelModel::SharedCore { c: 3, core: 2 },
+        4242,
+    );
+    let c = net.channels_per_node() as u16;
+    let (ref_counters, ref_traces) = run(&net, Resolver::Auto, 9, c, 0.5, 64);
+    assert_eq!(ref_counters.pu_blocked_listens, 0);
+
+    let mut eng = Engine::with_resolver(&net, 9, Resolver::Auto, |ctx| Chatter {
+        c,
+        p_bcast: 0.5,
+        id: ctx.id.0,
+        trace: Vec::new(),
+    });
+    eng.set_spectrum(SpectrumDynamics::Static);
+    eng.run_to_completion(64);
+    assert_eq!(eng.counters(), ref_counters);
+    assert_eq!(eng.into_outputs(), ref_traces);
+}
+
+/// Spectrum state must be reset-invisible: one engine running dynamics
+/// twice via [`Engine::reset`] reproduces two fresh engines (the PU draws
+/// are keyed by (seed, slot, channel), not by process history).
+#[test]
+fn spectrum_survives_engine_reset() {
+    let net = build_network(
+        &Topology::ErdosRenyi { n: 32, p: 0.2 },
+        &ChannelModel::SharedCore { c: 3, core: 2 },
+        55,
+    );
+    let c = net.channels_per_node() as u16;
+    let make = |ctx: NodeCtx| Chatter { c, p_bcast: 0.5, id: ctx.id.0, trace: Vec::new() };
+    let dyn_ = SpectrumDynamics::MarkovOnOff { p_busy: 0.25, p_free: 0.25 };
+    let slots = 64;
+
+    let fresh = |seed: u64| {
+        let mut eng = Engine::with_resolver(&net, seed, Resolver::sharded(4), make);
+        eng.set_spectrum(dyn_.clone());
+        eng.run_to_completion(slots);
+        (eng.counters(), eng.into_outputs())
+    };
+    let (fresh1, _) = fresh(9);
+    let (fresh2, traces2) = fresh(10);
+    assert!(fresh1.pu_blocked_listens > 0, "scenario must exercise the mask");
+
+    let mut eng = Engine::with_resolver(&net, 9, Resolver::sharded(4), make);
+    eng.set_spectrum(dyn_.clone());
+    eng.run_to_completion(slots);
+    assert_eq!(eng.counters(), fresh1, "first run");
+    eng.reset(10, make);
+    eng.run_to_completion(slots);
+    assert_eq!(eng.counters(), fresh2, "reused engine diverges from fresh");
+    assert_eq!(eng.into_outputs(), traces2, "reused traces diverge from fresh");
 }
 
 /// Property over topology/channel-count/seed space: the scalar sequential
