@@ -1,6 +1,6 @@
 //! Engine micro-benchmarks: raw slot throughput of the simulator substrate.
 //!
-//! Four suites:
+//! Six suites:
 //!
 //! * `engine_slot_throughput` — a topology matrix (star / random dense
 //!   Erdős–Rényi / random geometric) at n ∈ {100, 1k, 5k}, comparing the
@@ -15,6 +15,11 @@
 //! * `trial_reuse_200` — the trial-runner regime: 32 runs of 64 slots,
 //!   fresh engine per run vs one engine re-armed by `Engine::reset` (what
 //!   the `crn-workloads` runners do per worker).
+//! * `spectrum_churn` — the per-slot fixed cost of the primary-user
+//!   spectrum layer against the spectrum-free baseline.
+//! * `campaign_resume` — the overhead of the resumable campaign layer:
+//!   lifecycle bookkeeping, on-disk journaling, and resume-by-replay over
+//!   the bare stateful trial runner.
 //! * `dense_broadcast_5000` — the acceptance scenario: a random graph with
 //!   n = 5000 and average degree ≥ 64, every node broadcasting or listening
 //!   each slot on a handful of shared channels. The optimized resolver must
@@ -300,6 +305,83 @@ fn spectrum_churn(criterion: &mut Criterion) {
     group.finish();
 }
 
+/// Campaign-runner overhead: a `trial_reuse_200`-shaped workload (n = 200,
+/// 32 units of 128 slots) driven through the resumable campaign layer.
+/// Three rows:
+///
+/// * `in_memory` — `run_campaign` with no journal: lifecycle + wave
+///   scheduling on top of the bare stateful runner.
+/// * `journaled` — the same campaign checkpointed to a fresh on-disk
+///   journal (create, one append per unit, one fsync per wave). The
+///   journal cost is *fixed per wave*, not per slot: a no-fault campaign
+///   is one wave, so this row pays file creation plus ~3 fsyncs total,
+///   and the acceptance claim — journaled within 5% of `in_memory` — holds
+///   for any campaign at least this long (~40 ms; real sweeps run
+///   seconds). The margin is fsync latency, so the group is print-only in
+///   `bench_regress` (`PRINT_ONLY_GROUPS`): filesystem differences across
+///   runners would gate on hardware, not code.
+/// * `resume_replay` — resuming an already-complete journal: pure
+///   parse-and-restore, no units run. This bounds the fixed cost a crash
+///   recovery pays before the first new wave is scheduled.
+fn campaign_resume(criterion: &mut Criterion) {
+    use crn_workloads::campaign::{run_campaign, ArmResult, ArmSpec, CampaignSpec, FaultPlan};
+    use crn_workloads::runner::{EngineCell, TrialOpts};
+
+    let n = 200usize;
+    let slots = 128u64;
+    let topology = Topology::ErdosRenyi { n, p: 8.0 / (n as f64 - 1.0) };
+    let channels = ChannelModel::Identical { c: 3 };
+    let net = build(&topology, &channels, 13);
+
+    let arms: Vec<ArmSpec> = (0..4).map(|a| ArmSpec::new(format!("arm{a}"), 8)).collect();
+    let spec = CampaignSpec::new("bench-campaign", arms, 42);
+    let opts = TrialOpts::default();
+    let run = |journal: Option<&std::path::Path>| {
+        run_campaign(&spec, 1, journal, &FaultPlan::none(), EngineCell::new, |cell, u| {
+            let seed = spec.seed ^ ((u.arm as u64) << 32) ^ u.trial as u64;
+            let out = cell.run_trial(
+                &net,
+                |_| Chatter { c: 3, heard: 0 },
+                seed,
+                slots,
+                &opts,
+                |_, _| false,
+            );
+            ArmResult::Done { output: out }
+        })
+        .expect("bench campaign must run")
+    };
+
+    let mut path = std::env::temp_dir();
+    path.push(format!("crn-bench-campaign-{}.crnj", std::process::id()));
+
+    let mut group = criterion.benchmark_group("campaign_resume");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(spec.total_trials() as u64 * slots * n as u64));
+    group.bench_with_input(BenchmarkId::from_parameter("in_memory"), &n, |b, _| {
+        b.iter(|| run(None))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("journaled"), &n, |b, _| {
+        b.iter(|| {
+            // A fresh journal each iteration: this times the checkpoint
+            // path, not a resume of the previous iteration's file.
+            std::fs::remove_file(&path).ok();
+            run(Some(&path))
+        })
+    });
+    std::fs::remove_file(&path).ok();
+    run(Some(&path)); // leave one *complete* journal for the replay row
+    group.bench_with_input(BenchmarkId::from_parameter("resume_replay"), &n, |b, _| {
+        b.iter(|| {
+            let report = run(Some(&path));
+            assert!(report.resumed, "replay row must restore, not re-run");
+            report
+        })
+    });
+    std::fs::remove_file(&path).ok();
+    group.finish();
+}
+
 /// Acceptance scenario: dense broadcast storm. Random graph, n = 5000,
 /// average degree ≥ 64, all nodes broadcasting-or-listening on 2 shared
 /// channels. `auto` must be ≥ 2× faster per slot than `naive` here.
@@ -341,6 +423,7 @@ fn dense_broadcast(criterion: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = engine_throughput, small_slot, trial_reuse, spectrum_churn, dense_broadcast
+    targets = engine_throughput, small_slot, trial_reuse, spectrum_churn, campaign_resume,
+        dense_broadcast
 }
 criterion_main!(benches);

@@ -33,13 +33,24 @@ use std::process::ExitCode;
 /// Benchmark ids (suffix match) excluded from the gate.
 const SHARDED_EXEMPT: &[&str] = &["sharded2", "sharded4", "sharded8"];
 
-/// Benchmark *groups* that are reported but not yet gated: new scenario
-/// families whose committed baseline was produced on a different machine
-/// than the CI runner. Per the ROADMAP recalibration note, a group joins
-/// the gate only once a baseline recorded on the CI runner is committed —
-/// until then its rows print alongside the gated ones so drift stays
-/// visible.
-const PRINT_ONLY_GROUPS: &[&str] = &["spectrum_churn"];
+/// Benchmark *groups* that are reported but not yet gated.
+///
+/// * `spectrum_churn` — a scenario family whose committed baseline was
+///   produced on a different machine than the CI runner. Per the ROADMAP
+///   recalibration note, it joins the gate only once a baseline recorded
+///   on the CI runner is committed; `--normalize` cannot stand in for
+///   that, because the group's rows differ from the gated pack in *kind*
+///   (spectrum state advance + mask probes layered on the same slot loop),
+///   so the pack's median ratio is not a valid machine scale for them.
+///   Until then its rows print alongside the gated ones so drift stays
+///   visible.
+/// * `campaign_resume` — the `journaled` and `resume_replay` rows are
+///   fsync-bound at the margin: their medians track the runner's
+///   filesystem latency, not the code under test, so gating them would
+///   fail the build on hardware variance. The journal-overhead acceptance
+///   claim (journaled ≤ 5% over in_memory) is checked when the baseline
+///   is regenerated, and the printed rows keep the ratio visible per run.
+const PRINT_ONLY_GROUPS: &[&str] = &["spectrum_churn", "campaign_resume"];
 
 /// One `(group, id) → median_ns` measurement.
 type Report = BTreeMap<(String, String), f64>;

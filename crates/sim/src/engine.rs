@@ -913,6 +913,18 @@ impl<'net, P: Protocol> Engine<'net, P> {
         self.slot
     }
 
+    /// The master seed this engine's streams are currently derived from
+    /// (the `seed` of the last [`Engine::new`] / [`Engine::reset`]).
+    ///
+    /// This is the only value checkpoint/resume machinery needs to
+    /// persist to replay a run bit-identically: every node stream, every
+    /// per-(slot, channel) stream, and the spectrum process are pure
+    /// functions of it (plus the immutable network), so re-running
+    /// `reset(seed, make)` reproduces the run exactly.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Aggregate counters so far.
     pub fn counters(&self) -> Counters {
         self.counters

@@ -1,0 +1,256 @@
+//! A per-arm circuit breaker: persistently-failing arms are cut off
+//! instead of retried forever.
+//!
+//! The classic three-state machine (the shape of nebula's
+//! `resilience/src/circuit_breaker.rs`), with one deliberate difference:
+//! time is measured in the campaign runner's *scheduling ticks*, never the
+//! wall clock, so every transition is deterministic and reproducible under
+//! any thread count — the same property the rest of the engine stack is
+//! built on.
+//!
+//! ```text
+//!            failures ≥ threshold
+//!   Closed ────────────────────────▶ Open (until tick + cooldown)
+//!     ▲                               │
+//!     │ probe succeeds                │ cooldown elapses
+//!     │                               ▼
+//!     └──────────────────────────  HalfOpen ──▶ probe fails → Open again
+//!                                               (trips + 1; > max_trips
+//!                                                ⇒ tripped for good)
+//! ```
+
+/// Thresholds for one arm's [`CircuitBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive-failure count that opens the breaker.
+    pub failure_threshold: u32,
+    /// Scheduling ticks the breaker stays `Open` before letting a
+    /// half-open probe through.
+    pub cooldown_ticks: u64,
+    /// Open transitions allowed before the arm is tripped permanently
+    /// (its remaining units are abandoned and reported, and the rest of
+    /// the campaign proceeds without it).
+    pub max_trips: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { failure_threshold: 3, cooldown_ticks: 4, max_trips: 2 }
+    }
+}
+
+/// The breaker's current state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation; counts consecutive failures.
+    Closed,
+    /// Failing: no unit of this arm runs until `until_tick`.
+    Open {
+        /// First tick at which a half-open probe may run.
+        until_tick: u64,
+    },
+    /// Cooled down: exactly one probe unit may run; its outcome decides
+    /// between `Closed` and `Open`.
+    HalfOpen,
+}
+
+/// Per-arm breaker instance. Driven by the campaign runner, which applies
+/// results in canonical unit order — so the transition sequence is a pure
+/// function of the units' outcomes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    /// Consecutive failures while `Closed`.
+    failures: u32,
+    /// `Closed/HalfOpen → Open` transitions so far.
+    trips: u32,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given thresholds.
+    pub fn new(cfg: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker { cfg, state: BreakerState::Closed, failures: 0, trips: 0 }
+    }
+
+    /// Current state (after any cooldown elapse at `tick`; see
+    /// [`CircuitBreaker::tick`]).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Open transitions so far.
+    pub fn trips(&self) -> u32 {
+        self.trips
+    }
+
+    /// `true` once the breaker has exceeded its trip budget: the arm is
+    /// finished for good.
+    pub fn tripped_permanently(&self) -> bool {
+        self.trips > self.cfg.max_trips
+    }
+
+    /// Advances breaker time to `tick`: an `Open` breaker whose cooldown
+    /// has elapsed becomes `HalfOpen`. Called by the runner before
+    /// selecting each wave.
+    pub fn tick(&mut self, tick: u64) {
+        if let BreakerState::Open { until_tick } = self.state {
+            if tick >= until_tick {
+                self.state = BreakerState::HalfOpen;
+            }
+        }
+    }
+
+    /// May units of this arm run in the current wave, and how many?
+    /// `Closed` ⇒ unbounded, `HalfOpen` ⇒ exactly one probe, `Open` or
+    /// permanently tripped ⇒ none.
+    pub fn admission(&self) -> usize {
+        if self.tripped_permanently() {
+            return 0;
+        }
+        match self.state {
+            BreakerState::Closed => usize::MAX,
+            BreakerState::HalfOpen => 1,
+            BreakerState::Open { .. } => 0,
+        }
+    }
+
+    /// The next tick at which this breaker could admit a unit it is
+    /// currently blocking, if any — lets the runner fast-forward idle
+    /// ticks instead of spinning.
+    pub fn next_actionable_tick(&self) -> Option<u64> {
+        match self.state {
+            BreakerState::Open { until_tick } if !self.tripped_permanently() => Some(until_tick),
+            _ => None,
+        }
+    }
+
+    /// Records a successful unit. A half-open probe success closes the
+    /// breaker; any success resets the consecutive-failure count.
+    pub fn on_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.failures = 0;
+    }
+
+    /// Records a failed unit at `tick`. Returns `true` if this failure
+    /// opened the breaker (a trip), which the runner journals.
+    pub fn on_failure(&mut self, tick: u64) -> bool {
+        match self.state {
+            BreakerState::Closed => {
+                self.failures += 1;
+                if self.failures >= self.cfg.failure_threshold {
+                    self.open_at(tick);
+                    return true;
+                }
+                false
+            }
+            BreakerState::HalfOpen => {
+                // The probe failed: straight back to Open.
+                self.open_at(tick);
+                true
+            }
+            BreakerState::Open { .. } => {
+                // Results applied late in a wave can land after an earlier
+                // unit already opened the breaker; they count toward the
+                // same outage, not a new trip.
+                false
+            }
+        }
+    }
+
+    /// Restores trip count from a resumed journal (the failure *count*
+    /// restarts at zero: pre-crash consecutive failures that never tripped
+    /// are forgotten, exactly like a restarted process's in-memory state).
+    pub(crate) fn restore_trips(&mut self, trips: u32) {
+        self.trips = trips;
+        if self.tripped_permanently() {
+            self.state = BreakerState::Open { until_tick: u64::MAX };
+        }
+    }
+
+    fn open_at(&mut self, tick: u64) {
+        self.trips += 1;
+        self.failures = 0;
+        self.state = if self.tripped_permanently() {
+            BreakerState::Open { until_tick: u64::MAX }
+        } else {
+            BreakerState::Open { until_tick: tick + self.cfg.cooldown_ticks }
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig { failure_threshold: 2, cooldown_ticks: 3, max_trips: 1 }
+    }
+
+    #[test]
+    fn closed_until_threshold_then_opens() {
+        let mut b = CircuitBreaker::new(cfg());
+        assert_eq!(b.admission(), usize::MAX);
+        assert!(!b.on_failure(10), "first failure below threshold");
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.on_failure(10), "second failure trips");
+        assert_eq!(b.state(), BreakerState::Open { until_tick: 13 });
+        assert_eq!(b.admission(), 0);
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn success_resets_consecutive_failures() {
+        let mut b = CircuitBreaker::new(cfg());
+        assert!(!b.on_failure(0));
+        b.on_success();
+        assert!(!b.on_failure(1), "counter was reset, so this is failure #1 again");
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn cooldown_elapses_into_half_open_probe() {
+        let mut b = CircuitBreaker::new(cfg());
+        b.on_failure(0);
+        b.on_failure(0);
+        b.tick(2);
+        assert_eq!(b.state(), BreakerState::Open { until_tick: 3 }, "cooldown not elapsed");
+        b.tick(3);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.admission(), 1, "exactly one probe");
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn failed_probe_exhausts_trip_budget() {
+        let mut b = CircuitBreaker::new(cfg());
+        b.on_failure(0);
+        b.on_failure(0); // trip 1 (= max_trips)
+        b.tick(3);
+        assert!(b.on_failure(3), "probe failure re-opens");
+        assert_eq!(b.trips(), 2);
+        assert!(b.tripped_permanently());
+        assert_eq!(b.admission(), 0);
+        b.tick(u64::MAX - 1);
+        assert_eq!(b.admission(), 0, "a permanently tripped breaker never reopens");
+        assert_eq!(b.next_actionable_tick(), None);
+    }
+
+    #[test]
+    fn late_failures_in_an_open_wave_do_not_double_trip() {
+        let mut b = CircuitBreaker::new(cfg());
+        b.on_failure(5);
+        assert!(b.on_failure(5));
+        assert!(!b.on_failure(5), "same-wave failure after the trip is absorbed");
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn next_actionable_tick_reports_reopen() {
+        let mut b = CircuitBreaker::new(BreakerConfig { max_trips: 5, ..cfg() });
+        b.on_failure(7);
+        b.on_failure(7);
+        assert_eq!(b.next_actionable_tick(), Some(10));
+    }
+}

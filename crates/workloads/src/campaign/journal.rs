@@ -1,0 +1,657 @@
+//! The append-only campaign journal: a hand-rolled line-delimited on-disk
+//! format (the offline build env has no serde) recording the campaign's
+//! config hash, every finished unit with its output and RNG seed, and the
+//! retry/trip events the resumed lifecycle accounting needs.
+//!
+//! # Format
+//!
+//! ```text
+//! crn-campaign-journal v1
+//! config 1f2e3d4c5b6a7988
+//! done a=0 t=0 attempt=0 seed=99 completed=412 slots=412 counters=412,300,...
+//! fail a=1 t=0 attempt=0 error=injected%20fault
+//! trip a=1 trips=1
+//! abandon a=1 t=0 attempts=3 why=exhausted
+//! skip a=2 t=5 attempt=0 reason=duty%20out%20of%20range
+//! ```
+//!
+//! Records are appended as units finish and **fsynced once per scheduling
+//! wave** (the checkpoint boundary — see [`Journal::checkpoint`]). Free
+//! text is percent-escaped so every record is one `\n`-terminated line of
+//! space-separated `key=value` fields.
+//!
+//! # Durability and recovery
+//!
+//! A crash can leave a half-written final line (no terminator, or a
+//! persisted prefix). [`Journal::load`] recovers by **truncating to the
+//! last parseable line and warning** — never panicking — because the lost
+//! suffix is at most the records since the last checkpoint, and unit
+//! outputs are pure functions of `(arm, trial)`: re-running them
+//! reproduces the truncated records bit for bit. A parse failure *before*
+//! the final line is real corruption and is refused loudly, as is a
+//! config hash that does not match the resuming campaign's spec.
+
+use super::lifecycle::{AbandonReason, CampaignSpec};
+use crate::runner::Trial;
+use crn_sim::Counters;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic first line; bump the version on any format change.
+const HEADER: &str = "crn-campaign-journal v1";
+
+/// Everything that can go wrong opening, reading, or resuming a journal.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// The file is not a campaign journal (bad magic/version line).
+    BadHeader,
+    /// A non-final line failed to parse — the file is damaged beyond the
+    /// torn-tail case recovery handles.
+    Corrupt {
+        /// 1-based line number of the unparseable line.
+        line: usize,
+        /// What was wrong with it.
+        msg: String,
+    },
+    /// The journal's config hash does not match the resuming spec: the
+    /// campaign definition changed, so resuming would splice incompatible
+    /// results. Delete the journal (or restore the spec) to proceed.
+    ConfigMismatch {
+        /// Hash of the spec trying to resume.
+        expected: u64,
+        /// Hash recorded in the journal.
+        found: u64,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::BadHeader => write!(f, "not a campaign journal (bad header)"),
+            JournalError::Corrupt { line, msg } => {
+                write!(f, "journal corrupt at line {line}: {msg}")
+            }
+            JournalError::ConfigMismatch { expected, found } => write!(
+                f,
+                "journal belongs to a different campaign config \
+                 (spec hash {expected:016x}, journal hash {found:016x}); refusing to resume"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// One journal record. `Done`/`Skip`/`Abandon` are terminal per unit;
+/// `Fail` charges one retry attempt; `Trip` logs a breaker opening.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// Unit finished with an output.
+    Done {
+        /// Arm index.
+        arm: usize,
+        /// Trial index within the arm.
+        trial: usize,
+        /// Attempt that succeeded (0-based).
+        attempt: u32,
+        /// The trial output, RNG seed included.
+        output: Trial,
+    },
+    /// Unit reported [`super::ArmResult::Skip`].
+    Skip {
+        /// Arm index.
+        arm: usize,
+        /// Trial index.
+        trial: usize,
+        /// Attempt that skipped.
+        attempt: u32,
+        /// The arm's reason.
+        reason: String,
+    },
+    /// One [`super::ArmResult::Retryable`] attempt.
+    Fail {
+        /// Arm index.
+        arm: usize,
+        /// Trial index.
+        trial: usize,
+        /// The failed attempt (0-based).
+        attempt: u32,
+        /// The arm's error text.
+        error: String,
+    },
+    /// Unit given up on (budget exhausted or arm tripped).
+    Abandon {
+        /// Arm index.
+        arm: usize,
+        /// Trial index.
+        trial: usize,
+        /// Attempts consumed.
+        attempts: u32,
+        /// Why it was abandoned.
+        why: AbandonReason,
+    },
+    /// The arm's circuit breaker opened (cumulative trip count).
+    Trip {
+        /// Arm index.
+        arm: usize,
+        /// Trips so far, this one included.
+        trips: u32,
+    },
+}
+
+/// Percent-escapes free text into a single whitespace-free ASCII token.
+/// Everything outside printable ASCII — whitespace, control bytes, and
+/// every byte of a multi-byte UTF-8 sequence — is escaped byte-wise, so
+/// arbitrary strings round-trip exactly (property-tested in
+/// `tests/tests/campaign_e2e.rs`).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'%' | b' ' | b'=' => out.push_str(&format!("%{b:02X}")),
+            0x21..=0x7E => out.push(b as char),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Inverse of [`esc`]; `None` on a malformed escape.
+fn unesc(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes.get(i + 1..i + 3)?;
+            let hv = u8::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+            out.push(hv);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// The ten [`Counters`] fields, in journal column order.
+fn counters_cells(c: &Counters) -> [u64; 10] {
+    [
+        c.slots,
+        c.broadcasts,
+        c.listens,
+        c.sleeps,
+        c.deliveries,
+        c.collisions,
+        c.idle_listens,
+        c.pu_blocked_listens,
+        c.pu_blocked_broadcasts,
+        c.pu_busy_channel_slots,
+    ]
+}
+
+fn counters_from_cells(v: &[u64]) -> Option<Counters> {
+    if v.len() != 10 {
+        return None;
+    }
+    Some(Counters {
+        slots: v[0],
+        broadcasts: v[1],
+        listens: v[2],
+        sleeps: v[3],
+        deliveries: v[4],
+        collisions: v[5],
+        idle_listens: v[6],
+        pu_blocked_listens: v[7],
+        pu_blocked_broadcasts: v[8],
+        pu_busy_channel_slots: v[9],
+    })
+}
+
+impl Record {
+    /// Encodes the record as one journal line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            Record::Done { arm, trial, attempt, output } => {
+                let completed = match output.completed_at {
+                    Some(s) => s.to_string(),
+                    None => "-".to_string(),
+                };
+                let cells = counters_cells(&output.counters)
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!(
+                    "done a={arm} t={trial} attempt={attempt} seed={} completed={completed} \
+                     slots={} counters={cells}",
+                    output.seed, output.slots_run
+                )
+            }
+            Record::Skip { arm, trial, attempt, reason } => {
+                format!("skip a={arm} t={trial} attempt={attempt} reason={}", esc(reason))
+            }
+            Record::Fail { arm, trial, attempt, error } => {
+                format!("fail a={arm} t={trial} attempt={attempt} error={}", esc(error))
+            }
+            Record::Abandon { arm, trial, attempts, why } => {
+                format!("abandon a={arm} t={trial} attempts={attempts} why={}", why.token())
+            }
+            Record::Trip { arm, trips } => format!("trip a={arm} trips={trips}"),
+        }
+    }
+
+    /// Decodes one journal line; `None` if it is not a valid record.
+    pub fn decode(line: &str) -> Option<Record> {
+        let mut parts = line.split(' ');
+        let tag = parts.next()?;
+        let mut field = |key: &str| -> Option<&str> {
+            let part = parts.next()?;
+            part.strip_prefix(key)?.strip_prefix('=')
+        };
+        match tag {
+            "done" => {
+                let arm = field("a")?.parse().ok()?;
+                let trial = field("t")?.parse().ok()?;
+                let attempt = field("attempt")?.parse().ok()?;
+                let seed = field("seed")?.parse().ok()?;
+                let completed = match field("completed")? {
+                    "-" => None,
+                    s => Some(s.parse().ok()?),
+                };
+                let slots_run = field("slots")?.parse().ok()?;
+                let cells: Vec<u64> =
+                    field("counters")?.split(',').map(str::parse).collect::<Result<_, _>>().ok()?;
+                Some(Record::Done {
+                    arm,
+                    trial,
+                    attempt,
+                    output: Trial {
+                        seed,
+                        completed_at: completed,
+                        slots_run,
+                        counters: counters_from_cells(&cells)?,
+                    },
+                })
+            }
+            "skip" => Some(Record::Skip {
+                arm: field("a")?.parse().ok()?,
+                trial: field("t")?.parse().ok()?,
+                attempt: field("attempt")?.parse().ok()?,
+                reason: unesc(field("reason")?)?,
+            }),
+            "fail" => Some(Record::Fail {
+                arm: field("a")?.parse().ok()?,
+                trial: field("t")?.parse().ok()?,
+                attempt: field("attempt")?.parse().ok()?,
+                error: unesc(field("error")?)?,
+            }),
+            "abandon" => Some(Record::Abandon {
+                arm: field("a")?.parse().ok()?,
+                trial: field("t")?.parse().ok()?,
+                attempts: field("attempts")?.parse().ok()?,
+                why: AbandonReason::from_token(field("why")?)?,
+            }),
+            "trip" => Some(Record::Trip {
+                arm: field("a")?.parse().ok()?,
+                trips: field("trips")?.parse().ok()?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// FNV-1a over one canonical encoding of everything that defines a
+/// campaign's results: name, arm names and trial counts, master seed, and
+/// the retry/breaker policies (they shape the attempt sequence). The
+/// executor thread count is deliberately excluded — results never depend
+/// on it, so a journal written at `threads=4` resumes fine at `threads=1`.
+pub fn config_hash(spec: &CampaignSpec) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        // Field separator so adjacent fields cannot alias.
+        h ^= 0xFF;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    eat(spec.name.as_bytes());
+    eat(&spec.seed.to_le_bytes());
+    eat(&(spec.arms.len() as u64).to_le_bytes());
+    for arm in &spec.arms {
+        eat(arm.name.as_bytes());
+        eat(&(arm.trials as u64).to_le_bytes());
+    }
+    eat(&spec.retry.max_attempts.to_le_bytes());
+    eat(&spec.retry.backoff_base.to_le_bytes());
+    eat(&spec.retry.backoff_cap.to_le_bytes());
+    eat(&spec.breaker.failure_threshold.to_le_bytes());
+    eat(&spec.breaker.cooldown_ticks.to_le_bytes());
+    eat(&spec.breaker.max_trips.to_le_bytes());
+    h
+}
+
+/// Result of loading a journal from disk.
+#[derive(Debug)]
+pub struct LoadedJournal {
+    /// The config hash in the header.
+    pub config_hash: u64,
+    /// Every record, in append order.
+    pub records: Vec<Record>,
+    /// `true` if a torn final line was truncated away during recovery.
+    pub recovered_torn_tail: bool,
+}
+
+/// An open, append-mode campaign journal.
+///
+/// Records buffer in memory ([`Journal::append`]) and hit the disk — with
+/// an `fsync` — at each [`Journal::checkpoint`], which the runner calls
+/// once per scheduling wave. Everything up to the last checkpoint survives
+/// SIGKILL; everything after is re-derived on resume.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+    buf: String,
+}
+
+impl Journal {
+    /// Creates a fresh journal at `path` (truncating any existing file),
+    /// writing and syncing the header.
+    pub fn create(path: &Path, config_hash: u64) -> Result<Journal, JournalError> {
+        let file = OpenOptions::new().write(true).create(true).truncate(true).open(path)?;
+        let mut j = Journal { file, path: path.to_path_buf(), buf: String::new() };
+        j.buf.push_str(HEADER);
+        j.buf.push('\n');
+        j.buf.push_str(&format!("config {config_hash:016x}\n"));
+        j.checkpoint()?;
+        Ok(j)
+    }
+
+    /// Loads the journal at `path`, recovering from a torn final line by
+    /// truncating the file back to its last parseable line (with a warning
+    /// on stderr). Errors on real corruption, never panics.
+    pub fn load(path: &Path) -> Result<LoadedJournal, JournalError> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        // Split into \n-terminated lines; remember each line's end offset
+        // so recovery can truncate precisely after the last good one.
+        let mut lines: Vec<(&[u8], usize)> = Vec::new();
+        let mut start = 0;
+        for (i, &b) in bytes.iter().enumerate() {
+            if b == b'\n' {
+                lines.push((&bytes[start..i], i + 1));
+                start = i + 1;
+            }
+        }
+        let unterminated_tail = start < bytes.len();
+
+        if lines.len() < 2 {
+            // Even the two header lines are incomplete: treat a bare or
+            // header-only file as unusable rather than guessing.
+            return Err(JournalError::BadHeader);
+        }
+        if lines[0].0 != HEADER.as_bytes() {
+            return Err(JournalError::BadHeader);
+        }
+        let config_line = std::str::from_utf8(lines[1].0).map_err(|_| JournalError::BadHeader)?;
+        let config_hash = config_line
+            .strip_prefix("config ")
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .ok_or(JournalError::BadHeader)?;
+
+        // Parse the terminated record lines. An unparseable line is a
+        // *torn tail* only if nothing follows it (a crash persists a
+        // prefix of an append, so damage can only sit at the very end);
+        // anything unparseable with data after it is real corruption.
+        let mut records = Vec::new();
+        let mut good_end = lines[1].1;
+        let mut torn = unterminated_tail;
+        for (idx, (raw, end)) in lines.iter().enumerate().skip(2) {
+            match std::str::from_utf8(raw).ok().and_then(Record::decode) {
+                Some(rec) => {
+                    records.push(rec);
+                    good_end = *end;
+                }
+                None => {
+                    if idx + 1 < lines.len() || unterminated_tail {
+                        return Err(JournalError::Corrupt {
+                            line: idx + 1,
+                            msg: "unparseable record followed by more data".to_string(),
+                        });
+                    }
+                    torn = true;
+                }
+            }
+        }
+
+        let recovered = torn;
+        if recovered {
+            eprintln!(
+                "warning: campaign journal {} has a torn final line (crash mid-append); \
+                 truncating {} byte(s) back to the last checkpointed record",
+                path.display(),
+                bytes.len() - good_end
+            );
+            file.set_len(good_end as u64)?;
+            file.sync_data()?;
+        }
+        Ok(LoadedJournal { config_hash, records, recovered_torn_tail: recovered })
+    }
+
+    /// Re-opens `path` for appending after a successful [`Journal::load`].
+    pub fn reopen_append(path: &Path) -> Result<Journal, JournalError> {
+        let mut file = OpenOptions::new().write(true).open(path)?;
+        file.seek(std::io::SeekFrom::End(0))?;
+        Ok(Journal { file, path: path.to_path_buf(), buf: String::new() })
+    }
+
+    /// Buffers one record (durable at the next [`Journal::checkpoint`]).
+    pub fn append(&mut self, record: &Record) {
+        self.buf.push_str(&record.encode());
+        self.buf.push('\n');
+    }
+
+    /// Flushes buffered records and fsyncs: the durability boundary. On
+    /// return, every appended record survives SIGKILL.
+    pub fn checkpoint(&mut self) -> Result<(), JournalError> {
+        if !self.buf.is_empty() {
+            self.file.write_all(self.buf.as_bytes())?;
+            self.buf.clear();
+        }
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{ArmSpec, BreakerConfig, RetryPolicy};
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("crn-journal-test-{}-{name}.crnj", std::process::id()));
+        p
+    }
+
+    fn sample_trial() -> Trial {
+        Trial {
+            seed: 0xDEAD_BEEF,
+            completed_at: Some(412),
+            slots_run: 500,
+            counters: Counters {
+                slots: 500,
+                broadcasts: 123,
+                listens: 456,
+                sleeps: 7,
+                deliveries: 89,
+                collisions: 3,
+                idle_listens: 11,
+                pu_blocked_listens: 2,
+                pu_blocked_broadcasts: 1,
+                pu_busy_channel_slots: 40,
+            },
+        }
+    }
+
+    #[test]
+    fn records_round_trip() {
+        let records = vec![
+            Record::Done { arm: 3, trial: 17, attempt: 2, output: sample_trial() },
+            Record::Done {
+                arm: 0,
+                trial: 0,
+                attempt: 0,
+                output: Trial { completed_at: None, ..sample_trial() },
+            },
+            Record::Skip {
+                arm: 1,
+                trial: 2,
+                attempt: 0,
+                reason: "duty = 0.9 > ceiling (mean busy 4)".to_string(),
+            },
+            Record::Fail {
+                arm: 2,
+                trial: 9,
+                attempt: 1,
+                error: "injected: 100%\tof a weird = string\n".to_string(),
+            },
+            Record::Abandon { arm: 2, trial: 9, attempts: 3, why: AbandonReason::Exhausted },
+            Record::Abandon { arm: 4, trial: 0, attempts: 1, why: AbandonReason::Tripped },
+            Record::Trip { arm: 2, trips: 2 },
+        ];
+        for rec in &records {
+            let line = rec.encode();
+            assert!(!line.contains('\n'), "one record = one line: {line:?}");
+            assert_eq!(Record::decode(&line).as_ref(), Some(rec), "round trip of {line:?}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        for bad in [
+            "",
+            "done",
+            "done a=x t=0 attempt=0 seed=0 completed=- slots=0 counters=0,0,0,0,0,0,0,0,0,0",
+            "done a=0 t=0 attempt=0 seed=0 completed=- slots=0 counters=1,2,3", // short counters
+            "abandon a=0 t=0 attempts=1 why=becauseisaidso",
+            "nonsense a=0",
+        ] {
+            assert!(Record::decode(bad).is_none(), "{bad:?} must not decode");
+        }
+    }
+
+    #[test]
+    fn create_append_load_round_trips() {
+        let path = tmp("roundtrip");
+        let rec = Record::Done { arm: 0, trial: 1, attempt: 0, output: sample_trial() };
+        {
+            let mut j = Journal::create(&path, 0xABCD).unwrap();
+            j.append(&rec);
+            j.checkpoint().unwrap();
+        }
+        let loaded = Journal::load(&path).unwrap();
+        assert_eq!(loaded.config_hash, 0xABCD);
+        assert_eq!(loaded.records, vec![rec]);
+        assert!(!loaded.recovered_torn_tail);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_final_line_is_truncated_not_fatal() {
+        let path = tmp("torn");
+        let rec = Record::Done { arm: 0, trial: 0, attempt: 0, output: sample_trial() };
+        {
+            let mut j = Journal::create(&path, 7).unwrap();
+            j.append(&rec);
+            j.checkpoint().unwrap();
+        }
+        // Simulate a crash mid-append: a half-written record, no newline.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"done a=1 t=9 attempt=0 seed=12 comp").unwrap();
+        }
+        let loaded = Journal::load(&path).unwrap();
+        assert!(loaded.recovered_torn_tail);
+        assert_eq!(loaded.records, vec![rec.clone()], "good prefix survives");
+        // The truncation is durable: a second load sees a clean file.
+        let again = Journal::load(&path).unwrap();
+        assert!(!again.recovered_torn_tail);
+        assert_eq!(again.records, vec![rec]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mid_file_corruption_is_refused() {
+        let path = tmp("corrupt");
+        {
+            let mut j = Journal::create(&path, 7).unwrap();
+            j.append(&Record::Trip { arm: 0, trips: 1 });
+            j.checkpoint().unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let vandalized =
+            text.replace("trip a=0 trips=1", "trip a=0 trips=x") + "trip a=1 trips=2\n";
+        std::fs::write(&path, vandalized).unwrap();
+        match Journal::load(&path) {
+            Err(JournalError::Corrupt { .. }) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn config_hash_sees_every_field() {
+        let base = CampaignSpec {
+            name: "c".into(),
+            arms: vec![ArmSpec::new("a", 3)],
+            seed: 9,
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+        };
+        let h = config_hash(&base);
+        let mut renamed = base.clone();
+        renamed.name = "d".into();
+        let mut reseeded = base.clone();
+        reseeded.seed = 10;
+        let mut regrown = base.clone();
+        regrown.arms[0].trials = 4;
+        let mut rebudgeted = base.clone();
+        rebudgeted.retry.max_attempts += 1;
+        let mut rebreakered = base.clone();
+        rebreakered.breaker.cooldown_ticks += 1;
+        for (what, spec) in [
+            ("name", renamed),
+            ("seed", reseeded),
+            ("trials", regrown),
+            ("retry", rebudgeted),
+            ("breaker", rebreakered),
+        ] {
+            assert_ne!(h, config_hash(&spec), "changing {what} must change the hash");
+        }
+        assert_eq!(h, config_hash(&base.clone()), "hash is deterministic");
+    }
+}

@@ -1,0 +1,267 @@
+//! The campaign flow-control vocabulary: what an arm may report, and the
+//! retry policy the runner applies when it reports failure.
+
+/// Flow-control instruction from an experiment arm to the campaign runner.
+///
+/// The arm says **what happened**; the runner decides **how to continue**
+/// (record, re-enqueue, back off and retry, or trip the arm's breaker).
+/// An arm must never sleep, loop on its own retries, or consult a clock —
+/// that is exactly the policy the runner owns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArmResult<T> {
+    /// The unit finished; `output` is its result. The runner records it in
+    /// the journal and never schedules this `(arm, trial)` again.
+    Done {
+        /// The unit's result (a completed trial).
+        output: T,
+    },
+    /// The unit has more work than fits one invocation: re-enqueue it on
+    /// the next scheduling tick, handing `resume_key` back via
+    /// [`Unit::resume`]. `progress` ∈ [0, 1] is observability only.
+    ///
+    /// `Continue` state is **not** journaled: a crash mid-`Continue`
+    /// restarts that trial from scratch on resume, which is safe because
+    /// unit outputs are a pure function of `(arm, trial)`.
+    Continue {
+        /// Fraction of the unit's work done so far (0.0..=1.0).
+        progress: f64,
+        /// Opaque arm-defined state handed back on the next invocation.
+        resume_key: u64,
+    },
+    /// The unit does not apply (e.g. a sweep point outside a model's valid
+    /// range). Recorded as skipped with the reason; never retried.
+    Skip {
+        /// Why the unit was skipped.
+        reason: String,
+    },
+    /// The unit failed in a way that might succeed on retry. The runner
+    /// charges the unit's retry budget, backs off exponentially (in
+    /// scheduling ticks), and feeds the arm's circuit breaker.
+    Retryable {
+        /// Human-readable failure description (journaled).
+        error: String,
+    },
+}
+
+/// One schedulable unit of campaign work: trial `trial` of arm `arm`, on
+/// its `attempt`-th attempt (0-based), optionally resuming from a
+/// [`ArmResult::Continue`] key returned by the previous invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Unit {
+    /// Index into [`CampaignSpec::arms`].
+    pub arm: usize,
+    /// Trial index within the arm (`0..arm.trials`).
+    pub trial: usize,
+    /// 0-based attempt counter (incremented per [`ArmResult::Retryable`]).
+    pub attempt: u32,
+    /// The `resume_key` of the unit's last [`ArmResult::Continue`], if the
+    /// previous invocation asked to be continued.
+    pub resume: Option<u64>,
+}
+
+/// How the runner reacts to [`ArmResult::Retryable`]: per-unit attempt
+/// budget and exponential backoff measured in scheduling ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per unit (first try included). A unit whose
+    /// `max_attempts`-th attempt fails is abandoned as
+    /// [`AbandonReason::Exhausted`].
+    pub max_attempts: u32,
+    /// Backoff after the first failure, in scheduling ticks.
+    pub backoff_base: u64,
+    /// Backoff ceiling: delays double per failed attempt but never exceed
+    /// this.
+    pub backoff_cap: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 3, backoff_base: 1, backoff_cap: 8 }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff delay (in scheduling ticks) after a unit's `attempt`-th
+    /// attempt (0-based) failed: `base · 2^attempt`, capped. Deterministic —
+    /// no jitter, no wall clock — so a resumed campaign reschedules
+    /// retries exactly as an uninterrupted one does.
+    pub fn backoff_ticks(&self, attempt: u32) -> u64 {
+        let shift = attempt.min(62);
+        self.backoff_base.saturating_mul(1u64 << shift).min(self.backoff_cap)
+    }
+}
+
+/// Why a unit was given up on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbandonReason {
+    /// Its retry budget ([`RetryPolicy::max_attempts`]) ran out.
+    Exhausted,
+    /// Its arm's circuit breaker tripped permanently.
+    Tripped,
+}
+
+impl AbandonReason {
+    /// Stable journal token for the reason.
+    pub(crate) fn token(self) -> &'static str {
+        match self {
+            AbandonReason::Exhausted => "exhausted",
+            AbandonReason::Tripped => "tripped",
+        }
+    }
+
+    /// Parses a journal token written by [`AbandonReason::token`].
+    pub(crate) fn from_token(s: &str) -> Option<AbandonReason> {
+        match s {
+            "exhausted" => Some(AbandonReason::Exhausted),
+            "tripped" => Some(AbandonReason::Tripped),
+            _ => None,
+        }
+    }
+}
+
+/// One arm of a campaign: a named sweep point with a trial count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArmSpec {
+    /// Stable arm name (journaled; shown in reports).
+    pub name: String,
+    /// Number of trials this arm runs.
+    pub trials: usize,
+}
+
+impl ArmSpec {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, trials: usize) -> ArmSpec {
+        ArmSpec { name: name.into(), trials }
+    }
+}
+
+/// The full campaign configuration. Everything here is covered by the
+/// journal's config hash — resuming with a changed spec is refused —
+/// *except* the executor thread count, which is deliberately free to
+/// change between runs because results never depend on it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Campaign name (journaled).
+    pub name: String,
+    /// The arms (sweep points), in scheduling order.
+    pub arms: Vec<ArmSpec>,
+    /// Master seed; arms derive per-trial engine seeds from it.
+    pub seed: u64,
+    /// Retry budget and backoff shape.
+    pub retry: RetryPolicy,
+    /// Circuit-breaker thresholds, applied per arm.
+    pub breaker: super::BreakerConfig,
+}
+
+impl CampaignSpec {
+    /// A spec with default retry/breaker policies.
+    pub fn new(name: impl Into<String>, arms: Vec<ArmSpec>, seed: u64) -> CampaignSpec {
+        CampaignSpec {
+            name: name.into(),
+            arms,
+            seed,
+            retry: RetryPolicy::default(),
+            breaker: super::BreakerConfig::default(),
+        }
+    }
+
+    /// Total units across all arms.
+    pub fn total_trials(&self) -> usize {
+        self.arms.iter().map(|a| a.trials).sum()
+    }
+}
+
+/// Deterministic fault injection for exercising the campaign runner
+/// itself: the crash half of the kill/resume differential tests and the
+/// failure half of the breaker tests. Intended for tests, the CI smoke
+/// step, and the `resumable_sweep` example; production campaigns pass
+/// [`FaultPlan::none`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Abort the campaign (journal intact and fsynced — the moral
+    /// equivalent of SIGKILL at a trial boundary) once this many units
+    /// have been recorded as finished (done/skipped/abandoned), counting
+    /// units restored from the journal on resume.
+    pub kill_after_trials: Option<usize>,
+    /// Replace chosen units' results with [`ArmResult::Retryable`]
+    /// *before* the arm runs (the unit's work is not wasted on a result
+    /// the plan will discard).
+    pub inject_retryable: Vec<InjectRetryable>,
+}
+
+/// One injection rule of a [`FaultPlan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectRetryable {
+    /// Arm index the rule applies to.
+    pub arm: usize,
+    /// Trial the rule applies to; `None` = every trial of the arm.
+    pub trial: Option<usize>,
+    /// Fail attempts numbered `< attempts_below` (so `u32::MAX` makes the
+    /// unit fail persistently and `1` makes only the first attempt fail).
+    pub attempts_below: u32,
+}
+
+impl FaultPlan {
+    /// No faults: the production plan.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A plan that kills the campaign after `n` recorded units.
+    pub fn kill_after(n: usize) -> FaultPlan {
+        FaultPlan { kill_after_trials: Some(n), ..FaultPlan::default() }
+    }
+
+    /// Whether this plan injects a failure for `unit`.
+    pub(crate) fn injects(&self, unit: &Unit) -> bool {
+        self.inject_retryable.iter().any(|r| {
+            r.arm == unit.arm
+                && r.trial.is_none_or(|t| t == unit.trial)
+                && unit.attempt < r.attempts_below
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy { max_attempts: 10, backoff_base: 2, backoff_cap: 12 };
+        assert_eq!(p.backoff_ticks(0), 2);
+        assert_eq!(p.backoff_ticks(1), 4);
+        assert_eq!(p.backoff_ticks(2), 8);
+        assert_eq!(p.backoff_ticks(3), 12, "capped");
+        assert_eq!(p.backoff_ticks(62), 12, "huge attempts saturate, no overflow");
+    }
+
+    #[test]
+    fn fault_plan_matches_arm_trial_attempt() {
+        let plan = FaultPlan {
+            kill_after_trials: None,
+            inject_retryable: vec![InjectRetryable { arm: 1, trial: Some(2), attempts_below: 2 }],
+        };
+        let unit = |arm, trial, attempt| Unit { arm, trial, attempt, resume: None };
+        assert!(plan.injects(&unit(1, 2, 0)));
+        assert!(plan.injects(&unit(1, 2, 1)));
+        assert!(!plan.injects(&unit(1, 2, 2)), "attempt 2 succeeds");
+        assert!(!plan.injects(&unit(1, 3, 0)), "other trial untouched");
+        assert!(!plan.injects(&unit(0, 2, 0)), "other arm untouched");
+    }
+
+    #[test]
+    fn wildcard_trial_hits_all_trials() {
+        let plan = FaultPlan {
+            kill_after_trials: None,
+            inject_retryable: vec![InjectRetryable {
+                arm: 0,
+                trial: None,
+                attempts_below: u32::MAX,
+            }],
+        };
+        for t in 0..5 {
+            assert!(plan.injects(&Unit { arm: 0, trial: t, attempt: 1000, resume: None }));
+        }
+    }
+}

@@ -1,0 +1,701 @@
+//! The campaign runner: deterministic wave scheduling of units over the
+//! work-stealing trial executor, with the retry/backoff/breaker lifecycle
+//! applied in canonical order and every finished unit journaled.
+//!
+//! # Scheduling model
+//!
+//! Time is a **tick** counter (no wall clock). Each iteration:
+//!
+//! 1. permanently-tripped arms have their remaining units abandoned;
+//! 2. breakers advance (`Open` cooldowns may elapse into `HalfOpen`);
+//! 3. the wave is selected: every waiting unit whose `at_tick` has come
+//!    and whose arm's breaker admits it (`Closed` ⇒ all, `HalfOpen` ⇒ one
+//!    probe, `Open` ⇒ none), in `(arm, trial)` order;
+//! 4. the wave runs in parallel on [`run_parallel_stateful`] — any thread
+//!    count, because unit results are pure functions of the unit;
+//! 5. results are applied **sequentially in unit order**: outputs
+//!    recorded and journaled, retries re-enqueued at `tick + backoff`,
+//!    breakers fed; then the journal checkpoints (fsync) and the tick
+//!    advances. If nothing is runnable, the tick fast-forwards to the
+//!    next backoff expiry or breaker reopen instead of spinning.
+//!
+//! Step 5's ordering is what makes retry accounting, breaker transitions,
+//! and journal bytes identical across thread counts — the wave *runs*
+//! concurrently but is *applied* canonically.
+
+use super::breaker::CircuitBreaker;
+use super::journal::{config_hash, Journal, JournalError, Record};
+use super::lifecycle::{AbandonReason, ArmResult, CampaignSpec, FaultPlan, Unit};
+use crate::runner::{run_parallel_stateful, Trial};
+use std::path::Path;
+
+/// Why [`run_campaign`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignOutcome {
+    /// Every unit reached a terminal state.
+    Completed,
+    /// The [`FaultPlan`] kill switch fired after `recorded` terminal
+    /// units (journal checkpointed — the simulated SIGKILL boundary).
+    Killed {
+        /// Terminal units recorded when the kill fired.
+        recorded: usize,
+    },
+}
+
+/// Final state of one `(arm, trial)` unit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrialState {
+    /// Finished with an output.
+    Done(Trial),
+    /// Skipped by the arm, with its reason.
+    Skipped(String),
+    /// Given up on after `attempts` attempts.
+    Abandoned {
+        /// Attempts consumed.
+        attempts: u32,
+        /// Why it was abandoned.
+        why: AbandonReason,
+    },
+    /// Not yet terminal (only present after a kill).
+    Pending,
+}
+
+impl TrialState {
+    /// The output, if the unit finished.
+    pub fn output(&self) -> Option<&Trial> {
+        match self {
+            TrialState::Done(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// Per-arm outcome and lifecycle accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArmReport {
+    /// The arm's name from the spec.
+    pub name: String,
+    /// One state per trial.
+    pub trials: Vec<TrialState>,
+    /// `run_unit` invocations charged to this arm (failed + terminal
+    /// attempts; restored from the journal on resume — `Continue`
+    /// re-entries are not journaled and count only within one process).
+    pub invocations: u64,
+    /// Failed ([`ArmResult::Retryable`]) attempts.
+    pub retries: u64,
+    /// Total backoff delay scheduled for this arm, in ticks.
+    pub backoff_ticks: u64,
+    /// Times the arm's breaker opened.
+    pub breaker_trips: u32,
+    /// `true` if the breaker exceeded its trip budget and the arm was cut
+    /// off for good.
+    pub tripped: bool,
+}
+
+/// What a campaign run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Completed, or killed by the fault plan.
+    pub outcome: CampaignOutcome,
+    /// Per-arm results, in spec order.
+    pub arms: Vec<ArmReport>,
+    /// Scheduling ticks consumed (this process only).
+    pub ticks: u64,
+    /// `true` if the run resumed from an existing journal.
+    pub resumed: bool,
+    /// `true` if journal recovery truncated a torn final line.
+    pub recovered_torn_tail: bool,
+}
+
+impl CampaignReport {
+    /// The `Done` outputs of one arm, in trial order.
+    pub fn done_outputs(&self, arm: usize) -> Vec<Trial> {
+        self.arms[arm].trials.iter().filter_map(|t| t.output().copied()).collect()
+    }
+}
+
+/// Campaign failure (journal trouble; unit failures are *handled*, not
+/// returned).
+#[derive(Debug)]
+pub enum CampaignError {
+    /// The journal could not be created, loaded, resumed, or written.
+    Journal(JournalError),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Journal(e) => write!(f, "campaign journal error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<JournalError> for CampaignError {
+    fn from(e: JournalError) -> Self {
+        CampaignError::Journal(e)
+    }
+}
+
+/// In-flight state of one unit.
+#[derive(Debug, Clone, PartialEq)]
+enum Slot {
+    Waiting { at_tick: u64, attempt: u32, resume: Option<u64> },
+    Terminal(TrialState),
+}
+
+struct ArmState {
+    breaker: CircuitBreaker,
+    slots: Vec<Slot>,
+    invocations: u64,
+    retries: u64,
+    backoff_ticks: u64,
+}
+
+/// Runs (or resumes) the campaign described by `spec`.
+///
+/// * `threads` — parallelism of each wave; never affects results.
+/// * `journal_path` — `Some(path)`: journal every finished unit there and
+///   **resume** from it if it already exists (a config-hash mismatch is
+///   refused as [`JournalError::ConfigMismatch`]). `None`: in-memory only.
+/// * `fault` — deterministic fault injection; [`FaultPlan::none`] for
+///   production runs.
+/// * `init`/`run_unit` — the per-worker state factory and the arm
+///   dispatcher, exactly the contract of the stateful trial runner: `init`
+///   is called once per worker thread (hold long-lived engines there) and
+///   `run_unit` must be a pure function of the [`Unit`] (plus cached,
+///   observationally-invisible state).
+pub fn run_campaign<S>(
+    spec: &CampaignSpec,
+    threads: usize,
+    journal_path: Option<&Path>,
+    fault: &FaultPlan,
+    init: impl Fn() -> S + Sync,
+    run_unit: impl Fn(&mut S, &Unit) -> ArmResult<Trial> + Sync,
+) -> Result<CampaignReport, CampaignError> {
+    let hash = config_hash(spec);
+    let mut arms: Vec<ArmState> = spec
+        .arms
+        .iter()
+        .map(|a| ArmState {
+            breaker: CircuitBreaker::new(spec.breaker),
+            slots: vec![Slot::Waiting { at_tick: 0, attempt: 0, resume: None }; a.trials],
+            invocations: 0,
+            retries: 0,
+            backoff_ticks: 0,
+        })
+        .collect();
+
+    // Terminal units recorded so far (restored + this process) — the kill
+    // switch's clock.
+    let mut recorded = 0usize;
+    let mut resumed = false;
+    let mut recovered_torn_tail = false;
+
+    let mut journal = match journal_path {
+        None => None,
+        Some(path) if path.exists() => {
+            let loaded = Journal::load(path)?;
+            if loaded.config_hash != hash {
+                return Err(JournalError::ConfigMismatch {
+                    expected: hash,
+                    found: loaded.config_hash,
+                }
+                .into());
+            }
+            resumed = true;
+            recovered_torn_tail = loaded.recovered_torn_tail;
+            for rec in &loaded.records {
+                apply_restored(&mut arms, rec, &mut recorded);
+            }
+            Some(Journal::reopen_append(path)?)
+        }
+        Some(path) => Some(Journal::create(path, hash)?),
+    };
+
+    let kill_now = |recorded: usize| fault.kill_after_trials.is_some_and(|n| recorded >= n);
+
+    let mut tick = 0u64;
+    let report = 'campaign: loop {
+        // 1. Sweep permanently tripped arms: their waiting units are
+        // abandoned (they could otherwise wait forever on a breaker that
+        // never reopens). Also handles arms restored as tripped.
+        for (a, arm) in arms.iter_mut().enumerate() {
+            if !arm.breaker.tripped_permanently() {
+                continue;
+            }
+            for (t, slot) in arm.slots.iter_mut().enumerate() {
+                if let Slot::Waiting { attempt, .. } = *slot {
+                    *slot = Slot::Terminal(TrialState::Abandoned {
+                        attempts: attempt,
+                        why: AbandonReason::Tripped,
+                    });
+                    if let Some(j) = journal.as_mut() {
+                        j.append(&Record::Abandon {
+                            arm: a,
+                            trial: t,
+                            attempts: attempt,
+                            why: AbandonReason::Tripped,
+                        });
+                    }
+                    recorded += 1;
+                    if kill_now(recorded) {
+                        break 'campaign finish(
+                            CampaignOutcome::Killed { recorded },
+                            spec,
+                            arms,
+                            tick,
+                            resumed,
+                            recovered_torn_tail,
+                        );
+                    }
+                }
+            }
+        }
+
+        // 2. Advance breaker time.
+        for arm in arms.iter_mut() {
+            arm.breaker.tick(tick);
+        }
+
+        // 3. Select the wave, in canonical (arm, trial) order.
+        let mut wave: Vec<Unit> = Vec::new();
+        for (a, arm) in arms.iter().enumerate() {
+            let mut budget = arm.breaker.admission();
+            for (t, slot) in arm.slots.iter().enumerate() {
+                if budget == 0 {
+                    break;
+                }
+                if let Slot::Waiting { at_tick, attempt, resume } = *slot {
+                    if at_tick <= tick {
+                        wave.push(Unit { arm: a, trial: t, attempt, resume });
+                        budget -= 1;
+                    }
+                }
+            }
+        }
+
+        if wave.is_empty() {
+            // Nothing runnable. Done — or fast-forward to the next
+            // actionable tick (earliest backoff expiry or breaker reopen).
+            let mut next: Option<u64> = None;
+            let mut bump = |t: u64| next = Some(next.map_or(t, |n: u64| n.min(t)));
+            for arm in arms.iter() {
+                let has_waiting = arm.slots.iter().any(|s| matches!(s, Slot::Waiting { .. }));
+                if !has_waiting {
+                    continue;
+                }
+                if let Some(t) = arm.breaker.next_actionable_tick() {
+                    bump(t);
+                } else if arm.breaker.admission() > 0 {
+                    for slot in &arm.slots {
+                        if let Slot::Waiting { at_tick, .. } = *slot {
+                            bump(at_tick);
+                        }
+                    }
+                }
+            }
+            match next {
+                Some(t) => {
+                    debug_assert!(t > tick, "fast-forward must make progress");
+                    tick = t.max(tick + 1);
+                    continue;
+                }
+                None => {
+                    break finish(
+                        CampaignOutcome::Completed,
+                        spec,
+                        arms,
+                        tick,
+                        resumed,
+                        recovered_torn_tail,
+                    )
+                }
+            }
+        }
+
+        // 4. Run the wave in parallel. Fault injection replaces the
+        // result *before* the arm runs; results are a pure function of
+        // the unit either way, so any thread count gives the same wave.
+        let results: Vec<ArmResult<Trial>> =
+            run_parallel_stateful(threads, wave.len(), &init, |state, i| {
+                let unit = &wave[i];
+                if fault.injects(unit) {
+                    ArmResult::Retryable { error: "injected by FaultPlan".to_string() }
+                } else {
+                    run_unit(state, unit)
+                }
+            });
+
+        // 5. Apply results sequentially in unit order.
+        for (unit, result) in wave.iter().zip(results) {
+            let arm = &mut arms[unit.arm];
+            arm.invocations += 1;
+            match result {
+                ArmResult::Done { output } => {
+                    arm.slots[unit.trial] = Slot::Terminal(TrialState::Done(output));
+                    arm.breaker.on_success();
+                    if let Some(j) = journal.as_mut() {
+                        j.append(&Record::Done {
+                            arm: unit.arm,
+                            trial: unit.trial,
+                            attempt: unit.attempt,
+                            output,
+                        });
+                    }
+                    recorded += 1;
+                }
+                ArmResult::Skip { reason } => {
+                    arm.slots[unit.trial] = Slot::Terminal(TrialState::Skipped(reason.clone()));
+                    arm.breaker.on_success();
+                    if let Some(j) = journal.as_mut() {
+                        j.append(&Record::Skip {
+                            arm: unit.arm,
+                            trial: unit.trial,
+                            attempt: unit.attempt,
+                            reason,
+                        });
+                    }
+                    recorded += 1;
+                }
+                ArmResult::Continue { progress: _, resume_key } => {
+                    // Re-enqueue next tick; not journaled (a crash replays
+                    // the whole unit, which is a pure function).
+                    arm.slots[unit.trial] = Slot::Waiting {
+                        at_tick: tick + 1,
+                        attempt: unit.attempt,
+                        resume: Some(resume_key),
+                    };
+                }
+                ArmResult::Retryable { error } => {
+                    arm.retries += 1;
+                    if let Some(j) = journal.as_mut() {
+                        j.append(&Record::Fail {
+                            arm: unit.arm,
+                            trial: unit.trial,
+                            attempt: unit.attempt,
+                            error,
+                        });
+                    }
+                    if arm.breaker.on_failure(tick) {
+                        if let Some(j) = journal.as_mut() {
+                            j.append(&Record::Trip { arm: unit.arm, trips: arm.breaker.trips() });
+                        }
+                    }
+                    let attempts_used = unit.attempt + 1;
+                    if attempts_used >= spec.retry.max_attempts {
+                        arm.slots[unit.trial] = Slot::Terminal(TrialState::Abandoned {
+                            attempts: attempts_used,
+                            why: AbandonReason::Exhausted,
+                        });
+                        if let Some(j) = journal.as_mut() {
+                            j.append(&Record::Abandon {
+                                arm: unit.arm,
+                                trial: unit.trial,
+                                attempts: attempts_used,
+                                why: AbandonReason::Exhausted,
+                            });
+                        }
+                        recorded += 1;
+                    } else {
+                        let delay = spec.retry.backoff_ticks(unit.attempt);
+                        arm.backoff_ticks += delay;
+                        arm.slots[unit.trial] = Slot::Waiting {
+                            at_tick: tick + delay.max(1),
+                            attempt: attempts_used,
+                            resume: None,
+                        };
+                    }
+                }
+            }
+            if kill_now(recorded) {
+                // The simulated SIGKILL: checkpoint what is applied so
+                // far and drop the rest of the wave on the floor, exactly
+                // as a real kill at this trial boundary would.
+                break 'campaign finish(
+                    CampaignOutcome::Killed { recorded },
+                    spec,
+                    arms,
+                    tick,
+                    resumed,
+                    recovered_torn_tail,
+                );
+            }
+        }
+
+        // The wave's records become durable together: one checkpoint
+        // (fsync) per wave.
+        if let Some(j) = journal.as_mut() {
+            j.checkpoint()?;
+        }
+        tick += 1;
+    };
+
+    if let Some(j) = journal.as_mut() {
+        j.checkpoint()?;
+    }
+    Ok(report)
+}
+
+/// Replays one journal record into the restored arm states.
+fn apply_restored(arms: &mut [ArmState], rec: &Record, recorded: &mut usize) {
+    match rec {
+        Record::Done { arm, trial, output, .. } => {
+            arms[*arm].invocations += 1;
+            arms[*arm].slots[*trial] = Slot::Terminal(TrialState::Done(*output));
+            *recorded += 1;
+        }
+        Record::Skip { arm, trial, reason, .. } => {
+            arms[*arm].invocations += 1;
+            arms[*arm].slots[*trial] = Slot::Terminal(TrialState::Skipped(reason.clone()));
+            *recorded += 1;
+        }
+        Record::Fail { arm, trial, attempt, .. } => {
+            let a = &mut arms[*arm];
+            a.invocations += 1;
+            a.retries += 1;
+            // The unit's next attempt number continues where the journal
+            // left off, so attempt-keyed fault injections (and any arm
+            // logic keyed on the attempt) behave identically to an
+            // uninterrupted run.
+            if let Slot::Waiting { attempt: at, .. } = &mut a.slots[*trial] {
+                *at = attempt + 1;
+            }
+        }
+        Record::Abandon { arm, trial, attempts, why } => {
+            arms[*arm].slots[*trial] =
+                Slot::Terminal(TrialState::Abandoned { attempts: *attempts, why: *why });
+            *recorded += 1;
+        }
+        Record::Trip { arm, trips } => {
+            arms[*arm].breaker.restore_trips(*trips);
+        }
+    }
+}
+
+fn finish(
+    outcome: CampaignOutcome,
+    spec: &CampaignSpec,
+    arms: Vec<ArmState>,
+    ticks: u64,
+    resumed: bool,
+    recovered_torn_tail: bool,
+) -> CampaignReport {
+    let arms = spec
+        .arms
+        .iter()
+        .zip(arms)
+        .map(|(a_spec, a)| ArmReport {
+            name: a_spec.name.clone(),
+            trials: a
+                .slots
+                .into_iter()
+                .map(|s| match s {
+                    Slot::Terminal(t) => t,
+                    Slot::Waiting { .. } => TrialState::Pending,
+                })
+                .collect(),
+            invocations: a.invocations,
+            retries: a.retries,
+            backoff_ticks: a.backoff_ticks,
+            breaker_trips: a.breaker.trips(),
+            tripped: a.breaker.tripped_permanently(),
+        })
+        .collect();
+    CampaignReport { outcome, arms, ticks, resumed, recovered_torn_tail }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{ArmSpec, BreakerConfig, InjectRetryable, RetryPolicy};
+    use crn_sim::Counters;
+
+    /// A synthetic unit runner: no engine, just a recognizable output per
+    /// (arm, trial) — the runner's own semantics under test, not the sim.
+    fn synth(unit: &Unit) -> Trial {
+        Trial {
+            seed: (unit.arm as u64) << 32 | unit.trial as u64,
+            completed_at: Some(unit.attempt as u64 + 1),
+            slots_run: 10,
+            counters: Counters { slots: 10, ..Counters::default() },
+        }
+    }
+
+    fn spec(arms: &[(&str, usize)]) -> CampaignSpec {
+        CampaignSpec {
+            name: "unit".into(),
+            arms: arms.iter().map(|&(n, t)| ArmSpec::new(n, t)).collect(),
+            seed: 7,
+            retry: RetryPolicy { max_attempts: 3, backoff_base: 1, backoff_cap: 4 },
+            breaker: BreakerConfig { failure_threshold: 2, cooldown_ticks: 2, max_trips: 1 },
+        }
+    }
+
+    #[test]
+    fn all_done_no_faults() {
+        let s = spec(&[("a", 3), ("b", 2)]);
+        let report = run_campaign(
+            &s,
+            2,
+            None,
+            &FaultPlan::none(),
+            || (),
+            |(), u| ArmResult::Done { output: synth(u) },
+        )
+        .unwrap();
+        assert_eq!(report.outcome, CampaignOutcome::Completed);
+        assert_eq!(report.arms.len(), 2);
+        assert_eq!(report.done_outputs(0).len(), 3);
+        assert_eq!(report.done_outputs(1).len(), 2);
+        assert_eq!(report.arms[0].retries, 0);
+        assert!(!report.resumed);
+    }
+
+    #[test]
+    fn transient_failure_retries_with_backoff_then_succeeds() {
+        let s = spec(&[("flaky", 1)]);
+        let fault = FaultPlan {
+            kill_after_trials: None,
+            inject_retryable: vec![InjectRetryable { arm: 0, trial: Some(0), attempts_below: 2 }],
+        };
+        let report =
+            run_campaign(&s, 1, None, &fault, || (), |(), u| ArmResult::Done { output: synth(u) })
+                .unwrap();
+        assert_eq!(report.outcome, CampaignOutcome::Completed);
+        let arm = &report.arms[0];
+        assert_eq!(arm.retries, 2, "two injected failures");
+        assert_eq!(arm.invocations, 3, "two failures + one success");
+        // Backoff: after attempt 0 → 1 tick, after attempt 1 → 2 ticks.
+        assert_eq!(arm.backoff_ticks, 3);
+        match &arm.trials[0] {
+            TrialState::Done(t) => assert_eq!(t.completed_at, Some(3), "succeeded on attempt 2"),
+            other => panic!("expected Done, got {other:?}"),
+        }
+        assert_eq!(arm.breaker_trips, 1, "two consecutive failures hit the threshold");
+        assert!(!arm.tripped, "one trip is within budget");
+    }
+
+    #[test]
+    fn skip_is_terminal_and_not_retried() {
+        let s = spec(&[("skippy", 2)]);
+        let report = run_campaign(
+            &s,
+            1,
+            None,
+            &FaultPlan::none(),
+            || (),
+            |(), u| {
+                if u.trial == 0 {
+                    ArmResult::Skip { reason: "out of range".into() }
+                } else {
+                    ArmResult::Done { output: synth(u) }
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(report.arms[0].trials[0], TrialState::Skipped("out of range".into()));
+        assert!(report.arms[0].trials[1].output().is_some());
+        assert_eq!(report.arms[0].invocations, 2);
+    }
+
+    #[test]
+    fn continue_re_enqueues_with_resume_key() {
+        let s = spec(&[("stateful", 1)]);
+        let report = run_campaign(
+            &s,
+            1,
+            None,
+            &FaultPlan::none(),
+            || (),
+            |(), u| {
+                // Count up through resume keys: 3 continues, then done.
+                let k = u.resume.unwrap_or(0);
+                if k < 3 {
+                    ArmResult::Continue { progress: k as f64 / 3.0, resume_key: k + 1 }
+                } else {
+                    let mut out = synth(u);
+                    out.slots_run = k; // prove the key round-tripped
+                    ArmResult::Done { output: out }
+                }
+            },
+        )
+        .unwrap();
+        let t = report.arms[0].trials[0].output().expect("completed");
+        assert_eq!(t.slots_run, 3, "resume key chained through 3 continues");
+        assert_eq!(report.arms[0].retries, 0, "continues are not failures");
+    }
+
+    #[test]
+    fn persistent_failure_trips_breaker_and_does_not_stall_others() {
+        let s = spec(&[("doomed", 4), ("fine", 3)]);
+        let fault = FaultPlan {
+            kill_after_trials: None,
+            inject_retryable: vec![InjectRetryable {
+                arm: 0,
+                trial: None,
+                attempts_below: u32::MAX,
+            }],
+        };
+        let report =
+            run_campaign(&s, 2, None, &fault, || (), |(), u| ArmResult::Done { output: synth(u) })
+                .unwrap();
+        assert_eq!(report.outcome, CampaignOutcome::Completed, "campaign finishes regardless");
+        let doomed = &report.arms[0];
+        assert!(doomed.tripped, "persistently failing arm must trip");
+        assert!(doomed.breaker_trips > 1);
+        assert!(
+            doomed.trials.iter().all(|t| matches!(t, TrialState::Abandoned { .. })),
+            "every unit of the tripped arm is abandoned: {:?}",
+            doomed.trials
+        );
+        let fine = &report.arms[1];
+        assert_eq!(report.done_outputs(1).len(), 3, "healthy arm unaffected");
+        assert_eq!(fine.retries, 0);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_report() {
+        let s = spec(&[("a", 5), ("b", 4), ("c", 3)]);
+        let fault = FaultPlan {
+            kill_after_trials: None,
+            inject_retryable: vec![
+                InjectRetryable { arm: 1, trial: Some(0), attempts_below: 1 },
+                InjectRetryable { arm: 2, trial: None, attempts_below: u32::MAX },
+            ],
+        };
+        let run = |threads| {
+            run_campaign(
+                &s,
+                threads,
+                None,
+                &fault,
+                || (),
+                |(), u| ArmResult::Done { output: synth(u) },
+            )
+            .unwrap()
+        };
+        let one = run(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(run(threads), one, "{threads} threads diverge from 1");
+        }
+    }
+
+    #[test]
+    fn kill_after_zero_records_nothing() {
+        let s = spec(&[("a", 2)]);
+        let report = run_campaign(
+            &s,
+            1,
+            None,
+            &FaultPlan::kill_after(1),
+            || (),
+            |(), u| ArmResult::Done { output: synth(u) },
+        )
+        .unwrap();
+        assert_eq!(report.outcome, CampaignOutcome::Killed { recorded: 1 });
+        assert_eq!(report.done_outputs(0).len(), 1);
+        assert_eq!(report.arms[0].trials[1], TrialState::Pending, "second unit never applied");
+    }
+}

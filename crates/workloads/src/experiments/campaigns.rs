@@ -1,0 +1,279 @@
+//! Resumable campaign ports of the sweep experiments.
+//!
+//! Each port expresses one experiment sweep as a [`CampaignSpec`] — one
+//! arm per sweep point, one unit per trial — whose units run over
+//! per-worker [`EngineCell`]s and emit [`crate::campaign::ArmResult`].
+//! That buys the sweeps everything the campaign layer owns: an
+//! append-only journal with exact checkpoint/resume, retry/backoff on
+//! transient failures, per-arm circuit breakers, and deterministic fault
+//! injection for testing — while unit outputs stay bit-identical to the
+//! plain runners, because a unit is a pure function of `(arm, trial)`
+//! and engine reuse is observationally invisible.
+//!
+//! The table builders in [`super::spectrum`] / [`super::cseek_scaling`]
+//! consume the reports, so `run_experiment("e2"|"e12", ...)` runs through
+//! this machinery with `journal = None` and [`FaultPlan::none`].
+
+use super::{cseek_scaling, spectrum, ExpConfig};
+use crate::campaign::{
+    run_campaign, ArmResult, ArmSpec, CampaignError, CampaignReport, CampaignSpec, FaultPlan,
+};
+use crate::runner::{EngineCell, TrialOpts};
+use crate::scenario::Built;
+use crn_core::adversary::NodeRole;
+use crn_core::cgcast::CGCast;
+use crn_core::count::CountProtocol;
+use crn_core::discovery::all_discovered;
+use crn_core::params::{SeekParams, SeekSchedule};
+use crn_core::seek::CSeek;
+use std::path::Path;
+
+/// Default wave parallelism for the campaign entry points: the machine's
+/// available parallelism (never affects results — only wall-clock).
+pub fn default_threads(_cfg: &ExpConfig) -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
+}
+
+/// The E2 campaign: one arm per swept `c`, `cfg.trials()` units each.
+pub fn e2_spec(cfg: &ExpConfig) -> CampaignSpec {
+    let arms = cseek_scaling::e2_cs(cfg)
+        .iter()
+        .map(|c| ArmSpec::new(format!("c={c}"), cfg.trials()))
+        .collect();
+    CampaignSpec::new("e2-cseek-vs-c", arms, cfg.seed)
+}
+
+/// Runs (or resumes, when `journal` names an existing file) the E2 sweep
+/// as a campaign. Unit outputs are bit-identical to
+/// [`crate::runner::discovery_trials`] on the same scenarios.
+pub fn run_e2(
+    cfg: &ExpConfig,
+    threads: usize,
+    journal: Option<&Path>,
+    fault: &FaultPlan,
+) -> Result<CampaignReport, CampaignError> {
+    let ctxs: Vec<(Built, SeekSchedule)> = cseek_scaling::e2_cs(cfg)
+        .iter()
+        .map(|&c| {
+            let built = cseek_scaling::e2_scenario(cfg.quick, c, cfg.seed)
+                .build()
+                .expect("scenario builds");
+            let sched = SeekParams::default().schedule(&built.model);
+            (built, sched)
+        })
+        .collect();
+    let opts = TrialOpts::default();
+    let spec = e2_spec(cfg);
+    run_campaign(
+        &spec,
+        threads,
+        journal,
+        fault,
+        || ctxs.iter().map(|_| EngineCell::new()).collect::<Vec<EngineCell<'_, CSeek>>>(),
+        |cells, u| {
+            let (built, sched) = &ctxs[u.arm];
+            let seed = (cfg.seed ^ 0xE2).wrapping_add(u.trial as u64);
+            let output = cells[u.arm].run_trial(
+                &built.net,
+                |ctx| CSeek::new(ctx.id, *sched, false),
+                seed,
+                sched.total_slots(),
+                &opts,
+                |_s, e| all_discovered(&built.net, e),
+            );
+            ArmResult::Done { output }
+        },
+    )
+}
+
+/// The E12 campaign: arms laid out `[CSEEK, CGCAST, COUNT]` per swept
+/// duty cycle, `cfg.trials()` units each.
+pub fn e12_spec(cfg: &ExpConfig) -> CampaignSpec {
+    let (n_seek, n_gcast, m_count) = spectrum::e12_sizes(cfg);
+    let arms = spectrum::duties(cfg)
+        .iter()
+        .flat_map(|&duty| {
+            [
+                ArmSpec::new(format!("cseek n={n_seek} duty={duty}"), cfg.trials()),
+                ArmSpec::new(format!("cgcast n={n_gcast} duty={duty}"), cfg.trials()),
+                ArmSpec::new(format!("count m={m_count} duty={duty}"), cfg.trials()),
+            ]
+        })
+        .collect();
+    CampaignSpec::new("e12-pu-churn", arms, cfg.seed)
+}
+
+/// Runs (or resumes) the E12 sweep as a campaign. Each worker holds one
+/// long-lived engine per primitive (three scenario networks), re-armed
+/// per unit — the engine-reuse win the discovery sweeps already had,
+/// extended to the spectrum experiments.
+pub fn run_e12(
+    cfg: &ExpConfig,
+    threads: usize,
+    journal: Option<&Path>,
+    fault: &FaultPlan,
+) -> Result<CampaignReport, CampaignError> {
+    let (n_seek, n_gcast, m_count) = spectrum::e12_sizes(cfg);
+    let (seek_built, seek_sched) = spectrum::cseek_setup(cfg, n_seek);
+    let (gcast_built, gcast_sched) = spectrum::cgcast_setup(cfg, n_gcast);
+    let (count_net, count_sched) = spectrum::count_setup(m_count);
+    let opts: Vec<TrialOpts> = spectrum::duties(cfg)
+        .iter()
+        .map(|&d| TrialOpts::with_spectrum(spectrum::dynamics_at(d)))
+        .collect();
+    let spec = e12_spec(cfg);
+
+    struct Cells<'net> {
+        cseek: EngineCell<'net, CSeek>,
+        cgcast: EngineCell<'net, CGCast>,
+        count: EngineCell<'net, CountProtocol>,
+    }
+
+    run_campaign(
+        &spec,
+        threads,
+        journal,
+        fault,
+        || Cells { cseek: EngineCell::new(), cgcast: EngineCell::new(), count: EngineCell::new() },
+        |cells, u| {
+            let o = &opts[u.arm / 3];
+            let output = match u.arm % 3 {
+                0 => spectrum::cseek_trial(
+                    &mut cells.cseek,
+                    &seek_built.net,
+                    seek_sched,
+                    n_seek,
+                    spectrum::cseek_seed(cfg, u.trial),
+                    o,
+                ),
+                1 => spectrum::cgcast_trial(
+                    &mut cells.cgcast,
+                    &gcast_built.net,
+                    gcast_sched,
+                    spectrum::cgcast_seed(cfg, u.trial),
+                    o,
+                ),
+                _ => spectrum::count_trial(
+                    &mut cells.count,
+                    &count_net,
+                    count_sched,
+                    m_count,
+                    spectrum::count_seed(cfg, u.trial),
+                    o,
+                ),
+            };
+            ArmResult::Done { output }
+        },
+    )
+}
+
+/// Honest-node count of the E12b arena.
+fn e12b_honest(cfg: &ExpConfig) -> usize {
+    if cfg.quick {
+        5
+    } else {
+        7
+    }
+}
+
+/// The E12b campaign: arms laid out `jammers ∈ {0, 1}` per swept duty
+/// cycle, `cfg.trials()` units each.
+pub fn e12b_spec(cfg: &ExpConfig) -> CampaignSpec {
+    let honest = e12b_honest(cfg);
+    let arms = spectrum::duties(cfg)
+        .iter()
+        .flat_map(|&duty| {
+            [0usize, 1].map(|jammers| {
+                ArmSpec::new(
+                    format!("cseek honest={honest} jammers={jammers} duty={duty}"),
+                    cfg.trials(),
+                )
+            })
+        })
+        .collect();
+    CampaignSpec::new("e12b-churn-plus-jamming", arms, cfg.seed)
+}
+
+/// Runs (or resumes) the E12b sweep as a campaign. The two networks (with
+/// and without the jammer node) get one engine cell each per worker.
+pub fn run_e12b(
+    cfg: &ExpConfig,
+    threads: usize,
+    journal: Option<&Path>,
+    fault: &FaultPlan,
+) -> Result<CampaignReport, CampaignError> {
+    let honest = e12b_honest(cfg);
+    let setups = [spectrum::e12b_setup(cfg, honest), spectrum::e12b_setup(cfg, honest + 1)];
+    let opts: Vec<TrialOpts> = spectrum::duties(cfg)
+        .iter()
+        .map(|&d| TrialOpts::with_spectrum(spectrum::dynamics_at(d)))
+        .collect();
+    let spec = e12b_spec(cfg);
+    run_campaign(
+        &spec,
+        threads,
+        journal,
+        fault,
+        || [EngineCell::<'_, NodeRole<CSeek>>::new(), EngineCell::new()],
+        |cells, u| {
+            let jammers = u.arm % 2;
+            let (built, sched) = &setups[jammers];
+            let output = spectrum::e12b_trial(
+                &mut cells[jammers],
+                &built.net,
+                *sched,
+                honest,
+                spectrum::e12b_seed(cfg, u.trial),
+                &opts[u.arm / 2],
+            );
+            ArmResult::Done { output }
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::CampaignOutcome;
+
+    fn cfg() -> ExpConfig {
+        ExpConfig { quick: true, trials: 2, seed: 31 }
+    }
+
+    #[test]
+    fn e2_campaign_matches_plain_discovery_trials() {
+        // The headline faithfulness check for the port: campaign units are
+        // bit-identical to the pre-campaign runner path on every arm.
+        let cfg = cfg();
+        let report = run_e2(&cfg, 2, None, &FaultPlan::none()).unwrap();
+        assert_eq!(report.outcome, CampaignOutcome::Completed);
+        for (a, &c) in cseek_scaling::e2_cs(&cfg).iter().enumerate() {
+            let built = cseek_scaling::e2_scenario(cfg.quick, c, cfg.seed).build().unwrap();
+            let sched = SeekParams::default().schedule(&built.model);
+            let plain = crate::runner::discovery_trials(
+                &built.net,
+                |ctx| CSeek::new(ctx.id, sched, false),
+                cfg.trials(),
+                cfg.seed ^ 0xE2,
+                sched.total_slots(),
+            );
+            assert_eq!(report.done_outputs(a), plain, "arm c={c} diverged from plain runner");
+        }
+    }
+
+    #[test]
+    fn e12_campaign_spec_shape() {
+        let cfg = cfg();
+        let spec = e12_spec(&cfg);
+        assert_eq!(spec.arms.len(), spectrum::duties(&cfg).len() * 3);
+        assert!(spec.arms.iter().all(|a| a.trials == cfg.trials()));
+    }
+
+    #[test]
+    fn e12_campaign_threads_do_not_change_report() {
+        let cfg = cfg();
+        let one = run_e12(&cfg, 1, None, &FaultPlan::none()).unwrap();
+        let four = run_e12(&cfg, 4, None, &FaultPlan::none()).unwrap();
+        assert_eq!(one, four);
+    }
+}

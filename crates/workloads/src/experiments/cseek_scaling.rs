@@ -19,10 +19,19 @@ use crn_sim::stats::{fit_linear, fit_loglog};
 use crn_sim::topology::Topology;
 use crn_sim::StatsMode;
 
+/// The swept `c` values of E2.
+pub(super) fn e2_cs(cfg: &ExpConfig) -> &'static [usize] {
+    if cfg.quick {
+        &[4, 8]
+    } else {
+        &[4, 6, 8, 12, 16]
+    }
+}
+
 /// The E2 scenario at one sweep point (ring size follows quick mode) —
-/// shared by the table builder and the confidence-interval tests, so both
-/// measure exactly the same runs.
-fn e2_scenario(quick: bool, c: usize, seed: u64) -> Scenario {
+/// shared by the table builder, the campaign port and the
+/// confidence-interval tests, so all measure exactly the same runs.
+pub(super) fn e2_scenario(quick: bool, c: usize, seed: u64) -> Scenario {
     let n = if quick { 12 } else { 24 };
     Scenario::new(
         format!("e2-c{c}"),
@@ -57,18 +66,19 @@ fn measure(scn: &Scenario, trials: usize, seed: u64) -> (Option<f64>, f64, u64) 
     (mean, frac, sched.total_slots())
 }
 
-/// E2: completion time vs `c` (ring topology, `k = 2` core).
-pub fn e2_vs_c(cfg: &ExpConfig) -> Table {
-    let cs: &[usize] = if cfg.quick { &[4, 8] } else { &[4, 6, 8, 12, 16] };
+/// Builds the E2 table from a finished campaign report (one arm per
+/// swept `c`, as laid out by [`super::campaigns::e2_spec`]).
+pub(super) fn e2_table(cfg: &ExpConfig, report: &crate::campaign::CampaignReport) -> Table {
     let mut t = Table::new(
         "E2 (Thm 4): CSEEK completion time vs c  (ring, k = kmax = 2, Δ = 2)",
         &["c", "mean slots", "success", "slots/c^2", "schedule slots"],
     );
     let mut xs = Vec::new();
     let mut ys = Vec::new();
-    for &c in cs {
-        let scn = e2_scenario(cfg.quick, c, cfg.seed);
-        let (mean, frac, sched) = measure(&scn, cfg.trials(), cfg.seed ^ 0xE2);
+    for (a, &c) in e2_cs(cfg).iter().enumerate() {
+        let built = e2_scenario(cfg.quick, c, cfg.seed).build().expect("scenario builds");
+        let sched = SeekParams::default().schedule(&built.model).total_slots();
+        let (mean, frac) = summarize_trials(&report.done_outputs(a));
         if let Some(m) = mean {
             xs.push(c as f64);
             ys.push(m);
@@ -91,6 +101,21 @@ pub fn e2_vs_c(cfg: &ExpConfig) -> Table {
         ));
     }
     t
+}
+
+/// E2: completion time vs `c` (ring topology, `k = 2` core). Runs as an
+/// in-memory campaign (no journal, no faults) — the resumable variant is
+/// [`super::campaigns::run_e2`] — with unit outputs bit-identical to the
+/// plain [`discovery_trials`] path.
+pub fn e2_vs_c(cfg: &ExpConfig) -> Table {
+    let report = super::campaigns::run_e2(
+        cfg,
+        super::campaigns::default_threads(cfg),
+        None,
+        &crate::campaign::FaultPlan::none(),
+    )
+    .expect("in-memory campaign cannot fail on journal I/O");
+    e2_table(cfg, &report)
 }
 
 /// E3: completion time vs `k` (ring topology, fixed `c = 12`).

@@ -10,6 +10,7 @@
 //! absolute numbers from a testbed.
 
 pub mod ablation;
+pub mod campaigns;
 pub mod compare;
 pub mod count;
 pub mod cseek_scaling;

@@ -9,26 +9,36 @@
 //! gracefully CSEEK, CGCAST, and COUNT degrade as the PU duty cycle grows,
 //! and E12b stacks PU churn on top of an in-network jammer — the
 //! worst-case "hostile spectrum" regime.
+//!
+//! Both sweeps run as [`crate::campaign`] campaigns (see
+//! [`super::campaigns`]): each `(primitive, duty)` point is an arm, each
+//! trial a unit, and the table builders below consume the campaign
+//! report. This module owns the physics — scenario setup, per-unit trial
+//! execution over a reusable [`EngineCell`], and table presentation.
 
+use super::campaigns;
 use super::ExpConfig;
-use crate::runner::{summarize_trials, Trial, PROBE_EVERY};
-use crate::scenario::Scenario;
+use crate::campaign::FaultPlan;
+use crate::runner::{EngineCell, Trial, TrialOpts};
+use crate::scenario::{Built, Scenario};
 use crate::table::{fmt_f, fmt_opt, Table};
 use crn_core::adversary::{JamStrategy, Jammer, NodeRole};
 use crn_core::cgcast::CGCast;
 use crn_core::count::{CountProtocol, Role};
-use crn_core::params::{CountParams, GcastParams, ModelInfo, SeekParams};
+use crn_core::params::{
+    CountParams, CountSchedule, GcastParams, GcastSchedule, ModelInfo, SeekParams, SeekSchedule,
+};
 use crn_core::seek::CSeek;
 use crn_core::SpectrumDynamics;
 use crn_sim::channels::ChannelModel;
 use crn_sim::topology::Topology;
-use crn_sim::{Engine, GlobalChannel, LocalChannel, NodeId};
+use crn_sim::{Engine, GlobalChannel, LocalChannel, Network, NodeId, Protocol};
 
 /// Mean primary-user busy sojourn, in slots, for the duty-cycle sweeps.
 const MEAN_BUSY: f64 = 4.0;
 
 /// The swept PU duty cycles.
-fn duties(cfg: &ExpConfig) -> &'static [f64] {
+pub(super) fn duties(cfg: &ExpConfig) -> &'static [f64] {
     // 0.8 is the exact ceiling a per-slot chain with mean busy sojourn 4
     // can realize (p_busy = 1); `markov_with_duty` rejects anything above.
     if cfg.quick {
@@ -38,14 +48,226 @@ fn duties(cfg: &ExpConfig) -> &'static [f64] {
     }
 }
 
-/// Installs `dynamics` with per-slot history recording off: the arms read
-/// only `Counters` aggregates, so the per-slot busy log would be pure
-/// allocation overhead across thousands of trial slots.
-fn install_spectrum<P: crn_sim::Protocol>(eng: &mut Engine<'_, P>, dynamics: &SpectrumDynamics) {
-    eng.set_spectrum(dynamics.clone());
-    if let Some(sp) = eng.spectrum_mut() {
-        sp.set_record_history(false);
+/// The Markov on/off PU process at one swept duty cycle.
+pub(super) fn dynamics_at(duty: f64) -> SpectrumDynamics {
+    SpectrumDynamics::markov_with_duty(duty, MEAN_BUSY)
+}
+
+/// E12's sweep sizes: `(n_seek, n_gcast, m_count)`.
+pub(super) fn e12_sizes(cfg: &ExpConfig) -> (usize, usize, usize) {
+    if cfg.quick {
+        (6, 5, 8)
+    } else {
+        (8, 6, 16)
     }
+}
+
+/// The CSEEK arena: a shared-core clique of `n` nodes.
+pub(super) fn cseek_setup(cfg: &ExpConfig, n: usize) -> (Built, SeekSchedule) {
+    let scn = Scenario::new(
+        "e12-cseek",
+        Topology::Complete { n },
+        ChannelModel::SharedCore { c: 6, core: 3 },
+        cfg.seed,
+    );
+    let built = scn.build().expect("scenario builds");
+    let sched = SeekParams::default().schedule(&built.model);
+    (built, sched)
+}
+
+/// The CGCAST arena: a shared-core clique with diameter-sized phases.
+pub(super) fn cgcast_setup(cfg: &ExpConfig, n: usize) -> (Built, GcastSchedule) {
+    let scn = Scenario::new(
+        "e12-cgcast",
+        Topology::Complete { n },
+        ChannelModel::SharedCore { c: 6, core: 3 },
+        cfg.seed ^ 0x51,
+    );
+    let built = scn.build().expect("scenario builds");
+    let d = built.net.stats().diameter.expect("clique is connected");
+    let model = ModelInfo::from_stats(&built.net.stats());
+    let sched = GcastParams { dissemination_phases: d, ..Default::default() }.schedule(&model);
+    (built, sched)
+}
+
+/// The COUNT arena of E1: one listener adjacent to `m` broadcasters on one
+/// shared channel (plus private padding).
+pub(super) fn count_setup(m: usize) -> (Network, CountSchedule) {
+    let net = super::count::count_arena(m);
+    let model = ModelInfo { n: 256, c: 2, delta: 256, k: 1, kmax: 1 };
+    let sched = CountParams::default().schedule(&model);
+    (net, sched)
+}
+
+/// The E12b arena: `n` nodes total (honest + jammers) on a shared core.
+pub(super) fn e12b_setup(cfg: &ExpConfig, n: usize) -> (Built, SeekSchedule) {
+    let scn = Scenario::new(
+        format!("e12b-n{n}"),
+        Topology::Complete { n },
+        ChannelModel::SharedCore { c: E12B_C, core: 3 },
+        cfg.seed ^ 0xB0,
+    );
+    let built = scn.build().expect("scenario builds");
+    let sched = SeekParams::default().schedule(&built.model);
+    (built, sched)
+}
+
+/// Channels per node in the E12b arena.
+pub(super) const E12B_C: usize = 6;
+
+/// Per-trial engine seeds — one formula per arm family, all preserved
+/// from the original hand-rolled loops so results stay bit-identical.
+pub(super) fn cseek_seed(cfg: &ExpConfig, trial: usize) -> u64 {
+    cfg.seed ^ 0xE12 ^ ((trial as u64) << 16)
+}
+/// See [`cseek_seed`].
+pub(super) fn cgcast_seed(cfg: &ExpConfig, trial: usize) -> u64 {
+    cfg.seed ^ 0xE12B ^ ((trial as u64) << 16)
+}
+/// See [`cseek_seed`].
+pub(super) fn count_seed(cfg: &ExpConfig, trial: usize) -> u64 {
+    cfg.seed ^ 0xC0 ^ ((trial as u64) << 16)
+}
+/// See [`cseek_seed`].
+pub(super) fn e12b_seed(cfg: &ExpConfig, trial: usize) -> u64 {
+    cfg.seed ^ 0xB12 ^ ((trial as u64) << 16)
+}
+
+/// One CSEEK trial on `net` (success = every ordered pair discovered
+/// within the fixed schedule), over a reusable engine cell.
+pub(super) fn cseek_trial<'net>(
+    cell: &mut EngineCell<'net, CSeek>,
+    net: &'net Network,
+    sched: SeekSchedule,
+    n: usize,
+    seed: u64,
+    opts: &TrialOpts,
+) -> Trial {
+    cell.run_trial(
+        net,
+        |ctx| CSeek::new(ctx.id, sched, false),
+        seed,
+        sched.total_slots(),
+        opts,
+        |_s, e: &Engine<'_, CSeek>| {
+            let mut done = true;
+            e.for_each_protocol(|v, p| {
+                let found = (0..n)
+                    .filter(|&w| w != v.index())
+                    .filter(|&w| {
+                        crn_core::discovery::DiscoveryProtocol::has_discovered(p, NodeId(w as u32))
+                    })
+                    .count();
+                done &= found == n - 1;
+            });
+            done
+        },
+    )
+}
+
+/// One CGCAST trial from source node 0 (success = every node informed
+/// when the schedule ends), over a reusable engine cell.
+pub(super) fn cgcast_trial<'net>(
+    cell: &mut EngineCell<'net, CGCast>,
+    net: &'net Network,
+    sched: GcastSchedule,
+    seed: u64,
+    opts: &TrialOpts,
+) -> Trial {
+    cell.run_trial(
+        net,
+        |ctx| CGCast::new(ctx.id, sched, (ctx.id == NodeId(0)).then_some(5)),
+        seed,
+        sched.total_slots(),
+        opts,
+        |_s, e: &Engine<'_, CGCast>| {
+            let mut done = true;
+            e.for_each_protocol(|_, p| done &= p.is_informed());
+            done
+        },
+    )
+}
+
+/// One COUNT trial (success = listener estimate in `[m, 4m]`, Lemma 1's
+/// guarantee). COUNT has a fixed schedule and its estimate is only final
+/// once all rounds have run, so the probe fires — if at all — at the
+/// run's closing probe evaluation; the slot columns are normalized to the
+/// schedule length, exactly as the pre-campaign arm reported them.
+pub(super) fn count_trial<'net>(
+    cell: &mut EngineCell<'net, CountProtocol>,
+    net: &'net Network,
+    sched: CountSchedule,
+    m: usize,
+    seed: u64,
+    opts: &TrialOpts,
+) -> Trial {
+    let mut t = cell.run_trial(
+        net,
+        |ctx| {
+            let role = if ctx.id == NodeId(0) { Role::Listener } else { Role::Broadcaster };
+            // E1's arena alternates label order, so the shared channel's
+            // local label differs per node.
+            let ch = net.global_to_local(ctx.id, GlobalChannel(0)).unwrap_or(LocalChannel(0));
+            CountProtocol::new(ctx.id, role, sched, ch)
+        },
+        seed,
+        sched.total_slots(),
+        opts,
+        |_s, e: &Engine<'_, CountProtocol>| {
+            let p = e.protocol(NodeId(0));
+            if !p.is_complete() {
+                return false;
+            }
+            let est = p.estimate() as usize;
+            est >= m && est <= 4 * m
+        },
+    );
+    t.completed_at = t.completed_at.map(|_| sched.total_slots());
+    t.slots_run = sched.total_slots();
+    t
+}
+
+/// One E12b trial: CSEEK among `honest` nodes while the remaining nodes
+/// sweep-jam, over a reusable engine cell.
+pub(super) fn e12b_trial<'net>(
+    cell: &mut EngineCell<'net, NodeRole<CSeek>>,
+    net: &'net Network,
+    sched: SeekSchedule,
+    honest: usize,
+    seed: u64,
+    opts: &TrialOpts,
+) -> Trial {
+    cell.run_trial(
+        net,
+        |ctx| {
+            if ctx.id.index() >= honest {
+                NodeRole::Adversary(Jammer::new(E12B_C as u16, JamStrategy::Sweep, ctx.id))
+            } else {
+                NodeRole::Honest(CSeek::new(ctx.id, sched, false))
+            }
+        },
+        seed,
+        sched.total_slots(),
+        opts,
+        |_s, e: &Engine<'_, NodeRole<CSeek>>| {
+            let mut done = true;
+            e.for_each_protocol(|v, p| {
+                if let Some(cs) = p.honest() {
+                    let found = (0..honest)
+                        .filter(|&w| w != v.index())
+                        .filter(|&w| {
+                            crn_core::discovery::DiscoveryProtocol::has_discovered(
+                                cs,
+                                NodeId(w as u32),
+                            )
+                        })
+                        .count();
+                    done &= found == honest - 1;
+                }
+            });
+            done
+        },
+    )
 }
 
 /// Per-(primitive, duty) aggregates.
@@ -56,13 +278,13 @@ struct Arm {
     collisions: u64,
 }
 
-fn summarize(results: &[Trial], pu_blocked: u64) -> Arm {
-    let (mean_slots, success) = summarize_trials(results);
+fn summarize(results: &[Trial]) -> Arm {
+    let (mean_slots, success) = crate::runner::summarize_trials(results);
     let n = results.len().max(1) as u64;
     Arm {
         success,
         mean_slots,
-        pu_blocked: pu_blocked / n,
+        pu_blocked: results.iter().map(|r| r.counters.pu_blocked_listens).sum::<u64>() / n,
         collisions: results.iter().map(|r| r.counters.collisions).sum::<u64>() / n,
     }
 }
@@ -78,130 +300,11 @@ fn push_arm(t: &mut Table, primitive: &str, duty: f64, arm: Arm) {
     ]);
 }
 
-/// CSEEK on a shared-core clique: success = every ordered pair discovered
-/// within the fixed schedule.
-fn cseek_arm(cfg: &ExpConfig, n: usize, dynamics: &SpectrumDynamics) -> Arm {
-    let scn = Scenario::new(
-        "e12-cseek",
-        Topology::Complete { n },
-        ChannelModel::SharedCore { c: 6, core: 3 },
-        cfg.seed,
-    );
-    let built = scn.build().expect("scenario builds");
-    let sched = SeekParams::default().schedule(&built.model);
-    let mut results = Vec::new();
-    let mut pu_blocked = 0u64;
-    for trial in 0..cfg.trials() {
-        let seed = cfg.seed ^ 0xE12 ^ ((trial as u64) << 16);
-        let mut eng = Engine::new(&built.net, seed, |ctx| CSeek::new(ctx.id, sched, false));
-        install_spectrum(&mut eng, dynamics);
-        let mut probe = |_s: u64, e: &Engine<'_, CSeek>| {
-            let mut done = true;
-            e.for_each_protocol(|v, p| {
-                let found = (0..n)
-                    .filter(|&w| w != v.index())
-                    .filter(|&w| {
-                        crn_core::discovery::DiscoveryProtocol::has_discovered(p, NodeId(w as u32))
-                    })
-                    .count();
-                done &= found == n - 1;
-            });
-            done
-        };
-        let outcome = eng.run(sched.total_slots(), Some((PROBE_EVERY, &mut probe)));
-        pu_blocked += eng.counters().pu_blocked_listens;
-        results.push(Trial {
-            seed,
-            completed_at: outcome.completed_at,
-            slots_run: outcome.slots_run,
-            counters: eng.counters(),
-        });
-    }
-    summarize(&results, pu_blocked)
-}
-
-/// CGCAST from one source on a shared-core clique: success = every node
-/// informed when the schedule ends; completion slot probed on the way.
-fn cgcast_arm(cfg: &ExpConfig, n: usize, dynamics: &SpectrumDynamics) -> Arm {
-    let scn = Scenario::new(
-        "e12-cgcast",
-        Topology::Complete { n },
-        ChannelModel::SharedCore { c: 6, core: 3 },
-        cfg.seed ^ 0x51,
-    );
-    let built = scn.build().expect("scenario builds");
-    let d = built.net.stats().diameter.expect("clique is connected");
-    let model = ModelInfo::from_stats(&built.net.stats());
-    let sched = GcastParams { dissemination_phases: d, ..Default::default() }.schedule(&model);
-    let mut results = Vec::new();
-    let mut pu_blocked = 0u64;
-    for trial in 0..cfg.trials() {
-        let seed = cfg.seed ^ 0xE12B ^ ((trial as u64) << 16);
-        let mut eng = Engine::new(&built.net, seed, |ctx| {
-            CGCast::new(ctx.id, sched, (ctx.id == NodeId(0)).then_some(5))
-        });
-        install_spectrum(&mut eng, dynamics);
-        let mut probe = |_s: u64, e: &Engine<'_, CGCast>| {
-            let mut done = true;
-            e.for_each_protocol(|_, p| done &= p.is_informed());
-            done
-        };
-        let outcome = eng.run(sched.total_slots(), Some((PROBE_EVERY, &mut probe)));
-        pu_blocked += eng.counters().pu_blocked_listens;
-        results.push(Trial {
-            seed,
-            completed_at: outcome.completed_at,
-            slots_run: outcome.slots_run,
-            counters: eng.counters(),
-        });
-    }
-    summarize(&results, pu_blocked)
-}
-
-/// The COUNT arena of E1: one listener adjacent to `m` broadcasters on one
-/// shared channel (plus private padding). Success = estimate in `[m, 4m]`
-/// (Lemma 1's guarantee); COUNT has a fixed schedule, so the slot column
-/// reports the schedule length.
-fn count_arm(cfg: &ExpConfig, m: usize, dynamics: &SpectrumDynamics) -> Arm {
-    let net = super::count::count_arena(m);
-    let model = ModelInfo { n: 256, c: 2, delta: 256, k: 1, kmax: 1 };
-    let sched = CountParams::default().schedule(&model);
-    let mut results = Vec::new();
-    let mut pu_blocked = 0u64;
-    for trial in 0..cfg.trials() {
-        let seed = cfg.seed ^ 0xC0 ^ ((trial as u64) << 16);
-        let mut eng = Engine::new(&net, seed, |ctx| {
-            let role = if ctx.id == NodeId(0) { Role::Listener } else { Role::Broadcaster };
-            // E1's arena alternates label order, so the shared channel's
-            // local label differs per node.
-            let ch = net.global_to_local(ctx.id, GlobalChannel(0)).unwrap_or(LocalChannel(0));
-            CountProtocol::new(ctx.id, role, sched, ch)
-        });
-        install_spectrum(&mut eng, dynamics);
-        eng.run_to_completion(sched.total_slots());
-        pu_blocked += eng.counters().pu_blocked_listens;
-        let est = eng.counters();
-        let estimate = {
-            let outs = eng.into_outputs();
-            outs[0].estimate as usize
-        };
-        let ok = estimate >= m && estimate <= 4 * m;
-        results.push(Trial {
-            seed,
-            completed_at: ok.then_some(sched.total_slots()),
-            slots_run: sched.total_slots(),
-            counters: est,
-        });
-    }
-    summarize(&results, pu_blocked)
-}
-
-/// E12: CSEEK / CGCAST / COUNT success and completion slots vs primary-user
-/// duty cycle (Markov on/off channels, mean busy sojourn 4 slots).
-pub fn e12_pu_churn(cfg: &ExpConfig) -> Table {
-    let n_seek = if cfg.quick { 6 } else { 8 };
-    let n_gcast = if cfg.quick { 5 } else { 6 };
-    let m_count = if cfg.quick { 8 } else { 16 };
+/// Builds the E12 table from a finished campaign report (arm order:
+/// `[CSEEK, CGCAST, COUNT] × duty`, as laid out by
+/// [`campaigns::e12_spec`]).
+pub(super) fn e12_table(cfg: &ExpConfig, report: &crate::campaign::CampaignReport) -> Table {
+    let (_, _, m_count) = e12_sizes(cfg);
     let mut t = Table::new(
         format!(
             "E12 (extension): primitives under primary-user churn — Markov on/off channels, \
@@ -216,11 +319,11 @@ pub fn e12_pu_churn(cfg: &ExpConfig) -> Table {
             "collisions/trial",
         ],
     );
-    for &duty in duties(cfg) {
-        let dynamics = SpectrumDynamics::markov_with_duty(duty, MEAN_BUSY);
-        push_arm(&mut t, "CSEEK", duty, cseek_arm(cfg, n_seek, &dynamics));
-        push_arm(&mut t, "CGCAST", duty, cgcast_arm(cfg, n_gcast, &dynamics));
-        push_arm(&mut t, &format!("COUNT (m={m_count})"), duty, count_arm(cfg, m_count, &dynamics));
+    for (d, &duty) in duties(cfg).iter().enumerate() {
+        let outputs = |kind: usize| report.done_outputs(d * 3 + kind);
+        push_arm(&mut t, "CSEEK", duty, summarize(&outputs(0)));
+        push_arm(&mut t, "CGCAST", duty, summarize(&outputs(1)));
+        push_arm(&mut t, &format!("COUNT (m={m_count})"), duty, summarize(&outputs(2)));
     }
     t.push_note(
         "Every channel is an on/off PU process; a busy channel swallows broadcasts and \
@@ -231,68 +334,19 @@ pub fn e12_pu_churn(cfg: &ExpConfig) -> Table {
     t
 }
 
-/// E12b: PU churn stacked on an in-network sweep jammer (the robustness
-/// worst case: hostile spectrum *and* a hostile node).
-pub fn e12b_churn_plus_jamming(cfg: &ExpConfig) -> Table {
-    let honest = if cfg.quick { 5 } else { 7 };
-    let c = 6;
-    let core = 3;
+/// Builds the E12b table from a finished campaign report (arm order:
+/// `jammers ∈ {0, 1}` per duty, as laid out by [`campaigns::e12b_spec`]).
+pub(super) fn e12b_table(cfg: &ExpConfig, report: &crate::campaign::CampaignReport) -> Table {
     let mut t = Table::new(
         "E12b (extension): CSEEK under combined PU churn and sweep jamming".to_string(),
         &["PU duty cycle", "jammers", "success", "mean slots to complete", "collisions/trial"],
     );
-    for &duty in duties(cfg) {
-        let dynamics = SpectrumDynamics::markov_with_duty(duty, MEAN_BUSY);
+    for (d, &duty) in duties(cfg).iter().enumerate() {
         for jammers in [0usize, 1] {
-            let n = honest + jammers;
-            let scn = Scenario::new(
-                format!("e12b-d{duty}-j{jammers}"),
-                Topology::Complete { n },
-                ChannelModel::SharedCore { c, core },
-                cfg.seed ^ 0xB0,
-            );
-            let built = scn.build().expect("scenario builds");
-            let sched = SeekParams::default().schedule(&built.model);
-            let mut results = Vec::new();
-            for trial in 0..cfg.trials() {
-                let seed = cfg.seed ^ 0xB12 ^ ((trial as u64) << 16);
-                let mut eng = Engine::new(&built.net, seed, |ctx| {
-                    if ctx.id.index() >= honest {
-                        NodeRole::Adversary(Jammer::new(c as u16, JamStrategy::Sweep, ctx.id))
-                    } else {
-                        NodeRole::Honest(CSeek::new(ctx.id, sched, false))
-                    }
-                });
-                install_spectrum(&mut eng, &dynamics);
-                let mut probe = |_s: u64, e: &Engine<'_, NodeRole<CSeek>>| {
-                    let mut done = true;
-                    e.for_each_protocol(|v, p| {
-                        if let Some(cs) = p.honest() {
-                            let found = (0..honest)
-                                .filter(|&w| w != v.index())
-                                .filter(|&w| {
-                                    crn_core::discovery::DiscoveryProtocol::has_discovered(
-                                        cs,
-                                        NodeId(w as u32),
-                                    )
-                                })
-                                .count();
-                            done &= found == honest - 1;
-                        }
-                    });
-                    done
-                };
-                let outcome = eng.run(sched.total_slots(), Some((PROBE_EVERY, &mut probe)));
-                results.push(Trial {
-                    seed,
-                    completed_at: outcome.completed_at,
-                    slots_run: outcome.slots_run,
-                    counters: eng.counters(),
-                });
-            }
-            let (mean, frac) = summarize_trials(&results);
-            let collisions =
-                results.iter().map(|r| r.counters.collisions).sum::<u64>() / results.len() as u64;
+            let results = report.done_outputs(d * 2 + jammers);
+            let (mean, frac) = crate::runner::summarize_trials(&results);
+            let collisions = results.iter().map(|r| r.counters.collisions).sum::<u64>()
+                / results.len().max(1) as u64;
             t.push_row(vec![
                 fmt_f(duty),
                 jammers.to_string(),
@@ -309,6 +363,26 @@ pub fn e12b_churn_plus_jamming(cfg: &ExpConfig) -> Table {
          robustness provisioning must size for.",
     );
     t
+}
+
+/// E12: CSEEK / CGCAST / COUNT success and completion slots vs primary-user
+/// duty cycle (Markov on/off channels, mean busy sojourn 4 slots). Runs as
+/// an in-memory campaign (no journal, no faults) — the resumable variant
+/// is [`campaigns::run_e12`].
+pub fn e12_pu_churn(cfg: &ExpConfig) -> Table {
+    let report = campaigns::run_e12(cfg, campaigns::default_threads(cfg), None, &FaultPlan::none())
+        .expect("in-memory campaign cannot fail on journal I/O");
+    e12_table(cfg, &report)
+}
+
+/// E12b: PU churn stacked on an in-network sweep jammer (the robustness
+/// worst case: hostile spectrum *and* a hostile node). Runs as an
+/// in-memory campaign; the resumable variant is [`campaigns::run_e12b`].
+pub fn e12b_churn_plus_jamming(cfg: &ExpConfig) -> Table {
+    let report =
+        campaigns::run_e12b(cfg, campaigns::default_threads(cfg), None, &FaultPlan::none())
+            .expect("in-memory campaign cannot fail on journal I/O");
+    e12b_table(cfg, &report)
 }
 
 #[cfg(test)]

@@ -6,6 +6,11 @@
 //!   model + seed);
 //! * [`runner`] — multi-trial parallel runners with ground-truth probes
 //!   (time to full discovery, time to all-informed);
+//! * [`campaign`] — resumable, fault-tolerant campaigns on top of the
+//!   runners: an `ArmResult` flow-control lifecycle (the runner owns
+//!   retries, backoff, and per-arm circuit breakers), an append-only
+//!   journal for exact checkpoint/resume, and deterministic fault
+//!   injection for testing the harness itself;
 //! * [`table`] — markdown/CSV result tables;
 //! * [`theory`] — the paper's bounds as unit-constant reference curves;
 //! * [`experiments`] — one module per paper claim (E1–E10, A1–A3; see
@@ -25,6 +30,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod campaign;
 pub mod experiments;
 pub mod runner;
 pub mod scenario;

@@ -16,7 +16,7 @@
 use crn_core::baselines::NaiveBroadcast;
 use crn_core::cgcast::CGCast;
 use crn_core::discovery::{all_discovered, all_good_discovered, DiscoveryProtocol};
-use crn_sim::{Counters, Engine, Network, NodeCtx, NodeId, Protocol, Resolver};
+use crn_sim::{Counters, Engine, Network, NodeCtx, NodeId, Protocol, Resolver, SpectrumDynamics};
 
 /// How each trial's engine executes: the slot resolution strategy, including
 /// the number of phase-2 shard threads when parallel resolution is wanted.
@@ -59,6 +59,31 @@ impl EngineExec {
     /// Safe to use anywhere: results never depend on the thread count.
     pub fn sharded_auto() -> EngineExec {
         EngineExec::sharded(std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1))
+    }
+}
+
+/// Full execution options for the stateful trial runners: the engine
+/// execution mode plus an optional primary-user spectrum process installed
+/// in every trial engine. Spectrum draws are keyed by `(trial seed, slot,
+/// channel)`, so — like the resolver knob — engine reuse, worker count, and
+/// claim order never change a single [`Trial`].
+#[derive(Debug, Clone, Default)]
+pub struct TrialOpts {
+    /// The resolution strategy trial engines run with.
+    pub exec: EngineExec,
+    /// Primary-user dynamics installed per engine (`None` ≡
+    /// [`SpectrumDynamics::Static`], i.e. a clean spectrum). Installed
+    /// with per-slot history recording off: the runners read only
+    /// [`Counters`] aggregates, so the busy log would be pure allocation
+    /// overhead across a sweep's thousands of trial slots.
+    pub spectrum: Option<SpectrumDynamics>,
+}
+
+impl TrialOpts {
+    /// Options with `dynamics` installed (and the default sequential
+    /// engine — trials themselves already run in parallel).
+    pub fn with_spectrum(dynamics: SpectrumDynamics) -> TrialOpts {
+        TrialOpts { exec: EngineExec::default(), spectrum: Some(dynamics) }
     }
 }
 
@@ -149,13 +174,117 @@ pub(crate) fn run_parallel_stateful<T: Send, S>(
     results.into_iter().map(|(_, r)| r).collect()
 }
 
-/// The shared trial driver: `trials` runs of the protocol built by `make`
-/// on `net`, each capped at `max_slots` and probed every [`PROBE_EVERY`]
-/// slots with `probe`. Each worker lazily constructs **one** engine on its
-/// first claimed trial and re-arms it with [`Engine::reset`] for every
-/// later one — engine setup (translation table, buckets, shard scratch,
-/// pool threads under [`EngineExec::sharded`]) is paid once per worker,
-/// not once per trial.
+/// One worker's lazily-created, reusable trial engine: the
+/// create-or-[`Engine::reset`] idiom the stateful runners use, packaged so
+/// campaign arms (which schedule one trial per unit rather than a whole
+/// sweep per call) get the same engine reuse. Hold one cell per (worker,
+/// network) pair — a cell's engine is bound to the network of its first
+/// trial.
+pub struct EngineCell<'net, P: Protocol> {
+    eng: Option<Engine<'net, P>>,
+}
+
+impl<'net, P: Protocol> Default for EngineCell<'net, P> {
+    fn default() -> Self {
+        EngineCell::new()
+    }
+}
+
+impl<'net, P: Protocol> EngineCell<'net, P> {
+    /// An empty cell; the engine is built on the first trial.
+    pub fn new() -> Self {
+        EngineCell { eng: None }
+    }
+
+    /// Runs one trial at `seed` on `net`, reusing the cell's engine when
+    /// present (re-armed via [`Engine::reset`] — observationally identical
+    /// to a fresh engine) and installing `opts`' spectrum dynamics. The
+    /// probe is evaluated every [`PROBE_EVERY`] slots; pass
+    /// `|_, _| false` to run the full schedule.
+    ///
+    /// # Panics
+    /// Panics if called with a different `net` than the cell's first trial
+    /// (an engine is bound to its network).
+    pub fn run_trial(
+        &mut self,
+        net: &'net Network,
+        make: impl FnMut(NodeCtx) -> P,
+        seed: u64,
+        max_slots: u64,
+        opts: &TrialOpts,
+        mut probe: impl FnMut(u64, &Engine<'net, P>) -> bool,
+    ) -> Trial
+    where
+        P: Send,
+        P::Message: Send,
+    {
+        let eng = match &mut self.eng {
+            Some(eng) => {
+                assert!(
+                    std::ptr::eq(eng.network(), net),
+                    "EngineCell reused across different networks"
+                );
+                eng.reset(seed, make);
+                eng
+            }
+            None => self.eng.insert(Engine::with_resolver(net, seed, opts.exec.resolver, make)),
+        };
+        // (Re-)install the spectrum process every trial: campaign arms may
+        // run sweep points with different dynamics through one cell, and
+        // `None` must uninstall a predecessor's process. Draws are keyed
+        // by (seed, slot, channel), so installation order can never change
+        // results.
+        eng.set_spectrum(opts.spectrum.clone().unwrap_or(SpectrumDynamics::Static));
+        if let Some(sp) = eng.spectrum_mut() {
+            sp.set_record_history(false);
+        }
+        let mut probe_dyn = |s: u64, e: &Engine<'net, P>| probe(s, e);
+        let outcome = eng.run(max_slots, Some((PROBE_EVERY, &mut probe_dyn)));
+        Trial {
+            seed: eng.seed(),
+            completed_at: outcome.completed_at,
+            slots_run: outcome.slots_run,
+            counters: eng.counters(),
+        }
+    }
+}
+
+/// The fully-general stateful trial driver: `trials` runs of the protocol
+/// built by `make` on `net`, each seeded by `seed_of(trial index)`, capped
+/// at `max_slots`, probed every [`PROBE_EVERY`] slots with `probe`, and
+/// executed under `opts` (engine mode + optional spectrum dynamics). Each
+/// worker lazily constructs **one** engine on its first claimed trial and
+/// re-arms it with [`Engine::reset`] for every later one — engine setup
+/// (translation table, buckets, shard scratch, pool threads under
+/// [`EngineExec::sharded`]) is paid once per worker, not once per trial.
+///
+/// Results are a pure function of the trial index — worker count, claim
+/// order, and engine reuse never change a [`Trial`].
+pub fn stateful_trials<P, F, Pr>(
+    net: &Network,
+    make: F,
+    trials: usize,
+    seed_of: impl Fn(usize) -> u64 + Sync,
+    max_slots: u64,
+    opts: &TrialOpts,
+    probe: Pr,
+) -> Vec<Trial>
+where
+    P: Protocol + Send,
+    P::Message: Send,
+    F: Fn(NodeCtx) -> P + Sync,
+    Pr: Fn(u64, &Engine<'_, P>) -> bool + Sync,
+{
+    run_parallel_stateful(
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(trials.max(1)),
+        trials,
+        EngineCell::new,
+        |cell, i| cell.run_trial(net, &make, seed_of(i), max_slots, opts, |s, e| probe(s, e)),
+    )
+}
+
+/// The shared trial driver for consecutive seeds `base_seed + i` on a
+/// clean spectrum — see [`stateful_trials`].
 fn engine_trials<P, F, Pr>(
     net: &Network,
     make: F,
@@ -171,28 +300,15 @@ where
     F: Fn(NodeCtx) -> P + Sync,
     Pr: Fn(u64, &Engine<'_, P>) -> bool + Sync,
 {
-    run_parallel_stateful(
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(trials.max(1)),
+    let opts = TrialOpts { exec, spectrum: None };
+    stateful_trials(
+        net,
+        make,
         trials,
-        || None::<Engine<'_, P>>,
-        |slot, i| {
-            let seed = base_seed.wrapping_add(i as u64);
-            let eng = match slot {
-                Some(eng) => {
-                    eng.reset(seed, &make);
-                    eng
-                }
-                None => slot.insert(Engine::with_resolver(net, seed, exec.resolver, &make)),
-            };
-            let mut probe = |s: u64, e: &Engine<'_, P>| probe(s, e);
-            let outcome = eng.run(max_slots, Some((PROBE_EVERY, &mut probe)));
-            Trial {
-                seed,
-                completed_at: outcome.completed_at,
-                slots_run: outcome.slots_run,
-                counters: eng.counters(),
-            }
-        },
+        |i| base_seed.wrapping_add(i as u64),
+        max_slots,
+        &opts,
+        probe,
     )
 }
 

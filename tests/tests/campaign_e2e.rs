@@ -1,0 +1,327 @@
+//! End-to-end tests of the resumable campaign layer: the kill/resume
+//! differential (a campaign killed at any trial boundary and resumed must
+//! be **bit-identical** — report and journal bytes — to an uninterrupted
+//! run, at every thread count), breaker/retry accounting through the
+//! journal, refusal paths (config mismatch, mid-file corruption), torn-tail
+//! recovery, and property tests of the journal encoding.
+
+use crn_sim::Counters;
+use crn_workloads::campaign::{
+    run_campaign, ArmResult, ArmSpec, BreakerConfig, CampaignError, CampaignOutcome, CampaignSpec,
+    FaultPlan, InjectRetryable, Journal, JournalError, Record, RetryPolicy, TrialState, Unit,
+};
+use crn_workloads::experiments::{campaigns, ExpConfig};
+use crn_workloads::runner::Trial;
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("crn-campaign-e2e-{}-{name}.crnj", std::process::id()));
+    std::fs::remove_file(&p).ok();
+    p
+}
+
+fn quick_cfg() -> ExpConfig {
+    ExpConfig { quick: true, trials: 3, seed: 31 }
+}
+
+/// A synthetic unit runner: no engines, just a recognizable pure function
+/// of `(arm, trial, attempt)` — fast enough to sweep every kill point.
+fn synth_unit(u: &Unit) -> ArmResult<Trial> {
+    ArmResult::Done {
+        output: Trial {
+            seed: ((u.arm as u64) << 32) | u.trial as u64,
+            completed_at: Some(7 + u.trial as u64),
+            slots_run: 64,
+            counters: Counters { slots: 64, deliveries: u.arm as u64, ..Counters::default() },
+        },
+    }
+}
+
+fn synth_spec() -> CampaignSpec {
+    CampaignSpec::new(
+        "synthetic-kill-sweep",
+        vec![ArmSpec::new("a", 3), ArmSpec::new("b", 2), ArmSpec::new("c", 2)],
+        5,
+    )
+}
+
+// ---------------------------------------------------------------------
+// The headline differential, on a real experiment campaign (E2)
+// ---------------------------------------------------------------------
+
+#[test]
+fn e2_kill_resume_is_bit_identical_across_threads() {
+    let cfg = quick_cfg();
+    let baseline = campaigns::run_e2(&cfg, 2, None, &FaultPlan::none()).unwrap();
+    assert_eq!(baseline.outcome, CampaignOutcome::Completed);
+
+    // One uninterrupted *journaled* run: the reference journal bytes.
+    let ref_path = tmp("e2-ref");
+    let uninterrupted = campaigns::run_e2(&cfg, 1, Some(&ref_path), &FaultPlan::none()).unwrap();
+    assert_eq!(uninterrupted.arms, baseline.arms, "journaling must not change results");
+    let ref_bytes = std::fs::read(&ref_path).unwrap();
+
+    for threads in [1usize, 2, 4] {
+        let path = tmp(&format!("e2-kill-t{threads}"));
+        let killed =
+            campaigns::run_e2(&cfg, threads, Some(&path), &FaultPlan::kill_after(2)).unwrap();
+        assert_eq!(killed.outcome, CampaignOutcome::Killed { recorded: 2 });
+
+        let resumed = campaigns::run_e2(&cfg, threads, Some(&path), &FaultPlan::none()).unwrap();
+        assert_eq!(resumed.outcome, CampaignOutcome::Completed);
+        assert!(resumed.resumed, "second run must have restored the journal");
+        assert_eq!(
+            resumed.arms, baseline.arms,
+            "kill/resume at {threads} threads diverged from the uninterrupted campaign"
+        );
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            ref_bytes,
+            "journal bytes diverged at {threads} threads"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+    std::fs::remove_file(&ref_path).ok();
+}
+
+// ---------------------------------------------------------------------
+// Exhaustive kill-point sweep on a synthetic campaign
+// ---------------------------------------------------------------------
+
+#[test]
+fn every_kill_point_resumes_to_identical_journal_and_report() {
+    let spec = synth_spec();
+    let ref_path = tmp("synth-ref");
+    let baseline =
+        run_campaign(&spec, 1, Some(&ref_path), &FaultPlan::none(), || (), |(), u| synth_unit(u))
+            .unwrap();
+    let ref_bytes = std::fs::read(&ref_path).unwrap();
+    std::fs::remove_file(&ref_path).ok();
+
+    for k in 1..spec.total_trials() {
+        let path = tmp(&format!("synth-k{k}"));
+        let killed = run_campaign(
+            &spec,
+            2,
+            Some(&path),
+            &FaultPlan::kill_after(k),
+            || (),
+            |(), u| synth_unit(u),
+        )
+        .unwrap();
+        assert_eq!(killed.outcome, CampaignOutcome::Killed { recorded: k });
+
+        let resumed =
+            run_campaign(&spec, 2, Some(&path), &FaultPlan::none(), || (), |(), u| synth_unit(u))
+                .unwrap();
+        assert_eq!(resumed.outcome, CampaignOutcome::Completed);
+        assert_eq!(resumed.arms, baseline.arms, "kill at {k} diverged");
+        assert_eq!(std::fs::read(&path).unwrap(), ref_bytes, "journal bytes diverged at kill {k}");
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Breaker + retry accounting through the journal
+// ---------------------------------------------------------------------
+
+#[test]
+fn breaker_trips_are_journaled_and_survive_resume() {
+    let mut spec =
+        CampaignSpec::new("faulty", vec![ArmSpec::new("doomed", 3), ArmSpec::new("fine", 3)], 1);
+    spec.retry = RetryPolicy { max_attempts: 3, backoff_base: 1, backoff_cap: 4 };
+    spec.breaker = BreakerConfig { failure_threshold: 2, cooldown_ticks: 2, max_trips: 1 };
+    let fault = FaultPlan {
+        kill_after_trials: None,
+        inject_retryable: vec![InjectRetryable { arm: 0, trial: None, attempts_below: u32::MAX }],
+    };
+
+    let path = tmp("faulty");
+    let report = run_campaign(&spec, 2, Some(&path), &fault, || (), |(), u| synth_unit(u)).unwrap();
+    assert_eq!(report.outcome, CampaignOutcome::Completed, "tripped arm must not stall");
+    let doomed = &report.arms[0];
+    assert!(doomed.tripped, "persistent failures must trip the breaker for good");
+    assert!(doomed.retries > 0, "failures must be charged as retries");
+    assert!(doomed.backoff_ticks > 0, "retries must be scheduled with backoff");
+    assert!(
+        doomed.trials.iter().all(|t| matches!(t, TrialState::Abandoned { .. })),
+        "every doomed unit is abandoned: {:?}",
+        doomed.trials
+    );
+    assert_eq!(report.done_outputs(1).len(), 3, "healthy arm unaffected");
+
+    // The journal holds the whole story: failures, trips, abandonments.
+    let loaded = Journal::load(&path).unwrap();
+    assert!(loaded.records.iter().any(|r| matches!(r, Record::Fail { .. })));
+    assert!(loaded.records.iter().any(|r| matches!(r, Record::Trip { .. })));
+    assert!(loaded.records.iter().any(|r| matches!(r, Record::Abandon { .. })));
+
+    // Resuming the *finished* campaign replays nothing and restores both
+    // terminal states and lifecycle accounting.
+    let resumed = run_campaign(
+        &spec,
+        1,
+        Some(&path),
+        &fault,
+        || (),
+        |(), _| panic!("a finished campaign has nothing left to run"),
+    )
+    .unwrap();
+    assert!(resumed.resumed);
+    assert_eq!(resumed.outcome, CampaignOutcome::Completed);
+    for (a, arm) in resumed.arms.iter().enumerate() {
+        assert_eq!(arm.trials, report.arms[a].trials, "terminal states survive resume");
+    }
+    assert_eq!(resumed.arms[0].retries, report.arms[0].retries, "Fail records restore retries");
+    assert!(resumed.arms[0].tripped, "Trip records restore the permanent trip");
+    std::fs::remove_file(&path).ok();
+}
+
+// ---------------------------------------------------------------------
+// Refusal and recovery paths
+// ---------------------------------------------------------------------
+
+#[test]
+fn changed_spec_refuses_resume() {
+    let path = tmp("mismatch");
+    run_campaign(
+        &synth_spec(),
+        1,
+        Some(&path),
+        &FaultPlan::kill_after(1),
+        || (),
+        |(), u| synth_unit(u),
+    )
+    .unwrap();
+
+    let mut reseeded = synth_spec();
+    reseeded.seed += 1;
+    match run_campaign(&reseeded, 1, Some(&path), &FaultPlan::none(), || (), |(), u| synth_unit(u))
+    {
+        Err(CampaignError::Journal(JournalError::ConfigMismatch { .. })) => {}
+        other => panic!("expected ConfigMismatch, got {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn torn_tail_is_recovered_on_resume() {
+    let spec = synth_spec();
+    let baseline =
+        run_campaign(&spec, 1, None, &FaultPlan::none(), || (), |(), u| synth_unit(u)).unwrap();
+
+    let path = tmp("torn");
+    run_campaign(&spec, 1, Some(&path), &FaultPlan::kill_after(3), || (), |(), u| synth_unit(u))
+        .unwrap();
+    // Simulate a crash mid-append: a half-written record with no newline.
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"done a=2 t=1 attempt=0 se").unwrap();
+    }
+
+    let resumed =
+        run_campaign(&spec, 2, Some(&path), &FaultPlan::none(), || (), |(), u| synth_unit(u))
+            .unwrap();
+    assert!(resumed.recovered_torn_tail, "the torn tail must be detected and truncated");
+    assert_eq!(resumed.outcome, CampaignOutcome::Completed);
+    assert_eq!(resumed.arms, baseline.arms, "recovery must reproduce the lost suffix exactly");
+    std::fs::remove_file(&path).ok();
+}
+
+// ---------------------------------------------------------------------
+// Journal encoding properties
+// ---------------------------------------------------------------------
+
+/// Arbitrary text, biased toward the characters the escaper must handle:
+/// raw bytes through `from_utf8_lossy` produce spaces, `%`, `=`, control
+/// characters, and replacement characters (multi-byte UTF-8).
+fn text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<u8>(), 0..24usize)
+        .prop_map(|v| String::from_utf8_lossy(&v).into_owned())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn done_records_round_trip(
+        arm in 0usize..64,
+        trial in 0usize..1024,
+        attempt in 0u32..8,
+        seed in any::<u64>(),
+        completed in any::<u64>(),
+        has_completed in any::<bool>(),
+    ) {
+        let counters = Counters {
+            slots: seed.rotate_left(1),
+            broadcasts: seed.rotate_left(2),
+            listens: seed.rotate_left(3),
+            sleeps: seed.rotate_left(4),
+            deliveries: seed.rotate_left(5),
+            collisions: seed.rotate_left(6),
+            idle_listens: seed.rotate_left(7),
+            pu_blocked_listens: seed.rotate_left(8),
+            pu_blocked_broadcasts: seed.rotate_left(9),
+            pu_busy_channel_slots: seed.rotate_left(10),
+        };
+        let rec = Record::Done {
+            arm,
+            trial,
+            attempt,
+            output: Trial {
+                seed,
+                completed_at: has_completed.then_some(completed),
+                slots_run: completed ^ seed,
+                counters,
+            },
+        };
+        let line = rec.encode();
+        prop_assert!(!line.contains('\n'), "one record = one line: {line:?}");
+        prop_assert_eq!(Record::decode(&line), Some(rec));
+    }
+
+    #[test]
+    fn text_records_round_trip(
+        arm in 0usize..8,
+        trial in 0usize..8,
+        attempt in 0u32..4,
+        reason in text(),
+        error in text(),
+    ) {
+        let records = [
+            Record::Skip { arm, trial, attempt, reason },
+            Record::Fail { arm, trial, attempt, error },
+        ];
+        for rec in records {
+            let line = rec.encode();
+            prop_assert!(!line.contains('\n'), "one record = one line: {line:?}");
+            prop_assert!(line.is_ascii(), "journal lines are pure ASCII: {line:?}");
+            prop_assert_eq!(Record::decode(&line), Some(rec));
+        }
+    }
+
+    #[test]
+    fn journal_files_round_trip_arbitrary_records(
+        trips in proptest::collection::vec((0usize..8, 1u32..5), 0..12usize),
+        hash in any::<u64>(),
+    ) {
+        let records: Vec<Record> =
+            trips.into_iter().map(|(arm, n)| Record::Trip { arm, trips: n }).collect();
+        let path = tmp(&format!("prop-{hash:016x}"));
+        {
+            let mut j = Journal::create(&path, hash).unwrap();
+            for r in &records {
+                j.append(r);
+            }
+            j.checkpoint().unwrap();
+        }
+        let loaded = Journal::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(loaded.config_hash, hash);
+        prop_assert_eq!(loaded.records, records);
+        prop_assert!(!loaded.recovered_torn_tail);
+    }
+}
