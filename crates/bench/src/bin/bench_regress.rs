@@ -50,7 +50,14 @@ const SHARDED_EXEMPT: &[&str] = &["sharded2", "sharded4", "sharded8"];
 ///   fail the build on hardware variance. The journal-overhead acceptance
 ///   claim (journaled ≤ 5% over in_memory) is checked when the baseline
 ///   is regenerated, and the printed rows keep the ratio visible per run.
-const PRINT_ONLY_GROUPS: &[&str] = &["spectrum_churn", "campaign_resume"];
+/// * `huge_sparse_1e6` — the million-node memory-layout row. Its medians
+///   track memory bandwidth, not cache-resident compute, so it scales
+///   differently across runners than the gated pack and the pack's median
+///   ratio is not a valid machine scale for it. The row's real acceptance
+///   criteria — O(n + m) footprint and peak RSS — are hard-asserted by
+///   the bench itself and by the `huge_smoke` CI binary; the timing here
+///   is tracked for drift, not gated.
+const PRINT_ONLY_GROUPS: &[&str] = &["spectrum_churn", "campaign_resume", "huge_sparse_1e6"];
 
 /// One `(group, id) → median_ns` measurement.
 type Report = BTreeMap<(String, String), f64>;

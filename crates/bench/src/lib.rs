@@ -28,6 +28,19 @@ pub fn small_discovery_arena() -> (Network, ModelInfo) {
     bench_network(Topology::Cycle { n: 16 }, ChannelModel::SharedCore { c: 6, core: 2 }, 0xBEC5)
 }
 
+/// Peak resident-set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where procfs is unavailable. This is a
+/// high-water mark: it never decreases, so measure it *after* the workload
+/// under test and interpret it as "the process never needed more than
+/// this". Used by the huge-sparse bench row and the `huge_smoke` CI gate
+/// to prove setup memory stays `O(n + m)`.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -72,6 +72,23 @@
 //! any *future* randomized channel effect must draw from the per-(slot,
 //! channel) streams of [`Engine::channel_rng`], which are keyed by what is
 //! being resolved rather than by visit order, preserving that invariant.
+//!
+//! # Internal renumbering and memory layout
+//!
+//! At construction the engine relabels nodes internally ([`Renumbering`],
+//! default degree-sorted) and copies the network graph into a private
+//! internal-id CSR with dense bit rows for hub nodes. Phase 2 runs entirely
+//! on internal ids — hot rows pack into adjacent cache lines, which is what
+//! keeps neighbor probes local at n = 10⁶ — and outcomes are written back
+//! through the inverse permutation. Protocols, per-node RNG streams, action
+//! collection, and feedback delivery stay keyed by external [`NodeId`]s, so
+//! renumbering is observationally invisible (proven bit-identically by the
+//! permutation differential in `tests/`). Per-node outcome state is a
+//! packed `u32` array rather than an enum array, and when `c` is small the
+//! sequential and sharded `Auto` paths fuse the listener pass across a
+//! slot's channels: one marking sweep tags every broadcaster with its
+//! channel, and each listener walk checks tags instead of rebuilding a
+//! per-channel broadcaster bit set.
 
 use crate::bitset::{BitSet, Intersection};
 use crate::ids::{GlobalChannel, LocalChannel, NodeId, Slot};
@@ -91,6 +108,34 @@ use rand::rngs::SmallRng;
 /// [`Engine::set_phase1_pool_min_nodes`]; purely a performance knob —
 /// pooled and sequential collection are bit-identical.
 pub const DEFAULT_PHASE1_POOL_MIN_NODES: usize = 2048;
+
+/// Sharded slots of each phase-1 routing (sequential first, then pooled)
+/// the auto-tuner measures before locking the faster one; see
+/// [`Engine::set_phase1_pool_autotune`].
+const PHASE1_TUNE_SLOTS: u32 = 3;
+
+/// Channels-per-node bound at or below which the `Auto` strategies may
+/// fuse the listener pass across a slot's (or shard's) touched channels;
+/// see [`mark_broadcast_channels`].
+const FUSED_MAX_C: usize = 8;
+
+/// Average per-channel bucket population (broadcasters + listeners) at or
+/// below which the fused pass actually engages. Fusion trades the
+/// per-channel broadcaster-set build/teardown (a fixed cost per touched
+/// channel) for heavier per-probe tag loads on every listener walk
+/// (`mark_epoch` + `hit_src`, 12 bytes, vs one bit in a channel-local,
+/// L1-resident set). That trade only wins when channels are numerous and
+/// nearly empty — with well-populated buckets the walk term dominates and
+/// fusion measured ~40% *slower* on the `small_slot_200` and
+/// `dense_broadcast_5000` bench shapes, so the gate is deliberately tight.
+const FUSED_MAX_AVG_BUCKET: usize = 16;
+
+/// Node count at or below which [`IntGraph`] keeps a dense adjacency row
+/// for *every* node rather than only above the degree threshold. The full
+/// bit matrix costs n²/8 bytes — ≤ 2 MiB at this bound — and keeps every
+/// pairwise adjacency test an O(1) probe, which the listener scan path
+/// (and the `Naive` reference resolver) lean on heavily at small n.
+const DENSE_ALL_MAX_N: usize = 4096;
 
 /// Aggregate event counters for a run, useful for energy/traffic accounting
 /// and for sanity-checking experiments.
@@ -255,14 +300,28 @@ pub struct Engine<'net, P: Protocol> {
     /// This slot's actions in node order, exactly as the protocols returned
     /// them. Heard messages are delivered by reference out of this buffer.
     actions: Vec<Action<P::Message>>,
-    /// Per-node resolution results for the current slot.
-    outcomes: Vec<Outcome>,
+    /// Per-node packed resolution results for the current slot (external
+    /// node order; see [`OC_MIN_SENTINEL`]).
+    outcomes: Vec<u32>,
+    /// The active renumbering (see [`Renumbering`]).
+    renumbering: Renumbering,
+    /// `ext2int[external] = internal` under the active renumbering.
+    ext2int: Vec<u32>,
+    /// `int2ext[internal] = external` (inverse of `ext2int`).
+    int2ext: Vec<u32>,
+    /// Internal-id adjacency view phase 2 resolves against.
+    ig: IntGraph,
     /// Per-worker phase-1 state for pooled collection; `[0]` belongs to the
     /// calling thread. Allocated lazily on the first pooled slot.
     collect: Vec<CollectShard<P::Message>>,
     /// Node-count threshold for routing phase-1 collection through the
-    /// pool; see [`DEFAULT_PHASE1_POOL_MIN_NODES`].
+    /// pool; see [`DEFAULT_PHASE1_POOL_MIN_NODES`]. Ignored while the
+    /// auto-tuner is measuring, overwritten when it decides.
     phase1_min_nodes: usize,
+    /// In-flight phase-1 auto-tune measurement; `None` once decided or when
+    /// tuning is off ([`Engine::set_phase1_pool_min_nodes`] pins the
+    /// threshold and disables it).
+    phase1_tune: Option<Phase1Tune>,
     // --- flat channel-bucketed action table, rebuilt each slot ---
     /// Dense channels touched this slot, in first-touch order.
     touched: Vec<u32>,
@@ -300,28 +359,208 @@ pub struct Engine<'net, P: Protocol> {
 /// and the engine; returning `true` stops the run (ground-truth completion).
 pub type Probe<'a, 'b, 'net, P> = (u64, &'a mut (dyn FnMut(u64, &Engine<'net, P>) -> bool + 'b));
 
+/// Running phase-1 auto-tune state: wall-clock totals for the first
+/// [`PHASE1_TUNE_SLOTS`] sharded slots collected sequentially and the next
+/// [`PHASE1_TUNE_SLOTS`] collected through the pool. Routing choice is a
+/// pure performance knob (both paths are bit-identical), so measuring live
+/// cannot change results.
+#[derive(Debug, Clone, Copy, Default)]
+struct Phase1Tune {
+    seq_ns: u128,
+    pooled_ns: u128,
+    measured: u32,
+}
+
 /// `node_plan` bit marking a broadcaster.
 const BCAST_BIT: u32 = 1 << 31;
 /// `node_plan` sentinel for a sleeping node.
 const SLEEPING: u32 = u32::MAX;
 
-/// Per-node resolution result; `Heard` carries the broadcaster index so the
-/// delivery phase can borrow the message straight out of the action buffer.
-#[derive(Debug, Clone, Copy)]
-enum Outcome {
-    Sent,
-    Slept,
-    /// Listener with no broadcasting neighbor on the channel (provisional
-    /// state for every listener until its channel is resolved).
-    Idle,
-    /// Listener with ≥ 2 broadcasting neighbors: collision, heard silence.
-    Collision,
-    /// Listener on a PU-busy channel: the primary user's transmission
-    /// occupies the medium, so the listener hears noise — observationally
-    /// a collision (silence), but accounted separately.
-    PuBusy,
-    /// Listener with exactly one broadcasting neighbor: delivery.
-    Heard(u32),
+/// Per-node resolution results are packed into one `u32` each — the
+/// struct-of-arrays layout the million-node path needs (half the bytes and
+/// no discriminant branch in the scatter loops). Values below
+/// [`OC_MIN_SENTINEL`] mean `Heard(broadcaster)`: an *internal* id while a
+/// channel is being resolved, converted to the external id at the final
+/// write into `Engine::outcomes` so the delivery phase can borrow the
+/// message straight out of the action buffer.
+const OC_SENT: u32 = u32::MAX;
+/// Sleeping node.
+const OC_SLEPT: u32 = u32::MAX - 1;
+/// Listener with no broadcasting neighbor on the channel (provisional
+/// state for every listener until its channel is resolved).
+const OC_IDLE: u32 = u32::MAX - 2;
+/// Listener with ≥ 2 broadcasting neighbors: collision, heard silence.
+const OC_COLLISION: u32 = u32::MAX - 3;
+/// Listener on a PU-busy channel: the primary user's transmission occupies
+/// the medium, so the listener hears noise — observationally a collision
+/// (silence), but accounted separately.
+const OC_PU_BUSY: u32 = u32::MAX - 4;
+/// Smallest sentinel: node counts must stay strictly below this so a
+/// broadcaster id can never alias a sentinel (asserted at construction).
+const OC_MIN_SENTINEL: u32 = OC_PU_BUSY;
+
+/// How the engine relabels nodes internally for phase-2 cache locality.
+///
+/// Renumbering is *observationally invisible*: protocols, per-node RNG
+/// streams, feedback order, counters, and outputs are all keyed by the
+/// external [`NodeId`]s; only the engine-private CSR copy that resolution
+/// walks is relabeled, and outcomes are written back through the inverse
+/// permutation. The permutation differential in `tests/` proves
+/// bit-identity against [`Renumbering::Identity`] under every resolver and
+/// thread count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum Renumbering {
+    /// Hubs first: internal ids in descending external degree, ties by
+    /// ascending external id. The rows every CSR probe keeps landing on
+    /// pack into the first cache lines of the internal adjacency arrays.
+    /// The default.
+    #[default]
+    DegreeSorted,
+    /// Internal ids equal external ids (the pre-renumbering layout).
+    Identity,
+    /// Explicit permutation, `perm[external] = internal`. Must be a
+    /// permutation of `0..n` (checked at construction); this is how the
+    /// permutation-differential tests drive arbitrary relabelings.
+    Custom(Vec<u32>),
+}
+
+/// Builds `(ext2int, int2ext)` for a renumbering.
+///
+/// # Panics
+/// Panics if a [`Renumbering::Custom`] vector is not a permutation of
+/// `0..n`.
+fn renumber_perm(net: &Network, r: &Renumbering) -> (Vec<u32>, Vec<u32>) {
+    let n = net.len();
+    let g = net.graph();
+    let int2ext: Vec<u32> = match r {
+        Renumbering::Identity => (0..n as u32).collect(),
+        Renumbering::DegreeSorted => {
+            let mut order: Vec<u32> = (0..n as u32).collect();
+            order.sort_unstable_by(|&a, &b| {
+                g.degree(b as usize).cmp(&g.degree(a as usize)).then(a.cmp(&b))
+            });
+            order
+        }
+        Renumbering::Custom(perm) => {
+            assert_eq!(perm.len(), n, "renumbering permutation must cover all {n} nodes");
+            let mut int2ext = vec![u32::MAX; n];
+            for (ext, &int) in perm.iter().enumerate() {
+                assert!((int as usize) < n, "renumbering target {int} out of range");
+                let slot = &mut int2ext[int as usize];
+                assert_eq!(*slot, u32::MAX, "renumbering maps two nodes to internal id {int}");
+                *slot = ext as u32;
+            }
+            int2ext
+        }
+    };
+    let mut ext2int = vec![0u32; n];
+    for (int, &ext) in int2ext.iter().enumerate() {
+        ext2int[ext as usize] = int as u32;
+    }
+    (ext2int, int2ext)
+}
+
+/// The engine-private adjacency view in internal-id space: a CSR copy of
+/// the network graph relabeled by the active [`Renumbering`] (neighbor
+/// slices sorted ascending by internal id), plus dense bit rows for nodes
+/// whose degree crosses the same `max(64, n/64)` threshold the network's
+/// index uses — `O(n + m)` memory overall. All of phase 2 runs on internal
+/// ids against this structure; external ids reappear only when outcomes
+/// are written back.
+struct IntGraph {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    /// Per internal node: index into `rows`, or `u32::MAX`.
+    row_of: Vec<u32>,
+    rows: Vec<BitSet>,
+}
+
+impl IntGraph {
+    fn build(net: &Network, ext2int: &[u32], int2ext: &[u32]) -> IntGraph {
+        let n = net.len();
+        let g = net.graph();
+        let mut offsets = vec![0u32; n + 1];
+        for v in 0..n {
+            offsets[ext2int[v] as usize + 1] = g.degree(v) as u32;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        // Transpose-style fill: visiting internal ids in ascending order and
+        // appending each to all of its neighbors' rows (adjacency is
+        // symmetric) leaves every row sorted — O(n + m), no per-row sort,
+        // which keeps engine construction cheap under arbitrary
+        // renumberings (a comparison sort here tripled construction time at
+        // n = 5000).
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut targets = vec![0u32; offsets[n] as usize];
+        for ti in 0..n as u32 {
+            for &w in g.neighbors(int2ext[ti as usize] as usize) {
+                let row = ext2int[w as usize] as usize;
+                targets[cursor[row] as usize] = ti;
+                cursor[row] += 1;
+            }
+        }
+        // Below `DENSE_ALL_MAX_N` the full bit matrix costs at most n²/8
+        // ≤ 2 MiB, so every node gets a row and every adjacency test is an
+        // O(1) probe — the degree threshold only starts to matter at scales
+        // where the quadratic matrix would dominate memory.
+        let threshold = if n <= DENSE_ALL_MAX_N { 0 } else { ((n / 64).max(64)) as u32 };
+        let mut row_of = vec![u32::MAX; n];
+        let mut rows = Vec::new();
+        for v in 0..n {
+            if offsets[v + 1] - offsets[v] >= threshold {
+                let mut bits = BitSet::new(n);
+                for &w in &targets[offsets[v] as usize..offsets[v + 1] as usize] {
+                    bits.insert(w as usize);
+                }
+                row_of[v] = u32::try_from(rows.len()).expect("row count fits u32");
+                rows.push(bits);
+            }
+        }
+        IntGraph { offsets, targets, row_of, rows }
+    }
+
+    #[inline]
+    fn neighbor_slice(&self, v: u32) -> &[u32] {
+        &self.targets[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
+    }
+
+    #[inline]
+    fn degree(&self, v: u32) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    #[inline]
+    fn row(&self, v: u32) -> Option<&BitSet> {
+        match self.row_of[v as usize] {
+            u32::MAX => None,
+            r => Some(&self.rows[r as usize]),
+        }
+    }
+
+    /// `true` if internal nodes `u` and `v` are adjacent: dense-row probe
+    /// when either endpoint has one, else a binary search of the shorter
+    /// CSR slice.
+    #[inline]
+    fn are(&self, u: u32, v: u32) -> bool {
+        if let Some(row) = self.row(u) {
+            return row.contains(v as usize);
+        }
+        if let Some(row) = self.row(v) {
+            return row.contains(u as usize);
+        }
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.neighbor_slice(a).binary_search(&b).is_ok()
+    }
+
+    /// Heap bytes of the internal view — reported next to the network
+    /// footprint in the huge-sparse bench row.
+    fn memory_bytes(&self) -> usize {
+        (self.offsets.capacity() + self.targets.capacity() + self.row_of.capacity())
+            * std::mem::size_of::<u32>()
+            + self.rows.iter().map(|b| b.words().len() * 8).sum::<usize>()
+    }
 }
 
 /// Epoch-stamped per-thread resolution scratch. Sized to the node count;
@@ -359,7 +598,9 @@ impl Scratch {
 /// fork-join hand-out race-free.
 struct ShardSlot {
     scratch: Scratch,
-    out: Vec<Outcome>,
+    /// Packed outcomes in listener-position order (internal `Heard` ids;
+    /// converted to external at the scatter).
+    out: Vec<u32>,
 }
 
 impl ShardSlot {
@@ -474,11 +715,12 @@ fn collect_chunk<P: Protocol>(
     slot: Slot,
     base: usize,
     xlate: &[u32],
+    ext2int: &[u32],
     c: usize,
     protos: &mut [P],
     rngs: &mut [SmallRng],
     node_plan: &mut [u32],
-    outcomes: &mut [Outcome],
+    outcomes: &mut [u32],
     shard: &mut CollectShard<P::Message>,
 ) {
     shard.out.clear();
@@ -509,7 +751,7 @@ fn collect_chunk<P: Protocol>(
                     epoch,
                 );
                 shard.b_cnt[ti as usize] += 1;
-                (ti | BCAST_BIT, Outcome::Sent)
+                (ti | BCAST_BIT, OC_SENT)
             }
             Action::Listen { channel } => {
                 nl += 1;
@@ -524,11 +766,11 @@ fn collect_chunk<P: Protocol>(
                     epoch,
                 );
                 shard.l_cnt[ti as usize] += 1;
-                (ti, Outcome::Idle)
+                (ti, OC_IDLE)
             }
             Action::Sleep => {
                 ns += 1;
-                (SLEEPING, Outcome::Slept)
+                (SLEEPING, OC_SLEPT)
             }
         };
         node_plan[i] = packed;
@@ -560,7 +802,10 @@ fn collect_chunk<P: Protocol>(
         if packed == SLEEPING {
             continue;
         }
-        let v = (base + i) as u32;
+        // Buckets hold *internal* ids (in ascending external order — the
+        // same order the sequential scatter produces, so pooled collection
+        // stays bit-identical to sequential).
+        let v = ext2int[base + i];
         if packed & BCAST_BIT != 0 {
             let ti = (packed & !BCAST_BIT) as usize;
             shard.b_nodes[shard.b_cnt[ti] as usize] = v;
@@ -578,10 +823,10 @@ fn collect_chunk<P: Protocol>(
 /// dependence on thread count — so the `Auto` choice it feeds stays
 /// reproducible; and since every strategy is observationally identical,
 /// the approximation can only ever change *speed*, never results.
-fn approx_degree_sum(net: &Network, nodes: &[u32], cap: usize) -> usize {
+fn approx_degree_sum(ig: &IntGraph, nodes: &[u32], cap: usize) -> usize {
     const SAMPLE: usize = 32;
     if nodes.len() <= SAMPLE {
-        nodes.iter().map(|&v| net.degree(NodeId(v)).min(cap)).sum()
+        nodes.iter().map(|&v| ig.degree(v).min(cap)).sum()
     } else {
         // Ceiling stride so the samples span the whole bucket — a floor
         // stride of 1 for lengths in (SAMPLE, 2·SAMPLE) would sample only
@@ -589,31 +834,95 @@ fn approx_degree_sum(net: &Network, nodes: &[u32], cap: usize) -> usize {
         // star-like scenarios).
         let stride = nodes.len().div_ceil(SAMPLE);
         let taken = nodes.len().div_ceil(stride);
-        let sampled: usize =
-            nodes.iter().step_by(stride).map(|&v| net.degree(NodeId(v)).min(cap)).sum();
+        let sampled: usize = nodes.iter().step_by(stride).map(|&v| ig.degree(v).min(cap)).sum();
         sampled * nodes.len() / taken
     }
 }
 
 /// One listener's scan over a channel broadcaster list (shared by the
-/// naive reference resolver and the adaptive listener path).
+/// naive reference resolver and the adaptive listener paths). Internal ids.
 #[inline]
-fn scan_listener(net: &Network, bcasters: &[u32], l: u32) -> Outcome {
-    let mut heard_from: Option<u32> = None;
+fn scan_listener(ig: &IntGraph, bcasters: &[u32], l: u32) -> u32 {
+    let mut heard_from = 0u32;
     let mut adjacent = 0u32;
     for &b in bcasters {
-        if net.are_neighbors(NodeId(l), NodeId(b)) {
+        if ig.are(l, b) {
             adjacent += 1;
             if adjacent > 1 {
                 break;
             }
-            heard_from = Some(b);
+            heard_from = b;
         }
     }
-    match (adjacent, heard_from) {
-        (1, Some(b)) => Outcome::Heard(b),
-        (0, _) => Outcome::Idle,
-        _ => Outcome::Collision,
+    match adjacent {
+        0 => OC_IDLE,
+        1 => heard_from,
+        _ => OC_COLLISION,
+    }
+}
+
+/// Marks every broadcaster of touched channels `lo..hi` with its channel
+/// index under a fresh scratch epoch — one pass over the bucket range,
+/// valid for the whole range because a node broadcasts on at most one
+/// channel per slot and only *listeners* are ever re-stamped by the
+/// broadcaster-centric sweep (disjoint node sets). Enables the fused
+/// listener walk of [`resolve_listener_fused`]. Returns the epoch.
+fn mark_broadcast_channels(
+    scratch: &mut Scratch,
+    b_off: &[u32],
+    bcast_nodes: &[u32],
+    lo: usize,
+    hi: usize,
+) -> u64 {
+    scratch.epoch += 1;
+    let epoch = scratch.epoch;
+    for ti in lo..hi {
+        for &b in &bcast_nodes[b_off[ti] as usize..b_off[ti + 1] as usize] {
+            scratch.mark_epoch[b as usize] = epoch;
+            scratch.hit_src[b as usize] = ti as u32;
+        }
+    }
+    epoch
+}
+
+/// Fused listener probe for one channel: per listener, the cheaper of
+/// scanning the channel's broadcaster list and walking its own CSR slice
+/// against the slot-wide `(epoch, channel)` marks laid down by
+/// [`mark_broadcast_channels`] — no per-channel broadcaster-set build or
+/// teardown. Early exit at the second hit, as everywhere.
+fn resolve_listener_fused(
+    ig: &IntGraph,
+    scratch: &Scratch,
+    epoch: u64,
+    tag: u32,
+    bcasters: &[u32],
+    listeners: &[u32],
+    emit: &mut impl FnMut(usize, u32, u32),
+) {
+    let nb = bcasters.len();
+    for (pos, &l) in listeners.iter().enumerate() {
+        let neighbors = ig.neighbor_slice(l);
+        let outcome = if nb <= neighbors.len() {
+            scan_listener(ig, bcasters, l)
+        } else {
+            let mut count = 0u32;
+            let mut src = 0u32;
+            for &w in neighbors {
+                let hit = (scratch.mark_epoch[w as usize] == epoch
+                    && scratch.hit_src[w as usize] == tag) as u32;
+                src = if count == 0 && hit != 0 { w } else { src };
+                count += hit;
+                if count >= 2 {
+                    break;
+                }
+            }
+            match count {
+                0 => OC_IDLE,
+                1 => src,
+                _ => OC_COLLISION,
+            }
+        };
+        emit(pos, l, outcome);
     }
 }
 
@@ -622,11 +931,11 @@ fn scan_listener(net: &Network, bcasters: &[u32], l: u32) -> Outcome {
 /// accumulating hit counts only in stamped cells. `O(L + Σ_b deg(b))`,
 /// independent of how many listeners each broadcaster reaches.
 fn resolve_broadcaster_centric(
-    net: &Network,
+    ig: &IntGraph,
     scratch: &mut Scratch,
     bcasters: &[u32],
     listeners: &[u32],
-    emit: &mut impl FnMut(usize, u32, Outcome),
+    emit: &mut impl FnMut(usize, u32, u32),
 ) {
     scratch.epoch += 1;
     let epoch = scratch.epoch;
@@ -635,7 +944,7 @@ fn resolve_broadcaster_centric(
         scratch.hit_count[l as usize] = 0;
     }
     for &b in bcasters {
-        for &w in net.neighbor_slice(NodeId(b)) {
+        for &w in ig.neighbor_slice(b) {
             let w = w as usize;
             if scratch.mark_epoch[w] == epoch {
                 scratch.hit_count[w] += 1;
@@ -645,9 +954,9 @@ fn resolve_broadcaster_centric(
     }
     for (pos, &l) in listeners.iter().enumerate() {
         let outcome = match scratch.hit_count[l as usize] {
-            0 => Outcome::Idle,
-            1 => Outcome::Heard(scratch.hit_src[l as usize]),
-            _ => Outcome::Collision,
+            0 => OC_IDLE,
+            1 => scratch.hit_src[l as usize],
+            _ => OC_COLLISION,
         };
         emit(pos, l, outcome);
     }
@@ -669,11 +978,11 @@ fn resolve_broadcaster_centric(
 ///    (cost ≤ `n/64` words, best for high-degree listeners on channels
 ///    with many broadcasters).
 fn resolve_listener_centric(
-    net: &Network,
+    ig: &IntGraph,
     scratch: &mut Scratch,
     bcasters: &[u32],
     listeners: &[u32],
-    emit: &mut impl FnMut(usize, u32, Outcome),
+    emit: &mut impl FnMut(usize, u32, u32),
 ) {
     let nb = bcasters.len();
     let words = scratch.bcast_bits.words().len().max(1);
@@ -683,11 +992,16 @@ fn resolve_listener_centric(
         scratch.bcast_bits.insert(b as usize);
     }
     for (pos, &l) in listeners.iter().enumerate() {
-        let neighbors = net.neighbor_slice(NodeId(l));
+        let neighbors = ig.neighbor_slice(l);
         let d = neighbors.len();
-        let outcome = if nb <= d && nb <= words {
-            scan_listener(net, bcasters, l)
-        } else if d <= words {
+        // Dense rows only exist above the degree threshold; a listener in
+        // the (rare) `words < d < threshold` band without one takes the
+        // cheaper of the two remaining tests — any choice is
+        // observationally identical.
+        let has_row = ig.row(l).is_some();
+        let outcome = if nb <= d && (nb <= words || !has_row) {
+            scan_listener(ig, bcasters, l)
+        } else if d <= words || !has_row {
             // Walk the listener's own neighbors against the bit set,
             // probing the backing words directly (the slice borrow keeps
             // the base pointer in a register across the walk). Hits are
@@ -706,16 +1020,16 @@ fn resolve_listener_centric(
                 }
             }
             match count {
-                0 => Outcome::Idle,
-                1 => Outcome::Heard(src),
-                _ => Outcome::Collision,
+                0 => OC_IDLE,
+                1 => src,
+                _ => OC_COLLISION,
             }
         } else {
-            let row = net.adjacency_bits(NodeId(l));
+            let row = ig.row(l).expect("checked above");
             match row.intersect_unique(&scratch.bcast_bits) {
-                Intersection::Empty => Outcome::Idle,
-                Intersection::Unique(b) => Outcome::Heard(b as u32),
-                Intersection::Many => Outcome::Collision,
+                Intersection::Empty => OC_IDLE,
+                Intersection::Unique(b) => b as u32,
+                Intersection::Many => OC_COLLISION,
             }
         };
         emit(pos, l, outcome);
@@ -726,28 +1040,33 @@ fn resolve_listener_centric(
 }
 
 /// Resolves one channel with a *sequential* strategy, emitting
-/// `(position-in-listener-list, listener, outcome)` triples. The caller
-/// guarantees both populations are non-empty.
+/// `(position-in-listener-list, listener, outcome)` triples (internal ids,
+/// packed outcomes). The caller guarantees both populations are non-empty.
+/// When `fused` carries the `(epoch, channel-tag)` of a
+/// [`mark_broadcast_channels`] sweep covering this channel, the `Auto`
+/// listener side uses the fused walk instead of building a per-channel
+/// broadcaster set.
 fn resolve_channel_into(
-    net: &Network,
+    ig: &IntGraph,
     scratch: &mut Scratch,
     strategy: Resolver,
+    fused: Option<(u64, u32)>,
     bcasters: &[u32],
     listeners: &[u32],
-    emit: &mut impl FnMut(usize, u32, Outcome),
+    emit: &mut impl FnMut(usize, u32, u32),
 ) {
     debug_assert!(!bcasters.is_empty() && !listeners.is_empty());
     match strategy {
         Resolver::Naive => {
             for (pos, &l) in listeners.iter().enumerate() {
-                emit(pos, l, scan_listener(net, bcasters, l));
+                emit(pos, l, scan_listener(ig, bcasters, l));
             }
         }
         Resolver::BroadcasterCentric => {
-            resolve_broadcaster_centric(net, scratch, bcasters, listeners, emit)
+            resolve_broadcaster_centric(ig, scratch, bcasters, listeners, emit)
         }
         Resolver::ListenerCentric => {
-            resolve_listener_centric(net, scratch, bcasters, listeners, emit)
+            resolve_listener_centric(ig, scratch, bcasters, listeners, emit)
         }
         Resolver::Auto => {
             // Broadcaster side: one pass over all broadcasters' neighbor
@@ -760,16 +1079,25 @@ fn resolve_channel_into(
             // random read per node — a measurable slice of dense slots.
             // (Any choice is observationally identical, so sampling can
             // never change results.)
-            let d_b = approx_degree_sum(net, bcasters, usize::MAX);
+            let d_b = approx_degree_sum(ig, bcasters, usize::MAX);
             let nb = bcasters.len();
-            let words = scratch.bcast_bits.words().len().max(1);
-            let per_listener_cap = nb.min(words);
-            let listen_cost = 2 * nb + approx_degree_sum(net, listeners, per_listener_cap);
             let bcast_cost = listeners.len() + 2 * d_b;
-            if bcast_cost <= listen_cost {
-                resolve_broadcaster_centric(net, scratch, bcasters, listeners, emit)
+            if let Some((epoch, tag)) = fused {
+                let listen_cost = approx_degree_sum(ig, listeners, nb);
+                if bcast_cost <= listen_cost {
+                    resolve_broadcaster_centric(ig, scratch, bcasters, listeners, emit)
+                } else {
+                    resolve_listener_fused(ig, scratch, epoch, tag, bcasters, listeners, emit)
+                }
             } else {
-                resolve_listener_centric(net, scratch, bcasters, listeners, emit)
+                let words = scratch.bcast_bits.words().len().max(1);
+                let per_listener_cap = nb.min(words);
+                let listen_cost = 2 * nb + approx_degree_sum(ig, listeners, per_listener_cap);
+                if bcast_cost <= listen_cost {
+                    resolve_broadcaster_centric(ig, scratch, bcasters, listeners, emit)
+                } else {
+                    resolve_listener_centric(ig, scratch, bcasters, listeners, emit)
+                }
             }
         }
         Resolver::ParallelSharded { .. } => {
@@ -793,10 +1121,27 @@ impl<'net, P: Protocol> Engine<'net, P> {
         net: &'net Network,
         seed: u64,
         resolver: Resolver,
+        make: impl FnMut(NodeCtx) -> P,
+    ) -> Self {
+        Engine::with_renumbering(net, seed, resolver, Renumbering::default(), make)
+    }
+
+    /// Like [`Engine::with_resolver`] but with an explicit internal
+    /// [`Renumbering`] — all renumberings are observationally identical, so
+    /// this is a performance/testing knob, not a semantic one.
+    pub fn with_renumbering(
+        net: &'net Network,
+        seed: u64,
+        resolver: Resolver,
+        renumbering: Renumbering,
         mut make: impl FnMut(NodeCtx) -> P,
     ) -> Self {
         let n = net.len();
         let c = net.channels_per_node();
+        assert!(
+            n < OC_MIN_SENTINEL as usize,
+            "{n} nodes collide with the packed-outcome sentinel range"
+        );
         // Dense channel remap so scratch vectors are O(universe), not
         // O(max raw id): mark the raw ids present, then number them in
         // ascending raw order (no sort — O(n·c + max_raw)).
@@ -835,6 +1180,8 @@ impl<'net, P: Protocol> Engine<'net, P> {
             .map(|v| make(NodeCtx { id: NodeId(v as u32), num_channels: c as u16 }))
             .collect();
         let rngs = (0..n).map(|v| stream_rng(seed, v as u64)).collect();
+        let (ext2int, int2ext) = renumber_perm(net, &renumbering);
+        let ig = IntGraph::build(net, &ext2int, &int2ext);
         Engine {
             net,
             protocols,
@@ -850,8 +1197,13 @@ impl<'net, P: Protocol> Engine<'net, P> {
             node_plan: vec![SLEEPING; n],
             actions: Vec::with_capacity(n),
             outcomes: Vec::with_capacity(n),
+            renumbering,
+            ext2int,
+            int2ext,
+            ig,
             collect: Vec::new(),
             phase1_min_nodes: DEFAULT_PHASE1_POOL_MIN_NODES,
+            phase1_tune: Some(Phase1Tune::default()),
             touched: Vec::new(),
             chan_epoch: vec![0; universe],
             chan_slot: vec![0; universe],
@@ -952,11 +1304,44 @@ impl<'net, P: Protocol> Engine<'net, P> {
 
     /// Sets the pooled-collection threshold: `0` forces phase-1 pooling on
     /// (whenever the resolver is sharded), `usize::MAX` forces it off.
-    /// Purely a performance knob — the pooled and sequential collection
-    /// paths are bit-identical (enforced by the batch differential suite),
-    /// so this never changes results.
+    /// Pinning a threshold disables the auto-tuner. Purely a performance
+    /// knob — the pooled and sequential collection paths are bit-identical
+    /// (enforced by the batch differential suite), so this never changes
+    /// results.
     pub fn set_phase1_pool_min_nodes(&mut self, min_nodes: usize) {
         self.phase1_min_nodes = min_nodes;
+        self.phase1_tune = None;
+    }
+
+    /// Turns the phase-1 routing auto-tuner on or off. On (the default for
+    /// a fresh engine), the first [`PHASE1_TUNE_SLOTS`] sharded slots
+    /// collect sequentially and the next as many through the pool, both
+    /// timed, and the faster routing is locked in for the rest of the
+    /// engine's life (surviving [`Engine::reset`]). Both routings are
+    /// bit-identical, so tuning never changes results — it only replaces
+    /// the static [`DEFAULT_PHASE1_POOL_MIN_NODES`] guess with a measured
+    /// decision.
+    pub fn set_phase1_pool_autotune(&mut self, on: bool) {
+        self.phase1_tune = on.then(Phase1Tune::default);
+    }
+
+    /// The active internal [`Renumbering`].
+    pub fn renumbering(&self) -> &Renumbering {
+        &self.renumbering
+    }
+
+    /// Heap bytes of the engine's per-node and adjacency structures (the
+    /// internal CSR + dense rows, translation table, permutations, packed
+    /// outcomes) — reported next to the network footprint by the
+    /// huge-sparse bench row to prove `O(n + m)` setup.
+    pub fn internal_memory_bytes(&self) -> usize {
+        self.ig.memory_bytes()
+            + (self.xlate.capacity()
+                + self.ext2int.capacity()
+                + self.int2ext.capacity()
+                + self.node_plan.capacity()
+                + self.outcomes.capacity())
+                * std::mem::size_of::<u32>()
     }
 
     /// Installs primary-user spectrum dynamics (see [`crate::spectrum`]):
@@ -1048,14 +1433,37 @@ impl<'net, P: Protocol> Engine<'net, P> {
         // Phase 1: collect every node's action through `act_batch`,
         // translate local labels, count per-channel populations, and
         // counting-sort into the flat channel buckets — chunked across the
-        // worker pool when the engine is sharded and n is large enough.
-        match self.resolver {
-            Resolver::ParallelSharded { threads }
-                if threads >= 2 && n >= 2 && n >= self.phase1_min_nodes =>
-            {
-                self.collect_pooled(threads, slot, epoch);
-            }
+        // worker pool when the engine is sharded and the routing (measured
+        // by the auto-tuner, or the static threshold) says pooling pays.
+        let pool_threads = match self.resolver {
+            Resolver::ParallelSharded { threads } if threads >= 2 && n >= 2 => Some(threads),
+            _ => None,
+        };
+        let route_pooled = pool_threads.is_some()
+            && match &self.phase1_tune {
+                Some(t) => t.measured >= PHASE1_TUNE_SLOTS,
+                None => n >= self.phase1_min_nodes,
+            };
+        let timer = pool_threads.and(self.phase1_tune.as_ref()).map(|_| std::time::Instant::now());
+        match pool_threads {
+            Some(threads) if route_pooled => self.collect_pooled(threads, slot, epoch),
             _ => self.collect_sequential(slot, epoch),
+        }
+        if let Some(start) = timer {
+            let ns = start.elapsed().as_nanos();
+            if let Some(t) = self.phase1_tune.as_mut() {
+                if t.measured < PHASE1_TUNE_SLOTS {
+                    t.seq_ns += ns;
+                } else {
+                    t.pooled_ns += ns;
+                }
+                t.measured += 1;
+                if t.measured == 2 * PHASE1_TUNE_SLOTS {
+                    // Lock the measured winner by collapsing the threshold.
+                    self.phase1_min_nodes = if t.pooled_ns < t.seq_ns { 0 } else { usize::MAX };
+                    self.phase1_tune = None;
+                }
+            }
         }
 
         // PU accounting over the touched channels (O(t), sequential in
@@ -1089,17 +1497,17 @@ impl<'net, P: Protocol> Engine<'net, P> {
         let counters = &mut self.counters;
         for (v, (proto, rng)) in self.protocols.iter_mut().zip(self.rngs.iter_mut()).enumerate() {
             let fb = match outcomes[v] {
-                Outcome::Sent => Feedback::Sent,
-                Outcome::Slept => Feedback::Slept,
-                Outcome::Idle => {
+                OC_SENT => Feedback::Sent,
+                OC_SLEPT => Feedback::Slept,
+                OC_IDLE => {
                     counters.idle_listens += 1;
                     Feedback::Silence
                 }
-                Outcome::Collision => {
+                OC_COLLISION => {
                     counters.collisions += 1;
                     Feedback::Silence
                 }
-                Outcome::PuBusy => {
+                OC_PU_BUSY => {
                     // The primary user's transmission is one more signal on
                     // the channel: the listener hears noise, which in this
                     // model is a collision (silence).
@@ -1107,7 +1515,8 @@ impl<'net, P: Protocol> Engine<'net, P> {
                     counters.pu_blocked_listens += 1;
                     Feedback::Silence
                 }
-                Outcome::Heard(b) => {
+                // Anything below the sentinels is Heard(external broadcaster).
+                b => {
                     counters.deliveries += 1;
                     match &actions[b as usize] {
                         Action::Broadcast { message, .. } => Feedback::Heard(message),
@@ -1163,7 +1572,7 @@ impl<'net, P: Protocol> Engine<'net, P> {
                         let ti =
                             touch_channel(touched, chan_epoch, chan_slot, b_cnt, l_cnt, ch, epoch);
                         b_cnt[ti as usize] += 1;
-                        (ti | BCAST_BIT, Outcome::Sent)
+                        (ti | BCAST_BIT, OC_SENT)
                     }
                     Action::Listen { channel } => {
                         nl += 1;
@@ -1171,11 +1580,11 @@ impl<'net, P: Protocol> Engine<'net, P> {
                         let ti =
                             touch_channel(touched, chan_epoch, chan_slot, b_cnt, l_cnt, ch, epoch);
                         l_cnt[ti as usize] += 1;
-                        (ti, Outcome::Idle)
+                        (ti, OC_IDLE)
                     }
                     Action::Sleep => {
                         ns += 1;
-                        (SLEEPING, Outcome::Slept)
+                        (SLEEPING, OC_SLEPT)
                     }
                 };
                 node_plan[v] = packed;
@@ -1211,15 +1620,17 @@ impl<'net, P: Protocol> Engine<'net, P> {
             if packed == SLEEPING {
                 continue;
             }
+            // Buckets hold *internal* ids, scattered in ascending external
+            // order (matching the pooled path exactly).
             if packed & BCAST_BIT != 0 {
                 let ti = (packed & !BCAST_BIT) as usize;
                 let cur = self.b_cnt[ti] as usize;
-                self.bcast_nodes[cur] = v as u32;
+                self.bcast_nodes[cur] = self.ext2int[v];
                 self.b_cnt[ti] += 1;
             } else {
                 let ti = packed as usize;
                 let cur = self.l_cnt[ti] as usize;
-                self.listen_nodes[cur] = v as u32;
+                self.listen_nodes[cur] = self.ext2int[v];
                 self.l_cnt[ti] += 1;
             }
         }
@@ -1263,19 +1674,30 @@ impl<'net, P: Protocol> Engine<'net, P> {
         }
         self.actions.clear();
         self.outcomes.clear();
-        self.outcomes.resize(n, Outcome::Idle);
+        self.outcomes.resize(n, OC_IDLE);
 
         // Fan out: each chunk task owns disjoint slices of the per-node
         // state plus one private shard; shard 0 runs on the calling thread.
         {
-            let Engine { protocols, rngs, node_plan, outcomes, collect, xlate, c, pool, .. } = self;
-            let (c, xlate) = (*c, &xlate[..]);
+            let Engine {
+                protocols,
+                rngs,
+                node_plan,
+                outcomes,
+                collect,
+                xlate,
+                ext2int,
+                c,
+                pool,
+                ..
+            } = self;
+            let (c, xlate, ext2int) = (*c, &xlate[..], &ext2int[..]);
             struct ChunkTask<'a, P: Protocol> {
                 base: usize,
                 protos: &'a mut [P],
                 rngs: &'a mut [SmallRng],
                 plan: &'a mut [u32],
-                outc: &'a mut [Outcome],
+                outc: &'a mut [u32],
                 shard: &'a mut CollectShard<P::Message>,
             }
             let mut tasks: Vec<ChunkTask<'_, P>> = Vec::with_capacity(groups);
@@ -1290,7 +1712,9 @@ impl<'net, P: Protocol> Engine<'net, P> {
                 tasks.push(ChunkTask { base: i * chunk, protos, rngs, plan, outc, shard });
             }
             let run_task = |t: &mut ChunkTask<'_, P>| {
-                collect_chunk(slot, t.base, xlate, c, t.protos, t.rngs, t.plan, t.outc, t.shard);
+                collect_chunk(
+                    slot, t.base, xlate, ext2int, c, t.protos, t.rngs, t.plan, t.outc, t.shard,
+                );
             };
             let (first, rest) = tasks.split_at_mut(1);
             pool.as_mut().expect("pool ensured above").run_with(
@@ -1391,7 +1815,9 @@ impl<'net, P: Protocol> Engine<'net, P> {
     /// `self.outcomes` in place.
     fn resolve_all_sequential(&mut self, strategy: Resolver) {
         let Engine {
-            net,
+            ig,
+            int2ext,
+            c,
             touched,
             b_off,
             l_off,
@@ -1404,7 +1830,19 @@ impl<'net, P: Protocol> Engine<'net, P> {
         } = self;
         let busy = spectrum.as_ref().map(SpectrumState::mask);
         let scratch = &mut shards[0].scratch;
-        for ti in 0..touched.len() {
+        let t = touched.len();
+        // Many near-empty channels: one slot-wide marking pass lets every
+        // listener-side probe run against `(epoch, channel)` tags instead
+        // of a per-channel broadcaster set (the fused listener pass). With
+        // populated buckets the per-probe tag loads cost more than the
+        // per-channel set builds they avoid — see `FUSED_MAX_AVG_BUCKET`.
+        let active = (b_off[t] + l_off[t]) as usize;
+        let fused_epoch = (strategy == Resolver::Auto
+            && t >= 2
+            && *c <= FUSED_MAX_C
+            && active <= FUSED_MAX_AVG_BUCKET * t)
+            .then(|| mark_broadcast_channels(scratch, b_off, bcast_nodes, 0, t));
+        for ti in 0..t {
             let bs = &bcast_nodes[b_off[ti] as usize..b_off[ti + 1] as usize];
             let ls = &listen_nodes[l_off[ti] as usize..l_off[ti + 1] as usize];
             if busy.is_some_and(|m| m.contains(touched[ti] as usize)) {
@@ -1412,7 +1850,7 @@ impl<'net, P: Protocol> Engine<'net, P> {
                 // hears noise (even with zero broadcasters — the primary
                 // user itself occupies the medium).
                 for &l in ls {
-                    outcomes[l as usize] = Outcome::PuBusy;
+                    outcomes[int2ext[l as usize] as usize] = OC_PU_BUSY;
                 }
                 continue;
             }
@@ -1421,8 +1859,10 @@ impl<'net, P: Protocol> Engine<'net, P> {
                 // No listeners: nothing can be heard.
                 continue;
             }
-            resolve_channel_into(net, scratch, strategy, bs, ls, &mut |_, l, oc| {
-                outcomes[l as usize] = oc;
+            let fused = fused_epoch.map(|e| (e, ti as u32));
+            resolve_channel_into(ig, scratch, strategy, fused, bs, ls, &mut |_, l, oc| {
+                outcomes[int2ext[l as usize] as usize] =
+                    if oc < OC_MIN_SENTINEL { int2ext[oc as usize] } else { oc };
             });
         }
     }
@@ -1459,7 +1899,7 @@ impl<'net, P: Protocol> Engine<'net, P> {
         for ti in 0..t {
             let bs = &self.bcast_nodes[self.b_off[ti] as usize..self.b_off[ti + 1] as usize];
             let nl = (self.l_off[ti + 1] - self.l_off[ti]) as u64;
-            self.shard_weights.push(1 + nl + approx_degree_sum(self.net, bs, usize::MAX) as u64);
+            self.shard_weights.push(1 + nl + approx_degree_sum(&self.ig, bs, usize::MAX) as u64);
         }
         let total: u64 = self.shard_weights.iter().sum();
         self.shard_bounds.clear();
@@ -1485,8 +1925,10 @@ impl<'net, P: Protocol> Engine<'net, P> {
         // resolver's thread count changed since the last sharded slot.
         self.ensure_pool(threads - 1);
 
+        let c = self.c;
         let Engine {
-            net,
+            ig,
+            int2ext,
             touched,
             b_off,
             l_off,
@@ -1499,7 +1941,8 @@ impl<'net, P: Protocol> Engine<'net, P> {
             spectrum,
             ..
         } = self;
-        let net: &Network = net;
+        let ig: &IntGraph = ig;
+        let int2ext: &[u32] = int2ext;
         let bounds: &[(usize, usize)] = shard_bounds;
         let touched: &[u32] = touched;
         let busy: Option<&BitSet> = spectrum.as_ref().map(SpectrumState::mask);
@@ -1515,21 +1958,31 @@ impl<'net, P: Protocol> Engine<'net, P> {
             let (lo, hi) = bounds[g];
             let listeners_total = (l_off[hi] - l_off[lo]) as usize;
             shard.out.clear();
-            shard.out.resize(listeners_total, Outcome::Idle);
+            shard.out.resize(listeners_total, OC_IDLE);
+            // Per-group fused marking: tags are absolute channel indices,
+            // so shards never alias each other's marks even though every
+            // shard bumps its own private scratch epoch independently.
+            // Same near-empty-bucket gate as the sequential path.
+            let active = ((b_off[hi] - b_off[lo]) + (l_off[hi] - l_off[lo])) as usize;
+            let fused_epoch = (hi - lo >= 2
+                && c <= FUSED_MAX_C
+                && active <= FUSED_MAX_AVG_BUCKET * (hi - lo))
+                .then(|| mark_broadcast_channels(&mut shard.scratch, b_off, bcast_nodes, lo, hi));
             let mut base = 0usize;
             for ti in lo..hi {
                 let bs = &bcast_nodes[b_off[ti] as usize..b_off[ti + 1] as usize];
                 let ls = &listen_nodes[l_off[ti] as usize..l_off[ti + 1] as usize];
                 if busy.is_some_and(|m| m.contains(touched[ti] as usize)) {
                     for slot in &mut shard.out[base..base + ls.len()] {
-                        *slot = Outcome::PuBusy;
+                        *slot = OC_PU_BUSY;
                     }
                 } else if !bs.is_empty() && !ls.is_empty() {
                     let slice = &mut shard.out[base..base + ls.len()];
                     resolve_channel_into(
-                        net,
+                        ig,
                         &mut shard.scratch,
                         Resolver::Auto,
+                        fused_epoch.map(|e| (e, ti as u32)),
                         bs,
                         ls,
                         &mut |pos, _, oc| slice[pos] = oc,
@@ -1554,7 +2007,9 @@ impl<'net, P: Protocol> Engine<'net, P> {
             for ti in lo..hi {
                 let ls = &listen_nodes[l_off[ti] as usize..l_off[ti + 1] as usize];
                 for (j, &l) in ls.iter().enumerate() {
-                    outcomes[l as usize] = shard.out[base + j];
+                    let oc = shard.out[base + j];
+                    outcomes[int2ext[l as usize] as usize] =
+                        if oc < OC_MIN_SENTINEL { int2ext[oc as usize] } else { oc };
                 }
                 base += ls.len();
             }

@@ -36,27 +36,65 @@ impl Graph {
     /// Builds a graph on `n` vertices from an edge list. Duplicate edges are
     /// collapsed.
     ///
+    /// Construction is a counting-sort CSR build — O(n + m) allocations and
+    /// passes plus a per-vertex neighbor sort — so million-node sparse
+    /// graphs build without the per-vertex `Vec` churn of the naive
+    /// adjacency-list intermediate.
+    ///
     /// # Panics
-    /// Panics on self-loops or endpoints `>= n`.
+    /// Panics on self-loops, endpoints `>= n`, `n > u32::MAX`, or a total
+    /// directed-target count that does not fit the `u32` CSR offsets
+    /// (`2m > u32::MAX`) — sizes are rejected loudly instead of silently
+    /// truncating the index arithmetic.
     pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Graph {
-        let mut adj = vec![Vec::new(); n];
+        assert!(n <= u32::MAX as usize, "graph of {n} vertices overflows u32 vertex ids");
+        assert!(
+            edges.len() <= (u32::MAX / 2) as usize,
+            "edge list of {} entries overflows u32 CSR offsets",
+            edges.len()
+        );
+        // Pass 1: degree counts (both directions of every undirected edge).
+        let mut offsets = vec![0u32; n + 1];
         for &(a, b) in edges {
             assert!(a != b, "self-loop {a}-{b}");
             assert!((a as usize) < n && (b as usize) < n, "edge {a}-{b} out of range for n={n}");
-            adj[a as usize].push(b);
-            adj[b as usize].push(a);
+            offsets[a as usize + 1] += 1;
+            offsets[b as usize + 1] += 1;
         }
-        let mut offsets = Vec::with_capacity(n + 1);
-        let mut targets = Vec::new();
-        offsets.push(0);
-        for list in &mut adj {
-            list.sort_unstable();
-            list.dedup();
-            targets.extend_from_slice(list);
-            offsets.push(targets.len() as u32);
+        // Prefix sums turn counts into slice starts.
+        for v in 1..=n {
+            offsets[v] += offsets[v - 1];
         }
-        let num_edges = targets.len() / 2;
-        Graph { offsets, targets, num_edges }
+        // Pass 2: scatter targets using a moving write cursor per vertex.
+        let total = offsets[n] as usize;
+        let mut targets = vec![0u32; total];
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        for &(a, b) in edges {
+            targets[cursor[a as usize] as usize] = b;
+            cursor[a as usize] += 1;
+            targets[cursor[b as usize] as usize] = a;
+            cursor[b as usize] += 1;
+        }
+        // Sort each slice, then compact away duplicate edges in place.
+        let mut write = 0usize;
+        let mut new_offsets = vec![0u32; n + 1];
+        for v in 0..n {
+            let (start, end) = (offsets[v] as usize, offsets[v + 1] as usize);
+            targets[start..end].sort_unstable();
+            let mut prev: Option<u32> = None;
+            for i in start..end {
+                let w = targets[i];
+                if prev != Some(w) {
+                    targets[write] = w;
+                    write += 1;
+                    prev = Some(w);
+                }
+            }
+            new_offsets[v + 1] = write as u32;
+        }
+        targets.truncate(write);
+        let num_edges = write / 2;
+        Graph { offsets: new_offsets, targets, num_edges }
     }
 
     /// Number of vertices.
@@ -94,6 +132,12 @@ impl Graph {
     /// `true` if `a` and `b` are adjacent.
     pub fn has_edge(&self, a: usize, b: usize) -> bool {
         self.neighbors(a).binary_search(&(b as u32)).is_ok()
+    }
+
+    /// Heap bytes held by the CSR arrays. The network's memory-footprint
+    /// report sums this with the channel tables to prove O(n + m) setup.
+    pub fn memory_bytes(&self) -> usize {
+        (self.offsets.capacity() + self.targets.capacity()) * std::mem::size_of::<u32>()
     }
 
     /// All edges in canonical `(lo, hi)` order, sorted.

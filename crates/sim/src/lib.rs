@@ -71,8 +71,10 @@ pub mod stats;
 pub mod topology;
 pub mod trace;
 
-pub use engine::{Counters, Engine, Resolver, RunOutcome};
+pub use engine::{Counters, Engine, Renumbering, Resolver, RunOutcome};
 pub use ids::{Edge, GlobalChannel, LocalChannel, NodeId, Slot};
-pub use network::{Network, NetworkBuilder, NetworkError, NetworkStats, StatsMode};
+pub use network::{
+    MemoryFootprint, Network, NetworkBuilder, NetworkError, NetworkStats, StatsMode,
+};
 pub use protocol::{act_batch_buffered, Action, BatchCtx, Feedback, NodeCtx, Protocol, SlotCtx};
 pub use spectrum::{SpectrumDynamics, SpectrumState};

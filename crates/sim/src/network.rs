@@ -12,7 +12,6 @@
 use crate::bitset::BitSet;
 use crate::graph::Graph;
 use crate::ids::{Edge, GlobalChannel, LocalChannel, NodeId};
-use std::collections::HashMap;
 use std::fmt;
 
 /// Errors produced while validating a [`NetworkBuilder`].
@@ -41,6 +40,11 @@ pub enum NetworkError {
     NoSharedChannel(NodeId, NodeId),
     /// A node was not assigned channels at all.
     MissingChannels(NodeId),
+    /// More nodes than [`NodeId`]'s `u32` payload can index.
+    TooManyNodes(usize),
+    /// More channels per node than [`LocalChannel`]'s `u16` payload can
+    /// index.
+    TooManyChannels(usize),
 }
 
 impl fmt::Display for NetworkError {
@@ -60,6 +64,12 @@ impl fmt::Display for NetworkError {
                 write!(f, "neighbors {u} and {v} share no channel (k >= 1 required)")
             }
             NetworkError::MissingChannels(v) => write!(f, "node {v} was never assigned channels"),
+            NetworkError::TooManyNodes(n) => {
+                write!(f, "{n} nodes overflow the u32 node-id space")
+            }
+            NetworkError::TooManyChannels(c) => {
+                write!(f, "{c} channels per node overflow the u16 local-label space")
+            }
         }
     }
 }
@@ -129,15 +139,130 @@ pub struct NetworkStats {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Network {
-    /// `channels[v][l]` = global channel for local label `l` at node `v`.
-    channels: Vec<Vec<GlobalChannel>>,
-    /// Reverse maps, one per node.
-    reverse: Vec<HashMap<GlobalChannel, LocalChannel>>,
+    /// Channels per node, the paper's `c`.
+    c: usize,
+    /// `channels[v*c + l]` = global channel for local label `l` at node `v`
+    /// (flat, stride `c`).
+    channels: Vec<GlobalChannel>,
+    /// Per-node reverse map, flat with stride `c`: `rev_global[v*c..][..c]`
+    /// holds node `v`'s globals sorted ascending and `rev_local` the matching
+    /// local labels, so global→local is a binary search instead of a
+    /// per-node `HashMap`.
+    rev_global: Vec<u32>,
+    rev_local: Vec<u16>,
     graph: Graph,
-    /// Adjacency bitsets for O(1) neighbor tests in the engine hot loop.
-    adj_bits: Vec<BitSet>,
+    /// Degree-thresholded adjacency rows for the engine hot loop; see
+    /// [`AdjIndex`].
+    adj: AdjIndex,
     universe: usize,
     stats: NetworkStats,
+}
+
+/// Sentinel in [`AdjIndex::row_of`] for nodes without a dense row.
+const NO_ROW: u32 = u32::MAX;
+
+/// Dense adjacency rows for high-degree nodes only.
+///
+/// The old representation kept a `BitSet` row for *every* node — `O(n²)`
+/// bits, ~125 GB at `n = 10⁶`. But the engine only profits from a dense row
+/// when a node's degree exceeds the row's word count anyway (the
+/// listener-centric resolver's `d > words` dispatch), so rows are built only
+/// for nodes with `degree ≥ max(64, n/64)`. At most `2m / (n/64)` such nodes
+/// exist, bounding total row memory by `16m` bytes — `O(n + m)` overall.
+/// Low-degree pairs fall back to a binary search of the shorter CSR slice.
+#[derive(Debug, Clone)]
+struct AdjIndex {
+    /// Minimum degree for a dense row.
+    threshold: usize,
+    /// `row_of[v]` = index into `rows`, or [`NO_ROW`].
+    row_of: Vec<u32>,
+    rows: Vec<BitSet>,
+}
+
+impl AdjIndex {
+    fn build(graph: &Graph) -> AdjIndex {
+        let n = graph.len();
+        let threshold = (n / 64).max(64);
+        let mut row_of = vec![NO_ROW; n];
+        let mut rows = Vec::new();
+        for (v, row) in row_of.iter_mut().enumerate() {
+            if graph.degree(v) >= threshold {
+                let mut bits = BitSet::new(n);
+                for &w in graph.neighbors(v) {
+                    bits.insert(w as usize);
+                }
+                *row = u32::try_from(rows.len()).expect("row count fits u32");
+                rows.push(bits);
+            }
+        }
+        AdjIndex { threshold, row_of, rows }
+    }
+
+    #[inline]
+    fn row(&self, v: usize) -> Option<&BitSet> {
+        match self.row_of[v] {
+            NO_ROW => None,
+            r => Some(&self.rows[r as usize]),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.row_of.capacity() * std::mem::size_of::<u32>()
+            + self.rows.iter().map(|b| b.words().len() * 8).sum::<usize>()
+    }
+}
+
+/// Where the bytes of a built [`Network`] go — the proof obligation for the
+/// million-node path is that this stays `O(n + m)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryFootprint {
+    /// CSR offsets + targets.
+    pub graph_bytes: usize,
+    /// Flat channel table plus the sorted reverse maps.
+    pub channel_bytes: usize,
+    /// Degree-thresholded dense adjacency rows (plus the row index).
+    pub adjacency_bytes: usize,
+    /// Number of nodes that earned a dense adjacency row.
+    pub adjacency_rows: usize,
+}
+
+impl MemoryFootprint {
+    /// Sum over all components.
+    pub fn total_bytes(&self) -> usize {
+        self.graph_bytes + self.channel_bytes + self.adjacency_bytes
+    }
+}
+
+impl fmt::Display for MemoryFootprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mib = |b: usize| b as f64 / (1024.0 * 1024.0);
+        write!(
+            f,
+            "graph {:.1} MiB + channels {:.1} MiB + adj {:.1} MiB ({} rows) = {:.1} MiB",
+            mib(self.graph_bytes),
+            mib(self.channel_bytes),
+            mib(self.adjacency_bytes),
+            self.adjacency_rows,
+            mib(self.total_bytes()),
+        )
+    }
+}
+
+/// Number of common elements of two sorted, duplicate-free slices.
+fn sorted_intersection_count(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut out) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
 }
 
 impl Network {
@@ -203,7 +328,13 @@ impl Network {
 
     /// Channels per node, the paper's `c`.
     pub fn channels_per_node(&self) -> usize {
-        self.channels[0].len()
+        self.c
+    }
+
+    /// Node `v`'s reverse-map slice of sorted global channel ids.
+    #[inline]
+    fn rev_globals(&self, v: usize) -> &[u32] {
+        &self.rev_global[v * self.c..(v + 1) * self.c]
     }
 
     /// Number of distinct global channels.
@@ -227,18 +358,20 @@ impl Network {
     /// Panics if the label is out of range.
     #[inline]
     pub fn local_to_global(&self, v: NodeId, l: LocalChannel) -> GlobalChannel {
-        self.channels[v.index()][l.index()]
+        self.channel_map(v)[l.index()]
     }
 
     /// Translates a physical channel to node `v`'s local label, if `v` can
     /// access it.
     pub fn global_to_local(&self, v: NodeId, g: GlobalChannel) -> Option<LocalChannel> {
-        self.reverse[v.index()].get(&g).copied()
+        let s = v.index() * self.c;
+        let slice = &self.rev_global[s..s + self.c];
+        slice.binary_search(&g.0).ok().map(|i| LocalChannel(self.rev_local[s + i]))
     }
 
     /// Node `v`'s channel set in local-label order.
     pub fn channel_map(&self, v: NodeId) -> &[GlobalChannel] {
-        &self.channels[v.index()]
+        &self.channels[v.index() * self.c..(v.index() + 1) * self.c]
     }
 
     /// Sorted neighbor identities of `v`.
@@ -260,31 +393,73 @@ impl Network {
     }
 
     /// `true` if `u` and `v` are neighbors.
+    ///
+    /// High-degree endpoints answer from their dense adjacency row; pairs of
+    /// low-degree nodes binary-search the shorter CSR slice.
     #[inline]
     pub fn are_neighbors(&self, u: NodeId, v: NodeId) -> bool {
-        self.adj_bits[u.index()].contains(v.index())
+        let (ui, vi) = (u.index(), v.index());
+        if let Some(row) = self.adj.row(ui) {
+            return row.contains(vi);
+        }
+        if let Some(row) = self.adj.row(vi) {
+            return row.contains(ui);
+        }
+        let (a, b) =
+            if self.graph.degree(ui) <= self.graph.degree(vi) { (ui, vi) } else { (vi, ui) };
+        self.graph.neighbors(a).binary_search(&(b as u32)).is_ok()
     }
 
-    /// `v`'s adjacency row as a bit set over node indices — the engine's
-    /// listener-centric resolver intersects it with the per-channel
-    /// broadcaster set word-by-word.
+    /// `v`'s adjacency row as a bit set over node indices, if `v`'s degree
+    /// crossed the dense-row threshold — the engine's listener-centric
+    /// resolver intersects it with the per-channel broadcaster set
+    /// word-by-word, and falls back to a CSR walk for low-degree nodes.
     #[inline]
-    pub fn adjacency_bits(&self, v: NodeId) -> &BitSet {
-        &self.adj_bits[v.index()]
+    pub fn adjacency_row(&self, v: NodeId) -> Option<&BitSet> {
+        self.adj.row(v.index())
+    }
+
+    /// Degree at or above which a node keeps a dense adjacency row.
+    pub fn adjacency_row_threshold(&self) -> usize {
+        self.adj.threshold
+    }
+
+    /// Heap bytes held by the network's index structures, itemized. The
+    /// million-node acceptance gate asserts this stays `O(n + m)`.
+    pub fn memory_footprint(&self) -> MemoryFootprint {
+        MemoryFootprint {
+            graph_bytes: self.graph.memory_bytes(),
+            channel_bytes: self.channels.capacity() * std::mem::size_of::<GlobalChannel>()
+                + self.rev_global.capacity() * std::mem::size_of::<u32>()
+                + self.rev_local.capacity() * std::mem::size_of::<u16>(),
+            adjacency_bytes: self.adj.memory_bytes(),
+            adjacency_rows: self.adj.rows.len(),
+        }
     }
 
     /// The global channels shared by `u` and `v`, sorted.
     pub fn shared_channels(&self, u: NodeId, v: NodeId) -> Vec<GlobalChannel> {
-        let set: &HashMap<GlobalChannel, LocalChannel> = &self.reverse[v.index()];
-        let mut shared: Vec<GlobalChannel> =
-            self.channels[u.index()].iter().copied().filter(|g| set.contains_key(g)).collect();
-        shared.sort_unstable();
+        let a = self.rev_globals(u.index());
+        let b = self.rev_globals(v.index());
+        let mut shared = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    shared.push(GlobalChannel(a[i]));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
         shared
     }
 
     /// `|shared_channels(u, v)|`, the paper's `k_{u,v}`.
     pub fn overlap(&self, u: NodeId, v: NodeId) -> usize {
-        self.shared_channels(u, v).len()
+        sorted_intersection_count(self.rev_globals(u.index()), self.rev_globals(v.index()))
     }
 
     /// All edges of the network.
@@ -295,7 +470,7 @@ impl Network {
     /// Number of `v`'s neighbors that can access global channel `g` — the
     /// paper's `n_ch` ("crowdedness" of a channel from `v`'s perspective).
     pub fn channel_crowd(&self, v: NodeId, g: GlobalChannel) -> usize {
-        self.neighbors(v).filter(|&w| self.reverse[w.index()].contains_key(&g)).count()
+        self.neighbors(v).filter(|&w| self.global_to_local(w, g).is_some()).count()
     }
 
     /// The number of neighbors of `v` sharing at least `khat` channels with
@@ -385,18 +560,25 @@ impl NetworkBuilder {
         if self.n == 0 {
             return Err(NetworkError::NoNodes);
         }
-        let mut channels = Vec::with_capacity(self.n);
+        if self.n > u32::MAX as usize {
+            return Err(NetworkError::TooManyNodes(self.n));
+        }
         for (i, c) in self.channels.iter().enumerate() {
             match c {
                 None => return Err(NetworkError::MissingChannels(NodeId(i as u32))),
                 Some(list) if list.is_empty() => {
                     return Err(NetworkError::EmptyChannelSet(NodeId(i as u32)))
                 }
-                Some(list) => channels.push(list.clone()),
+                Some(_) => {}
             }
         }
-        let c = channels[0].len();
-        for (i, list) in channels.iter().enumerate() {
+        let c = self.channels[0].as_ref().expect("checked above").len();
+        if c > u16::MAX as usize {
+            return Err(NetworkError::TooManyChannels(c));
+        }
+        for (i, list) in
+            self.channels.iter().map(|l| l.as_ref().expect("checked above")).enumerate()
+        {
             if list.len() != c {
                 return Err(NetworkError::UnequalChannelCounts {
                     node: NodeId(i as u32),
@@ -405,15 +587,28 @@ impl NetworkBuilder {
                 });
             }
         }
-        let mut reverse: Vec<HashMap<GlobalChannel, LocalChannel>> = Vec::with_capacity(self.n);
-        for (i, list) in channels.iter().enumerate() {
-            let mut map = HashMap::with_capacity(list.len());
-            for (l, &g) in list.iter().enumerate() {
-                if map.insert(g, LocalChannel(l as u16)).is_some() {
-                    return Err(NetworkError::DuplicateChannel(NodeId(i as u32), g));
-                }
+        // Flatten the channel table and build the sorted reverse maps —
+        // per-node (global, local) pairs sorted by global, so global→local
+        // lookups binary-search a stride-`c` slice instead of hashing.
+        let mut channels = Vec::with_capacity(self.n * c);
+        let mut rev_global = Vec::with_capacity(self.n * c);
+        let mut rev_local = Vec::with_capacity(self.n * c);
+        let mut perm: Vec<(u32, u16)> = Vec::with_capacity(c);
+        for (i, list) in
+            self.channels.iter().map(|l| l.as_ref().expect("checked above")).enumerate()
+        {
+            channels.extend(list.iter().copied());
+            perm.clear();
+            perm.extend(list.iter().enumerate().map(|(l, g)| (g.0, l as u16)));
+            perm.sort_unstable();
+            if let Some(w) = perm.windows(2).find(|w| w[0].0 == w[1].0) {
+                return Err(NetworkError::DuplicateChannel(
+                    NodeId(i as u32),
+                    GlobalChannel(w[0].0),
+                ));
             }
-            reverse.push(map);
+            rev_global.extend(perm.iter().map(|p| p.0));
+            rev_local.extend(perm.iter().map(|p| p.1));
         }
         let mut raw_edges = Vec::with_capacity(self.edges.len());
         for &(u, v) in &self.edges {
@@ -430,32 +625,23 @@ impl NetworkBuilder {
         }
         let graph = Graph::from_edges(self.n, &raw_edges);
 
-        // k / kmax ground truth + the k >= 1 model requirement.
+        // k / kmax ground truth + the k >= 1 model requirement, via a merge
+        // of the two endpoints' sorted reverse slices per edge.
+        let rev_of = |v: usize| &rev_global[v * c..(v + 1) * c];
         let mut k = c;
         let mut kmax = 1usize.min(c);
         for (a, b) in graph.edges() {
-            let u = NodeId(a);
-            let v = NodeId(b);
-            let shared =
-                reverse[v.index()].keys().filter(|g| reverse[u.index()].contains_key(g)).count();
+            let shared = sorted_intersection_count(rev_of(a as usize), rev_of(b as usize));
             if shared == 0 {
-                return Err(NetworkError::NoSharedChannel(u, v));
+                return Err(NetworkError::NoSharedChannel(NodeId(a), NodeId(b)));
             }
             k = k.min(shared);
             kmax = kmax.max(shared);
         }
 
-        let mut adj_bits = Vec::with_capacity(self.n);
-        for v in 0..self.n {
-            let mut bits = BitSet::new(self.n);
-            for &w in graph.neighbors(v) {
-                bits.insert(w as usize);
-            }
-            adj_bits.push(bits);
-        }
+        let adj = AdjIndex::build(&graph);
 
-        let mut universe_set: Vec<u32> =
-            channels.iter().flat_map(|list| list.iter().map(|g| g.0)).collect();
+        let mut universe_set: Vec<u32> = rev_global.clone();
         universe_set.sort_unstable();
         universe_set.dedup();
 
@@ -476,7 +662,16 @@ impl NetworkBuilder {
             diameter_is_exact: self.stats == StatsMode::Exact,
         };
 
-        Ok(Network { channels, reverse, graph, adj_bits, universe: universe_set.len(), stats })
+        Ok(Network {
+            c,
+            channels,
+            rev_global,
+            rev_local,
+            graph,
+            adj,
+            universe: universe_set.len(),
+            stats,
+        })
     }
 }
 
@@ -660,5 +855,51 @@ mod tests {
     fn error_messages_are_informative() {
         let e = NetworkError::NoSharedChannel(NodeId(1), NodeId(2));
         assert!(e.to_string().contains("share no channel"));
+    }
+
+    #[test]
+    fn dense_rows_only_for_hubs_and_neighbor_tests_agree() {
+        // Star with 200 leaves: only the center crosses the max(64, n/64)
+        // threshold, and every pairwise answer matches the edge list.
+        let n = 201usize;
+        let mut b = Network::builder(n);
+        for v in 0..n {
+            b.set_channels(NodeId(v as u32), vec![g(0)]);
+        }
+        for leaf in 1..n {
+            b.add_edge(NodeId(0), NodeId(leaf as u32));
+        }
+        let net = b.build().unwrap();
+        assert!(net.adjacency_row(NodeId(0)).is_some(), "hub should get a dense row");
+        assert!(net.adjacency_row(NodeId(1)).is_none(), "leaf should not");
+        assert_eq!(net.memory_footprint().adjacency_rows, 1);
+        for v in 1..n as u32 {
+            assert!(net.are_neighbors(NodeId(0), NodeId(v)));
+            assert!(net.are_neighbors(NodeId(v), NodeId(0)), "probe via hub row symmetric");
+            assert!(!net.are_neighbors(NodeId(1), NodeId(v)) || v == 1);
+            assert!(!net.are_neighbors(NodeId(v), NodeId(v)), "self-non-adjacency");
+        }
+    }
+
+    #[test]
+    fn memory_footprint_is_linear_not_quadratic() {
+        // A 4096-node cycle: the old dense representation held n² bits
+        // (2 MiB of rows); the thresholded index keeps no rows at all.
+        let n = 4096usize;
+        let mut b = Network::builder(n);
+        for v in 0..n {
+            b.set_channels(NodeId(v as u32), vec![g(0)]);
+        }
+        for v in 0..n {
+            b.add_edge(NodeId(v as u32), NodeId(((v + 1) % n) as u32));
+        }
+        b.stats_mode(StatsMode::Approximate);
+        let net = b.build().unwrap();
+        let fp = net.memory_footprint();
+        assert_eq!(fp.adjacency_rows, 0, "degree-2 nodes earn no dense rows");
+        assert!(fp.total_bytes() < 512 * 1024, "O(n + m) footprint expected, got {fp}");
+        assert!(net.are_neighbors(NodeId(0), NodeId(1)));
+        assert!(net.are_neighbors(NodeId(0), NodeId((n - 1) as u32)));
+        assert!(!net.are_neighbors(NodeId(0), NodeId(2)));
     }
 }

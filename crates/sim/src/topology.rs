@@ -55,6 +55,18 @@ pub enum Topology {
         /// Edge probability.
         p: f64,
     },
+    /// Erdős–Rényi `G(n, p)` sampled by geometric skips: the generator
+    /// draws one random number per *edge* (plus one per gap), not one per
+    /// pair, so a million-node sparse graph materializes in O(n + m) time.
+    /// Same distribution as [`Topology::ErdosRenyi`], but a different RNG
+    /// stream for the same seed — use this variant for huge sparse
+    /// networks, the quadratic one where byte-exact legacy streams matter.
+    SparseErdosRenyi {
+        /// Number of nodes.
+        n: usize,
+        /// Edge probability.
+        p: f64,
+    },
     /// Random geometric graph: `n` points uniform in the unit square,
     /// connected when within Euclidean distance `radius`.
     RandomGeometric {
@@ -105,6 +117,7 @@ impl Topology {
                 }
             }
             Topology::ErdosRenyi { n, .. } => n,
+            Topology::SparseErdosRenyi { n, .. } => n,
             Topology::RandomGeometric { n, .. } => n,
             Topology::Caterpillar { spine, legs } => spine * (legs + 1),
             Topology::Dumbbell { legs } => 2 * (legs + 1),
@@ -199,20 +212,122 @@ impl Topology {
                 }
                 e
             }
+            Topology::SparseErdosRenyi { n, p } => {
+                assert!((0.0..=1.0).contains(&p), "probability out of range");
+                if n < 2 || p <= 0.0 {
+                    return Vec::new();
+                }
+                if p >= 1.0 {
+                    return Topology::Complete { n }.edges(rng);
+                }
+                // Geometric skip sampling over the lexicographic pair
+                // sequence (0,1), (0,2), …, (n-2, n-1): each draw yields the
+                // gap to the next present edge, so the loop runs O(m) times.
+                let pairs: u64 = (n as u64) * (n as u64 - 1) / 2;
+                let log1p = (1.0 - p).ln();
+                let mut e = Vec::new();
+                // Cursor over the pair sequence; (a, b) tracks the pair at
+                // linear index `i` so advancing is amortized O(1) per edge.
+                let mut i: u64 = 0;
+                let (mut a, mut b) = (0u64, 1u64);
+                let advance = |a: &mut u64, b: &mut u64, mut k: u64| {
+                    // Move the (a, b) cursor k positions forward.
+                    loop {
+                        let row_left = (n as u64) - 1 - *b;
+                        if k <= row_left {
+                            *b += k;
+                            return;
+                        }
+                        k -= row_left + 1;
+                        *a += 1;
+                        *b = *a + 1;
+                    }
+                };
+                loop {
+                    let u = rand::unit_f64(rng.next_u64());
+                    // Gap ~ Geometric(p): number of absent pairs before the
+                    // next edge. (1-u) > 0 because u ∈ [0, 1).
+                    let gap = ((1.0 - u).ln() / log1p).floor();
+                    let gap = if gap >= pairs as f64 { pairs } else { gap as u64 };
+                    i = match i.checked_add(gap) {
+                        Some(v) => v,
+                        None => break,
+                    };
+                    if i >= pairs {
+                        break;
+                    }
+                    advance(&mut a, &mut b, gap);
+                    e.push((a as u32, b as u32));
+                    i += 1;
+                    if i >= pairs {
+                        break;
+                    }
+                    advance(&mut a, &mut b, 1);
+                }
+                e
+            }
             Topology::RandomGeometric { n, radius } => {
                 assert!(radius > 0.0, "radius must be positive");
+                if n == 0 {
+                    return Vec::new();
+                }
                 let pts: Vec<(f64, f64)> =
                     (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+                // Bucket the unit square into a grid of side ≥ radius, so
+                // every in-range pair sits in adjacent cells and each node
+                // only inspects its 3×3 neighborhood — O(n + m) expected
+                // instead of the all-pairs O(n²) scan. The output order
+                // (per-`a` ascending `b`) is identical to the scan's.
+                let cells = {
+                    let by_r = if radius >= 1.0 { 1 } else { (1.0 / radius) as usize };
+                    let by_n = ((n as f64).sqrt().ceil() as usize).max(1);
+                    by_r.clamp(1, by_n)
+                };
+                let cell_xy = |x: f64, y: f64| {
+                    let cx = ((x * cells as f64) as usize).min(cells - 1);
+                    let cy = ((y * cells as f64) as usize).min(cells - 1);
+                    (cx, cy)
+                };
+                let nc = cells * cells;
+                let mut off = vec![0u32; nc + 1];
+                for &(x, y) in &pts {
+                    let (cx, cy) = cell_xy(x, y);
+                    off[cy * cells + cx + 1] += 1;
+                }
+                for c in 1..=nc {
+                    off[c] += off[c - 1];
+                }
+                let mut bucket = vec![0u32; n];
+                let mut cur = off[..nc].to_vec();
+                for (v, &(x, y)) in pts.iter().enumerate() {
+                    let (cx, cy) = cell_xy(x, y);
+                    let c = cy * cells + cx;
+                    bucket[cur[c] as usize] = v as u32;
+                    cur[c] += 1;
+                }
                 let r2 = radius * radius;
                 let mut e = Vec::new();
+                let mut cand: Vec<u32> = Vec::new();
                 for a in 0..n {
-                    for b in (a + 1)..n {
-                        let dx = pts[a].0 - pts[b].0;
-                        let dy = pts[a].1 - pts[b].1;
-                        if dx * dx + dy * dy <= r2 {
-                            e.push((a as u32, b as u32));
+                    let (ax, ay) = pts[a];
+                    let (cx, cy) = cell_xy(ax, ay);
+                    cand.clear();
+                    for gy in cy.saturating_sub(1)..=(cy + 1).min(cells - 1) {
+                        for gx in cx.saturating_sub(1)..=(cx + 1).min(cells - 1) {
+                            let c = gy * cells + gx;
+                            for &b in &bucket[off[c] as usize..off[c + 1] as usize] {
+                                if (b as usize) > a {
+                                    let dx = ax - pts[b as usize].0;
+                                    let dy = ay - pts[b as usize].1;
+                                    if dx * dx + dy * dy <= r2 {
+                                        cand.push(b);
+                                    }
+                                }
+                            }
                         }
                     }
+                    cand.sort_unstable();
+                    e.extend(cand.iter().map(|&b| (a as u32, b)));
                 }
                 e
             }
@@ -346,6 +461,79 @@ mod tests {
                 ref_rng.next_u64(),
                 "n={n} p={p}: RNG states diverge after edge sampling"
             );
+        }
+    }
+
+    #[test]
+    fn sparse_erdos_renyi_extremes_and_determinism() {
+        let g0 = build(&Topology::SparseErdosRenyi { n: 10, p: 0.0 }, 1);
+        assert_eq!(g0.num_edges(), 0);
+        let g1 = build(&Topology::SparseErdosRenyi { n: 10, p: 1.0 }, 1);
+        assert_eq!(g1.num_edges(), 45);
+        let t = Topology::SparseErdosRenyi { n: 50, p: 0.1 };
+        let mut r1 = stream_rng(5, 0);
+        let mut r2 = stream_rng(5, 0);
+        assert_eq!(t.edges(&mut r1), t.edges(&mut r2));
+    }
+
+    #[test]
+    fn sparse_erdos_renyi_emits_canonical_valid_pairs() {
+        let n = 200usize;
+        let t = Topology::SparseErdosRenyi { n, p: 0.05 };
+        let mut rng = stream_rng(13, 0);
+        let edges = t.edges(&mut rng);
+        assert!(!edges.is_empty());
+        for win in edges.windows(2) {
+            assert!(win[0] < win[1], "lexicographic order, no duplicates");
+        }
+        for &(a, b) in &edges {
+            assert!(a < b && (b as usize) < n, "pair ({a},{b}) out of range");
+        }
+    }
+
+    #[test]
+    fn sparse_erdos_renyi_edge_count_tracks_expectation() {
+        // E[m] = p·n(n−1)/2; with p = 8/(n−1) that is 4n. The skip sampler
+        // must land in a generous CLT window around it.
+        let n = 4000usize;
+        let p = 8.0 / (n as f64 - 1.0);
+        let mut total = 0usize;
+        for s in 0..5u64 {
+            let mut rng = stream_rng(100 + s, 0);
+            total += Topology::SparseErdosRenyi { n, p }.edges(&mut rng).len();
+        }
+        let mean = total as f64 / 5.0;
+        let expect = 4.0 * n as f64;
+        assert!(
+            (mean - expect).abs() < 0.1 * expect,
+            "mean edge count {mean} too far from expectation {expect}"
+        );
+    }
+
+    #[test]
+    fn random_geometric_grid_matches_all_pairs_scan() {
+        // The bucketed generator must produce exactly what the quadratic
+        // scan over the same points would: same pairs, same order.
+        for (n, radius, seed) in [(60usize, 0.18f64, 3u64), (200, 0.07, 4), (40, 1.5, 5)] {
+            let t = Topology::RandomGeometric { n, radius };
+            let mut rng = stream_rng(seed, 0);
+            let got = t.edges(&mut rng);
+            // Re-draw the identical point set and brute-force the edges.
+            let mut ref_rng = stream_rng(seed, 0);
+            let pts: Vec<(f64, f64)> =
+                (0..n).map(|_| (ref_rng.gen::<f64>(), ref_rng.gen::<f64>())).collect();
+            let r2 = radius * radius;
+            let mut want = Vec::new();
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    let dx = pts[a].0 - pts[b].0;
+                    let dy = pts[a].1 - pts[b].1;
+                    if dx * dx + dy * dy <= r2 {
+                        want.push((a as u32, b as u32));
+                    }
+                }
+            }
+            assert_eq!(got, want, "n={n} radius={radius} seed={seed}");
         }
     }
 

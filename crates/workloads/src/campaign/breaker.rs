@@ -158,16 +158,6 @@ impl CircuitBreaker {
         }
     }
 
-    /// Restores trip count from a resumed journal (the failure *count*
-    /// restarts at zero: pre-crash consecutive failures that never tripped
-    /// are forgotten, exactly like a restarted process's in-memory state).
-    pub(crate) fn restore_trips(&mut self, trips: u32) {
-        self.trips = trips;
-        if self.tripped_permanently() {
-            self.state = BreakerState::Open { until_tick: u64::MAX };
-        }
-    }
-
     fn open_at(&mut self, tick: u64) {
         self.trips += 1;
         self.failures = 0;

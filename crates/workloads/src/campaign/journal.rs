@@ -6,18 +6,26 @@
 //! # Format
 //!
 //! ```text
-//! crn-campaign-journal v1
+//! crn-campaign-journal v2
 //! config 1f2e3d4c5b6a7988
 //! done a=0 t=0 attempt=0 seed=99 completed=412 slots=412 counters=412,300,...
 //! fail a=1 t=0 attempt=0 error=injected%20fault
 //! trip a=1 trips=1
 //! abandon a=1 t=0 attempts=3 why=exhausted
 //! skip a=2 t=5 attempt=0 reason=duty%20out%20of%20range
+//! wave t=3
 //! ```
 //!
 //! Records are appended as units finish and **fsynced once per scheduling
-//! wave** (the checkpoint boundary — see [`Journal::checkpoint`]). Free
-//! text is percent-escaped so every record is one `\n`-terminated line of
+//! wave** (the checkpoint boundary — see [`Journal::checkpoint`]). Each
+//! committed wave ends with a `wave t=<tick>` marker carrying the
+//! scheduling tick it was applied at; records after the last marker belong
+//! to a wave interrupted mid-apply. Resume replays the complete wave
+//! groups through the real retry/backoff/breaker logic at their recorded
+//! ticks — restoring mid-streak consecutive-failure counts and pending
+//! backoff delays exactly — and treats the uncommitted suffix as
+//! already-durable lines the re-executed wave must reproduce. Free text is
+//! percent-escaped so every record is one `\n`-terminated line of
 //! space-separated `key=value` fields.
 //!
 //! # Durability and recovery
@@ -40,7 +48,8 @@ use std::io::{Read, Seek, Write};
 use std::path::{Path, PathBuf};
 
 /// Magic first line; bump the version on any format change.
-const HEADER: &str = "crn-campaign-journal v1";
+/// v2 added the `wave` commit marker (exact breaker/backoff resume).
+const HEADER: &str = "crn-campaign-journal v2";
 
 /// Everything that can go wrong opening, reading, or resuming a journal.
 #[derive(Debug)]
@@ -148,6 +157,15 @@ pub enum Record {
         /// Trips so far, this one included.
         trips: u32,
     },
+    /// Commit marker: every record above this line belongs to a wave that
+    /// was applied in full at scheduling tick `tick`. Written at the end
+    /// of each loop iteration that journaled anything, immediately before
+    /// the checkpoint — so a journal whose tail has records after the last
+    /// `Wave` was killed mid-wave.
+    Wave {
+        /// The scheduling tick the wave was applied at.
+        tick: u64,
+    },
 }
 
 /// Percent-escapes free text into a single whitespace-free ASCII token.
@@ -250,6 +268,7 @@ impl Record {
                 format!("abandon a={arm} t={trial} attempts={attempts} why={}", why.token())
             }
             Record::Trip { arm, trips } => format!("trip a={arm} trips={trips}"),
+            Record::Wave { tick } => format!("wave t={tick}"),
         }
     }
 
@@ -308,6 +327,7 @@ impl Record {
                 arm: field("a")?.parse().ok()?,
                 trips: field("trips")?.parse().ok()?,
             }),
+            "wave" => Some(Record::Wave { tick: field("t")?.parse().ok()? }),
             _ => None,
         }
     }
@@ -541,6 +561,8 @@ mod tests {
             Record::Abandon { arm: 2, trial: 9, attempts: 3, why: AbandonReason::Exhausted },
             Record::Abandon { arm: 4, trial: 0, attempts: 1, why: AbandonReason::Tripped },
             Record::Trip { arm: 2, trips: 2 },
+            Record::Wave { tick: 0 },
+            Record::Wave { tick: u64::MAX },
         ];
         for rec in &records {
             let line = rec.encode();

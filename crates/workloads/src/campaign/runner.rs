@@ -15,18 +15,33 @@
 //!    count, because unit results are pure functions of the unit;
 //! 5. results are applied **sequentially in unit order**: outputs
 //!    recorded and journaled, retries re-enqueued at `tick + backoff`,
-//!    breakers fed; then the journal checkpoints (fsync) and the tick
-//!    advances. If nothing is runnable, the tick fast-forwards to the
-//!    next backoff expiry or breaker reopen instead of spinning.
+//!    breakers fed; then a `wave t=<tick>` commit marker is appended, the
+//!    journal checkpoints (fsync), and the tick advances. If nothing is
+//!    runnable, the tick fast-forwards to the next backoff expiry or
+//!    breaker reopen instead of spinning.
 //!
 //! Step 5's ordering is what makes retry accounting, breaker transitions,
 //! and journal bytes identical across thread counts — the wave *runs*
 //! concurrently but is *applied* canonically.
+//!
+//! # Resume
+//!
+//! The journal's `wave` markers record the tick every committed wave was
+//! applied at, so resume **replays** each complete wave group through the
+//! real lifecycle code ([`replay_wave`]) — consecutive-failure streaks,
+//! `Open`-breaker cooldown deadlines, and pending backoff `at_tick`s come
+//! back *exactly*, not approximately. Records after the last marker are a
+//! wave that was killed mid-apply: they are already durable on disk, so
+//! the loop resumes from the tick after the last commit, deterministically
+//! re-executes that wave, and matches each would-be append against the
+//! journaled suffix instead of writing it twice. A journal ending on a
+//! commit therefore resumes without invoking `run_unit` at all.
 
 use super::breaker::CircuitBreaker;
 use super::journal::{config_hash, Journal, JournalError, Record};
-use super::lifecycle::{AbandonReason, ArmResult, CampaignSpec, FaultPlan, Unit};
+use super::lifecycle::{AbandonReason, ArmResult, CampaignSpec, FaultPlan, RetryPolicy, Unit};
 use crate::runner::{run_parallel_stateful, Trial};
+use std::collections::VecDeque;
 use std::path::Path;
 
 /// Why [`run_campaign`] returned.
@@ -99,7 +114,9 @@ pub struct CampaignReport {
     pub outcome: CampaignOutcome,
     /// Per-arm results, in spec order.
     pub arms: Vec<ArmReport>,
-    /// Scheduling ticks consumed (this process only).
+    /// Final value of the scheduling tick counter. Absolute: a resumed
+    /// run continues counting from the journal's last committed wave, so
+    /// this matches the uninterrupted run's count.
     pub ticks: u64,
     /// `true` if the run resumed from an existing journal.
     pub resumed: bool,
@@ -153,6 +170,43 @@ struct ArmState {
     backoff_ticks: u64,
 }
 
+/// The journal plus the resume dedup queue: records a killed run already
+/// persisted past its last `wave` commit marker. A resumed run re-executes
+/// that wave deterministically, so each would-be append is matched against
+/// the queue front and *not* written again — journal bytes stay identical
+/// to an uninterrupted run's.
+struct JournalSink {
+    journal: Option<Journal>,
+    pending: VecDeque<Record>,
+    /// Anything appended (or matched against `pending`) since the last
+    /// `wave` commit marker — decides whether the iteration ends with one.
+    appended: bool,
+}
+
+impl JournalSink {
+    fn append(&mut self, record: Record) {
+        self.appended = true;
+        if let Some(front) = self.pending.front() {
+            debug_assert_eq!(
+                front, &record,
+                "resumed wave must reproduce the journaled partial wave byte for byte"
+            );
+            self.pending.pop_front();
+            return; // already durable on disk from the killed run
+        }
+        if let Some(j) = self.journal.as_mut() {
+            j.append(&record);
+        }
+    }
+
+    fn checkpoint(&mut self) -> Result<(), JournalError> {
+        match self.journal.as_mut() {
+            Some(j) => j.checkpoint(),
+            None => Ok(()),
+        }
+    }
+}
+
 /// Runs (or resumes) the campaign described by `spec`.
 ///
 /// * `threads` — parallelism of each wave; never affects results.
@@ -192,8 +246,10 @@ pub fn run_campaign<S>(
     let mut recorded = 0usize;
     let mut resumed = false;
     let mut recovered_torn_tail = false;
+    let mut start_tick = 0u64;
+    let mut pending: VecDeque<Record> = VecDeque::new();
 
-    let mut journal = match journal_path {
+    let journal = match journal_path {
         None => None,
         Some(path) if path.exists() => {
             let loaded = Journal::load(path)?;
@@ -206,17 +262,33 @@ pub fn run_campaign<S>(
             }
             resumed = true;
             recovered_torn_tail = loaded.recovered_torn_tail;
-            for rec in &loaded.records {
-                apply_restored(&mut arms, rec, &mut recorded);
+            // Replay every committed wave group at its recorded tick;
+            // records after the last commit marker are the dedup queue a
+            // re-executed partial wave is matched against.
+            let mut group_start = 0usize;
+            for (i, rec) in loaded.records.iter().enumerate() {
+                if let Record::Wave { tick } = rec {
+                    replay_wave(
+                        &mut arms,
+                        &spec.retry,
+                        &loaded.records[group_start..i],
+                        *tick,
+                        &mut recorded,
+                    );
+                    group_start = i + 1;
+                    start_tick = tick + 1;
+                }
             }
+            pending.extend(loaded.records[group_start..].iter().cloned());
             Some(Journal::reopen_append(path)?)
         }
         Some(path) => Some(Journal::create(path, hash)?),
     };
+    let mut sink = JournalSink { journal, pending, appended: false };
 
     let kill_now = |recorded: usize| fault.kill_after_trials.is_some_and(|n| recorded >= n);
 
-    let mut tick = 0u64;
+    let mut tick = start_tick;
     let report = 'campaign: loop {
         // 1. Sweep permanently tripped arms: their waiting units are
         // abandoned (they could otherwise wait forever on a breaker that
@@ -231,14 +303,12 @@ pub fn run_campaign<S>(
                         attempts: attempt,
                         why: AbandonReason::Tripped,
                     });
-                    if let Some(j) = journal.as_mut() {
-                        j.append(&Record::Abandon {
-                            arm: a,
-                            trial: t,
-                            attempts: attempt,
-                            why: AbandonReason::Tripped,
-                        });
-                    }
+                    sink.append(Record::Abandon {
+                        arm: a,
+                        trial: t,
+                        attempts: attempt,
+                        why: AbandonReason::Tripped,
+                    });
                     recorded += 1;
                     if kill_now(recorded) {
                         break 'campaign finish(
@@ -336,27 +406,23 @@ pub fn run_campaign<S>(
                 ArmResult::Done { output } => {
                     arm.slots[unit.trial] = Slot::Terminal(TrialState::Done(output));
                     arm.breaker.on_success();
-                    if let Some(j) = journal.as_mut() {
-                        j.append(&Record::Done {
-                            arm: unit.arm,
-                            trial: unit.trial,
-                            attempt: unit.attempt,
-                            output,
-                        });
-                    }
+                    sink.append(Record::Done {
+                        arm: unit.arm,
+                        trial: unit.trial,
+                        attempt: unit.attempt,
+                        output,
+                    });
                     recorded += 1;
                 }
                 ArmResult::Skip { reason } => {
                     arm.slots[unit.trial] = Slot::Terminal(TrialState::Skipped(reason.clone()));
                     arm.breaker.on_success();
-                    if let Some(j) = journal.as_mut() {
-                        j.append(&Record::Skip {
-                            arm: unit.arm,
-                            trial: unit.trial,
-                            attempt: unit.attempt,
-                            reason,
-                        });
-                    }
+                    sink.append(Record::Skip {
+                        arm: unit.arm,
+                        trial: unit.trial,
+                        attempt: unit.attempt,
+                        reason,
+                    });
                     recorded += 1;
                 }
                 ArmResult::Continue { progress: _, resume_key } => {
@@ -370,18 +436,14 @@ pub fn run_campaign<S>(
                 }
                 ArmResult::Retryable { error } => {
                     arm.retries += 1;
-                    if let Some(j) = journal.as_mut() {
-                        j.append(&Record::Fail {
-                            arm: unit.arm,
-                            trial: unit.trial,
-                            attempt: unit.attempt,
-                            error,
-                        });
-                    }
+                    sink.append(Record::Fail {
+                        arm: unit.arm,
+                        trial: unit.trial,
+                        attempt: unit.attempt,
+                        error,
+                    });
                     if arm.breaker.on_failure(tick) {
-                        if let Some(j) = journal.as_mut() {
-                            j.append(&Record::Trip { arm: unit.arm, trips: arm.breaker.trips() });
-                        }
+                        sink.append(Record::Trip { arm: unit.arm, trips: arm.breaker.trips() });
                     }
                     let attempts_used = unit.attempt + 1;
                     if attempts_used >= spec.retry.max_attempts {
@@ -389,14 +451,12 @@ pub fn run_campaign<S>(
                             attempts: attempts_used,
                             why: AbandonReason::Exhausted,
                         });
-                        if let Some(j) = journal.as_mut() {
-                            j.append(&Record::Abandon {
-                                arm: unit.arm,
-                                trial: unit.trial,
-                                attempts: attempts_used,
-                                why: AbandonReason::Exhausted,
-                            });
-                        }
+                        sink.append(Record::Abandon {
+                            arm: unit.arm,
+                            trial: unit.trial,
+                            attempts: attempts_used,
+                            why: AbandonReason::Exhausted,
+                        });
                         recorded += 1;
                     } else {
                         let delay = spec.retry.backoff_ticks(unit.attempt);
@@ -424,52 +484,92 @@ pub fn run_campaign<S>(
             }
         }
 
-        // The wave's records become durable together: one checkpoint
-        // (fsync) per wave.
-        if let Some(j) = journal.as_mut() {
-            j.checkpoint()?;
+        // The wave's records become durable together: the commit marker,
+        // then one checkpoint (fsync) per wave. Iterations that journaled
+        // nothing (fast-forwards, all-`Continue` waves) get no marker —
+        // their buffered predecessors, if any, commit with a later wave.
+        if sink.appended {
+            sink.append(Record::Wave { tick });
+            sink.appended = false;
         }
+        sink.checkpoint()?;
         tick += 1;
     };
 
-    if let Some(j) = journal.as_mut() {
-        j.checkpoint()?;
-    }
+    sink.checkpoint()?;
     Ok(report)
 }
 
-/// Replays one journal record into the restored arm states.
-fn apply_restored(arms: &mut [ArmState], rec: &Record, recorded: &mut usize) {
-    match rec {
-        Record::Done { arm, trial, output, .. } => {
-            arms[*arm].invocations += 1;
-            arms[*arm].slots[*trial] = Slot::Terminal(TrialState::Done(*output));
-            *recorded += 1;
-        }
-        Record::Skip { arm, trial, reason, .. } => {
-            arms[*arm].invocations += 1;
-            arms[*arm].slots[*trial] = Slot::Terminal(TrialState::Skipped(reason.clone()));
-            *recorded += 1;
-        }
-        Record::Fail { arm, trial, attempt, .. } => {
-            let a = &mut arms[*arm];
-            a.invocations += 1;
-            a.retries += 1;
-            // The unit's next attempt number continues where the journal
-            // left off, so attempt-keyed fault injections (and any arm
-            // logic keyed on the attempt) behave identically to an
-            // uninterrupted run.
-            if let Slot::Waiting { attempt: at, .. } = &mut a.slots[*trial] {
-                *at = attempt + 1;
+/// Replays one committed wave group — the records between two `wave`
+/// markers — through the real lifecycle logic at the group's recorded
+/// tick. Because this runs the same `on_success`/`on_failure`/backoff
+/// code the live loop runs, a resumed campaign's breaker streaks, open
+/// cooldown deadlines, pending `at_tick`s, and accounting are *exactly*
+/// the uninterrupted run's, not an approximation from terminal states.
+fn replay_wave(
+    arms: &mut [ArmState],
+    retry: &RetryPolicy,
+    records: &[Record],
+    tick: u64,
+    recorded: &mut usize,
+) {
+    // Step 2 of the live loop. Intermediate fast-forward ticks journaled
+    // nothing and `Open → HalfOpen` depends only on the final tick, so
+    // one advance per group is exact.
+    for arm in arms.iter_mut() {
+        arm.breaker.tick(tick);
+    }
+    for rec in records {
+        match rec {
+            Record::Done { arm, trial, output, .. } => {
+                let a = &mut arms[*arm];
+                a.invocations += 1;
+                a.slots[*trial] = Slot::Terminal(TrialState::Done(*output));
+                a.breaker.on_success();
+                *recorded += 1;
             }
-        }
-        Record::Abandon { arm, trial, attempts, why } => {
-            arms[*arm].slots[*trial] =
-                Slot::Terminal(TrialState::Abandoned { attempts: *attempts, why: *why });
-            *recorded += 1;
-        }
-        Record::Trip { arm, trips } => {
-            arms[*arm].breaker.restore_trips(*trips);
+            Record::Skip { arm, trial, reason, .. } => {
+                let a = &mut arms[*arm];
+                a.invocations += 1;
+                a.slots[*trial] = Slot::Terminal(TrialState::Skipped(reason.clone()));
+                a.breaker.on_success();
+                *recorded += 1;
+            }
+            Record::Fail { arm, trial, attempt, .. } => {
+                let a = &mut arms[*arm];
+                a.invocations += 1;
+                a.retries += 1;
+                a.breaker.on_failure(tick);
+                let attempts_used = attempt + 1;
+                if attempts_used < retry.max_attempts {
+                    let delay = retry.backoff_ticks(*attempt);
+                    a.backoff_ticks += delay;
+                    a.slots[*trial] = Slot::Waiting {
+                        at_tick: tick + delay.max(1),
+                        attempt: attempts_used,
+                        resume: None,
+                    };
+                }
+                // Budget exhausted: the Abandon record that follows in
+                // the same group makes the unit terminal.
+            }
+            Record::Abandon { arm, trial, attempts, why } => {
+                arms[*arm].slots[*trial] =
+                    Slot::Terminal(TrialState::Abandoned { attempts: *attempts, why: *why });
+                *recorded += 1;
+            }
+            Record::Trip { arm, trips } => {
+                // Trips are reproduced by `on_failure` above; the record
+                // is a cross-check of the replay.
+                debug_assert_eq!(
+                    arms[*arm].breaker.trips(),
+                    *trips,
+                    "journaled trip count must match the replayed breaker"
+                );
+            }
+            Record::Wave { .. } => {
+                debug_assert!(false, "wave markers delimit groups and never appear inside one");
+            }
         }
     }
 }

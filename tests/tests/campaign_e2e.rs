@@ -179,6 +179,76 @@ fn breaker_trips_are_journaled_and_survive_resume() {
     std::fs::remove_file(&path).ok();
 }
 
+/// The v2 resume guarantee: a campaign killed **mid-failure-streak** —
+/// consecutive failures counted but the breaker not yet tripped, backoff
+/// delays pending — resumes with those exact counts and deadlines, because
+/// the journal's `wave` commit markers let resume replay every committed
+/// wave through the real breaker/backoff code at its recorded tick. The
+/// sweep kills at every terminal-record boundary under every thread
+/// count and demands the resumed report, absolute tick counter, and
+/// journal bytes all match the uninterrupted reference.
+#[test]
+fn kill_mid_streak_resumes_breaker_and_backoff_exactly() {
+    let mut spec = CampaignSpec::new(
+        "mid-streak",
+        vec![ArmSpec::new("doomed", 3), ArmSpec::new("flaky", 2), ArmSpec::new("fine", 2)],
+        11,
+    );
+    spec.retry = RetryPolicy { max_attempts: 4, backoff_base: 1, backoff_cap: 4 };
+    spec.breaker = BreakerConfig { failure_threshold: 2, cooldown_ticks: 2, max_trips: 2 };
+    // Arm 0 fails forever (streaks, trips, half-open probe failures, a
+    // permanent trip); arm 1's units fail transiently (multi-wave backoff
+    // chains that must survive a kill); arm 2 is healthy.
+    let rules = vec![
+        InjectRetryable { arm: 0, trial: None, attempts_below: u32::MAX },
+        InjectRetryable { arm: 1, trial: Some(0), attempts_below: 2 },
+        InjectRetryable { arm: 1, trial: Some(1), attempts_below: 1 },
+    ];
+    let fault = FaultPlan { kill_after_trials: None, inject_retryable: rules.clone() };
+
+    let ref_path = tmp("mid-streak-ref");
+    let baseline =
+        run_campaign(&spec, 1, Some(&ref_path), &fault, || (), |(), u| synth_unit(u)).unwrap();
+    assert_eq!(baseline.outcome, CampaignOutcome::Completed);
+    assert!(baseline.arms[0].tripped, "the doomed arm must exercise the permanent-trip path");
+    assert!(baseline.arms[1].retries > 0, "the flaky arm must exercise retries");
+    assert!(baseline.arms[1].backoff_ticks > 0, "retries must schedule backoff");
+    assert_eq!(baseline.done_outputs(2).len(), 2, "the healthy arm completes");
+    let ref_bytes = std::fs::read(&ref_path).unwrap();
+    std::fs::remove_file(&ref_path).ok();
+
+    for threads in [1usize, 2, 4] {
+        for k in 1..spec.total_trials() {
+            let path = tmp(&format!("mid-streak-t{threads}-k{k}"));
+            let kill = FaultPlan { kill_after_trials: Some(k), inject_retryable: rules.clone() };
+            let killed =
+                run_campaign(&spec, threads, Some(&path), &kill, || (), |(), u| synth_unit(u))
+                    .unwrap();
+            assert_eq!(killed.outcome, CampaignOutcome::Killed { recorded: k });
+
+            let resumed =
+                run_campaign(&spec, threads, Some(&path), &fault, || (), |(), u| synth_unit(u))
+                    .unwrap();
+            assert!(resumed.resumed);
+            assert_eq!(resumed.outcome, CampaignOutcome::Completed);
+            assert_eq!(
+                resumed.arms, baseline.arms,
+                "kill at {k} (threads {threads}) diverged from the uninterrupted campaign"
+            );
+            assert_eq!(
+                resumed.ticks, baseline.ticks,
+                "the tick counter must resume absolutely (kill {k}, threads {threads})"
+            );
+            assert_eq!(
+                std::fs::read(&path).unwrap(),
+                ref_bytes,
+                "journal bytes diverged (kill {k}, threads {threads})"
+            );
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Refusal and recovery paths
 // ---------------------------------------------------------------------
