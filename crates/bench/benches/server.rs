@@ -1,0 +1,150 @@
+//! Loopback load benchmarks for the campaign server (`server_load`).
+//!
+//! Load-testing the service *is* the bench scenario here: every row
+//! drives a real [`Server`] over real sockets on the loopback interface,
+//! so the numbers include the accept loop, worker handoff, parser,
+//! router, and store locking — the whole request path a remote client
+//! would see, minus the network.
+//!
+//! Rows:
+//!
+//! * `status_poll_1x64` — one client, 64 sequential `GET /campaigns/{id}`
+//!   polls of a completed job (per-request latency, cold connections).
+//! * `status_poll_8x8` — 8 concurrent client threads, 8 polls each,
+//!   hammering the status endpoint while the scheduler may be mid-run
+//!   (the store-lock contention row).
+//! * `lifecycle_resubmit` — submit → watch to terminal → fetch results
+//!   for an already-journaled campaign: the scheduler restores every
+//!   unit from the WAL, so the row measures pure service overhead
+//!   (queueing, scheduling, journal replay, serialization), not
+//!   simulation time.
+//!
+//! The group is print-only in `bench_regress`: loopback round-trips on a
+//! shared CI runner are scheduler-noise-bound, nothing here should gate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use crn_server::json::{parse, Json};
+use crn_server::{client, Server, ServerConfig};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Journal directory removed on drop, failure paths included.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new() -> TempDir {
+        let path = std::env::temp_dir().join(format!("crn-bench-server-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create bench journal dir");
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn submit(addr: SocketAddr, body: &str) -> u64 {
+    let resp = client::post(addr, "/campaigns", Some(body)).expect("submit");
+    assert_eq!(resp.status, 201, "submit: {}", resp.text());
+    parse(&resp.text()).expect("json").get("id").and_then(Json::as_u64).expect("id")
+}
+
+fn wait_terminal(addr: SocketAddr, id: u64) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let text = client::get(addr, &format!("/campaigns/{id}")).expect("poll").text();
+        let state = parse(&text)
+            .ok()
+            .and_then(|j| j.get("state").and_then(|s| s.as_str().map(str::to_string)))
+            .expect("state");
+        if state == "completed" {
+            return;
+        }
+        assert!(
+            !["killed", "cancelled", "failed"].contains(&state.as_str()),
+            "bench campaign ended {state}"
+        );
+        assert!(Instant::now() < deadline, "bench campaign timed out");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn poll_once(addr: SocketAddr, id: u64) {
+    let resp = client::get(addr, &format!("/campaigns/{id}")).expect("status poll");
+    assert_eq!(resp.status, 200);
+}
+
+fn server_load(criterion: &mut Criterion) {
+    let dir = TempDir::new();
+    let server = Server::start(ServerConfig {
+        journal_dir: dir.0.clone(),
+        workers: 4,
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+
+    // A completed job gives the status endpoint its full payload
+    // (progress snapshot + provenance flags) — the production poll shape.
+    let done_id = submit(addr, r#"{"kind":"e2","quick":true,"trials":1,"seed":3,"threads":2}"#);
+    wait_terminal(addr, done_id);
+
+    let mut group = criterion.benchmark_group("server_load");
+    group.sample_size(10);
+
+    group.throughput(Throughput::Elements(64));
+    group.bench_with_input(BenchmarkId::from_parameter("status_poll_1x64"), &(), |b, ()| {
+        b.iter(|| {
+            for _ in 0..64 {
+                poll_once(addr, done_id);
+            }
+        })
+    });
+
+    // Concurrency row: launch a longer campaign so at least the early
+    // iterations poll a *running* job, then hammer with 8 threads.
+    let running_id = submit(addr, r#"{"kind":"e2","quick":true,"trials":8,"seed":4,"threads":2}"#);
+    group.bench_with_input(BenchmarkId::from_parameter("status_poll_8x8"), &(), |b, ()| {
+        b.iter(|| {
+            std::thread::scope(|scope| {
+                for _ in 0..8 {
+                    scope.spawn(|| {
+                        for _ in 0..8 {
+                            poll_once(addr, running_id);
+                        }
+                    });
+                }
+            })
+        })
+    });
+    wait_terminal(addr, running_id);
+
+    // Lifecycle row: the campaign above is fully journaled, so each
+    // resubmission restores from the WAL — submit/queue/replay/results
+    // without simulation time.
+    group.throughput(Throughput::Elements(1));
+    let body = r#"{"kind":"e2","quick":true,"trials":8,"seed":4,"threads":2}"#;
+    group.bench_with_input(BenchmarkId::from_parameter("lifecycle_resubmit"), &(), |b, ()| {
+        b.iter(|| {
+            let id = submit(addr, body);
+            wait_terminal(addr, id);
+            let resp = client::get(addr, &format!("/campaigns/{id}/results")).expect("results");
+            assert_eq!(resp.status, 200);
+            resp.body.len()
+        })
+    });
+
+    group.finish();
+    server.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = server_load
+}
+criterion_main!(benches);

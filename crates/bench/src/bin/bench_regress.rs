@@ -57,7 +57,17 @@ const SHARDED_EXEMPT: &[&str] = &["sharded2", "sharded4", "sharded8"];
 ///   criteria — O(n + m) footprint and peak RSS — are hard-asserted by
 ///   the bench itself and by the `huge_smoke` CI binary; the timing here
 ///   is tracked for drift, not gated.
-const PRINT_ONLY_GROUPS: &[&str] = &["spectrum_churn", "campaign_resume", "huge_sparse_1e6"];
+/// * `server_load` — loopback HTTP round-trips through the campaign
+///   server. Each measurement is a handful of socket connect/read/write
+///   syscalls, so medians track the runner's kernel scheduler and
+///   loopback stack, not the code under test; on a shared CI machine the
+///   iteration-to-iteration spread exceeds any tolerance worth gating.
+///   The server's functional guarantees (byte-identical results, torn-
+///   read-free concurrent polling) are hard-asserted by the server e2e
+///   tests and the CI smoke step; the rows here are capacity drift
+///   telemetry.
+const PRINT_ONLY_GROUPS: &[&str] =
+    &["spectrum_churn", "campaign_resume", "huge_sparse_1e6", "server_load"];
 
 /// One `(group, id) → median_ns` measurement.
 type Report = BTreeMap<(String, String), f64>;

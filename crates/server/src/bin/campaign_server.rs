@@ -1,0 +1,66 @@
+//! The campaign server binary.
+//!
+//! ```text
+//! campaign_server [--addr HOST:PORT] [--workers N] [--journal-dir DIR] [--threads N]
+//! ```
+//!
+//! Binds (port 0 = ephemeral), prints the bound address on stdout, and
+//! serves until killed. Campaign journals go to `--journal-dir`; restart
+//! on the same directory and resubmit to resume interrupted campaigns.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use crn_server::{Server, ServerConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: campaign_server [--addr HOST:PORT] [--workers N] [--journal-dir DIR] [--threads N]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:8080".to_string(),
+        journal_dir: PathBuf::from("campaign-journals"),
+        ..ServerConfig::default()
+    };
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let Some(value) = args.next() else {
+            return usage();
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value,
+            "--workers" => match value.parse() {
+                Ok(n) if n >= 1 => cfg.workers = n,
+                _ => return usage(),
+            },
+            "--journal-dir" => cfg.journal_dir = PathBuf::from(value),
+            "--threads" => match value.parse() {
+                Ok(n) if n >= 1 => cfg.default_threads = n,
+                _ => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let server = match Server::start(cfg.clone()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("campaign_server: failed to start on {}: {e}", cfg.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    // Parsed by scripts (the CI smoke step): keep this line stable.
+    println!("listening on http://{}", server.addr());
+    println!("journals in {}", cfg.journal_dir.display());
+
+    // Serve until the process is killed; all state worth keeping is in
+    // the journals, so there is nothing to flush on the way out.
+    loop {
+        std::thread::park();
+    }
+}

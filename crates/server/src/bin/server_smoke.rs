@@ -1,0 +1,142 @@
+//! CI smoke for the campaign server: three runs of the same E2 campaign
+//! must produce byte-identical results.
+//!
+//! 1. **Batch reference** — `campaigns::run_e2` in-process, rendered with
+//!    the same canonical JSON shaping the server uses.
+//! 2. **Uninterrupted server** — submit over HTTP, poll to completion,
+//!    fetch `/results`.
+//! 3. **Killed + resumed server** — submit with the fault-plan kill
+//!    switch armed, watch the job die mid-campaign, tear the server down
+//!    (simulating the crash), start a fresh server on the same journal
+//!    directory, resubmit, and fetch `/results` from the resumed run.
+//!
+//! All three bodies must be equal. Exits non-zero (panic) on any
+//! mismatch; temp journal directories are removed by drop guards even on
+//! failure.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use crn_server::{client, router, Server, ServerConfig};
+use crn_workloads::campaign::FaultPlan;
+use crn_workloads::experiments::campaigns;
+use crn_workloads::experiments::ExpConfig;
+
+/// Removes its directory on drop — including the failure path, so a
+/// panicking smoke run doesn't leak journal dirs into the CI workspace.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let path = std::env::temp_dir().join(format!("crn-smoke-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create temp journal dir");
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn start(journal_dir: &TempDir) -> Server {
+    Server::start(ServerConfig {
+        journal_dir: journal_dir.0.clone(),
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("server starts")
+}
+
+fn submit(addr: SocketAddr, body: &str) -> u64 {
+    let resp = client::post(addr, "/campaigns", Some(body)).expect("submit succeeds");
+    assert_eq!(resp.status, 201, "submit: {}", resp.text());
+    let json = crn_server::json::parse(&resp.text()).expect("submit response is json");
+    json.get("id").and_then(crn_server::json::Json::as_u64).expect("submit response has id")
+}
+
+/// Polls `/campaigns/{id}` until the job reaches `want`, failing fast on
+/// any other terminal state.
+fn wait_for_state(addr: SocketAddr, id: u64, want: &str) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let resp = client::get(addr, &format!("/campaigns/{id}")).expect("status poll succeeds");
+        assert_eq!(resp.status, 200, "status: {}", resp.text());
+        let text = resp.text();
+        if text.contains(&format!("\"state\":\"{want}\"")) {
+            return;
+        }
+        for terminal in ["completed", "killed", "cancelled", "failed"] {
+            assert!(
+                terminal == want || !text.contains(&format!("\"state\":\"{terminal}\"")),
+                "job {id} reached {terminal:?} while waiting for {want:?}: {text}"
+            );
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for job {id} to be {want:?}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn fetch_results(addr: SocketAddr, id: u64) -> Vec<u8> {
+    let resp = client::get(addr, &format!("/campaigns/{id}/results")).expect("results succeed");
+    assert_eq!(resp.status, 200, "results: {}", resp.text());
+    resp.body
+}
+
+fn main() {
+    let cfg = ExpConfig { quick: true, trials: 2, seed: 7 };
+    let threads = 2;
+    let submit_body = r#"{"kind":"e2","quick":true,"trials":2,"seed":7,"threads":2}"#;
+    let kill_body =
+        r#"{"kind":"e2","quick":true,"trials":2,"seed":7,"threads":2,"fault":{"kill_after":2}}"#;
+
+    // 1. Batch reference, shaped exactly as the server would.
+    let report = campaigns::run_e2(&cfg, threads, None, &FaultPlan::none()).expect("batch e2");
+    let spec = campaigns::find_kind("e2").unwrap();
+    let name = (spec.spec)(&cfg).name;
+    let reference = router::results_json("e2", &name, &report).render().into_bytes();
+    println!("batch reference: {} bytes", reference.len());
+
+    // 2. Uninterrupted server run.
+    let dir_a = TempDir::new("uninterrupted");
+    let server = start(&dir_a);
+    let id = submit(server.addr(), submit_body);
+    wait_for_state(server.addr(), id, "completed");
+    let body_uninterrupted = fetch_results(server.addr(), id);
+    server.shutdown();
+    assert_eq!(
+        body_uninterrupted, reference,
+        "uninterrupted server results differ from batch reference"
+    );
+    println!("uninterrupted server matches batch reference");
+
+    // 3. Killed mid-campaign, then resumed by a fresh server process on
+    // the same journal directory.
+    let dir_b = TempDir::new("resumed");
+    let server = start(&dir_b);
+    let addr = server.addr();
+    let id = submit(addr, kill_body);
+    wait_for_state(addr, id, "killed");
+    let resp = client::get(addr, &format!("/campaigns/{id}/results")).expect("results poll");
+    assert_eq!(resp.status, 409, "killed job must 409 on /results: {}", resp.text());
+    // The "crash": tear the whole server down. Only the journal survives.
+    server.shutdown();
+
+    let server = start(&dir_b);
+    let addr = server.addr();
+    let id = submit(addr, submit_body);
+    wait_for_state(addr, id, "completed");
+    let status = client::get(addr, &format!("/campaigns/{id}")).expect("status").text();
+    assert!(status.contains("\"resumed\":true"), "resumed run must report resumed: {status}");
+    let body_resumed = fetch_results(addr, id);
+    server.shutdown();
+    assert_eq!(
+        body_resumed, body_uninterrupted,
+        "resumed-server results differ from uninterrupted results"
+    );
+    println!("killed+resumed server matches uninterrupted run byte-for-byte");
+    println!("server smoke OK");
+}

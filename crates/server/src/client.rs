@@ -1,0 +1,127 @@
+//! A minimal one-shot HTTP client for tests, examples, and the CI smoke
+//! binary. One request per connection (`Connection: close`), blocking
+//! I/O, no redirects — just enough to talk to [`crate::Server`].
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Header fields in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The body as UTF-8 (lossy — diagnostics only).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// `GET path`.
+pub fn get(addr: SocketAddr, path: &str) -> io::Result<ClientResponse> {
+    request(addr, "GET", path, None)
+}
+
+/// `POST path` with an optional JSON body.
+pub fn post(addr: SocketAddr, path: &str, body: Option<&str>) -> io::Result<ClientResponse> {
+    request(addr, "POST", path, body.map(str::as_bytes))
+}
+
+/// Sends one request and reads the response to EOF.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_nodelay(true)?;
+
+    let body = body.unwrap_or(b"");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+
+    let mut wire = Vec::new();
+    stream.read_to_end(&mut wire)?;
+    parse_response(&wire)
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("malformed http response: {msg}"))
+}
+
+fn parse_response(wire: &[u8]) -> io::Result<ClientResponse> {
+    let head_end = wire
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("no header terminator"))?;
+    let head =
+        std::str::from_utf8(&wire[..head_end]).map_err(|_| bad("header section not utf-8"))?;
+    let mut lines = head.split("\r\n");
+
+    let status_line = lines.next().ok_or_else(|| bad("empty response"))?;
+    let mut parts = status_line.splitn(3, ' ');
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad("not an http/1.x status line"));
+    }
+    let status: u16 =
+        parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| bad("bad status code"))?;
+
+    let mut headers = Vec::new();
+    let mut content_length: Option<usize> = None;
+    for line in lines {
+        let (name, value) = line.split_once(':').ok_or_else(|| bad("header missing ':'"))?;
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = Some(value.parse().map_err(|_| bad("bad content-length"))?);
+        }
+        headers.push((name.to_string(), value.to_string()));
+    }
+
+    let body_start = head_end + 4;
+    let body = match content_length {
+        Some(len) => {
+            if wire.len() < body_start + len {
+                return Err(bad("truncated body"));
+            }
+            wire[body_start..body_start + len].to_vec()
+        }
+        // Connection: close with no length — body is the rest.
+        None => wire[body_start..].to_vec(),
+    };
+    Ok(ClientResponse { status, headers, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_response_with_content_length() {
+        let wire = b"HTTP/1.1 201 Created\r\nContent-Type: application/json\r\nContent-Length: 8\r\n\r\n{\"id\":1}extra-ignored";
+        let resp = parse_response(wire).unwrap();
+        assert_eq!(resp.status, 201);
+        assert_eq!(resp.body, b"{\"id\":1}");
+        assert_eq!(resp.headers[0].1, "application/json");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response(b"not http at all").is_err());
+        assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n").is_err());
+        assert!(parse_response(b"HTTP/1.1 200 OK\r\nContent-Length: 99\r\n\r\nshort").is_err());
+    }
+}

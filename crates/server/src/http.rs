@@ -1,0 +1,459 @@
+//! An incremental HTTP/1.1 request parser and response writer.
+//!
+//! Hand-rolled on purpose: the build environment is offline, so the server
+//! owns its own wire layer the same way the campaign layer owns its own
+//! journal codec. The parser is *incremental* — bytes arrive via
+//! [`RequestParser::feed`] in whatever fragments the kernel hands us, and
+//! [`RequestParser::try_next`] yields a request exactly when one is fully
+//! buffered. The parse result is a pure function of the byte stream, never
+//! of how it was fragmented; `tests/tests/server_http_props.rs` enforces
+//! this by re-splitting encoded requests at every byte boundary.
+//!
+//! Resource limits are enforced *while* buffering, not after: an attacker
+//! streaming an endless request line is cut off at
+//! [`Limits::max_request_line`] without the server ever holding more than
+//! that. Limit violations map onto distinct status codes
+//! ([`ParseError::status`]): 400 for malformed syntax, 431 for oversized
+//! request-line/header sections, 413 for oversized bodies.
+
+use std::collections::VecDeque;
+
+/// Resource limits the parser enforces while buffering.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum request-line length in bytes (431 beyond this).
+    pub max_request_line: usize,
+    /// Maximum total header-section length in bytes, request line
+    /// included (431 beyond this).
+    pub max_header_bytes: usize,
+    /// Maximum number of header fields (431 beyond this).
+    pub max_headers: usize,
+    /// Maximum declared `Content-Length` in bytes (413 beyond this).
+    pub max_body: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_request_line: 8 * 1024,
+            max_header_bytes: 32 * 1024,
+            max_headers: 64,
+            max_body: 1024 * 1024,
+        }
+    }
+}
+
+/// Why a request could not be parsed. Fatal to the connection: the server
+/// writes the mapped status and closes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Syntactically malformed request (bad method token, missing version,
+    /// bad header line, unsupported transfer encoding, …).
+    BadRequest(&'static str),
+    /// The request line exceeded [`Limits::max_request_line`].
+    RequestLineTooLong,
+    /// The header section exceeded [`Limits::max_header_bytes`] or
+    /// [`Limits::max_headers`].
+    HeadersTooLarge,
+    /// The declared body exceeded [`Limits::max_body`].
+    BodyTooLarge,
+}
+
+impl ParseError {
+    /// The HTTP status code this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            ParseError::BadRequest(_) => 400,
+            ParseError::RequestLineTooLong | ParseError::HeadersTooLarge => 431,
+            ParseError::BodyTooLarge => 413,
+        }
+    }
+
+    /// Human-readable cause, used as the error-response message.
+    pub fn message(&self) -> &'static str {
+        match self {
+            ParseError::BadRequest(why) => why,
+            ParseError::RequestLineTooLong => "request line too long",
+            ParseError::HeadersTooLarge => "header section too large",
+            ParseError::BodyTooLarge => "request body too large",
+        }
+    }
+}
+
+/// A fully-received request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Method token, as sent (case-sensitive per RFC 7230).
+    pub method: String,
+    /// Request target (path + optional query), as sent.
+    pub target: String,
+    /// Header fields in arrival order, values trimmed of optional
+    /// whitespace. Use [`Request::header`] for case-insensitive lookup.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes (exactly `Content-Length` of them; empty without one).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// A request with no headers and no body (builder for tests/clients).
+    pub fn new(method: &str, target: &str) -> Request {
+        Request {
+            method: method.to_string(),
+            target: target.to_string(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// First value of `name`, compared case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
+    }
+
+    /// Serializes the request to wire bytes. A `Content-Length` header is
+    /// appended when the body is non-empty and none is present, so the
+    /// output always re-parses to an equal request (the property the
+    /// round-trip tests check).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(self.method.as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(self.target.as_bytes());
+        out.extend_from_slice(b" HTTP/1.1\r\n");
+        for (k, v) in &self.headers {
+            out.extend_from_slice(k.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(v.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        if !self.body.is_empty() && self.header("content-length").is_none() {
+            out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Whether the peer asked to keep the connection open (HTTP/1.1
+    /// default unless `Connection: close`).
+    pub fn keep_alive(&self) -> bool {
+        !self.header("connection").is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Incremental request parser: [`feed`](RequestParser::feed) bytes in,
+/// [`try_next`](RequestParser::try_next) requests out. One instance per
+/// connection; pipelined requests queue up naturally in the buffer.
+#[derive(Debug)]
+pub struct RequestParser {
+    limits: Limits,
+    buf: VecDeque<u8>,
+}
+
+impl RequestParser {
+    /// A parser enforcing `limits`.
+    pub fn new(limits: Limits) -> RequestParser {
+        RequestParser { limits, buf: VecDeque::new() }
+    }
+
+    /// Appends received bytes to the buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend(bytes.iter().copied());
+    }
+
+    /// Bytes currently buffered (diagnostics/tests).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Attempts to parse one complete request off the front of the buffer.
+    ///
+    /// * `Ok(Some(req))` — a full request was consumed.
+    /// * `Ok(None)` — need more bytes; feed and retry.
+    /// * `Err(e)` — the stream is unrecoverable; respond with
+    ///   [`ParseError::status`] and close.
+    pub fn try_next(&mut self) -> Result<Option<Request>, ParseError> {
+        // Work on a contiguous view; VecDeque::make_contiguous is cheap
+        // amortized and keeps feed() allocation-free on the happy path.
+        let buf = self.buf.make_contiguous();
+
+        // 1. Request line.
+        let Some(line_end) = find(buf, b"\r\n", 0) else {
+            if buf.len() > self.limits.max_request_line {
+                return Err(ParseError::RequestLineTooLong);
+            }
+            return Ok(None);
+        };
+        if line_end > self.limits.max_request_line {
+            return Err(ParseError::RequestLineTooLong);
+        }
+        let (method, target) = parse_request_line(&buf[..line_end])?;
+
+        // 2. Header section, terminated by an empty line.
+        let mut headers = Vec::new();
+        let mut cursor = line_end + 2;
+        let head_end = loop {
+            let Some(eol) = find(buf, b"\r\n", cursor) else {
+                if buf.len() - cursor > self.limits.max_header_bytes {
+                    return Err(ParseError::HeadersTooLarge);
+                }
+                return Ok(None);
+            };
+            if eol == cursor {
+                break eol + 2; // empty line: end of headers
+            }
+            if eol - line_end > self.limits.max_header_bytes {
+                return Err(ParseError::HeadersTooLarge);
+            }
+            if headers.len() == self.limits.max_headers {
+                return Err(ParseError::HeadersTooLarge);
+            }
+            headers.push(parse_header_line(&buf[cursor..eol])?);
+            cursor = eol + 2;
+        };
+
+        // 3. Body, sized by Content-Length. Chunked encoding is out of
+        // scope for this server's API surface; reject it explicitly.
+        if headers
+            .iter()
+            .any(|(k, _): &(String, String)| k.eq_ignore_ascii_case("transfer-encoding"))
+        {
+            return Err(ParseError::BadRequest("transfer-encoding not supported"));
+        }
+        let content_length =
+            match headers.iter().find(|(k, _)| k.eq_ignore_ascii_case("content-length")) {
+                Some((_, v)) => v
+                    .parse::<usize>()
+                    .map_err(|_| ParseError::BadRequest("invalid content-length"))?,
+                None => 0,
+            };
+        if content_length > self.limits.max_body {
+            return Err(ParseError::BodyTooLarge);
+        }
+        if buf.len() < head_end + content_length {
+            return Ok(None);
+        }
+        let body = buf[head_end..head_end + content_length].to_vec();
+        self.buf.drain(..head_end + content_length);
+        Ok(Some(Request { method, target, headers, body }))
+    }
+}
+
+/// First index of `needle` in `haystack[from..]`, absolute.
+fn find(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if haystack.len() < from + needle.len() {
+        return None;
+    }
+    (from..=haystack.len() - needle.len()).find(|&i| &haystack[i..i + needle.len()] == needle)
+}
+
+/// RFC 7230 `tchar`: the characters legal in a method token or header
+/// field name.
+fn is_tchar(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)
+}
+
+fn parse_request_line(line: &[u8]) -> Result<(String, String), ParseError> {
+    let text =
+        std::str::from_utf8(line).map_err(|_| ParseError::BadRequest("request line not utf-8"))?;
+    let mut parts = text.split(' ');
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ParseError::BadRequest("request line must be METHOD SP TARGET SP VERSION"));
+    };
+    if method.is_empty() || !method.bytes().all(is_tchar) {
+        return Err(ParseError::BadRequest("malformed method token"));
+    }
+    if target.is_empty() || target.contains(|c: char| c.is_ascii_control()) {
+        return Err(ParseError::BadRequest("malformed request target"));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ParseError::BadRequest("unsupported http version"));
+    }
+    Ok((method.to_string(), target.to_string()))
+}
+
+fn parse_header_line(line: &[u8]) -> Result<(String, String), ParseError> {
+    // Obsolete line folding (leading whitespace continuation) is a known
+    // request-smuggling vector; reject rather than interpret.
+    if line.first().is_some_and(|b| *b == b' ' || *b == b'\t') {
+        return Err(ParseError::BadRequest("obsolete header folding"));
+    }
+    let text =
+        std::str::from_utf8(line).map_err(|_| ParseError::BadRequest("header line not utf-8"))?;
+    let Some((name, value)) = text.split_once(':') else {
+        return Err(ParseError::BadRequest("header line missing ':'"));
+    };
+    if name.is_empty() || !name.bytes().all(is_tchar) {
+        return Err(ParseError::BadRequest("malformed header name"));
+    }
+    let value = value.trim_matches([' ', '\t']);
+    if value.contains(|c: char| c.is_ascii_control()) {
+        return Err(ParseError::BadRequest("control character in header value"));
+    }
+    Ok((name.to_string(), value.to_string()))
+}
+
+/// A response to serialize back to the peer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Response {
+        Response { status, content_type: "application/json", body: body.into_bytes() }
+    }
+
+    /// A JSON error response: `{"error":"<msg>"}`.
+    pub fn error(status: u16, msg: &str) -> Response {
+        let body = crate::json::Json::Obj(vec![(
+            "error".to_string(),
+            crate::json::Json::Str(msg.to_string()),
+        )]);
+        Response::json(status, body.render())
+    }
+
+    /// The standard reason phrase for a status code.
+    pub fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            201 => "Created",
+            202 => "Accepted",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            413 => "Content Too Large",
+            431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serializes status line, headers, and body to wire bytes.
+    pub fn encode(&self, keep_alive: bool) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.body.len() + 128);
+        out.extend_from_slice(
+            format!("HTTP/1.1 {} {}\r\n", self.status, Response::reason(self.status)).as_bytes(),
+        );
+        out.extend_from_slice(format!("Content-Type: {}\r\n", self.content_type).as_bytes());
+        out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        out.extend_from_slice(if keep_alive {
+            b"Connection: keep-alive\r\n".as_slice()
+        } else {
+            b"Connection: close\r\n".as_slice()
+        });
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_all(bytes: &[u8]) -> Result<Option<Request>, ParseError> {
+        let mut p = RequestParser::new(Limits::default());
+        p.feed(bytes);
+        p.try_next()
+    }
+
+    #[test]
+    fn parses_a_simple_get() {
+        let req = parse_all(b"GET /campaigns HTTP/1.1\r\nHost: x\r\n\r\n").unwrap().unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/campaigns");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_is_incremental() {
+        let wire = b"POST /campaigns HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let mut p = RequestParser::new(Limits::default());
+        for &b in &wire[..wire.len() - 1] {
+            p.feed(&[b]);
+            assert_eq!(p.try_next(), Ok(None));
+        }
+        p.feed(&wire[wire.len() - 1..]);
+        let req = p.try_next().unwrap().unwrap();
+        assert_eq!(req.body, b"hello");
+        assert_eq!(p.buffered(), 0);
+    }
+
+    #[test]
+    fn pipelined_requests_come_out_in_order() {
+        let mut p = RequestParser::new(Limits::default());
+        p.feed(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n");
+        assert_eq!(p.try_next().unwrap().unwrap().target, "/a");
+        assert_eq!(p.try_next().unwrap().unwrap().target, "/b");
+        assert_eq!(p.try_next(), Ok(None));
+    }
+
+    #[test]
+    fn limit_violations_map_to_the_right_statuses() {
+        let limits =
+            Limits { max_request_line: 32, max_header_bytes: 64, max_headers: 2, max_body: 8 };
+        let mut p = RequestParser::new(limits);
+        p.feed(&[b'A'; 33]);
+        assert_eq!(p.try_next().unwrap_err().status(), 431);
+
+        let mut p = RequestParser::new(limits);
+        p.feed(b"GET / HTTP/1.1\r\nA: 1\r\nB: 2\r\nC: 3\r\n\r\n");
+        assert_eq!(p.try_next().unwrap_err(), ParseError::HeadersTooLarge);
+
+        let mut p = RequestParser::new(limits);
+        p.feed(b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n");
+        assert_eq!(p.try_next().unwrap_err().status(), 413);
+    }
+
+    #[test]
+    fn malformed_requests_are_400s() {
+        for bad in [
+            b"G<T / HTTP/1.1\r\n\r\n".as_slice(),
+            b"GET / HTTP/2.0\r\n\r\n",
+            b"GET /\r\n\r\n",
+            b"GET / HTTP/1.1 x\r\n\r\n",
+            b"GET / HTTP/1.1\r\nno-colon\r\n\r\n",
+            b"GET / HTTP/1.1\r\n bad: fold\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        ] {
+            let err = parse_all(bad).unwrap_err();
+            assert_eq!(err.status(), 400, "expected 400 for {:?}", String::from_utf8_lossy(bad));
+        }
+    }
+
+    #[test]
+    fn encode_round_trips() {
+        let mut req = Request::new("POST", "/campaigns");
+        req.headers.push(("X-Test".to_string(), "a b".to_string()));
+        req.body = b"{\"kind\":\"e2\"}".to_vec();
+        let parsed = parse_all(&req.encode()).unwrap().unwrap();
+        assert_eq!(parsed.method, req.method);
+        assert_eq!(parsed.target, req.target);
+        assert_eq!(parsed.body, req.body);
+        assert_eq!(parsed.header("x-test"), Some("a b"));
+        assert_eq!(parsed.header("content-length"), Some("13"));
+    }
+
+    #[test]
+    fn response_encodes_with_length_and_connection() {
+        let resp = Response::error(404, "no such campaign");
+        let wire = resp.encode(false);
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("{\"error\":\"no such campaign\"}"));
+    }
+}

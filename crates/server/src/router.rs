@@ -1,0 +1,451 @@
+//! Request routing and JSON payload shaping.
+//!
+//! The route table is small and closed:
+//!
+//! | method | path                       | action                      |
+//! |--------|----------------------------|-----------------------------|
+//! | GET    | `/`                        | service info + kind listing |
+//! | POST   | `/campaigns`               | submit a campaign           |
+//! | GET    | `/campaigns`               | list jobs                   |
+//! | GET    | `/campaigns/{id}`          | status + progress           |
+//! | GET    | `/campaigns/{id}/results`  | final report                |
+//! | POST   | `/campaigns/{id}/cancel`   | request cancellation        |
+//!
+//! A known path with the wrong method is a 405; everything else is a 404.
+//!
+//! The `/results` payload is intentionally a *strict subset* of the
+//! report: only fields that are a deterministic function of the campaign
+//! spec (outcome, ticks, per-arm trial states and lifecycle counters).
+//! Provenance flags like `resumed` — true on a resumed run, false on an
+//! uninterrupted one — live in the status payload instead, so the
+//! acceptance guarantee "results over HTTP are byte-identical, including
+//! after a mid-run restart" holds by construction.
+
+use std::path::Path;
+
+use crn_sim::engine::Counters;
+use crn_workloads::campaign::{
+    config_hash, ArmProgress, BreakerState, CampaignOutcome, CampaignReport, FaultPlan,
+    ProgressSnapshot, TrialState,
+};
+use crn_workloads::experiments::campaigns::{find_kind, REGISTRY};
+use crn_workloads::experiments::ExpConfig;
+use crn_workloads::runner::Trial;
+
+use crate::http::{Request, Response};
+use crate::json::{parse, Json};
+use crate::store::{CancelOutcome, JobSpec, JobState, JobView, Store, SubmitOutcome};
+
+/// What the router needs besides the request itself.
+pub struct RouterCtx<'a> {
+    /// The shared job store.
+    pub store: &'a Store,
+    /// Directory journals live in; one file per (kind, config hash).
+    pub journal_dir: &'a Path,
+    /// Wave parallelism for submissions that don't specify `threads`.
+    pub default_threads: usize,
+}
+
+/// Dispatches one request to its handler.
+pub fn handle(req: &Request, ctx: &RouterCtx<'_>) -> Response {
+    let path = req.target.split('?').next().unwrap_or("");
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", []) => service_info(),
+        ("POST", ["campaigns"]) => submit(req, ctx),
+        ("GET", ["campaigns"]) => list(ctx),
+        ("GET", ["campaigns", id]) => with_job(ctx, id, status),
+        ("GET", ["campaigns", id, "results"]) => with_job(ctx, id, results),
+        ("POST", ["campaigns", id, "cancel"]) => cancel(ctx, id),
+        // Known paths, wrong method.
+        (
+            _,
+            []
+            | ["campaigns"]
+            | ["campaigns", _]
+            | ["campaigns", _, "results"]
+            | ["campaigns", _, "cancel"],
+        ) => Response::error(405, "method not allowed"),
+        _ => Response::error(404, "no such route"),
+    }
+}
+
+fn service_info() -> Response {
+    let kinds = REGISTRY
+        .iter()
+        .map(|k| {
+            Json::Obj(vec![
+                ("kind".into(), Json::Str(k.kind.into())),
+                ("describe".into(), Json::Str(k.describe.into())),
+            ])
+        })
+        .collect();
+    let body = Json::Obj(vec![
+        ("service".into(), Json::Str("crn-campaign-server".into())),
+        ("kinds".into(), Json::Arr(kinds)),
+    ]);
+    Response::json(200, body.render())
+}
+
+/// Parses `{id}` and hands the job view to `f`; 404 on bad or unknown ids.
+fn with_job(ctx: &RouterCtx<'_>, id: &str, f: fn(&JobView) -> Response) -> Response {
+    let Some(view) = id.parse::<u64>().ok().and_then(|id| ctx.store.view(id)) else {
+        return Response::error(404, "no such campaign");
+    };
+    f(&view)
+}
+
+const SUBMIT_FIELDS: &[&str] = &["kind", "quick", "trials", "seed", "threads", "fault"];
+
+fn submit(req: &Request, ctx: &RouterCtx<'_>) -> Response {
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return Response::error(400, "body is not utf-8");
+    };
+    let value = match parse(text) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, &e.to_string()),
+    };
+    let Some(members) = value.as_obj() else {
+        return Response::error(400, "body must be a json object");
+    };
+    // Strict field set: a typo'd field name should fail loudly, not
+    // silently fall back to a default and run the wrong campaign.
+    for (key, _) in members {
+        if !SUBMIT_FIELDS.contains(&key.as_str()) {
+            return Response::error(400, &format!("unknown field {key:?}"));
+        }
+    }
+    let Some(kind_name) = value.get("kind").and_then(Json::as_str) else {
+        return Response::error(400, "missing required string field \"kind\"");
+    };
+    let Some(kind) = find_kind(kind_name) else {
+        let known: Vec<&str> = REGISTRY.iter().map(|k| k.kind).collect();
+        return Response::error(400, &format!("unknown kind {kind_name:?} (known: {known:?})"));
+    };
+
+    let defaults = ExpConfig::default();
+    let mut cfg = defaults;
+    if let Some(v) = value.get("quick") {
+        match v.as_bool() {
+            Some(b) => cfg.quick = b,
+            None => return Response::error(400, "\"quick\" must be a boolean"),
+        }
+    }
+    if let Some(v) = value.get("trials") {
+        match v.as_u64() {
+            Some(t) if t >= 1 => cfg.trials = t as usize,
+            _ => return Response::error(400, "\"trials\" must be a positive integer"),
+        }
+    }
+    if let Some(v) = value.get("seed") {
+        match v.as_u64() {
+            Some(s) => cfg.seed = s,
+            None => return Response::error(400, "\"seed\" must be a u64"),
+        }
+    }
+    let threads = match value.get("threads") {
+        None => ctx.default_threads,
+        Some(v) => match v.as_u64() {
+            Some(t) if t >= 1 => t as usize,
+            _ => return Response::error(400, "\"threads\" must be a positive integer"),
+        },
+    };
+    let fault = match value.get("fault") {
+        None => FaultPlan::none(),
+        Some(v) => match parse_fault(v) {
+            Ok(f) => f,
+            Err(msg) => return Response::error(400, msg),
+        },
+    };
+
+    let spec = (kind.spec)(&cfg);
+    let hash = config_hash(&spec);
+    let journal = ctx.journal_dir.join(format!("{}-{hash:016x}.crnj", kind.kind));
+    let job =
+        JobSpec { kind: kind.kind.to_string(), cfg, threads, fault, journal: journal.clone() };
+    match ctx.store.submit(job, spec.name.clone()) {
+        SubmitOutcome::Queued(id) => {
+            let view = ctx.store.view(id).expect("just submitted");
+            Response::json(201, status_json(&view).render())
+        }
+        SubmitOutcome::DuplicateActive(id) => Response::error(
+            409,
+            &format!("an identical campaign is already active as job {id} (same journal)"),
+        ),
+    }
+}
+
+/// `{"kill_after": N}` — the deterministic kill switch the kill/resume
+/// tests and CI smoke use. Production submissions omit `fault` entirely.
+fn parse_fault(v: &Json) -> Result<FaultPlan, &'static str> {
+    let Some(members) = v.as_obj() else {
+        return Err("\"fault\" must be an object");
+    };
+    let mut plan = FaultPlan::none();
+    for (key, val) in members {
+        match key.as_str() {
+            "kill_after" => match val.as_u64() {
+                Some(n) => plan.kill_after_trials = Some(n as usize),
+                None => return Err("\"fault.kill_after\" must be a u64"),
+            },
+            _ => return Err("unknown fault field (only \"kill_after\" is supported)"),
+        }
+    }
+    Ok(plan)
+}
+
+fn list(ctx: &RouterCtx<'_>) -> Response {
+    let jobs = ctx.store.list().iter().map(status_json).collect();
+    Response::json(200, Json::Obj(vec![("campaigns".into(), Json::Arr(jobs))]).render())
+}
+
+fn status(view: &JobView) -> Response {
+    Response::json(200, status_json(view).render())
+}
+
+fn results(view: &JobView) -> Response {
+    match (view.state, &view.report) {
+        (JobState::Completed, Some(report)) => {
+            Response::json(200, results_json(&view.kind, &view.campaign, report).render())
+        }
+        (state, _) if state.terminal() => Response::error(
+            409,
+            &format!("campaign did not complete (state={}); resubmit to resume", state.token()),
+        ),
+        _ => Response::error(409, "campaign still in progress"),
+    }
+}
+
+fn cancel(ctx: &RouterCtx<'_>, id: &str) -> Response {
+    let Some(id) = id.parse::<u64>().ok() else {
+        return Response::error(404, "no such campaign");
+    };
+    match ctx.store.cancel(id) {
+        CancelOutcome::NotFound => Response::error(404, "no such campaign"),
+        CancelOutcome::Accepted => {
+            let view = ctx.store.view(id).expect("job exists");
+            Response::json(202, status_json(&view).render())
+        }
+        CancelOutcome::AlreadyRequested => Response::error(409, "cancel already requested"),
+        CancelOutcome::AlreadyTerminal => Response::error(409, "campaign already terminal"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON shaping
+// ---------------------------------------------------------------------
+
+fn status_json(view: &JobView) -> Json {
+    let mut members = vec![
+        ("id".into(), Json::num_u64(view.id)),
+        ("kind".into(), Json::Str(view.kind.clone())),
+        ("campaign".into(), Json::Str(view.campaign.clone())),
+        ("state".into(), Json::Str(view.state.token().into())),
+    ];
+    if let Some(pos) = view.queue_position {
+        members.push(("queue_position".into(), Json::num_u64(pos as u64)));
+    }
+    if let Some(progress) = &view.progress {
+        members.push(("progress".into(), progress_json(progress)));
+    }
+    if let Some(report) = &view.report {
+        members.push(("resumed".into(), Json::Bool(report.resumed)));
+        members.push(("recovered_torn_tail".into(), Json::Bool(report.recovered_torn_tail)));
+    }
+    if let Some(error) = &view.error {
+        members.push(("error".into(), Json::Str(error.clone())));
+    }
+    if let Some(name) = view.journal.file_name() {
+        members.push(("journal".into(), Json::Str(name.to_string_lossy().into_owned())));
+    }
+    Json::Obj(members)
+}
+
+fn progress_json(p: &ProgressSnapshot) -> Json {
+    Json::Obj(vec![
+        ("tick".into(), Json::num_u64(p.tick)),
+        ("recorded".into(), Json::num_u64(p.recorded as u64)),
+        ("total".into(), Json::num_u64(p.total as u64)),
+        ("arms".into(), Json::Arr(p.arms.iter().map(arm_progress_json).collect())),
+    ])
+}
+
+fn arm_progress_json(a: &ArmProgress) -> Json {
+    Json::Obj(vec![
+        ("name".into(), Json::Str(a.name.clone())),
+        ("done".into(), Json::num_u64(a.done as u64)),
+        ("skipped".into(), Json::num_u64(a.skipped as u64)),
+        ("abandoned".into(), Json::num_u64(a.abandoned as u64)),
+        ("pending".into(), Json::num_u64(a.pending as u64)),
+        ("retries".into(), Json::num_u64(a.retries)),
+        ("invocations".into(), Json::num_u64(a.invocations)),
+        ("breaker".into(), breaker_json(&a.breaker)),
+        ("tripped".into(), Json::Bool(a.tripped)),
+    ])
+}
+
+fn breaker_json(state: &BreakerState) -> Json {
+    match state {
+        BreakerState::Closed => Json::Obj(vec![("state".into(), Json::Str("closed".into()))]),
+        BreakerState::Open { until_tick } => Json::Obj(vec![
+            ("state".into(), Json::Str("open".into())),
+            ("until_tick".into(), Json::num_u64(*until_tick)),
+        ]),
+        BreakerState::HalfOpen => Json::Obj(vec![("state".into(), Json::Str("half_open".into()))]),
+    }
+}
+
+/// The canonical `/results` payload for a report. Public so the CI smoke
+/// binary and the e2e tests can render the batch-mode reference body and
+/// compare it byte-for-byte against what came over HTTP.
+pub fn results_json(kind: &str, campaign: &str, report: &CampaignReport) -> Json {
+    let outcome = match report.outcome {
+        CampaignOutcome::Completed => "completed",
+        CampaignOutcome::Killed { .. } => "killed",
+        CampaignOutcome::Cancelled { .. } => "cancelled",
+    };
+    let arms = report
+        .arms
+        .iter()
+        .map(|arm| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(arm.name.clone())),
+                ("invocations".into(), Json::num_u64(arm.invocations)),
+                ("retries".into(), Json::num_u64(arm.retries)),
+                ("backoff_ticks".into(), Json::num_u64(arm.backoff_ticks)),
+                ("breaker_trips".into(), Json::num_u64(arm.breaker_trips as u64)),
+                ("tripped".into(), Json::Bool(arm.tripped)),
+                ("trials".into(), Json::Arr(arm.trials.iter().map(trial_state_json).collect())),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("kind".into(), Json::Str(kind.into())),
+        ("campaign".into(), Json::Str(campaign.into())),
+        ("outcome".into(), Json::Str(outcome.into())),
+        ("ticks".into(), Json::num_u64(report.ticks)),
+        ("arms".into(), Json::Arr(arms)),
+    ])
+}
+
+fn trial_state_json(state: &TrialState) -> Json {
+    match state {
+        TrialState::Done(t) => Json::Obj(vec![
+            ("state".into(), Json::Str("done".into())),
+            ("trial".into(), trial_json(t)),
+        ]),
+        TrialState::Skipped(why) => Json::Obj(vec![
+            ("state".into(), Json::Str("skipped".into())),
+            ("why".into(), Json::Str(why.clone())),
+        ]),
+        TrialState::Abandoned { attempts, why } => Json::Obj(vec![
+            ("state".into(), Json::Str("abandoned".into())),
+            ("attempts".into(), Json::num_u64(*attempts as u64)),
+            ("why".into(), Json::Str(format!("{why:?}").to_ascii_lowercase())),
+        ]),
+        TrialState::Pending => Json::Obj(vec![("state".into(), Json::Str("pending".into()))]),
+    }
+}
+
+fn trial_json(t: &Trial) -> Json {
+    Json::Obj(vec![
+        ("seed".into(), Json::num_u64(t.seed)),
+        ("completed_at".into(), t.completed_at.map_or(Json::Null, Json::num_u64)),
+        ("slots_run".into(), Json::num_u64(t.slots_run)),
+        ("counters".into(), counters_json(&t.counters)),
+    ])
+}
+
+fn counters_json(c: &Counters) -> Json {
+    Json::Obj(vec![
+        ("slots".into(), Json::num_u64(c.slots)),
+        ("broadcasts".into(), Json::num_u64(c.broadcasts)),
+        ("listens".into(), Json::num_u64(c.listens)),
+        ("sleeps".into(), Json::num_u64(c.sleeps)),
+        ("deliveries".into(), Json::num_u64(c.deliveries)),
+        ("collisions".into(), Json::num_u64(c.collisions)),
+        ("idle_listens".into(), Json::num_u64(c.idle_listens)),
+        ("pu_blocked_listens".into(), Json::num_u64(c.pu_blocked_listens)),
+        ("pu_blocked_broadcasts".into(), Json::num_u64(c.pu_blocked_broadcasts)),
+        ("pu_busy_channel_slots".into(), Json::num_u64(c.pu_busy_channel_slots)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn ctx<'a>(store: &'a Store, dir: &'a Path) -> RouterCtx<'a> {
+        RouterCtx { store, journal_dir: dir, default_threads: 1 }
+    }
+
+    fn post(target: &str, body: &str) -> Request {
+        let mut req = Request::new("POST", target);
+        req.body = body.as_bytes().to_vec();
+        req
+    }
+
+    #[test]
+    fn unknown_routes_and_wrong_methods() {
+        let store = Store::new();
+        let dir = PathBuf::from("/tmp");
+        let ctx = ctx(&store, &dir);
+        assert_eq!(handle(&Request::new("GET", "/nope"), &ctx).status, 404);
+        assert_eq!(handle(&Request::new("DELETE", "/campaigns"), &ctx).status, 405);
+        assert_eq!(handle(&Request::new("GET", "/campaigns/1"), &ctx).status, 404);
+        assert_eq!(handle(&Request::new("GET", "/campaigns/zzz"), &ctx).status, 404);
+        assert_eq!(handle(&Request::new("GET", "/"), &ctx).status, 200);
+    }
+
+    #[test]
+    fn submit_validates_strictly() {
+        let store = Store::new();
+        let dir = PathBuf::from("/tmp");
+        let ctx = ctx(&store, &dir);
+        for (body, why) in [
+            ("", "empty body"),
+            ("[]", "not an object"),
+            ("{}", "missing kind"),
+            (r#"{"kind":"nope"}"#, "unknown kind"),
+            (r#"{"kind":"e2","trails":3}"#, "typo'd field"),
+            (r#"{"kind":"e2","trials":0}"#, "zero trials"),
+            (r#"{"kind":"e2","threads":"four"}"#, "non-numeric threads"),
+            (r#"{"kind":"e2","fault":{"explode":true}}"#, "unknown fault field"),
+        ] {
+            let resp = handle(&post("/campaigns", body), &ctx);
+            assert_eq!(resp.status, 400, "expected 400 for {why}");
+        }
+    }
+
+    #[test]
+    fn submit_queues_and_duplicate_active_conflicts() {
+        let store = Store::new();
+        let dir = PathBuf::from("/tmp/crn-router-test");
+        let ctx = ctx(&store, &dir);
+        let body = r#"{"kind":"e2","quick":true,"trials":2,"seed":9}"#;
+        let resp = handle(&post("/campaigns", body), &ctx);
+        assert_eq!(resp.status, 201);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("\"state\":\"queued\""), "{text}");
+        assert!(text.contains("\"journal\":\"e2-"), "{text}");
+
+        assert_eq!(handle(&post("/campaigns", body), &ctx).status, 409);
+        // A different seed is a different campaign (different journal).
+        let other = r#"{"kind":"e2","quick":true,"trials":2,"seed":10}"#;
+        assert_eq!(handle(&post("/campaigns", other), &ctx).status, 201);
+    }
+
+    #[test]
+    fn results_conflict_until_completed_and_cancel_state_machine() {
+        let store = Store::new();
+        let dir = PathBuf::from("/tmp/crn-router-test2");
+        let ctx = ctx(&store, &dir);
+        let body = r#"{"kind":"e2","quick":true,"trials":1,"seed":11}"#;
+        assert_eq!(handle(&post("/campaigns", body), &ctx).status, 201);
+        assert_eq!(handle(&Request::new("GET", "/campaigns/1/results"), &ctx).status, 409);
+        assert_eq!(handle(&post("/campaigns/1/cancel", ""), &ctx).status, 202);
+        assert_eq!(handle(&post("/campaigns/1/cancel", ""), &ctx).status, 409);
+        assert_eq!(handle(&post("/campaigns/99/cancel", ""), &ctx).status, 404);
+    }
+}

@@ -1,0 +1,79 @@
+//! The single-flight scheduler thread.
+//!
+//! One thread drains the store's FIFO queue onto
+//! [`run`](crn_workloads::experiments::campaigns::CampaignKind::run) — one
+//! campaign at a time, with the job's journal file as its write-ahead log.
+//! Single-flight is a correctness choice, not a simplification: campaigns
+//! already saturate the machine internally (wave parallelism), and two
+//! campaigns sharing a journal directory must never interleave writes to
+//! one WAL. Crash recovery needs no scheduler state at all — the journal
+//! *is* the state, so restarting the server and resubmitting a campaign
+//! resumes exactly where the old process stopped.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+use crn_workloads::campaign::{CampaignObserver, CampaignOutcome, ProgressSnapshot};
+use crn_workloads::experiments::campaigns::find_kind;
+
+use crate::store::{ClaimedJob, JobState, Store};
+
+/// Bridges a running campaign to the store: snapshots flow in, the cancel
+/// flag flows out. Lives on the scheduler thread for the duration of one
+/// job.
+struct JobObserver {
+    store: Arc<Store>,
+    id: u64,
+    cancel: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl CampaignObserver for JobObserver {
+    fn on_progress(&self, snapshot: &ProgressSnapshot) {
+        self.store.set_progress(self.id, snapshot.clone());
+    }
+
+    fn cancel_requested(&self) -> bool {
+        self.cancel.load(Ordering::SeqCst)
+    }
+}
+
+/// Spawns the scheduler thread. It exits when [`Store::close`] is called
+/// and the queue has drained.
+pub fn spawn(store: Arc<Store>) -> JoinHandle<()> {
+    thread::Builder::new()
+        .name("crn-scheduler".to_string())
+        .spawn(move || {
+            while let Some(job) = store.next_job() {
+                run_one(&store, job);
+            }
+        })
+        .expect("spawn scheduler thread")
+}
+
+fn run_one(store: &Arc<Store>, job: ClaimedJob) {
+    // The kind was validated against the registry at submit time; a miss
+    // here would mean the store was corrupted, not a bad request.
+    let kind = find_kind(&job.spec.kind).expect("kind validated at submit");
+    let observer = JobObserver { store: store.clone(), id: job.id, cancel: job.cancel.clone() };
+    let result = (kind.run)(
+        &job.spec.cfg,
+        job.spec.threads,
+        Some(&job.spec.journal),
+        &job.spec.fault,
+        &observer,
+    );
+    match result {
+        Ok(report) => {
+            let state = match report.outcome {
+                CampaignOutcome::Completed => JobState::Completed,
+                CampaignOutcome::Killed { .. } => JobState::Killed,
+                CampaignOutcome::Cancelled { .. } => JobState::Cancelled,
+            };
+            store.finish(job.id, state, Some(report), None);
+        }
+        Err(e) => {
+            store.finish(job.id, JobState::Failed, None, Some(e.to_string()));
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! The job store: every campaign the server has been asked to run.
+//!
+//! One `Mutex<Inner>` guards all job state; a `Condvar` wakes the
+//! scheduler thread when work arrives. The HTTP workers only ever take
+//! the lock for short, bounded sections (submit / snapshot / cancel), so
+//! status polls never wait on a running campaign — progress flows in
+//! through [`Store::set_progress`] from the observer hook, not by
+//! touching the runner.
+//!
+//! Cancellation is two-phase by design: a queued job flips straight to
+//! `Cancelled`, but a *running* job only gets its cancel flag raised —
+//! the campaign runner honours it at the next wave boundary and the
+//! scheduler records the terminal state when `run_campaign` returns.
+//! That keeps "cancelled" meaning "journal checkpointed, resumable",
+//! never "thread killed mid-write".
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crn_workloads::campaign::{CampaignReport, FaultPlan, ProgressSnapshot};
+use crn_workloads::experiments::ExpConfig;
+
+/// Where a job is in its life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting in the FIFO queue.
+    Queued,
+    /// The scheduler thread is running it.
+    Running,
+    /// Finished with every unit terminal.
+    Completed,
+    /// The fault-plan kill switch fired (test/bench submissions only).
+    Killed,
+    /// Cancelled — before starting, or at a wave boundary while running.
+    Cancelled,
+    /// The campaign returned an error (journal trouble).
+    Failed,
+}
+
+impl JobState {
+    /// Stable lowercase token used in JSON payloads.
+    pub fn token(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Completed => "completed",
+            JobState::Killed => "killed",
+            JobState::Cancelled => "cancelled",
+            JobState::Failed => "failed",
+        }
+    }
+
+    /// `true` once the job can never run again.
+    pub fn terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Completed | JobState::Killed | JobState::Cancelled | JobState::Failed
+        )
+    }
+}
+
+/// Everything the scheduler needs to run one job.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Registry kind token (`"e2"`, …), validated at submit time.
+    pub kind: String,
+    /// Experiment configuration the campaign spec derives from.
+    pub cfg: ExpConfig,
+    /// Wave parallelism.
+    pub threads: usize,
+    /// Fault plan (kill switch for the kill/resume tests; empty in
+    /// production submissions).
+    pub fault: FaultPlan,
+    /// The job's write-ahead log: `<journal_dir>/<kind>-<confighash>.crnj`.
+    pub journal: PathBuf,
+}
+
+/// One job's full record.
+struct Job {
+    id: u64,
+    spec: JobSpec,
+    campaign: String,
+    state: JobState,
+    progress: Option<ProgressSnapshot>,
+    report: Option<CampaignReport>,
+    error: Option<String>,
+    cancel: Arc<AtomicBool>,
+}
+
+/// Read-only copy of a job's externally-visible state.
+#[derive(Debug, Clone)]
+pub struct JobView {
+    /// Server-assigned id (dense, starting at 1).
+    pub id: u64,
+    /// Registry kind token.
+    pub kind: String,
+    /// Campaign name from the spec (e.g. `"e2-cseek-vs-c"`).
+    pub campaign: String,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Jobs ahead of this one, if still queued.
+    pub queue_position: Option<usize>,
+    /// Latest progress snapshot, once the run has emitted one.
+    pub progress: Option<ProgressSnapshot>,
+    /// Final report, once terminal with one.
+    pub report: Option<CampaignReport>,
+    /// Error message, if the job failed.
+    pub error: Option<String>,
+    /// Journal file backing the job.
+    pub journal: PathBuf,
+}
+
+/// Handed to the scheduler by [`Store::next_job`].
+pub struct ClaimedJob {
+    /// The job's id.
+    pub id: u64,
+    /// What to run.
+    pub spec: JobSpec,
+    /// Cancel flag shared with [`Store::cancel`]; the scheduler's observer
+    /// polls it at every wave boundary.
+    pub cancel: Arc<AtomicBool>,
+}
+
+/// Outcome of a cancel request (maps onto HTTP statuses in the router).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// No such job: 404.
+    NotFound,
+    /// Cancel accepted (queued job cancelled, or running job flagged).
+    Accepted,
+    /// Cancel was already requested on this running job: 409.
+    AlreadyRequested,
+    /// The job is already terminal: 409.
+    AlreadyTerminal,
+}
+
+/// Outcome of a submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// Queued, with the new job's id.
+    Queued(u64),
+    /// An identical submission (same journal file) is already queued or
+    /// running: 409, carrying the active job's id.
+    DuplicateActive(u64),
+}
+
+struct Inner {
+    jobs: Vec<Job>,
+    queue: Vec<u64>,
+    closed: bool,
+}
+
+/// Shared job store (see module docs).
+pub struct Store {
+    inner: Mutex<Inner>,
+    wake: Condvar,
+}
+
+impl Default for Store {
+    fn default() -> Self {
+        Store::new()
+    }
+}
+
+impl Store {
+    /// An empty store.
+    pub fn new() -> Store {
+        Store {
+            inner: Mutex::new(Inner { jobs: Vec::new(), queue: Vec::new(), closed: false }),
+            wake: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a job. Two submissions are "the same campaign" exactly
+    /// when they share a journal file (kind + config hash), matching the
+    /// resume semantics: resubmitting a finished campaign re-runs against
+    /// its journal (an instant resume), but a second *active* copy would
+    /// race the first for the WAL, so it is refused.
+    pub fn submit(&self, spec: JobSpec, campaign: String) -> SubmitOutcome {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(active) =
+            inner.jobs.iter().find(|j| !j.state.terminal() && j.spec.journal == spec.journal)
+        {
+            return SubmitOutcome::DuplicateActive(active.id);
+        }
+        let id = inner.jobs.len() as u64 + 1;
+        inner.jobs.push(Job {
+            id,
+            spec,
+            campaign,
+            state: JobState::Queued,
+            progress: None,
+            report: None,
+            error: None,
+            cancel: Arc::new(AtomicBool::new(false)),
+        });
+        inner.queue.push(id);
+        self.wake.notify_all();
+        SubmitOutcome::Queued(id)
+    }
+
+    /// Snapshot of every job, submission order.
+    pub fn list(&self) -> Vec<JobView> {
+        let inner = self.inner.lock().unwrap();
+        inner.jobs.iter().map(|j| view(&inner, j)).collect()
+    }
+
+    /// Snapshot of one job.
+    pub fn view(&self, id: u64) -> Option<JobView> {
+        let inner = self.inner.lock().unwrap();
+        inner.jobs.iter().find(|j| j.id == id).map(|j| view(&inner, j))
+    }
+
+    /// Requests cancellation of a job (see module docs for the two-phase
+    /// semantics).
+    pub fn cancel(&self, id: u64) -> CancelOutcome {
+        let mut inner = self.inner.lock().unwrap();
+        let Some(idx) = inner.jobs.iter().position(|j| j.id == id) else {
+            return CancelOutcome::NotFound;
+        };
+        match inner.jobs[idx].state {
+            JobState::Queued => {
+                inner.jobs[idx].state = JobState::Cancelled;
+                inner.queue.retain(|&q| q != id);
+                CancelOutcome::Accepted
+            }
+            JobState::Running => {
+                if inner.jobs[idx].cancel.swap(true, Ordering::SeqCst) {
+                    CancelOutcome::AlreadyRequested
+                } else {
+                    CancelOutcome::Accepted
+                }
+            }
+            _ => CancelOutcome::AlreadyTerminal,
+        }
+    }
+
+    /// Blocks until a job is available (returning it marked `Running`) or
+    /// the store is closed (returning `None`). Scheduler-thread only.
+    pub fn next_job(&self) -> Option<ClaimedJob> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(&id) = inner.queue.first() {
+                inner.queue.remove(0);
+                let job = inner.jobs.iter_mut().find(|j| j.id == id).expect("queued job exists");
+                job.state = JobState::Running;
+                return Some(ClaimedJob {
+                    id: job.id,
+                    spec: job.spec.clone(),
+                    cancel: job.cancel.clone(),
+                });
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.wake.wait(inner).unwrap();
+        }
+    }
+
+    /// Records a progress snapshot for a running job (observer hook).
+    pub fn set_progress(&self, id: u64, snapshot: ProgressSnapshot) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(job) = inner.jobs.iter_mut().find(|j| j.id == id) {
+            job.progress = Some(snapshot);
+        }
+    }
+
+    /// Records a job's terminal state and (on success) its report.
+    pub fn finish(
+        &self,
+        id: u64,
+        state: JobState,
+        report: Option<CampaignReport>,
+        error: Option<String>,
+    ) {
+        debug_assert!(state.terminal());
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(job) = inner.jobs.iter_mut().find(|j| j.id == id) {
+            job.state = state;
+            job.report = report;
+            job.error = error;
+        }
+        self.wake.notify_all();
+    }
+
+    /// Closes the store: `next_job` returns `None` once the queue drains,
+    /// letting the scheduler thread exit.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.wake.notify_all();
+    }
+}
+
+fn view(inner: &Inner, job: &Job) -> JobView {
+    JobView {
+        id: job.id,
+        kind: job.spec.kind.clone(),
+        campaign: job.campaign.clone(),
+        state: job.state,
+        queue_position: inner.queue.iter().position(|&q| q == job.id),
+        progress: job.progress.clone(),
+        report: job.report.clone(),
+        error: job.error.clone(),
+        journal: job.spec.journal.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(journal: &str) -> JobSpec {
+        JobSpec {
+            kind: "e2".to_string(),
+            cfg: ExpConfig { quick: true, trials: 1, seed: 1 },
+            threads: 1,
+            fault: FaultPlan::none(),
+            journal: PathBuf::from(journal),
+        }
+    }
+
+    #[test]
+    fn fifo_order_and_queue_positions() {
+        let store = Store::new();
+        assert_eq!(store.submit(spec("a.crnj"), "a".into()), SubmitOutcome::Queued(1));
+        assert_eq!(store.submit(spec("b.crnj"), "b".into()), SubmitOutcome::Queued(2));
+        assert_eq!(store.view(1).unwrap().queue_position, Some(0));
+        assert_eq!(store.view(2).unwrap().queue_position, Some(1));
+        let claimed = store.next_job().unwrap();
+        assert_eq!(claimed.id, 1);
+        assert_eq!(store.view(1).unwrap().state, JobState::Running);
+        assert_eq!(store.view(2).unwrap().queue_position, Some(0));
+    }
+
+    #[test]
+    fn duplicate_active_submissions_are_refused_until_terminal() {
+        let store = Store::new();
+        assert_eq!(store.submit(spec("a.crnj"), "a".into()), SubmitOutcome::Queued(1));
+        assert_eq!(store.submit(spec("a.crnj"), "a".into()), SubmitOutcome::DuplicateActive(1));
+        let claimed = store.next_job().unwrap();
+        store.finish(claimed.id, JobState::Completed, None, None);
+        // Terminal: same campaign may be submitted again (resume semantics).
+        assert_eq!(store.submit(spec("a.crnj"), "a".into()), SubmitOutcome::Queued(2));
+    }
+
+    #[test]
+    fn cancel_semantics_per_state() {
+        let store = Store::new();
+        assert_eq!(store.cancel(7), CancelOutcome::NotFound);
+
+        store.submit(spec("a.crnj"), "a".into());
+        assert_eq!(store.cancel(1), CancelOutcome::Accepted);
+        assert_eq!(store.view(1).unwrap().state, JobState::Cancelled);
+        assert_eq!(store.cancel(1), CancelOutcome::AlreadyTerminal);
+
+        store.submit(spec("b.crnj"), "b".into());
+        let claimed = store.next_job().unwrap();
+        assert_eq!(claimed.id, 2);
+        assert!(!claimed.cancel.load(Ordering::SeqCst));
+        assert_eq!(store.cancel(2), CancelOutcome::Accepted);
+        assert!(claimed.cancel.load(Ordering::SeqCst));
+        assert_eq!(store.cancel(2), CancelOutcome::AlreadyRequested);
+    }
+
+    #[test]
+    fn close_releases_the_scheduler() {
+        let store = Store::new();
+        store.close();
+        assert!(store.next_job().is_none());
+    }
+}

@@ -1314,7 +1314,7 @@ impl<'net, P: Protocol> Engine<'net, P> {
     }
 
     /// Turns the phase-1 routing auto-tuner on or off. On (the default for
-    /// a fresh engine), the first [`PHASE1_TUNE_SLOTS`] sharded slots
+    /// a fresh engine), the first `PHASE1_TUNE_SLOTS` sharded slots
     /// collect sequentially and the next as many through the pool, both
     /// timed, and the faster routing is locked in for the rest of the
     /// engine's life (surviving [`Engine::reset`]). Both routings are

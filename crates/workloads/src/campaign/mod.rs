@@ -24,6 +24,11 @@
 //!   after N completed trials or inject `Retryable` failures on chosen
 //!   arms, which is how the kill/resume differential tests and the CI
 //!   smoke step drive every path above deterministically.
+//! * **Observation & cancel** ([`CampaignObserver`]) — a long-lived
+//!   caller (the `crn-server` scheduler) can watch per-wave
+//!   [`ProgressSnapshot`]s and request cancellation at a wave boundary;
+//!   both are strictly read-only with respect to results and journal
+//!   bytes.
 //!
 //! # Determinism of resume
 //!
@@ -41,6 +46,7 @@
 mod breaker;
 mod journal;
 mod lifecycle;
+mod observe;
 mod runner;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
@@ -48,6 +54,8 @@ pub use journal::{config_hash, Journal, JournalError, LoadedJournal, Record};
 pub use lifecycle::{
     AbandonReason, ArmResult, ArmSpec, CampaignSpec, FaultPlan, InjectRetryable, RetryPolicy, Unit,
 };
+pub use observe::{ArmProgress, CampaignObserver, ProgressSnapshot};
 pub use runner::{
-    run_campaign, ArmReport, CampaignError, CampaignOutcome, CampaignReport, TrialState,
+    run_campaign, run_campaign_observed, ArmReport, CampaignError, CampaignOutcome, CampaignReport,
+    TrialState,
 };

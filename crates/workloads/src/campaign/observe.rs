@@ -1,0 +1,103 @@
+//! Progress observation and cooperative cancellation for campaign runs.
+//!
+//! A long-lived caller (the campaign server's scheduler thread) needs two
+//! things the batch entry points never did: a live view of per-arm
+//! progress while [`super::run_campaign`] holds the thread, and a way to
+//! ask a running campaign to stop at a safe boundary. Both are deliberately
+//! *observational*: an observer can never change what a campaign computes
+//! — snapshots are emitted after each wave is applied and journaled, and a
+//! cancel takes effect only at a wave boundary (the same boundary the
+//! fault-plan kill uses), so the journal stays a prefix of the
+//! uninterrupted run's and a later resume is still bit-identical.
+//!
+//! The trait is `Sync + Send`-friendly by construction (`&self` methods,
+//! no interior requirements), so the natural implementation is a handle
+//! holding an `Arc<Mutex<…>>` slot for the latest snapshot plus an
+//! `Arc<AtomicBool>` cancel flag — exactly what `crn-server`'s job store
+//! does.
+
+use super::breaker::BreakerState;
+
+/// Point-in-time progress of one arm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArmProgress {
+    /// The arm's name from the spec.
+    pub name: String,
+    /// Trials finished with an output.
+    pub done: usize,
+    /// Trials skipped by the arm.
+    pub skipped: usize,
+    /// Trials given up on (retry budget or permanent trip).
+    pub abandoned: usize,
+    /// Trials not yet terminal.
+    pub pending: usize,
+    /// Failed attempts charged so far.
+    pub retries: u64,
+    /// `run_unit` invocations charged so far.
+    pub invocations: u64,
+    /// The arm's breaker state at snapshot time.
+    pub breaker: BreakerState,
+    /// `true` once the breaker is permanently tripped.
+    pub tripped: bool,
+}
+
+/// Point-in-time progress of a whole campaign run, emitted after each
+/// applied wave (and once on entry, so a resumed campaign immediately
+/// reports its restored state).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressSnapshot {
+    /// The scheduling tick of the wave this snapshot follows.
+    pub tick: u64,
+    /// Terminal units recorded so far (done + skipped + abandoned),
+    /// including units restored from the journal. Monotone across the
+    /// snapshots of one run.
+    pub recorded: usize,
+    /// Total units in the campaign ([`super::CampaignSpec::total_trials`]).
+    pub total: usize,
+    /// Per-arm progress, in spec order.
+    pub arms: Vec<ArmProgress>,
+}
+
+impl ProgressSnapshot {
+    /// Fraction of units recorded, in `[0, 1]`.
+    pub fn fraction(&self) -> f64 {
+        self.recorded as f64 / self.total.max(1) as f64
+    }
+}
+
+/// Hooks a caller may install on a campaign run. Both methods default to
+/// no-ops, and neither can affect the campaign's results: snapshots are
+/// read-only views, and cancellation stops the run at a journaled wave
+/// boundary exactly as the fault-plan kill switch does.
+pub trait CampaignObserver: Sync {
+    /// Called with a fresh snapshot after every applied (and checkpointed)
+    /// wave, plus once before the first wave. Runs on the campaign thread:
+    /// keep it cheap (copy the snapshot out, don't compute under it).
+    fn on_progress(&self, snapshot: &ProgressSnapshot) {
+        let _ = snapshot;
+    }
+
+    /// Polled once per scheduling iteration. Returning `true` makes the
+    /// run checkpoint and return [`super::CampaignOutcome::Cancelled`]
+    /// before selecting the next wave; already-applied work stays durable
+    /// and a later run with the same spec resumes from the journal.
+    fn cancel_requested(&self) -> bool {
+        false
+    }
+}
+
+/// The no-op observer the batch entry points use.
+impl CampaignObserver for () {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_is_safe_on_empty_campaigns() {
+        let snap = ProgressSnapshot { tick: 0, recorded: 0, total: 0, arms: Vec::new() };
+        assert_eq!(snap.fraction(), 0.0);
+        let half = ProgressSnapshot { tick: 1, recorded: 2, total: 4, arms: Vec::new() };
+        assert_eq!(half.fraction(), 0.5);
+    }
+}

@@ -40,6 +40,7 @@
 use super::breaker::CircuitBreaker;
 use super::journal::{config_hash, Journal, JournalError, Record};
 use super::lifecycle::{AbandonReason, ArmResult, CampaignSpec, FaultPlan, RetryPolicy, Unit};
+use super::observe::{ArmProgress, CampaignObserver, ProgressSnapshot};
 use crate::runner::{run_parallel_stateful, Trial};
 use std::collections::VecDeque;
 use std::path::Path;
@@ -53,6 +54,13 @@ pub enum CampaignOutcome {
     /// units (journal checkpointed — the simulated SIGKILL boundary).
     Killed {
         /// Terminal units recorded when the kill fired.
+        recorded: usize,
+    },
+    /// A [`CampaignObserver`] requested cancellation; the run stopped at a
+    /// wave boundary with the journal checkpointed, so a later run with
+    /// the same spec resumes where this one stopped.
+    Cancelled {
+        /// Terminal units recorded when the cancel took effect.
         recorded: usize,
     },
 }
@@ -228,6 +236,28 @@ pub fn run_campaign<S>(
     init: impl Fn() -> S + Sync,
     run_unit: impl Fn(&mut S, &Unit) -> ArmResult<Trial> + Sync,
 ) -> Result<CampaignReport, CampaignError> {
+    run_campaign_observed(spec, threads, journal_path, fault, &(), init, run_unit)
+}
+
+/// [`run_campaign`] with an observer attached: `observer.on_progress` is
+/// called with a [`ProgressSnapshot`] once on entry (after any journal
+/// restore) and after every applied wave, and `observer.cancel_requested`
+/// is polled once per scheduling iteration — returning `true` stops the
+/// run at the next wave boundary as [`CampaignOutcome::Cancelled`], with
+/// the journal checkpointed so the campaign resumes later.
+///
+/// The observer is strictly read-only: it cannot change a single journal
+/// byte or unit output, only *when* the run stops (which the journal's
+/// resume semantics already make harmless).
+pub fn run_campaign_observed<S>(
+    spec: &CampaignSpec,
+    threads: usize,
+    journal_path: Option<&Path>,
+    fault: &FaultPlan,
+    observer: &dyn CampaignObserver,
+    init: impl Fn() -> S + Sync,
+    run_unit: impl Fn(&mut S, &Unit) -> ArmResult<Trial> + Sync,
+) -> Result<CampaignReport, CampaignError> {
     let hash = config_hash(spec);
     let mut arms: Vec<ArmState> = spec
         .arms
@@ -288,8 +318,26 @@ pub fn run_campaign<S>(
 
     let kill_now = |recorded: usize| fault.kill_after_trials.is_some_and(|n| recorded >= n);
 
+    // The entry snapshot: a resumed campaign reports its restored state
+    // before any new wave runs.
+    observer.on_progress(&snapshot(spec, &arms, start_tick, recorded));
+
     let mut tick = start_tick;
     let report = 'campaign: loop {
+        // 0. Cooperative cancel, at the same boundary the kill switch
+        // uses: everything applied so far is already checkpointed, so
+        // stopping here is exactly as safe as a SIGKILL between waves.
+        if observer.cancel_requested() {
+            break finish(
+                CampaignOutcome::Cancelled { recorded },
+                spec,
+                arms,
+                tick,
+                resumed,
+                recovered_torn_tail,
+            );
+        }
+
         // 1. Sweep permanently tripped arms: their waiting units are
         // abandoned (they could otherwise wait forever on a breaker that
         // never reopens). Also handles arms restored as tripped.
@@ -493,6 +541,7 @@ pub fn run_campaign<S>(
             sink.appended = false;
         }
         sink.checkpoint()?;
+        observer.on_progress(&snapshot(spec, &arms, tick, recorded));
         tick += 1;
     };
 
@@ -572,6 +621,43 @@ fn replay_wave(
             }
         }
     }
+}
+
+/// Builds the read-only progress view of the current lifecycle state.
+fn snapshot(
+    spec: &CampaignSpec,
+    arms: &[ArmState],
+    tick: u64,
+    recorded: usize,
+) -> ProgressSnapshot {
+    let arms = spec
+        .arms
+        .iter()
+        .zip(arms)
+        .map(|(a_spec, a)| {
+            let mut p = ArmProgress {
+                name: a_spec.name.clone(),
+                done: 0,
+                skipped: 0,
+                abandoned: 0,
+                pending: 0,
+                retries: a.retries,
+                invocations: a.invocations,
+                breaker: a.breaker.state(),
+                tripped: a.breaker.tripped_permanently(),
+            };
+            for slot in &a.slots {
+                match slot {
+                    Slot::Terminal(TrialState::Done(_)) => p.done += 1,
+                    Slot::Terminal(TrialState::Skipped(_)) => p.skipped += 1,
+                    Slot::Terminal(TrialState::Abandoned { .. }) => p.abandoned += 1,
+                    Slot::Terminal(TrialState::Pending) | Slot::Waiting { .. } => p.pending += 1,
+                }
+            }
+            p
+        })
+        .collect();
+    ProgressSnapshot { tick, recorded, total: spec.total_trials(), arms }
 }
 
 fn finish(
@@ -780,6 +866,113 @@ mod tests {
         for threads in [2, 4, 8] {
             assert_eq!(run(threads), one, "{threads} threads diverge from 1");
         }
+    }
+
+    #[test]
+    fn observer_sees_monotone_progress_and_does_not_change_results() {
+        use std::sync::Mutex;
+
+        struct Recorder(Mutex<Vec<crate::campaign::ProgressSnapshot>>);
+        impl crate::campaign::CampaignObserver for Recorder {
+            fn on_progress(&self, s: &crate::campaign::ProgressSnapshot) {
+                self.0.lock().unwrap().push(s.clone());
+            }
+        }
+
+        let s = spec(&[("a", 4), ("b", 3)]);
+        let plain = run_campaign(
+            &s,
+            2,
+            None,
+            &FaultPlan::none(),
+            || (),
+            |(), u| ArmResult::Done { output: synth(u) },
+        )
+        .unwrap();
+
+        let rec = Recorder(Mutex::new(Vec::new()));
+        let observed = run_campaign_observed(
+            &s,
+            2,
+            None,
+            &FaultPlan::none(),
+            &rec,
+            || (),
+            |(), u| ArmResult::Done { output: synth(u) },
+        )
+        .unwrap();
+        assert_eq!(observed, plain, "observing must never change the report");
+
+        let snaps = rec.0.into_inner().unwrap();
+        assert!(snaps.len() >= 2, "entry snapshot plus at least one wave");
+        assert_eq!(snaps[0].recorded, 0, "entry snapshot precedes any wave");
+        assert!(
+            snaps.windows(2).all(|w| w[0].recorded <= w[1].recorded),
+            "recorded counter must be monotone across snapshots"
+        );
+        let last = snaps.last().unwrap();
+        assert_eq!(last.recorded, s.total_trials());
+        assert_eq!(last.arms[0].done, 4);
+        assert_eq!(last.arms[1].done, 3);
+    }
+
+    #[test]
+    fn cancel_stops_at_a_wave_boundary_and_resumes_later() {
+        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+        // Cancels after the first wave's snapshot arrives.
+        struct CancelAfterFirstWave {
+            waves: AtomicUsize,
+            cancel: AtomicBool,
+        }
+        impl crate::campaign::CampaignObserver for CancelAfterFirstWave {
+            fn on_progress(&self, s: &crate::campaign::ProgressSnapshot) {
+                // Snapshot 0 is the entry snapshot; any later one with
+                // recorded units is a committed wave.
+                if self.waves.fetch_add(1, Ordering::Relaxed) >= 1 && s.recorded > 0 {
+                    self.cancel.store(true, Ordering::Relaxed);
+                }
+            }
+            fn cancel_requested(&self) -> bool {
+                self.cancel.load(Ordering::Relaxed)
+            }
+        }
+
+        // Two waves minimum: trial 0 of each arm continues once.
+        let s = spec(&[("a", 2), ("b", 2)]);
+        let run_unit = |(): &mut (), u: &Unit| {
+            if u.trial == 0 && u.resume.is_none() {
+                ArmResult::Continue { progress: 0.5, resume_key: 1 }
+            } else {
+                ArmResult::Done { output: synth(u) }
+            }
+        };
+
+        let path = {
+            let mut p = std::env::temp_dir();
+            p.push(format!("crn-cancel-test-{}.crnj", std::process::id()));
+            std::fs::remove_file(&p).ok();
+            p
+        };
+        let obs =
+            CancelAfterFirstWave { waves: AtomicUsize::new(0), cancel: AtomicBool::new(false) };
+        let cancelled =
+            run_campaign_observed(&s, 1, Some(&path), &FaultPlan::none(), &obs, || (), run_unit)
+                .unwrap();
+        let recorded = match cancelled.outcome {
+            CampaignOutcome::Cancelled { recorded } => recorded,
+            other => panic!("expected Cancelled, got {other:?}"),
+        };
+        assert!(recorded > 0 && recorded < s.total_trials(), "stopped mid-campaign");
+
+        // The journal is a valid prefix: an unobserved rerun resumes and
+        // matches a never-cancelled run exactly.
+        let resumed =
+            run_campaign(&s, 1, Some(&path), &FaultPlan::none(), || (), run_unit).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(resumed.resumed);
+        let uninterrupted = run_campaign(&s, 1, None, &FaultPlan::none(), || (), run_unit).unwrap();
+        assert_eq!(resumed.arms, uninterrupted.arms, "cancel+resume diverged");
     }
 
     #[test]

@@ -16,7 +16,8 @@
 
 use super::{cseek_scaling, spectrum, ExpConfig};
 use crate::campaign::{
-    run_campaign, ArmResult, ArmSpec, CampaignError, CampaignReport, CampaignSpec, FaultPlan,
+    run_campaign_observed, ArmResult, ArmSpec, CampaignError, CampaignObserver, CampaignReport,
+    CampaignSpec, FaultPlan,
 };
 use crate::runner::{EngineCell, TrialOpts};
 use crate::scenario::Built;
@@ -52,6 +53,18 @@ pub fn run_e2(
     journal: Option<&Path>,
     fault: &FaultPlan,
 ) -> Result<CampaignReport, CampaignError> {
+    run_e2_observed(cfg, threads, journal, fault, &())
+}
+
+/// [`run_e2`] with a [`CampaignObserver`] attached (progress snapshots +
+/// cooperative cancel) — the entry point the campaign server schedules.
+pub fn run_e2_observed(
+    cfg: &ExpConfig,
+    threads: usize,
+    journal: Option<&Path>,
+    fault: &FaultPlan,
+    observer: &dyn CampaignObserver,
+) -> Result<CampaignReport, CampaignError> {
     let ctxs: Vec<(Built, SeekSchedule)> = cseek_scaling::e2_cs(cfg)
         .iter()
         .map(|&c| {
@@ -64,11 +77,12 @@ pub fn run_e2(
         .collect();
     let opts = TrialOpts::default();
     let spec = e2_spec(cfg);
-    run_campaign(
+    run_campaign_observed(
         &spec,
         threads,
         journal,
         fault,
+        observer,
         || ctxs.iter().map(|_| EngineCell::new()).collect::<Vec<EngineCell<'_, CSeek>>>(),
         |cells, u| {
             let (built, sched) = &ctxs[u.arm];
@@ -113,6 +127,17 @@ pub fn run_e12(
     journal: Option<&Path>,
     fault: &FaultPlan,
 ) -> Result<CampaignReport, CampaignError> {
+    run_e12_observed(cfg, threads, journal, fault, &())
+}
+
+/// [`run_e12`] with a [`CampaignObserver`] attached.
+pub fn run_e12_observed(
+    cfg: &ExpConfig,
+    threads: usize,
+    journal: Option<&Path>,
+    fault: &FaultPlan,
+    observer: &dyn CampaignObserver,
+) -> Result<CampaignReport, CampaignError> {
     let (n_seek, n_gcast, m_count) = spectrum::e12_sizes(cfg);
     let (seek_built, seek_sched) = spectrum::cseek_setup(cfg, n_seek);
     let (gcast_built, gcast_sched) = spectrum::cgcast_setup(cfg, n_gcast);
@@ -129,11 +154,12 @@ pub fn run_e12(
         count: EngineCell<'net, CountProtocol>,
     }
 
-    run_campaign(
+    run_campaign_observed(
         &spec,
         threads,
         journal,
         fault,
+        observer,
         || Cells { cseek: EngineCell::new(), cgcast: EngineCell::new(), count: EngineCell::new() },
         |cells, u| {
             let o = &opts[u.arm / 3];
@@ -202,6 +228,17 @@ pub fn run_e12b(
     journal: Option<&Path>,
     fault: &FaultPlan,
 ) -> Result<CampaignReport, CampaignError> {
+    run_e12b_observed(cfg, threads, journal, fault, &())
+}
+
+/// [`run_e12b`] with a [`CampaignObserver`] attached.
+pub fn run_e12b_observed(
+    cfg: &ExpConfig,
+    threads: usize,
+    journal: Option<&Path>,
+    fault: &FaultPlan,
+    observer: &dyn CampaignObserver,
+) -> Result<CampaignReport, CampaignError> {
     let honest = e12b_honest(cfg);
     let setups = [spectrum::e12b_setup(cfg, honest), spectrum::e12b_setup(cfg, honest + 1)];
     let opts: Vec<TrialOpts> = spectrum::duties(cfg)
@@ -209,11 +246,12 @@ pub fn run_e12b(
         .map(|&d| TrialOpts::with_spectrum(spectrum::dynamics_at(d)))
         .collect();
     let spec = e12b_spec(cfg);
-    run_campaign(
+    run_campaign_observed(
         &spec,
         threads,
         journal,
         fault,
+        observer,
         || [EngineCell::<'_, NodeRole<CSeek>>::new(), EngineCell::new()],
         |cells, u| {
             let jammers = u.arm % 2;
@@ -229,6 +267,64 @@ pub fn run_e12b(
             ArmResult::Done { output }
         },
     )
+}
+
+/// One named campaign kind the server (or any other front-end) can run by
+/// name: a spec builder (for config hashing and queue previews) and the
+/// observed runner. Both are plain `fn` pointers — a kind carries no
+/// state, so the registry is a `'static` table.
+pub struct CampaignKind {
+    /// Stable submission name (`"e2"`, `"e12"`, `"e12b"`).
+    pub kind: &'static str,
+    /// One-line description for listings.
+    pub describe: &'static str,
+    /// Builds the [`CampaignSpec`] a given config produces — the journal's
+    /// config hash is derived from this, so equal submissions share a
+    /// journal and resume each other.
+    pub spec: fn(&ExpConfig) -> CampaignSpec,
+    /// Runs (or resumes) the campaign with an observer attached.
+    pub run: KindRunFn,
+}
+
+/// Signature of a [`CampaignKind`]'s observed runner: config, threads,
+/// journal path, fault plan, observer.
+pub type KindRunFn = fn(
+    &ExpConfig,
+    usize,
+    Option<&Path>,
+    &FaultPlan,
+    &dyn CampaignObserver,
+) -> Result<CampaignReport, CampaignError>;
+
+/// Every campaign kind that can be submitted by name.
+///
+/// A `static`, not a `const`: lookups compare table entries by address
+/// (`find_kind` + the uniqueness test), so the table must have exactly
+/// one instance rather than a fresh inlined copy per use site.
+pub static REGISTRY: &[CampaignKind] = &[
+    CampaignKind {
+        kind: "e2",
+        describe: "E2: CSEEK discovery completion time vs channel count",
+        spec: e2_spec,
+        run: run_e2_observed,
+    },
+    CampaignKind {
+        kind: "e12",
+        describe: "E12: CSEEK/CGCAST/COUNT success and slots vs PU duty cycle",
+        spec: e12_spec,
+        run: run_e12_observed,
+    },
+    CampaignKind {
+        kind: "e12b",
+        describe: "E12b: CSEEK under PU churn plus a sweep jammer",
+        spec: e12b_spec,
+        run: run_e12b_observed,
+    },
+];
+
+/// Looks a campaign kind up by its submission name.
+pub fn find_kind(kind: &str) -> Option<&'static CampaignKind> {
+    REGISTRY.iter().find(|k| k.kind == kind)
 }
 
 #[cfg(test)]
@@ -275,5 +371,25 @@ mod tests {
         let one = run_e12(&cfg, 1, None, &FaultPlan::none()).unwrap();
         let four = run_e12(&cfg, 4, None, &FaultPlan::none()).unwrap();
         assert_eq!(one, four);
+    }
+
+    #[test]
+    fn registry_kinds_are_unique_and_resolvable() {
+        for k in REGISTRY {
+            let found = find_kind(k.kind).expect("every registered kind resolves");
+            assert!(std::ptr::eq(found, k), "kind {} must be unique", k.kind);
+            assert!(!k.describe.is_empty());
+        }
+        assert!(find_kind("nope").is_none());
+    }
+
+    #[test]
+    fn registry_e2_matches_direct_entry_point() {
+        let cfg = cfg();
+        let kind = find_kind("e2").unwrap();
+        assert_eq!((kind.spec)(&cfg), e2_spec(&cfg));
+        let via_registry = (kind.run)(&cfg, 2, None, &FaultPlan::none(), &()).unwrap();
+        let direct = run_e2(&cfg, 2, None, &FaultPlan::none()).unwrap();
+        assert_eq!(via_registry, direct);
     }
 }

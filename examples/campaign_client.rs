@@ -1,0 +1,159 @@
+//! Command-line client for the campaign server.
+//!
+//! ```text
+//! campaign_client <host:port> info
+//! campaign_client <host:port> list
+//! campaign_client <host:port> submit '<json>'     # e.g. '{"kind":"e2","quick":true,"trials":2,"seed":7}'
+//! campaign_client <host:port> status <id>
+//! campaign_client <host:port> watch <id>          # poll until terminal; exit 0 only on "completed"
+//! campaign_client <host:port> results <id>
+//! campaign_client <host:port> cancel <id>
+//! campaign_client reference '<json>'              # batch-mode run of the same submission,
+//!                                                 # printed in the server's canonical shape
+//! ```
+//!
+//! Every networked command prints the response body to stdout and exits 0
+//! exactly when the server said 2xx, so shell scripts (the CI smoke step)
+//! can chain on exit codes. `reference` needs no server at all: it runs
+//! the same campaign in-process through batch-mode `campaigns` and prints
+//! the byte-for-byte body `GET /campaigns/{id}/results` would serve — the
+//! acceptance differential as a one-liner:
+//!
+//! ```text
+//! diff <(campaign_client $ADDR results $ID) <(campaign_client reference "$BODY")
+//! ```
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use crn_server::client::{self, ClientResponse};
+use crn_server::json::{parse, Json};
+use crn_server::router;
+use crn_workloads::campaign::FaultPlan;
+use crn_workloads::experiments::campaigns::find_kind;
+use crn_workloads::experiments::ExpConfig;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: campaign_client <host:port> {{info|list|submit <json>|status <id>|watch <id>|results <id>|cancel <id>}}\n\
+         \x20      campaign_client reference <json>"
+    );
+    ExitCode::from(2)
+}
+
+fn finish(resp: &ClientResponse) -> ExitCode {
+    println!("{}", resp.text());
+    if (200..300).contains(&resp.status) {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("campaign_client: server said {}", resp.status);
+        ExitCode::FAILURE
+    }
+}
+
+/// Builds the batch-mode reference body for a submission: the bytes an
+/// uninterrupted server would serve from `GET /campaigns/{id}/results`.
+fn reference(body: &str) -> Result<String, String> {
+    let value = parse(body).map_err(|e| format!("bad submission json: {e}"))?;
+    let kind_name =
+        value.get("kind").and_then(Json::as_str).ok_or("submission must have a string \"kind\"")?;
+    let kind = find_kind(kind_name).ok_or_else(|| format!("unknown kind {kind_name:?}"))?;
+    let mut cfg = ExpConfig::default();
+    if let Some(q) = value.get("quick").and_then(Json::as_bool) {
+        cfg.quick = q;
+    }
+    if let Some(t) = value.get("trials").and_then(Json::as_u64) {
+        cfg.trials = t as usize;
+    }
+    if let Some(s) = value.get("seed").and_then(Json::as_u64) {
+        cfg.seed = s;
+    }
+    let threads = value.get("threads").and_then(Json::as_u64).unwrap_or(2) as usize;
+    let report = (kind.run)(&cfg, threads, None, &FaultPlan::none(), &())
+        .map_err(|e| format!("batch campaign failed: {e}"))?;
+    let name = (kind.spec)(&cfg).name;
+    Ok(router::results_json(kind.kind, &name, &report).render())
+}
+
+/// Polls `status <id>` until the job goes terminal; completed is success.
+fn watch(addr: SocketAddr, id: &str) -> ExitCode {
+    let deadline = Instant::now() + Duration::from_secs(600);
+    loop {
+        let resp = match client::get(addr, &format!("/campaigns/{id}")) {
+            Ok(resp) => resp,
+            Err(e) => {
+                eprintln!("campaign_client: poll failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if resp.status != 200 {
+            return finish(&resp);
+        }
+        let state = parse(&resp.text())
+            .ok()
+            .and_then(|j| j.get("state").and_then(|s| s.as_str().map(str::to_string)));
+        match state.as_deref() {
+            Some("completed") => return finish(&resp),
+            Some("killed" | "cancelled" | "failed") => {
+                println!("{}", resp.text());
+                eprintln!("campaign_client: job {id} ended {}", state.unwrap());
+                return ExitCode::FAILURE;
+            }
+            _ => {}
+        }
+        if Instant::now() > deadline {
+            eprintln!("campaign_client: timed out watching job {id}");
+            return ExitCode::FAILURE;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [first, rest @ ..] = args.as_slice() else {
+        return usage();
+    };
+
+    // The one offline command: no address, no server.
+    if first == "reference" {
+        let [body] = rest else {
+            return usage();
+        };
+        return match reference(body) {
+            Ok(rendered) => {
+                println!("{rendered}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("campaign_client: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let Some(addr) = first.to_socket_addrs().ok().and_then(|mut a| a.next()) else {
+        eprintln!("campaign_client: cannot resolve {first:?}");
+        return usage();
+    };
+    let result = match rest {
+        [cmd] if cmd == "info" => client::get(addr, "/"),
+        [cmd] if cmd == "list" => client::get(addr, "/campaigns"),
+        [cmd, body] if cmd == "submit" => client::post(addr, "/campaigns", Some(body)),
+        [cmd, id] if cmd == "status" => client::get(addr, &format!("/campaigns/{id}")),
+        [cmd, id] if cmd == "watch" => return watch(addr, id),
+        [cmd, id] if cmd == "results" => client::get(addr, &format!("/campaigns/{id}/results")),
+        [cmd, id] if cmd == "cancel" => {
+            client::post(addr, &format!("/campaigns/{id}/cancel"), None)
+        }
+        _ => return usage(),
+    };
+    match result {
+        Ok(resp) => finish(&resp),
+        Err(e) => {
+            eprintln!("campaign_client: request failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

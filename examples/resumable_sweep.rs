@@ -8,13 +8,43 @@
 //! Run with: `cargo run --release -p crn-examples --example resumable_sweep`
 //!
 //! Exits non-zero if the differential fails, so CI runs this as the
-//! kill/resume smoke step.
+//! kill/resume smoke step. Journals live in a dedicated directory
+//! (`CRN_JOURNAL_DIR` overrides the default under the system temp dir)
+//! that a drop guard removes on *every* exit path — success, failed
+//! differential, or panic — and the CI step asserts the cleanup.
 
 use crn_workloads::campaign::{CampaignOutcome, FaultPlan, Journal};
 use crn_workloads::experiments::{campaigns, ExpConfig};
 use std::path::PathBuf;
+use std::process::ExitCode;
 
-fn main() {
+/// Owns the journal directory for the lifetime of the run and removes it
+/// on drop. `ExitCode` returns and panics both unwind through this;
+/// only an actual SIGKILL skips it — and then the journal is exactly
+/// what you *want* left behind.
+struct JournalDir(PathBuf);
+
+impl JournalDir {
+    fn new() -> JournalDir {
+        let path = std::env::var_os("CRN_JOURNAL_DIR").map(PathBuf::from).unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("resumable-sweep-{}", std::process::id()))
+        });
+        std::fs::create_dir_all(&path).expect("create journal dir");
+        JournalDir(path)
+    }
+
+    fn file(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for JournalDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn main() -> ExitCode {
     let cfg = ExpConfig { quick: true, trials: 3, seed: 7 };
     let threads = campaigns::default_threads(&cfg);
     let spec = campaigns::e2_spec(&cfg);
@@ -26,19 +56,12 @@ fn main() {
         threads
     );
 
-    let journal: PathBuf =
-        std::env::var_os("CRN_JOURNAL").map(PathBuf::from).unwrap_or_else(|| {
-            let mut p = std::env::temp_dir();
-            p.push(format!("resumable-sweep-{}.crnj", std::process::id()));
-            p
-        });
-    std::fs::remove_file(&journal).ok();
+    let dir = JournalDir::new();
+    let journal = dir.file("sweep.crnj");
+    let reference = dir.file("sweep.reference.crnj");
 
     // The reference: the same campaign, never interrupted (journaled too,
     // so the final journal bytes can be compared).
-    let mut reference = journal.clone();
-    reference.set_extension("reference.crnj");
-    std::fs::remove_file(&reference).ok();
     let uninterrupted = campaigns::run_e2(&cfg, threads, Some(&reference), &FaultPlan::none())
         .expect("uninterrupted campaign");
 
@@ -85,14 +108,14 @@ fn main() {
     // The differential: resumed == uninterrupted, down to the journal bytes.
     let identical_reports = resumed.arms == uninterrupted.arms;
     let identical_journals = std::fs::read(&journal).ok() == std::fs::read(&reference).ok();
-    std::fs::remove_file(&journal).ok();
-    std::fs::remove_file(&reference).ok();
     println!(
         "\nresumed vs uninterrupted: reports {}, journal bytes {}",
         if identical_reports { "identical" } else { "DIVERGED" },
         if identical_journals { "identical" } else { "DIVERGED" },
     );
-    if !(identical_reports && identical_journals) {
-        std::process::exit(1);
+    if identical_reports && identical_journals {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }

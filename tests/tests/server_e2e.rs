@@ -1,0 +1,221 @@
+//! End-to-end tests for the campaign server over real TCP.
+//!
+//! Extends the `campaign_e2e.rs` kill/resume differential to the network
+//! layer: everything here talks to a [`Server`] through sockets, never
+//! through the store directly, so the whole stack — accept loop, worker
+//! pool, parser, router, scheduler, journal — is under test.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crn_server::json::{parse, Json};
+use crn_server::{client, router, Server, ServerConfig};
+use crn_workloads::campaign::FaultPlan;
+use crn_workloads::experiments::campaigns;
+use crn_workloads::experiments::ExpConfig;
+
+/// Removes its directory on drop, pass or fail, so failing tests don't
+/// leak journal directories into the temp filesystem.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let path =
+            std::env::temp_dir().join(format!("crn-server-e2e-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create temp journal dir");
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn start(dir: &TempDir) -> Server {
+    Server::start(ServerConfig {
+        journal_dir: dir.0.clone(),
+        workers: 4,
+        ..ServerConfig::default()
+    })
+    .expect("server starts")
+}
+
+fn submit(addr: SocketAddr, body: &str) -> u64 {
+    let resp = client::post(addr, "/campaigns", Some(body)).expect("submit");
+    assert_eq!(resp.status, 201, "submit: {}", resp.text());
+    parse(&resp.text())
+        .expect("submit response is json")
+        .get("id")
+        .and_then(Json::as_u64)
+        .expect("submit response has id")
+}
+
+/// Polls until the job's state equals `want`; panics on any *other*
+/// terminal state or on timeout.
+fn wait_for_state(addr: SocketAddr, id: u64, want: &str) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let resp = client::get(addr, &format!("/campaigns/{id}")).expect("status poll");
+        assert_eq!(resp.status, 200, "status: {}", resp.text());
+        let state = parse(&resp.text())
+            .expect("status is json")
+            .get("state")
+            .and_then(|s| s.as_str().map(str::to_string))
+            .expect("status has state");
+        if state == want {
+            return;
+        }
+        assert!(
+            !["completed", "killed", "cancelled", "failed"].contains(&state.as_str()),
+            "job {id} reached {state:?} while waiting for {want:?}"
+        );
+        assert!(Instant::now() < deadline, "timed out waiting for job {id} to be {want:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn results_body(addr: SocketAddr, id: u64) -> Vec<u8> {
+    let resp = client::get(addr, &format!("/campaigns/{id}/results")).expect("results");
+    assert_eq!(resp.status, 200, "results: {}", resp.text());
+    resp.body
+}
+
+/// Satellite: kill/resume e2e at the network layer. A campaign killed
+/// mid-wave (deterministic fault-plan SIGKILL-equivalent at a trial
+/// boundary), whose server is then torn down and replaced by a fresh
+/// process on the same journal directory, must serve a `/results` body
+/// byte-identical to an uninterrupted run's — which in turn must be
+/// byte-identical to batch-mode `run_e2` shaped the same way.
+#[test]
+fn killed_server_resumes_to_byte_identical_results() {
+    let cfg = ExpConfig { quick: true, trials: 2, seed: 13 };
+    let threads = 2;
+    let submit_body = r#"{"kind":"e2","quick":true,"trials":2,"seed":13,"threads":2}"#;
+    let kill_body =
+        r#"{"kind":"e2","quick":true,"trials":2,"seed":13,"threads":2,"fault":{"kill_after":2}}"#;
+
+    // Batch-mode reference, rendered with the server's own canonical
+    // shaping (acceptance criterion: HTTP results ≡ batch results).
+    let report = campaigns::run_e2(&cfg, threads, None, &FaultPlan::none()).expect("batch e2");
+    let name = campaigns::e2_spec(&cfg).name;
+    let reference = router::results_json("e2", &name, &report).render().into_bytes();
+
+    // Uninterrupted server run.
+    let dir = TempDir::new("uninterrupted");
+    let server = start(&dir);
+    let id = submit(server.addr(), submit_body);
+    wait_for_state(server.addr(), id, "completed");
+    let uninterrupted = results_body(server.addr(), id);
+    server.shutdown();
+    assert_eq!(uninterrupted, reference, "server results must equal batch-mode results");
+
+    // Killed mid-campaign; only the journal directory survives the
+    // "crash" (full server teardown).
+    let dir = TempDir::new("resumed");
+    let server = start(&dir);
+    let id = submit(server.addr(), kill_body);
+    wait_for_state(server.addr(), id, "killed");
+    let resp = client::get(server.addr(), &format!("/campaigns/{id}/results")).expect("results");
+    assert_eq!(resp.status, 409, "killed job must 409 on /results: {}", resp.text());
+    server.shutdown();
+
+    // Fresh server, same journal dir: resubmitting the same campaign
+    // resumes it from the WAL.
+    let server = start(&dir);
+    let id = submit(server.addr(), submit_body);
+    wait_for_state(server.addr(), id, "completed");
+    let status = client::get(server.addr(), &format!("/campaigns/{id}")).expect("status").text();
+    assert!(status.contains("\"resumed\":true"), "restarted run must resume: {status}");
+    let resumed = results_body(server.addr(), id);
+    server.shutdown();
+    assert_eq!(resumed, uninterrupted, "resumed results must be byte-identical");
+}
+
+/// Satellite: 8 client threads hammer `GET /campaigns/{id}` while the
+/// campaign runs. Every response must be complete, well-formed JSON (no
+/// torn bodies), progress counters must be monotone in each thread's
+/// observation order, and unknown ids / double cancels must map to clean
+/// 404/409s throughout.
+#[test]
+fn concurrent_status_polls_see_consistent_monotone_state() {
+    let dir = TempDir::new("concurrent");
+    let server = start(&dir);
+    let addr = server.addr();
+    let id = submit(addr, r#"{"kind":"e2","quick":true,"trials":4,"seed":29,"threads":2}"#);
+
+    let done = Arc::new(AtomicBool::new(false));
+    let pollers: Vec<_> = (0..8)
+        .map(|worker| {
+            let done = done.clone();
+            std::thread::spawn(move || {
+                let mut last_recorded = 0u64;
+                let mut polls = 0u64;
+                // Poll-then-check: every worker completes at least one
+                // poll even if the campaign finishes before it starts.
+                loop {
+                    let resp =
+                        client::get(addr, &format!("/campaigns/{id}")).expect("status poll");
+                    assert_eq!(resp.status, 200, "worker {worker}: {}", resp.text());
+                    // A torn body would fail to parse (or fail the client's
+                    // Content-Length check before that).
+                    let json = parse(&resp.text()).unwrap_or_else(|e| {
+                        panic!("worker {worker}: torn/invalid JSON ({e}): {}", resp.text())
+                    });
+                    assert_eq!(json.get("id").and_then(Json::as_u64), Some(id));
+                    if let Some(progress) = json.get("progress") {
+                        let recorded = progress
+                            .get("recorded")
+                            .and_then(Json::as_u64)
+                            .expect("progress.recorded");
+                        let total =
+                            progress.get("total").and_then(Json::as_u64).expect("progress.total");
+                        assert!(
+                            recorded >= last_recorded,
+                            "worker {worker}: progress went backwards ({last_recorded} -> {recorded})"
+                        );
+                        assert!(recorded <= total, "worker {worker}: recorded exceeds total");
+                        last_recorded = recorded;
+                    }
+                    polls += 1;
+                    if done.load(Ordering::SeqCst) {
+                        break;
+                    }
+                }
+                polls
+            })
+        })
+        .collect();
+
+    // Unknown and malformed ids are clean 404s even under load.
+    for bad in ["/campaigns/999", "/campaigns/zzz", "/campaigns/999/results"] {
+        let resp = client::get(addr, bad).expect("bad-id request");
+        assert_eq!(resp.status, 404, "{bad}: {}", resp.text());
+    }
+    assert_eq!(client::post(addr, "/campaigns/999/cancel", None).expect("cancel").status, 404);
+
+    // A second queued job: cancel is accepted once, conflicts after.
+    let other = submit(addr, r#"{"kind":"e2","quick":true,"trials":4,"seed":30,"threads":2}"#);
+    let resp = client::post(addr, &format!("/campaigns/{other}/cancel"), None).expect("cancel");
+    assert_eq!(resp.status, 202, "first cancel: {}", resp.text());
+    let resp = client::post(addr, &format!("/campaigns/{other}/cancel"), None).expect("cancel");
+    assert_eq!(resp.status, 409, "double cancel: {}", resp.text());
+    let resp = client::get(addr, &format!("/campaigns/{other}/results")).expect("results");
+    assert_eq!(resp.status, 409, "cancelled job has no results: {}", resp.text());
+
+    wait_for_state(addr, id, "completed");
+    done.store(true, Ordering::SeqCst);
+    let total_polls: u64 = pollers.into_iter().map(|p| p.join().expect("poller")).sum();
+    assert!(total_polls >= 8, "each poller must have completed at least one poll");
+
+    // After completion the hammered job serves results normally.
+    let body = results_body(addr, id);
+    let json = parse(std::str::from_utf8(&body).expect("utf-8")).expect("results json");
+    assert_eq!(json.get("outcome").and_then(Json::as_str), Some("completed"));
+    server.shutdown();
+}

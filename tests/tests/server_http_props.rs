@@ -1,0 +1,262 @@
+//! Property tests for the `crn-server` HTTP/1.1 request parser.
+//!
+//! Mirrors the journal-encoding proptests in `campaign_e2e.rs`: derive
+//! structured inputs from the shim's numeric strategies, then assert the
+//! parser's three load-bearing properties:
+//!
+//! 1. **Encode/parse round-trip** — `Request::encode` output re-parses to
+//!    an equal request, for arbitrary methods, targets, header sets, and
+//!    binary bodies.
+//! 2. **Fragmentation independence** — the parse result is a pure
+//!    function of the byte stream, never of how it was torn into reads:
+//!    every two-piece split at every byte boundary, and arbitrary
+//!    multi-piece chunkings, all yield the identical request.
+//! 3. **Limit enforcement with the right statuses** — oversized request
+//!    lines and header sections are rejected 431 *while streaming*
+//!    (before the attacker finishes), oversized declared bodies 413, and
+//!    malformed method tokens 400.
+
+use crn_server::http::{Limits, ParseError, Request, RequestParser};
+use proptest::prelude::*;
+
+/// RFC 7230 `tchar` alphabet: bytes legal in methods and header names.
+const TCHARS: &[u8] =
+    b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789!#$%&'*+-.^_`|~";
+
+/// Bytes legal in a request target: visible ASCII minus space.
+fn target_char(b: u8) -> char {
+    (b'!' + b % 94) as char
+}
+
+/// Bytes legal in a header value interior: visible ASCII plus space.
+fn value_char(b: u8) -> char {
+    match b % 95 {
+        94 => ' ',
+        i => (b'!' + i) as char,
+    }
+}
+
+fn method() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<u8>(), 1..8usize)
+        .prop_map(|v| v.iter().map(|&b| TCHARS[b as usize % TCHARS.len()] as char).collect())
+}
+
+fn target() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<u8>(), 0..24usize).prop_map(|v| {
+        let mut t = String::from("/");
+        t.extend(v.iter().map(|&b| target_char(b)));
+        t
+    })
+}
+
+/// Header names get an `x-` prefix so generated requests never collide
+/// with the framing headers the parser interprets (`Content-Length`,
+/// `Transfer-Encoding`) or strips semantics from (`Connection`).
+fn header_name(v: &[u8]) -> String {
+    let mut name = String::from("x-");
+    name.extend(v.iter().map(|&b| TCHARS[b as usize % TCHARS.len()] as char));
+    name
+}
+
+/// Values arrive trimmed of optional whitespace, so generate pre-trimmed
+/// values to make equality exact.
+fn header_value(v: &[u8]) -> String {
+    let s: String = v.iter().map(|&b| value_char(b)).collect();
+    s.trim_matches([' ', '\t']).to_string()
+}
+
+fn headers() -> impl Strategy<Value = Vec<(String, String)>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(any::<u8>(), 1..10usize),
+            proptest::collection::vec(any::<u8>(), 0..16usize),
+        ),
+        0..5usize,
+    )
+    .prop_map(|pairs| pairs.into_iter().map(|(n, v)| (header_name(&n), header_value(&v))).collect())
+}
+
+fn request() -> impl Strategy<Value = Request> {
+    (method(), target(), headers(), proptest::collection::vec(any::<u8>(), 0..48usize))
+        .prop_map(|(method, target, headers, body)| Request { method, target, headers, body })
+}
+
+/// Feeds the whole wire at once and expects exactly one request.
+fn parse_whole(wire: &[u8]) -> Result<Option<Request>, ParseError> {
+    let mut p = RequestParser::new(Limits::default());
+    p.feed(wire);
+    p.try_next()
+}
+
+/// Asserts `parsed` equals the `original` it was encoded from, modulo the
+/// `Content-Length` header `encode` appends for non-empty bodies.
+fn assert_round_trip(parsed: &Request, original: &Request) -> Result<(), TestCaseError> {
+    prop_assert_eq!(&parsed.method, &original.method);
+    prop_assert_eq!(&parsed.target, &original.target);
+    prop_assert_eq!(&parsed.body, &original.body);
+    let without_framing: Vec<&(String, String)> =
+        parsed.headers.iter().filter(|(k, _)| !k.eq_ignore_ascii_case("content-length")).collect();
+    let original_refs: Vec<&(String, String)> = original.headers.iter().collect();
+    prop_assert_eq!(without_framing, original_refs);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Property 1: encode → parse is the identity (modulo added framing).
+    #[test]
+    fn encode_parse_round_trips(req in request()) {
+        let wire = req.encode();
+        let parsed = parse_whole(&wire).unwrap().unwrap();
+        assert_round_trip(&parsed, &req)?;
+    }
+
+    /// Property 2a: every two-piece split at every byte boundary parses
+    /// to the same request, and no strict prefix ever yields one early.
+    #[test]
+    fn every_byte_boundary_split_parses_identically(req in request()) {
+        let wire = req.encode();
+        let whole = parse_whole(&wire).unwrap().unwrap();
+        for split in 1..wire.len() {
+            let mut p = RequestParser::new(Limits::default());
+            p.feed(&wire[..split]);
+            prop_assert_eq!(
+                p.try_next(),
+                Ok(None),
+                "strict prefix of {} bytes (split {}) must not complete",
+                wire.len(),
+                split
+            );
+            p.feed(&wire[split..]);
+            prop_assert_eq!(p.try_next(), Ok(Some(whole.clone())), "split at byte {}", split);
+            prop_assert_eq!(p.buffered(), 0, "nothing left over after split at {}", split);
+        }
+    }
+
+    /// Property 2b: arbitrary multi-piece chunkings (including chunk size
+    /// 1, i.e. one byte per read) also parse identically.
+    #[test]
+    fn arbitrary_chunkings_parse_identically(req in request(), chunk in 1usize..7) {
+        let wire = req.encode();
+        let whole = parse_whole(&wire).unwrap().unwrap();
+        let mut p = RequestParser::new(Limits::default());
+        let mut fed = 0;
+        for piece in wire.chunks(chunk) {
+            fed += piece.len();
+            p.feed(piece);
+            if fed < wire.len() {
+                prop_assert_eq!(p.try_next(), Ok(None), "incomplete at {} bytes", fed);
+            }
+        }
+        prop_assert_eq!(p.try_next(), Ok(Some(whole)));
+    }
+
+    /// Property 3a: a request line that outgrows the limit is cut off 431
+    /// mid-stream — the parser never buffers more than the limit plus one
+    /// read before rejecting, even without a CRLF in sight.
+    #[test]
+    fn oversized_request_line_is_431_while_streaming(
+        extra in 1usize..64,
+        chunk in 1usize..17,
+    ) {
+        let limits = Limits { max_request_line: 128, ..Limits::default() };
+        let mut p = RequestParser::new(limits);
+        let flood = vec![b'A'; limits.max_request_line + extra];
+        let mut rejected = None;
+        for piece in flood.chunks(chunk) {
+            p.feed(piece);
+            if let Err(e) = p.try_next() {
+                rejected = Some(e);
+                break;
+            }
+        }
+        let err = rejected.expect("flood past the limit must be rejected before EOF");
+        prop_assert_eq!(err.status(), 431);
+        prop_assert!(
+            p.buffered() <= limits.max_request_line + chunk,
+            "parser buffered {} bytes against a {}-byte limit",
+            p.buffered(),
+            limits.max_request_line
+        );
+    }
+
+    /// Property 3b: header sections are bounded by both total bytes and
+    /// field count; crossing either is a 431.
+    #[test]
+    fn oversized_header_sections_are_431(fields in 0usize..6, fat in any::<bool>()) {
+        let limits =
+            Limits { max_header_bytes: 256, max_headers: 4, ..Limits::default() };
+        let mut wire = b"GET / HTTP/1.1\r\n".to_vec();
+        if fat {
+            // One header fatter than the whole section budget.
+            wire.extend_from_slice(b"x-fat: ");
+            wire.extend(std::iter::repeat_n(b'v', limits.max_header_bytes + 1));
+            wire.extend_from_slice(b"\r\n");
+        } else {
+            // One more field than allowed, each individually small.
+            for i in 0..=limits.max_headers + fields {
+                wire.extend_from_slice(format!("x-h{i}: v\r\n").as_bytes());
+            }
+        }
+        wire.extend_from_slice(b"\r\n");
+        let mut p = RequestParser::new(limits);
+        p.feed(&wire);
+        let err = p.try_next().expect_err("oversized header section must be rejected");
+        prop_assert_eq!(err, ParseError::HeadersTooLarge);
+        prop_assert_eq!(err.status(), 431);
+    }
+
+    /// Property 3c: a declared body over the limit is 413 *at the header
+    /// boundary* — before a single body byte needs to arrive.
+    #[test]
+    fn oversized_declared_body_is_413_before_body_bytes(over in 1u64..1_000_000) {
+        let limits = Limits { max_body: 4096, ..Limits::default() };
+        let wire = format!(
+            "POST /campaigns HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            limits.max_body as u64 + over
+        );
+        let mut p = RequestParser::new(limits);
+        p.feed(wire.as_bytes());
+        let err = p.try_next().expect_err("oversized declared body must be rejected");
+        prop_assert_eq!(err, ParseError::BodyTooLarge);
+        prop_assert_eq!(err.status(), 413);
+    }
+
+    /// Property 3d: corrupting a valid method with any non-tchar byte is
+    /// a 400, never a panic and never a parse.
+    #[test]
+    fn malformed_method_bytes_are_400(req in request(), pick in any::<u8>(), pos in any::<u8>()) {
+        // Bytes that can't appear in a method token but also don't merge
+        // the method into the target (space) or truncate the line (CR/LF).
+        const BAD: &[u8] = b"(),/:;<=>?@[\\]{}\"";
+        let bad = BAD[pick as usize % BAD.len()];
+        let mut method = req.method.clone().into_bytes();
+        let at = pos as usize % method.len();
+        method[at] = bad;
+        let mut wire = method;
+        wire.push(b' ');
+        wire.extend_from_slice(req.target.as_bytes());
+        wire.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+        let err = parse_whole(&wire).expect_err("corrupted method must be rejected");
+        prop_assert_eq!(err.status(), 400);
+    }
+}
+
+/// Deterministic companion to 2a: the canonical POST the server actually
+/// receives, torn at every boundary — a fixed-vector safety net should
+/// the generator distributions drift.
+#[test]
+fn canonical_submit_survives_every_split() {
+    let wire = b"POST /campaigns HTTP/1.1\r\nHost: localhost\r\nContent-Length: 26\r\n\r\n{\"kind\":\"e2\",\"trials\":2}..";
+    let whole = parse_whole(wire).unwrap().unwrap();
+    assert_eq!(whole.method, "POST");
+    assert_eq!(whole.body.len(), 26);
+    for split in 1..wire.len() {
+        let mut p = RequestParser::new(Limits::default());
+        p.feed(&wire[..split]);
+        assert_eq!(p.try_next(), Ok(None), "split {split}");
+        p.feed(&wire[split..]);
+        assert_eq!(p.try_next(), Ok(Some(whole.clone())), "split {split}");
+    }
+}
