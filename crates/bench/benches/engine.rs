@@ -11,7 +11,8 @@
 //!   fixed costs dominate here; this is the row that keeps the sharded
 //!   resolver's per-slot overhead (worker wake/park, formerly thread spawn)
 //!   honest — including `p1_*` rows with pooled phase-1 collection forced
-//!   on.
+//!   on and `p3_batched_*` rows with pooled phase-3 delivery forced on
+//!   too (the fully pooled pipeline).
 //! * `trial_reuse_200` — the trial-runner regime: 32 runs of 64 slots,
 //!   fresh engine per run vs one engine re-armed by `Engine::reset` (what
 //!   the `crn-workloads` runners do per worker).
@@ -37,15 +38,16 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use crn_sim::channels::ChannelModel;
 use crn_sim::topology::Topology;
 use crn_sim::{
-    act_batch_buffered, Action, BatchCtx, Engine, Feedback, GlobalChannel, LocalChannel, Network,
-    Protocol, Resolver, SlotCtx, SpectrumDynamics, StatsMode,
+    act_batch_buffered, feedback_batch_buffered, Action, BatchCtx, Engine, Feedback, FeedbackBatch,
+    GlobalChannel, LocalChannel, Network, Protocol, Resolver, SlotCtx, SpectrumDynamics, StatsMode,
 };
 use rand::{Rng, RngCore};
 
 /// A protocol exercising the engine's hot path: random channel, random role,
 /// every slot (no sleeping — maximum per-slot resolution load). Ported to
 /// the batched act path (two guaranteed words per slot, pre-filled in one
-/// bulk draw), like the repo's real protocols.
+/// bulk draw) and the batched feedback path (reserve 0 — the body never
+/// draws), like the repo's real protocols.
 struct Chatter {
     c: u16,
     heard: u64,
@@ -76,6 +78,19 @@ impl Protocol for Chatter {
             self.heard += 1;
         }
     }
+    fn feedback_batch(batch: &mut [Self], ctx: &mut BatchCtx<'_>, fb: FeedbackBatch<'_, u32>) {
+        feedback_batch_buffered(
+            batch,
+            ctx,
+            fb,
+            |_| 0,
+            |p, _sctx, f| {
+                if matches!(f, Feedback::Heard(_)) {
+                    p.heard += 1;
+                }
+            },
+        );
+    }
     fn is_complete(&self) -> bool {
         false
     }
@@ -102,6 +117,18 @@ fn run_slots(net: &Network, resolver: Resolver, c: u16, slots: u64) -> u64 {
 fn run_slots_pooled_p1(net: &Network, resolver: Resolver, c: u16, slots: u64) -> u64 {
     let mut eng = Engine::with_resolver(net, 42, resolver, |_| Chatter { c, heard: 0 });
     eng.set_phase1_pool_min_nodes(0);
+    eng.run_to_completion(slots);
+    eng.counters().deliveries
+}
+
+/// [`run_slots`] with pooled phase-1 collection *and* pooled phase-3
+/// delivery forced on (both thresholds 0) — the fully pooled pipeline:
+/// `act_batch` chunks, sharded resolution, and `feedback_batch` chunks all
+/// run on the persistent worker pool.
+fn run_slots_pooled_p3(net: &Network, resolver: Resolver, c: u16, slots: u64) -> u64 {
+    let mut eng = Engine::with_resolver(net, 42, resolver, |_| Chatter { c, heard: 0 });
+    eng.set_phase1_pool_min_nodes(0);
+    eng.set_phase3_pool_min_nodes(0);
     eng.run_to_completion(slots);
     eng.counters().deliveries
 }
@@ -194,6 +221,19 @@ fn small_slot(criterion: &mut Criterion) {
             b.iter(|| run_slots_pooled_p1(&net, resolver, 3, slots))
         });
     }
+    // The fully pooled pipeline: pooled phase-1 collection *and* pooled
+    // phase-3 delivery forced on (n = 200 is below both default
+    // thresholds). bench_regress-exempt by the `sharded*` suffix; these
+    // rows price the third per-slot pool dispatch in the worst (fully
+    // amortized) regime.
+    for (rname, resolver) in [
+        ("p3_batched_sharded2", Resolver::ParallelSharded { threads: 2 }),
+        ("p3_batched_sharded4", Resolver::ParallelSharded { threads: 4 }),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(rname), &n, |b, _| {
+            b.iter(|| run_slots_pooled_p3(&net, resolver, 3, slots))
+        });
+    }
     group.finish();
 }
 
@@ -260,9 +300,10 @@ fn trial_reuse(criterion: &mut Criterion) {
 /// spectrum-dynamics flavour installed, against the spectrum-free baseline
 /// (`none`). The masked slots do strictly less resolution work, so this
 /// group measures the *fixed* per-slot cost of the spectrum layer (state
-/// advance + mask probes), which is what must stay negligible. Rows are
-/// printed (not gated) by `bench_regress` until a baseline recorded on the
-/// CI runner is committed — see `PRINT_ONLY_GROUPS` there.
+/// advance + mask probes), which is what must stay negligible. Gated by
+/// `bench_regress` since its baseline was recalibrated on the CI
+/// container (it was print-only while the committed baseline predated
+/// that machine).
 fn spectrum_churn(criterion: &mut Criterion) {
     let n = 200usize;
     let slots = 1024u64;
@@ -420,6 +461,18 @@ fn dense_broadcast(criterion: &mut Criterion) {
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(rname), &n, |b, _| {
             b.iter(|| run_slots(&net, resolver, 2, slots))
+        });
+    }
+    // Fully pooled pipeline (phase-1 collection + phase-3 delivery both on
+    // the worker pool; n = 5000 clears the phase-3 default threshold, the
+    // explicit force keeps the row's meaning pinned). `sharded*`-suffix
+    // exempt in bench_regress: wall-clock wins need idle cores.
+    for (rname, resolver) in [
+        ("p3_batched_sharded2", Resolver::ParallelSharded { threads: 2 }),
+        ("p3_batched_sharded4", Resolver::ParallelSharded { threads: 4 }),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(rname), &n, |b, _| {
+            b.iter(|| run_slots_pooled_p3(&net, resolver, 2, slots))
         });
     }
     group.finish();

@@ -35,15 +35,13 @@ const SHARDED_EXEMPT: &[&str] = &["sharded2", "sharded4", "sharded8"];
 
 /// Benchmark *groups* that are reported but not yet gated.
 ///
-/// * `spectrum_churn` — a scenario family whose committed baseline was
-///   produced on a different machine than the CI runner. Per the ROADMAP
-///   recalibration note, it joins the gate only once a baseline recorded
-///   on the CI runner is committed; `--normalize` cannot stand in for
-///   that, because the group's rows differ from the gated pack in *kind*
-///   (spectrum state advance + mask probes layered on the same slot loop),
-///   so the pack's median ratio is not a valid machine scale for them.
-///   Until then its rows print alongside the gated ones so drift stays
-///   visible.
+/// `spectrum_churn` graduated from this list when its baseline was
+/// recalibrated on the CI container: measured against the gated pack its
+/// rows now track the pack's machine scale (drift within ±10% after
+/// normalization on the promotion run), so the original objection — a
+/// foreign-machine baseline for rows that differ from the pack in kind —
+/// no longer applies. It is gated like any other group.
+///
 /// * `campaign_resume` — the `journaled` and `resume_replay` rows are
 ///   fsync-bound at the margin: their medians track the runner's
 ///   filesystem latency, not the code under test, so gating them would
@@ -66,8 +64,7 @@ const SHARDED_EXEMPT: &[&str] = &["sharded2", "sharded4", "sharded8"];
 ///   read-free concurrent polling) are hard-asserted by the server e2e
 ///   tests and the CI smoke step; the rows here are capacity drift
 ///   telemetry.
-const PRINT_ONLY_GROUPS: &[&str] =
-    &["spectrum_churn", "campaign_resume", "huge_sparse_1e6", "server_load"];
+const PRINT_ONLY_GROUPS: &[&str] = &["campaign_resume", "huge_sparse_1e6", "server_load"];
 
 /// One `(group, id) → median_ns` measurement.
 type Report = BTreeMap<(String, String), f64>;
@@ -286,13 +283,13 @@ mod tests {
 
     #[test]
     fn print_only_groups_never_gate() {
-        // A spectrum_churn row regressed 10×: reported, never gated, and
+        // A campaign_resume row regressed 10×: reported, never gated, and
         // excluded from the machine-scale estimate.
         let mut baseline = Report::new();
         let mut new = Report::new();
-        for id in ["none", "markov"] {
-            baseline.insert(("spectrum_churn".into(), id.into()), 1000.0);
-            new.insert(("spectrum_churn".into(), id.into()), 10_000.0);
+        for id in ["in_memory", "journaled"] {
+            baseline.insert(("campaign_resume".into(), id.into()), 1000.0);
+            new.insert(("campaign_resume".into(), id.into()), 10_000.0);
         }
         for id in ["a", "b", "c"] {
             baseline.insert(("g".into(), id.into()), 1000.0);
@@ -300,6 +297,20 @@ mod tests {
         }
         assert!(regressions(&baseline, &new, 25.0, 1.0).is_empty());
         assert_eq!(machine_scale(&baseline, &new), 1.0, "scale must ignore print-only rows");
+    }
+
+    #[test]
+    fn spectrum_churn_is_gated_after_promotion() {
+        // The group graduated from PRINT_ONLY_GROUPS with a baseline
+        // recalibrated on the CI container: a regression there must now
+        // fail the gate like any other scenario.
+        let mut baseline = Report::new();
+        let mut new = Report::new();
+        baseline.insert(("spectrum_churn".into(), "none".into()), 1000.0);
+        new.insert(("spectrum_churn".into(), "none".into()), 10_000.0);
+        let bad = regressions(&baseline, &new, 25.0, 1.0);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].0, "spectrum_churn/none");
     }
 
     #[test]

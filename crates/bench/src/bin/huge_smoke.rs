@@ -22,8 +22,8 @@
 use crn_sim::channels::ChannelModel;
 use crn_sim::topology::Topology;
 use crn_sim::{
-    act_batch_buffered, Action, BatchCtx, Engine, Feedback, LocalChannel, Network, Protocol,
-    Resolver, SlotCtx, StatsMode,
+    act_batch_buffered, feedback_batch_buffered, Action, BatchCtx, Engine, Feedback, FeedbackBatch,
+    LocalChannel, Network, Protocol, Resolver, SlotCtx, StatsMode,
 };
 use rand::{Rng, RngCore};
 
@@ -67,6 +67,19 @@ impl Protocol for Chatter {
         if matches!(fb, Feedback::Heard(_)) {
             self.heard += 1;
         }
+    }
+    fn feedback_batch(batch: &mut [Self], ctx: &mut BatchCtx<'_>, fb: FeedbackBatch<'_, u32>) {
+        feedback_batch_buffered(
+            batch,
+            ctx,
+            fb,
+            |_| 0,
+            |p, _sctx, f| {
+                if matches!(f, Feedback::Heard(_)) {
+                    p.heard += 1;
+                }
+            },
+        );
     }
     fn is_complete(&self) -> bool {
         false
@@ -118,6 +131,22 @@ fn main() {
     let deliveries = eng.counters().deliveries;
     println!("huge_smoke: {slots} slots, {deliveries} deliveries");
     assert!(deliveries > 0, "the engine must deliver messages at this density");
+
+    // Re-assert *after* the run: pooled phase-1 collection and pooled
+    // phase-3 delivery (both engaged here — n = 10⁵ on a 4-way sharded
+    // resolver) allocate their shard scratch lazily on first use, so only
+    // a post-run measurement proves that scratch is O(n + m) too and that
+    // no hidden O(n·threads) buffer appeared.
+    let engine_bytes_after = eng.internal_memory_bytes();
+    println!(
+        "huge_smoke: engine internal state after run {:.1} MiB",
+        engine_bytes_after as f64 / (1u64 << 20) as f64
+    );
+    assert!(
+        engine_bytes_after < STRUCTURE_LIMIT,
+        "post-run engine state {engine_bytes_after} bytes exceeds the linear budget \
+         {STRUCTURE_LIMIT}: pooled collect/deliver scratch is no longer O(n + m)"
+    );
 
     match crn_bench::peak_rss_bytes() {
         Some(bytes) => {

@@ -16,7 +16,8 @@
 use crate::discovery::{DiscoveryOutput, DiscoveryProtocol};
 use crate::params::ModelInfo;
 use crn_sim::{
-    act_batch_buffered, Action, BatchCtx, Feedback, LocalChannel, NodeId, Protocol, SlotCtx,
+    act_batch_buffered, feedback_batch_buffered, Action, BatchCtx, Feedback, FeedbackBatch,
+    LocalChannel, NodeId, Protocol, SlotCtx,
 };
 use rand::{Rng, RngCore};
 use std::collections::BTreeMap;
@@ -115,6 +116,22 @@ impl NaiveDiscovery {
             self.broadcaster as usize
         }
     }
+
+    /// The feedback body, generic over the random source so the scalar and
+    /// batched delivery paths share one implementation (it draws nothing).
+    fn feedback_any<R: RngCore>(&mut self, ctx: &mut SlotCtx<'_, R>, fb: Feedback<'_, NodeId>) {
+        if self.step >= self.sched.steps {
+            return;
+        }
+        if let Feedback::Heard(id) = fb {
+            self.heard.entry(*id).or_insert(ctx.slot.0);
+        }
+        self.slot_in_step += 1;
+        if self.slot_in_step == self.sched.slots_per_step {
+            self.step += 1;
+            self.step_initialized = false;
+        }
+    }
 }
 
 impl Protocol for NaiveDiscovery {
@@ -130,17 +147,12 @@ impl Protocol for NaiveDiscovery {
     }
 
     fn feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<'_, NodeId>) {
-        if self.step >= self.sched.steps {
-            return;
-        }
-        if let Feedback::Heard(id) = fb {
-            self.heard.entry(*id).or_insert(ctx.slot.0);
-        }
-        self.slot_in_step += 1;
-        if self.slot_in_step == self.sched.slots_per_step {
-            self.step += 1;
-            self.step_initialized = false;
-        }
+        self.feedback_any(ctx, fb);
+    }
+
+    fn feedback_batch(batch: &mut [Self], ctx: &mut BatchCtx<'_>, fb: FeedbackBatch<'_, NodeId>) {
+        // Reserve 0 exactly: the feedback body never draws.
+        feedback_batch_buffered(batch, ctx, fb, |_| 0, |p, sctx, f| p.feedback_any(sctx, f));
     }
 
     fn is_complete(&self) -> bool {
@@ -241,6 +253,15 @@ impl FixedRateDiscovery {
             2
         }
     }
+
+    /// The feedback body, generic over the random source so the scalar and
+    /// batched delivery paths share one implementation (it draws nothing).
+    fn feedback_any<R: RngCore>(&mut self, ctx: &mut SlotCtx<'_, R>, fb: Feedback<'_, NodeId>) {
+        if let Feedback::Heard(id) = fb {
+            self.heard.entry(*id).or_insert(ctx.slot.0);
+        }
+        self.slot += 1;
+    }
 }
 
 impl Protocol for FixedRateDiscovery {
@@ -256,10 +277,12 @@ impl Protocol for FixedRateDiscovery {
     }
 
     fn feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<'_, NodeId>) {
-        if let Feedback::Heard(id) = fb {
-            self.heard.entry(*id).or_insert(ctx.slot.0);
-        }
-        self.slot += 1;
+        self.feedback_any(ctx, fb);
+    }
+
+    fn feedback_batch(batch: &mut [Self], ctx: &mut BatchCtx<'_>, fb: FeedbackBatch<'_, NodeId>) {
+        // Reserve 0 exactly: the feedback body never draws.
+        feedback_batch_buffered(batch, ctx, fb, |_| 0, |p, sctx, f| p.feedback_any(sctx, f));
     }
 
     fn is_complete(&self) -> bool {
@@ -356,6 +379,18 @@ impl NaiveBroadcast {
             1 + self.payload.is_some() as usize
         }
     }
+
+    /// The feedback body, generic over the random source so the scalar and
+    /// batched delivery paths share one implementation (it draws nothing).
+    fn feedback_any<R: RngCore>(&mut self, ctx: &mut SlotCtx<'_, R>, fb: Feedback<'_, u64>) {
+        if let Feedback::Heard(data) = fb {
+            if self.payload.is_none() {
+                self.payload = Some(*data);
+                self.informed_at = Some(ctx.slot.0 + 1);
+            }
+        }
+        self.slot += 1;
+    }
 }
 
 impl Protocol for NaiveBroadcast {
@@ -371,13 +406,12 @@ impl Protocol for NaiveBroadcast {
     }
 
     fn feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<'_, u64>) {
-        if let Feedback::Heard(data) = fb {
-            if self.payload.is_none() {
-                self.payload = Some(*data);
-                self.informed_at = Some(ctx.slot.0 + 1);
-            }
-        }
-        self.slot += 1;
+        self.feedback_any(ctx, fb);
+    }
+
+    fn feedback_batch(batch: &mut [Self], ctx: &mut BatchCtx<'_>, fb: FeedbackBatch<'_, u64>) {
+        // Reserve 0 exactly: the feedback body never draws.
+        feedback_batch_buffered(batch, ctx, fb, |_| 0, |p, sctx, f| p.feedback_any(sctx, f));
     }
 
     fn is_complete(&self) -> bool {

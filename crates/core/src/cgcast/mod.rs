@@ -40,9 +40,9 @@ use crate::count::Role;
 use crate::params::GcastSchedule;
 use crate::seek::{SeekCore, SeekSlotPlan};
 use crn_sim::{
-    act_batch_buffered, Action, BatchCtx, Edge, Feedback, LocalChannel, NodeId, Protocol, SlotCtx,
+    act_batch_buffered, feedback_batch_buffered, Action, BatchCtx, Edge, Feedback, FeedbackBatch,
+    LocalChannel, NodeId, Protocol, SlotCtx,
 };
-use rand::rngs::SmallRng;
 use rand::{Rng, RngCore};
 use std::collections::BTreeMap;
 
@@ -159,7 +159,7 @@ impl CGCast {
     // Stage transitions
     // ------------------------------------------------------------------
 
-    fn advance_after_seek(&mut self, rng: &mut SmallRng) {
+    fn advance_after_seek<R: RngCore>(&mut self, rng: &mut R) {
         match self.stage {
             Stage::Discover => {
                 self.outgoing = GcastMsg::Meta {
@@ -212,7 +212,7 @@ impl CGCast {
         }
     }
 
-    fn begin_coloring_step(&mut self, phase: u64, step: u8, rng: &mut SmallRng) {
+    fn begin_coloring_step<R: RngCore>(&mut self, phase: u64, step: u8, rng: &mut R) {
         if self.sched.coloring_phases == 0 {
             self.begin_inform();
             return;
@@ -401,7 +401,11 @@ impl CGCast {
         }
     }
 
-    fn dissem_feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<'_, GcastMsg>) {
+    fn dissem_feedback<R: RngCore>(
+        &mut self,
+        ctx: &mut SlotCtx<'_, R>,
+        fb: Feedback<'_, GcastMsg>,
+    ) {
         if let Feedback::Heard(GcastMsg::Data(x)) = fb {
             if self.payload.is_none() {
                 self.payload = Some(*x);
@@ -466,21 +470,13 @@ impl CGCast {
             _ => self.seek.as_ref().map_or(0, SeekCore::min_draws),
         }
     }
-}
 
-impl Protocol for CGCast {
-    type Message = GcastMsg;
-    type Output = GcastOutput;
-
-    fn act(&mut self, ctx: &mut SlotCtx<'_>) -> Action<GcastMsg> {
-        self.act_any(ctx)
-    }
-
-    fn act_batch(batch: &mut [Self], ctx: &mut BatchCtx<'_>, out: &mut Vec<Action<GcastMsg>>) {
-        act_batch_buffered(batch, ctx, out, |p| p.min_draws(), |p, sctx| p.act_any(sctx));
-    }
-
-    fn feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<'_, GcastMsg>) {
+    /// The feedback body, generic over the random source so the scalar and
+    /// batched delivery paths share one implementation. Draws randomness
+    /// only on the data-dependent seek-completion transition
+    /// (`advance_after_seek` → Luby proposals), so the batched reserve is 0
+    /// and those draws fall through the buffered façade.
+    fn feedback_any<R: RngCore>(&mut self, ctx: &mut SlotCtx<'_, R>, fb: Feedback<'_, GcastMsg>) {
         match self.stage {
             Stage::Done => {}
             Stage::Disseminate => self.dissem_feedback(ctx, fb),
@@ -504,6 +500,29 @@ impl Protocol for CGCast {
                 }
             }
         }
+    }
+}
+
+impl Protocol for CGCast {
+    type Message = GcastMsg;
+    type Output = GcastOutput;
+
+    fn act(&mut self, ctx: &mut SlotCtx<'_>) -> Action<GcastMsg> {
+        self.act_any(ctx)
+    }
+
+    fn act_batch(batch: &mut [Self], ctx: &mut BatchCtx<'_>, out: &mut Vec<Action<GcastMsg>>) {
+        act_batch_buffered(batch, ctx, out, |p| p.min_draws(), |p, sctx| p.act_any(sctx));
+    }
+
+    fn feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<'_, GcastMsg>) {
+        self.feedback_any(ctx, fb);
+    }
+
+    fn feedback_batch(batch: &mut [Self], ctx: &mut BatchCtx<'_>, fb: FeedbackBatch<'_, GcastMsg>) {
+        // Reserve 0: feedback draws only on the seek-done transition, a
+        // data-dependent count that falls through the buffered façade.
+        feedback_batch_buffered(batch, ctx, fb, |_| 0, |p, sctx, f| p.feedback_any(sctx, f));
     }
 
     fn is_complete(&self) -> bool {

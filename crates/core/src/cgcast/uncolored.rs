@@ -13,7 +13,8 @@ use super::output::GcastOutput;
 use crate::params::GcastSchedule;
 use crate::seek::{SeekCore, SeekSlotPlan};
 use crn_sim::{
-    act_batch_buffered, Action, BatchCtx, Feedback, LocalChannel, NodeId, Protocol, SlotCtx,
+    act_batch_buffered, feedback_batch_buffered, Action, BatchCtx, Feedback, FeedbackBatch,
+    LocalChannel, NodeId, Protocol, SlotCtx,
 };
 use rand::{Rng, RngCore};
 use std::collections::BTreeMap;
@@ -175,21 +176,11 @@ impl UncoloredGcast {
             }
         }
     }
-}
 
-impl Protocol for UncoloredGcast {
-    type Message = GcastMsg;
-    type Output = GcastOutput;
-
-    fn act(&mut self, ctx: &mut SlotCtx<'_>) -> Action<GcastMsg> {
-        self.act_any(ctx)
-    }
-
-    fn act_batch(batch: &mut [Self], ctx: &mut BatchCtx<'_>, out: &mut Vec<Action<GcastMsg>>) {
-        act_batch_buffered(batch, ctx, out, |p| p.min_draws(), |p, sctx| p.act_any(sctx));
-    }
-
-    fn feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<'_, GcastMsg>) {
+    /// The feedback body, generic over the random source so the scalar and
+    /// batched delivery paths share one implementation (it draws nothing —
+    /// stage transitions here are deterministic).
+    fn feedback_any<R: RngCore>(&mut self, ctx: &mut SlotCtx<'_, R>, fb: Feedback<'_, GcastMsg>) {
         match self.stage {
             Stage::Done => {}
             Stage::Disseminate => {
@@ -260,6 +251,28 @@ impl Protocol for UncoloredGcast {
                 }
             }
         }
+    }
+}
+
+impl Protocol for UncoloredGcast {
+    type Message = GcastMsg;
+    type Output = GcastOutput;
+
+    fn act(&mut self, ctx: &mut SlotCtx<'_>) -> Action<GcastMsg> {
+        self.act_any(ctx)
+    }
+
+    fn act_batch(batch: &mut [Self], ctx: &mut BatchCtx<'_>, out: &mut Vec<Action<GcastMsg>>) {
+        act_batch_buffered(batch, ctx, out, |p| p.min_draws(), |p, sctx| p.act_any(sctx));
+    }
+
+    fn feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<'_, GcastMsg>) {
+        self.feedback_any(ctx, fb);
+    }
+
+    fn feedback_batch(batch: &mut [Self], ctx: &mut BatchCtx<'_>, fb: FeedbackBatch<'_, GcastMsg>) {
+        // Reserve 0 exactly: the feedback body never draws.
+        feedback_batch_buffered(batch, ctx, fb, |_| 0, |p, sctx, f| p.feedback_any(sctx, f));
     }
 
     fn is_complete(&self) -> bool {

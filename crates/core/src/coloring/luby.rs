@@ -17,7 +17,7 @@
 
 use crn_sim::bitset::BitSet;
 use rand::rngs::SmallRng;
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 /// Per-vertex state of the coloring procedure.
 #[derive(Debug, Clone)]
@@ -72,7 +72,7 @@ impl LubyNodeState {
     /// Panics if an active vertex has run out of colors — impossible with a
     /// `2Δ` palette on a line graph of max degree `2Δ − 2`, so reaching it
     /// indicates a harness bug.
-    pub fn propose(&mut self, rng: &mut SmallRng) -> Option<u32> {
+    pub fn propose<R: RngCore>(&mut self, rng: &mut R) -> Option<u32> {
         self.proposal = None;
         if self.decided.is_some() {
             return None;

@@ -16,7 +16,8 @@
 
 use crate::params::CountSchedule;
 use crn_sim::{
-    act_batch_buffered, Action, BatchCtx, Feedback, LocalChannel, NodeId, Protocol, SlotCtx,
+    act_batch_buffered, feedback_batch_buffered, Action, BatchCtx, Feedback, FeedbackBatch,
+    LocalChannel, NodeId, Protocol, SlotCtx,
 };
 use rand::{Rng, RngCore};
 
@@ -191,6 +192,21 @@ impl CountProtocol {
     fn draws_this_slot(&self) -> usize {
         (self.instance.role() == Role::Broadcaster && !self.instance.is_done()) as usize
     }
+
+    /// The feedback body — RNG-free and slot-free, shared by the scalar
+    /// and batched delivery paths.
+    fn feedback_any(&mut self, fb: Feedback<'_, NodeId>) {
+        if self.instance.role() == Role::Listener {
+            match fb {
+                Feedback::Heard(id) => {
+                    self.heard_ids.push(*id);
+                    self.instance.record_listen(true);
+                }
+                _ => self.instance.record_listen(false),
+            }
+        }
+        self.instance.finish_slot();
+    }
 }
 
 impl Protocol for CountProtocol {
@@ -206,16 +222,13 @@ impl Protocol for CountProtocol {
     }
 
     fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, fb: Feedback<'_, NodeId>) {
-        if self.instance.role() == Role::Listener {
-            match fb {
-                Feedback::Heard(id) => {
-                    self.heard_ids.push(*id);
-                    self.instance.record_listen(true);
-                }
-                _ => self.instance.record_listen(false),
-            }
-        }
-        self.instance.finish_slot();
+        self.feedback_any(fb);
+    }
+
+    fn feedback_batch(batch: &mut [Self], ctx: &mut BatchCtx<'_>, fb: FeedbackBatch<'_, NodeId>) {
+        // Reserve 0 exactly: the feedback body never draws (nor reads the
+        // slot clock — the schedule core keeps its own position).
+        feedback_batch_buffered(batch, ctx, fb, |_| 0, |p, _sctx, f| p.feedback_any(f));
     }
 
     fn is_complete(&self) -> bool {

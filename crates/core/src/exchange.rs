@@ -10,7 +10,10 @@
 
 use crate::params::SeekSchedule;
 use crate::seek::{SeekCore, SeekSlotPlan};
-use crn_sim::{act_batch_buffered, Action, BatchCtx, Feedback, NodeId, Protocol, SlotCtx};
+use crn_sim::{
+    act_batch_buffered, feedback_batch_buffered, Action, BatchCtx, Feedback, FeedbackBatch, NodeId,
+    Protocol, SlotCtx,
+};
 use rand::RngCore;
 use std::collections::BTreeMap;
 
@@ -71,6 +74,25 @@ impl<T: Clone> Exchange<T> {
             Some(SeekSlotPlan::Listen { channel }) => Action::Listen { channel },
         }
     }
+
+    /// The feedback body — RNG-free and slot-free, shared by the scalar
+    /// and batched delivery paths.
+    fn feedback_any(&mut self, fb: Feedback<'_, Envelope<T>>) {
+        if self.core.is_done() {
+            return;
+        }
+        match fb {
+            Feedback::Heard(env) => {
+                // Single clone on actual delivery; the engine itself never
+                // clones payloads.
+                self.received.entry(env.from).or_insert_with(|| env.payload.clone());
+                self.core.record_heard(true);
+            }
+            Feedback::Silence => self.core.record_heard(false),
+            Feedback::Sent | Feedback::Slept => {}
+        }
+        self.core.finish_slot();
+    }
 }
 
 impl<T: Clone> Protocol for Exchange<T> {
@@ -86,20 +108,17 @@ impl<T: Clone> Protocol for Exchange<T> {
     }
 
     fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, fb: Feedback<'_, Envelope<T>>) {
-        if self.core.is_done() {
-            return;
-        }
-        match fb {
-            Feedback::Heard(env) => {
-                // Single clone on actual delivery; the engine itself never
-                // clones payloads.
-                self.received.entry(env.from).or_insert_with(|| env.payload.clone());
-                self.core.record_heard(true);
-            }
-            Feedback::Silence => self.core.record_heard(false),
-            Feedback::Sent | Feedback::Slept => {}
-        }
-        self.core.finish_slot();
+        self.feedback_any(fb);
+    }
+
+    fn feedback_batch(
+        batch: &mut [Self],
+        ctx: &mut BatchCtx<'_>,
+        fb: FeedbackBatch<'_, Envelope<T>>,
+    ) {
+        // Reserve 0 exactly: the feedback body never draws (nor reads the
+        // slot clock — the seek core keeps its own position).
+        feedback_batch_buffered(batch, ctx, fb, |_| 0, |p, _sctx, f| p.feedback_any(f));
     }
 
     fn is_complete(&self) -> bool {

@@ -23,7 +23,8 @@ use crate::count::{CountInstance, Role};
 use crate::discovery::{DiscoveryOutput, DiscoveryProtocol};
 use crate::params::SeekSchedule;
 use crn_sim::{
-    act_batch_buffered, Action, BatchCtx, Feedback, LocalChannel, NodeId, Protocol, SlotCtx,
+    act_batch_buffered, feedback_batch_buffered, Action, BatchCtx, Feedback, FeedbackBatch,
+    LocalChannel, NodeId, Protocol, SlotCtx,
 };
 use rand::{Rng, RngCore};
 use std::collections::BTreeMap;
@@ -338,6 +339,23 @@ impl CSeek {
             }
         }
     }
+
+    /// The feedback body, generic over the random source so the scalar and
+    /// batched delivery paths share one implementation (it draws nothing).
+    fn feedback_any<R: RngCore>(&mut self, ctx: &mut SlotCtx<'_, R>, fb: Feedback<'_, NodeId>) {
+        if self.core.is_done() {
+            return;
+        }
+        match fb {
+            Feedback::Heard(id) => {
+                self.heard.entry(*id).or_insert(ctx.slot.0);
+                self.core.record_heard(true);
+            }
+            Feedback::Silence => self.core.record_heard(false),
+            Feedback::Sent | Feedback::Slept => {}
+        }
+        self.core.finish_slot();
+    }
 }
 
 impl Protocol for CSeek {
@@ -357,18 +375,12 @@ impl Protocol for CSeek {
     }
 
     fn feedback(&mut self, ctx: &mut SlotCtx<'_>, fb: Feedback<'_, NodeId>) {
-        if self.core.is_done() {
-            return;
-        }
-        match fb {
-            Feedback::Heard(id) => {
-                self.heard.entry(*id).or_insert(ctx.slot.0);
-                self.core.record_heard(true);
-            }
-            Feedback::Silence => self.core.record_heard(false),
-            Feedback::Sent | Feedback::Slept => {}
-        }
-        self.core.finish_slot();
+        self.feedback_any(ctx, fb);
+    }
+
+    fn feedback_batch(batch: &mut [Self], ctx: &mut BatchCtx<'_>, fb: FeedbackBatch<'_, NodeId>) {
+        // Reserve 0 exactly: the feedback body never draws.
+        feedback_batch_buffered(batch, ctx, fb, |_| 0, |p, sctx, f| p.feedback_any(sctx, f));
     }
 
     fn is_complete(&self) -> bool {

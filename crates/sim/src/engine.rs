@@ -1,6 +1,6 @@
 //! The synchronous slot-stepped execution engine.
 //!
-//! Each slot runs a batched two-stage pipeline:
+//! Each slot runs a batched three-stage pipeline:
 //!
 //! 1. **Batched action collection** — node actions are collected through
 //!    the bulk [`Protocol::act_batch`] entry point (scalar [`Protocol::act`]
@@ -27,8 +27,17 @@
 //!    one atomic-generation wake per slot — see [`crate::pool`]); every
 //!    other [`Resolver`] runs the same per-channel strategies sequentially.
 //!
-//! Feedback is then delivered with heard messages passed by reference out of
-//! the broadcasters' action buffer (the engine never clones a payload).
+//! 3. **Batched feedback delivery** — one counting sweep over the packed
+//!    outcome array folds the per-outcome counters, then the bulk
+//!    [`Protocol::feedback_batch`] entry point (scalar
+//!    [`Protocol::feedback`] per node by default) hands each protocol its
+//!    outcome, with heard messages passed by reference out of the
+//!    broadcasters' action buffer (the engine never clones a payload). On a
+//!    [`Resolver::ParallelSharded`] engine with `n ≥`
+//!    [`Engine::phase3_pool_min_nodes`], delivery runs on the worker pool
+//!    in contiguous node-range chunks, each folding its own counter delta;
+//!    the deltas merge in chunk order to exactly the sequential totals.
+//!
 //! This is precisely the communication model of paper §3 (no collision
 //! detection, collision ≡ silence, broadcasters hear only themselves).
 //!
@@ -94,7 +103,9 @@ use crate::bitset::{BitSet, Intersection};
 use crate::ids::{GlobalChannel, LocalChannel, NodeId, Slot};
 use crate::network::Network;
 use crate::pool::WorkerPool;
-use crate::protocol::{Action, BatchCtx, Feedback, NodeCtx, Protocol, SlotCtx};
+use crate::protocol::{outcome, Action, BatchCtx, FeedbackBatch, NodeCtx, Protocol};
+#[cfg(test)]
+use crate::protocol::{Feedback, SlotCtx};
 use crate::rng::{channel_slot_rng, stream_rng};
 use crate::spectrum::{SpectrumDynamics, SpectrumState};
 use rand::rngs::SmallRng;
@@ -113,6 +124,18 @@ pub const DEFAULT_PHASE1_POOL_MIN_NODES: usize = 2048;
 /// the auto-tuner measures before locking the faster one; see
 /// [`Engine::set_phase1_pool_autotune`].
 const PHASE1_TUNE_SLOTS: u32 = 3;
+
+/// Default node-count threshold at or above which a
+/// [`Resolver::ParallelSharded`] engine routes phase-3 feedback delivery
+/// through its worker pool in contiguous node-range chunks. The
+/// cost-benefit mirrors phase 1 (one pool wake ~2.5 µs vs a few tens of
+/// ns per delivered node), so the default matches
+/// [`DEFAULT_PHASE1_POOL_MIN_NODES`]. Tunable per engine via
+/// [`Engine::set_phase3_pool_min_nodes`]; purely a performance knob —
+/// pooled and sequential delivery are bit-identical by construction
+/// (feedback order across nodes is independent, and the per-chunk counter
+/// deltas are merged deterministically in chunk order).
+pub const DEFAULT_PHASE3_POOL_MIN_NODES: usize = 2048;
 
 /// Channels-per-node bound at or below which the `Auto` strategies may
 /// fuse the listener pass across a slot's (or shard's) touched channels;
@@ -169,6 +192,16 @@ pub struct Counters {
     /// (Touched channel, slot) pairs observed PU-busy — channel-slots in
     /// which at least one node tuned to a busy channel.
     pub pu_busy_channel_slots: u64,
+}
+
+impl Counters {
+    /// Folds one phase-3 counting-sweep delta in (see [`count_outcomes`]).
+    fn apply(&mut self, d: DeliverDelta) {
+        self.idle_listens += d.idle_listens;
+        self.collisions += d.collisions;
+        self.pu_blocked_listens += d.pu_blocked_listens;
+        self.deliveries += d.deliveries;
+    }
 }
 
 /// Outcome of [`Engine::run`].
@@ -322,6 +355,14 @@ pub struct Engine<'net, P: Protocol> {
     /// tuning is off ([`Engine::set_phase1_pool_min_nodes`] pins the
     /// threshold and disables it).
     phase1_tune: Option<Phase1Tune>,
+    /// Node-count threshold for routing phase-3 feedback delivery through
+    /// the pool; see [`DEFAULT_PHASE3_POOL_MIN_NODES`].
+    phase3_min_nodes: usize,
+    /// Per-chunk counter deltas for pooled phase-3 delivery, merged into
+    /// [`Counters`] in chunk order after the join. O(threads) and
+    /// long-lived across slots (and across [`Engine::reset`]); allocated
+    /// lazily on the first pooled delivery.
+    deliver: Vec<DeliverDelta>,
     // --- flat channel-bucketed action table, rebuilt each slot ---
     /// Dense channels touched this slot, in first-touch order.
     touched: Vec<u32>,
@@ -371,6 +412,35 @@ struct Phase1Tune {
     measured: u32,
 }
 
+/// Per-outcome counter updates accumulated by one phase-3 delivery chunk
+/// (see [`count_outcomes`]). Merging the chunks' deltas in chunk order
+/// reproduces the scalar loop's totals exactly: each counter is a sum of
+/// per-node contributions, the chunks partition the node range, and `u64`
+/// addition is associative — no ordering effect can survive the merge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct DeliverDelta {
+    idle_listens: u64,
+    collisions: u64,
+    pu_blocked_listens: u64,
+    deliveries: u64,
+}
+
+/// The phase-3 counting sweep: fold a packed-outcome range into per-outcome
+/// counter deltas in one branch-predictable pass (comparison masks, no
+/// data-dependent branches — the scalar loop's six-way match ran once per
+/// node interleaved with the virtual feedback call). `OC_PU_BUSY` counts as
+/// both a collision and a PU-blocked listen, exactly as the scalar arms did.
+fn count_outcomes(outcomes: &[u32]) -> DeliverDelta {
+    let mut d = DeliverDelta::default();
+    for &oc in outcomes {
+        d.idle_listens += u64::from(oc == OC_IDLE);
+        d.collisions += u64::from(oc == OC_COLLISION) + u64::from(oc == OC_PU_BUSY);
+        d.pu_blocked_listens += u64::from(oc == OC_PU_BUSY);
+        d.deliveries += u64::from(oc < OC_MIN_SENTINEL);
+    }
+    d
+}
+
 /// `node_plan` bit marking a broadcaster.
 const BCAST_BIT: u32 = 1 << 31;
 /// `node_plan` sentinel for a sleeping node.
@@ -383,21 +453,19 @@ const SLEEPING: u32 = u32::MAX;
 /// channel is being resolved, converted to the external id at the final
 /// write into `Engine::outcomes` so the delivery phase can borrow the
 /// message straight out of the action buffer.
-const OC_SENT: u32 = u32::MAX;
-/// Sleeping node.
-const OC_SLEPT: u32 = u32::MAX - 1;
-/// Listener with no broadcasting neighbor on the channel (provisional
-/// state for every listener until its channel is resolved).
-const OC_IDLE: u32 = u32::MAX - 2;
-/// Listener with ≥ 2 broadcasting neighbors: collision, heard silence.
-const OC_COLLISION: u32 = u32::MAX - 3;
-/// Listener on a PU-busy channel: the primary user's transmission occupies
-/// the medium, so the listener hears noise — observationally a collision
-/// (silence), but accounted separately.
-const OC_PU_BUSY: u32 = u32::MAX - 4;
-/// Smallest sentinel: node counts must stay strictly below this so a
-/// broadcaster id can never alias a sentinel (asserted at construction).
-const OC_MIN_SENTINEL: u32 = OC_PU_BUSY;
+///
+/// The packing is public API since batched delivery
+/// ([`Protocol::feedback_batch`]) hands protocols the raw array; the
+/// canonical constants live in [`crate::protocol::outcome`] and are
+/// re-bound here under the engine's historical `OC_*` names. A node count
+/// must stay strictly below [`OC_MIN_SENTINEL`] so a broadcaster id can
+/// never alias a sentinel (asserted at construction).
+const OC_SENT: u32 = outcome::SENT;
+const OC_SLEPT: u32 = outcome::SLEPT;
+const OC_IDLE: u32 = outcome::IDLE;
+const OC_COLLISION: u32 = outcome::COLLISION;
+const OC_PU_BUSY: u32 = outcome::PU_BUSY;
+const OC_MIN_SENTINEL: u32 = outcome::MIN_SENTINEL;
 
 /// How the engine relabels nodes internally for phase-2 cache locality.
 ///
@@ -659,6 +727,24 @@ impl<M> CollectShard<M> {
             nl: 0,
             ns: 0,
         }
+    }
+
+    /// Heap bytes of this shard's scratch, for the engine's `O(n + m)`
+    /// memory accounting (`out` is reported by capacity × element size —
+    /// `Action` payloads may own heap of their own, which is the
+    /// protocol's memory, not the engine's).
+    fn memory_bytes(&self) -> usize {
+        self.out.capacity() * std::mem::size_of::<Action<M>>()
+            + self.ch_epoch.capacity() * std::mem::size_of::<u64>()
+            + (self.touched.capacity()
+                + self.ch_slot.capacity()
+                + self.b_cnt.capacity()
+                + self.l_cnt.capacity()
+                + self.b_off.capacity()
+                + self.l_off.capacity()
+                + self.b_nodes.capacity()
+                + self.l_nodes.capacity())
+                * std::mem::size_of::<u32>()
     }
 }
 
@@ -1204,6 +1290,8 @@ impl<'net, P: Protocol> Engine<'net, P> {
             collect: Vec::new(),
             phase1_min_nodes: DEFAULT_PHASE1_POOL_MIN_NODES,
             phase1_tune: Some(Phase1Tune::default()),
+            phase3_min_nodes: DEFAULT_PHASE3_POOL_MIN_NODES,
+            deliver: Vec::new(),
             touched: Vec::new(),
             chan_epoch: vec![0; universe],
             chan_slot: vec![0; universe],
@@ -1325,6 +1413,23 @@ impl<'net, P: Protocol> Engine<'net, P> {
         self.phase1_tune = on.then(Phase1Tune::default);
     }
 
+    /// The node-count threshold at or above which a
+    /// [`Resolver::ParallelSharded`] engine routes phase-3 feedback
+    /// delivery through its worker pool (see
+    /// [`DEFAULT_PHASE3_POOL_MIN_NODES`]).
+    pub fn phase3_pool_min_nodes(&self) -> usize {
+        self.phase3_min_nodes
+    }
+
+    /// Sets the pooled-delivery threshold: `0` forces phase-3 pooling on
+    /// (whenever the resolver is sharded), `usize::MAX` forces it off.
+    /// Purely a performance knob — the pooled and sequential delivery
+    /// paths are bit-identical (enforced by the batch differential suite),
+    /// so this never changes results.
+    pub fn set_phase3_pool_min_nodes(&mut self, min_nodes: usize) {
+        self.phase3_min_nodes = min_nodes;
+    }
+
     /// The active internal [`Renumbering`].
     pub fn renumbering(&self) -> &Renumbering {
         &self.renumbering
@@ -1332,8 +1437,12 @@ impl<'net, P: Protocol> Engine<'net, P> {
 
     /// Heap bytes of the engine's per-node and adjacency structures (the
     /// internal CSR + dense rows, translation table, permutations, packed
-    /// outcomes) — reported next to the network footprint by the
-    /// huge-sparse bench row to prove `O(n + m)` setup.
+    /// outcomes) plus the lazily allocated pooled-phase scratch (per-chunk
+    /// collection shards, per-chunk delivery counter deltas) — reported
+    /// next to the network footprint by the huge-sparse bench row to prove
+    /// `O(n + m)` setup. The `huge_smoke` CI gate asserts this both before
+    /// and after a pooled run, so any hidden `O(n · threads)` buffer a
+    /// pooled path allocates on first use trips the gate.
     pub fn internal_memory_bytes(&self) -> usize {
         self.ig.memory_bytes()
             + (self.xlate.capacity()
@@ -1342,6 +1451,8 @@ impl<'net, P: Protocol> Engine<'net, P> {
                 + self.node_plan.capacity()
                 + self.outcomes.capacity())
                 * std::mem::size_of::<u32>()
+            + self.collect.iter().map(CollectShard::memory_bytes).sum::<usize>()
+            + self.deliver.capacity() * std::mem::size_of::<DeliverDelta>()
     }
 
     /// Installs primary-user spectrum dynamics (see [`crate::spectrum`]):
@@ -1408,12 +1519,14 @@ impl<'net, P: Protocol> Engine<'net, P> {
     /// Executes exactly one slot.
     ///
     /// The `Send` bounds exist for the pooled phase-1 collection path,
-    /// which hands protocol and message state to worker threads; every
-    /// protocol in this workspace satisfies them.
+    /// which hands protocol and message state to worker threads; the
+    /// `Sync` bound for the pooled phase-3 delivery path, whose workers
+    /// share the slot's action buffer read-only while decoding `Heard`
+    /// borrows. Every protocol in this workspace satisfies them.
     pub fn step(&mut self)
     where
         P: Send,
-        P::Message: Send,
+        P::Message: Send + Sync,
     {
         let slot = Slot(self.slot);
         let n = self.net.len();
@@ -1490,46 +1603,87 @@ impl<'net, P: Protocol> Engine<'net, P> {
             r => self.resolve_all_sequential(r.per_channel()),
         }
 
-        // Phase 3: deliver feedback. Heard messages are borrowed from the
-        // broadcasters' entries in the action buffer — zero clones.
-        let actions = &self.actions;
-        let outcomes = &self.outcomes;
-        let counters = &mut self.counters;
-        for (v, (proto, rng)) in self.protocols.iter_mut().zip(self.rngs.iter_mut()).enumerate() {
-            let fb = match outcomes[v] {
-                OC_SENT => Feedback::Sent,
-                OC_SLEPT => Feedback::Slept,
-                OC_IDLE => {
-                    counters.idle_listens += 1;
-                    Feedback::Silence
-                }
-                OC_COLLISION => {
-                    counters.collisions += 1;
-                    Feedback::Silence
-                }
-                OC_PU_BUSY => {
-                    // The primary user's transmission is one more signal on
-                    // the channel: the listener hears noise, which in this
-                    // model is a collision (silence).
-                    counters.collisions += 1;
-                    counters.pu_blocked_listens += 1;
-                    Feedback::Silence
-                }
-                // Anything below the sentinels is Heard(external broadcaster).
-                b => {
-                    counters.deliveries += 1;
-                    match &actions[b as usize] {
-                        Action::Broadcast { message, .. } => Feedback::Heard(message),
-                        _ => unreachable!("resolved broadcaster must be broadcasting"),
-                    }
-                }
-            };
-            let mut ctx = SlotCtx { slot, rng };
-            proto.feedback(&mut ctx, fb);
+        // Phase 3: batched feedback delivery. A counting sweep folds the
+        // per-outcome counter updates in one branch-predictable pass, then
+        // `feedback_batch` hands the protocols their packed outcome range —
+        // heard messages are borrowed from the broadcasters' entries in the
+        // action buffer, zero clones. On a sharded engine at large n the
+        // delivery itself runs on the worker pool in contiguous node-range
+        // chunks (bit-identical: a node's feedback depends only on its own
+        // outcome, action buffer, and RNG stream, and the per-chunk counter
+        // deltas merge to the sequential totals exactly).
+        match pool_threads {
+            Some(threads) if n >= self.phase3_min_nodes => self.deliver_pooled(threads, slot),
+            _ => self.deliver_sequential(slot),
         }
 
         self.slot += 1;
         self.counters.slots += 1;
+    }
+
+    /// Sequential phase 3: the counting sweep over the whole outcome
+    /// range, then one `feedback_batch` call over the whole node range.
+    fn deliver_sequential(&mut self, slot: Slot) {
+        self.counters.apply(count_outcomes(&self.outcomes));
+        let Engine { protocols, rngs, actions, outcomes, .. } = self;
+        let mut ctx = BatchCtx::new(slot, rngs);
+        P::feedback_batch(protocols, &mut ctx, FeedbackBatch::new(outcomes, actions));
+    }
+
+    /// Pooled phase 3: contiguous node-range chunks of (protocols, RNG
+    /// streams, outcomes) delivered by the pool workers plus the calling
+    /// thread, each chunk folding its own counter delta; deltas merge in
+    /// chunk order after the join. Chunk boundaries mirror
+    /// [`Engine::collect_pooled`]; every chunk reads the *full* shared
+    /// action buffer, since broadcaster ids are global.
+    fn deliver_pooled(&mut self, threads: usize, slot: Slot)
+    where
+        P: Send,
+        P::Message: Sync,
+    {
+        let n = self.net.len();
+        let groups = threads.min(n);
+        let chunk = n.div_ceil(groups);
+        let groups = n.div_ceil(chunk);
+        debug_assert!(groups >= 2, "caller guarantees threads >= 2 and n >= 2");
+        self.ensure_pool(threads - 1);
+        while self.deliver.len() < groups {
+            self.deliver.push(DeliverDelta::default());
+        }
+        {
+            let Engine { protocols, rngs, actions, outcomes, deliver, pool, .. } = self;
+            let actions: &[Action<P::Message>] = actions;
+
+            struct DeliverTask<'a, P: Protocol> {
+                protos: &'a mut [P],
+                rngs: &'a mut [SmallRng],
+                outc: &'a [u32],
+                delta: &'a mut DeliverDelta,
+            }
+            let mut tasks: Vec<DeliverTask<'_, P>> = protocols
+                .chunks_mut(chunk)
+                .zip(rngs.chunks_mut(chunk))
+                .zip(outcomes.chunks(chunk))
+                .zip(deliver[..groups].iter_mut())
+                .map(|(((protos, rngs), outc), delta)| DeliverTask { protos, rngs, outc, delta })
+                .collect();
+            debug_assert_eq!(tasks.len(), groups);
+
+            let run_task = |t: &mut DeliverTask<'_, P>| {
+                *t.delta = count_outcomes(t.outc);
+                let mut ctx = BatchCtx::new(slot, t.rngs);
+                P::feedback_batch(t.protos, &mut ctx, FeedbackBatch::new(t.outc, actions));
+            };
+            let (first, rest) = tasks.split_at_mut(1);
+            pool.as_mut().expect("pool ensured above").run_with(
+                rest,
+                |_, t| run_task(t),
+                || run_task(&mut first[0]),
+            );
+        }
+        for i in 0..groups {
+            self.counters.apply(self.deliver[i]);
+        }
     }
 
     /// Sequential phase 1: one `act_batch` call over the whole node range,
@@ -2028,7 +2182,7 @@ impl<'net, P: Protocol> Engine<'net, P> {
     pub fn run(&mut self, max_slots: u64, mut probe: Option<Probe<'_, '_, 'net, P>>) -> RunOutcome
     where
         P: Send,
-        P::Message: Send,
+        P::Message: Send + Sync,
     {
         let mut completed_at = None;
         // Evaluate the probe at slot 0 too: some scenarios are trivially
@@ -2063,7 +2217,7 @@ impl<'net, P: Protocol> Engine<'net, P> {
     pub fn run_to_completion(&mut self, max_slots: u64) -> RunOutcome
     where
         P: Send,
-        P::Message: Send,
+        P::Message: Send + Sync,
     {
         self.run(max_slots, None)
     }

@@ -216,7 +216,7 @@ impl<'net, P: Protocol> EngineCell<'net, P> {
     ) -> Trial
     where
         P: Send,
-        P::Message: Send,
+        P::Message: Send + Sync,
     {
         let eng = match &mut self.eng {
             Some(eng) => {
@@ -271,7 +271,7 @@ pub fn stateful_trials<P, F, Pr>(
 ) -> Vec<Trial>
 where
     P: Protocol + Send,
-    P::Message: Send,
+    P::Message: Send + Sync,
     F: Fn(NodeCtx) -> P + Sync,
     Pr: Fn(u64, &Engine<'_, P>) -> bool + Sync,
 {
@@ -296,7 +296,7 @@ fn engine_trials<P, F, Pr>(
 ) -> Vec<Trial>
 where
     P: Protocol + Send,
-    P::Message: Send,
+    P::Message: Send + Sync,
     F: Fn(NodeCtx) -> P + Sync,
     Pr: Fn(u64, &Engine<'_, P>) -> bool + Sync,
 {
@@ -324,7 +324,7 @@ pub fn discovery_trials<P, F>(
 ) -> Vec<Trial>
 where
     P: DiscoveryProtocol + Send,
-    P::Message: Send,
+    P::Message: Send + Sync,
     F: Fn(NodeCtx) -> P + Sync,
 {
     discovery_trials_exec(net, make, trials, base_seed, max_slots, EngineExec::default())
@@ -343,7 +343,7 @@ pub fn discovery_trials_exec<P, F>(
 ) -> Vec<Trial>
 where
     P: DiscoveryProtocol + Send,
-    P::Message: Send,
+    P::Message: Send + Sync,
     F: Fn(NodeCtx) -> P + Sync,
 {
     engine_trials(net, make, trials, base_seed, max_slots, exec, |_s, e| all_discovered(net, e))
@@ -361,7 +361,7 @@ pub fn khat_discovery_trials<P, F>(
 ) -> Vec<Trial>
 where
     P: DiscoveryProtocol + Send,
-    P::Message: Send,
+    P::Message: Send + Sync,
     F: Fn(NodeCtx) -> P + Sync,
 {
     khat_discovery_trials_exec(net, make, khat, trials, base_seed, max_slots, EngineExec::default())
@@ -382,7 +382,7 @@ pub fn khat_discovery_trials_exec<P, F>(
 ) -> Vec<Trial>
 where
     P: DiscoveryProtocol + Send,
-    P::Message: Send,
+    P::Message: Send + Sync,
     F: Fn(NodeCtx) -> P + Sync,
 {
     engine_trials(net, make, trials, base_seed, max_slots, exec, |_s, e| {
@@ -570,7 +570,7 @@ mod tests {
     ) -> Vec<Trial>
     where
         P: crn_sim::Protocol + Send,
-        P::Message: Send,
+        P::Message: Send + Sync,
         F: Fn(NodeCtx) -> P + Sync,
         Pr: Fn(u64, &Engine<'_, P>) -> bool + Sync,
     {

@@ -1,17 +1,19 @@
 //! Batch-vs-scalar differentials for every ported protocol in `crn-core`.
 //!
-//! The engine always drives protocols through [`Protocol::act_batch`]; the
-//! ported implementations override it with buffered bulk draws that must be
-//! *draw-for-draw identical* to their scalar [`Protocol::act`]. This file
-//! proves that per protocol: each one is run side by side with a
-//! [`ScalarOnly`] twin — a transparent wrapper that delegates everything
-//! *except* `act_batch`, so the engine falls back to the default per-node
-//! scalar delegation — and the two executions must produce bit-identical
+//! The engine always drives protocols through [`Protocol::act_batch`] and
+//! [`Protocol::feedback_batch`]; the ported implementations override both
+//! with buffered bulk draws that must be *draw-for-draw identical* to their
+//! scalar [`Protocol::act`] / [`Protocol::feedback`]. This file proves that
+//! per protocol: each one is run side by side with a [`ScalarOnly`] twin —
+//! a transparent wrapper that delegates everything *except* the two batch
+//! hooks, so the engine falls back to the default per-node scalar
+//! delegation for both — and the two executions must produce bit-identical
 //! counters and outputs on the same network and seed.
 //!
-//! Sequential and channel-sharded engines (with pooled phase-1 collection
-//! forced on) are both exercised, so the chunked `act_batch` dispatch is
-//! covered too, including ragged chunk boundaries.
+//! The matrix covers sequential and channel-sharded engines at threads
+//! {1, 2, 4} with pooled phase-1 collection and pooled phase-3 delivery
+//! each forced on and off, so the chunked dispatch of both batch hooks is
+//! exercised, including ragged chunk boundaries.
 
 use crn_core::baselines::{
     FixedRateDiscovery, FixedRateSchedule, NaiveBroadcast, NaiveDiscovery, NaiveDiscoverySchedule,
@@ -30,10 +32,11 @@ use crn_sim::{
 };
 
 /// A transparent protocol wrapper that forwards `act`, `feedback`,
-/// `is_complete`, and `into_output` — but deliberately **not**
-/// `act_batch`, so the engine uses the trait's default scalar delegation.
-/// Running `P` and `ScalarOnly<P>` side by side is therefore exactly a
-/// batched-vs-scalar differential for `P`'s act path.
+/// `is_complete`, and `into_output` — but deliberately **neither**
+/// `act_batch` **nor** `feedback_batch`, so the engine uses the trait's
+/// default scalar delegation for both batch hooks. Running `P` and
+/// `ScalarOnly<P>` side by side is therefore exactly a batched-vs-scalar
+/// differential for `P`'s act *and* feedback paths.
 struct ScalarOnly<P>(P);
 
 impl<P: Protocol> Protocol for ScalarOnly<P> {
@@ -70,39 +73,64 @@ fn build_net(topo: &Topology, model: &ChannelModel, seed: u64) -> Network {
     b.build().unwrap()
 }
 
-/// Runs `make`'s protocol batched and its [`ScalarOnly`] twin scalar, on a
-/// sequential engine and on a sharded engine with pooled phase-1 forced
-/// on, and requires bit-identical counters and outputs everywhere.
+/// Runs `make`'s protocol batched and its [`ScalarOnly`] twin scalar,
+/// across sequential and sharded engines at threads {1, 2, 4} with pooled
+/// phase-1 collection and pooled phase-3 delivery each forced on and off,
+/// and requires bit-identical counters and outputs everywhere.
 fn assert_batch_matches_scalar<P, F>(net: &Network, seed: u64, slots: u64, make: F)
 where
     P: Protocol + Send,
-    P::Message: Send,
+    P::Message: Send + Sync,
     P::Output: PartialEq + std::fmt::Debug + Send,
     F: Fn(NodeCtx) -> P + Copy,
 {
-    let scalar = |resolver: Resolver, phase1_min: usize| -> (Counters, Vec<P::Output>) {
-        let mut eng = Engine::with_resolver(net, seed, resolver, |ctx| ScalarOnly(make(ctx)));
-        eng.set_phase1_pool_min_nodes(phase1_min);
-        eng.run_to_completion(slots);
-        (eng.counters(), eng.into_outputs())
-    };
-    let batched = |resolver: Resolver, phase1_min: usize| -> (Counters, Vec<P::Output>) {
-        let mut eng = Engine::with_resolver(net, seed, resolver, make);
-        eng.set_phase1_pool_min_nodes(phase1_min);
-        eng.run_to_completion(slots);
-        (eng.counters(), eng.into_outputs())
-    };
+    let scalar =
+        |resolver: Resolver, phase1_min: usize, phase3_min: usize| -> (Counters, Vec<P::Output>) {
+            let mut eng = Engine::with_resolver(net, seed, resolver, |ctx| ScalarOnly(make(ctx)));
+            eng.set_phase1_pool_min_nodes(phase1_min);
+            eng.set_phase3_pool_min_nodes(phase3_min);
+            eng.run_to_completion(slots);
+            (eng.counters(), eng.into_outputs())
+        };
+    let batched =
+        |resolver: Resolver, phase1_min: usize, phase3_min: usize| -> (Counters, Vec<P::Output>) {
+            let mut eng = Engine::with_resolver(net, seed, resolver, make);
+            eng.set_phase1_pool_min_nodes(phase1_min);
+            eng.set_phase3_pool_min_nodes(phase3_min);
+            eng.run_to_completion(slots);
+            (eng.counters(), eng.into_outputs())
+        };
 
-    let (ref_counters, ref_outputs) = scalar(Resolver::Auto, usize::MAX);
-    let (counters, outputs) = batched(Resolver::Auto, usize::MAX);
-    assert_eq!(counters, ref_counters, "sequential batched counters diverge from scalar");
-    assert_eq!(outputs, ref_outputs, "sequential batched outputs diverge from scalar");
+    let (ref_counters, ref_outputs) = scalar(Resolver::Auto, usize::MAX, usize::MAX);
 
-    // Sharded engine, pooled phase-1 forced on (threshold 0): the batched
-    // act path runs in node-range chunks on the worker pool.
-    let (counters, outputs) = batched(Resolver::ParallelSharded { threads: 3 }, 0);
-    assert_eq!(counters, ref_counters, "pooled batched counters diverge from scalar");
-    assert_eq!(outputs, ref_outputs, "pooled batched outputs diverge from scalar");
+    // The scalar twin under pooled delivery: a protocol that overrides
+    // neither batch hook (any third-party impl) must survive the chunked
+    // default delegation unchanged.
+    let (counters, outputs) = scalar(Resolver::ParallelSharded { threads: 3 }, usize::MAX, 0);
+    assert_eq!(counters, ref_counters, "pooled scalar-delegation counters diverge");
+    assert_eq!(outputs, ref_outputs, "pooled scalar-delegation outputs diverge");
+
+    // The batched protocol across threads {1, 2, 4} × pooled delivery
+    // {off, on} (× pooled phase-1 on wherever the engine is sharded; a
+    // 1-thread engine is plain sequential).
+    for threads in [1usize, 2, 4] {
+        let (resolver, phase1_min) = if threads == 1 {
+            (Resolver::Auto, usize::MAX)
+        } else {
+            (Resolver::ParallelSharded { threads }, 0)
+        };
+        for phase3_min in [usize::MAX, 0] {
+            let (counters, outputs) = batched(resolver, phase1_min, phase3_min);
+            assert_eq!(
+                counters, ref_counters,
+                "batched counters diverge from scalar (threads {threads}, phase3_min {phase3_min})"
+            );
+            assert_eq!(
+                outputs, ref_outputs,
+                "batched outputs diverge from scalar (threads {threads}, phase3_min {phase3_min})"
+            );
+        }
+    }
 }
 
 #[test]

@@ -12,21 +12,24 @@
 //! across repeated `step` calls on one engine instance, and engine reuse
 //! via [`Engine::reset`] (pool state must not leak between runs).
 //!
-//! The same standard applies to the *batched act pipeline*: a protocol's
-//! [`Protocol::act_batch`] override (buffered bulk draws) must be
-//! draw-for-draw identical to its scalar [`Protocol::act`], and the
-//! engine's pooled phase-1 collection (node-range chunks on the worker
-//! pool, merged by prefix-sum) must be bit-identical to sequential
-//! collection — both enforced here by running a batched protocol against a
-//! scalar-only twin across thread counts with pooled collection forced on
-//! and off.
+//! The same standard applies to the *batched act and feedback pipelines*:
+//! a protocol's [`Protocol::act_batch`] / [`Protocol::feedback_batch`]
+//! overrides (buffered bulk draws) must be draw-for-draw identical to the
+//! scalar [`Protocol::act`] / [`Protocol::feedback`], and the engine's
+//! pooled phase-1 collection (node-range chunks on the worker pool, merged
+//! by prefix-sum) and pooled phase-3 delivery (same chunking, per-chunk
+//! counter deltas merged in chunk order) must be bit-identical to their
+//! sequential forms — all enforced here by running a batched protocol
+//! against a scalar-only twin across thread counts with the pooled stages
+//! forced on and off, under static and dynamic spectrum alike.
 
 use crn_sim::channels::ChannelModel;
 use crn_sim::engine::Resolver;
 use crn_sim::topology::Topology;
 use crn_sim::{
-    act_batch_buffered, Action, BatchCtx, Counters, Engine, Feedback, GlobalChannel, LocalChannel,
-    Network, NodeCtx, Protocol, SlotCtx, SpectrumDynamics,
+    act_batch_buffered, feedback_batch_buffered, Action, BatchCtx, Counters, Engine, Feedback,
+    FeedbackBatch, GlobalChannel, LocalChannel, Network, NodeCtx, Protocol, SlotCtx,
+    SpectrumDynamics,
 };
 use rand::{Rng, RngCore};
 
@@ -94,6 +97,14 @@ impl Protocol for Chatter {
         self.record(fb);
     }
 
+    /// Batched feedback: the recording body never draws, so reserve 0 is
+    /// exact. Every differential in this file that pits [`Chatter`]
+    /// against [`ScalarChatter`] therefore also proves the batched
+    /// delivery path (sequential and pooled) against scalar delegation.
+    fn feedback_batch(batch: &mut [Self], ctx: &mut BatchCtx<'_>, fb: FeedbackBatch<'_, u64>) {
+        feedback_batch_buffered(batch, ctx, fb, |_| 0, |p, _sctx, f| p.record(f));
+    }
+
     fn is_complete(&self) -> bool {
         false
     }
@@ -104,9 +115,10 @@ impl Protocol for Chatter {
 }
 
 /// [`Chatter`]'s scalar-only twin: byte-for-byte the same state machine,
-/// but *without* an `act_batch` override, so the engine drives it through
-/// the default per-node delegation. Any divergence between the two is a
-/// bug in the batched pipeline (buffered draws or pooled collection).
+/// but *without* the `act_batch` / `feedback_batch` overrides, so the
+/// engine drives it through the default per-node delegation on both batch
+/// hooks. Any divergence between the two is a bug in the batched pipeline
+/// (buffered draws, pooled collection, or pooled delivery).
 struct ScalarChatter(Chatter);
 
 impl Protocol for ScalarChatter {
@@ -331,6 +343,147 @@ fn batched_pipeline_stays_in_lockstep_with_scalar() {
             );
         }
     }
+}
+
+/// Phase-3 twin differential: the batched feedback path — sequential
+/// *and* pooled delivery (threshold forced to 0 and to MAX) — must agree
+/// with the scalar-delegation twin on a naive sequential engine after
+/// **every** slot, at thread counts {1, 2, 4, 8}. A divergence here is a
+/// delivery bug (a mis-decoded outcome word, a counter delta merged out of
+/// order, a chunk handed the wrong RNG lane), pinned to the exact slot
+/// where it first appears.
+#[test]
+fn batched_feedback_stays_in_lockstep_with_scalar() {
+    let net = build_network(
+        &Topology::ErdosRenyi { n: 48, p: 0.15 },
+        &ChannelModel::SharedCore { c: 4, core: 2 },
+        303,
+    );
+    let c = net.channels_per_node() as u16;
+    let chatter = |ctx: NodeCtx| Chatter { c, p_bcast: 0.5, id: ctx.id.0, trace: Vec::new() };
+
+    for threads in [1usize, 2, 4, 8] {
+        // Pooled delivery forced on (threshold 0) and forced off (MAX); at
+        // threads = 1 the engine must ignore the force-on and deliver
+        // sequentially.
+        for phase3_min in [0usize, usize::MAX] {
+            let mut reference =
+                Engine::with_resolver(&net, 13, Resolver::Naive, |ctx| ScalarChatter(chatter(ctx)));
+            let mut batched =
+                Engine::with_resolver(&net, 13, Resolver::ParallelSharded { threads }, chatter);
+            batched.set_phase3_pool_min_nodes(phase3_min);
+            for slot in 0..72u64 {
+                reference.step();
+                batched.step();
+                assert_eq!(
+                    batched.counters(),
+                    reference.counters(),
+                    "threads={threads} phase3_min={phase3_min}: counters diverge after slot {slot}"
+                );
+            }
+            let (mut ref_traces, mut batched_traces) = (Vec::new(), Vec::new());
+            reference.for_each_protocol(|_, p| ref_traces.push(p.0.trace.clone()));
+            batched.for_each_protocol(|_, p| batched_traces.push(p.trace.clone()));
+            assert_eq!(
+                batched_traces, ref_traces,
+                "threads={threads} phase3_min={phase3_min}: feedback traces diverge"
+            );
+        }
+    }
+}
+
+/// Dynamic-spectrum delivery differential: with a primary-user process
+/// installed, pooled phase-3 delivery must fold the `OC_PU_BUSY` outcome
+/// into **both** `collisions` and `pu_blocked_listens` exactly as the
+/// scalar path does, per slot, across thread counts and with pooled
+/// phase-1 collection also engaged. The final assertion that the PU
+/// actually bit guards the test against silently probing nothing.
+#[test]
+fn dynamic_spectrum_pu_folding_stays_exact_under_pooled_delivery() {
+    let net = build_network(
+        &Topology::ErdosRenyi { n: 48, p: 0.15 },
+        &ChannelModel::SharedCore { c: 4, core: 2 },
+        404,
+    );
+    let c = net.channels_per_node() as u16;
+    let chatter = |ctx: NodeCtx| Chatter { c, p_bcast: 0.5, id: ctx.id.0, trace: Vec::new() };
+    let dyn_ = SpectrumDynamics::MarkovOnOff { p_busy: 0.25, p_free: 0.25 };
+
+    let mut reference =
+        Engine::with_resolver(&net, 33, Resolver::Naive, |ctx| ScalarChatter(chatter(ctx)));
+    reference.set_spectrum(dyn_.clone());
+
+    let mut others: Vec<(usize, usize, Engine<'_, Chatter>)> = Vec::new();
+    for threads in [2usize, 4, 8] {
+        for phase3_min in [0usize, usize::MAX] {
+            let mut eng =
+                Engine::with_resolver(&net, 33, Resolver::ParallelSharded { threads }, chatter);
+            eng.set_phase1_pool_min_nodes(0);
+            eng.set_phase3_pool_min_nodes(phase3_min);
+            eng.set_spectrum(dyn_.clone());
+            others.push((threads, phase3_min, eng));
+        }
+    }
+
+    for slot in 0..72u64 {
+        reference.step();
+        for (threads, phase3_min, eng) in &mut others {
+            eng.step();
+            assert_eq!(
+                eng.counters(),
+                reference.counters(),
+                "threads={threads} phase3_min={phase3_min}: PU counter folding diverges after \
+                 slot {slot}"
+            );
+        }
+    }
+    let counters = reference.counters();
+    assert!(counters.deliveries > 0, "scenario must still deliver");
+    assert!(counters.pu_blocked_listens > 0, "the PU must actually bite");
+
+    let mut ref_traces = Vec::new();
+    reference.for_each_protocol(|_, p| ref_traces.push(p.0.trace.clone()));
+    for (threads, phase3_min, eng) in &mut others {
+        let mut traces = Vec::new();
+        eng.for_each_protocol(|_, p| traces.push(p.trace.clone()));
+        assert_eq!(
+            traces, ref_traces,
+            "threads={threads} phase3_min={phase3_min}: feedback traces diverge"
+        );
+    }
+}
+
+/// Pooled delivery composes with engine reuse: the per-chunk delta scratch
+/// allocated on first pooled delivery survives [`Engine::reset`] by design
+/// and must be observationally invisible — one engine running pooled
+/// delivery twice back-to-back (at *different* thread counts, so the
+/// scratch is re-chunked) reproduces the naive scalar reference. n = 29 is
+/// prime, so both thread counts produce a ragged final chunk.
+#[test]
+fn pooled_delivery_survives_reset_and_odd_chunks() {
+    let net = build_network(
+        &Topology::RandomGeometric { n: 29, radius: 0.45 },
+        &ChannelModel::SharedCore { c: 3, core: 2 },
+        902,
+    );
+    let c = net.channels_per_node() as u16;
+    let make = |ctx: NodeCtx| Chatter { c, p_bcast: 0.4, id: ctx.id.0, trace: Vec::new() };
+    let (ref_counters, ref_traces) = run(&net, Resolver::Naive, 8, c, 0.4, 64);
+
+    let mut eng = Engine::with_resolver(&net, 8, Resolver::ParallelSharded { threads: 3 }, make);
+    eng.set_phase1_pool_min_nodes(0);
+    eng.set_phase3_pool_min_nodes(0);
+    eng.run_to_completion(64);
+    assert_eq!(eng.counters(), ref_counters, "first pooled-delivery run diverges");
+
+    // Reset and rerun with a different thread count: the delivery scratch
+    // from the first run must be re-sliced, not trusted.
+    eng.reset(8, make);
+    eng.set_resolver(Resolver::ParallelSharded { threads: 7 });
+    eng.run_to_completion(64);
+    assert_eq!(eng.counters(), ref_counters, "post-reset pooled-delivery run diverges");
+    let traces: Vec<Vec<Obs>> = eng.into_outputs();
+    assert_eq!(traces, ref_traces, "post-reset pooled-delivery traces diverge");
 }
 
 /// Pooled phase-1 collection composes with everything else the engine
