@@ -112,6 +112,18 @@ fn run_slots(net: &Network, resolver: Resolver, c: u16, slots: u64) -> u64 {
     eng.counters().deliveries
 }
 
+/// [`run_slots`] with per-phase wall-clock timing enabled — the
+/// enabled-but-unscraped observability path. Compared against the `auto`
+/// row, the gap is the whole cost of `Engine::set_phase_timing(true)`
+/// (the ISSUE acceptance bound is < 3% in this amortized regime).
+fn run_slots_timed(net: &Network, resolver: Resolver, c: u16, slots: u64) -> u64 {
+    let mut eng = Engine::with_resolver(net, 42, resolver, |_| Chatter { c, heard: 0 });
+    eng.set_phase_timing(true);
+    eng.run_to_completion(slots);
+    assert_eq!(eng.phase_timings().expect("timing enabled").slots, slots);
+    eng.counters().deliveries
+}
+
 /// [`run_slots`] with phase-1 pooled collection forced on (threshold 0) —
 /// the batched `act_batch` chunks run on the engine's worker pool.
 fn run_slots_pooled_p1(net: &Network, resolver: Resolver, c: u16, slots: u64) -> u64 {
@@ -208,6 +220,12 @@ fn small_slot(criterion: &mut Criterion) {
             b.iter(|| run_slots(&net, resolver, 3, slots))
         });
     }
+    // The `auto` row with per-phase timers enabled: prices the
+    // enabled-but-unscraped observability path against `auto` (the
+    // acceptance bound is < 3% overhead in this regime).
+    group.bench_with_input(BenchmarkId::from_parameter("auto_timed"), &n, |b, _| {
+        b.iter(|| run_slots_timed(&net, Resolver::Auto, 3, slots))
+    });
     // Pooled phase-1 collection on top of the sharded engine (forced on —
     // n = 200 is below the default threshold). Like all sharded rows these
     // need idle cores for wall-clock wins and are bench_regress-exempt by

@@ -6,7 +6,7 @@
 //! Run by CI after the quick-mode bench:
 //!
 //! ```text
-//! bench_regress <baseline.json> <new.json> [--tolerance <percent>]
+//! bench_regress <baseline.json> <new.json> [--tolerance <percent>] [--phases]
 //! ```
 //!
 //! Scenarios present in only one of the two reports are reported but never
@@ -15,6 +15,12 @@
 //! guarantee, so they are tracked but not gated. Per-scenario ratios are
 //! printed on *green* runs too, so drift that stays inside the tolerance
 //! is visible before it compounds past the gate.
+//!
+//! With `--phases`, a green run is followed by an in-process per-phase
+//! wall-clock breakdown of the engine (the `small_slot_200` shape with
+//! `Engine::set_phase_timing` enabled), so when a future run *does*
+//! regress, the green runs around it already show which phase the time
+//! normally goes to — no criterion rerun or bisect needed to localize.
 //!
 //! With `--normalize` (what CI passes), each scenario is gated against
 //! `baseline · scale`, where `scale` is the median `new/baseline` ratio
@@ -152,11 +158,77 @@ fn regressions(
     out
 }
 
+/// The `--phases` report: runs the `small_slot_200` scenario shape
+/// in-process with `Engine::set_phase_timing` enabled and prints where a
+/// slot's wall-clock goes, per resolver. Green-run context for localizing
+/// future regressions — the timings come from the engine's own per-phase
+/// accumulators, not from criterion.
+fn print_phase_breakdown() {
+    use crn_sim::channels::ChannelModel;
+    use crn_sim::topology::Topology;
+    use crn_sim::{Action, Engine, Network, Protocol, Resolver, SlotCtx, StatsMode};
+    use rand::Rng;
+
+    /// The bench `Chatter` shape: random channel, random role, every slot.
+    struct Chatter;
+    impl Protocol for Chatter {
+        type Message = u32;
+        type Output = ();
+        fn act(&mut self, ctx: &mut SlotCtx<'_>) -> Action<u32> {
+            let channel = crn_sim::LocalChannel(ctx.rng.gen_range(0..3));
+            if ctx.rng.gen_bool(0.5) {
+                Action::Broadcast { channel, message: 7 }
+            } else {
+                Action::Listen { channel }
+            }
+        }
+        fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, _fb: crn_sim::Feedback<'_, u32>) {}
+        fn is_complete(&self) -> bool {
+            false
+        }
+        fn into_output(self) {}
+    }
+
+    let n = 200usize;
+    let slots = 1024u64;
+    let topology = Topology::ErdosRenyi { n, p: 8.0 / (n as f64 - 1.0) };
+    let channels = ChannelModel::Identical { c: 3 };
+    let net = Network::generate_with_stats(&topology, &channels, 13, StatsMode::Approximate)
+        .expect("breakdown network must build");
+
+    println!("  per-phase breakdown (n={n}, {slots} slots, small_slot_200 shape):");
+    for (rname, resolver) in [
+        ("auto", Resolver::Auto),
+        ("sharded2", Resolver::ParallelSharded { threads: 2 }),
+        ("sharded4", Resolver::ParallelSharded { threads: 4 }),
+    ] {
+        let mut eng = Engine::with_resolver(&net, 42, resolver, |_| Chatter);
+        eng.set_phase_timing(true);
+        eng.run_to_completion(slots);
+        let pt = eng.phase_timings().expect("timing was enabled");
+        let total = pt.total_ns().max(1) as f64;
+        let pct = |ns: u64| ns as f64 / total * 100.0;
+        println!(
+            "    {rname:<9} total {:>8.2} ms · spectrum {:>4.1}% · collect {:>4.1}% \
+             ({} pooled) · resolve {:>4.1}% ({} sharded) · deliver {:>4.1}% ({} pooled)",
+            total / 1e6,
+            pct(pt.spectrum_ns),
+            pct(pt.collect_ns()),
+            pt.collect_pooled_slots,
+            pct(pt.resolve_ns()),
+            pt.resolve_sharded_slots,
+            pct(pt.deliver_ns()),
+            pt.deliver_pooled_slots,
+        );
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut tolerance_pct = 25.0;
     let mut normalize = false;
+    let mut phases = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -168,13 +240,14 @@ fn main() -> ExitCode {
                     .expect("--tolerance needs a numeric percent");
             }
             "--normalize" => normalize = true,
+            "--phases" => phases = true,
             p => paths.push(p.to_string()),
         }
         i += 1;
     }
     let [baseline_path, new_path] = paths.as_slice() else {
         eprintln!(
-            "usage: bench_regress <baseline.json> <new.json> [--tolerance <percent>] [--normalize]"
+            "usage: bench_regress <baseline.json> <new.json> [--tolerance <percent>] [--normalize] [--phases]"
         );
         return ExitCode::FAILURE;
     };
@@ -232,6 +305,9 @@ fn main() -> ExitCode {
     }
     if bad.is_empty() {
         println!("bench_regress: OK — no scenario regressed beyond {tolerance_pct}%");
+        if phases {
+            print_phase_breakdown();
+        }
         ExitCode::SUCCESS
     } else {
         eprintln!("bench_regress: {} scenario(s) regressed beyond {tolerance_pct}%", bad.len());

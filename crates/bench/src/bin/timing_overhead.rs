@@ -1,0 +1,116 @@
+//! Paired A/B measurement of the phase-timer overhead.
+//!
+//! The ISSUE acceptance for the observability layer bounds the cost of
+//! the *enabled-but-unscraped* path — `Engine::set_phase_timing(true)`
+//! with nobody reading the accumulators — at < 3% on the
+//! `small_slot_200/auto` regime. Comparing two rows of the criterion
+//! suite under-delivers on that question: the rows run minutes apart, so
+//! machine drift (turbo, co-tenants) of several percent lands entirely in
+//! the delta. This binary interleaves the two configurations back to
+//! back, run-pair by run-pair, and reports the median of the per-pair
+//! ratios — drift hits both sides of every pair, so it cancels.
+//!
+//! ```text
+//! cargo run --release -p crn-bench --bin timing_overhead [pairs]
+//! ```
+//!
+//! Exits non-zero if the paired-median overhead exceeds the 3% bound, so
+//! it can serve as a manual acceptance gate (it is deliberately not in
+//! CI — shared runners make sub-3% timing asserts flaky).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use crn_sim::channels::ChannelModel;
+use crn_sim::engine::Resolver;
+use crn_sim::topology::Topology;
+use crn_sim::{Action, Engine, Feedback, LocalChannel, Network, Protocol, SlotCtx, StatsMode};
+use rand::Rng;
+
+/// The `small_slot_200` chatter: broadcast or listen on one of 3 shared
+/// channels, count deliveries (same shape as the engine bench row).
+struct Chatter {
+    c: u16,
+    heard: u64,
+}
+
+impl Protocol for Chatter {
+    type Message = u32;
+    type Output = u64;
+
+    fn act(&mut self, ctx: &mut SlotCtx<'_>) -> Action<u32> {
+        let channel = LocalChannel(ctx.rng.gen_range(0..self.c));
+        if ctx.rng.gen_bool(0.5) {
+            Action::Broadcast { channel, message: 7 }
+        } else {
+            Action::Listen { channel }
+        }
+    }
+
+    fn feedback(&mut self, _ctx: &mut SlotCtx<'_>, fb: Feedback<'_, u32>) {
+        if matches!(fb, Feedback::Heard(_)) {
+            self.heard += 1;
+        }
+    }
+
+    fn is_complete(&self) -> bool {
+        false
+    }
+
+    fn into_output(self) -> u64 {
+        self.heard
+    }
+}
+
+/// One full `small_slot_200/auto` run; returns (deliveries, seconds).
+fn run(net: &Network, timed: bool, slots: u64) -> (u64, f64) {
+    let mut eng = Engine::with_resolver(net, 42, Resolver::Auto, |_| Chatter { c: 3, heard: 0 });
+    eng.set_phase_timing(timed);
+    let start = Instant::now();
+    eng.run_to_completion(slots);
+    let secs = start.elapsed().as_secs_f64();
+    (eng.counters().deliveries, secs)
+}
+
+fn main() -> ExitCode {
+    let pairs: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(30);
+    let n = 200usize;
+    let slots = 1024u64;
+    let topology = Topology::ErdosRenyi { n, p: 8.0 / (n as f64 - 1.0) };
+    let channels = ChannelModel::Identical { c: 3 };
+    let net = Network::generate_with_stats(&topology, &channels, 13, StatsMode::Approximate)
+        .expect("bench network must build");
+
+    // Warm both paths (page-in, branch history) before measuring.
+    run(&net, false, slots);
+    run(&net, true, slots);
+
+    let mut ratios = Vec::with_capacity(pairs);
+    let (mut plain_best, mut timed_best) = (f64::MAX, f64::MAX);
+    for _ in 0..pairs {
+        let (d_plain, t_plain) = run(&net, false, slots);
+        let (d_timed, t_timed) = run(&net, true, slots);
+        assert_eq!(d_plain, d_timed, "timers changed the simulation — invisibility broken");
+        ratios.push(t_timed / t_plain);
+        plain_best = plain_best.min(t_plain);
+        timed_best = timed_best.min(t_timed);
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = ratios[ratios.len() / 2];
+    let overhead_pct = (median - 1.0) * 100.0;
+    println!(
+        "small_slot_200/auto phase-timer overhead over {pairs} interleaved pairs:\n\
+         paired median {overhead_pct:+.2}%  ·  best-vs-best {:+.2}%\n\
+         plain best {:.3} ms  ·  timed best {:.3} ms",
+        (timed_best / plain_best - 1.0) * 100.0,
+        plain_best * 1e3,
+        timed_best * 1e3,
+    );
+    if overhead_pct < 3.0 {
+        println!("PASS: within the < 3% acceptance bound");
+        ExitCode::SUCCESS
+    } else {
+        println!("FAIL: exceeds the 3% acceptance bound");
+        ExitCode::FAILURE
+    }
+}

@@ -48,6 +48,7 @@
 pub mod client;
 pub mod http;
 pub mod json;
+pub mod metrics;
 pub mod router;
 pub mod scheduler;
 pub mod store;
@@ -62,6 +63,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use http::{Limits, RequestParser, Response};
+use metrics::ServerMetrics;
 use router::RouterCtx;
 use store::Store;
 
@@ -138,6 +140,7 @@ impl ConnQueue {
 pub struct Server {
     addr: SocketAddr,
     store: Arc<Store>,
+    metrics: Arc<ServerMetrics>,
     conns: Arc<ConnQueue>,
     shutdown: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
@@ -153,21 +156,23 @@ impl Server {
         let addr = listener.local_addr()?;
 
         let store = Arc::new(Store::new());
+        let metrics = Arc::new(ServerMetrics::new());
         let conns = Arc::new(ConnQueue::new());
         let shutdown = Arc::new(AtomicBool::new(false));
 
-        let scheduler = scheduler::spawn(store.clone());
+        let scheduler = scheduler::spawn(store.clone(), metrics.clone());
 
         let workers = (0..cfg.workers.max(1))
             .map(|i| {
                 let conns = conns.clone();
                 let store = store.clone();
+                let metrics = metrics.clone();
                 let cfg = cfg.clone();
                 std::thread::Builder::new()
                     .name(format!("crn-http-{i}"))
                     .spawn(move || {
                         while let Some(stream) = conns.pop() {
-                            serve_connection(stream, &store, &cfg);
+                            serve_connection(stream, &store, &metrics, &cfg);
                         }
                     })
                     .expect("spawn http worker")
@@ -195,6 +200,7 @@ impl Server {
         Ok(Server {
             addr,
             store,
+            metrics,
             conns,
             shutdown,
             accept: Some(accept),
@@ -211,6 +217,11 @@ impl Server {
     /// The shared job store (tests poke it directly).
     pub fn store(&self) -> &Arc<Store> {
         &self.store
+    }
+
+    /// The shared metric bundle `/metrics` renders.
+    pub fn metrics(&self) -> &Arc<ServerMetrics> {
+        &self.metrics
     }
 
     /// Stops accepting, drains queued connections, waits for the
@@ -250,19 +261,31 @@ impl Drop for Server {
 /// `Connection: close`. Parse errors get their mapped status and a close —
 /// after a framing error the stream position is unknowable, so the
 /// connection cannot be reused.
-fn serve_connection(stream: TcpStream, store: &Arc<Store>, cfg: &ServerConfig) {
+fn serve_connection(
+    stream: TcpStream,
+    store: &Arc<Store>,
+    metrics: &Arc<ServerMetrics>,
+    cfg: &ServerConfig,
+) {
+    metrics.connections.inc();
     let _ = stream.set_read_timeout(Some(cfg.read_timeout));
     let _ = stream.set_nodelay(true);
     let mut stream = stream;
     let mut parser = RequestParser::new(cfg.limits);
-    let ctx =
-        RouterCtx { store, journal_dir: &cfg.journal_dir, default_threads: cfg.default_threads };
+    let ctx = RouterCtx {
+        store,
+        metrics,
+        journal_dir: &cfg.journal_dir,
+        default_threads: cfg.default_threads,
+    };
     let mut buf = [0u8; 4096];
     loop {
         match parser.try_next() {
             Ok(Some(req)) => {
+                metrics.requests.inc();
                 let keep_alive = req.keep_alive();
                 let response = router::handle(&req, &ctx);
+                metrics.record_response(response.status);
                 if stream.write_all(&response.encode(keep_alive)).is_err() || !keep_alive {
                     return;
                 }
@@ -272,7 +295,9 @@ fn serve_connection(stream: TcpStream, store: &Arc<Store>, cfg: &ServerConfig) {
                 Ok(n) => parser.feed(&buf[..n]),
             },
             Err(e) => {
+                metrics.parse_errors.inc();
                 let response = Response::error(e.status(), e.message());
+                metrics.record_response(response.status);
                 let _ = stream.write_all(&response.encode(false));
                 return;
             }

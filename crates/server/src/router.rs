@@ -10,6 +10,7 @@
 //! | GET    | `/campaigns/{id}`          | status + progress           |
 //! | GET    | `/campaigns/{id}/results`  | final report                |
 //! | POST   | `/campaigns/{id}/cancel`   | request cancellation        |
+//! | GET    | `/metrics`                 | Prometheus text exposition  |
 //!
 //! A known path with the wrong method is a 405; everything else is a 404.
 //!
@@ -34,12 +35,15 @@ use crn_workloads::runner::Trial;
 
 use crate::http::{Request, Response};
 use crate::json::{parse, Json};
+use crate::metrics::{ServerMetrics, EXPOSITION_CONTENT_TYPE};
 use crate::store::{CancelOutcome, JobSpec, JobState, JobView, Store, SubmitOutcome};
 
 /// What the router needs besides the request itself.
 pub struct RouterCtx<'a> {
     /// The shared job store.
     pub store: &'a Store,
+    /// The shared metric bundle `/metrics` renders.
+    pub metrics: &'a ServerMetrics,
     /// Directory journals live in; one file per (kind, config hash).
     pub journal_dir: &'a Path,
     /// Wave parallelism for submissions that don't specify `threads`.
@@ -57,6 +61,7 @@ pub fn handle(req: &Request, ctx: &RouterCtx<'_>) -> Response {
         ("GET", ["campaigns", id]) => with_job(ctx, id, status),
         ("GET", ["campaigns", id, "results"]) => with_job(ctx, id, results),
         ("POST", ["campaigns", id, "cancel"]) => cancel(ctx, id),
+        ("GET", ["metrics"]) => metrics(ctx),
         // Known paths, wrong method.
         (
             _,
@@ -64,7 +69,8 @@ pub fn handle(req: &Request, ctx: &RouterCtx<'_>) -> Response {
             | ["campaigns"]
             | ["campaigns", _]
             | ["campaigns", _, "results"]
-            | ["campaigns", _, "cancel"],
+            | ["campaigns", _, "cancel"]
+            | ["metrics"],
         ) => Response::error(405, "method not allowed"),
         _ => Response::error(404, "no such route"),
     }
@@ -203,6 +209,16 @@ fn status(view: &JobView) -> Response {
     Response::json(200, status_json(view).render())
 }
 
+/// The Prometheus text exposition — the one non-JSON payload the server
+/// emits, same canonical-bytes discipline as everything else.
+fn metrics(ctx: &RouterCtx<'_>) -> Response {
+    Response {
+        status: 200,
+        content_type: EXPOSITION_CONTENT_TYPE,
+        body: ctx.metrics.render(ctx.store).into_bytes(),
+    }
+}
+
 fn results(view: &JobView) -> Response {
     match (view.state, &view.report) {
         (JobState::Completed, Some(report)) => {
@@ -246,7 +262,7 @@ fn status_json(view: &JobView) -> Json {
         members.push(("queue_position".into(), Json::num_u64(pos as u64)));
     }
     if let Some(progress) = &view.progress {
-        members.push(("progress".into(), progress_json(progress)));
+        members.push(("progress".into(), progress_json(progress, view.elapsed)));
     }
     if let Some(report) = &view.report {
         members.push(("resumed".into(), Json::Bool(report.resumed)));
@@ -261,13 +277,32 @@ fn status_json(view: &JobView) -> Json {
     Json::Obj(members)
 }
 
-fn progress_json(p: &ProgressSnapshot) -> Json {
-    Json::Obj(vec![
+/// Progress payload: lifecycle counts straight from the snapshot, plus —
+/// when the scheduler has stamped a monotonic `elapsed` — the derived
+/// throughput and ETA. Rate math lives in [`ProgressSnapshot`] itself so
+/// the monitor and any other client agree with what the server reports.
+fn progress_json(p: &ProgressSnapshot, elapsed: Option<std::time::Duration>) -> Json {
+    let mut members = vec![
         ("tick".into(), Json::num_u64(p.tick)),
         ("recorded".into(), Json::num_u64(p.recorded as u64)),
         ("total".into(), Json::num_u64(p.total as u64)),
-        ("arms".into(), Json::Arr(p.arms.iter().map(arm_progress_json).collect())),
-    ])
+        ("waves".into(), Json::num_u64(p.waves)),
+        ("backoff_depth".into(), Json::num_u64(p.backoff_depth as u64)),
+        ("resumed".into(), Json::Bool(p.resumed)),
+        ("resumed_units".into(), Json::num_u64(p.resumed_units as u64)),
+        ("fsync_count".into(), Json::num_u64(p.fsync_count)),
+        ("fsync_nanos_last".into(), Json::num_u64(p.fsync_nanos_last)),
+    ];
+    if let Some(elapsed) = elapsed {
+        members.push(("elapsed_secs".into(), Json::num_f64(elapsed.as_secs_f64())));
+        members.push(("units_per_sec".into(), Json::num_f64(p.throughput(elapsed))));
+        members.push((
+            "eta_secs".into(),
+            p.eta(elapsed).map_or(Json::Null, |eta| Json::num_f64(eta.as_secs_f64())),
+        ));
+    }
+    members.push(("arms".into(), Json::Arr(p.arms.iter().map(arm_progress_json).collect())));
+    Json::Obj(members)
 }
 
 fn arm_progress_json(a: &ArmProgress) -> Json {
@@ -376,8 +411,8 @@ mod tests {
     use super::*;
     use std::path::PathBuf;
 
-    fn ctx<'a>(store: &'a Store, dir: &'a Path) -> RouterCtx<'a> {
-        RouterCtx { store, journal_dir: dir, default_threads: 1 }
+    fn ctx<'a>(store: &'a Store, metrics: &'a ServerMetrics, dir: &'a Path) -> RouterCtx<'a> {
+        RouterCtx { store, metrics, journal_dir: dir, default_threads: 1 }
     }
 
     fn post(target: &str, body: &str) -> Request {
@@ -390,19 +425,27 @@ mod tests {
     fn unknown_routes_and_wrong_methods() {
         let store = Store::new();
         let dir = PathBuf::from("/tmp");
-        let ctx = ctx(&store, &dir);
+        let metrics = ServerMetrics::new();
+        let ctx = ctx(&store, &metrics, &dir);
         assert_eq!(handle(&Request::new("GET", "/nope"), &ctx).status, 404);
         assert_eq!(handle(&Request::new("DELETE", "/campaigns"), &ctx).status, 405);
         assert_eq!(handle(&Request::new("GET", "/campaigns/1"), &ctx).status, 404);
         assert_eq!(handle(&Request::new("GET", "/campaigns/zzz"), &ctx).status, 404);
         assert_eq!(handle(&Request::new("GET", "/"), &ctx).status, 200);
+        assert_eq!(handle(&post("/metrics", ""), &ctx).status, 405);
+        let resp = handle(&Request::new("GET", "/metrics"), &ctx);
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_type, EXPOSITION_CONTENT_TYPE);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("crn_http_requests_total"), "{text}");
     }
 
     #[test]
     fn submit_validates_strictly() {
         let store = Store::new();
         let dir = PathBuf::from("/tmp");
-        let ctx = ctx(&store, &dir);
+        let metrics = ServerMetrics::new();
+        let ctx = ctx(&store, &metrics, &dir);
         for (body, why) in [
             ("", "empty body"),
             ("[]", "not an object"),
@@ -422,7 +465,8 @@ mod tests {
     fn submit_queues_and_duplicate_active_conflicts() {
         let store = Store::new();
         let dir = PathBuf::from("/tmp/crn-router-test");
-        let ctx = ctx(&store, &dir);
+        let metrics = ServerMetrics::new();
+        let ctx = ctx(&store, &metrics, &dir);
         let body = r#"{"kind":"e2","quick":true,"trials":2,"seed":9}"#;
         let resp = handle(&post("/campaigns", body), &ctx);
         assert_eq!(resp.status, 201);
@@ -440,7 +484,8 @@ mod tests {
     fn results_conflict_until_completed_and_cancel_state_machine() {
         let store = Store::new();
         let dir = PathBuf::from("/tmp/crn-router-test2");
-        let ctx = ctx(&store, &dir);
+        let metrics = ServerMetrics::new();
+        let ctx = ctx(&store, &metrics, &dir);
         let body = r#"{"kind":"e2","quick":true,"trials":1,"seed":11}"#;
         assert_eq!(handle(&post("/campaigns", body), &ctx).status, 201);
         assert_eq!(handle(&Request::new("GET", "/campaigns/1/results"), &ctx).status, 409);

@@ -10,27 +10,39 @@
 //! *is* the state, so restarting the server and resubmitting a campaign
 //! resumes exactly where the old process stopped.
 
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
+use std::time::Instant;
 
 use crn_workloads::campaign::{CampaignObserver, CampaignOutcome, ProgressSnapshot};
 use crn_workloads::experiments::campaigns::find_kind;
 
+use crate::metrics::ServerMetrics;
 use crate::store::{ClaimedJob, JobState, Store};
 
 /// Bridges a running campaign to the store: snapshots flow in, the cancel
 /// flag flows out. Lives on the scheduler thread for the duration of one
-/// job.
+/// job. Also stamps each snapshot with the run's monotonic elapsed time
+/// (the campaign core is clock-free) and feeds the fsync-latency
+/// histogram from the snapshot's measurement fields.
 struct JobObserver {
     store: Arc<Store>,
+    metrics: Arc<ServerMetrics>,
     id: u64,
+    started: Instant,
+    /// `fsync_count` of the last snapshot seen — fsync latencies arrive as
+    /// "latest" values, so only count increments are observed.
+    fsyncs_seen: AtomicU64,
     cancel: Arc<std::sync::atomic::AtomicBool>,
 }
 
 impl CampaignObserver for JobObserver {
     fn on_progress(&self, snapshot: &ProgressSnapshot) {
-        self.store.set_progress(self.id, snapshot.clone());
+        if snapshot.fsync_count > self.fsyncs_seen.swap(snapshot.fsync_count, Ordering::Relaxed) {
+            self.metrics.fsync_nanos.observe(snapshot.fsync_nanos_last);
+        }
+        self.store.set_progress(self.id, snapshot.clone(), self.started.elapsed());
     }
 
     fn cancel_requested(&self) -> bool {
@@ -40,22 +52,30 @@ impl CampaignObserver for JobObserver {
 
 /// Spawns the scheduler thread. It exits when [`Store::close`] is called
 /// and the queue has drained.
-pub fn spawn(store: Arc<Store>) -> JoinHandle<()> {
+pub fn spawn(store: Arc<Store>, metrics: Arc<ServerMetrics>) -> JoinHandle<()> {
     thread::Builder::new()
         .name("crn-scheduler".to_string())
         .spawn(move || {
             while let Some(job) = store.next_job() {
-                run_one(&store, job);
+                run_one(&store, &metrics, job);
             }
         })
         .expect("spawn scheduler thread")
 }
 
-fn run_one(store: &Arc<Store>, job: ClaimedJob) {
+fn run_one(store: &Arc<Store>, metrics: &Arc<ServerMetrics>, job: ClaimedJob) {
     // The kind was validated against the registry at submit time; a miss
     // here would mean the store was corrupted, not a bad request.
     let kind = find_kind(&job.spec.kind).expect("kind validated at submit");
-    let observer = JobObserver { store: store.clone(), id: job.id, cancel: job.cancel.clone() };
+    metrics.jobs_started.inc();
+    let observer = JobObserver {
+        store: store.clone(),
+        metrics: metrics.clone(),
+        id: job.id,
+        started: Instant::now(),
+        fsyncs_seen: AtomicU64::new(0),
+        cancel: job.cancel.clone(),
+    };
     let result = (kind.run)(
         &job.spec.cfg,
         job.spec.threads,

@@ -17,6 +17,7 @@
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 use crn_workloads::campaign::{CampaignReport, FaultPlan, ProgressSnapshot};
 use crn_workloads::experiments::ExpConfig;
@@ -83,6 +84,7 @@ struct Job {
     campaign: String,
     state: JobState,
     progress: Option<ProgressSnapshot>,
+    elapsed: Option<Duration>,
     report: Option<CampaignReport>,
     error: Option<String>,
     cancel: Arc<AtomicBool>,
@@ -103,6 +105,9 @@ pub struct JobView {
     pub queue_position: Option<usize>,
     /// Latest progress snapshot, once the run has emitted one.
     pub progress: Option<ProgressSnapshot>,
+    /// Monotonic run time at that snapshot, stamped by the scheduler (the
+    /// campaign core is clock-free; rate/ETA derive from this).
+    pub elapsed: Option<Duration>,
     /// Final report, once terminal with one.
     pub report: Option<CampaignReport>,
     /// Error message, if the job failed.
@@ -191,6 +196,7 @@ impl Store {
             campaign,
             state: JobState::Queued,
             progress: None,
+            elapsed: None,
             report: None,
             error: None,
             cancel: Arc::new(AtomicBool::new(false)),
@@ -258,11 +264,13 @@ impl Store {
         }
     }
 
-    /// Records a progress snapshot for a running job (observer hook).
-    pub fn set_progress(&self, id: u64, snapshot: ProgressSnapshot) {
+    /// Records a progress snapshot for a running job (observer hook),
+    /// together with the scheduler's monotonic elapsed time for the run.
+    pub fn set_progress(&self, id: u64, snapshot: ProgressSnapshot, elapsed: Duration) {
         let mut inner = self.inner.lock().unwrap();
         if let Some(job) = inner.jobs.iter_mut().find(|j| j.id == id) {
             job.progress = Some(snapshot);
+            job.elapsed = Some(elapsed);
         }
     }
 
@@ -300,6 +308,7 @@ fn view(inner: &Inner, job: &Job) -> JobView {
         state: job.state,
         queue_position: inner.queue.iter().position(|&q| q == job.id),
         progress: job.progress.clone(),
+        elapsed: job.elapsed,
         report: job.report.clone(),
         error: job.error.clone(),
         journal: job.spec.journal.clone(),

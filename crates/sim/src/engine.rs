@@ -394,6 +394,11 @@ pub struct Engine<'net, P: Protocol> {
     /// slots, re-sized if the resolver's thread count changes, and torn
     /// down when the engine drops.
     pool: Option<WorkerPool>,
+    /// Cumulative per-phase wall-clock totals ([`Engine::set_phase_timing`]).
+    /// `None` (the default) records nothing; `Some` pays ~5 monotonic clock
+    /// reads per slot and is observationally invisible (see
+    /// [`PhaseTimings`]).
+    phase_timings: Option<PhaseTimings>,
 }
 
 /// A progress probe: evaluated every `interval` slots with the slot count
@@ -410,6 +415,83 @@ struct Phase1Tune {
     seq_ns: u128,
     pooled_ns: u128,
     measured: u32,
+}
+
+/// Cumulative per-phase wall-clock totals for [`Engine::step`], split by
+/// routing (sequential vs pooled/sharded) where a phase has both paths.
+/// Off by default; enabled with [`Engine::set_phase_timing`] and read with
+/// [`Engine::phase_timings`].
+///
+/// **Observationally invisible by construction:** the timers only *read*
+/// the monotonic clock and accumulate into this struct — no engine control
+/// flow, counter, RNG stream, or protocol callback depends on a measured
+/// value. (Contrast the phase-1 auto-tuner, which does route on timing —
+/// but only between two bit-identical paths.) The guarantee "timers on vs
+/// off is bit-identical" is enforced by the lockstep differential in
+/// `tests/tests/metrics_equiv.rs` across all resolvers, thread counts, and
+/// pooling settings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Slots measured (== slots stepped while timing was enabled).
+    pub slots: u64,
+    /// Phase 0: spectrum/PU process advance (zero when no dynamics are
+    /// installed — the phase is skipped entirely).
+    pub spectrum_ns: u64,
+    /// Phase 1, sequential collection path.
+    pub collect_sequential_ns: u64,
+    /// Phase 1, pooled collection path.
+    pub collect_pooled_ns: u64,
+    /// Slots that routed phase 1 through the pool.
+    pub collect_pooled_slots: u64,
+    /// Phase 2, sequential resolution path.
+    pub resolve_sequential_ns: u64,
+    /// Phase 2, sharded resolution path.
+    pub resolve_sharded_ns: u64,
+    /// Slots that resolved phase 2 sharded.
+    pub resolve_sharded_slots: u64,
+    /// Phase 3, sequential delivery path.
+    pub deliver_sequential_ns: u64,
+    /// Phase 3, pooled delivery path.
+    pub deliver_pooled_ns: u64,
+    /// Slots that delivered phase 3 through the pool.
+    pub deliver_pooled_slots: u64,
+}
+
+impl PhaseTimings {
+    /// Phase-1 total across both routings.
+    pub fn collect_ns(&self) -> u64 {
+        self.collect_sequential_ns + self.collect_pooled_ns
+    }
+
+    /// Phase-2 total across both routings.
+    pub fn resolve_ns(&self) -> u64 {
+        self.resolve_sequential_ns + self.resolve_sharded_ns
+    }
+
+    /// Phase-3 total across both routings.
+    pub fn deliver_ns(&self) -> u64 {
+        self.deliver_sequential_ns + self.deliver_pooled_ns
+    }
+
+    /// Sum over all four phases.
+    pub fn total_ns(&self) -> u64 {
+        self.spectrum_ns + self.collect_ns() + self.resolve_ns() + self.deliver_ns()
+    }
+}
+
+/// Reads the elapsed time since `*mark` and re-arms the mark at the same
+/// clock read, so consecutive laps share boundaries (one read per phase
+/// boundary, not two). `0` when timing is off (`mark` is `None`).
+fn lap(mark: &mut Option<std::time::Instant>) -> u64 {
+    match mark {
+        Some(prev) => {
+            let now = std::time::Instant::now();
+            let ns = now.duration_since(*prev).as_nanos() as u64;
+            *mark = Some(now);
+            ns
+        }
+        None => 0,
+    }
 }
 
 /// Per-outcome counter updates accumulated by one phase-3 delivery chunk
@@ -1306,6 +1388,7 @@ impl<'net, P: Protocol> Engine<'net, P> {
             shard_weights: Vec::new(),
             shard_bounds: Vec::new(),
             pool: None,
+            phase_timings: None,
         }
     }
 
@@ -1430,6 +1513,21 @@ impl<'net, P: Protocol> Engine<'net, P> {
         self.phase3_min_nodes = min_nodes;
     }
 
+    /// Turns per-phase wall-clock timing on or off (off for a fresh
+    /// engine). Enabling zeroes any previous totals; disabling discards
+    /// them. Costs ~5 monotonic clock reads per slot while on, and is
+    /// observationally invisible — counters, traces, and RNG streams are
+    /// bit-identical with timing on or off (see [`PhaseTimings`]).
+    pub fn set_phase_timing(&mut self, on: bool) {
+        self.phase_timings = on.then(PhaseTimings::default);
+    }
+
+    /// Cumulative per-phase timings since [`Engine::set_phase_timing`]
+    /// enabled them; `None` while timing is off.
+    pub fn phase_timings(&self) -> Option<PhaseTimings> {
+        self.phase_timings
+    }
+
     /// The active internal [`Renumbering`].
     pub fn renumbering(&self) -> &Renumbering {
         &self.renumbering
@@ -1536,12 +1634,24 @@ impl<'net, P: Protocol> Engine<'net, P> {
         self.slot_epoch += 1;
         let epoch = self.slot_epoch;
 
+        // Optional phase timing: one clock read here plus one per phase
+        // boundary (laps share their boundary read). `None` when timing is
+        // off — zero clock reads, and nothing below ever branches on a
+        // measured value, so enabling this is observationally invisible.
+        let mut mark = self.phase_timings.is_some().then(std::time::Instant::now);
+
         // Phase 0: advance the primary-user spectrum process into this
         // slot (sequential, per-(slot, channel)-keyed draws — the busy
         // mask is identical whatever resolver or thread count follows).
-        if let Some(sp) = self.spectrum.as_mut() {
+        // With no dynamics installed the phase is a no-op and its time is
+        // exactly zero — skipping the lap (one clock read per slot) is
+        // both cheaper and more accurate than measuring it.
+        let spectrum_ns = if let Some(sp) = self.spectrum.as_mut() {
             sp.advance(self.seed, self.slot);
-        }
+            lap(&mut mark)
+        } else {
+            0
+        };
 
         // Phase 1: collect every node's action through `act_batch`,
         // translate local labels, count per-channel populations, and
@@ -1592,16 +1702,22 @@ impl<'net, P: Protocol> Engine<'net, P> {
                 }
             }
         }
+        // The PU sweep and tuner bookkeeping above are charged to phase 1:
+        // both are O(touched) postludes of collection, not resolution work.
+        let collect_ns = lap(&mut mark);
 
         // Phase 2: resolve each touched channel — sharded across the pool
         // when requested, sequentially otherwise.
         let t = self.touched.len();
+        let route_sharded = matches!(self.resolver, Resolver::ParallelSharded { threads } if threads >= 2)
+            && t >= 2;
         match self.resolver {
             Resolver::ParallelSharded { threads } if threads >= 2 && t >= 2 => {
                 self.resolve_all_sharded(threads);
             }
             r => self.resolve_all_sequential(r.per_channel()),
         }
+        let resolve_ns = lap(&mut mark);
 
         // Phase 3: batched feedback delivery. A counting sweep folds the
         // per-outcome counter updates in one branch-predictable pass, then
@@ -1612,9 +1728,34 @@ impl<'net, P: Protocol> Engine<'net, P> {
         // chunks (bit-identical: a node's feedback depends only on its own
         // outcome, action buffer, and RNG stream, and the per-chunk counter
         // deltas merge to the sequential totals exactly).
+        let deliver_pooled = pool_threads.is_some() && n >= self.phase3_min_nodes;
         match pool_threads {
             Some(threads) if n >= self.phase3_min_nodes => self.deliver_pooled(threads, slot),
             _ => self.deliver_sequential(slot),
+        }
+        let deliver_ns = lap(&mut mark);
+
+        if let Some(pt) = self.phase_timings.as_mut() {
+            pt.slots += 1;
+            pt.spectrum_ns += spectrum_ns;
+            if route_pooled {
+                pt.collect_pooled_ns += collect_ns;
+                pt.collect_pooled_slots += 1;
+            } else {
+                pt.collect_sequential_ns += collect_ns;
+            }
+            if route_sharded {
+                pt.resolve_sharded_ns += resolve_ns;
+                pt.resolve_sharded_slots += 1;
+            } else {
+                pt.resolve_sequential_ns += resolve_ns;
+            }
+            if deliver_pooled {
+                pt.deliver_pooled_ns += deliver_ns;
+                pt.deliver_pooled_slots += 1;
+            } else {
+                pt.deliver_sequential_ns += deliver_ns;
+            }
         }
 
         self.slot += 1;

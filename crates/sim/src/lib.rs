@@ -62,6 +62,7 @@ pub mod engine;
 pub mod geo;
 pub mod graph;
 pub mod ids;
+pub mod metrics;
 pub mod network;
 pub mod pool;
 pub mod protocol;
@@ -71,7 +72,7 @@ pub mod stats;
 pub mod topology;
 pub mod trace;
 
-pub use engine::{Counters, Engine, Renumbering, Resolver, RunOutcome};
+pub use engine::{Counters, Engine, PhaseTimings, Renumbering, Resolver, RunOutcome};
 pub use ids::{Edge, GlobalChannel, LocalChannel, NodeId, Slot};
 pub use network::{
     MemoryFootprint, Network, NetworkBuilder, NetworkError, NetworkStats, StatsMode,

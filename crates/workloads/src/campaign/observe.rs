@@ -44,6 +44,12 @@ pub struct ArmProgress {
 /// Point-in-time progress of a whole campaign run, emitted after each
 /// applied wave (and once on entry, so a resumed campaign immediately
 /// reports its restored state).
+///
+/// The snapshot deliberately carries no wall-clock state — the campaign
+/// core is clock-free (tick-based), and only *measures* time around the
+/// journal fsync, never schedules on it. Rate and ETA are therefore
+/// computed by the caller, who passes its own monotonic elapsed time into
+/// [`ProgressSnapshot::throughput`] / [`ProgressSnapshot::eta`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProgressSnapshot {
     /// The scheduling tick of the wave this snapshot follows.
@@ -54,6 +60,23 @@ pub struct ProgressSnapshot {
     pub recorded: usize,
     /// Total units in the campaign ([`super::CampaignSpec::total_trials`]).
     pub total: usize,
+    /// Waves applied (and checkpointed) by *this* run so far — excludes
+    /// waves replayed from the journal.
+    pub waves: u64,
+    /// Units currently parked in retry backoff (their next attempt is
+    /// scheduled for a strictly later tick).
+    pub backoff_depth: usize,
+    /// `true` when this run restored prior state from a journal.
+    pub resumed: bool,
+    /// Terminal units that were restored from the journal rather than
+    /// computed by this run (`0` on a fresh run).
+    pub resumed_units: usize,
+    /// Journal checkpoints (fsyncs) performed by this run.
+    pub fsync_count: u64,
+    /// Total wall-clock nanoseconds spent in those fsyncs.
+    pub fsync_nanos_total: u64,
+    /// Duration of the most recent fsync, in nanoseconds.
+    pub fsync_nanos_last: u64,
     /// Per-arm progress, in spec order.
     pub arms: Vec<ArmProgress>,
 }
@@ -62,6 +85,35 @@ impl ProgressSnapshot {
     /// Fraction of units recorded, in `[0, 1]`.
     pub fn fraction(&self) -> f64 {
         self.recorded as f64 / self.total.max(1) as f64
+    }
+
+    /// Units this run has computed itself (recorded minus the
+    /// journal-restored prefix) — the numerator for rate estimates.
+    pub fn units_this_run(&self) -> usize {
+        self.recorded.saturating_sub(self.resumed_units)
+    }
+
+    /// Units per second, given the caller's monotonic elapsed time since
+    /// the run started. `0.0` when `elapsed` is zero.
+    pub fn throughput(&self, elapsed: std::time::Duration) -> f64 {
+        let secs = elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.units_this_run() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Estimated time to completion, extrapolating this run's observed
+    /// rate over the remaining units. `None` until the run has computed at
+    /// least one unit in nonzero elapsed time (no rate to extrapolate).
+    pub fn eta(&self, elapsed: std::time::Duration) -> Option<std::time::Duration> {
+        let rate = self.throughput(elapsed);
+        if rate <= 0.0 {
+            return None;
+        }
+        let remaining = self.total.saturating_sub(self.recorded);
+        Some(std::time::Duration::from_secs_f64(remaining as f64 / rate))
     }
 }
 
@@ -93,11 +145,42 @@ impl CampaignObserver for () {}
 mod tests {
     use super::*;
 
+    fn snap(recorded: usize, total: usize) -> ProgressSnapshot {
+        ProgressSnapshot {
+            tick: 0,
+            recorded,
+            total,
+            waves: 0,
+            backoff_depth: 0,
+            resumed: false,
+            resumed_units: 0,
+            fsync_count: 0,
+            fsync_nanos_total: 0,
+            fsync_nanos_last: 0,
+            arms: Vec::new(),
+        }
+    }
+
     #[test]
     fn fraction_is_safe_on_empty_campaigns() {
-        let snap = ProgressSnapshot { tick: 0, recorded: 0, total: 0, arms: Vec::new() };
-        assert_eq!(snap.fraction(), 0.0);
-        let half = ProgressSnapshot { tick: 1, recorded: 2, total: 4, arms: Vec::new() };
-        assert_eq!(half.fraction(), 0.5);
+        assert_eq!(snap(0, 0).fraction(), 0.0);
+        assert_eq!(snap(2, 4).fraction(), 0.5);
+    }
+
+    #[test]
+    fn throughput_and_eta_use_caller_elapsed_and_exclude_resumed_units() {
+        use std::time::Duration;
+        let mut s = snap(30, 50);
+        s.resumed = true;
+        s.resumed_units = 10;
+        // 20 units computed by this run in 10s -> 2 units/s; 20 remain.
+        assert_eq!(s.units_this_run(), 20);
+        let rate = s.throughput(Duration::from_secs(10));
+        assert!((rate - 2.0).abs() < 1e-12);
+        assert_eq!(s.eta(Duration::from_secs(10)), Some(Duration::from_secs(10)));
+        // No elapsed time or no computed units -> no rate, no ETA.
+        assert_eq!(s.throughput(Duration::ZERO), 0.0);
+        assert_eq!(s.eta(Duration::ZERO), None);
+        assert_eq!(snap(0, 50).eta(Duration::from_secs(5)), None);
     }
 }

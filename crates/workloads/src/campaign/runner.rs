@@ -207,10 +207,42 @@ impl JournalSink {
         }
     }
 
-    fn checkpoint(&mut self) -> Result<(), JournalError> {
+    /// Checkpoints (fsyncs) the journal, returning the wall-clock
+    /// nanoseconds the fsync took — `None` for in-memory runs. The timing
+    /// is measurement-only: nothing in the campaign lifecycle branches on
+    /// it (the core stays clock-free), it is merely reported through
+    /// [`ProgressSnapshot`].
+    fn checkpoint(&mut self) -> Result<Option<u64>, JournalError> {
         match self.journal.as_mut() {
-            Some(j) => j.checkpoint(),
-            None => Ok(()),
+            Some(j) => {
+                let start = std::time::Instant::now();
+                j.checkpoint()?;
+                Ok(Some(start.elapsed().as_nanos() as u64))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+/// Measurement-only accounting of the live run — everything
+/// [`ProgressSnapshot`] carries beyond the lifecycle state itself. Kept
+/// out of [`ArmState`] because none of it may ever influence scheduling.
+#[derive(Default)]
+struct RunStats {
+    waves: u64,
+    resumed: bool,
+    resumed_units: usize,
+    fsync_count: u64,
+    fsync_nanos_total: u64,
+    fsync_nanos_last: u64,
+}
+
+impl RunStats {
+    fn record_fsync(&mut self, nanos: Option<u64>) {
+        if let Some(ns) = nanos {
+            self.fsync_count += 1;
+            self.fsync_nanos_total += ns;
+            self.fsync_nanos_last = ns;
         }
     }
 }
@@ -315,12 +347,13 @@ pub fn run_campaign_observed<S>(
         Some(path) => Some(Journal::create(path, hash)?),
     };
     let mut sink = JournalSink { journal, pending, appended: false };
+    let mut stats = RunStats { resumed, resumed_units: recorded, ..RunStats::default() };
 
     let kill_now = |recorded: usize| fault.kill_after_trials.is_some_and(|n| recorded >= n);
 
     // The entry snapshot: a resumed campaign reports its restored state
     // before any new wave runs.
-    observer.on_progress(&snapshot(spec, &arms, start_tick, recorded));
+    observer.on_progress(&snapshot(spec, &arms, start_tick, recorded, &stats));
 
     let mut tick = start_tick;
     let report = 'campaign: loop {
@@ -539,9 +572,11 @@ pub fn run_campaign_observed<S>(
         if sink.appended {
             sink.append(Record::Wave { tick });
             sink.appended = false;
+            stats.waves += 1;
         }
-        sink.checkpoint()?;
-        observer.on_progress(&snapshot(spec, &arms, tick, recorded));
+        let fsync = sink.checkpoint()?;
+        stats.record_fsync(fsync);
+        observer.on_progress(&snapshot(spec, &arms, tick, recorded, &stats));
         tick += 1;
     };
 
@@ -629,7 +664,15 @@ fn snapshot(
     arms: &[ArmState],
     tick: u64,
     recorded: usize,
+    stats: &RunStats,
 ) -> ProgressSnapshot {
+    // Units parked in retry backoff: waiting with a strictly later due
+    // tick (a unit due now is runnable, not backed off).
+    let backoff_depth = arms
+        .iter()
+        .flat_map(|a| &a.slots)
+        .filter(|s| matches!(s, Slot::Waiting { at_tick, .. } if *at_tick > tick))
+        .count();
     let arms = spec
         .arms
         .iter()
@@ -657,7 +700,19 @@ fn snapshot(
             p
         })
         .collect();
-    ProgressSnapshot { tick, recorded, total: spec.total_trials(), arms }
+    ProgressSnapshot {
+        tick,
+        recorded,
+        total: spec.total_trials(),
+        waves: stats.waves,
+        backoff_depth,
+        resumed: stats.resumed,
+        resumed_units: stats.resumed_units,
+        fsync_count: stats.fsync_count,
+        fsync_nanos_total: stats.fsync_nanos_total,
+        fsync_nanos_last: stats.fsync_nanos_last,
+        arms,
+    }
 }
 
 fn finish(

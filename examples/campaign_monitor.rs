@@ -1,0 +1,208 @@
+//! Live terminal monitor for the campaign server.
+//!
+//! ```text
+//! campaign_monitor <host:port> [--once] [--interval <ms>]
+//! ```
+//!
+//! Polls `GET /campaigns` and `GET /metrics` and renders one dashboard
+//! frame per interval: a progress bar per campaign with throughput and
+//! ETA (from the server's `units_per_sec`/`eta_secs` status fields), the
+//! queue, and a server-health line from the exposition body. In loop mode
+//! the frame redraws in place with ANSI cursor control; `--once` prints a
+//! single frame and exits — the non-interactive mode CI runs, and the
+//! right one for piping into logs.
+//!
+//! A frame looks like:
+//!
+//! ```text
+//! crn campaign server @ 127.0.0.1:8077 · 2 jobs
+//!
+//! [3] e2-cseek-vs-c          running   [#########################.....]  25/30   5.1/s eta 1s
+//!     cseek  done 13/15  ·  naive  done 12/15 (1 backoff)
+//! [4] e3-cgcast-load         queued    (position 1)
+//!
+//! http: 42 requests, 0 parse errors · jobs: 1 running, 1 queued · fsync p~: 1.2ms
+//! ```
+//!
+//! Exit code 0 in `--once` mode means both endpoints answered and parsed.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::process::ExitCode;
+use std::time::Duration;
+
+use crn_server::client;
+use crn_server::json::{parse, Json};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: campaign_monitor <host:port> [--once] [--interval <ms>]");
+    ExitCode::from(2)
+}
+
+const BAR_WIDTH: usize = 30;
+
+fn bar(fraction: f64) -> String {
+    let filled = ((fraction.clamp(0.0, 1.0) * BAR_WIDTH as f64) as usize).min(BAR_WIDTH);
+    format!("[{}{}]", "#".repeat(filled), ".".repeat(BAR_WIDTH - filled))
+}
+
+fn fmt_eta(secs: f64) -> String {
+    if secs >= 3600.0 {
+        format!("{:.1}h", secs / 3600.0)
+    } else if secs >= 60.0 {
+        format!("{:.1}m", secs / 60.0)
+    } else {
+        format!("{secs:.0}s")
+    }
+}
+
+/// One `[id] name state [bar] recorded/total rate eta` line plus an
+/// indented per-arm line, from a status-JSON object.
+fn job_lines(job: &Json, out: &mut String) {
+    let id = job.get("id").and_then(Json::as_u64).unwrap_or(0);
+    let campaign = job.get("campaign").and_then(Json::as_str).unwrap_or("?");
+    let state = job.get("state").and_then(Json::as_str).unwrap_or("?");
+    out.push_str(&format!("[{id}] {campaign:<24} {state:<9}"));
+    if let Some(pos) = job.get("queue_position").and_then(Json::as_u64) {
+        out.push_str(&format!(" (position {pos})"));
+    }
+    let Some(progress) = job.get("progress") else {
+        out.push('\n');
+        return;
+    };
+    let recorded = progress.get("recorded").and_then(Json::as_u64).unwrap_or(0);
+    let total = progress.get("total").and_then(Json::as_u64).unwrap_or(0).max(1);
+    out.push_str(&format!(" {} {recorded:>4}/{total:<4}", bar(recorded as f64 / total as f64)));
+    if let Some(rate) = progress.get("units_per_sec").and_then(Json::as_f64) {
+        if rate > 0.0 {
+            out.push_str(&format!(" {rate:6.1}/s"));
+        }
+    }
+    if let Some(eta) = progress.get("eta_secs").and_then(Json::as_f64) {
+        out.push_str(&format!(" eta {}", fmt_eta(eta)));
+    }
+    if progress.get("resumed").and_then(Json::as_bool) == Some(true) {
+        out.push_str(" (resumed)");
+    }
+    out.push('\n');
+
+    if let Some(arms) = progress.get("arms").and_then(Json::as_arr) {
+        let parts: Vec<String> = arms
+            .iter()
+            .map(|arm| {
+                let name = arm.get("name").and_then(Json::as_str).unwrap_or("?");
+                let done = arm.get("done").and_then(Json::as_u64).unwrap_or(0);
+                let pending = arm.get("pending").and_then(Json::as_u64).unwrap_or(0);
+                let mut s = format!("{name}  done {done}/{}", done + pending);
+                if arm.get("tripped").and_then(Json::as_bool) == Some(true) {
+                    s.push_str(" TRIPPED");
+                }
+                s
+            })
+            .collect();
+        if !parts.is_empty() {
+            out.push_str(&format!("    {}\n", parts.join("  ·  ")));
+        }
+    }
+}
+
+/// Pulls one plain (label-free) sample value out of an exposition body.
+fn sample(body: &str, name: &str) -> Option<f64> {
+    body.lines()
+        .find_map(|l| l.strip_prefix(name).and_then(|rest| rest.strip_prefix(' ')))
+        .and_then(|v| v.parse().ok())
+}
+
+/// The health footer, parsed out of the `/metrics` exposition body.
+fn health_line(body: &str) -> String {
+    let requests = sample(body, "crn_http_requests_total").unwrap_or(0.0);
+    let parse_errors = sample(body, "crn_http_parse_errors_total").unwrap_or(0.0);
+    let running = sample(body, "crn_jobs{state=\"running\"}").unwrap_or(0.0);
+    let queued = sample(body, "crn_queue_depth").unwrap_or(0.0);
+    let mut line = format!(
+        "http: {requests:.0} requests, {parse_errors:.0} parse errors · jobs: {running:.0} running, {queued:.0} queued"
+    );
+    let fsyncs = sample(body, "crn_journal_fsync_nanos_count").unwrap_or(0.0);
+    if fsyncs > 0.0 {
+        let mean_ms = sample(body, "crn_journal_fsync_nanos_sum").unwrap_or(0.0) / fsyncs / 1e6;
+        line.push_str(&format!(" · fsync p~: {mean_ms:.1}ms"));
+    }
+    line
+}
+
+/// Fetches both endpoints and renders one frame; `Err` carries the reason
+/// (`--once` turns it into a nonzero exit).
+fn frame(addr: SocketAddr) -> Result<String, String> {
+    let campaigns =
+        client::get(addr, "/campaigns").map_err(|e| format!("GET /campaigns failed: {e}"))?;
+    if campaigns.status != 200 {
+        return Err(format!("GET /campaigns: status {}", campaigns.status));
+    }
+    let list = parse(&campaigns.text()).map_err(|e| format!("bad /campaigns json: {e}"))?;
+    let metrics = client::get(addr, "/metrics").map_err(|e| format!("GET /metrics failed: {e}"))?;
+    if metrics.status != 200 {
+        return Err(format!("GET /metrics: status {}", metrics.status));
+    }
+    let exposition = metrics.text();
+
+    let jobs: &[Json] = list.get("campaigns").and_then(Json::as_arr).unwrap_or(&[]);
+    let mut out = format!("crn campaign server @ {addr} · {} jobs\n\n", jobs.len());
+    if jobs.is_empty() {
+        out.push_str("(no campaigns submitted yet)\n");
+    }
+    for job in jobs {
+        job_lines(job, &mut out);
+    }
+    out.push('\n');
+    out.push_str(&health_line(&exposition));
+    out.push('\n');
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr_arg = None;
+    let mut once = false;
+    let mut interval = Duration::from_millis(500);
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--once" => once = true,
+            "--interval" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => interval = Duration::from_millis(ms),
+                None => return usage(),
+            },
+            _ if addr_arg.is_none() => addr_arg = Some(arg.clone()),
+            _ => return usage(),
+        }
+    }
+    let Some(addr) =
+        addr_arg.as_deref().and_then(|a| a.to_socket_addrs().ok()).and_then(|mut a| a.next())
+    else {
+        eprintln!("campaign_monitor: cannot resolve address");
+        return usage();
+    };
+
+    if once {
+        return match frame(addr) {
+            Ok(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("campaign_monitor: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    // Loop mode: clear the screen, home the cursor, redraw. Transient
+    // fetch errors are drawn into the frame rather than killing the
+    // monitor — servers restart, monitors should survive it.
+    loop {
+        let text = frame(addr).unwrap_or_else(|e| format!("campaign_monitor: {e}\n"));
+        print!("\x1b[2J\x1b[H{text}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(interval);
+    }
+}
